@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module reproduces one experiment from DESIGN.md §3 (one
+theorem, figure or construction of the paper).  Since the paper is a theory
+paper, "reproducing a figure" means: instantiate the construction, measure
+real certificate sizes (bits per vertex) across a range of ``n``, check
+completeness/soundness on the instances, and print the resulting series so it
+can be compared against the claimed asymptotic shape.  The printed lines are
+collected into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Sequence
+
+import networkx as nx
+
+from repro.core.scheme import CertificationScheme, evaluate_scheme
+from repro.network.ids import assign_identifiers
+
+
+def measure_scheme_sizes(
+    scheme: CertificationScheme,
+    instances: Dict[int, nx.Graph],
+    seed: int = 0,
+) -> Dict[int, int]:
+    """Max certificate bits of the honest proof for each instance, keyed by n."""
+    sizes: Dict[int, int] = {}
+    for key, graph in sorted(instances.items()):
+        sizes[key] = scheme.max_certificate_bits(graph, seed=seed)
+    return sizes
+
+
+def check_instances(
+    scheme: CertificationScheme,
+    yes_instances: Iterable[nx.Graph] = (),
+    no_instances: Iterable[nx.Graph] = (),
+    seed: int = 0,
+) -> None:
+    """Assert completeness on yes-instances and sampled soundness on no-instances."""
+    for graph in yes_instances:
+        report = evaluate_scheme(scheme, graph, seed=seed)
+        assert report.holds and report.completeness_ok, scheme.name
+    for graph in no_instances:
+        report = evaluate_scheme(scheme, graph, seed=seed)
+        assert not report.holds and report.soundness_ok, scheme.name
+
+
+def print_series(title: str, series: Dict[int, float], unit: str = "bits") -> None:
+    """Print one reproduced series in a stable, grep-friendly format."""
+    print(f"\n[{title}]")
+    for key in sorted(series):
+        print(f"  n={key:>6}  {series[key]:>10.1f} {unit}")
+
+
+def log2(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+def prove_and_verify_once(scheme: CertificationScheme, graph: nx.Graph, seed: int = 0) -> bool:
+    """One full prove + distributed-verify round; used as the timed kernel."""
+    report = evaluate_scheme(scheme, graph, seed=seed)
+    return bool(report.completeness_ok)

@@ -1,0 +1,73 @@
+"""E17 — Ablation: the pruning parameter k of the Section 6 kernel.
+
+The kernel keeps at most k children of each type (Lemma 6.1); its size bound
+f_d(k, t) (Proposition 6.2) grows quickly with k, while correctness only
+requires k to be at least the quantifier depth of the certified sentence.
+Reproduced series: kernel size and certificate bits of the Theorem 2.6
+scheme as k grows on a fixed star family — the certificates must grow with
+k (the design reason for picking k = quantifier depth and not larger) while
+remaining independent of n for each fixed k.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import print_series
+
+from repro.core.mso_treedepth_scheme import MSOTreedepthScheme
+from repro.graphs.generators import star_graph
+from repro.kernel.reduction import k_reduced_graph, type_count_bound
+from repro.logic import properties
+from repro.treedepth.decomposition import star_elimination_tree
+
+
+def test_kernel_size_vs_k(benchmark) -> None:
+    graph = star_graph(40)
+    tree = star_elimination_tree(graph)
+
+    def run() -> dict:
+        return {
+            k: k_reduced_graph(graph, tree, k).kernel_size
+            for k in (1, 2, 3, 4)
+        }
+
+    sizes = benchmark(run)
+    print_series("E17 kernel size of a 41-vertex star vs pruning parameter k", sizes, unit="vertices")
+    assert sizes[1] <= sizes[2] <= sizes[3] <= sizes[4]
+    assert sizes[4] <= graph.number_of_nodes()
+
+
+def test_certificate_bits_vs_k(benchmark) -> None:
+    graph = star_graph(32)
+
+    def run() -> dict:
+        results = {}
+        for k in (1, 2, 3):
+            scheme = MSOTreedepthScheme(
+                properties.has_dominating_vertex(), t=2, k=k, name=f"dominating,k={k}"
+            )
+            results[k] = scheme.max_certificate_bits(graph, seed=0)
+        return results
+
+    sizes = benchmark(run)
+    print_series("E17 Thm 2.6 certificate bits on a 33-vertex star vs k", sizes)
+    assert sizes[1] <= sizes[3]
+
+
+def test_certificates_stay_flat_in_n_for_fixed_k(benchmark) -> None:
+    scheme = MSOTreedepthScheme(properties.has_dominating_vertex(), t=2, k=2, name="dominating")
+
+    sizes = benchmark(
+        lambda: {n: scheme.max_certificate_bits(star_graph(n - 1), seed=0) for n in (9, 33, 129)}
+    )
+    print_series("E17 Thm 2.6 certificate bits vs n for fixed k=2 (stars)", sizes)
+    # Only the identifier width may grow.
+    assert sizes[129] <= sizes[9] + 200
+
+
+def test_type_count_bound_growth(benchmark) -> None:
+    bounds = benchmark(lambda: {k: type_count_bound(1, k, 2) for k in (1, 2, 3)})
+    print_series("E17 Prop 6.2 type-count bound f_1(k, t=2)", bounds, unit="types")
+    assert bounds[1] < bounds[2] < bounds[3]

@@ -1,0 +1,70 @@
+"""E16 — Ablation: verification radius 1 vs radius r (Appendix A.1).
+
+Appendix A.1 explains the paper's choice of radius 1: with radius 3 a node
+can decide "diameter ≤ 3" with no certificate at all, whereas at radius 1
+the property needs certificates of size (almost) linear in n.  Reproduced
+series: certificate bits needed at radius 1 (the universal scheme — the only
+generic radius-1 upper bound for diameter) vs the 0 bits needed at radius
+bound+1, across n, plus correctness checks of the radius-r verifier.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import print_series
+
+from repro.core.universal import UniversalScheme
+from repro.graphs.generators import random_connected_graph
+from repro.network.radius import RadiusSimulator, diameter_at_most_verifier
+
+_BOUND = 3
+
+
+def _diameter_at_most(bound: int):
+    return lambda graph: nx.diameter(graph) <= bound
+
+
+def test_radius_one_universal_certificates(benchmark) -> None:
+    scheme = UniversalScheme(_diameter_at_most(_BOUND), name=f"diameter<={_BOUND}")
+    instances = {n: random_connected_graph(n, p=min(0.9, 6 / n), seed=n) for n in (8, 16, 32)}
+    instances = {n: g for n, g in instances.items() if nx.diameter(g) <= _BOUND}
+
+    sizes = benchmark(
+        lambda: {n: scheme.max_certificate_bits(graph, seed=0) for n, graph in instances.items()}
+    )
+    print_series("E16 radius-1 universal certificates for diameter<=3 (expect ~n^2 bits)", sizes)
+    assert all(size > 0 for size in sizes.values())
+
+
+def test_radius_four_needs_no_certificates(benchmark) -> None:
+    verifier = diameter_at_most_verifier(_BOUND)
+
+    def run() -> dict:
+        results = {}
+        for n in (8, 16, 32, 64):
+            graph = nx.star_graph(n - 1)  # diameter 2 ≤ 3
+            simulator = RadiusSimulator(graph, radius=_BOUND + 1, seed=0)
+            outcome = simulator.run(verifier, {v: b"" for v in graph.nodes()})
+            assert outcome.accepted
+            results[n] = outcome.max_certificate_bits
+        return results
+
+    sizes = benchmark(run)
+    print_series("E16 radius-4 verification of diameter<=3 (0 bits by construction)", sizes)
+    assert set(sizes.values()) == {0}
+
+
+def test_radius_verifier_rejects_large_diameter(benchmark) -> None:
+    verifier = diameter_at_most_verifier(_BOUND)
+
+    def run() -> bool:
+        for n in (6, 10, 20):
+            graph = nx.path_graph(n)  # diameter n-1 > 3
+            simulator = RadiusSimulator(graph, radius=_BOUND + 1, seed=0)
+            if simulator.run(verifier, {v: b"" for v in graph.nodes()}).accepted:
+                return False
+        return True
+
+    assert benchmark(run)

@@ -1,0 +1,71 @@
+"""E8 — Corollary 2.7: P_t-minor-free and C_t-minor-free certification.
+
+Reproduced series: certificate bits vs n for P_4-minor-free stars and for
+C_4-minor-free chains of triangles (bounded blocks), plus completeness and
+soundness checks around the threshold.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import check_instances, print_series
+
+from repro.core import CycleMinorFreeScheme, PathMinorFreeScheme
+from repro.graphs.generators import path_graph, star_graph
+
+
+def _triangle_chain(length: int) -> nx.Graph:
+    graph = nx.Graph()
+    for i in range(length):
+        base = 2 * i
+        graph.add_edge(base, base + 1)
+        graph.add_edge(base, base + 2)
+        graph.add_edge(base + 1, base + 2)
+    return graph
+
+
+def test_path_minor_free_scaling(benchmark) -> None:
+    scheme = PathMinorFreeScheme(4)
+    sizes = benchmark(
+        lambda: {n: scheme.max_certificate_bits(star_graph(n - 1)) for n in (8, 32, 128)}
+    )
+    print_series("E8 Cor 2.7: P4-minor-free stars (expect O(log n) growth)", sizes)
+    assert sizes[128] <= sizes[8] + 400
+
+
+def test_path_minor_free_threshold(benchmark) -> None:
+    result = benchmark(
+        lambda: check_instances(
+            PathMinorFreeScheme(4),
+            yes_instances=[star_graph(6)],
+            no_instances=[path_graph(5)],
+        )
+        or True
+    )
+    assert result
+
+
+def test_cycle_minor_free_scaling(benchmark) -> None:
+    scheme = CycleMinorFreeScheme(4)
+    sizes = benchmark(
+        lambda: {
+            2 * length + 1: scheme.max_certificate_bits(_triangle_chain(length))
+            for length in (2, 8, 32)
+        }
+    )
+    print_series("E8 Cor 2.7: C4-minor-free triangle chains", sizes)
+    assert max(sizes.values()) <= 3 * min(sizes.values())
+
+
+def test_cycle_minor_free_threshold(benchmark) -> None:
+    result = benchmark(
+        lambda: check_instances(
+            CycleMinorFreeScheme(4),
+            yes_instances=[_triangle_chain(3)],
+            no_instances=[nx.cycle_graph(4)],
+        )
+        or True
+    )
+    assert result

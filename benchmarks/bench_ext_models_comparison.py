@@ -1,0 +1,79 @@
+"""E18 — Extension: local certification vs distributed graph automata vs LCL witnesses.
+
+Appendix A.3 compares local certification with Reiter's alternating
+distributed graph automata, and Appendix C.2 proposes UOP-constraint LCLs as
+the unbounded-degree generalisation of locally checkable labelings.
+Reproduced series, all on the same 2-colourability property: certificate
+bits of (i) the dedicated bipartiteness scheme, (ii) the witness scheme of
+the Presburger LCL, and (iii) the certification obtained by wrapping the
+existential DGA — all constant in n, as Theorem 2.2 predicts for an MSO
+property of trees and as each model achieves in its own way.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import check_instances, print_series
+
+from repro.core.simple_schemes import BipartitenessScheme
+from repro.dga.catalog import two_coloring_prover_dga
+from repro.dga.nondeterministic import certification_from_dga
+from repro.lcl.classic import greedy_proper_coloring, presburger_proper_coloring
+from repro.lcl.scheme import LCLWitnessScheme
+from repro.graphs.generators import random_tree
+
+_SIZES = (8, 32, 128)
+
+
+def _two_coloring_solver(graph):
+    """A witness strategy that returns None (instead of raising) on non-bipartite graphs."""
+    try:
+        return greedy_proper_coloring(graph, 2)
+    except ValueError:
+        return None
+
+
+def _instances() -> dict:
+    return {n: random_tree(n, seed=n) for n in _SIZES}
+
+
+def test_bipartiteness_scheme_sizes(benchmark) -> None:
+    scheme = BipartitenessScheme()
+    sizes = benchmark(lambda: {n: scheme.max_certificate_bits(g, seed=0) for n, g in _instances().items()})
+    print_series("E18 dedicated bipartiteness scheme (expect flat)", sizes)
+    assert len(set(sizes.values())) == 1
+
+
+def test_lcl_witness_sizes(benchmark) -> None:
+    scheme = LCLWitnessScheme(presburger_proper_coloring(2), solver=_two_coloring_solver)
+    sizes = benchmark(lambda: {n: scheme.max_certificate_bits(g, seed=0) for n, g in _instances().items()})
+    print_series("E18 Presburger-LCL witness scheme (expect flat)", sizes)
+    assert len(set(sizes.values())) == 1
+
+
+def test_dga_bridge_sizes(benchmark) -> None:
+    scheme = certification_from_dga(two_coloring_prover_dga())
+    sizes = benchmark(lambda: {n: scheme.max_certificate_bits(g, seed=0) for n, g in _instances().items()})
+    print_series("E18 existential-DGA bridge scheme (expect flat)", sizes)
+    assert len(set(sizes.values())) == 1
+
+
+def test_all_three_schemes_agree_on_correctness(benchmark) -> None:
+    schemes = [
+        BipartitenessScheme(),
+        LCLWitnessScheme(presburger_proper_coloring(2), solver=_two_coloring_solver),
+        certification_from_dga(two_coloring_prover_dga()),
+    ]
+
+    def run() -> bool:
+        for scheme in schemes:
+            check_instances(
+                scheme,
+                yes_instances=[nx.path_graph(9), nx.cycle_graph(8)],
+                no_instances=[nx.cycle_graph(7)],
+            )
+        return True
+
+    assert benchmark(run)

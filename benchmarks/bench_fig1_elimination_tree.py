@@ -1,0 +1,54 @@
+"""E10 — Figure 1: elimination trees of paths.
+
+Reproduces the paper's running example: the optimal elimination tree of the
+path (rooted at the midpoint, recursively), the closed form
+td(P_n) = ⌈log₂(n+1)⌉, and the exact treedepth computed independently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import print_series
+
+from repro.graphs.generators import path_graph
+from repro.treedepth.decomposition import (
+    exact_treedepth,
+    optimal_elimination_tree,
+    treedepth_of_path,
+)
+from repro.treedepth.elimination_tree import is_coherent, is_valid_model, make_coherent
+
+
+def test_path_treedepth_series(benchmark) -> None:
+    def run():
+        series = {}
+        for n in (3, 7, 15):
+            graph = path_graph(n)
+            tree = optimal_elimination_tree(graph)
+            assert is_valid_model(graph, tree)
+            assert tree.depth == treedepth_of_path(n) == exact_treedepth(graph)
+            series[n] = tree.depth
+        # Larger paths: closed form only (the exact solver is exponential).
+        for n in (31, 63, 127):
+            series[n] = treedepth_of_path(n)
+        return series
+
+    series = benchmark(run)
+    print_series("E10 Fig 1: treedepth of P_n (expect ceil(log2(n+1)))", series, unit="depth")
+    assert series[7] == 3 and series[127] == 7
+
+
+def test_figure1_model_of_p7(benchmark) -> None:
+    """The exact Figure 1 elimination tree: root 3 (the middle of P_7)."""
+
+    def run():
+        graph = path_graph(7)
+        tree = make_coherent(graph, optimal_elimination_tree(graph))
+        return tree
+
+    tree = benchmark(run)
+    graph = path_graph(7)
+    assert is_valid_model(graph, tree, depth=3)
+    assert is_coherent(graph, tree)
+    print(f"\n[E10 Fig 1] optimal elimination tree of P7: root={tree.root}, depth={tree.depth}")

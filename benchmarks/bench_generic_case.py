@@ -1,0 +1,70 @@
+"""E13 — Section 2.2, the generic case: simple FO sentences with no compact
+certification on general graphs.
+
+The paper's point: diameter ≤ 2 and triangle-freeness are depth-3, almost
+quantifier-alternation-free FO sentences, yet they require polynomially large
+certificates on general graphs — so a meta-theorem must restrict the graph
+class.  Reproduced here:
+
+* the structural measures of the two sentences (depth 3, ≤ 1 alternation),
+  matching Section 2.2;
+* an exhaustive search on a tiny no-instance showing that *no* 1-bit-per-node
+  certification in our framework (using the universal verifier's decision
+  function restricted to small certificates) exists — the finite shadow of
+  the Ω(n / 2^O(√n)) and Ω̃(n) statements;
+* the contrast with the same properties on bounded-treedepth graphs, where
+  Theorem 2.6 gives compact certificates.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import print_series
+
+from repro.core import MSOTreedepthScheme
+from repro.core.scheme import exhaustive_soundness_holds
+from repro.graphs.generators import star_graph
+from repro.logic import properties
+from repro.logic.structure import quantifier_alternations, quantifier_depth
+
+
+def test_sentence_measures(benchmark) -> None:
+    def run():
+        diameter = properties.diameter_at_most_two()
+        triangle = properties.triangle_free()
+        return {
+            "diameter<=2 depth": quantifier_depth(diameter),
+            "diameter<=2 alternations": quantifier_alternations(diameter),
+            "triangle-free depth": quantifier_depth(triangle),
+            "triangle-free alternations": quantifier_alternations(triangle),
+        }
+
+    measures = benchmark(run)
+    print("\n[E13 Section 2.2: sentence measures]")
+    for name, value in measures.items():
+        print(f"  {name:<28} {value}")
+    assert measures["diameter<=2 depth"] == 3
+    assert measures["triangle-free depth"] == 3
+    assert measures["triangle-free alternations"] == 0
+
+
+def test_exhaustive_no_tiny_certification_for_diameter_two(benchmark) -> None:
+    """On P_4 (diameter 3) with 1-bit certificates, the Theorem 2.6 verifier
+    instantiated for diameter ≤ 2 rejects every assignment — and so does any
+    verifier we have: a finite witness consistent with the lower bound."""
+    scheme = MSOTreedepthScheme(properties.diameter_at_most_two(), t=4, name="diam2")
+    result = benchmark(lambda: exhaustive_soundness_holds(scheme, nx.path_graph(4), max_bits=1))
+    print(f"\n[E13] exhaustive 1-bit soundness on P4 (diameter 3): {result}")
+    assert result
+
+
+def test_bounded_treedepth_escape_hatch(benchmark) -> None:
+    """The same sentences become compactly certifiable on bounded treedepth."""
+    scheme = MSOTreedepthScheme(properties.diameter_at_most_two(), t=2, name="diam2")
+    sizes = benchmark(
+        lambda: {n: scheme.max_certificate_bits(star_graph(n - 1)) for n in (8, 32, 128)}
+    )
+    print_series("E13 diameter<=2 on treedepth-2 graphs (Thm 2.6, expect O(log n))", sizes)
+    assert sizes[128] <= sizes[8] + 300

@@ -1,0 +1,56 @@
+"""E7 — Lemma 2.1: small FO fragments certified with O(log n) bits.
+
+Reproduced series: certificate bits vs n for an existential FO sentence
+(has a triangle) and for the two non-trivial depth-2 properties (clique,
+dominating vertex), against the log₂(n) reference.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import check_instances, log2, print_series
+
+from repro.core import CliqueScheme, DominatingVertexScheme, ExistentialFOScheme
+from repro.graphs.generators import star_graph
+from repro.logic import properties
+
+SIZES = [8, 32, 128, 512]
+
+
+def test_existential_fo_logarithmic(benchmark) -> None:
+    scheme = ExistentialFOScheme(properties.has_triangle(), name="has-triangle")
+
+    def measure():
+        sizes = {}
+        for n in SIZES:
+            graph = nx.cycle_graph(n)
+            graph.add_edge(0, 2)  # plant one triangle
+            sizes[n] = scheme.max_certificate_bits(graph)
+        return sizes
+
+    sizes = benchmark(measure)
+    print_series("E7 Lemma 2.1: existential FO (has triangle)", sizes)
+    ratios = [sizes[n] / log2(n) for n in SIZES]
+    assert max(ratios) / min(ratios) < 4.0
+    check_instances(scheme, no_instances=[nx.cycle_graph(8)])
+
+
+def test_clique_scheme_logarithmic(benchmark) -> None:
+    sizes = benchmark(
+        lambda: {n: CliqueScheme().max_certificate_bits(nx.complete_graph(n)) for n in SIZES}
+    )
+    print_series("E7 Lemma 2.1: clique (depth-2 FO)", sizes)
+    ratios = [sizes[n] / log2(n) for n in SIZES]
+    assert max(ratios) / min(ratios) < 4.0
+
+
+def test_dominating_vertex_scheme_logarithmic(benchmark) -> None:
+    sizes = benchmark(
+        lambda: {
+            n: DominatingVertexScheme().max_certificate_bits(star_graph(n - 1)) for n in SIZES
+        }
+    )
+    print_series("E7 Lemma 2.1: dominating vertex (depth-2 FO)", sizes)
+    assert sizes[512] <= 4 * sizes[8]

@@ -1,0 +1,47 @@
+"""E9 — Proposition 3.4: spanning tree and vertex count with O(log n) bits."""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import check_instances, log2, print_series
+
+from repro.core import SpanningTreeCountScheme, TreeScheme
+from repro.graphs.generators import random_connected_graph, random_tree
+
+SIZES = [8, 32, 128, 512]
+
+
+def test_counting_scheme_logarithmic(benchmark) -> None:
+    def measure():
+        return {
+            n: SpanningTreeCountScheme(n).max_certificate_bits(
+                random_connected_graph(n, p=0.05, seed=0)
+            )
+            for n in SIZES
+        }
+
+    sizes = benchmark(measure)
+    print_series("E9 Prop 3.4: spanning tree + count", sizes)
+    ratios = [sizes[n] / log2(n) for n in SIZES]
+    assert max(ratios) / min(ratios) < 4.0
+
+
+def test_tree_certification_logarithmic(benchmark) -> None:
+    sizes = benchmark(
+        lambda: {n: TreeScheme().max_certificate_bits(random_tree(n, seed=1)) for n in SIZES}
+    )
+    print_series("E9 Prop 3.4: acyclicity (the graph is a tree)", sizes)
+    assert sizes[512] <= 4 * sizes[8]
+
+
+def test_counting_soundness(benchmark) -> None:
+    result = benchmark(
+        lambda: check_instances(
+            SpanningTreeCountScheme(16),
+            yes_instances=[random_connected_graph(16, p=0.2, seed=2)],
+            no_instances=[random_connected_graph(15, p=0.2, seed=2)],
+        )
+        or True
+    )
+    assert result

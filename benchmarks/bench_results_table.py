@@ -1,0 +1,87 @@
+"""E1 — the paper's headline table (Section 2): certificate size per property class.
+
+Regenerates, on concrete instances, one row per certification scheme:
+
+=====================================  ==========================
+property / scheme                       paper's certificate size
+=====================================  ==========================
+universal (any property)                O(n²)
+spanning tree + count (Prop. 3.4)       O(log n)
+existential FO (Lemma 2.1)              O(log n)
+depth-2 FO: clique / dominating vertex  O(log n)
+MSO on trees (Thm 2.2)                  O(1)
+treedepth ≤ t (Thm 2.4)                 O(t log n)
+MSO on treedepth ≤ t (Thm 2.6)          O(t log n + f(t, φ))
+P_t-minor-free (Cor. 2.7)               O(log n)
+=====================================  ==========================
+
+The benchmark prints measured bits per vertex for n = 16 and n = 64 and
+checks that the relative ordering of the rows matches the theory (O(1) below
+O(log n) below O(n²)).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import prove_and_verify_once, print_series
+
+from repro.automata.catalog import perfect_matching_automaton
+from repro.core import (
+    CliqueScheme,
+    DominatingVertexScheme,
+    ExistentialFOScheme,
+    MSOTreedepthScheme,
+    MSOTreeScheme,
+    PathMinorFreeScheme,
+    SpanningTreeCountScheme,
+    TreedepthScheme,
+    UniversalScheme,
+)
+from repro.graphs.generators import bounded_treedepth_graph, path_graph, star_graph
+from repro.logic import properties
+from repro.treedepth.decomposition import treedepth_of_path
+
+
+def _rows(n: int) -> dict[str, int]:
+    star = star_graph(n - 1)
+    path = path_graph(n)
+    bounded = bounded_treedepth_graph(3, branching=2, seed=1)
+    rows: dict[str, int] = {}
+    rows["universal O(n^2)"] = UniversalScheme(lambda g: True, name="trivial").max_certificate_bits(star)
+    rows["spanning-tree count O(log n)"] = SpanningTreeCountScheme(n).max_certificate_bits(star)
+    rows["existential FO O(log n)"] = ExistentialFOScheme(
+        properties.has_independent_set_of_size(2), name="is2"
+    ).max_certificate_bits(path)
+    rows["clique O(log n)"] = CliqueScheme().max_certificate_bits(nx.complete_graph(n))
+    rows["dominating vertex O(log n)"] = DominatingVertexScheme().max_certificate_bits(star)
+    rows["MSO on trees O(1)"] = MSOTreeScheme(
+        perfect_matching_automaton(), name="pm"
+    ).max_certificate_bits(path_graph(n if n % 2 == 0 else n - 1))
+    rows["treedepth<=t O(t log n)"] = TreedepthScheme(treedepth_of_path(n)).max_certificate_bits(path)
+    rows["MSO treedepth O(t log n + f)"] = MSOTreedepthScheme(
+        properties.has_dominating_vertex(), t=2, name="dom"
+    ).max_certificate_bits(star)
+    rows["P4-minor-free O(log n)"] = PathMinorFreeScheme(4).max_certificate_bits(star)
+    return rows
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_results_table(benchmark, n: int) -> None:
+    rows = benchmark(lambda: _rows(n))
+    print(f"\n[E1 results table, n={n}]")
+    for name, bits in rows.items():
+        print(f"  {name:<32} {bits:>8d} bits")
+    # Shape checks: O(1) < O(log n) rows < O(n²) row.
+    assert rows["MSO on trees O(1)"] <= rows["clique O(log n)"]
+    assert rows["clique O(log n)"] < rows["universal O(n^2)"]
+    assert rows["treedepth<=t O(t log n)"] < rows["universal O(n^2)"]
+
+
+def test_results_table_prove_verify_roundtrip(benchmark) -> None:
+    """Time one representative row (the treedepth scheme on a path)."""
+    scheme = TreedepthScheme(treedepth_of_path(32))
+    graph = path_graph(32)
+    result = benchmark(lambda: prove_and_verify_once(scheme, graph))
+    assert result

@@ -1,0 +1,49 @@
+"""E3 — Theorem 2.3: Ω̃(n) lower bound for fixed-point-free automorphism.
+
+Reproduced series: for growing instance sizes, (i) the gadget G(s_A, s_B) is
+built and the dichotomy "fixed-point-free automorphism ⇔ s_A = s_B" is
+verified, and (ii) the Proposition 7.2 bound ℓ/r implied by the instantiated
+encoding is printed — it grows linearly in the number of encoded bits while
+r stays 2, which is the paper's Ω̃(n) shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import print_series
+
+from repro.lower_bounds.automorphism import (
+    automorphism_framework,
+    automorphism_instance,
+    automorphism_lower_bound_bits,
+    instance_has_property,
+)
+
+
+def test_dichotomy_and_bound(benchmark) -> None:
+    def run():
+        results = {}
+        for ell in (3, 6, 9, 12):
+            equal = "1" * ell
+            different = "0" + "1" * (ell - 1)
+            yes_instance = automorphism_instance(equal, equal)
+            no_instance = automorphism_instance(equal, different)
+            assert instance_has_property(yes_instance)
+            assert not instance_has_property(no_instance)
+            framework = automorphism_framework(ell)
+            results[yes_instance.number_of_nodes()] = framework.lower_bound_bits(ell)
+        return results
+
+    bounds = benchmark(run)
+    print_series("E3 Thm 2.3: lower bound ℓ/r vs instance size (expect linear in ℓ)", bounds)
+    values = [bounds[n] for n in sorted(bounds)]
+    assert values == sorted(values) and values[-1] > values[0]
+
+
+def test_asymptotic_bound_grows(benchmark) -> None:
+    bounds = benchmark(
+        lambda: {n: automorphism_lower_bound_bits(n) for n in (64, 256, 1024, 4096)}
+    )
+    print_series("E3 Thm 2.3: implied bound for n-vertex bounded-depth trees", bounds)
+    assert bounds[4096] > bounds[64]

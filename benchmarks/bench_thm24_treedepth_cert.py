@@ -1,0 +1,84 @@
+"""E4 — Theorem 2.4: certifying treedepth ≤ t with O(t·log n) bits.
+
+Series reproduced: max certificate bits vs n on paths (treedepth ⌈log(n+1)⌉)
+and on random bounded-treedepth graphs with t fixed, compared against the
+t·log₂(n) reference curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import check_instances, log2, measure_scheme_sizes, print_series
+
+from repro.core import TreedepthScheme
+from repro.graphs.generators import bounded_treedepth_graph, path_graph
+from repro.treedepth.decomposition import treedepth_of_path
+from repro.treedepth.elimination_tree import EliminationTree
+
+
+def _balanced_path_model(graph) -> EliminationTree:
+    vertices = sorted(graph.nodes())
+    parent = {}
+
+    def build(segment, parent_vertex):
+        if not segment:
+            return
+        middle = len(segment) // 2
+        root = segment[middle]
+        parent[root] = parent_vertex
+        build(segment[:middle], root)
+        build(segment[middle + 1 :], root)
+
+    build(vertices, None)
+    return EliminationTree(parent)
+
+
+def test_paths_scale_like_t_log_n(benchmark) -> None:
+    sizes_and_reference = benchmark(lambda: _measure_paths())
+    sizes, reference = sizes_and_reference
+    print_series("E4 Thm 2.4: treedepth certificates on paths (measured)", sizes)
+    print_series("E4 Thm 2.4: t*log2(n) reference", reference, unit="t*log2(n)")
+    ratios = [sizes[n] / reference[n] for n in sizes]
+    # The measured bits track t·log n within a constant factor band.
+    assert max(ratios) / min(ratios) < 4.0
+
+
+def _measure_paths():
+    sizes = {}
+    reference = {}
+    for exponent in (3, 4, 5, 6, 7):
+        n = 2**exponent - 1
+        t = treedepth_of_path(n)
+        scheme = TreedepthScheme(t, model_builder=_balanced_path_model)
+        sizes[n] = scheme.max_certificate_bits(path_graph(n))
+        reference[n] = t * log2(n)
+    return sizes, reference
+
+
+def test_fixed_t_random_family(benchmark) -> None:
+    """With t fixed, the growth in n is purely logarithmic (identifier width)."""
+    scheme = TreedepthScheme(4)
+
+    def measure():
+        sizes = {}
+        for seed, branching in [(0, 2), (1, 3), (2, 4), (3, 5)]:
+            graph = bounded_treedepth_graph(4, branching=branching, seed=seed)
+            sizes[graph.number_of_nodes()] = scheme.max_certificate_bits(graph)
+        return sizes
+
+    sizes = benchmark(measure)
+    print_series("E4 Thm 2.4: fixed t=4, random bounded-treedepth graphs", sizes)
+    assert max(sizes.values()) <= 4 * min(sizes.values())
+
+
+def test_completeness_and_soundness_around_threshold(benchmark) -> None:
+    result = benchmark(
+        lambda: check_instances(
+            TreedepthScheme(3),
+            yes_instances=[path_graph(7), bounded_treedepth_graph(3, seed=0)],
+            no_instances=[path_graph(8)],
+        )
+        or True
+    )
+    assert result

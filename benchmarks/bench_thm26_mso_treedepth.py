@@ -1,0 +1,72 @@
+"""E6 — Theorem 2.6: MSO/FO certification on bounded-treedepth graphs.
+
+Reproduced series, for a fixed formula and fixed t:
+
+* the kernel size (number of vertices of the k-reduced graph) vs n — the
+  paper's Proposition 6.2 says it is bounded by a function of (k, t) only,
+  so the series must flatten out;
+* the certificate size vs n — it should grow like t·log n (the treedepth
+  layer), with the kernel contribution constant.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from _harness import check_instances, measure_scheme_sizes, print_series
+
+from repro.core import MSOTreedepthScheme
+from repro.graphs.generators import star_graph
+from repro.kernel.reduction import k_reduced_graph
+from repro.logic import properties
+from repro.treedepth.decomposition import optimal_elimination_tree
+from repro.treedepth.elimination_tree import EliminationTree, make_coherent
+
+
+def _star_model(graph: nx.Graph) -> EliminationTree:
+    centre = max(graph.nodes(), key=graph.degree)
+    return EliminationTree({centre: None, **{v: centre for v in graph.nodes() if v != centre}})
+
+
+SIZES = [8, 32, 128, 512]
+
+
+def test_kernel_size_is_independent_of_n(benchmark) -> None:
+    def run():
+        kernel_sizes = {}
+        for n in SIZES:
+            graph = star_graph(n - 1)
+            model = make_coherent(graph, _star_model(graph))
+            kernel_sizes[n] = k_reduced_graph(graph, model, k=2).kernel_size
+        return kernel_sizes
+
+    kernel_sizes = benchmark(run)
+    print_series("E6 Prop 6.2: kernel size vs n (expect flat)", kernel_sizes, unit="vertices")
+    assert len(set(kernel_sizes.values())) == 1
+
+
+def test_certificate_size_scales_like_treedepth_layer(benchmark) -> None:
+    scheme = MSOTreedepthScheme(
+        properties.has_dominating_vertex(), t=2, model_builder=_star_model, name="dom"
+    )
+    instances = {n: star_graph(n - 1) for n in SIZES}
+    sizes = benchmark(lambda: measure_scheme_sizes(scheme, instances))
+    print_series("E6 Thm 2.6: certificate bits vs n (expect O(t log n))", sizes)
+    # Growth from n=8 to n=512 is only identifier width, not kernel growth.
+    assert sizes[512] <= sizes[8] + 300
+
+
+def test_completeness_and_soundness(benchmark) -> None:
+    scheme = MSOTreedepthScheme(properties.triangle_free(), t=2, name="triangle-free")
+    triangle_plus_pendant = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+    result = benchmark(
+        lambda: check_instances(
+            scheme,
+            yes_instances=[star_graph(7)],
+            no_instances=[triangle_plus_pendant],
+        )
+        or True
+    )
+    assert result

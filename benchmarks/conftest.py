@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# Allow `import _harness` from the benchmark modules regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

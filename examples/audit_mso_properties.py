@@ -1,0 +1,64 @@
+"""Scenario: audit MSO/FO properties of a low-depth overlay network.
+
+A control plane keeps an overlay network whose topology is, by construction,
+of small treedepth (a hierarchy of at most three levels with shortcut links).
+Operators want every node to be able to verify, using only its neighbours'
+labels, that the overlay still satisfies a set of logical invariants:
+
+* it is 2-colourable (no odd control loop),
+* no node dominates the whole overlay (no single point of contention),
+* it stays triangle-free (no redundant local links).
+
+This is exactly the setting of Theorem 2.6: every MSO/FO property of a
+bounded-treedepth graph gets O(t·log n)-bit certificates.  The script builds
+the overlay, instantiates one kernelization-based scheme per invariant and
+prints sizes and verification results.
+
+Run with::
+
+    python examples/audit_mso_properties.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MSOTreedepthScheme
+from repro.core.scheme import NotAYesInstance, evaluate_scheme
+from repro.graphs.generators import bounded_treedepth_graph
+from repro.logic import properties
+from repro.logic.syntax import Not
+
+
+def main() -> None:
+    # A random three-level overlay: every node links to its parent and,
+    # occasionally, to its grandparent (treedepth at most 3 by construction).
+    overlay = bounded_treedepth_graph(3, branching=3, extra_edge_probability=0.3, seed=7)
+    print(f"overlay: {overlay.number_of_nodes()} nodes, {overlay.number_of_edges()} links")
+
+    invariants = {
+        "2-colourable": properties.two_colorable(),
+        "no dominating node": Not(properties.has_dominating_vertex()),
+        "triangle-free": properties.triangle_free(),
+    }
+
+    for name, formula in invariants.items():
+        scheme = MSOTreedepthScheme(formula, t=3, name=name)
+        report = evaluate_scheme(scheme, overlay, seed=3)
+        if report.holds:
+            status = "holds, certified" if report.completeness_ok else "holds, BUT VERIFICATION FAILED"
+            print(f"  [{name:<20}] {status}; {report.max_certificate_bits} bits per node")
+        else:
+            print(f"  [{name:<20}] violated; adversarial proofs rejected: {report.soundness_ok}")
+
+    # What an honest prover does when the invariant is simply false:
+    clique_like = bounded_treedepth_graph(3, branching=2, extra_edge_probability=1.0, seed=1)
+    scheme = MSOTreedepthScheme(properties.triangle_free(), t=3, name="triangle-free")
+    try:
+        from repro.network.ids import assign_identifiers
+
+        scheme.prove(clique_like, assign_identifiers(clique_like, seed=0))
+    except NotAYesInstance as error:
+        print(f"\nprover refuses a violating overlay: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: certify properties of a small network with compact certificates.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks through the basic workflow of the library:
+
+1. build a graph (here: the 7-vertex path from Figure 1 of the paper);
+2. pick a certification scheme (here: "treedepth ≤ 3", Theorem 2.4);
+3. let the honest prover assign certificates;
+4. run the radius-1 distributed verifier at every node;
+5. look at the sizes, and at what happens on a no-instance.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core import TreedepthScheme, TreeScheme
+from repro.core.scheme import evaluate_scheme
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator
+
+
+def main() -> None:
+    # --- a yes-instance -----------------------------------------------------
+    path = nx.path_graph(7)  # treedepth 3 (Figure 1 of the paper)
+    scheme = TreedepthScheme(t=3)
+
+    report = evaluate_scheme(scheme, path, seed=42)
+    print("P7, scheme 'treedepth <= 3'")
+    print(f"  property holds:        {report.holds}")
+    print(f"  honest proof accepted: {report.completeness_ok}")
+    print(f"  max certificate size:  {report.max_certificate_bits} bits per vertex")
+
+    # --- looking under the hood ---------------------------------------------
+    ids = assign_identifiers(path, seed=42)
+    certificates = scheme.prove(path, ids)
+    print("\nper-vertex certificates (bytes):")
+    for vertex in sorted(path.nodes()):
+        print(f"  vertex {vertex} (id {ids[vertex]:>3}): {len(certificates[vertex])} bytes")
+
+    simulator = NetworkSimulator(path, identifiers=ids)
+    outcome = simulator.run(scheme.verify, certificates)
+    print(f"\ndistributed verification: accepted={outcome.accepted}")
+
+    # --- a no-instance -------------------------------------------------------
+    long_path = nx.path_graph(8)  # treedepth 4 > 3
+    report = evaluate_scheme(scheme, long_path, seed=42)
+    print("\nP8, scheme 'treedepth <= 3'")
+    print(f"  property holds:                      {report.holds}")
+    print(f"  adversarial assignments all rejected: {report.soundness_ok}")
+
+    # --- a second scheme: acyclicity ----------------------------------------
+    tree_report = evaluate_scheme(TreeScheme(), path, seed=1)
+    print("\nP7, scheme 'the graph is a tree'")
+    print(f"  accepted with {tree_report.max_certificate_bits} bits per vertex")
+
+
+if __name__ == "__main__":
+    main()

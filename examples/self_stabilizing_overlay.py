@@ -1,0 +1,82 @@
+"""Self-stabilising overlay maintenance driven by local certification.
+
+Run with::
+
+    python examples/self_stabilizing_overlay.py
+
+Scenario: a peer-to-peer overlay stores a spanning structure (used for
+broadcast) together with proof-labeling-scheme certificates.  Memory faults
+corrupt some of the stored certificates; the radius-1 verifiers detect the
+corruption at (at least) one node, which triggers a recovery that recomputes
+the structure — the original Korman–Kutten–Peleg motivation for local
+certification, played out on three different certified structures:
+
+1. the spanning-tree + vertex-count certification (Proposition 3.4);
+2. the bounded-treedepth certification of the overlay topology (Theorem 2.4);
+3. a perfect-matching witness used for pairing up replica nodes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.simple_schemes import PerfectMatchingWitnessScheme
+from repro.core.spanning_tree import SpanningTreeCountScheme
+from repro.core.treedepth_scheme import TreedepthScheme
+from repro.graphs.generators import bounded_treedepth_graph
+from repro.network.self_stabilization import SelfStabilizingNetwork
+
+
+def run_scenario(title: str, network: SelfStabilizingNetwork, faults: list[str]) -> None:
+    print(f"\n=== {title} ===")
+    print(f"  stored certificates: {network.stored_certificate_bits} bits per node (max)")
+    accepted, _ = network.detect()
+    print(f"  initial verification: {'accepted' if accepted else 'rejected'}")
+    for kind in faults:
+        network.inject_fault(kind=kind)
+        accepted, rejecting = network.detect()
+        if accepted:
+            print(f"  fault '{kind}': corruption was semantically harmless, still accepted")
+            continue
+        print(f"  fault '{kind}': detected by {len(rejecting)} node(s) -> recovering")
+        network.recover()
+        accepted, _ = network.detect()
+        print(f"    after recovery: {'accepted' if accepted else 'STILL REJECTED (bug!)'}")
+    print("  event log:")
+    for event in network.history:
+        status = "" if event.accepted is None else f" accepted={event.accepted}"
+        print(f"    [{event.step:>2}] {event.action:<8}{status}  {event.detail}")
+
+
+def main() -> None:
+    # 1. A broadcast tree over a 24-node overlay, certified with Prop 3.4.
+    overlay = nx.random_internet_as_graph(24, seed=7)
+    if not nx.is_connected(overlay):  # pragma: no cover - the generator is connected
+        overlay = nx.path_graph(24)
+    run_scenario(
+        "broadcast tree + node count (Proposition 3.4)",
+        SelfStabilizingNetwork(overlay, SpanningTreeCountScheme(expected_n=24), seed=1),
+        faults=["bitflip", "swap", "overwrite"],
+    )
+
+    # 2. A shallow (treedepth ≤ 3) aggregation topology, certified with Thm 2.4.
+    aggregation = bounded_treedepth_graph(3, branching=3, seed=11)
+    run_scenario(
+        "bounded-treedepth aggregation topology (Theorem 2.4)",
+        SelfStabilizingNetwork(aggregation, TreedepthScheme(t=3), seed=2),
+        faults=["zero", "overwrite"],
+    )
+
+    # 3. Replica pairing on an even cycle, certified by a matching witness.
+    ring = nx.cycle_graph(16)
+    run_scenario(
+        "replica pairing via a perfect-matching witness",
+        SelfStabilizingNetwork(ring, PerfectMatchingWitnessScheme(), seed=3),
+        faults=["overwrite", "bitflip"],
+    )
+
+    print("\nEvery detected fault was repaired by re-proving; undetected faults were harmless.")
+
+
+if __name__ == "__main__":
+    main()

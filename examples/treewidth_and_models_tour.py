@@ -1,0 +1,105 @@
+"""A tour of the extension subpackages: treewidth, DGAs, LCLs and radius-r views.
+
+Run with::
+
+    python examples/treewidth_and_models_tour.py
+
+Four short vignettes around the paper's closing discussions:
+
+1. certify that a long path/cycle has small treewidth, and see why balanced
+   decompositions matter for the certificate size (the O(log² n) regime of
+   the follow-up meta-theorem mentioned in Section 2.4);
+2. decide 2-colourability three ways — dedicated scheme, Presburger-LCL
+   witness, existential distributed graph automaton — and compare sizes;
+3. check a maximal independent set on an unbounded-degree graph with the
+   Appendix C.2 UOP-constraint formalism;
+4. verify "diameter ≤ 3" with zero certificate bits once the verification
+   radius is 4 (Appendix A.1's model comparison).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.simple_schemes import BipartitenessScheme
+from repro.core.treewidth_scheme import TreeDecompositionScheme
+from repro.dga.catalog import two_coloring_prover_dga
+from repro.dga.nondeterministic import certification_from_dga
+from repro.lcl.classic import (
+    greedy_maximal_independent_set,
+    presburger_maximal_independent_set,
+    presburger_proper_coloring,
+)
+from repro.lcl.scheme import LCLWitnessScheme
+from repro.network.radius import RadiusSimulator, diameter_at_most_verifier
+from repro.treewidth.balanced import balanced_path_decomposition
+from repro.treewidth.exact import exact_treewidth
+
+
+def vignette_treewidth() -> None:
+    print("=== 1. Certifying bounded treewidth ===")
+    n = 256
+    path = nx.path_graph(n)
+    balanced = TreeDecompositionScheme(k=2, decomposition_builder=balanced_path_decomposition)
+    unbalanced = TreeDecompositionScheme(k=1)
+    print(f"  P{n}: treewidth 1")
+    print(f"  certificate bits, balanced decomposition (depth O(log n)): "
+          f"{balanced.max_certificate_bits(path, seed=0)}")
+    print(f"  certificate bits, heuristic decomposition (depth O(n)):   "
+          f"{unbalanced.max_certificate_bits(path, seed=0)}")
+    small = nx.petersen_graph()
+    width, _ = exact_treewidth(small)
+    print(f"  Petersen graph: exact treewidth {width}; "
+          f"'treewidth <= {width}' holds: {TreeDecompositionScheme(k=width).holds(small)}; "
+          f"'treewidth <= {width - 1}' holds: {TreeDecompositionScheme(k=width - 1).holds(small)}")
+
+
+def vignette_three_models() -> None:
+    print("\n=== 2. 2-colourability in three models ===")
+    graph = nx.cycle_graph(64)
+    schemes = {
+        "dedicated bipartiteness scheme": BipartitenessScheme(),
+        "Presburger-LCL witness": LCLWitnessScheme(
+            presburger_proper_coloring(2),
+            solver=lambda g: {v: int(c) for v, c in nx.bipartite.color(g).items()}
+            if nx.is_bipartite(g) else None,
+        ),
+        "existential DGA bridge": certification_from_dga(two_coloring_prover_dga()),
+    }
+    for label, scheme in schemes.items():
+        report = scheme.certify(graph, seed=5)
+        print(f"  {label:<32} accepted={report.completeness_ok} "
+              f"size={report.max_certificate_bits} bits")
+
+
+def vignette_unbounded_degree_lcl() -> None:
+    print("\n=== 3. LCL checking beyond bounded degree (Appendix C.2) ===")
+    hub = nx.star_graph(500)
+    lcl = presburger_maximal_independent_set()
+    labeling = greedy_maximal_independent_set(hub)
+    print(f"  star with 500 leaves, greedy MIS labeling correct: "
+          f"{lcl.is_correct_labeling(hub, labeling)}")
+    labeling[0] = "in"
+    labeling[1] = "in"
+    unhappy = lcl.unhappy_vertices(hub, labeling)
+    print(f"  after forcing two adjacent 'in' labels, unhappy vertices: {sorted(unhappy)[:5]}")
+
+
+def vignette_radius() -> None:
+    print("\n=== 4. Radius 4 decides diameter <= 3 with no certificates (Appendix A.1) ===")
+    for graph, name in [(nx.star_graph(40), "star (diameter 2)"),
+                        (nx.path_graph(12), "P12 (diameter 11)")]:
+        simulator = RadiusSimulator(graph, radius=4, seed=0)
+        outcome = simulator.run(diameter_at_most_verifier(3), {v: b"" for v in graph.nodes()})
+        print(f"  {name:<22} accepted={outcome.accepted}  certificate bits={outcome.max_certificate_bits}")
+
+
+def main() -> None:
+    vignette_treewidth()
+    vignette_three_models()
+    vignette_unbounded_degree_lcl()
+    vignette_radius()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP 517
+editable installs (which need ``bdist_wheel``) fail; ``pip install -e .
+--no-use-pep517`` goes through this file instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — a reproduction of "What can be certified compactly?" (PODC 2022).
+
+The package implements local certification (proof-labeling schemes with
+radius-1 verification) together with every substrate the paper's results
+rest on: FO/MSO logic and model checking, Ehrenfeucht–Fraïssé games, tree
+automata, treedepth and elimination trees, the k-reduction kernel, and the
+communication-complexity lower-bound constructions.
+
+Quick start::
+
+    import networkx as nx
+    from repro.core import TreedepthScheme
+
+    graph = nx.path_graph(7)          # treedepth 3
+    scheme = TreedepthScheme(t=3)
+    report = scheme.certify(graph)
+    assert report.completeness_ok
+    print(report.max_certificate_bits, "bits per vertex")
+
+See the ``examples/`` directory for end-to-end scenarios and ``benchmarks/``
+for the per-theorem experiments.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,51 @@
+"""Tree automata on unordered, unranked rooted trees (Section 4).
+
+The paper certifies MSO properties of trees by labelling every vertex with
+its state in an accepting run of a *unary ordering Presburger* (UOP) tree
+automaton — the automata model that captures exactly MSO on node-labelled,
+unbounded-degree, unordered rooted trees (Boneva & Talbot, Proposition 8).
+
+This package implements:
+
+* UOP constraints (:mod:`repro.automata.presburger`),
+* UOP tree automata with accepting-run search (:mod:`repro.automata.tree_automaton`),
+* word automata on paths, the Büchi–Elgot–Trakhtenbrot warm-up used in the
+  paper's intuition (:mod:`repro.automata.word_automaton`),
+* a catalogue of automata for standard MSO tree properties, each paired with
+  an independent combinatorial checker (:mod:`repro.automata.catalog`),
+* a generic compiler from FO sentences to tree automata based on
+  quantifier-rank types (:mod:`repro.automata.mso_compile`), the constructive
+  stand-in for the non-constructive logic-to-automata correspondence the
+  paper invokes (see DESIGN.md §4).
+"""
+
+from repro.automata.presburger import (
+    AlwaysTrue,
+    ConstraintAnd,
+    ConstraintNot,
+    ConstraintOr,
+    CountAtLeast,
+    CountAtMost,
+    CountExactly,
+    UOPConstraint,
+)
+from repro.automata.tree_automaton import UOPTreeAutomaton, AutomatonRun
+from repro.automata.word_automaton import WordAutomaton
+from repro.automata import catalog
+from repro.automata.mso_compile import compile_fo_sentence_to_automaton
+
+__all__ = [
+    "AlwaysTrue",
+    "ConstraintAnd",
+    "ConstraintNot",
+    "ConstraintOr",
+    "CountAtLeast",
+    "CountAtMost",
+    "CountExactly",
+    "UOPConstraint",
+    "UOPTreeAutomaton",
+    "AutomatonRun",
+    "WordAutomaton",
+    "catalog",
+    "compile_fo_sentence_to_automaton",
+]

@@ -1,0 +1,233 @@
+"""A catalogue of UOP tree automata for classic MSO properties of trees.
+
+The paper's Theorem 2.2 is generic ("any MSO formula"), but its proof goes
+through a tree automaton for the formula.  This catalogue provides concrete
+automata for properties that are genuinely interesting on trees, each paired
+with an independent combinatorial checker used by the tests and experiments
+to validate the automaton (and hence, end to end, the certification built on
+top of it).
+
+All automata here work on unlabelled rooted trees (label ``•``), the setting
+of the paper's structural properties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Tuple
+
+import networkx as nx
+
+from repro.automata.presburger import (
+    AlwaysTrue,
+    ConstraintAnd,
+    ConstraintNot,
+    CountAtLeast,
+    CountAtMost,
+    CountExactly,
+    UOPConstraint,
+    conjunction,
+    disjunction,
+)
+from repro.automata.tree_automaton import DEFAULT_LABEL, UOPTreeAutomaton
+
+Vertex = Hashable
+RootedChecker = Callable[[nx.Graph, Vertex], bool]
+
+
+def perfect_matching_automaton() -> UOPTreeAutomaton:
+    """Accepts rooted trees that admit a perfect matching.
+
+    States: ``M`` — the vertex is matched to one of its children inside its
+    subtree, and the subtree is perfectly matched; ``U`` — the vertex is
+    unmatched but all strict descendants are matched.  A vertex can take
+    state ``U`` when every child is ``M``; it can take state ``M`` when
+    exactly one child is ``U`` and the rest are ``M``.  The root must be ``M``.
+    """
+    transitions: Dict[Tuple[str, str], UOPConstraint] = {
+        ("U", DEFAULT_LABEL): CountAtMost("U", 0),
+        ("M", DEFAULT_LABEL): CountExactly("U", 1),
+    }
+    return UOPTreeAutomaton(
+        name="perfect-matching",
+        states=("U", "M"),
+        accepting=frozenset({"M"}),
+        transitions=transitions,
+    )
+
+
+def check_perfect_matching(tree: nx.Graph, root: Vertex) -> bool:
+    """Independent checker: maximum matching covers all vertices."""
+    matching = nx.max_weight_matching(tree, maxcardinality=True)
+    return 2 * len(matching) == tree.number_of_nodes()
+
+
+def height_at_most_automaton(h: int) -> UOPTreeAutomaton:
+    """Accepts rooted trees of height at most ``h`` (a single vertex has height 0).
+
+    State ``i`` means "the subtree has height exactly i"; it requires at least
+    one child of state ``i-1`` and no child of state ``≥ i``.  Since states
+    stop at ``h``, a subtree of height larger than ``h`` has no valid state and
+    the automaton rejects.
+    """
+    if h < 0:
+        raise ValueError("h must be non-negative")
+    states = tuple(range(h + 1))
+    transitions: Dict[Tuple[int, str], UOPConstraint] = {}
+    for height in states:
+        if height == 0:
+            constraint: UOPConstraint = conjunction(
+                *(CountAtMost(s, 0) for s in states)
+            )
+        else:
+            constraint = conjunction(
+                CountAtLeast(height - 1, 1),
+                *(CountAtMost(s, 0) for s in states if s >= height),
+            )
+        transitions[(height, DEFAULT_LABEL)] = constraint
+    return UOPTreeAutomaton(
+        name=f"height<={h}",
+        states=states,
+        accepting=frozenset(states),
+        transitions=transitions,
+    )
+
+
+def check_height_at_most(tree: nx.Graph, root: Vertex, h: int) -> bool:
+    """Independent checker: eccentricity of the root is at most ``h``."""
+    lengths = nx.single_source_shortest_path_length(tree, root)
+    return max(lengths.values()) <= h
+
+
+def height_exactly_automaton(h: int) -> UOPTreeAutomaton:
+    """Accepts rooted trees of height exactly ``h``."""
+    automaton = height_at_most_automaton(h)
+    return UOPTreeAutomaton(
+        name=f"height=={h}",
+        states=automaton.states,
+        accepting=frozenset({h}),
+        transitions=dict(automaton.transitions),
+    )
+
+
+def max_children_at_most_automaton(d: int) -> UOPTreeAutomaton:
+    """Accepts rooted trees in which every vertex has at most ``d`` children."""
+    if d < 0:
+        raise ValueError("d must be non-negative")
+    transitions: Dict[Tuple[str, str], UOPConstraint] = {
+        ("ok", DEFAULT_LABEL): CountAtMost("ok", d),
+    }
+    return UOPTreeAutomaton(
+        name=f"max-children<={d}",
+        states=("ok",),
+        accepting=frozenset({"ok"}),
+        transitions=transitions,
+    )
+
+
+def check_max_children_at_most(tree: nx.Graph, root: Vertex, d: int) -> bool:
+    lengths = nx.single_source_shortest_path_length(tree, root)
+    for vertex in tree.nodes():
+        children = [
+            w for w in tree.neighbors(vertex) if lengths[w] == lengths[vertex] + 1
+        ]
+        if len(children) > d:
+            return False
+    return True
+
+
+def has_vertex_with_children_automaton(d: int) -> UOPTreeAutomaton:
+    """Accepts rooted trees containing a vertex with at least ``d`` children."""
+    if d < 1:
+        raise ValueError("d must be at least 1")
+    found_here = disjunction(CountAtLeast("found", 1), CountAtLeast("not", d))
+    transitions: Dict[Tuple[str, str], UOPConstraint] = {
+        ("found", DEFAULT_LABEL): found_here,
+        ("not", DEFAULT_LABEL): ConstraintAnd(
+            CountAtMost("found", 0), CountAtMost("not", d - 1)
+        ),
+    }
+    return UOPTreeAutomaton(
+        name=f"some-vertex-has>={d}-children",
+        states=("found", "not"),
+        accepting=frozenset({"found"}),
+        transitions=transitions,
+    )
+
+
+def check_has_vertex_with_children(tree: nx.Graph, root: Vertex, d: int) -> bool:
+    lengths = nx.single_source_shortest_path_length(tree, root)
+    for vertex in tree.nodes():
+        children = [
+            w for w in tree.neighbors(vertex) if lengths[w] == lengths[vertex] + 1
+        ]
+        if len(children) >= d:
+            return True
+    return False
+
+
+def all_leaves_at_even_depth_automaton() -> UOPTreeAutomaton:
+    """Accepts rooted trees in which every leaf is at even distance from the root.
+
+    The state of a vertex records the set of parities of the distances from
+    the vertex down to the leaves of its subtree: ``"even"``, ``"odd"`` or
+    ``"both"``.  A leaf is ``"even"`` (distance 0 to itself).  An internal
+    vertex is ``"even"`` when every child is ``"odd"``; ``"odd"`` when every
+    child is ``"even"``; ``"both"`` otherwise.  The root accepts on ``"even"``.
+    """
+    leaf = conjunction(
+        CountAtMost("even", 0), CountAtMost("odd", 0), CountAtMost("both", 0)
+    )
+    has_children = disjunction(
+        CountAtLeast("even", 1), CountAtLeast("odd", 1), CountAtLeast("both", 1)
+    )
+    only_odd_children = conjunction(CountAtMost("even", 0), CountAtMost("both", 0))
+    only_even_children = conjunction(CountAtMost("odd", 0), CountAtMost("both", 0))
+    transitions: Dict[Tuple[str, str], UOPConstraint] = {
+        ("even", DEFAULT_LABEL): disjunction(
+            leaf, ConstraintAnd(has_children, only_odd_children)
+        ),
+        ("odd", DEFAULT_LABEL): ConstraintAnd(has_children, only_even_children),
+        ("both", DEFAULT_LABEL): ConstraintAnd(
+            has_children,
+            ConstraintNot(only_odd_children) & ConstraintNot(only_even_children),
+        ),
+    }
+    return UOPTreeAutomaton(
+        name="all-leaves-at-even-depth",
+        states=("even", "odd", "both"),
+        accepting=frozenset({"even"}),
+        transitions=transitions,
+    )
+
+
+def check_all_leaves_at_even_depth(tree: nx.Graph, root: Vertex) -> bool:
+    lengths = nx.single_source_shortest_path_length(tree, root)
+    for vertex in tree.nodes():
+        is_leaf = tree.degree(vertex) == 1 and vertex != root
+        if tree.number_of_nodes() == 1:
+            is_leaf = True
+        if is_leaf and lengths[vertex] % 2 == 1:
+            return False
+    return True
+
+
+CATALOG: Dict[str, Tuple[Callable[[], UOPTreeAutomaton], RootedChecker]] = {
+    "perfect_matching": (perfect_matching_automaton, check_perfect_matching),
+    "height_at_most_3": (
+        lambda: height_at_most_automaton(3),
+        lambda tree, root: check_height_at_most(tree, root, 3),
+    ),
+    "max_children_at_most_2": (
+        lambda: max_children_at_most_automaton(2),
+        lambda tree, root: check_max_children_at_most(tree, root, 2),
+    ),
+    "has_vertex_with_3_children": (
+        lambda: has_vertex_with_children_automaton(3),
+        lambda tree, root: check_has_vertex_with_children(tree, root, 3),
+    ),
+    "all_leaves_at_even_depth": (
+        all_leaves_at_even_depth_automaton,
+        check_all_leaves_at_even_depth,
+    ),
+}
+"""Automaton factories paired with combinatorial checkers (for cross-validation)."""

@@ -1,0 +1,211 @@
+"""Compiling FO sentences on trees into type-based tree automata.
+
+The paper invokes the (non-constructive, non-elementary) logic-to-automata
+correspondence of Thatcher–Wright / Boneva–Talbot.  As documented in
+DESIGN.md §4, we substitute a *rank-type construction* that is constructive
+and practical for small quantifier rank:
+
+* the state of a rooted subtree is its equivalence class under
+  :math:`\\simeq_q` (same FO sentences of quantifier rank ``q``, with the
+  root as a distinguished element), decided by an exact Ehrenfeucht–Fraïssé
+  game in which the roots are pre-played;
+* by the standard threshold/composition argument (the same counting argument
+  as Proposition 6.3 with ``k = q``), the class of a vertex is determined by
+  its label and the *multiset of the classes of its children clipped at*
+  ``q`` — so the transition relation is computable from small representative
+  trees;
+* a class is accepting when its representative satisfies the sentence
+  (checked by the exact model checker).
+
+The resulting :class:`TypeTreeAutomaton` exposes the same local-checking
+interface as :class:`~repro.automata.tree_automaton.UOPTreeAutomaton`
+(``check_local``), which is all the certification of Theorem 2.2 needs: the
+certificate of a vertex is its state, and the verifier re-derives the state
+from the children's states and checks acceptance at the root.
+
+The construction is exponential in the quantifier rank (EF games are), so it
+is intended for rank ≤ 3 sentences; the catalogue of hand-built UOP automata
+(:mod:`repro.automata.catalog`) covers richer properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.logic.ef_games import duplicator_wins
+from repro.logic.semantics import evaluate
+from repro.logic.structure import quantifier_depth, is_first_order
+from repro.logic.syntax import Formula
+
+Vertex = Hashable
+StateId = int
+
+
+@dataclass
+class _ClassInfo:
+    """A discovered ≃_q class: its representative rooted tree and acceptance."""
+
+    representative: nx.Graph
+    root: Vertex
+    accepting: bool
+
+
+@dataclass
+class TypeTreeAutomaton:
+    """A tree automaton whose states are quantifier-rank types of rooted trees."""
+
+    formula: Formula
+    rank: int
+    threshold: int
+    _classes: List[_ClassInfo] = field(default_factory=list)
+    _transition_cache: Dict[Tuple[Tuple[StateId, int], ...], StateId] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # State discovery
+    # ------------------------------------------------------------------
+
+    def _equivalent(self, tree_a: nx.Graph, root_a: Vertex, info: _ClassInfo) -> bool:
+        return duplicator_wins(
+            tree_a, info.representative, self.rank, initial_a=(root_a,), initial_b=(info.root,)
+        )
+
+    def _classify_representative(self, tree: nx.Graph, root: Vertex) -> StateId:
+        for state_id, info in enumerate(self._classes):
+            if self._equivalent(tree, root, info):
+                return state_id
+        accepting = evaluate(tree, self.formula, {})
+        self._classes.append(
+            _ClassInfo(representative=tree.copy(), root=root, accepting=accepting)
+        )
+        return len(self._classes) - 1
+
+    def _clip(self, child_states: Sequence[StateId]) -> Tuple[Tuple[StateId, int], ...]:
+        counts: Dict[StateId, int] = {}
+        for state in child_states:
+            counts[state] = counts.get(state, 0) + 1
+        return tuple(
+            sorted((state, min(count, self.threshold)) for state, count in counts.items())
+        )
+
+    def transition(self, child_states: Sequence[StateId]) -> StateId:
+        """State of a vertex whose children have the given states."""
+        key = self._clip(child_states)
+        if key in self._transition_cache:
+            return self._transition_cache[key]
+        representative, root = self._build_representative(key)
+        state = self._classify_representative(representative, root)
+        self._transition_cache[key] = state
+        return state
+
+    def _build_representative(
+        self, clipped: Tuple[Tuple[StateId, int], ...]
+    ) -> Tuple[nx.Graph, Vertex]:
+        """A fresh rooted tree: a new root with clipped copies of child representatives."""
+        tree = nx.Graph()
+        root = 0
+        tree.add_node(root)
+        next_label = 1
+        for state, count in clipped:
+            info = self._classes[state]
+            for _ in range(count):
+                mapping = {}
+                for vertex in info.representative.nodes():
+                    mapping[vertex] = next_label
+                    next_label += 1
+                tree.add_nodes_from(mapping.values())
+                tree.add_edges_from(
+                    (mapping[u], mapping[v]) for u, v in info.representative.edges()
+                )
+                tree.add_edge(root, mapping[info.root])
+        return tree, root
+
+    # ------------------------------------------------------------------
+    # Whole-tree evaluation and local checking
+    # ------------------------------------------------------------------
+
+    def state_of_tree(self, tree: nx.Graph, root: Vertex) -> StateId:
+        """State (≃_rank class) of the whole rooted tree, computed bottom-up."""
+        order = [root]
+        parents: Dict[Vertex, Optional[Vertex]] = {root: None}
+        queue = [root]
+        while queue:
+            current = queue.pop(0)
+            for neighbor in sorted(tree.neighbors(current), key=repr):
+                if neighbor not in parents:
+                    parents[neighbor] = current
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        states: Dict[Vertex, StateId] = {}
+        for vertex in reversed(order):
+            children = [w for w in tree.neighbors(vertex) if parents.get(w) == vertex]
+            states[vertex] = self.transition([states[c] for c in children])
+        return states[root]
+
+    def run(self, tree: nx.Graph, root: Vertex) -> Dict[Vertex, StateId]:
+        """State of every vertex of the rooted tree (the honest certificate)."""
+        order = [root]
+        parents: Dict[Vertex, Optional[Vertex]] = {root: None}
+        queue = [root]
+        while queue:
+            current = queue.pop(0)
+            for neighbor in sorted(tree.neighbors(current), key=repr):
+                if neighbor not in parents:
+                    parents[neighbor] = current
+                    order.append(neighbor)
+                    queue.append(neighbor)
+        states: Dict[Vertex, StateId] = {}
+        for vertex in reversed(order):
+            children = [w for w in tree.neighbors(vertex) if parents.get(w) == vertex]
+            states[vertex] = self.transition([states[c] for c in children])
+        return states
+
+    def accepts(self, tree: nx.Graph, root: Vertex) -> bool:
+        return self.is_accepting(self.state_of_tree(tree, root))
+
+    def is_accepting(self, state: StateId) -> bool:
+        return self._classes[state].accepting
+
+    def check_local(
+        self, state: StateId, children_states: Sequence[StateId], is_root: bool = False
+    ) -> bool:
+        """The distributed verifier's test: the claimed state must equal the
+        state derived from the children's claimed states (and be accepting at
+        the root)."""
+        if state >= len(self._classes) or state < 0:
+            return False
+        if any(s >= len(self._classes) or s < 0 for s in children_states):
+            return False
+        derived = self.transition(children_states)
+        if derived != state:
+            return False
+        if is_root and not self.is_accepting(state):
+            return False
+        return True
+
+    @property
+    def state_count(self) -> int:
+        return len(self._classes)
+
+
+def compile_fo_sentence_to_automaton(
+    formula: Formula, rank: int | None = None, threshold: int | None = None
+) -> TypeTreeAutomaton:
+    """Compile an FO sentence into a :class:`TypeTreeAutomaton`.
+
+    ``rank`` defaults to the quantifier depth of the sentence; ``threshold``
+    defaults to ``max(rank, 1)``.
+    """
+    if not is_first_order(formula):
+        raise ValueError(
+            "the generic compiler handles FO sentences; genuinely second-order "
+            "properties are covered by the hand-built catalogue "
+            "(repro.automata.catalog) — see DESIGN.md §4"
+        )
+    rank = quantifier_depth(formula) if rank is None else rank
+    threshold = max(rank, 1) if threshold is None else threshold
+    return TypeTreeAutomaton(formula=formula, rank=rank, threshold=threshold)

@@ -1,0 +1,154 @@
+"""Unary ordering Presburger (UOP) constraints (Appendix C.2).
+
+A UOP constraint is a boolean combination of *unary* atomic constraints, each
+comparing the number of children in one given state to an integer constant
+(``y_q ≤ c`` / ``y_q ≥ c``).  Constraints of this restricted shape are what
+make UOP tree automata capture exactly MSO on trees: they can count children
+per state only up to fixed thresholds, never compare two counts to each
+other (that would be full Presburger, strictly more expressive than MSO) and
+never test parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Mapping
+
+State = Hashable
+
+
+class UOPConstraint:
+    """Base class for constraints over multisets of states."""
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        raise NotImplementedError
+
+    def constants(self) -> Iterator[int]:
+        """Yield every integer constant appearing in the constraint."""
+        raise NotImplementedError
+
+    def __and__(self, other: "UOPConstraint") -> "ConstraintAnd":
+        return ConstraintAnd(self, other)
+
+    def __or__(self, other: "UOPConstraint") -> "ConstraintOr":
+        return ConstraintOr(self, other)
+
+    def __invert__(self) -> "ConstraintNot":
+        return ConstraintNot(self)
+
+
+@dataclass(frozen=True)
+class AlwaysTrue(UOPConstraint):
+    """The trivially satisfied constraint."""
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        return True
+
+    def constants(self) -> Iterator[int]:
+        return iter(())
+
+
+@dataclass(frozen=True)
+class CountAtLeast(UOPConstraint):
+    """``y_state ≥ bound``: at least ``bound`` children are in ``state``."""
+
+    state: State
+    bound: int
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        return counts.get(self.state, 0) >= self.bound
+
+    def constants(self) -> Iterator[int]:
+        yield self.bound
+
+
+@dataclass(frozen=True)
+class CountAtMost(UOPConstraint):
+    """``y_state ≤ bound``: at most ``bound`` children are in ``state``."""
+
+    state: State
+    bound: int
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        return counts.get(self.state, 0) <= self.bound
+
+    def constants(self) -> Iterator[int]:
+        yield self.bound
+
+
+@dataclass(frozen=True)
+class CountExactly(UOPConstraint):
+    """``y_state = bound`` (definable as a conjunction of the two atoms above)."""
+
+    state: State
+    bound: int
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        return counts.get(self.state, 0) == self.bound
+
+    def constants(self) -> Iterator[int]:
+        yield self.bound
+
+
+@dataclass(frozen=True)
+class ConstraintNot(UOPConstraint):
+    operand: UOPConstraint
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        return not self.operand.evaluate(counts)
+
+    def constants(self) -> Iterator[int]:
+        return self.operand.constants()
+
+
+@dataclass(frozen=True)
+class ConstraintAnd(UOPConstraint):
+    left: UOPConstraint
+    right: UOPConstraint
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        return self.left.evaluate(counts) and self.right.evaluate(counts)
+
+    def constants(self) -> Iterator[int]:
+        yield from self.left.constants()
+        yield from self.right.constants()
+
+
+@dataclass(frozen=True)
+class ConstraintOr(UOPConstraint):
+    left: UOPConstraint
+    right: UOPConstraint
+
+    def evaluate(self, counts: Mapping[State, int]) -> bool:
+        return self.left.evaluate(counts) or self.right.evaluate(counts)
+
+    def constants(self) -> Iterator[int]:
+        yield from self.left.constants()
+        yield from self.right.constants()
+
+
+def leaf_constraint(states: Iterator[State] | list[State] | tuple[State, ...]) -> UOPConstraint:
+    """Constraint satisfied exactly by leaves: zero children in every state.
+
+    "Total number of children" is not itself a unary count, but with a known
+    finite state set it is the conjunction of ``y_q ≤ 0`` over all states.
+    """
+    return conjunction(*(CountAtMost(state, 0) for state in states))
+
+
+def conjunction(*constraints: UOPConstraint) -> UOPConstraint:
+    """Conjunction of any number of constraints (AlwaysTrue when empty)."""
+    result: UOPConstraint = AlwaysTrue()
+    for constraint in constraints:
+        result = ConstraintAnd(result, constraint) if not isinstance(result, AlwaysTrue) else constraint
+    return result
+
+
+def disjunction(*constraints: UOPConstraint) -> UOPConstraint:
+    """Disjunction of any number of constraints (AlwaysTrue when empty)."""
+    if not constraints:
+        return AlwaysTrue()
+    result = constraints[0]
+    for constraint in constraints[1:]:
+        result = ConstraintOr(result, constraint)
+    return result

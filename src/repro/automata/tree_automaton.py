@@ -1,0 +1,266 @@
+"""UOP tree automata on unordered, unranked rooted trees.
+
+An automaton is a quadruple ``(states, labels, delta, accepting)`` where
+``delta`` maps a (state, label) pair to a :class:`UOPConstraint` over the
+multiset of children states (Appendix C.2).  A *run* assigns a state to every
+vertex of a rooted tree so that at each vertex the constraint of its state
+and label is satisfied by the states of its children; the run accepts when
+the root's state is accepting.
+
+The accepting-run search is a bottom-up dynamic program over *clipped count
+vectors*: since UOP constraints only compare per-state counts to constants,
+counts can be clipped at (max constant + 1) without changing any constraint's
+value, which keeps the DP polynomial for a fixed automaton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.automata.presburger import UOPConstraint
+
+State = Hashable
+Label = Hashable
+Vertex = Hashable
+
+DEFAULT_LABEL = "•"
+"""Label given to every vertex when the tree is unlabelled (the common case
+in this paper: properties of the bare tree structure)."""
+
+
+@dataclass(frozen=True)
+class AutomatonRun:
+    """A successful run: the state assigned to every vertex."""
+
+    states: Mapping[Vertex, State]
+    root: Vertex
+
+    def state_of(self, vertex: Vertex) -> State:
+        return self.states[vertex]
+
+
+@dataclass(frozen=True)
+class UOPTreeAutomaton:
+    """A unary ordering Presburger tree automaton."""
+
+    name: str
+    states: Tuple[State, ...]
+    accepting: FrozenSet[State]
+    transitions: Mapping[Tuple[State, Label], UOPConstraint]
+    labels: Tuple[Label, ...] = (DEFAULT_LABEL,)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.accepting) - set(self.states)
+        if unknown:
+            raise ValueError(f"accepting states {unknown} are not states")
+        for state, label in self.transitions:
+            if state not in self.states:
+                raise ValueError(f"transition uses unknown state {state!r}")
+            if label not in self.labels:
+                raise ValueError(f"transition uses unknown label {label!r}")
+
+    # ------------------------------------------------------------------
+    # Run checking and search
+    # ------------------------------------------------------------------
+
+    def constraint(self, state: State, label: Label) -> Optional[UOPConstraint]:
+        return self.transitions.get((state, label))
+
+    def _clip_cap(self) -> int:
+        cap = 0
+        for constraint in self.transitions.values():
+            for constant in constraint.constants():
+                cap = max(cap, constant)
+        return cap + 1
+
+    def check_run(
+        self,
+        tree: nx.Graph,
+        root: Vertex,
+        states: Mapping[Vertex, State],
+        labels: Mapping[Vertex, Label] | None = None,
+    ) -> bool:
+        """Verify that ``states`` is an accepting run on ``tree`` rooted at ``root``."""
+        labels = labels or {}
+        if states.get(root) not in self.accepting:
+            return False
+        order = _bfs_order(tree, root)
+        parents = _parents(tree, root, order)
+        for vertex in order:
+            children = [w for w in tree.neighbors(vertex) if parents.get(vertex) != w]
+            counts: Dict[State, int] = {}
+            for child in children:
+                counts[states[child]] = counts.get(states[child], 0) + 1
+            label = labels.get(vertex, DEFAULT_LABEL)
+            constraint = self.constraint(states[vertex], label)
+            if constraint is None or not constraint.evaluate(counts):
+                return False
+        return True
+
+    def check_local(
+        self,
+        state: State,
+        label: Label,
+        children_states: Sequence[State],
+        is_root: bool = False,
+    ) -> bool:
+        """Check one vertex of a run — exactly the test the distributed
+        verifier of Theorem 2.2 performs at each node."""
+        constraint = self.constraint(state, label)
+        if constraint is None:
+            return False
+        counts: Dict[State, int] = {}
+        for child_state in children_states:
+            counts[child_state] = counts.get(child_state, 0) + 1
+        if not constraint.evaluate(counts):
+            return False
+        if is_root and state not in self.accepting:
+            return False
+        return True
+
+    def possible_states(
+        self,
+        tree: nx.Graph,
+        root: Vertex,
+        labels: Mapping[Vertex, Label] | None = None,
+    ) -> Dict[Vertex, FrozenSet[State]]:
+        """For every vertex, the set of states some run of its subtree can assign it."""
+        labels = labels or {}
+        cap = self._clip_cap()
+        order = _bfs_order(tree, root)
+        parents = _parents(tree, root, order)
+        possible: Dict[Vertex, FrozenSet[State]] = {}
+        for vertex in reversed(order):
+            children = [w for w in tree.neighbors(vertex) if parents.get(vertex) != w]
+            label = labels.get(vertex, DEFAULT_LABEL)
+            feasible = []
+            for state in self.states:
+                constraint = self.constraint(state, label)
+                if constraint is None:
+                    continue
+                if self._children_can_satisfy(constraint, [possible[c] for c in children], cap):
+                    feasible.append(state)
+            possible[vertex] = frozenset(feasible)
+        return possible
+
+    def _children_can_satisfy(
+        self,
+        constraint: UOPConstraint,
+        children_options: Sequence[FrozenSet[State]],
+        cap: int,
+    ) -> bool:
+        """Is there a choice of one state per child satisfying ``constraint``?"""
+        return self._find_child_assignment(constraint, children_options, cap) is not None
+
+    def _find_child_assignment(
+        self,
+        constraint: UOPConstraint,
+        children_options: Sequence[FrozenSet[State]],
+        cap: int,
+    ) -> Optional[Tuple[State, ...]]:
+        """One state per child satisfying ``constraint``, or None.
+
+        DP over clipped count vectors; parent pointers recover a witness.
+        """
+        state_index = {state: i for i, state in enumerate(self.states)}
+        initial = tuple(0 for _ in self.states)
+        # vector -> (previous vector, state chosen for the last child)
+        layers: list[Dict[Tuple[int, ...], Tuple[Optional[Tuple[int, ...]], Optional[State]]]] = [
+            {initial: (None, None)}
+        ]
+        for options in children_options:
+            previous_layer = layers[-1]
+            next_layer: Dict[Tuple[int, ...], Tuple[Optional[Tuple[int, ...]], Optional[State]]] = {}
+            for vector in previous_layer:
+                for state in options:
+                    index = state_index[state]
+                    new_count = min(vector[index] + 1, cap)
+                    new_vector = vector[:index] + (new_count,) + vector[index + 1 :]
+                    if new_vector not in next_layer:
+                        next_layer[new_vector] = (vector, state)
+            layers.append(next_layer)
+        for vector in layers[-1]:
+            counts = {state: vector[state_index[state]] for state in self.states}
+            if constraint.evaluate(counts):
+                # Walk parent pointers back to recover the assignment.
+                assignment: list[State] = []
+                current = vector
+                for layer in reversed(layers[1:]):
+                    previous, state = layer[current]
+                    assignment.append(state)
+                    current = previous
+                assignment.reverse()
+                return tuple(assignment)
+        return None
+
+    def accepting_run(
+        self,
+        tree: nx.Graph,
+        root: Vertex,
+        labels: Mapping[Vertex, Label] | None = None,
+    ) -> Optional[AutomatonRun]:
+        """Find an accepting run on the rooted tree, or None if it is rejected."""
+        labels = labels or {}
+        possible = self.possible_states(tree, root, labels)
+        root_states = [state for state in possible[root] if state in self.accepting]
+        if not root_states:
+            return None
+        cap = self._clip_cap()
+        order = _bfs_order(tree, root)
+        parents = _parents(tree, root, order)
+        assignment: Dict[Vertex, State] = {root: root_states[0]}
+        for vertex in order:
+            children = [w for w in tree.neighbors(vertex) if parents.get(vertex) != w]
+            if not children:
+                continue
+            label = labels.get(vertex, DEFAULT_LABEL)
+            constraint = self.constraint(assignment[vertex], label)
+            if constraint is None:
+                return None
+            witness = self._find_child_assignment(
+                constraint, [possible[c] for c in children], cap
+            )
+            if witness is None:
+                return None
+            for child, state in zip(children, witness):
+                assignment[child] = state
+        return AutomatonRun(states=assignment, root=root)
+
+    def accepts(
+        self,
+        tree: nx.Graph,
+        root: Vertex,
+        labels: Mapping[Vertex, Label] | None = None,
+    ) -> bool:
+        """Does the automaton accept the rooted (optionally labelled) tree?"""
+        return self.accepting_run(tree, root, labels) is not None
+
+
+def _bfs_order(tree: nx.Graph, root: Vertex) -> list[Vertex]:
+    order = [root]
+    seen = {root}
+    queue = [root]
+    while queue:
+        current = queue.pop(0)
+        for neighbor in sorted(tree.neighbors(current), key=repr):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    if len(order) != tree.number_of_nodes():
+        raise ValueError("the input graph is not connected (not a tree)")
+    return order
+
+
+def _parents(tree: nx.Graph, root: Vertex, order: Sequence[Vertex]) -> Dict[Vertex, Vertex]:
+    parents: Dict[Vertex, Vertex] = {}
+    seen = {root}
+    for vertex in order:
+        for neighbor in sorted(tree.neighbors(vertex), key=repr):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                parents[neighbor] = vertex
+    return parents

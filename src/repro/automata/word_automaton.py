@@ -1,0 +1,100 @@
+"""Finite automata on words, seen as labelled directed paths.
+
+Section 4 motivates the tree-automaton certification with the word case: a
+word is accepted by a finite automaton iff its vertices (positions) can be
+labelled with states of an accepting run, and this labelling can be verified
+locally — each position checks one transition.  This module provides the
+small DFA machinery used by that warm-up and by the corresponding tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Sequence, Tuple
+
+State = Hashable
+Letter = Hashable
+
+
+@dataclass(frozen=True)
+class WordAutomaton:
+    """A deterministic finite automaton over a finite alphabet."""
+
+    name: str
+    states: Tuple[State, ...]
+    alphabet: Tuple[Letter, ...]
+    initial: State
+    accepting: FrozenSet[State]
+    transitions: Dict[Tuple[State, Letter], State]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise ValueError("initial state is not a state")
+        if not set(self.accepting) <= set(self.states):
+            raise ValueError("accepting states must be states")
+        for (state, letter), target in self.transitions.items():
+            if state not in self.states or target not in self.states:
+                raise ValueError("transition uses unknown state")
+            if letter not in self.alphabet:
+                raise ValueError("transition uses unknown letter")
+
+    def step(self, state: State, letter: Letter) -> State | None:
+        return self.transitions.get((state, letter))
+
+    def accepts(self, word: Sequence[Letter]) -> bool:
+        """Run the DFA on ``word``."""
+        state = self.initial
+        for letter in word:
+            state = self.step(state, letter)
+            if state is None:
+                return False
+        return state in self.accepting
+
+    def run_states(self, word: Sequence[Letter]) -> list[State] | None:
+        """The sequence of states visited (length ``len(word)+1``), or None."""
+        states = [self.initial]
+        for letter in word:
+            next_state = self.step(states[-1], letter)
+            if next_state is None:
+                return None
+            states.append(next_state)
+        if states[-1] not in self.accepting:
+            return None
+        return states
+
+    def check_transition(self, state: State, letter: Letter, next_state: State) -> bool:
+        """The local test a position performs when verifying a certified run."""
+        return self.step(state, letter) == next_state
+
+
+def even_number_of_ones() -> WordAutomaton:
+    """DFA over {0,1} accepting words with an even number of 1s."""
+    return WordAutomaton(
+        name="even-ones",
+        states=("even", "odd"),
+        alphabet=(0, 1),
+        initial="even",
+        accepting=frozenset({"even"}),
+        transitions={
+            ("even", 0): "even",
+            ("even", 1): "odd",
+            ("odd", 0): "odd",
+            ("odd", 1): "even",
+        },
+    )
+
+
+def no_two_consecutive_ones() -> WordAutomaton:
+    """DFA over {0,1} accepting words with no factor ``11``."""
+    return WordAutomaton(
+        name="no-11",
+        states=("start", "after-one"),
+        alphabet=(0, 1),
+        initial="start",
+        accepting=frozenset({"start", "after-one"}),
+        transitions={
+            ("start", 0): "start",
+            ("start", 1): "after-one",
+            ("after-one", 0): "start",
+        },
+    )

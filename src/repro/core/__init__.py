@@ -1,0 +1,84 @@
+"""The paper's primary contribution: local certification schemes.
+
+Every scheme implements the :class:`~repro.core.scheme.CertificationScheme`
+interface — an honest prover (``prove``) assigning byte-string certificates,
+and a radius-1 verifier (``verify``) run at every node by the
+:class:`~repro.network.simulator.NetworkSimulator`.
+
+Schemes provided (theorem numbers refer to the paper):
+
+========================================  =============================  ==================
+Scheme                                    Property                        Certificate size
+========================================  =============================  ==================
+:class:`UniversalScheme`                  any decidable property          O(n² + n log n)
+:class:`TreeScheme`                       the graph is a tree             O(log n)
+:class:`SpanningTreeCountScheme`          vertex count (Prop. 3.4)        O(log n)
+:class:`ExistentialFOScheme`              existential FO (Lemma 2.1)      O(k log n)
+:class:`CliqueScheme`                     the graph is a clique           O(log n)
+:class:`DominatingVertexScheme`           ∃ dominating vertex             O(log n)
+:class:`MSOTreeScheme`                    MSO on trees (Thm 2.2)          O(1)
+:class:`TreedepthScheme`                  treedepth ≤ t (Thm 2.4)         O(t log n)
+:class:`MSOTreedepthScheme`               MSO/FO, treedepth ≤ t (Thm 2.6) O(t log n + f(t,φ))
+:class:`PathMinorFreeScheme`              P_t-minor-free (Cor 2.7)        O(log n)
+:class:`CycleMinorFreeScheme`             C_t-minor-free (Cor 2.7)        O(log n)
+:class:`TreeDecompositionScheme`          treewidth ≤ k (§2.4 follow-up)  O(d·k·log n)
+:class:`TreeDiameterScheme`               tree diameter ≤ D (§2.3)        O(log n)
+:class:`BipartitenessScheme`              the graph is bipartite          O(1)
+:class:`ProperColoringScheme`             the graph is c-colourable       O(log c)
+:class:`PerfectMatchingWitnessScheme`     ∃ perfect matching              O(log n)
+:class:`MaxDegreeScheme`                  max degree ≤ d                  0 bits
+========================================  =============================  ==================
+"""
+
+from repro.core.scheme import (
+    CertificationScheme,
+    SchemeEvaluation,
+    evaluate_scheme,
+    exhaustive_soundness_holds,
+)
+from repro.core.encoding import CertificateReader, CertificateWriter
+from repro.core.spanning_tree import SpanningTreeCountScheme, TreeScheme
+from repro.core.universal import UniversalScheme
+from repro.core.fragments import (
+    CliqueScheme,
+    DominatingVertexScheme,
+    ExistentialFOScheme,
+)
+from repro.core.mso_trees import MSOTreeScheme
+from repro.core.treedepth_scheme import TreedepthScheme
+from repro.core.mso_treedepth_scheme import MSOTreedepthScheme
+from repro.core.minor_free import CycleMinorFreeScheme, PathMinorFreeScheme
+from repro.core.treewidth_scheme import TreeDecompositionScheme
+from repro.core.diameter import TreeDiameterScheme
+from repro.core.simple_schemes import (
+    BipartitenessScheme,
+    MaxDegreeScheme,
+    PerfectMatchingWitnessScheme,
+    ProperColoringScheme,
+)
+
+__all__ = [
+    "CertificationScheme",
+    "SchemeEvaluation",
+    "evaluate_scheme",
+    "exhaustive_soundness_holds",
+    "CertificateReader",
+    "CertificateWriter",
+    "SpanningTreeCountScheme",
+    "TreeScheme",
+    "UniversalScheme",
+    "CliqueScheme",
+    "DominatingVertexScheme",
+    "ExistentialFOScheme",
+    "MSOTreeScheme",
+    "TreedepthScheme",
+    "MSOTreedepthScheme",
+    "PathMinorFreeScheme",
+    "CycleMinorFreeScheme",
+    "TreeDecompositionScheme",
+    "TreeDiameterScheme",
+    "BipartitenessScheme",
+    "MaxDegreeScheme",
+    "PerfectMatchingWitnessScheme",
+    "ProperColoringScheme",
+]

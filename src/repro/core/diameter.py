@@ -1,0 +1,112 @@
+"""Certifying the diameter of a tree (the Section 2.3 warm-up example).
+
+Section 2.3 observes that "certifying some given diameter is easier if we
+restrict the graphs to trees": root the tree at a central vertex and store
+at every vertex its distance to the root and the height of its subtree.
+Local distance comparisons then certify both that the graph *is* a tree and
+that its diameter is at most ``D``, with O(log n)-bit certificates — the
+paper's contrast with general graphs, where even diameter ≤ 2 needs almost
+linear certificates (the [10] lower bound quoted in Section 2.2).
+
+The verifier's four checks:
+
+1. distance orientation — the unique vertex with distance 0 is the root and
+   every other vertex has exactly one neighbour one level up; together with
+   connectivity this forces the graph to be a tree (``m = n - 1``);
+2. every edge joins consecutive levels;
+3. the announced subtree height is 0 at leaves and ``1 + max`` over children
+   elsewhere, so heights are forced bottom-up to be exact;
+4. the longest path whose topmost vertex is ``v`` — the sum of its two
+   largest child heights plus two — is at most ``D``; every path of the tree
+   is measured this way at its topmost vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.graphs.utils import ensure_connected, is_tree
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+
+Vertex = Hashable
+
+
+class TreeDiameterScheme(CertificationScheme):
+    """Certify "the graph is a tree of diameter at most D" with O(log n) bits."""
+
+    def __init__(self, diameter: int) -> None:
+        if diameter < 0:
+            raise ValueError("diameter must be non-negative")
+        self.diameter = diameter
+        self.name = f"tree-diameter<={diameter}"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        if not is_tree(graph):
+            return False
+        return nx.diameter(graph) <= self.diameter
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        if not is_tree(graph):
+            raise NotAYesInstance("the graph is not a tree")
+        if nx.diameter(graph) > self.diameter:
+            raise NotAYesInstance(
+                f"the tree has diameter {nx.diameter(graph)} > {self.diameter}"
+            )
+        root = nx.center(graph)[0]
+        distances = nx.single_source_shortest_path_length(graph, root)
+        heights = _subtree_heights(graph, root, distances)
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            writer = CertificateWriter()
+            writer.write_uint(distances[vertex])
+            writer.write_uint(heights[vertex])
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            my_distance, my_height = _decode(view.certificate)
+            neighbours = [_decode(info.certificate) for info in view.neighbors]
+        except CertificateFormatError:
+            return False
+        # Check 1 and 2: distance orientation.
+        if my_distance == 0:
+            if any(distance != 1 for distance, _ in neighbours):
+                return False
+        else:
+            parents = [d for d, _ in neighbours if d == my_distance - 1]
+            others = [d for d, _ in neighbours if d not in (my_distance - 1, my_distance + 1)]
+            if len(parents) != 1 or others:
+                return False
+        # Check 3: height is forced by the children's heights.
+        child_heights = [h for d, h in neighbours if d == my_distance + 1]
+        expected_height = 1 + max(child_heights) if child_heights else 0
+        if my_height != expected_height:
+            return False
+        # Check 4: the longest path topped at this vertex fits in the budget.
+        downward = sorted((h + 1 for h in child_heights), reverse=True)
+        through = sum(downward[:2])
+        return through <= self.diameter
+
+
+def _subtree_heights(graph: nx.Graph, root: Vertex, distances) -> dict:
+    heights = {}
+    order = sorted(graph.nodes(), key=lambda v: -distances[v])
+    for vertex in order:
+        children = [w for w in graph.neighbors(vertex) if distances[w] == distances[vertex] + 1]
+        heights[vertex] = 1 + max(heights[w] for w in children) if children else 0
+    return heights
+
+
+def _decode(certificate: bytes) -> Tuple[int, int]:
+    reader = CertificateReader(certificate)
+    distance = reader.read_uint()
+    height = reader.read_uint()
+    reader.expect_end()
+    return distance, height

@@ -1,0 +1,168 @@
+"""Compact binary encoding of certificates.
+
+Certificate sizes are the whole point of the paper, so certificates are real
+byte strings and the benchmarks measure their encoded size.  The format is a
+simple sequential one:
+
+* unsigned integers are LEB128 varints (7 bits per byte), so an identifier in
+  ``[1, n^3]`` costs ``O(log n)`` bits as the theory expects;
+* booleans are packed into the low bit of a varint;
+* byte strings and integer lists are length-prefixed.
+
+Readers are strict: reading past the end or decoding malformed data raises
+:class:`CertificateFormatError`, which verifiers translate into a rejection
+(a malformed certificate must never make a verifier crash or accept).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class CertificateFormatError(ValueError):
+    """Raised when a certificate cannot be decoded."""
+
+
+class CertificateWriter:
+    """Sequentially builds a compact byte-string certificate."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def write_uint(self, value: int) -> "CertificateWriter":
+        if value < 0:
+            raise ValueError("write_uint expects a non-negative integer")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._buffer.append(byte | 0x80)
+            else:
+                self._buffer.append(byte)
+                return self
+
+    def write_bool(self, value: bool) -> "CertificateWriter":
+        return self.write_uint(1 if value else 0)
+
+    def write_uint_list(self, values: Iterable[int]) -> "CertificateWriter":
+        values = list(values)
+        self.write_uint(len(values))
+        for value in values:
+            self.write_uint(value)
+        return self
+
+    def write_bool_list(self, values: Iterable[bool]) -> "CertificateWriter":
+        values = list(values)
+        self.write_uint(len(values))
+        packed = 0
+        for index, value in enumerate(values):
+            if value:
+                packed |= 1 << index
+        n_bytes = (len(values) + 7) // 8
+        self._buffer.extend(packed.to_bytes(n_bytes, "little"))
+        return self
+
+    def write_bytes(self, data: bytes) -> "CertificateWriter":
+        self.write_uint(len(data))
+        self._buffer.extend(data)
+        return self
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._buffer) * 8
+
+
+class CertificateReader:
+    """Sequentially decodes a certificate produced by :class:`CertificateWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._position = 0
+
+    def read_uint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self._position >= len(self._data):
+                raise CertificateFormatError("truncated varint")
+            byte = self._data[self._position]
+            self._position += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise CertificateFormatError("varint too long")
+
+    def read_bool(self) -> bool:
+        value = self.read_uint()
+        if value not in (0, 1):
+            raise CertificateFormatError(f"invalid boolean {value}")
+        return bool(value)
+
+    def read_uint_list(self) -> List[int]:
+        length = self.read_uint()
+        if length > 10_000_000:
+            raise CertificateFormatError("unreasonable list length")
+        return [self.read_uint() for _ in range(length)]
+
+    def read_bool_list(self) -> List[bool]:
+        length = self.read_uint()
+        if length > 10_000_000:
+            raise CertificateFormatError("unreasonable list length")
+        n_bytes = (length + 7) // 8
+        if self._position + n_bytes > len(self._data):
+            raise CertificateFormatError("truncated boolean list")
+        packed = int.from_bytes(self._data[self._position : self._position + n_bytes], "little")
+        self._position += n_bytes
+        return [bool(packed >> index & 1) for index in range(length)]
+
+    def read_bytes(self) -> bytes:
+        length = self.read_uint()
+        if self._position + length > len(self._data):
+            raise CertificateFormatError("truncated byte string")
+        data = self._data[self._position : self._position + length]
+        self._position += length
+        return data
+
+    def at_end(self) -> bool:
+        return self._position == len(self._data)
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            raise CertificateFormatError("trailing bytes in certificate")
+
+
+def encode_adjacency_matrix(ids: Sequence[int], adjacency: Sequence[Sequence[bool]]) -> bytes:
+    """Encode a small graph as an id list plus a packed adjacency matrix."""
+    k = len(ids)
+    writer = CertificateWriter()
+    writer.write_uint_list(ids)
+    bits: List[bool] = []
+    for i in range(k):
+        for j in range(i + 1, k):
+            bits.append(bool(adjacency[i][j]))
+    writer.write_bool_list(bits)
+    return writer.getvalue()
+
+
+def decode_adjacency_matrix(data: bytes) -> tuple[List[int], List[List[bool]]]:
+    """Inverse of :func:`encode_adjacency_matrix`."""
+    reader = CertificateReader(data)
+    ids = reader.read_uint_list()
+    bits = reader.read_bool_list()
+    k = len(ids)
+    expected = k * (k - 1) // 2
+    if len(bits) != expected:
+        raise CertificateFormatError("adjacency matrix has the wrong size")
+    matrix = [[False] * k for _ in range(k)]
+    index = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            matrix[i][j] = matrix[j][i] = bits[index]
+            index += 1
+    reader.expect_end()
+    return ids, matrix

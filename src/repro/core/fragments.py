@@ -1,0 +1,338 @@
+"""Certification of small FO fragments (Lemma 2.1 / Appendix A.2).
+
+* :class:`ExistentialFOScheme` certifies any existential FO sentence with
+  ``k`` quantifiers using O(k·log n) bits: the certificate carries the
+  identifiers of a witness tuple, the adjacency matrix of the witnesses, and
+  one spanning tree pointing to each witness (so that nobody can invent
+  witnesses that do not exist).
+* :class:`CliqueScheme` and :class:`DominatingVertexScheme` cover the two
+  non-trivial properties expressible with quantifier depth 2 (Appendix A.2),
+  both with O(log n) bits via the counting spanning tree of Proposition 3.4.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.core.spanning_tree import bfs_spanning_tree
+from repro.graphs.utils import ensure_connected
+from repro.logic.semantics import evaluate
+from repro.logic.structure import is_existential, prenex_normal_form, is_first_order
+from repro.logic.syntax import Exists, Formula, Variable
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+
+Vertex = Hashable
+
+
+def _existential_prefix(formula: Formula) -> Tuple[List[Variable], Formula]:
+    """Split a prenex existential FO sentence into its variables and matrix."""
+    prenex = prenex_normal_form(formula)
+    variables: List[Variable] = []
+    node = prenex
+    while isinstance(node, Exists):
+        variables.append(node.variable)
+        node = node.body
+    return variables, node
+
+
+class ExistentialFOScheme(CertificationScheme):
+    """Certify an existential FO sentence with O(k log n)-bit certificates."""
+
+    def __init__(self, formula: Formula, name: str = "existential-fo") -> None:
+        if not is_first_order(formula):
+            raise ValueError("ExistentialFOScheme expects a first-order sentence")
+        if not is_existential(formula):
+            raise ValueError("ExistentialFOScheme expects an existential sentence")
+        self.formula = formula
+        self.variables, self.matrix_formula = _existential_prefix(formula)
+        self.name = f"existential-fo({name})"
+
+    # ------------------------------------------------------------------
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return evaluate(graph, self.formula, {})
+
+    def _find_witnesses(self, graph: nx.Graph) -> Optional[Tuple[Vertex, ...]]:
+        vertices = sorted(graph.nodes(), key=repr)
+        k = len(self.variables)
+
+        def search(position: int, chosen: List[Vertex]) -> Optional[Tuple[Vertex, ...]]:
+            if position == k:
+                assignment = dict(zip(self.variables, chosen))
+                if evaluate(graph, self.matrix_formula, assignment):
+                    return tuple(chosen)
+                return None
+            for vertex in vertices:
+                result = search(position + 1, chosen + [vertex])
+                if result is not None:
+                    return result
+            return None
+
+        return search(0, [])
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        witnesses = self._find_witnesses(graph)
+        if witnesses is None:
+            raise NotAYesInstance("no witness tuple exists")
+        k = len(witnesses)
+        witness_ids = [ids[w] for w in witnesses]
+        adjacency_bits: List[bool] = []
+        equality_bits: List[bool] = []
+        for i in range(k):
+            for j in range(i + 1, k):
+                adjacency_bits.append(graph.has_edge(witnesses[i], witnesses[j]))
+                equality_bits.append(witnesses[i] == witnesses[j])
+        trees = [bfs_spanning_tree(graph, w) for w in witnesses]
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            writer = CertificateWriter()
+            writer.write_uint_list(witness_ids)
+            writer.write_bool_list(adjacency_bits)
+            writer.write_bool_list(equality_bits)
+            for distances, parents, _ in trees:
+                parent = parents[vertex]
+                writer.write_uint(distances[vertex])
+                writer.write_uint(ids[parent] if parent is not None else ids[vertex])
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    # ------------------------------------------------------------------
+
+    def _decode(self, certificate: bytes) -> Tuple[List[int], List[bool], List[bool], List[Tuple[int, int]]]:
+        reader = CertificateReader(certificate)
+        witness_ids = reader.read_uint_list()
+        adjacency_bits = reader.read_bool_list()
+        equality_bits = reader.read_bool_list()
+        tree_fields = []
+        for _ in witness_ids:
+            distance = reader.read_uint()
+            parent_id = reader.read_uint()
+            tree_fields.append((distance, parent_id))
+        reader.expect_end()
+        return witness_ids, adjacency_bits, equality_bits, tree_fields
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            witness_ids, adjacency_bits, equality_bits, tree_fields = self._decode(view.certificate)
+            neighbor_decoded = {
+                info.identifier: self._decode(info.certificate) for info in view.neighbors
+            }
+        except CertificateFormatError:
+            return False
+        k = len(self.variables)
+        if len(witness_ids) != k:
+            return False
+        expected_pairs = k * (k - 1) // 2
+        if len(adjacency_bits) != expected_pairs or len(equality_bits) != expected_pairs:
+            return False
+        # All nodes must agree on the witness data.
+        for ids_, adj_, eq_, _ in neighbor_decoded.values():
+            if ids_ != witness_ids or adj_ != adjacency_bits or eq_ != equality_bits:
+                return False
+        # Spanning tree towards each witness: distances decrease, distance 0
+        # only at the witness itself.
+        for index, (distance, parent_id) in enumerate(tree_fields):
+            if distance == 0:
+                if view.identifier != witness_ids[index]:
+                    return False
+            else:
+                if parent_id not in neighbor_decoded:
+                    return False
+                if neighbor_decoded[parent_id][3][index][0] != distance - 1:
+                    return False
+        # A witness vertex checks the claimed adjacency/equality entries that
+        # involve it against its actual neighbourhood.
+        if view.identifier in witness_ids:
+            positions = [i for i, w in enumerate(witness_ids) if w == view.identifier]
+            pair_index = 0
+            for i in range(k):
+                for j in range(i + 1, k):
+                    if i in positions or j in positions:
+                        other = witness_ids[j] if i in positions else witness_ids[i]
+                        adjacent_claimed = adjacency_bits[pair_index]
+                        equal_claimed = equality_bits[pair_index]
+                        actually_equal = other == view.identifier
+                        if equal_claimed != actually_equal:
+                            return False
+                        actually_adjacent = view.has_neighbor(other)
+                        if adjacent_claimed != actually_adjacent:
+                            return False
+                    pair_index += 1
+            # The lexicographically-first witness evaluates the matrix formula
+            # on the described witness structure.
+            if view.identifier == min(witness_ids):
+                if not self._matrix_satisfied(witness_ids, adjacency_bits, equality_bits):
+                    return False
+        return True
+
+    def _matrix_satisfied(
+        self, witness_ids: Sequence[int], adjacency_bits: Sequence[bool], equality_bits: Sequence[bool]
+    ) -> bool:
+        """Evaluate the quantifier-free matrix on the described structure."""
+        k = len(witness_ids)
+        # Build a graph whose vertices are the distinct witnesses.
+        graph = nx.Graph()
+        representative: Dict[int, int] = {}
+        pair_index = 0
+        equal_pairs = set()
+        for i in range(k):
+            for j in range(i + 1, k):
+                if equality_bits[pair_index]:
+                    equal_pairs.add((i, j))
+                pair_index += 1
+        # Union-find over equal witnesses.
+        parent = list(range(k))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, j in equal_pairs:
+            parent[find(i)] = find(j)
+        for i in range(k):
+            graph.add_node(find(i))
+        pair_index = 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                if adjacency_bits[pair_index] and find(i) != find(j):
+                    graph.add_edge(find(i), find(j))
+                pair_index += 1
+        assignment = {variable: find(i) for i, variable in enumerate(self.variables)}
+        return evaluate(graph, self.matrix_formula, assignment)
+
+
+class CliqueScheme(CertificationScheme):
+    """Certify that the graph is a clique with O(log n)-bit certificates.
+
+    The certificate carries the counting spanning tree of Proposition 3.4;
+    every vertex checks that its degree is ``claimed_n − 1``.
+    """
+
+    name = "clique"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        n = graph.number_of_nodes()
+        return graph.number_of_edges() == n * (n - 1) // 2
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        if not self.holds(graph):
+            raise NotAYesInstance("the graph is not a clique")
+        return _counting_certificates(graph, ids)
+
+    def verify(self, view: LocalView) -> bool:
+        fields = _verify_counting(view)
+        if fields is None:
+            return False
+        claimed_total = fields
+        return view.degree == claimed_total - 1
+
+
+class DominatingVertexScheme(CertificationScheme):
+    """Certify that some vertex dominates the graph, with O(log n) bits.
+
+    The certificate carries the counting spanning tree *rooted at the
+    dominating vertex*; the root checks that its degree is ``claimed_n − 1``.
+    """
+
+    name = "dominating-vertex"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        n = graph.number_of_nodes()
+        return any(graph.degree(v) == n - 1 for v in graph.nodes())
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        n = graph.number_of_nodes()
+        dominating = [v for v in graph.nodes() if graph.degree(v) == n - 1]
+        if not dominating:
+            raise NotAYesInstance("no dominating vertex")
+        root = min(dominating, key=lambda v: ids[v])
+        return _counting_certificates(graph, ids, root=root)
+
+    def verify(self, view: LocalView) -> bool:
+        fields = _verify_counting(view)
+        if fields is None:
+            return False
+        claimed_total = fields
+        try:
+            reader = CertificateReader(view.certificate)
+            _root_id = reader.read_uint()
+            distance = reader.read_uint()
+        except CertificateFormatError:
+            return False
+        if distance == 0 and view.degree != claimed_total - 1:
+            return False
+        return True
+
+
+def _counting_certificates(
+    graph: nx.Graph, ids: IdentifierAssignment, root: Vertex | None = None
+) -> Certificates:
+    """Counting spanning-tree certificates: (root, distance, parent, subtree, total)."""
+    if root is None:
+        root = min(graph.nodes(), key=lambda v: ids[v])
+    distances, parents, subtree_sizes = bfs_spanning_tree(graph, root)
+    total = graph.number_of_nodes()
+    certificates: Certificates = {}
+    for vertex in graph.nodes():
+        parent = parents[vertex]
+        writer = CertificateWriter()
+        writer.write_uint(ids[root])
+        writer.write_uint(distances[vertex])
+        writer.write_uint(ids[parent] if parent is not None else ids[vertex])
+        writer.write_uint(subtree_sizes[vertex])
+        writer.write_uint(total)
+        certificates[vertex] = writer.getvalue()
+    return certificates
+
+
+def _verify_counting(view: LocalView) -> Optional[int]:
+    """Verify counting spanning-tree consistency; return the claimed total."""
+    try:
+        reader = CertificateReader(view.certificate)
+        root_id = reader.read_uint()
+        distance = reader.read_uint()
+        parent_id = reader.read_uint()
+        subtree_size = reader.read_uint()
+        claimed_total = reader.read_uint()
+        neighbor_fields = {}
+        for info in view.neighbors:
+            neighbor_reader = CertificateReader(info.certificate)
+            neighbor_fields[info.identifier] = (
+                neighbor_reader.read_uint(),
+                neighbor_reader.read_uint(),
+                neighbor_reader.read_uint(),
+                neighbor_reader.read_uint(),
+                neighbor_reader.read_uint(),
+            )
+    except CertificateFormatError:
+        return None
+    for fields in neighbor_fields.values():
+        if fields[0] != root_id or fields[4] != claimed_total:
+            return None
+    if distance == 0:
+        if view.identifier != root_id or subtree_size != claimed_total:
+            return None
+    else:
+        if parent_id not in neighbor_fields:
+            return None
+        if neighbor_fields[parent_id][1] != distance - 1:
+            return None
+    children_total = sum(
+        fields[3]
+        for fields in neighbor_fields.values()
+        if fields[2] == view.identifier and fields[1] == distance + 1
+    )
+    if subtree_size != 1 + children_total:
+        return None
+    return claimed_total

@@ -1,0 +1,295 @@
+"""Certification of P_t-minor-free and C_t-minor-free graphs (Corollary 2.7).
+
+* :class:`PathMinorFreeScheme` — a graph is :math:`P_t`-minor-free iff it has
+  no path on ``t`` vertices.  Such graphs have treedepth at most ``t − 1``
+  (Nešetřil & Ossona de Mendez), and "no path on t vertices" is an FO
+  sentence of quantifier depth ``t``, so the scheme is exactly the Theorem
+  2.6 machinery instantiated with that sentence: O(t·log n + f(t)) bits.
+
+* :class:`CycleMinorFreeScheme` — a graph is :math:`C_t`-minor-free iff its
+  circumference is < t.  The paper reduces this to the path case inside each
+  2-connected block, relying on the O(log n) certification of block
+  decompositions from [8], which we do not reproduce in full.  Our scheme
+  (documented substitution, DESIGN.md §4) certifies:
+
+  1. a decomposition into edge-disjoint "blocks", each described explicitly
+     in the certificates of its vertices (so the per-vertex cost is
+     O(b·B²·log n) bits, where B is the largest block containing the vertex
+     and b the number of blocks containing it — O(log n) whenever both are
+     bounded, which is the regime of the benchmarks);
+  2. a depth labelling of the block–cut tree, which makes a cycle *across*
+     blocks locally detectable exactly like the classic acyclicity labelling;
+  3. inside every described block, circumference < t and agreement between
+     the description and each member's true incident edges.
+
+  Together these force every cycle of the graph to live inside one described
+  block, where the length bound is checked directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.mso_treedepth_scheme import MSOTreedepthScheme
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.core.spanning_tree import bfs_spanning_tree
+from repro.graphs.minors import circumference, has_cycle_minor, has_path_minor
+from repro.graphs.utils import ensure_connected
+from repro.logic.structure import quantifier_depth
+from repro.logic.syntax import (
+    Adjacent,
+    Equal,
+    Exists,
+    Formula,
+    Not,
+    Variable,
+    conjunction,
+)
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+from repro.treedepth.elimination_tree import EliminationTree
+
+Vertex = Hashable
+
+
+def has_path_on_vertices_formula(t: int) -> Formula:
+    """FO sentence: there exist ``t`` distinct vertices forming a path."""
+    if t < 2:
+        raise ValueError("t must be at least 2")
+    variables = [Variable(f"p{i}") for i in range(t)]
+    atoms: List[Formula] = []
+    for i in range(t - 1):
+        atoms.append(Adjacent(variables[i], variables[i + 1]))
+    for i in range(t):
+        for j in range(i + 1, t):
+            atoms.append(Not(Equal(variables[i], variables[j])))
+    body: Formula = conjunction(*atoms)
+    for variable in reversed(variables):
+        body = Exists(variable, body)
+    return body
+
+
+def path_minor_free_formula(t: int) -> Formula:
+    """FO sentence: the graph has no path on ``t`` vertices (⇔ P_t-minor-free)."""
+    return Not(has_path_on_vertices_formula(t))
+
+
+class PathMinorFreeScheme(CertificationScheme):
+    """Certify P_t-minor-freeness (Corollary 2.7, first half)."""
+
+    def __init__(self, t: int, model_builder=None) -> None:
+        if t < 2:
+            raise ValueError("t must be at least 2")
+        self.t = t
+        formula = path_minor_free_formula(t)
+        # P_t-minor-free graphs have treedepth at most t − 1.
+        self._inner = MSOTreedepthScheme(
+            formula,
+            t=t - 1,
+            k=quantifier_depth(formula),
+            model_builder=model_builder,
+            name=f"P{t}-minor-free",
+        )
+        self.name = f"P{t}-minor-free"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return not has_path_minor(graph, self.t)
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        if not self.holds(graph):
+            raise NotAYesInstance(f"the graph contains a P_{self.t} minor")
+        return self._inner.prove(graph, ids)
+
+    def verify(self, view: LocalView) -> bool:
+        return self._inner.verify(view)
+
+
+class CycleMinorFreeScheme(CertificationScheme):
+    """Certify C_t-minor-freeness via certified block decomposition."""
+
+    name = "cycle-minor-free"
+
+    def __init__(self, t: int) -> None:
+        if t < 3:
+            raise ValueError("t must be at least 3")
+        self.t = t
+        self.name = f"C{t}-minor-free"
+
+    # ------------------------------------------------------------------
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return not has_cycle_minor(graph, self.t)
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        if not self.holds(graph):
+            raise NotAYesInstance(f"the graph contains a C_{self.t} minor")
+        blocks = [frozenset(block) for block in nx.biconnected_components(graph)]
+        if not blocks:
+            blocks = [frozenset(graph.nodes())]
+        # Block–cut tree depths: root the block–cut tree at the block with the
+        # smallest minimum identifier; blocks get even-ish depths, cut vertices
+        # sit between their blocks.
+        block_depth, vertex_depth = _block_cut_depths(graph, blocks, ids)
+        block_descriptions = {
+            index: _encode_block(graph, sorted(block, key=lambda v: ids[v]), ids)
+            for index, block in enumerate(blocks)
+        }
+        membership: Dict[Vertex, List[int]] = {v: [] for v in graph.nodes()}
+        for index, block in enumerate(blocks):
+            for vertex in block:
+                membership[vertex].append(index)
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            writer = CertificateWriter()
+            writer.write_uint(vertex_depth[vertex])
+            writer.write_uint(len(membership[vertex]))
+            for index in membership[vertex]:
+                writer.write_uint(block_depth[index])
+                writer.write_bytes(block_descriptions[index])
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    # ------------------------------------------------------------------
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            mine = _decode_block_certificate(view.certificate)
+            neighbors = {
+                info.identifier: _decode_block_certificate(info.certificate)
+                for info in view.neighbors
+            }
+        except CertificateFormatError:
+            return False
+        my_depth, my_blocks = mine
+        # Each described block must contain this vertex, have circumference
+        # < t, and describe this vertex's neighbourhood inside it faithfully.
+        my_vertex_sets: List[frozenset] = []
+        for block_depth, (block_ids, block_edges) in my_blocks:
+            if view.identifier not in block_ids:
+                return False
+            if len(set(block_ids)) != len(block_ids):
+                return False
+            block_graph = nx.Graph()
+            block_graph.add_nodes_from(block_ids)
+            block_graph.add_edges_from(block_edges)
+            if circumference(block_graph, cutoff=self.t) >= self.t:
+                return False
+            described = {u for u in block_graph.neighbors(view.identifier)}
+            actual_in_block = {
+                identifier
+                for identifier in view.neighbor_identifiers()
+                if identifier in block_ids
+            }
+            if described != actual_in_block:
+                return False
+            my_vertex_sets.append(frozenset(block_ids))
+            # Block–cut tree depth consistency for this vertex: the block's
+            # depth must be my depth ± 1.
+            if abs(block_depth - my_depth) != 1:
+                return False
+        # Pairwise intersections of my blocks contain only me (cut structure).
+        for i in range(len(my_vertex_sets)):
+            for j in range(i + 1, len(my_vertex_sets)):
+                if my_vertex_sets[i] & my_vertex_sets[j] != {view.identifier}:
+                    return False
+        # Exactly one of my blocks is my parent in the block–cut tree (depth
+        # my_depth − 1), unless I am the root's... a vertex is never the root
+        # (the root is a block), so it must have exactly one parent block —
+        # except when it belongs to a single block, which is then its parent.
+        parent_blocks = [depth for depth, _ in my_blocks if depth == my_depth - 1]
+        if len(my_blocks) >= 1 and len(parent_blocks) != 1:
+            return False
+        # Every incident edge must be covered by a commonly-described block.
+        my_block_map = {frozenset(ids_): (depth, ids_, edges) for depth, (ids_, edges) in my_blocks}
+        for info_id, (neighbor_depth, neighbor_blocks) in neighbors.items():
+            shared = False
+            for block_depth, (block_ids, block_edges) in neighbor_blocks:
+                if view.identifier in block_ids and info_id in block_ids:
+                    key = frozenset(block_ids)
+                    if key in my_block_map:
+                        _, _, my_edges = my_block_map[key]
+                        if sorted(my_edges) == sorted(block_edges):
+                            shared = True
+                            break
+            if not shared:
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Helpers for the block scheme
+# ----------------------------------------------------------------------
+
+
+def _encode_block(graph: nx.Graph, block_vertices: List[Vertex], ids: IdentifierAssignment) -> bytes:
+    writer = CertificateWriter()
+    id_list = [ids[v] for v in block_vertices]
+    writer.write_uint_list(id_list)
+    edges: List[Tuple[int, int]] = []
+    for i, u in enumerate(block_vertices):
+        for v in block_vertices[i + 1 :]:
+            if graph.has_edge(u, v):
+                edges.append((ids[u], ids[v]))
+    writer.write_uint(len(edges))
+    for a, b in edges:
+        writer.write_uint(a)
+        writer.write_uint(b)
+    return writer.getvalue()
+
+
+def _decode_block(data: bytes) -> Tuple[List[int], List[Tuple[int, int]]]:
+    reader = CertificateReader(data)
+    id_list = reader.read_uint_list()
+    n_edges = reader.read_uint()
+    if n_edges > 1_000_000:
+        raise CertificateFormatError("unreasonable edge count")
+    edges = []
+    for _ in range(n_edges):
+        a = reader.read_uint()
+        b = reader.read_uint()
+        if a not in id_list or b not in id_list:
+            raise CertificateFormatError("block edge uses a vertex outside the block")
+        edges.append((a, b))
+    reader.expect_end()
+    return id_list, edges
+
+
+def _decode_block_certificate(
+    certificate: bytes,
+) -> Tuple[int, List[Tuple[int, Tuple[List[int], List[Tuple[int, int]]]]]]:
+    reader = CertificateReader(certificate)
+    vertex_depth = reader.read_uint()
+    n_blocks = reader.read_uint()
+    if n_blocks > 100_000:
+        raise CertificateFormatError("unreasonable block count")
+    blocks = []
+    for _ in range(n_blocks):
+        block_depth = reader.read_uint()
+        block_data = reader.read_bytes()
+        blocks.append((block_depth, _decode_block(block_data)))
+    reader.expect_end()
+    return vertex_depth, blocks
+
+
+def _block_cut_depths(
+    graph: nx.Graph, blocks: List[frozenset], ids: IdentifierAssignment
+) -> Tuple[Dict[int, int], Dict[Vertex, int]]:
+    """BFS depths in the block–cut tree; blocks at odd depths... actually the
+    root block has depth 1, its vertices depth 2, their other blocks depth 3,
+    and so on, so that every vertex's depth differs from its blocks' depths by
+    exactly one."""
+    block_cut = nx.Graph()
+    for index, block in enumerate(blocks):
+        block_cut.add_node(("block", index))
+        for vertex in block:
+            block_cut.add_node(("vertex", vertex))
+            block_cut.add_edge(("block", index), ("vertex", vertex))
+    root_index = min(range(len(blocks)), key=lambda i: min(ids[v] for v in blocks[i]))
+    lengths = nx.single_source_shortest_path_length(block_cut, ("block", root_index))
+    block_depth = {index: lengths[("block", index)] + 1 for index in range(len(blocks))}
+    vertex_depth = {vertex: lengths[("vertex", vertex)] + 1 for vertex in graph.nodes()}
+    return block_depth, vertex_depth

@@ -1,0 +1,289 @@
+"""MSO/FO certification on bounded-treedepth graphs via kernelization (Theorem 2.6).
+
+The certificate of a vertex is the concatenation of:
+
+* the Theorem 2.4 certificate for a coherent ``t``-model of the graph;
+* one boolean per ancestor (the vertex included) saying whether that ancestor
+  was *pruned* (is the root of a subtree deleted by the k-reduction);
+* one end-type index per ancestor (the vertex included);
+* the type table — a children-first list of all end types, whose size depends
+  only on the formula (through ``k``) and on ``t``, never on ``n``.
+
+Verification runs the treedepth verifier, checks that everyone agrees on the
+type table and on the root's end type, reconstructs the kernel from the
+root's end type (a type determines its graph up to isomorphism, see
+:mod:`repro.kernel.serialize`), model-checks the formula on that kernel, and
+finally performs the local type-consistency checks of Proposition 6.4: the
+vertex's adjacency to its ancestors must match its end type's ancestor
+vector, its end type's children multiset must match the end types of its
+unpruned children (visible through its neighbours thanks to coherence), and
+whenever one of its children was pruned it must keep exactly ``k`` unpruned
+children of that type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.core.treedepth_scheme import TreedepthScheme, ModelBuilder, _decode as _decode_td
+from repro.graphs.utils import ensure_connected
+from repro.kernel.reduction import k_reduced_graph
+from repro.kernel.serialize import decode_type_table, encode_type_table, graph_from_type, topological_type_table
+from repro.kernel.types import VertexType
+from repro.logic.semantics import evaluate
+from repro.logic.structure import quantifier_depth
+from repro.logic.syntax import Formula
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView, NeighborInfo
+from repro.treedepth.decomposition import exact_treedepth
+from repro.treedepth.elimination_tree import EliminationTree, is_valid_model, make_coherent
+
+Vertex = Hashable
+
+_EXACT_LIMIT = 18
+_KERNEL_MODEL_CHECK_LIMIT = 22
+
+
+class MSOTreedepthScheme(CertificationScheme):
+    """Certify "treedepth ≤ t and the graph satisfies φ" (Theorem 2.6)."""
+
+    def __init__(
+        self,
+        formula: Formula,
+        t: int,
+        k: int | None = None,
+        model_builder: ModelBuilder | None = None,
+        name: str | None = None,
+    ) -> None:
+        if t < 1:
+            raise ValueError("t must be at least 1")
+        self.formula = formula
+        self.t = t
+        self.k = quantifier_depth(formula) if k is None else k
+        if self.k < 1:
+            self.k = 1
+        self.model_builder = model_builder
+        self._td_scheme = TreedepthScheme(t, model_builder=model_builder)
+        self.name = f"mso-treedepth(t={t}, {name or formula})"
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+
+    def holds(self, graph: nx.Graph) -> bool:
+        if not self._treedepth_ok(graph):
+            return False
+        kernel = self._kernelize(graph)
+        return evaluate(kernel.kernel_graph, self.formula, {})
+
+    def _treedepth_ok(self, graph: nx.Graph) -> bool:
+        if graph.number_of_nodes() <= _EXACT_LIMIT:
+            return exact_treedepth(graph) <= self.t
+        model = self._coherent_model(graph)
+        return model is not None and model.depth <= self.t
+
+    def _coherent_model(self, graph: nx.Graph) -> Optional[EliminationTree]:
+        model = self._td_scheme._build_model(graph)
+        if model is None or not is_valid_model(graph, model):
+            return None
+        model = make_coherent(graph, model)
+        if model.depth > self.t:
+            return None
+        return model
+
+    def _kernelize(self, graph: nx.Graph):
+        model = self._coherent_model(graph)
+        if model is None:
+            raise NotAYesInstance(f"no elimination tree of depth ≤ {self.t} available")
+        result = k_reduced_graph(graph, model, self.k)
+        if result.kernel_size > _KERNEL_MODEL_CHECK_LIMIT:
+            raise ValueError(
+                f"the {self.k}-reduced kernel has {result.kernel_size} vertices, "
+                f"too large for exact MSO model checking; "
+                "use a formula of smaller quantifier depth or a smaller t"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Prover
+    # ------------------------------------------------------------------
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        model = self._coherent_model(graph)
+        if model is None:
+            raise NotAYesInstance(f"no elimination tree of depth ≤ {self.t} available")
+        reduction = k_reduced_graph(graph, model, self.k)
+        if reduction.kernel_size > _KERNEL_MODEL_CHECK_LIMIT:
+            raise ValueError(
+                "kernel too large for exact model checking — see MSOTreedepthScheme docstring"
+            )
+        if not evaluate(reduction.kernel_graph, self.formula, {}):
+            raise NotAYesInstance("the kernel (hence the graph) does not satisfy the formula")
+        # Reuse the exact same coherent model for the treedepth layer.
+        td_scheme = TreedepthScheme(self.t, model_builder=lambda _graph: model)
+        td_certificates = td_scheme.prove(graph, ids)
+        # Type table shared by every vertex.
+        table = topological_type_table(sorted(set(reduction.end_types.values()), key=repr))
+        table_bytes = encode_type_table(table)
+        index = {vertex_type: i for i, vertex_type in enumerate(table)}
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            ancestors = model.ancestors(vertex, include_self=True)  # vertex ... root
+            pruned_flags = [a in reduction.pruned_roots for a in ancestors]
+            type_indices = [index[reduction.end_types[a]] for a in ancestors]
+            writer = CertificateWriter()
+            writer.write_bytes(td_certificates[vertex])
+            writer.write_bool_list(pruned_flags)
+            writer.write_uint_list(type_indices)
+            writer.write_bytes(table_bytes)
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    # ------------------------------------------------------------------
+    # Verifier
+    # ------------------------------------------------------------------
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            mine = _decode_kernel_certificate(view.certificate)
+            neighbor_data = {
+                info.identifier: _decode_kernel_certificate(info.certificate)
+                for info in view.neighbors
+            }
+        except CertificateFormatError:
+            return False
+        td_cert, pruned_flags, type_indices, table_bytes = mine
+        # 1. The treedepth layer must verify.
+        td_view = LocalView(
+            identifier=view.identifier,
+            certificate=td_cert,
+            neighbors=tuple(
+                NeighborInfo(identifier=identifier, certificate=data[0])
+                for identifier, data in neighbor_data.items()
+            ),
+            total_vertices_hint=view.total_vertices_hint,
+        )
+        if not self._td_scheme.verify(td_view):
+            return False
+        try:
+            my_list, _fragments = _decode_td(td_cert)
+        except CertificateFormatError:
+            return False
+        depth = len(my_list)
+        # 2. Shape of the kernel layer.
+        if len(pruned_flags) != depth or len(type_indices) != depth:
+            return False
+        # 3. Everyone agrees on the type table and the root's end type.
+        for neighbor_td, neighbor_pruned, neighbor_types, neighbor_table in neighbor_data.values():
+            if neighbor_table != table_bytes:
+                return False
+            try:
+                neighbor_list, _ = _decode_td(neighbor_td)
+            except CertificateFormatError:
+                return False
+            if len(neighbor_pruned) != len(neighbor_list) or len(neighbor_types) != len(neighbor_list):
+                return False
+            if neighbor_types and type_indices and neighbor_types[-1] != type_indices[-1]:
+                return False
+        # 4. Decode the table, reconstruct the kernel, check the formula.
+        try:
+            table = decode_type_table(table_bytes)
+        except CertificateFormatError:
+            return False
+        if any(i >= len(table) for i in type_indices):
+            return False
+        root_type = table[type_indices[-1]]
+        if len(root_type.ancestor_vector) != 0:
+            return False
+        try:
+            kernel_graph, _kernel_tree = graph_from_type(root_type)
+        except ValueError:
+            return False
+        if kernel_graph.number_of_nodes() > _KERNEL_MODEL_CHECK_LIMIT:
+            return False
+        if not evaluate(kernel_graph, self.formula, {}):
+            return False
+        # 5. My adjacency to my ancestors must match my end type's ancestor vector.
+        my_type = table[type_indices[0]]
+        strict_ancestors_root_first = list(reversed(my_list[1:]))
+        if len(my_type.ancestor_vector) != len(strict_ancestors_root_first):
+            return False
+        neighbor_ids = set(view.neighbor_identifiers())
+        for ancestor_id, bit in zip(strict_ancestors_root_first, my_type.ancestor_vector):
+            if bool(bit) != (ancestor_id in neighbor_ids):
+                return False
+        # 6. Children checks (possible thanks to coherence: every child subtree
+        #    contains a neighbour of this vertex, whose ancestor list exposes
+        #    the child's end type and pruned flag).
+        children = self._collect_children(my_list, neighbor_data)
+        if children is None:
+            return False
+        # 6a. The vertex is the root of the certified elimination tree iff its
+        #     list has length 1; in that case it is never pruned.
+        if depth == 1 and pruned_flags[0]:
+            return False
+        # 6b. Pruned children leave exactly k unpruned siblings of their type.
+        unpruned_counts: Dict[int, int] = {}
+        for _child_id, (child_type_index, child_pruned) in children.items():
+            if not child_pruned:
+                unpruned_counts[child_type_index] = unpruned_counts.get(child_type_index, 0) + 1
+        for _child_id, (child_type_index, child_pruned) in children.items():
+            if child_pruned and unpruned_counts.get(child_type_index, 0) != self.k:
+                return False
+        # 6c. My end type's children multiset equals the end types of my
+        #     unpruned children.
+        expected: Dict[VertexType, int] = {child: count for child, count in my_type.child_types}
+        actual: Dict[VertexType, int] = {}
+        for child_type_index, count in unpruned_counts.items():
+            actual[table[child_type_index]] = actual.get(table[child_type_index], 0) + count
+        if expected != actual:
+            return False
+        return True
+
+    def _collect_children(
+        self,
+        my_list: List[int],
+        neighbor_data: Dict[int, Tuple[bytes, List[bool], List[int], bytes]],
+    ) -> Optional[Dict[int, Tuple[int, bool]]]:
+        """Child → (end type index, pruned flag), harvested from neighbours.
+
+        A neighbour is a strict descendant when its ancestor list strictly
+        extends mine; the entry just above my own position in its list names
+        the child of mine on that branch.  Inconsistent reports for the same
+        child make the check fail (return None).
+        """
+        depth = len(my_list)
+        children: Dict[int, Tuple[int, bool]] = {}
+        for neighbor_td, neighbor_pruned, neighbor_types, _table in neighbor_data.values():
+            try:
+                neighbor_list, _ = _decode_td(neighbor_td)
+            except CertificateFormatError:
+                return None
+            if len(neighbor_list) <= depth:
+                continue
+            if neighbor_list[len(neighbor_list) - depth :] != my_list:
+                continue
+            child_position = len(neighbor_list) - depth - 1
+            child_id = neighbor_list[child_position]
+            report = (neighbor_types[child_position], bool(neighbor_pruned[child_position]))
+            if child_id in children and children[child_id] != report:
+                return None
+            children[child_id] = report
+        return children
+
+
+def _decode_kernel_certificate(
+    certificate: bytes,
+) -> Tuple[bytes, List[bool], List[int], bytes]:
+    reader = CertificateReader(certificate)
+    td_cert = reader.read_bytes()
+    pruned_flags = reader.read_bool_list()
+    type_indices = reader.read_uint_list()
+    table_bytes = reader.read_bytes()
+    reader.expect_end()
+    return td_cert, pruned_flags, type_indices, table_bytes

@@ -1,0 +1,196 @@
+"""The certification-scheme interface and the evaluation harness.
+
+A :class:`CertificationScheme` bundles the two halves of a local
+certification (Section 3.3):
+
+* ``prove(graph, ids)`` — the honest prover: on a yes-instance it returns a
+  certificate assignment that every node will accept; on a no-instance it
+  raises :class:`NotAYesInstance` (there is nothing an honest prover can do);
+* ``verify(view)`` — the verification algorithm, a pure function of a
+  radius-1 :class:`~repro.network.views.LocalView`.
+
+The harness functions at the bottom of the module check completeness and
+(empirically or exhaustively) soundness of a scheme on concrete instances and
+measure real certificate sizes; they are what the tests and the benchmark
+suite call.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+import networkx as nx
+
+from repro.network.adversary import corrupt_assignment, exhaustive_assignments, random_assignment
+from repro.network.ids import IdentifierAssignment, assign_identifiers
+from repro.network.simulator import NetworkSimulator
+from repro.network.views import LocalView
+
+Vertex = Hashable
+Certificates = Dict[Vertex, bytes]
+
+
+class NotAYesInstance(ValueError):
+    """Raised by ``prove`` when the graph does not satisfy the property."""
+
+
+class CertificationScheme(ABC):
+    """A local certification: an honest prover plus a radius-1 verifier."""
+
+    #: Human-readable name used in reports and benchmark output.
+    name: str = "unnamed-scheme"
+
+    @abstractmethod
+    def holds(self, graph: nx.Graph) -> bool:
+        """Ground truth: does the graph satisfy the certified property?
+
+        This is the *centralized* definition of the property, used by tests
+        and benchmarks to classify instances; the distributed verifier never
+        calls it.
+        """
+
+    @abstractmethod
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        """Honest certificate assignment for a yes-instance."""
+
+    @abstractmethod
+    def verify(self, view: LocalView) -> bool:
+        """The local verification algorithm run at every vertex."""
+
+    # Convenience entry points ------------------------------------------------
+
+    def certify(self, graph: nx.Graph, seed: int | None = 0) -> "SchemeEvaluation":
+        """Prove and verify on ``graph`` with a fresh identifier assignment."""
+        return evaluate_scheme(self, graph, seed=seed)
+
+    def max_certificate_bits(self, graph: nx.Graph, seed: int | None = 0) -> int:
+        """Size in bits of the largest honest certificate on ``graph``."""
+        ids = assign_identifiers(graph, seed=seed)
+        certificates = self.prove(graph, ids)
+        return max((len(c) * 8 for c in certificates.values()), default=0)
+
+
+@dataclass(frozen=True)
+class SchemeEvaluation:
+    """Outcome of evaluating a scheme on one instance."""
+
+    scheme_name: str
+    n: int
+    holds: bool
+    completeness_ok: Optional[bool]
+    """True when the honest proof was accepted (None on no-instances)."""
+    soundness_ok: Optional[bool]
+    """True when every adversarial assignment tried was rejected
+    (None on yes-instances)."""
+    max_certificate_bits: int
+    rejecting_vertices: tuple = ()
+
+
+def evaluate_scheme(
+    scheme: CertificationScheme,
+    graph: nx.Graph,
+    seed: int | None = 0,
+    adversarial_trials: int = 20,
+) -> SchemeEvaluation:
+    """Run a scheme on one instance.
+
+    On a yes-instance: run the honest prover and report completeness plus the
+    certificate size.  On a no-instance: try ``adversarial_trials`` random and
+    structured certificate assignments and report whether all were rejected
+    (a necessary condition for soundness).
+    """
+    rng = random.Random(seed)
+    ids = assign_identifiers(graph, seed=rng)
+    simulator = NetworkSimulator(graph, identifiers=ids)
+    if scheme.holds(graph):
+        certificates = scheme.prove(graph, ids)
+        result = simulator.run(scheme.verify, certificates)
+        return SchemeEvaluation(
+            scheme_name=scheme.name,
+            n=graph.number_of_nodes(),
+            holds=True,
+            completeness_ok=result.accepted,
+            soundness_ok=None,
+            max_certificate_bits=result.max_certificate_bits,
+            rejecting_vertices=result.rejecting_vertices,
+        )
+    # No-instance: the prover has no honest certificate; check that a few
+    # adversarial assignments are all rejected.
+    vertices = sorted(graph.nodes(), key=repr)
+    all_rejected = True
+    max_bits = 0
+    for trial in range(adversarial_trials):
+        certificate_bytes = rng.choice([0, 1, 2, 4, 8])
+        assignment = random_assignment(vertices, certificate_bytes, seed=rng)
+        outcome = simulator.run(scheme.verify, assignment)
+        max_bits = max(max_bits, outcome.max_certificate_bits)
+        if outcome.accepted:
+            all_rejected = False
+            break
+    return SchemeEvaluation(
+        scheme_name=scheme.name,
+        n=graph.number_of_nodes(),
+        holds=False,
+        completeness_ok=None,
+        soundness_ok=all_rejected,
+        max_certificate_bits=max_bits,
+    )
+
+
+def soundness_under_corruption(
+    scheme: CertificationScheme,
+    graph: nx.Graph,
+    seed: int | None = 0,
+    trials: int = 10,
+) -> bool:
+    """On a *yes*-instance, check that corrupted honest certificates are not
+    silently accepted as long as the corruption changes the view of some node
+    in a way that matters.
+
+    This is a smoke test rather than a theorem: some corruptions are harmless
+    (e.g. flipping a bit that the verifier never reads), so the function only
+    reports whether *any* corrupted assignment was rejected — a scheme whose
+    verifier ignores certificates entirely would fail it.
+    """
+    rng = random.Random(seed)
+    ids = assign_identifiers(graph, seed=rng)
+    simulator = NetworkSimulator(graph, identifiers=ids)
+    certificates = scheme.prove(graph, ids)
+    rejected_some = False
+    for trial in range(trials):
+        kind = rng.choice(["bitflip", "swap", "truncate", "zero"])
+        corrupted = corrupt_assignment(certificates, seed=rng, kind=kind)
+        if corrupted == dict(certificates):
+            continue
+        outcome = simulator.run(scheme.verify, corrupted)
+        if not outcome.accepted:
+            rejected_some = True
+    return rejected_some
+
+
+def exhaustive_soundness_holds(
+    scheme: CertificationScheme,
+    graph: nx.Graph,
+    max_bits: int,
+    seed: int | None = 0,
+) -> bool:
+    """Exhaustively check soundness of a scheme on a tiny no-instance.
+
+    Enumerates *every* assignment of ``max_bits``-bit certificates and returns
+    True when all of them are rejected.  This is a finite certificate of the
+    statement "no prover with ``max_bits``-bit certificates can cheat on this
+    instance with these identifiers".  The cost is
+    ``2 ** (max_bits * n)`` simulations — keep both parameters tiny.
+    """
+    if scheme.holds(graph):
+        raise ValueError("exhaustive_soundness_holds expects a no-instance")
+    ids = assign_identifiers(graph, seed=seed, sequential=True)
+    simulator = NetworkSimulator(graph, identifiers=ids)
+    vertices = sorted(graph.nodes(), key=repr)
+    for assignment in exhaustive_assignments(vertices, max_bits):
+        if simulator.run(scheme.verify, assignment).accepted:
+            return False
+    return True

@@ -1,0 +1,220 @@
+"""Witness-style schemes with constant-size certificates.
+
+Theorem 2.2 says *every* MSO property of trees has an O(1)-bit certification.
+A few MSO properties have O(1)-bit certifications on *all* graphs because
+the property itself is witnessed by a constant-size label per vertex — a
+proper colouring, a matched-partner bit, or nothing at all when the property
+is a purely local degree condition (the introduction's "maximum degree
+three" example).  These schemes serve three purposes in the repository:
+
+* they are the baseline the LCL subpackage (Appendix C.2) compares against,
+* they give the benchmarks an O(1) row that is *not* produced by the tree
+  automata machinery, and
+* they exercise the framework on properties whose verifier never touches
+  identifiers, i.e. genuinely anonymous verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.graphs.utils import ensure_connected
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+
+Vertex = Hashable
+
+
+class MaxDegreeScheme(CertificationScheme):
+    """Certify "every vertex has degree at most d" with empty certificates.
+
+    This is the introduction's canonical *locally checkable* property: the
+    verifier counts its neighbours and never reads a certificate, so the
+    certificate size is zero bits.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 0:
+            raise ValueError("d must be non-negative")
+        self.d = d
+        self.name = f"max-degree<={d}"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return all(degree <= self.d for _, degree in graph.degree())
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        if not self.holds(graph):
+            raise NotAYesInstance(f"some vertex has degree above {self.d}")
+        return {v: b"" for v in graph.nodes()}
+
+    def verify(self, view: LocalView) -> bool:
+        return view.degree <= self.d
+
+
+class BipartitenessScheme(CertificationScheme):
+    """Certify 2-colourability with one bit per vertex (the colour itself).
+
+    Completeness: colour classes of a proper 2-colouring.  Soundness: a
+    monochromatic edge is visible to both endpoints, so any accepted
+    labelling is a proper 2-colouring and the graph is bipartite.  This is a
+    *full* certification (sound on every graph), unlike most O(1) schemes.
+    """
+
+    name = "bipartite"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return nx.is_bipartite(graph)
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        if not nx.is_bipartite(graph):
+            raise NotAYesInstance("the graph has an odd cycle")
+        colouring = nx.bipartite.color(graph)
+        certificates: Certificates = {}
+        for vertex, colour in colouring.items():
+            writer = CertificateWriter()
+            writer.write_bool(bool(colour))
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            my_colour = _read_single_bool(view.certificate)
+            neighbour_colours = [
+                _read_single_bool(info.certificate) for info in view.neighbors
+            ]
+        except CertificateFormatError:
+            return False
+        return all(colour != my_colour for colour in neighbour_colours)
+
+
+class ProperColoringScheme(CertificationScheme):
+    """Certify c-colourability by exhibiting a proper c-colouring (O(log c) bits).
+
+    For c ≥ 3 the *property* "G is c-colourable" cannot be certified compactly
+    in general (the paper cites the Ω(n²) bound for non-3-colourability), but
+    exhibiting a colouring certifies the *positive* side with constant-size
+    certificates: this is the distinction between certifying membership in a
+    class and certifying its complement, and the tests lean on it.
+    """
+
+    def __init__(self, colors: int) -> None:
+        if colors < 1:
+            raise ValueError("colors must be positive")
+        self.colors = colors
+        self.name = f"{colors}-colorable"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return self._find_coloring(graph) is not None
+
+    def _find_coloring(self, graph: nx.Graph) -> Optional[Dict[Vertex, int]]:
+        """Exact colouring by backtracking for small c, greedy fallback check."""
+        greedy = nx.greedy_color(graph, strategy="DSATUR")
+        if max(greedy.values(), default=0) < self.colors:
+            return greedy
+        vertices = sorted(graph.nodes(), key=lambda v: -graph.degree(v))
+        if len(vertices) > 24:
+            return None
+        assignment: Dict[Vertex, int] = {}
+
+        def backtrack(index: int) -> bool:
+            if index == len(vertices):
+                return True
+            vertex = vertices[index]
+            used = {assignment[w] for w in graph.neighbors(vertex) if w in assignment}
+            for colour in range(self.colors):
+                if colour in used:
+                    continue
+                assignment[vertex] = colour
+                if backtrack(index + 1):
+                    return True
+                del assignment[vertex]
+            return False
+
+        return dict(assignment) if backtrack(0) else None
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        coloring = self._find_coloring(graph)
+        if coloring is None:
+            raise NotAYesInstance(f"the graph is not {self.colors}-colourable")
+        certificates: Certificates = {}
+        for vertex, colour in coloring.items():
+            writer = CertificateWriter()
+            writer.write_uint(colour)
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            my_colour = _read_single_uint(view.certificate)
+            neighbour_colours = [
+                _read_single_uint(info.certificate) for info in view.neighbors
+            ]
+        except CertificateFormatError:
+            return False
+        if my_colour >= self.colors:
+            return False
+        return all(colour != my_colour for colour in neighbour_colours)
+
+
+class PerfectMatchingWitnessScheme(CertificationScheme):
+    """Certify "G has a perfect matching" with O(log n) bits (the partner's id).
+
+    Every vertex is labelled with the identifier of its matched partner; a
+    vertex accepts when its partner is one of its neighbours and that
+    neighbour points back at it.  This is the identifier-based counterpart of
+    the automaton used by the MSO-on-trees scheme for the same property, and
+    the benchmark compares the two sizes.
+    """
+
+    name = "perfect-matching-witness"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        matching = nx.max_weight_matching(graph, maxcardinality=True)
+        return 2 * len(matching) == graph.number_of_nodes()
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        matching = nx.max_weight_matching(graph, maxcardinality=True)
+        if 2 * len(matching) != graph.number_of_nodes():
+            raise NotAYesInstance("the graph has no perfect matching")
+        partner: Dict[Vertex, Vertex] = {}
+        for u, v in matching:
+            partner[u] = v
+            partner[v] = u
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            writer = CertificateWriter()
+            writer.write_uint(ids[partner[vertex]])
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            partner_id = _read_single_uint(view.certificate)
+        except CertificateFormatError:
+            return False
+        if not view.has_neighbor(partner_id):
+            return False
+        try:
+            partner_points_back = _read_single_uint(view.neighbor_by_id(partner_id).certificate)
+        except CertificateFormatError:
+            return False
+        return partner_points_back == view.identifier
+
+
+def _read_single_bool(certificate: bytes) -> bool:
+    reader = CertificateReader(certificate)
+    value = reader.read_bool()
+    reader.expect_end()
+    return value
+
+
+def _read_single_uint(certificate: bytes) -> int:
+    reader = CertificateReader(certificate)
+    value = reader.read_uint()
+    reader.expect_end()
+    return value

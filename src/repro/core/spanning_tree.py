@@ -1,0 +1,223 @@
+"""Spanning-tree-based certifications (Proposition 3.4).
+
+Two schemes live here:
+
+* :class:`TreeScheme` certifies "the graph is a tree" with O(log n)-bit
+  certificates (root identifier + distance + parent identifier): this is the
+  classic acyclicity-plus-connectivity certification;
+* :class:`SpanningTreeCountScheme` certifies "the value written at every node
+  equals the number of vertices of the graph", the counting half of
+  Proposition 3.4 (root identifier + distance + parent + subtree size +
+  claimed total).
+
+Both also export their field-level helpers, which the treedepth and
+kernelization schemes reuse to embed spanning-tree fragments in their own
+certificates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.graphs.utils import ensure_connected, is_tree
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+
+Vertex = Hashable
+
+
+def bfs_spanning_tree(
+    graph: nx.Graph, root: Vertex
+) -> Tuple[Dict[Vertex, int], Dict[Vertex, Optional[Vertex]], Dict[Vertex, int]]:
+    """BFS tree from ``root``: distances, parents and subtree sizes."""
+    distances: Dict[Vertex, int] = {root: 0}
+    parents: Dict[Vertex, Optional[Vertex]] = {root: None}
+    order = [root]
+    queue = [root]
+    while queue:
+        current = queue.pop(0)
+        for neighbor in sorted(graph.neighbors(current), key=repr):
+            if neighbor not in distances:
+                distances[neighbor] = distances[current] + 1
+                parents[neighbor] = current
+                order.append(neighbor)
+                queue.append(neighbor)
+    if len(distances) != graph.number_of_nodes():
+        raise ValueError("graph is not connected")
+    subtree_sizes: Dict[Vertex, int] = {v: 1 for v in graph.nodes()}
+    for vertex in reversed(order):
+        parent = parents[vertex]
+        if parent is not None:
+            subtree_sizes[parent] += subtree_sizes[vertex]
+    return distances, parents, subtree_sizes
+
+
+class TreeScheme(CertificationScheme):
+    """Certify that the graph is a tree, with O(log n)-bit certificates.
+
+    Certificate of a vertex: ``(root_id, distance_to_root, parent_id)`` (the
+    root stores its own identifier as parent).  Verification:
+
+    * all neighbours agree on ``root_id``;
+    * the vertex with ``distance == 0`` has identifier ``root_id``;
+    * every vertex with ``distance d > 0`` has its parent among its
+      neighbours, with distance ``d − 1``;
+    * every neighbour is either the vertex's parent or claims the vertex as
+      its parent — this forbids non-tree edges, so acceptance everywhere
+      forces the graph to *be* the certified tree.
+    """
+
+    name = "tree"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return is_tree(graph)
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        if not self.holds(graph):
+            raise NotAYesInstance("the graph is not a tree")
+        root = min(graph.nodes(), key=lambda v: ids[v])
+        distances, parents, _ = bfs_spanning_tree(graph, root)
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            parent = parents[vertex]
+            writer = CertificateWriter()
+            writer.write_uint(ids[root])
+            writer.write_uint(distances[vertex])
+            writer.write_uint(ids[parent] if parent is not None else ids[vertex])
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            root_id, distance, parent_id = _read_tree_fields(view.certificate)
+            neighbor_fields = [_read_tree_fields(info.certificate) for info in view.neighbors]
+        except CertificateFormatError:
+            return False
+        if any(fields[0] != root_id for fields in neighbor_fields):
+            return False
+        if distance == 0:
+            if view.identifier != root_id or parent_id != view.identifier:
+                return False
+        else:
+            try:
+                parent_info = view.neighbor_by_id(parent_id)
+            except KeyError:
+                return False
+            parent_distance = _read_tree_fields(parent_info.certificate)[1]
+            if parent_distance != distance - 1:
+                return False
+        # Every incident edge must be a tree edge.
+        for info, fields in zip(view.neighbors, neighbor_fields):
+            neighbor_distance, neighbor_parent = fields[1], fields[2]
+            is_my_parent = info.identifier == parent_id and distance > 0
+            claims_me_as_parent = neighbor_parent == view.identifier and neighbor_distance == distance + 1
+            if not (is_my_parent or claims_me_as_parent):
+                return False
+        return True
+
+
+def _read_tree_fields(certificate: bytes) -> Tuple[int, int, int]:
+    reader = CertificateReader(certificate)
+    root_id = reader.read_uint()
+    distance = reader.read_uint()
+    parent_id = reader.read_uint()
+    return root_id, distance, parent_id
+
+
+class SpanningTreeCountScheme(CertificationScheme):
+    """Certify the number of vertices of the graph (Proposition 3.4).
+
+    The "property" is relative to a target ``expected_n`` fixed when the
+    scheme is constructed: the scheme certifies "the graph has exactly
+    ``expected_n`` vertices".  Certificate of a vertex:
+    ``(root_id, distance, parent_id, subtree_size, claimed_total)``.
+
+    Verification: spanning-tree consistency as in the classic construction
+    (distances decrease towards the root), the subtree size of every vertex
+    equals 1 plus the sizes of the neighbours that claim it as a parent, all
+    vertices agree on ``claimed_total``, and at the root the subtree size
+    equals the claimed total, which must equal ``expected_n``.
+    """
+
+    name = "spanning-tree-count"
+
+    def __init__(self, expected_n: int) -> None:
+        if expected_n < 1:
+            raise ValueError("expected_n must be positive")
+        self.expected_n = expected_n
+        self.name = f"spanning-tree-count(n={expected_n})"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return graph.number_of_nodes() == self.expected_n
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        if not self.holds(graph):
+            raise NotAYesInstance(
+                f"graph has {graph.number_of_nodes()} vertices, expected {self.expected_n}"
+            )
+        root = min(graph.nodes(), key=lambda v: ids[v])
+        distances, parents, subtree_sizes = bfs_spanning_tree(graph, root)
+        total = graph.number_of_nodes()
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            parent = parents[vertex]
+            writer = CertificateWriter()
+            writer.write_uint(ids[root])
+            writer.write_uint(distances[vertex])
+            writer.write_uint(ids[parent] if parent is not None else ids[vertex])
+            writer.write_uint(subtree_sizes[vertex])
+            writer.write_uint(total)
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            mine = _read_count_fields(view.certificate)
+            neighbor_fields = {
+                info.identifier: _read_count_fields(info.certificate) for info in view.neighbors
+            }
+        except CertificateFormatError:
+            return False
+        root_id, distance, parent_id, subtree_size, claimed_total = mine
+        if claimed_total != self.expected_n:
+            return False
+        for fields in neighbor_fields.values():
+            if fields[0] != root_id or fields[4] != claimed_total:
+                return False
+        if distance == 0:
+            if view.identifier != root_id:
+                return False
+            if subtree_size != claimed_total:
+                return False
+        else:
+            if parent_id not in neighbor_fields:
+                return False
+            if neighbor_fields[parent_id][1] != distance - 1:
+                return False
+        # Subtree size must equal 1 + sizes of children (neighbours whose
+        # parent pointer is this vertex and whose distance is one more).
+        children_total = sum(
+            fields[3]
+            for fields in neighbor_fields.values()
+            if fields[2] == view.identifier and fields[1] == distance + 1
+        )
+        if subtree_size != 1 + children_total:
+            return False
+        return True
+
+
+def _read_count_fields(certificate: bytes) -> Tuple[int, int, int, int, int]:
+    reader = CertificateReader(certificate)
+    return (
+        reader.read_uint(),
+        reader.read_uint(),
+        reader.read_uint(),
+        reader.read_uint(),
+        reader.read_uint(),
+    )

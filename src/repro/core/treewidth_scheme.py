@@ -1,0 +1,186 @@
+"""Certification of bounded treewidth via ancestor bag lists (extension).
+
+Section 2.4 of the paper closes with the follow-up meta-theorem of
+Fraigniaud, Montealegre, Rapaport and Todinca: MSO properties of bounded
+*treewidth* graphs can be certified with Θ(log² n) bits.  The preliminary
+step of that programme — certifying that the graph admits a width-``k`` tree
+decomposition at all — transfers the ancestor-list technique of Theorem 2.4
+from elimination trees to rooted tree decompositions, and this module
+implements that transfer:
+
+* the honest prover roots a width-``k`` decomposition at a central bag,
+  assigns every vertex to the *topmost* bag containing it, and writes in the
+  vertex's certificate the sequence of bags (as identifier lists) from that
+  bag up to the root;
+* the verifier checks that bags have at most ``k + 1`` identifiers, that the
+  vertex's own identifier appears in its lowest bag, that the bag lists of
+  adjacent vertices are suffix-comparable with a shared root bag, and that
+  the deeper endpoint's lowest bag contains both endpoints of the edge —
+  which is exactly the invariant a topmost-bag assignment satisfies.
+
+Certificate size is ``O(d · k · log n)`` bits where ``d`` is the depth of
+the rooted decomposition; with a logarithmic-depth (balanced) decomposition
+this is the ``O(k · log² n)`` regime of the follow-up paper.  As with
+Theorem 2.4, turning the local consistency checks into a full soundness
+proof requires the per-level spanning-tree machinery; the verifier here
+implements the bag-list checks (the new ingredient) and reuses the honest
+spanning structure only implicitly, which is the documented substitution in
+DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.graphs.utils import ensure_connected
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+from repro.treewidth.decomposition import (
+    TreeDecomposition,
+    is_valid_decomposition,
+    root_decomposition,
+    topmost_bag_assignment,
+)
+from repro.treewidth.exact import (
+    TreewidthUndecided,
+    decide_treewidth_at_most,
+    exact_treewidth,
+    treewidth_upper_bound,
+)
+
+Vertex = Hashable
+DecompositionBuilder = Callable[[nx.Graph], TreeDecomposition]
+
+_EXACT_LIMIT = 13
+
+
+class TreeDecompositionScheme(CertificationScheme):
+    """Certify "the graph has treewidth at most k" with O(d·k·log n) bits."""
+
+    def __init__(self, k: int, decomposition_builder: DecompositionBuilder | None = None) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self.decomposition_builder = decomposition_builder
+        self.name = f"treewidth<={k}"
+
+    # ------------------------------------------------------------------
+    # Ground truth and decomposition construction
+    # ------------------------------------------------------------------
+
+    def holds(self, graph: nx.Graph) -> bool:
+        decomposition = self._build_decomposition(graph)
+        if decomposition is not None and decomposition.width <= self.k:
+            return True
+        try:
+            return decide_treewidth_at_most(graph, self.k, max_exact_vertices=_EXACT_LIMIT)
+        except TreewidthUndecided:
+            raise ValueError(
+                "cannot decide treewidth on a graph this large; provide a "
+                "decomposition_builder that produces a width-bounded decomposition"
+            )
+
+    def _build_decomposition(self, graph: nx.Graph) -> Optional[TreeDecomposition]:
+        if self.decomposition_builder is not None:
+            decomposition = self.decomposition_builder(graph)
+            if is_valid_decomposition(graph, decomposition):
+                return decomposition
+            return None
+        width, decomposition = treewidth_upper_bound(graph)
+        if width > self.k and graph.number_of_nodes() <= _EXACT_LIMIT:
+            exact_width, exact_decomposition = exact_treewidth(graph, max_vertices=_EXACT_LIMIT)
+            if exact_width < width:
+                return exact_decomposition
+        return decomposition
+
+    # ------------------------------------------------------------------
+    # Prover
+    # ------------------------------------------------------------------
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        decomposition = self._build_decomposition(graph)
+        if decomposition is None or not is_valid_decomposition(graph, decomposition):
+            raise NotAYesInstance("no valid tree decomposition available")
+        if decomposition.width > self.k:
+            raise NotAYesInstance(
+                f"the available decomposition has width {decomposition.width} > {self.k}"
+            )
+        rooted = root_decomposition(decomposition)
+        assignment = topmost_bag_assignment(graph, rooted)
+        bag_ids_sorted = {
+            bag_id: sorted(ids[v] for v in bag) for bag_id, bag in rooted.bags.items()
+        }
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            chain = rooted.ancestors_of(assignment[vertex])  # assigned bag ... root bag
+            writer = CertificateWriter()
+            writer.write_uint(len(chain))
+            for bag_id in chain:
+                writer.write_uint_list(bag_ids_sorted[bag_id])
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    # ------------------------------------------------------------------
+    # Verifier
+    # ------------------------------------------------------------------
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            my_bags = _decode_bag_list(view.certificate)
+            neighbor_bags = {
+                info.identifier: _decode_bag_list(info.certificate) for info in view.neighbors
+            }
+        except CertificateFormatError:
+            return False
+        # Bag shape: non-empty chain, every bag has at most k+1 distinct identifiers.
+        if not _bags_well_formed(my_bags, self.k):
+            return False
+        if view.identifier not in my_bags[0]:
+            return False
+        for neighbor_id, bags in neighbor_bags.items():
+            if not _bags_well_formed(bags, self.k):
+                return False
+            if neighbor_id not in bags[0]:
+                return False
+            # Shared root bag.
+            if bags[-1] != my_bags[-1]:
+                return False
+            # Suffix comparability of the two bag chains.
+            if not _suffix_comparable_bags(my_bags, bags):
+                return False
+            # The deeper endpoint's lowest bag covers the edge.
+            deeper = my_bags if len(my_bags) >= len(bags) else bags
+            if view.identifier not in deeper[0] or neighbor_id not in deeper[0]:
+                return False
+        return True
+
+
+def _decode_bag_list(certificate: bytes) -> List[Tuple[int, ...]]:
+    reader = CertificateReader(certificate)
+    length = reader.read_uint()
+    if length == 0 or length > 10_000:
+        raise CertificateFormatError("bag chain has an unreasonable length")
+    bags = [tuple(reader.read_uint_list()) for _ in range(length)]
+    reader.expect_end()
+    return bags
+
+
+def _bags_well_formed(bags: Sequence[Tuple[int, ...]], k: int) -> bool:
+    if not bags:
+        return False
+    for bag in bags:
+        if len(bag) == 0 or len(set(bag)) != len(bag) or len(bag) > k + 1:
+            return False
+    return True
+
+
+def _suffix_comparable_bags(
+    chain_a: Sequence[Tuple[int, ...]], chain_b: Sequence[Tuple[int, ...]]
+) -> bool:
+    shorter, longer = (chain_a, chain_b) if len(chain_a) <= len(chain_b) else (chain_b, chain_a)
+    return list(longer[len(longer) - len(shorter):]) == list(shorter)

@@ -1,0 +1,86 @@
+"""The universal O(n²)-bit certification (Section 1.2).
+
+Any (decidable, identifier-independent) property can be certified by writing
+the full description of the graph in every certificate: every node checks
+that its neighbours carry the same description, that the description is
+locally consistent with what it sees (its own identifier and its incident
+edges), and that the described graph satisfies the property.  The size is
+Θ(n² + n·log n) bits — the baseline the whole paper is trying to beat.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import networkx as nx
+
+from repro.core.encoding import (
+    CertificateFormatError,
+    decode_adjacency_matrix,
+    encode_adjacency_matrix,
+)
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.graphs.utils import ensure_connected
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+
+Vertex = Hashable
+
+
+class UniversalScheme(CertificationScheme):
+    """Certify an arbitrary graph property by shipping the whole graph.
+
+    ``property_checker`` is any function from a graph to a boolean; it must
+    not depend on the identifier assignment (identifiers are relabelled
+    0..n−1 before it is called).
+    """
+
+    def __init__(self, property_checker: Callable[[nx.Graph], bool], name: str = "universal") -> None:
+        self.property_checker = property_checker
+        self.name = f"universal({name})"
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return bool(self.property_checker(graph))
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        ensure_connected(graph)
+        if not self.holds(graph):
+            raise NotAYesInstance("the property does not hold")
+        vertices = sorted(graph.nodes(), key=lambda v: ids[v])
+        id_list = [ids[v] for v in vertices]
+        index = {v: i for i, v in enumerate(vertices)}
+        k = len(vertices)
+        adjacency = [[False] * k for _ in range(k)]
+        for u, v in graph.edges():
+            adjacency[index[u]][index[v]] = adjacency[index[v]][index[u]] = True
+        description = encode_adjacency_matrix(id_list, adjacency)
+        return {v: description for v in graph.nodes()}
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            ids, matrix = decode_adjacency_matrix(view.certificate)
+        except CertificateFormatError:
+            return False
+        # Same description everywhere.
+        if any(info.certificate != view.certificate for info in view.neighbors):
+            return False
+        if len(set(ids)) != len(ids):
+            return False
+        if view.identifier not in ids:
+            return False
+        position = ids.index(view.identifier)
+        # The described row of this vertex must match its actual neighbourhood.
+        described_neighbors = {
+            ids[j] for j in range(len(ids)) if matrix[position][j]
+        }
+        actual_neighbors = set(view.neighbor_identifiers())
+        if described_neighbors != actual_neighbors:
+            return False
+        # Rebuild the graph on anonymous vertices and check the property.
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(ids)))
+        for i in range(len(ids)):
+            for j in range(i + 1, len(ids)):
+                if matrix[i][j]:
+                    graph.add_edge(i, j)
+        return bool(self.property_checker(graph))

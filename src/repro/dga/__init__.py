@@ -1,0 +1,49 @@
+"""Distributed graph automata (the Appendix A.3 comparison model).
+
+Appendix A.3 of the paper contrasts local certification with Reiter's
+*distributed graph automata*: anonymous finite-state machines updating their
+states in synchronous rounds, whose acceptance is a function of the *set* of
+final states, optionally helped by provers assigning constant-size labels.
+This subpackage implements the deterministic core of the model and its
+single-prover (existential) variant, so the benchmarks and the examples can
+compare, on the same instances, what a constant-round finite-state model
+decides versus what a radius-1 certification decides:
+
+* local computation — DGAs are finite-state and see only the *set* of
+  neighbour states (no counting, no identifiers), strictly weaker than the
+  unbounded local computation of a certification verifier;
+* acceptance — DGAs apply an arbitrary predicate to the set of final
+  states, strictly stronger than the "every vertex accepts" conjunction;
+* rounds — DGAs run a constant number of rounds, certifications exactly one.
+"""
+
+from repro.dga.automaton import (
+    AcceptancePredicate,
+    DGARun,
+    DistributedGraphAutomaton,
+    all_states_in,
+    some_state_is,
+)
+from repro.dga.nondeterministic import NondeterministicDGA, certification_from_dga
+from repro.dga.catalog import (
+    all_nodes_labelled,
+    proper_coloring_checker,
+    radius_at_most,
+    some_node_labelled,
+    two_coloring_prover_dga,
+)
+
+__all__ = [
+    "AcceptancePredicate",
+    "DGARun",
+    "DistributedGraphAutomaton",
+    "all_states_in",
+    "some_state_is",
+    "NondeterministicDGA",
+    "certification_from_dga",
+    "all_nodes_labelled",
+    "proper_coloring_checker",
+    "radius_at_most",
+    "some_node_labelled",
+    "two_coloring_prover_dga",
+]

@@ -1,0 +1,134 @@
+"""The deterministic distributed graph automaton.
+
+The model, following Reiter (LICS 2015) as summarised in Appendix A.3:
+
+* every node is an identical finite-state machine — there are no identifiers;
+* the initial state of a node is a function of its (constant-size) input
+  label only;
+* in each synchronous round, a node's next state is a function of its
+  current state and of the *set* of its neighbours' current states (a set,
+  not a multiset: the model cannot count);
+* after a fixed constant number of rounds, the run stops and the automaton
+  accepts iff the *set* of states present in the graph satisfies the
+  acceptance predicate.
+
+The class below is a direct executable transcription of that definition; the
+nondeterministic (prover) layer lives in
+:mod:`repro.dga.nondeterministic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.utils import ensure_connected
+
+Vertex = Hashable
+State = Hashable
+Label = Hashable
+
+InitialFunction = Callable[[Label], State]
+TransitionFunction = Callable[[State, FrozenSet[State]], State]
+AcceptancePredicate = Callable[[FrozenSet[State]], bool]
+
+
+def all_states_in(allowed) -> AcceptancePredicate:
+    """Acceptance predicate: every final state belongs to ``allowed``."""
+    allowed = frozenset(allowed)
+
+    def predicate(states: FrozenSet[State]) -> bool:
+        return states <= allowed
+
+    return predicate
+
+
+def some_state_is(wanted: State) -> AcceptancePredicate:
+    """Acceptance predicate: at least one node ends in state ``wanted``."""
+
+    def predicate(states: FrozenSet[State]) -> bool:
+        return wanted in states
+
+    return predicate
+
+
+@dataclass(frozen=True)
+class DGARun:
+    """The trace of one run: per-round states and the final decision."""
+
+    accepted: bool
+    final_states: FrozenSet[State]
+    rounds: int
+    history: Tuple[Dict[Vertex, State], ...] = field(default_factory=tuple)
+
+    def states_of(self, vertex: Vertex) -> Tuple[State, ...]:
+        """The state trajectory of one vertex across the run."""
+        return tuple(snapshot[vertex] for snapshot in self.history)
+
+
+@dataclass(frozen=True)
+class DistributedGraphAutomaton:
+    """An anonymous, synchronous, finite-state distributed graph automaton."""
+
+    name: str
+    states: FrozenSet[State]
+    initial: InitialFunction
+    transition: TransitionFunction
+    acceptance: AcceptancePredicate
+    rounds: int
+    labels: FrozenSet[Label] = frozenset({None})
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError("the number of rounds must be non-negative")
+        if not self.states:
+            raise ValueError("the state set must be non-empty")
+
+    def run(
+        self,
+        graph: nx.Graph,
+        labels: Optional[Mapping[Vertex, Label]] = None,
+        keep_history: bool = False,
+    ) -> DGARun:
+        """Execute the automaton on ``graph`` with the given input labelling.
+
+        Unlabelled vertices get the label ``None``.  Raises ``ValueError``
+        when an initial or transition step leaves the declared state set —
+        that is a bug in the automaton, not a rejection.
+        """
+        graph = ensure_connected(graph)
+        labels = dict(labels or {})
+        current: Dict[Vertex, State] = {}
+        for vertex in graph.nodes():
+            label = labels.get(vertex)
+            if label not in self.labels:
+                raise ValueError(f"label {label!r} is not in the automaton's alphabet")
+            state = self.initial(label)
+            if state not in self.states:
+                raise ValueError(f"initial state {state!r} is not a declared state")
+            current[vertex] = state
+        history = [dict(current)] if keep_history else []
+        for _ in range(self.rounds):
+            nxt: Dict[Vertex, State] = {}
+            for vertex in graph.nodes():
+                neighbour_states = frozenset(current[w] for w in graph.neighbors(vertex))
+                state = self.transition(current[vertex], neighbour_states)
+                if state not in self.states:
+                    raise ValueError(f"transition produced unknown state {state!r}")
+                nxt[vertex] = state
+            current = nxt
+            if keep_history:
+                history.append(dict(current))
+        final_states = frozenset(current.values())
+        return DGARun(
+            accepted=bool(self.acceptance(final_states)),
+            final_states=final_states,
+            rounds=self.rounds,
+            history=tuple(history),
+        )
+
+    def accepts(self, graph: nx.Graph, labels: Optional[Mapping[Vertex, Label]] = None) -> bool:
+        """Shortcut for ``run(...).accepted``."""
+        return self.run(graph, labels=labels).accepted

@@ -1,0 +1,148 @@
+"""A small catalogue of distributed graph automata.
+
+These are the running examples used by the tests, the benchmarks and the
+``examples/`` scripts: two label-counting-free staples (all/some node carries
+a given label), the one-round proper-colouring checker (the automaton behind
+LCL-style verification), the r-round flooding automaton deciding "every node
+is within distance r of a marked node", and the prover-assisted
+2-colourability automaton that Appendix A.3 would call a one-alternation
+(existential) automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional
+
+import networkx as nx
+
+from repro.dga.automaton import DistributedGraphAutomaton, all_states_in, some_state_is
+from repro.dga.nondeterministic import NondeterministicDGA
+
+Vertex = Hashable
+
+_GOOD = "good"
+_BAD = "bad"
+_REACHED = "reached"
+_WAITING = "waiting"
+
+
+def all_nodes_labelled(label) -> DistributedGraphAutomaton:
+    """Accept iff every node carries ``label`` (zero rounds)."""
+
+    def initial(node_label):
+        return _GOOD if node_label == label else _BAD
+
+    return DistributedGraphAutomaton(
+        name=f"all-nodes-labelled[{label!r}]",
+        states=frozenset({_GOOD, _BAD}),
+        initial=initial,
+        transition=lambda state, _: state,
+        acceptance=all_states_in({_GOOD}),
+        rounds=0,
+        labels=frozenset({label, None}),
+    )
+
+
+def some_node_labelled(label) -> DistributedGraphAutomaton:
+    """Accept iff at least one node carries ``label`` (zero rounds)."""
+
+    def initial(node_label):
+        return _GOOD if node_label == label else _WAITING
+
+    return DistributedGraphAutomaton(
+        name=f"some-node-labelled[{label!r}]",
+        states=frozenset({_GOOD, _WAITING}),
+        initial=initial,
+        transition=lambda state, _: state,
+        acceptance=some_state_is(_GOOD),
+        rounds=0,
+        labels=frozenset({label, None}),
+    )
+
+
+def proper_coloring_checker(colors: int) -> DistributedGraphAutomaton:
+    """One round: every node checks that no neighbour shares its colour label.
+
+    The input labels are the colours ``0 .. colors-1``; after one round a
+    node is ``bad`` iff some neighbour had the same colour, and the automaton
+    accepts iff no node is ``bad``.  This is the finite-state skeleton of the
+    LCL verifier for proper colouring.
+    """
+    if colors < 1:
+        raise ValueError("colors must be positive")
+    palette = tuple(range(colors))
+    states = frozenset(palette) | frozenset({_BAD, _GOOD})
+
+    def initial(label):
+        if label not in palette:
+            return _BAD
+        return label
+
+    def transition(state, neighbour_states: FrozenSet):
+        if state == _BAD:
+            return _BAD
+        if state in neighbour_states:
+            return _BAD
+        return _GOOD
+
+    return DistributedGraphAutomaton(
+        name=f"proper-{colors}-coloring-checker",
+        states=states,
+        initial=initial,
+        transition=transition,
+        acceptance=all_states_in({_GOOD}),
+        rounds=1,
+        labels=frozenset(palette) | frozenset({None}),
+    )
+
+
+def radius_at_most(r: int) -> DistributedGraphAutomaton:
+    """Accept iff every node is within distance ``r`` of a node labelled "center".
+
+    Flooding for ``r`` rounds: a node is ``reached`` initially iff it carries
+    the ``"center"`` label, and becomes ``reached`` as soon as a neighbour
+    is.  This is the Appendix A.1 observation that radius-``r`` views (here,
+    ``r`` communication rounds) decide bounded-eccentricity properties that
+    radius-1 certification cannot decide without large certificates.
+    """
+    if r < 0:
+        raise ValueError("r must be non-negative")
+
+    def initial(label):
+        return _REACHED if label == "center" else _WAITING
+
+    def transition(state, neighbour_states: FrozenSet):
+        if state == _REACHED or _REACHED in neighbour_states:
+            return _REACHED
+        return _WAITING
+
+    return DistributedGraphAutomaton(
+        name=f"radius<={r}",
+        states=frozenset({_REACHED, _WAITING}),
+        initial=initial,
+        transition=transition,
+        acceptance=all_states_in({_REACHED}),
+        rounds=r,
+        labels=frozenset({"center", None}),
+    )
+
+
+def _bipartition_witness(graph: nx.Graph) -> Optional[Dict[Vertex, int]]:
+    if not nx.is_bipartite(graph):
+        return None
+    return {vertex: int(colour) for vertex, colour in nx.bipartite.color(graph).items()}
+
+
+def two_coloring_prover_dga() -> NondeterministicDGA:
+    """The existential automaton for 2-colourability.
+
+    The prover labels every node with a colour in {0, 1}; the deterministic
+    part is the one-round proper-colouring checker.  The automaton accepts a
+    graph iff it is bipartite — the standard example of a property that the
+    deterministic model cannot decide but one existential alternation can.
+    """
+    return NondeterministicDGA(
+        automaton=proper_coloring_checker(2),
+        prover_labels=(0, 1),
+        witness=_bipartition_witness,
+    )

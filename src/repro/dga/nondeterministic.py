@@ -1,0 +1,167 @@
+"""The single-prover (existential) layer on top of distributed graph automata.
+
+Reiter's full model is *alternating*: a prover and a disprover take turns
+assigning constant-size labels to the nodes before the finite-state run.
+Local certification corresponds to the first existential level — one prover,
+then a deterministic verification — so that is the variant implemented
+here.  A :class:`NondeterministicDGA` accepts a graph when *some* assignment
+of prover labels makes the underlying deterministic automaton accept; the
+class searches the (exponentially many) assignments exhaustively, with a
+size guard, or uses a caller-supplied witness strategy when one exists.
+
+The bridge :func:`certification_from_dga` turns a nondeterministic DGA into
+a :class:`~repro.core.scheme.CertificationScheme` whose certificates are the
+prover label plus the node's full state trajectory: this makes Appendix
+A.3's comparison concrete — the certificates have constant size, but the
+verification needs as many certification rounds as the automaton had
+computation rounds, which the radius-1 model compresses into one round at
+the price of trusting (and re-checking) the trajectory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.dga.automaton import DistributedGraphAutomaton
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+
+Vertex = Hashable
+Label = Hashable
+WitnessStrategy = Callable[[nx.Graph], Optional[Mapping[Vertex, Label]]]
+
+_EXHAUSTIVE_LIMIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class NondeterministicDGA:
+    """A deterministic DGA preceded by one existential labelling step."""
+
+    automaton: DistributedGraphAutomaton
+    prover_labels: tuple
+    witness: Optional[WitnessStrategy] = None
+
+    @property
+    def name(self) -> str:
+        return f"∃-{self.automaton.name}"
+
+    def accepting_labelling(self, graph: nx.Graph) -> Optional[Dict[Vertex, Label]]:
+        """Some prover labelling that makes the automaton accept, or ``None``.
+
+        The caller-supplied witness strategy is tried first; exhaustive
+        search over all labellings is the fallback, guarded so the search
+        space stays below a million assignments.
+        """
+        if self.witness is not None:
+            candidate = self.witness(graph)
+            if candidate is not None and self.automaton.accepts(graph, labels=candidate):
+                return dict(candidate)
+        vertices = sorted(graph.nodes(), key=repr)
+        space = len(self.prover_labels) ** len(vertices)
+        if space > _EXHAUSTIVE_LIMIT:
+            if self.witness is not None:
+                return None
+            raise ValueError(
+                f"exhaustive prover search over {space} labellings is too large; "
+                "provide a witness strategy"
+            )
+        for assignment in itertools.product(self.prover_labels, repeat=len(vertices)):
+            labelling = dict(zip(vertices, assignment))
+            if self.automaton.accepts(graph, labels=labelling):
+                return labelling
+        return None
+
+    def accepts(self, graph: nx.Graph) -> bool:
+        return self.accepting_labelling(graph) is not None
+
+
+class _DGACertificationScheme(CertificationScheme):
+    """Radius-1 certification simulating a nondeterministic DGA run."""
+
+    def __init__(self, ndga: NondeterministicDGA) -> None:
+        self.ndga = ndga
+        self.automaton = ndga.automaton
+        self.name = f"certify[{ndga.name}]"
+        self._label_index = {label: i for i, label in enumerate(ndga.prover_labels)}
+        self._state_index = {state: i for i, state in enumerate(sorted(self.automaton.states, key=repr))}
+        self._state_of_index = {i: s for s, i in self._state_index.items()}
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return self.ndga.accepts(graph)
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        labelling = self.ndga.accepting_labelling(graph)
+        if labelling is None:
+            raise NotAYesInstance("no prover labelling makes the automaton accept")
+        run = self.automaton.run(graph, labels=labelling, keep_history=True)
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            writer = CertificateWriter()
+            writer.write_uint(self._label_index[labelling.get(vertex)])
+            writer.write_uint_list(
+                [self._state_index[state] for state in run.states_of(vertex)]
+            )
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            my_label, my_trajectory = self._decode(view.certificate)
+            neighbour_trajectories = [
+                self._decode(info.certificate)[1] for info in view.neighbors
+            ]
+        except CertificateFormatError:
+            return False
+        rounds = self.automaton.rounds
+        if len(my_trajectory) != rounds + 1:
+            return False
+        if any(len(t) != rounds + 1 for t in neighbour_trajectories):
+            return False
+        # Round 0: the initial state must match the prover label.
+        if my_trajectory[0] != self.automaton.initial(my_label):
+            return False
+        # Rounds 1..R: each step must be the declared transition applied to
+        # the neighbours' previous states.
+        for round_index in range(1, rounds + 1):
+            neighbour_states = frozenset(t[round_index - 1] for t in neighbour_trajectories)
+            expected = self.automaton.transition(my_trajectory[round_index - 1], neighbour_states)
+            if my_trajectory[round_index] != expected:
+                return False
+        # Acceptance: the set-of-states predicate is global, so the radius-1
+        # verifier can only enforce the "universal" predicates — every vertex
+        # checks that its own final state keeps the predicate satisfiable on
+        # singletons.  This is the structural weakening Appendix A.3 points
+        # out: general DGA acceptance does not localise.
+        return self.automaton.acceptance(frozenset({my_trajectory[-1]}))
+
+    def _decode(self, certificate: bytes):
+        reader = CertificateReader(certificate)
+        label_index = reader.read_uint()
+        if label_index >= len(self.ndga.prover_labels):
+            raise CertificateFormatError("unknown prover label")
+        trajectory_indices = reader.read_uint_list()
+        reader.expect_end()
+        try:
+            trajectory = tuple(self._state_of_index[i] for i in trajectory_indices)
+        except KeyError as error:
+            raise CertificateFormatError("unknown state index") from error
+        return self.ndga.prover_labels[label_index], trajectory
+
+
+def certification_from_dga(ndga: NondeterministicDGA) -> CertificationScheme:
+    """Wrap a nondeterministic DGA as a radius-1 certification scheme.
+
+    The resulting scheme is complete and sound for automata whose acceptance
+    predicate is of the "every final state is good" form (the
+    :func:`~repro.dga.automaton.all_states_in` family); for existential
+    predicates the global acceptance cannot be localised and the wrapper
+    only checks the transition structure — exactly the gap between the two
+    models that Appendix A.3 discusses.
+    """
+    return _DGACertificationScheme(ndga)

@@ -1,0 +1,82 @@
+"""Graph substrate: generators, tree isomorphism, automorphisms and minors.
+
+Every other package in :mod:`repro` builds on plain :class:`networkx.Graph`
+objects.  This package gathers the graph-theoretic helpers the paper relies
+on: the graph families used in the constructions, canonical forms for trees
+(needed by the automorphism lower bound of Theorem 2.3), and minor
+containment tests (needed by Corollary 2.7).
+"""
+
+from repro.graphs.generators import (
+    bounded_treedepth_graph,
+    caterpillar,
+    complete_binary_tree,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    random_graph,
+    random_tree,
+    random_tree_of_depth,
+    spider,
+    star_graph,
+    union_of_cycles_with_apex,
+)
+from repro.graphs.isomorphism import (
+    rooted_tree_canonical_form,
+    rooted_trees_isomorphic,
+    tree_canonical_form,
+    trees_isomorphic,
+)
+from repro.graphs.automorphism import (
+    automorphisms,
+    has_fixed_point_free_automorphism,
+    is_automorphism,
+)
+from repro.graphs.minors import (
+    has_cycle_minor,
+    has_minor,
+    has_path_minor,
+    is_cycle_minor_free,
+    is_path_minor_free,
+)
+from repro.graphs.utils import (
+    ensure_connected,
+    induced_subgraph,
+    is_clique,
+    is_tree,
+    relabel_to_integers,
+    vertex_set,
+)
+
+__all__ = [
+    "bounded_treedepth_graph",
+    "caterpillar",
+    "complete_binary_tree",
+    "cycle_graph",
+    "path_graph",
+    "random_connected_graph",
+    "random_graph",
+    "random_tree",
+    "random_tree_of_depth",
+    "spider",
+    "star_graph",
+    "union_of_cycles_with_apex",
+    "rooted_tree_canonical_form",
+    "rooted_trees_isomorphic",
+    "tree_canonical_form",
+    "trees_isomorphic",
+    "automorphisms",
+    "has_fixed_point_free_automorphism",
+    "is_automorphism",
+    "has_cycle_minor",
+    "has_minor",
+    "has_path_minor",
+    "is_cycle_minor_free",
+    "is_path_minor_free",
+    "ensure_connected",
+    "induced_subgraph",
+    "is_clique",
+    "is_tree",
+    "relabel_to_integers",
+    "vertex_set",
+]

@@ -1,0 +1,118 @@
+"""Automorphisms of graphs, and fixed-point-free automorphisms of trees.
+
+Theorem 2.3 of the paper concerns the property "the tree has an automorphism
+without fixed point", the typical non-MSO property.  This module provides:
+
+* a brute-force automorphism enumerator for small graphs (used in tests and
+  exhaustive experiments),
+* a polynomial decision procedure for fixed-point-free automorphisms of
+  *trees*, based on the classical centroid/canonical-form analysis used in
+  the paper's own reduction (the gadget of Theorem 2.3 has a fixed-point-free
+  automorphism iff Alice's and Bob's trees are isomorphic).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Hashable, Iterator
+
+import networkx as nx
+
+from repro.graphs.isomorphism import (
+    rooted_tree_canonical_form,
+    tree_centroids,
+)
+from repro.graphs.utils import is_tree
+
+Vertex = Hashable
+
+
+def is_automorphism(graph: nx.Graph, mapping: Dict[Vertex, Vertex]) -> bool:
+    """Check that ``mapping`` is an automorphism of ``graph``."""
+    vertices = set(graph.nodes())
+    if set(mapping.keys()) != vertices or set(mapping.values()) != vertices:
+        return False
+    for u, v in graph.edges():
+        if not graph.has_edge(mapping[u], mapping[v]):
+            return False
+    # Non-edges must map to non-edges; since the mapping is a bijection and
+    # edges map to edges, counting suffices.
+    return True
+
+
+def automorphisms(graph: nx.Graph, max_vertices: int = 9) -> Iterator[Dict[Vertex, Vertex]]:
+    """Yield all automorphisms of a small graph by brute force.
+
+    Degree sequences are used to prune the permutation search.  Guarded by
+    ``max_vertices`` because the search is factorial.
+    """
+    n = graph.number_of_nodes()
+    if n > max_vertices:
+        raise ValueError(
+            f"brute-force automorphism enumeration limited to {max_vertices} vertices"
+        )
+    vertices = sorted(graph.nodes(), key=repr)
+    degree = {v: graph.degree(v) for v in vertices}
+    for perm in permutations(vertices):
+        mapping = dict(zip(vertices, perm))
+        if any(degree[v] != degree[mapping[v]] for v in vertices):
+            continue
+        if all(graph.has_edge(mapping[u], mapping[v]) for u, v in graph.edges()):
+            yield mapping
+
+
+def has_fixed_point_free_automorphism_bruteforce(
+    graph: nx.Graph, max_vertices: int = 9
+) -> bool:
+    """Brute-force test for a fixed-point-free automorphism (small graphs)."""
+    for mapping in automorphisms(graph, max_vertices=max_vertices):
+        if all(mapping[v] != v for v in graph.nodes()):
+            return True
+    return False
+
+
+def has_fixed_point_free_automorphism(graph: nx.Graph) -> bool:
+    """Decide whether a *tree* has a fixed-point-free automorphism.
+
+    For non-tree graphs with at most 9 vertices we fall back to brute force.
+
+    For trees we use the classical structure of tree automorphisms: every
+    automorphism permutes the centroid set.
+
+    * A unique centroid is therefore a fixed point of every automorphism, so
+      no fixed-point-free automorphism exists.
+    * With two centroids (joined by an edge), an automorphism either fixes
+      both — and then is not fixed-point free — or swaps them, which is
+      possible iff the two halves obtained by cutting the centroid edge are
+      isomorphic as rooted trees; the swap then moves every vertex.
+    """
+    if not is_tree(graph):
+        return has_fixed_point_free_automorphism_bruteforce(graph)
+    if graph.number_of_nodes() == 1:
+        return False
+    centroids = tree_centroids(graph)
+    if len(centroids) == 1:
+        # Every tree automorphism maps centroids to centroids, so the unique
+        # centroid is a fixed point of every automorphism.
+        return False
+    c1, c2 = centroids
+    # With a centroid edge, an automorphism either fixes both endpoints or
+    # swaps them; only the swap can be fixed-point free, and a swap exists
+    # iff the two rooted halves are isomorphic.
+    half1 = rooted_tree_canonical_form(_half(graph, c1, c2), c1)
+    half2 = rooted_tree_canonical_form(_half(graph, c2, c1), c2)
+    return half1 == half2
+
+
+def _half(tree: nx.Graph, keep_root: Vertex, cut_neighbor: Vertex) -> nx.Graph:
+    """Component of ``tree`` containing ``keep_root`` after removing the edge
+    (keep_root, cut_neighbor)."""
+    pruned = tree.copy()
+    pruned.remove_edge(keep_root, cut_neighbor)
+    component = nx.node_connected_component(pruned, keep_root)
+    return pruned.subgraph(component).copy()
+
+
+def count_fixed_points(mapping: Dict[Vertex, Vertex]) -> int:
+    """Number of fixed points of a vertex mapping."""
+    return sum(1 for v, image in mapping.items() if v == image)

@@ -1,0 +1,284 @@
+"""Generators for the graph families used throughout the paper.
+
+Besides the standard families (paths, cycles, cliques, stars, ...), this
+module builds the more specific families the paper's constructions and
+experiments rely on:
+
+* random rooted trees of bounded depth (Theorems 2.2 and 2.3),
+* random connected graphs of bounded treedepth (Theorems 2.4 and 2.6),
+* the union-of-cycles-with-apex gadget underlying the treedepth lower bound
+  (Theorem 2.5, Figure 3).
+
+All generators return plain :class:`networkx.Graph` objects with integer
+vertex labels and accept an optional :class:`random.Random` (or seed) so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    """Normalise a seed argument into a :class:`random.Random` instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """Path on ``n`` vertices labelled ``0..n-1``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return nx.path_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """Cycle on ``n >= 3`` vertices labelled ``0..n-1``."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    return nx.cycle_graph(n)
+
+
+def clique_graph(n: int) -> nx.Graph:
+    """Complete graph on ``n`` vertices."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return nx.complete_graph(n)
+
+
+def star_graph(leaves: int) -> nx.Graph:
+    """Star with one centre (vertex 0) and ``leaves`` leaves."""
+    if leaves < 0:
+        raise ValueError("leaves must be non-negative")
+    return nx.star_graph(leaves)
+
+
+def complete_binary_tree(depth: int) -> nx.Graph:
+    """Complete binary tree of the given depth (depth 0 is a single vertex)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    graph = nx.Graph()
+    graph.add_node(0)
+    frontier = [0]
+    next_label = 1
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(2):
+                graph.add_edge(parent, next_label)
+                new_frontier.append(next_label)
+                next_label += 1
+        frontier = new_frontier
+    return graph
+
+
+def caterpillar(spine: int, legs_per_vertex: int = 2) -> nx.Graph:
+    """Caterpillar: a path of ``spine`` vertices, each with pendant leaves."""
+    if spine <= 0:
+        raise ValueError("spine must be positive")
+    graph = nx.path_graph(spine)
+    next_label = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            graph.add_edge(v, next_label)
+            next_label += 1
+    return graph
+
+
+def spider(legs: int, leg_length: int) -> nx.Graph:
+    """Spider: ``legs`` paths of length ``leg_length`` glued at a centre."""
+    if legs <= 0 or leg_length <= 0:
+        raise ValueError("legs and leg_length must be positive")
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_label = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            graph.add_edge(previous, next_label)
+            previous = next_label
+            next_label += 1
+    return graph
+
+
+def random_tree(n: int, seed: int | random.Random | None = None) -> nx.Graph:
+    """Uniform-ish random tree on ``n`` vertices (random attachment)."""
+    rng = _rng(seed)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    graph = nx.Graph()
+    graph.add_node(0)
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v))
+    return graph
+
+
+def random_tree_of_depth(
+    depth: int,
+    max_children: int = 3,
+    seed: int | random.Random | None = None,
+    min_children: int = 1,
+) -> nx.Graph:
+    """Random rooted tree whose depth is *exactly* ``depth``.
+
+    The tree is rooted at vertex 0.  Every internal vertex receives between
+    ``min_children`` and ``max_children`` children; one branch is forced to
+    reach the requested depth so the depth is exact, not merely bounded.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    rng = _rng(seed)
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_label = 1
+    # Force one path of length `depth` from the root.
+    forced = [0]
+    for _ in range(depth):
+        graph.add_edge(forced[-1], next_label)
+        forced.append(next_label)
+        next_label += 1
+    # Sprinkle additional children on the forced path, with bounded depth.
+    frontier = [(v, d) for d, v in enumerate(forced)]
+    while frontier:
+        vertex, d = frontier.pop()
+        if d >= depth:
+            continue
+        extra = rng.randint(min_children - 1, max_children - 1)
+        for _ in range(max(0, extra)):
+            graph.add_edge(vertex, next_label)
+            frontier.append((next_label, d + 1))
+            next_label += 1
+    return graph
+
+
+def random_graph(
+    n: int, p: float = 0.3, seed: int | random.Random | None = None
+) -> nx.Graph:
+    """Erdős–Rényi graph G(n, p) (possibly disconnected)."""
+    rng = _rng(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_connected_graph(
+    n: int, p: float = 0.3, seed: int | random.Random | None = None
+) -> nx.Graph:
+    """Connected random graph: a random tree plus G(n, p) extra edges."""
+    rng = _rng(seed)
+    graph = random_tree(n, seed=rng)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def bounded_treedepth_graph(
+    depth: int,
+    branching: int = 2,
+    extra_edge_probability: float = 0.5,
+    seed: int | random.Random | None = None,
+) -> nx.Graph:
+    """Random connected graph of treedepth at most ``depth``.
+
+    The graph is generated from a random elimination tree of the requested
+    depth: vertices are the nodes of a rooted tree with branching factor at
+    most ``branching``; edges may only connect a vertex to one of its
+    ancestors.  Every vertex is connected to its parent (so the graph is
+    connected and the model is coherent), and is connected to each strict
+    ancestor independently with probability ``extra_edge_probability``.
+
+    By Definition 3.1 the resulting graph has treedepth at most ``depth``.
+    """
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    rng = _rng(seed)
+    graph = nx.Graph()
+    graph.add_node(0)
+    ancestors: dict[int, list[int]] = {0: []}
+    frontier = [(0, 1)]
+    next_label = 1
+    while frontier:
+        vertex, level = frontier.pop(0)
+        if level >= depth:
+            continue
+        children = rng.randint(1, branching)
+        for _ in range(children):
+            child = next_label
+            next_label += 1
+            chain = ancestors[vertex] + [vertex]
+            ancestors[child] = chain
+            graph.add_edge(child, vertex)
+            for ancestor in chain[:-1]:
+                if rng.random() < extra_edge_probability:
+                    graph.add_edge(child, ancestor)
+            frontier.append((child, level + 1))
+    return graph
+
+
+def union_of_cycles_with_apex(cycle_lengths: Sequence[int]) -> nx.Graph:
+    """Disjoint cycles plus an apex vertex adjacent to one vertex per cycle.
+
+    This mirrors the basis of the Theorem 2.5 construction (Figure 3): the
+    graph minus the apex is 2-regular (a disjoint union of cycles), and the
+    apex keeps the whole graph connected.  The apex is vertex 0; the apex is
+    adjacent to every vertex playing the role of :math:`V_\\alpha` in the
+    paper, which we take to be the first vertex of each cycle.
+    """
+    if not cycle_lengths:
+        raise ValueError("need at least one cycle")
+    if any(length < 3 for length in cycle_lengths):
+        raise ValueError("cycles need length at least 3")
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_label = 1
+    for length in cycle_lengths:
+        first = next_label
+        vertices = list(range(first, first + length))
+        next_label += length
+        for i, v in enumerate(vertices):
+            graph.add_edge(v, vertices[(i + 1) % length])
+        graph.add_edge(0, first)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """Grid graph with integer labels (row-major order)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            graph.add_node(v)
+            if c + 1 < cols:
+                graph.add_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.add_edge(v, v + cols)
+    return graph
+
+
+def all_connected_graphs(n: int) -> Iterable[nx.Graph]:
+    """Yield every connected graph on vertex set ``0..n-1`` (n <= 6 advised).
+
+    Exhaustive enumeration over all edge subsets; used by the exhaustive
+    soundness experiments on tiny instances.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    for mask in range(1 << len(pairs)):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(pair for i, pair in enumerate(pairs) if mask >> i & 1)
+        if n == 1 or nx.is_connected(graph):
+            yield graph

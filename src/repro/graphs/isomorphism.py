@@ -1,0 +1,97 @@
+"""Canonical forms and isomorphism tests for trees.
+
+The automorphism lower bound (Theorem 2.3) relies on an injection from bit
+strings into pairwise non-isomorphic bounded-depth trees, and its correctness
+argument needs a reliable tree-isomorphism test.  We implement the classic
+AHU (Aho–Hopcroft–Ullman) canonical form for rooted trees, lifted to unrooted
+trees through centroids.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.utils import is_tree
+
+Vertex = Hashable
+
+
+def rooted_tree_canonical_form(tree: nx.Graph, root: Vertex) -> str:
+    """AHU canonical string of ``tree`` rooted at ``root``.
+
+    Two rooted trees are isomorphic (as rooted trees) if and only if their
+    canonical strings are equal.
+    """
+    if root not in tree:
+        raise ValueError(f"root {root!r} is not a vertex of the tree")
+
+    def encode(vertex: Vertex, parent: Vertex | None) -> str:
+        children = [w for w in tree.neighbors(vertex) if w != parent]
+        if not children:
+            return "()"
+        encodings = sorted(encode(child, vertex) for child in children)
+        return "(" + "".join(encodings) + ")"
+
+    return encode(root, None)
+
+
+def rooted_trees_isomorphic(
+    tree_a: nx.Graph, root_a: Vertex, tree_b: nx.Graph, root_b: Vertex
+) -> bool:
+    """Return True when the two rooted trees are isomorphic."""
+    if tree_a.number_of_nodes() != tree_b.number_of_nodes():
+        return False
+    return rooted_tree_canonical_form(tree_a, root_a) == rooted_tree_canonical_form(
+        tree_b, root_b
+    )
+
+
+def tree_centroids(tree: nx.Graph) -> list[Vertex]:
+    """Return the one or two centroids of a tree.
+
+    A centroid is a vertex minimising the size of its largest remaining
+    component when removed; every tree has one or two of them.
+    """
+    if not is_tree(tree):
+        raise ValueError("tree_centroids expects a tree")
+    n = tree.number_of_nodes()
+    if n == 1:
+        return list(tree.nodes())
+    # Iteratively strip leaves; the last one or two vertices are the centroids.
+    degrees = {v: tree.degree(v) for v in tree.nodes()}
+    leaves = [v for v, d in degrees.items() if d == 1]
+    removed = 0
+    remaining = set(tree.nodes())
+    while n - removed > 2:
+        next_leaves = []
+        for leaf in leaves:
+            remaining.discard(leaf)
+            removed += 1
+            for neighbor in tree.neighbors(leaf):
+                if neighbor in remaining:
+                    degrees[neighbor] -= 1
+                    if degrees[neighbor] == 1:
+                        next_leaves.append(neighbor)
+        leaves = next_leaves
+    return sorted(remaining, key=repr)
+
+
+def tree_canonical_form(tree: nx.Graph) -> str:
+    """Canonical string of an *unrooted* tree.
+
+    The form is the lexicographically smallest AHU string over the centroids,
+    so two unrooted trees are isomorphic iff their canonical forms coincide.
+    """
+    centroids = tree_centroids(tree)
+    return min(rooted_tree_canonical_form(tree, c) for c in centroids)
+
+
+def trees_isomorphic(tree_a: nx.Graph, tree_b: nx.Graph) -> bool:
+    """Return True when the two unrooted trees are isomorphic."""
+    if tree_a.number_of_nodes() != tree_b.number_of_nodes():
+        return False
+    if tree_a.number_of_edges() != tree_b.number_of_edges():
+        return False
+    return tree_canonical_form(tree_a) == tree_canonical_form(tree_b)

@@ -1,0 +1,160 @@
+"""Minor containment tests.
+
+Corollary 2.7 of the paper certifies :math:`P_t`-minor-freeness and
+:math:`C_t`-minor-freeness.  Both have clean combinatorial characterisations
+that avoid general minor testing:
+
+* a graph has a :math:`P_t` minor iff it contains a path on :math:`t`
+  vertices as a *subgraph* (paths are their own subdivisions);
+* a graph has a :math:`C_t` minor iff it contains a cycle of length at least
+  :math:`t` (its circumference is ≥ t).
+
+For arbitrary small minors ``H`` we also provide a brute-force branch-set
+search, used in tests to validate the two specialised procedures.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+def longest_path_length(graph: nx.Graph, cutoff: int | None = None) -> int:
+    """Number of vertices of a longest simple path (exponential search).
+
+    ``cutoff`` stops the search as soon as a path with that many vertices is
+    found, which keeps minor-freeness checks cheap for small ``t``.
+    """
+    best = 0
+
+    def extend(path: list[Vertex], used: set[Vertex]) -> None:
+        nonlocal best
+        best = max(best, len(path))
+        if cutoff is not None and best >= cutoff:
+            return
+        for neighbor in graph.neighbors(path[-1]):
+            if neighbor not in used:
+                path.append(neighbor)
+                used.add(neighbor)
+                extend(path, used)
+                used.discard(neighbor)
+                path.pop()
+                if cutoff is not None and best >= cutoff:
+                    return
+
+    for start in graph.nodes():
+        extend([start], {start})
+        if cutoff is not None and best >= cutoff:
+            break
+    return best
+
+
+def has_path_minor(graph: nx.Graph, t: int) -> bool:
+    """Return True when ``graph`` has a :math:`P_t` minor (t vertices)."""
+    if t <= 0:
+        raise ValueError("t must be positive")
+    if t == 1:
+        return graph.number_of_nodes() >= 1
+    return longest_path_length(graph, cutoff=t) >= t
+
+
+def is_path_minor_free(graph: nx.Graph, t: int) -> bool:
+    """Return True when ``graph`` has no :math:`P_t` minor."""
+    return not has_path_minor(graph, t)
+
+
+def circumference(graph: nx.Graph, cutoff: int | None = None) -> int:
+    """Length of a longest cycle; 0 for forests (exponential search)."""
+    best = 0
+    vertices = sorted(graph.nodes(), key=repr)
+    index = {v: i for i, v in enumerate(vertices)}
+
+    def extend(start: Vertex, path: list[Vertex], used: set[Vertex]) -> None:
+        nonlocal best
+        if cutoff is not None and best >= cutoff:
+            return
+        last = path[-1]
+        for neighbor in graph.neighbors(last):
+            if neighbor == start and len(path) >= 3:
+                best = max(best, len(path))
+                if cutoff is not None and best >= cutoff:
+                    return
+            elif neighbor not in used and index[neighbor] > index[start]:
+                path.append(neighbor)
+                used.add(neighbor)
+                extend(start, path, used)
+                used.discard(neighbor)
+                path.pop()
+                if cutoff is not None and best >= cutoff:
+                    return
+
+    for start in vertices:
+        extend(start, [start], {start})
+        if cutoff is not None and best >= cutoff:
+            break
+    return best
+
+
+def has_cycle_minor(graph: nx.Graph, t: int) -> bool:
+    """Return True when ``graph`` has a :math:`C_t` minor (cycle length ≥ t)."""
+    if t < 3:
+        raise ValueError("cycles have length at least 3")
+    return circumference(graph, cutoff=t) >= t
+
+
+def is_cycle_minor_free(graph: nx.Graph, t: int) -> bool:
+    """Return True when ``graph`` has no :math:`C_t` minor."""
+    return not has_cycle_minor(graph, t)
+
+
+def has_minor(graph: nx.Graph, minor: nx.Graph, max_graph_size: int = 12) -> bool:
+    """Brute-force minor test for small graphs.
+
+    Searches for a *model* of ``minor`` in ``graph``: disjoint connected
+    branch sets, one per vertex of ``minor``, with an edge of ``graph``
+    between branch sets whenever ``minor`` has the corresponding edge.
+    Exponential; guarded by ``max_graph_size``.
+    """
+    n = graph.number_of_nodes()
+    if n > max_graph_size:
+        raise ValueError(f"brute-force minor test limited to {max_graph_size} vertices")
+    h_vertices = sorted(minor.nodes(), key=repr)
+    k = len(h_vertices)
+    if k > n:
+        return False
+    g_vertices = sorted(graph.nodes(), key=repr)
+
+    def branch_sets_ok(assignment: dict[Vertex, int]) -> bool:
+        groups: dict[int, list[Vertex]] = {}
+        for v, label in assignment.items():
+            if label >= 0:
+                groups.setdefault(label, []).append(v)
+        if len(groups) < k:
+            return False
+        for label, group in groups.items():
+            if not nx.is_connected(graph.subgraph(group)):
+                return False
+        for i, j in minor.edges():
+            gi = groups[h_vertices.index(i)]
+            gj = groups[h_vertices.index(j)]
+            if not any(graph.has_edge(u, v) for u in gi for v in gj):
+                return False
+        return True
+
+    # Assign each vertex of G to a branch set index in [0, k) or -1 (unused).
+    def search(position: int, assignment: dict[Vertex, int]) -> bool:
+        if position == n:
+            return branch_sets_ok(assignment)
+        vertex = g_vertices[position]
+        for label in range(-1, k):
+            assignment[vertex] = label
+            if search(position + 1, assignment):
+                return True
+        del assignment[vertex]
+        return False
+
+    return search(0, {})

@@ -1,0 +1,80 @@
+"""Small graph utilities shared across the code base.
+
+The paper only considers connected, loopless, non-empty graphs
+(Section 3), so most helpers here enforce or check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+def vertex_set(graph: nx.Graph) -> frozenset:
+    """Return the vertex set of ``graph`` as a frozenset."""
+    return frozenset(graph.nodes())
+
+
+def is_tree(graph: nx.Graph) -> bool:
+    """Return True when ``graph`` is a (connected, acyclic) tree."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return False
+    return graph.number_of_edges() == n - 1 and nx.is_connected(graph)
+
+
+def is_clique(graph: nx.Graph) -> bool:
+    """Return True when every pair of distinct vertices is adjacent."""
+    n = graph.number_of_nodes()
+    return graph.number_of_edges() == n * (n - 1) // 2
+
+
+def ensure_connected(graph: nx.Graph) -> nx.Graph:
+    """Raise ``ValueError`` if ``graph`` is empty or disconnected.
+
+    Returns the graph unchanged so the call can be chained.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("the paper only considers non-empty graphs")
+    if not nx.is_connected(graph):
+        raise ValueError("the paper only considers connected graphs")
+    if any(graph.has_edge(v, v) for v in graph.nodes()):
+        raise ValueError("the paper only considers loopless graphs")
+    return graph
+
+
+def induced_subgraph(graph: nx.Graph, vertices: Iterable[Vertex]) -> nx.Graph:
+    """Return a *copy* of the subgraph of ``graph`` induced by ``vertices``."""
+    return graph.subgraph(list(vertices)).copy()
+
+
+def relabel_to_integers(graph: nx.Graph, start: int = 0) -> nx.Graph:
+    """Return a copy of ``graph`` with vertices relabelled ``start..start+n-1``.
+
+    The relabelling follows the sorted order of the original labels so the
+    result is deterministic.
+    """
+    mapping = {v: i + start for i, v in enumerate(sorted(graph.nodes(), key=repr))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def disjoint_union_relabel(*graphs: nx.Graph) -> nx.Graph:
+    """Disjoint union of graphs, relabelled with consecutive integers."""
+    result = nx.Graph()
+    offset = 0
+    for graph in graphs:
+        mapping = {v: offset + i for i, v in enumerate(sorted(graph.nodes(), key=repr))}
+        result.add_nodes_from(mapping.values())
+        result.add_edges_from((mapping[u], mapping[v]) for u, v in graph.edges())
+        offset += graph.number_of_nodes()
+    return result
+
+
+def graph_from_edges(edges: Iterable[tuple[Vertex, Vertex]]) -> nx.Graph:
+    """Build a graph from an iterable of edges."""
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return graph

@@ -1,0 +1,29 @@
+"""Kernelization for MSO/FO model checking on bounded-treedepth graphs (Section 6).
+
+The paper's kernel is the *k-reduced graph*: starting from a coherent
+elimination tree, repeatedly delete a subtree rooted at a child whose parent
+has more than ``k`` children of the same *type* (always working at the
+largest possible depth).  The result has size bounded by a function of ``k``
+and the treedepth only (Proposition 6.2) and satisfies exactly the same FO
+sentences of quantifier depth at most ``k`` as the original graph
+(Proposition 6.3).
+"""
+
+from repro.kernel.types import VertexType, ancestor_vector, compute_types, end_type_table
+from repro.kernel.reduction import (
+    KernelizationResult,
+    k_reduced_graph,
+    type_count_bound,
+    type_count_bound_log2,
+)
+
+__all__ = [
+    "VertexType",
+    "ancestor_vector",
+    "compute_types",
+    "end_type_table",
+    "KernelizationResult",
+    "k_reduced_graph",
+    "type_count_bound",
+    "type_count_bound_log2",
+]

@@ -1,0 +1,160 @@
+"""The k-reduced graph (Sections 6.1 and 6.2).
+
+``k_reduced_graph`` performs the paper's valid-pruning process: while some
+vertex (of the largest possible depth) has more than ``k`` children of the
+same type, delete the subtree rooted at one of those children.  The function
+returns the kernel together with the bookkeeping the certification of
+Proposition 6.4 needs: which vertices were pruned roots, which were merely
+deleted, and the *end type* of every vertex of the original graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Set
+
+import networkx as nx
+
+from repro.treedepth.elimination_tree import EliminationTree
+from repro.kernel.types import VertexType, compute_types
+
+Vertex = Hashable
+
+
+@dataclass
+class KernelizationResult:
+    """Everything produced by one run of the valid-pruning process."""
+
+    original_graph: nx.Graph
+    original_tree: EliminationTree
+    kernel_graph: nx.Graph
+    kernel_tree: EliminationTree
+    k: int
+    pruned_roots: Set[Vertex] = field(default_factory=set)
+    """Vertices at which a pruning operation was applied (roots of deleted subtrees)."""
+    deleted_vertices: Set[Vertex] = field(default_factory=set)
+    """All vertices removed from the graph (pruned roots and their descendants)."""
+    end_types: Dict[Vertex, VertexType] = field(default_factory=dict)
+    """End type of every vertex of the *original* graph (Section 6.1)."""
+
+    @property
+    def kernel_size(self) -> int:
+        return self.kernel_graph.number_of_nodes()
+
+    def is_pruned(self, vertex: Vertex) -> bool:
+        return vertex in self.pruned_roots
+
+    def surviving_vertices(self) -> Set[Vertex]:
+        return set(self.kernel_graph.nodes())
+
+
+def _restrict_tree(tree: EliminationTree, keep: Set[Vertex]) -> EliminationTree:
+    """Restriction of an elimination tree to a downward-closed... actually to a
+    set closed under taking ancestors (which pruning guarantees)."""
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    for vertex in keep:
+        parent_vertex = tree.parent[vertex]
+        if parent_vertex is not None and parent_vertex not in keep:
+            raise ValueError("kept vertex set is not closed under ancestors")
+        parent[vertex] = parent_vertex
+    return EliminationTree(parent)
+
+
+def k_reduced_graph(
+    graph: nx.Graph, tree: EliminationTree, k: int
+) -> KernelizationResult:
+    """Compute a ``k``-reduced graph of ``graph`` with respect to the model ``tree``.
+
+    The pruning is applied at a vertex of the largest possible depth first, as
+    required by the size analysis of Section 6.2.  Ties are broken
+    deterministically (by vertex representation) so the function is
+    reproducible.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    current_graph = graph.copy()
+    current_parent: Dict[Vertex, Optional[Vertex]] = dict(tree.parent)
+    pruned_roots: Set[Vertex] = set()
+    deleted: Set[Vertex] = set()
+    end_types: Dict[Vertex, VertexType] = {}
+
+    while True:
+        current_tree = EliminationTree(dict(current_parent))
+        types = compute_types(current_graph, current_tree)
+        # Find the deepest vertex with more than k children of one type.
+        candidate: Optional[Vertex] = None
+        candidate_depth = -1
+        candidate_child_type: Optional[VertexType] = None
+        for vertex in current_tree.vertices:
+            counts: Dict[VertexType, int] = {}
+            for child in current_tree.children(vertex):
+                counts[types[child]] = counts.get(types[child], 0) + 1
+            overfull = [t for t, count in counts.items() if count > k]
+            if not overfull:
+                continue
+            depth = current_tree.depth_of(vertex)
+            if depth > candidate_depth or (
+                depth == candidate_depth and repr(vertex) < repr(candidate)
+            ):
+                candidate = vertex
+                candidate_depth = depth
+                candidate_child_type = min(overfull, key=repr)
+        if candidate is None:
+            # No more valid pruning: record end types of all remaining vertices.
+            for vertex in current_tree.vertices:
+                end_types[vertex] = types[vertex]
+            kernel_tree = current_tree
+            kernel_graph = current_graph
+            break
+        # Prune one child of the over-full type (deterministic choice).
+        children_of_type = [
+            child
+            for child in current_tree.children(candidate)
+            if types[child] == candidate_child_type
+        ]
+        pruned_child = min(children_of_type, key=repr)
+        subtree = current_tree.subtree_vertices(pruned_child)
+        pruned_roots.add(pruned_child)
+        for vertex in subtree:
+            deleted.add(vertex)
+            # The end type of a deleted vertex is its type in the graph it was
+            # deleted from (Section 6.1).
+            end_types.setdefault(vertex, types[vertex])
+            current_graph.remove_node(vertex)
+            del current_parent[vertex]
+
+    return KernelizationResult(
+        original_graph=graph,
+        original_tree=tree,
+        kernel_graph=kernel_graph,
+        kernel_tree=kernel_tree,
+        k=k,
+        pruned_roots=pruned_roots,
+        deleted_vertices=deleted,
+        end_types=end_types,
+    )
+
+
+def type_count_bound(depth: int, k: int, t: int) -> int:
+    """The paper's bound :math:`f_d(k,t) = 2^d (k+1)^{f_{d+1}(k,t)}` with
+    :math:`f_t(k,t) = 2^t` (Proposition 6.2).
+
+    The value grows as a tower of exponentials; callers that only need its
+    order of magnitude should use :func:`type_count_bound_log2`.
+    """
+    if depth > t:
+        raise ValueError("depth cannot exceed the treedepth bound t")
+    if depth == t:
+        return 2**t
+    return 2**depth * (k + 1) ** type_count_bound(depth + 1, k, t)
+
+
+def type_count_bound_log2(depth: int, k: int, t: int) -> float:
+    """log2 of :func:`type_count_bound`, computed without materialising the tower."""
+    import math
+
+    if depth > t:
+        raise ValueError("depth cannot exceed the treedepth bound t")
+    if depth == t:
+        return float(t)
+    return depth + type_count_bound(depth + 1, k, t) * math.log2(k + 1)

@@ -1,0 +1,117 @@
+"""Serialising vertex types and reconstructing kernels from them.
+
+A :class:`~repro.kernel.types.VertexType` fully determines, up to
+isomorphism, the subtree it describes and all its graph edges (every edge of
+a bounded-treedepth graph joins a vertex to one of its ancestors, and the
+ancestor vectors record exactly those edges).  The MSO certification of
+Theorem 2.6 exploits this: instead of shipping the kernel graph explicitly,
+the certificates ship a *type table* (whose size depends only on the formula
+and the treedepth) and the end type of the root; every node reconstructs the
+kernel from the root's type and model-checks the formula on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.kernel.types import VertexType
+from repro.treedepth.elimination_tree import EliminationTree
+
+
+def topological_type_table(types: Sequence[VertexType]) -> List[VertexType]:
+    """All types reachable from ``types`` (children included), children first."""
+    table: List[VertexType] = []
+    seen: Dict[VertexType, int] = {}
+
+    def visit(vertex_type: VertexType) -> None:
+        if vertex_type in seen:
+            return
+        for child, _count in vertex_type.child_types:
+            visit(child)
+        seen[vertex_type] = len(table)
+        table.append(vertex_type)
+
+    for vertex_type in types:
+        visit(vertex_type)
+    return table
+
+
+def encode_type_table(table: Sequence[VertexType]) -> bytes:
+    """Encode a children-first type table as bytes."""
+    index = {vertex_type: i for i, vertex_type in enumerate(table)}
+    writer = CertificateWriter()
+    writer.write_uint(len(table))
+    for vertex_type in table:
+        writer.write_bool_list([bool(b) for b in vertex_type.ancestor_vector])
+        writer.write_uint(len(vertex_type.child_types))
+        for child, count in vertex_type.child_types:
+            child_index = index[child]
+            if child_index >= index[vertex_type]:
+                raise ValueError("type table is not in children-first order")
+            writer.write_uint(child_index)
+            writer.write_uint(count)
+    return writer.getvalue()
+
+
+def decode_type_table(data: bytes) -> List[VertexType]:
+    """Inverse of :func:`encode_type_table`."""
+    reader = CertificateReader(data)
+    size = reader.read_uint()
+    if size > 100_000:
+        raise CertificateFormatError("unreasonable type table size")
+    table: List[VertexType] = []
+    for position in range(size):
+        ancestor_vector = tuple(1 if b else 0 for b in reader.read_bool_list())
+        n_children = reader.read_uint()
+        children: List[Tuple[VertexType, int]] = []
+        for _ in range(n_children):
+            child_index = reader.read_uint()
+            count = reader.read_uint()
+            if child_index >= position:
+                raise CertificateFormatError("type table entry refers forward")
+            children.append((table[child_index], count))
+        table.append(
+            VertexType(
+                ancestor_vector=ancestor_vector,
+                child_types=tuple(sorted(children, key=lambda item: repr(item[0]))),
+            )
+        )
+    reader.expect_end()
+    return table
+
+
+def graph_from_type(root_type: VertexType) -> Tuple[nx.Graph, EliminationTree]:
+    """Materialise the graph (and its elimination tree) described by a type.
+
+    Vertices are consecutive integers; the root is vertex 0.  Every vertex is
+    connected to the ancestors its ancestor vector points at; in particular
+    the reconstruction of the end type of a kernel's root is (isomorphic to)
+    the kernel itself.
+    """
+    graph = nx.Graph()
+    parent: Dict[int, int | None] = {}
+    counter = 0
+
+    def build(vertex_type: VertexType, ancestors: List[int]) -> None:
+        nonlocal counter
+        vertex = counter
+        counter += 1
+        graph.add_node(vertex)
+        parent[vertex] = ancestors[-1] if ancestors else None
+        vector = vertex_type.ancestor_vector
+        if len(vector) != len(ancestors):
+            raise ValueError(
+                "ancestor vector length does not match the depth of the type"
+            )
+        for ancestor, bit in zip(ancestors, vector):
+            if bit:
+                graph.add_edge(vertex, ancestor)
+        for child, count in vertex_type.child_types:
+            for _ in range(count):
+                build(child, ancestors + [vertex])
+
+    build(root_type, [])
+    return graph, EliminationTree(parent)

@@ -1,0 +1,77 @@
+"""Vertex types in an elimination tree (Section 6.1).
+
+The *ancestor vector* of a vertex ``v`` at depth ``i`` records, for each
+strict ancestor, whether ``v`` is adjacent to it in the graph.  The *type* of
+``v`` is its subtree where every vertex is labelled by its ancestor vector —
+identifiers are erased, so distinct vertices can share a type.  Types are
+represented as canonical nested tuples so they can be hashed, compared and
+counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+import networkx as nx
+
+from repro.treedepth.elimination_tree import EliminationTree
+
+Vertex = Hashable
+
+AncestorVector = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class VertexType:
+    """Canonical type of a vertex: its ancestor vector plus the multiset of
+    the types of its children, stored as a sorted tuple of (type, count)."""
+
+    ancestor_vector: AncestorVector
+    child_types: Tuple[Tuple["VertexType", int], ...]
+
+    def __str__(self) -> str:
+        children = ", ".join(f"{count}x{child}" for child, count in self.child_types)
+        return f"T(adj={''.join(map(str, self.ancestor_vector))}; [{children}])"
+
+    @property
+    def subtree_size(self) -> int:
+        """Number of vertices of any subtree having this type."""
+        return 1 + sum(count * child.subtree_size for child, count in self.child_types)
+
+
+def ancestor_vector(graph: nx.Graph, tree: EliminationTree, vertex: Vertex) -> AncestorVector:
+    """0/1 adjacency of ``vertex`` to its strict ancestors, root first."""
+    ancestors = list(reversed(tree.ancestors(vertex)))  # root, ..., parent
+    return tuple(1 if graph.has_edge(vertex, ancestor) else 0 for ancestor in ancestors)
+
+
+def compute_types(graph: nx.Graph, tree: EliminationTree) -> Dict[Vertex, VertexType]:
+    """Type of every vertex of ``graph`` with respect to the model ``tree``."""
+    types: Dict[Vertex, VertexType] = {}
+    for vertex in tree.iter_bottom_up():
+        child_counter: Dict[VertexType, int] = {}
+        for child in tree.children(vertex):
+            child_type = types[child]
+            child_counter[child_type] = child_counter.get(child_type, 0) + 1
+        child_types = tuple(sorted(child_counter.items(), key=lambda item: repr(item[0])))
+        types[vertex] = VertexType(
+            ancestor_vector=ancestor_vector(graph, tree, vertex),
+            child_types=child_types,
+        )
+    return types
+
+
+def end_type_table(end_types: Dict[Vertex, VertexType]) -> Dict[VertexType, int]:
+    """Assign a small integer identifier to every distinct type.
+
+    Used when encoding end types into certificates: the paper encodes an end
+    type on :math:`\\log f_i(k,t)` bits; we encode the index into this table,
+    which is never larger.
+    """
+    table: Dict[VertexType, int] = {}
+    for vertex in sorted(end_types, key=repr):
+        vertex_type = end_types[vertex]
+        if vertex_type not in table:
+            table[vertex_type] = len(table)
+    return table

@@ -1,0 +1,53 @@
+"""Locally checkable labelings and their unbounded-degree generalisation.
+
+Appendix C.2 of the paper argues that the transition shape of unary ordering
+Presburger (UOP) tree automata — "compare, per state, the number of
+neighbours in that state against fixed constants" — is a natural way to
+generalise Naor–Stockmeyer locally checkable labelings (LCLs) beyond bounded
+degree graphs.  This subpackage makes the suggestion concrete:
+
+* :mod:`repro.lcl.problem` — the classic bounded-degree LCL definition (a
+  finite list of allowed centered neighbourhoods) and its checker;
+* :mod:`repro.lcl.presburger_lcl` — the generalisation where the allowed
+  neighbourhoods of a label are described by a UOP constraint on the
+  multiset of neighbouring labels, reusing the constraint language of
+  :mod:`repro.automata.presburger`;
+* :mod:`repro.lcl.classic` — colouring, maximal independent set and
+  dominating set expressed in both formalisms, plus small solvers;
+* :mod:`repro.lcl.scheme` — the bridge to local certification: exhibiting a
+  correct labeling is an O(log |labels|)-bit certification of the property
+  "a correct labeling exists".
+"""
+
+from repro.lcl.problem import LCLProblem, Neighborhood, is_correct_labeling
+from repro.lcl.presburger_lcl import PresburgerLCL, lcl_to_presburger
+from repro.lcl.classic import (
+    dominating_set_lcl,
+    greedy_dominating_set,
+    greedy_maximal_independent_set,
+    greedy_proper_coloring,
+    maximal_independent_set_lcl,
+    proper_coloring_lcl,
+    presburger_dominating_set,
+    presburger_maximal_independent_set,
+    presburger_proper_coloring,
+)
+from repro.lcl.scheme import LCLWitnessScheme
+
+__all__ = [
+    "LCLProblem",
+    "Neighborhood",
+    "is_correct_labeling",
+    "PresburgerLCL",
+    "lcl_to_presburger",
+    "proper_coloring_lcl",
+    "maximal_independent_set_lcl",
+    "dominating_set_lcl",
+    "presburger_proper_coloring",
+    "presburger_maximal_independent_set",
+    "presburger_dominating_set",
+    "greedy_proper_coloring",
+    "greedy_maximal_independent_set",
+    "greedy_dominating_set",
+    "LCLWitnessScheme",
+]

@@ -1,0 +1,167 @@
+"""Classic LCL problems in both formalisms, plus small solvers.
+
+Three textbook locally checkable labelings:
+
+* *proper c-colouring* — no neighbour shares the vertex's colour;
+* *maximal independent set* — labels ``in``/``out``; no two ``in`` vertices
+  are adjacent and every ``out`` vertex has an ``in`` neighbour (maximality
+  is what makes this locally checkable, plain independence alone would also
+  be);
+* *dominating set* — labels ``in``/``out``; every ``out`` vertex has an
+  ``in`` neighbour.
+
+Each problem is provided as a bounded-degree :class:`~repro.lcl.problem.LCLProblem`
+(the Naor–Stockmeyer formalism requires the degree bound) and as an
+unbounded-degree :class:`~repro.lcl.presburger_lcl.PresburgerLCL` — the
+comparison between the two descriptions (finite list that grows with Δ
+versus a constant-size constraint) is the Appendix C.2 argument in code.
+The greedy solvers produce correct labelings to feed tests, examples and the
+witness certification scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+import networkx as nx
+
+from repro.automata.presburger import AlwaysTrue, CountAtLeast, CountAtMost
+from repro.lcl.presburger_lcl import PresburgerLCL
+from repro.lcl.problem import LCLProblem, enumerate_neighborhoods
+
+Vertex = Hashable
+
+IN = "in"
+OUT = "out"
+
+
+# ---------------------------------------------------------------------------
+# Bounded-degree (classic) formulations
+# ---------------------------------------------------------------------------
+
+
+def proper_coloring_lcl(colors: int, max_degree: int) -> LCLProblem:
+    """Proper colouring with ``colors`` colours on graphs of degree ≤ Δ."""
+    if colors < 1:
+        raise ValueError("colors must be positive")
+    labels = frozenset(range(colors))
+    allowed = enumerate_neighborhoods(
+        labels, max_degree, lambda own, counts: counts.get(own, 0) == 0
+    )
+    return LCLProblem(
+        name=f"proper-{colors}-coloring(maxdeg {max_degree})",
+        labels=labels,
+        max_degree=max_degree,
+        allowed=allowed,
+    )
+
+
+def maximal_independent_set_lcl(max_degree: int) -> LCLProblem:
+    """Maximal independent set: in-vertices independent, out-vertices dominated."""
+    labels = frozenset({IN, OUT})
+
+    def predicate(own, counts):
+        if own == IN:
+            return counts.get(IN, 0) == 0
+        return counts.get(IN, 0) >= 1
+
+    return LCLProblem(
+        name=f"maximal-independent-set(maxdeg {max_degree})",
+        labels=labels,
+        max_degree=max_degree,
+        allowed=enumerate_neighborhoods(labels, max_degree, predicate),
+    )
+
+
+def dominating_set_lcl(max_degree: int) -> LCLProblem:
+    """Dominating set: every out-vertex has an in-neighbour."""
+    labels = frozenset({IN, OUT})
+
+    def predicate(own, counts):
+        return own == IN or counts.get(IN, 0) >= 1
+
+    return LCLProblem(
+        name=f"dominating-set(maxdeg {max_degree})",
+        labels=labels,
+        max_degree=max_degree,
+        allowed=enumerate_neighborhoods(labels, max_degree, predicate),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Unbounded-degree (Presburger) formulations
+# ---------------------------------------------------------------------------
+
+
+def presburger_proper_coloring(colors: int) -> PresburgerLCL:
+    """Proper colouring with no degree bound: "zero neighbours of my colour"."""
+    if colors < 1:
+        raise ValueError("colors must be positive")
+    labels = frozenset(range(colors))
+    constraints = {color: CountAtMost(color, 0) for color in labels}
+    return PresburgerLCL(name=f"presburger-proper-{colors}-coloring", labels=labels,
+                         constraints=constraints)
+
+
+def presburger_maximal_independent_set() -> PresburgerLCL:
+    """MIS with no degree bound: ``in`` forbids ``in`` neighbours, ``out`` needs one."""
+    return PresburgerLCL(
+        name="presburger-maximal-independent-set",
+        labels=frozenset({IN, OUT}),
+        constraints={IN: CountAtMost(IN, 0), OUT: CountAtLeast(IN, 1)},
+    )
+
+
+def presburger_dominating_set() -> PresburgerLCL:
+    """Dominating set with no degree bound."""
+    return PresburgerLCL(
+        name="presburger-dominating-set",
+        labels=frozenset({IN, OUT}),
+        constraints={IN: AlwaysTrue(), OUT: CountAtLeast(IN, 1)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Solvers
+# ---------------------------------------------------------------------------
+
+
+def greedy_proper_coloring(graph: nx.Graph, colors: int) -> Dict[Vertex, int]:
+    """A proper colouring with at most ``colors`` colours, or ``ValueError``.
+
+    DSATUR greedy; on graphs where the greedy needs more colours than allowed
+    the caller should fall back to an exact scheme (the certification tests
+    use :class:`repro.core.simple_schemes.ProperColoringScheme` for that).
+    """
+    coloring = nx.greedy_color(graph, strategy="DSATUR")
+    if coloring and max(coloring.values()) >= colors:
+        raise ValueError(f"greedy colouring needed more than {colors} colours")
+    return coloring
+
+
+def greedy_maximal_independent_set(graph: nx.Graph) -> Dict[Vertex, str]:
+    """Label vertices in/out according to a greedily-built maximal independent set."""
+    chosen = set()
+    for vertex in sorted(graph.nodes(), key=repr):
+        if not any(neighbor in chosen for neighbor in graph.neighbors(vertex)):
+            chosen.add(vertex)
+    return {v: IN if v in chosen else OUT for v in graph.nodes()}
+
+
+def greedy_dominating_set(graph: nx.Graph) -> Dict[Vertex, str]:
+    """Label vertices in/out according to a greedy dominating set."""
+    dominated: set = set()
+    chosen: set = set()
+    for vertex in sorted(graph.nodes(), key=lambda v: (-graph.degree(v), repr(v))):
+        if vertex not in dominated or not any(w in chosen for w in graph.neighbors(vertex)):
+            if vertex not in dominated:
+                chosen.add(vertex)
+                dominated.add(vertex)
+                dominated.update(graph.neighbors(vertex))
+    # Ensure every vertex is dominated (isolated corner cases).
+    for vertex in graph.nodes():
+        if vertex not in dominated:
+            chosen.add(vertex)
+            dominated.add(vertex)
+            dominated.update(graph.neighbors(vertex))
+    return {v: IN if v in chosen else OUT for v in graph.nodes()}

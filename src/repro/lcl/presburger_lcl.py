@@ -1,0 +1,103 @@
+"""The unbounded-degree LCL generalisation via UOP constraints (Appendix C.2).
+
+A :class:`PresburgerLCL` assigns to every output label a unary ordering
+Presburger constraint over the multiset of neighbouring labels: a labeling
+is correct when, at every vertex, the constraint of its own label is
+satisfied by the counts of its neighbours' labels.  Because UOP constraints
+only compare per-label counts to fixed constants, the description stays
+finite even though the degree is unbounded — this is exactly the transition
+shape of the tree automata that capture MSO on trees (Section 4), which is
+why the paper proposes it as the right generalisation of LCLs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Mapping
+
+import networkx as nx
+
+from repro.automata.presburger import (
+    CountAtLeast,
+    CountAtMost,
+    CountExactly,
+    UOPConstraint,
+    conjunction,
+    disjunction,
+)
+from repro.lcl.problem import LCLProblem
+
+Vertex = Hashable
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class PresburgerLCL:
+    """An LCL whose neighbourhood conditions are UOP constraints per label."""
+
+    name: str
+    labels: FrozenSet[Label]
+    constraints: Mapping[Label, UOPConstraint]
+
+    def __post_init__(self) -> None:
+        missing = set(self.labels) - set(self.constraints)
+        if missing:
+            raise ValueError(f"labels without a constraint: {sorted(map(repr, missing))}")
+        unknown = set(self.constraints) - set(self.labels)
+        if unknown:
+            raise ValueError(f"constraints for unknown labels: {sorted(map(repr, unknown))}")
+
+    def vertex_is_happy(
+        self, graph: nx.Graph, labeling: Mapping[Vertex, Label], vertex: Vertex
+    ) -> bool:
+        if vertex not in labeling or labeling[vertex] not in self.labels:
+            return False
+        counts: Dict[Label, int] = Counter()
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in labeling or labeling[neighbor] not in self.labels:
+                return False
+            counts[labeling[neighbor]] += 1
+        return self.constraints[labeling[vertex]].evaluate(counts)
+
+    def is_correct_labeling(self, graph: nx.Graph, labeling: Mapping[Vertex, Label]) -> bool:
+        return all(self.vertex_is_happy(graph, labeling, v) for v in graph.nodes())
+
+    def unhappy_vertices(self, graph: nx.Graph, labeling: Mapping[Vertex, Label]) -> List[Vertex]:
+        return [v for v in graph.nodes() if not self.vertex_is_happy(graph, labeling, v)]
+
+
+def lcl_to_presburger(problem: LCLProblem) -> PresburgerLCL:
+    """Compile a bounded-degree LCL into the Presburger formalism.
+
+    Every allowed centered neighbourhood (own label, exact multiset) becomes
+    an exact-count conjunction; the constraint of a label is the disjunction
+    over its allowed neighbourhoods.  The translation preserves correctness
+    on graphs respecting the original degree bound and *rejects* higher
+    degrees (no neighbourhood of a larger degree was allowed), which the
+    round-trip tests verify.
+    """
+    per_label: Dict[Label, List[UOPConstraint]] = {label: [] for label in problem.labels}
+    all_labels = sorted(problem.labels, key=repr)
+    for own, counts in problem.allowed:
+        present = dict(counts)
+        atoms = [CountExactly(label, present.get(label, 0)) for label in all_labels]
+        per_label[own].append(conjunction(*atoms))
+    constraints = {
+        label: disjunction(*options) if options else _unsatisfiable(all_labels)
+        for label, options in per_label.items()
+    }
+    return PresburgerLCL(
+        name=f"presburger[{problem.name}]",
+        labels=problem.labels,
+        constraints=constraints,
+    )
+
+
+def _unsatisfiable(labels) -> UOPConstraint:
+    """A constraint no multiset satisfies (used for labels with no allowed
+    neighbourhood): some label must occur both at least once and zero times."""
+    if not labels:
+        return CountAtLeast("__none__", 1)
+    first = labels[0]
+    return CountAtLeast(first, 1) & CountAtMost(first, 0)

@@ -1,0 +1,123 @@
+"""Classic locally checkable labelings (Naor–Stockmeyer).
+
+An LCL problem on graphs of maximum degree Δ is given by a finite output
+alphabet and a finite list of *allowed centered neighbourhoods*: a labeling
+is correct when, at every vertex, the pair (own label, multiset of the
+neighbours' labels) appears in the list.  Because the degree is bounded and
+the alphabet finite, the list is finite — which is precisely the assumption
+that breaks on unbounded-degree graphs and motivates the Presburger
+generalisation of Appendix C.2 (see :mod:`repro.lcl.presburger_lcl`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+Vertex = Hashable
+Label = Hashable
+#: A centered neighbourhood: the vertex's own label plus the multiset of its
+#: neighbours' labels, stored as a sorted tuple of (label, count) pairs.
+Neighborhood = Tuple[Label, Tuple[Tuple[Label, int], ...]]
+
+
+def make_neighborhood(own: Label, neighbor_labels: Iterable[Label]) -> Neighborhood:
+    """Canonical form of a centered neighbourhood."""
+    counts = Counter(neighbor_labels)
+    return own, tuple(sorted(counts.items(), key=repr))
+
+
+@dataclass(frozen=True)
+class LCLProblem:
+    """A bounded-degree locally checkable labeling problem."""
+
+    name: str
+    labels: FrozenSet[Label]
+    max_degree: int
+    allowed: FrozenSet[Neighborhood]
+
+    def __post_init__(self) -> None:
+        if self.max_degree < 0:
+            raise ValueError("max_degree must be non-negative")
+        for own, counts in self.allowed:
+            if own not in self.labels:
+                raise ValueError(f"allowed neighbourhood uses unknown center label {own!r}")
+            degree = sum(count for _, count in counts)
+            if degree > self.max_degree:
+                raise ValueError("allowed neighbourhood exceeds the declared maximum degree")
+            for label, count in counts:
+                if label not in self.labels:
+                    raise ValueError(f"allowed neighbourhood uses unknown label {label!r}")
+                if count < 0:
+                    raise ValueError("neighbourhood counts must be non-negative")
+
+    def neighborhood_allowed(self, own: Label, neighbor_labels: Iterable[Label]) -> bool:
+        return make_neighborhood(own, neighbor_labels) in self.allowed
+
+    def vertex_is_happy(
+        self, graph: nx.Graph, labeling: Mapping[Vertex, Label], vertex: Vertex
+    ) -> bool:
+        """The radius-1 check one vertex performs."""
+        if vertex not in labeling or labeling[vertex] not in self.labels:
+            return False
+        if graph.degree(vertex) > self.max_degree:
+            return False
+        neighbor_labels = []
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in labeling:
+                return False
+            neighbor_labels.append(labeling[neighbor])
+        return self.neighborhood_allowed(labeling[vertex], neighbor_labels)
+
+
+def is_correct_labeling(
+    problem: LCLProblem, graph: nx.Graph, labeling: Mapping[Vertex, Label]
+) -> bool:
+    """Global correctness: every vertex is locally happy."""
+    return all(problem.vertex_is_happy(graph, labeling, vertex) for vertex in graph.nodes())
+
+
+def unhappy_vertices(
+    problem: LCLProblem, graph: nx.Graph, labeling: Mapping[Vertex, Label]
+) -> List[Vertex]:
+    """The vertices whose radius-1 check fails (for diagnostics and tests)."""
+    return [v for v in graph.nodes() if not problem.vertex_is_happy(graph, labeling, v)]
+
+
+def enumerate_neighborhoods(
+    labels: Iterable[Label], max_degree: int, predicate
+) -> FrozenSet[Neighborhood]:
+    """All centered neighbourhoods over ``labels`` up to ``max_degree`` that
+    satisfy ``predicate(own_label, Counter_of_neighbor_labels)``.
+
+    This is the helper the classic problem constructors use: the predicate is
+    the semantic condition ("no neighbour shares my colour", "some neighbour
+    is in the set", ...) and the enumeration materialises it as the finite
+    allowed-neighbourhood list the Naor–Stockmeyer formalism requires.
+    """
+    labels = sorted(set(labels), key=repr)
+    allowed: set = set()
+
+    def distribute(remaining: int, index: int, current: Dict[Label, int]) -> Iterable[Dict[Label, int]]:
+        if index == len(labels) - 1:
+            final = dict(current)
+            final[labels[index]] = remaining
+            yield final
+            return
+        for count in range(remaining + 1):
+            current[labels[index]] = count
+            yield from distribute(remaining - count, index + 1, current)
+        current.pop(labels[index], None)
+
+    for own in labels:
+        for degree in range(max_degree + 1):
+            if not labels:
+                continue
+            for counts in distribute(degree, 0, {}):
+                counter = Counter({label: c for label, c in counts.items() if c})
+                if predicate(own, counter):
+                    allowed.add(make_neighborhood(own, counter.elements()))
+    return frozenset(allowed)

@@ -1,0 +1,108 @@
+"""From LCL solutions to local certification.
+
+Exhibiting a correct labeling of an LCL problem is a local certification of
+the property "a correct labeling exists": the certificate of a vertex is its
+output label (O(log |alphabet|) = O(1) bits) and the verifier re-runs the
+LCL's radius-1 check.  This is how the constant-size schemes of
+Theorem 2.2 look from the LCL side, and it is the bridge the Appendix C.2
+discussion builds on.  The scheme works for both formalisms; internally
+everything is evaluated through the Presburger form, which has no degree
+bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Callable, Dict, Hashable, Mapping, Optional
+
+import networkx as nx
+
+from repro.core.encoding import CertificateFormatError, CertificateReader, CertificateWriter
+from repro.core.scheme import CertificationScheme, Certificates, NotAYesInstance
+from repro.lcl.presburger_lcl import PresburgerLCL, lcl_to_presburger
+from repro.lcl.problem import LCLProblem
+from repro.network.ids import IdentifierAssignment
+from repro.network.views import LocalView
+
+Vertex = Hashable
+Label = Hashable
+Solver = Callable[[nx.Graph], Optional[Mapping[Vertex, Label]]]
+
+_EXHAUSTIVE_LIMIT = 200_000
+
+
+class LCLWitnessScheme(CertificationScheme):
+    """Certify "the graph admits a correct labeling of this LCL problem"."""
+
+    def __init__(
+        self,
+        problem: LCLProblem | PresburgerLCL,
+        solver: Optional[Solver] = None,
+    ) -> None:
+        if isinstance(problem, LCLProblem):
+            self.presburger = lcl_to_presburger(problem)
+        else:
+            self.presburger = problem
+        self.solver = solver
+        self.name = f"lcl-witness[{self.presburger.name}]"
+        self._labels = sorted(self.presburger.labels, key=repr)
+        self._label_index = {label: i for i, label in enumerate(self._labels)}
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+
+    def _find_labeling(self, graph: nx.Graph) -> Optional[Dict[Vertex, Label]]:
+        if self.solver is not None:
+            candidate = self.solver(graph)
+            if candidate is not None and self.presburger.is_correct_labeling(graph, candidate):
+                return dict(candidate)
+        vertices = sorted(graph.nodes(), key=repr)
+        space = len(self._labels) ** len(vertices)
+        if space > _EXHAUSTIVE_LIMIT:
+            if self.solver is not None:
+                return None
+            raise ValueError(
+                f"exhaustive search over {space} labelings is too large; provide a solver"
+            )
+        for assignment in itertools.product(self._labels, repeat=len(vertices)):
+            labeling = dict(zip(vertices, assignment))
+            if self.presburger.is_correct_labeling(graph, labeling):
+                return labeling
+        return None
+
+    def holds(self, graph: nx.Graph) -> bool:
+        return self._find_labeling(graph) is not None
+
+    # ------------------------------------------------------------------
+    # Prover and verifier
+    # ------------------------------------------------------------------
+
+    def prove(self, graph: nx.Graph, ids: IdentifierAssignment) -> Certificates:
+        labeling = self._find_labeling(graph)
+        if labeling is None:
+            raise NotAYesInstance("no correct labeling exists (or the solver found none)")
+        certificates: Certificates = {}
+        for vertex in graph.nodes():
+            writer = CertificateWriter()
+            writer.write_uint(self._label_index[labeling[vertex]])
+            certificates[vertex] = writer.getvalue()
+        return certificates
+
+    def verify(self, view: LocalView) -> bool:
+        try:
+            my_label = self._decode(view.certificate)
+            neighbor_labels = [self._decode(info.certificate) for info in view.neighbors]
+        except CertificateFormatError:
+            return False
+        counts = Counter(neighbor_labels)
+        return self.presburger.constraints[my_label].evaluate(counts)
+
+    def _decode(self, certificate: bytes) -> Label:
+        reader = CertificateReader(certificate)
+        index = reader.read_uint()
+        reader.expect_end()
+        if index >= len(self._labels):
+            raise CertificateFormatError("label index out of range")
+        return self._labels[index]

@@ -1,0 +1,74 @@
+"""First-order and monadic second-order logic on graphs (Section 3.2).
+
+The package provides:
+
+* an abstract syntax for FO and MSO formulas over the graph signature
+  (equality, adjacency, set membership),
+* exact model checking (exponential in the quantifier structure — intended
+  for kernels and small graphs),
+* a small parser for a readable concrete syntax,
+* structural measures (quantifier depth, alternation) and prenex normal form,
+* the Ehrenfeucht–Fraïssé game solver used to verify the kernelization
+  (Theorem 3.3 / Proposition 6.3),
+* a catalogue of the named properties the paper mentions.
+"""
+
+from repro.logic.syntax import (
+    Adjacent,
+    And,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Iff,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    SetVariable,
+    Variable,
+)
+from repro.logic.semantics import evaluate, satisfies
+from repro.logic.parser import parse_formula
+from repro.logic.structure import (
+    free_variables,
+    is_existential,
+    is_first_order,
+    prenex_normal_form,
+    quantifier_alternations,
+    quantifier_depth,
+)
+from repro.logic.ef_games import ef_equivalent, duplicator_wins
+from repro.logic import properties
+
+__all__ = [
+    "Adjacent",
+    "And",
+    "Equal",
+    "Exists",
+    "ExistsSet",
+    "Forall",
+    "ForallSet",
+    "Formula",
+    "Iff",
+    "Implies",
+    "InSet",
+    "Not",
+    "Or",
+    "SetVariable",
+    "Variable",
+    "evaluate",
+    "satisfies",
+    "parse_formula",
+    "free_variables",
+    "is_existential",
+    "is_first_order",
+    "prenex_normal_form",
+    "quantifier_alternations",
+    "quantifier_depth",
+    "ef_equivalent",
+    "duplicator_wins",
+    "properties",
+]

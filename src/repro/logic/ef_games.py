@@ -1,0 +1,86 @@
+"""Ehrenfeucht–Fraïssé games (Theorem 3.3).
+
+Two graphs satisfy exactly the same FO sentences of quantifier depth ``k``
+(written :math:`G \\simeq_k H`) if and only if Duplicator has a winning
+strategy in the ``k``-round EF game on them.  The paper uses this tool to
+prove the correctness of the kernelization (Proposition 6.3); we use the same
+tool to *test* that correctness on concrete instances.
+
+The solver is an exact game-tree search with memoisation; it is exponential
+(as any exact ≃_k decision procedure must be) and is therefore intended for
+kernels and small graphs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Hashable, Sequence, Tuple
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+def _is_partial_isomorphism(
+    graph_a: nx.Graph,
+    graph_b: nx.Graph,
+    chosen_a: Sequence[Vertex],
+    chosen_b: Sequence[Vertex],
+) -> bool:
+    """Check that position i ↦ position i is a partial isomorphism."""
+    k = len(chosen_a)
+    for i in range(k):
+        for j in range(i + 1, k):
+            same_a = chosen_a[i] == chosen_a[j]
+            same_b = chosen_b[i] == chosen_b[j]
+            if same_a != same_b:
+                return False
+            edge_a = graph_a.has_edge(chosen_a[i], chosen_a[j])
+            edge_b = graph_b.has_edge(chosen_b[i], chosen_b[j])
+            if edge_a != edge_b:
+                return False
+    return True
+
+
+def duplicator_wins(
+    graph_a: nx.Graph,
+    graph_b: nx.Graph,
+    rounds: int,
+    initial_a: Sequence[Vertex] = (),
+    initial_b: Sequence[Vertex] = (),
+) -> bool:
+    """Decide whether Duplicator wins the ``rounds``-round EF game.
+
+    ``initial_a`` / ``initial_b`` are already-played positions (used when the
+    game continues from a partial position); they must have equal length.
+    """
+    if len(initial_a) != len(initial_b):
+        raise ValueError("initial positions must have the same length")
+    vertices_a = tuple(sorted(graph_a.nodes(), key=repr))
+    vertices_b = tuple(sorted(graph_b.nodes(), key=repr))
+
+    @lru_cache(maxsize=None)
+    def wins(chosen_a: Tuple[Vertex, ...], chosen_b: Tuple[Vertex, ...], k: int) -> bool:
+        if not _is_partial_isomorphism(graph_a, graph_b, chosen_a, chosen_b):
+            return False
+        if k == 0:
+            return True
+        # Spoiler plays in A: Duplicator must answer in B.
+        for u in vertices_a:
+            if not any(wins(chosen_a + (u,), chosen_b + (v,), k - 1) for v in vertices_b):
+                return False
+        # Spoiler plays in B: Duplicator must answer in A.
+        for v in vertices_b:
+            if not any(wins(chosen_a + (u,), chosen_b + (v,), k - 1) for u in vertices_a):
+                return False
+        return True
+
+    try:
+        return wins(tuple(initial_a), tuple(initial_b), rounds)
+    finally:
+        wins.cache_clear()
+
+
+def ef_equivalent(graph_a: nx.Graph, graph_b: nx.Graph, rounds: int) -> bool:
+    """True when ``graph_a`` ≃_rounds ``graph_b`` (same FO sentences of that depth)."""
+    return duplicator_wins(graph_a, graph_b, rounds)

@@ -1,0 +1,207 @@
+"""A small parser for a readable FO/MSO concrete syntax.
+
+Grammar (lowest to highest precedence)::
+
+    formula   := iff
+    iff       := implies ('<->' implies)*
+    implies   := or ('->' or)*            (right associative)
+    or        := and ('|' and)*
+    and       := unary ('&' unary)*
+    unary     := '!' unary | quantified | atom | '(' formula ')'
+    quantified:= ('exists'|'forall') NAME '.' formula
+               | ('existsS'|'forallS') NAME '.' formula
+    atom      := NAME '=' NAME | NAME '~' NAME | NAME 'in' NAME
+
+First-order variables are lower-case names, set variables are the names used
+after ``existsS``/``forallS`` or on the right of ``in`` (conventionally
+upper-case).  ``~`` denotes adjacency, matching the paper's ``x − y``.
+
+Examples::
+
+    parse_formula("forall x. forall y. (x = y | x ~ y | exists z. (x ~ z & z ~ y))")
+    parse_formula("existsS X. forall x. (x in X | exists y. (y in X & x ~ y))")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.logic.syntax import (
+    Adjacent,
+    And,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Iff,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    SetVariable,
+    Variable,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+
+
+_TOKEN_SPEC = [
+    ("ARROW2", r"<->"),
+    ("ARROW", r"->"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("AND", r"&"),
+    ("OR", r"\|"),
+    ("NOT", r"!"),
+    ("EQ", r"="),
+    ("ADJ", r"~"),
+    ("DOT", r"\."),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("SKIP", r"\s+"),
+    ("ERROR", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"exists", "forall", "existsS", "forallS", "in"}
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "SKIP":
+            continue
+        if kind == "ERROR":
+            raise ParseError(f"unexpected character {value!r}")
+        if kind == "NAME" and value in _KEYWORDS:
+            yield _Token(value.upper(), value)
+        else:
+            yield _Token(kind, value)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = list(_tokenize(text))
+        self.position = 0
+        self.set_variables: set[str] = set()
+
+    def peek(self) -> _Token | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.value!r}")
+        return token
+
+    # Grammar rules --------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self.parse_iff()
+        if self.peek() is not None:
+            raise ParseError(f"trailing input starting at {self.peek().value!r}")
+        return formula
+
+    def parse_iff(self) -> Formula:
+        left = self.parse_implies()
+        while self.peek() is not None and self.peek().kind == "ARROW2":
+            self.advance()
+            right = self.parse_implies()
+            left = Iff(left, right)
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.peek() is not None and self.peek().kind == "ARROW":
+            self.advance()
+            right = self.parse_implies()
+            return Implies(left, right)
+        return left
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self.peek() is not None and self.peek().kind == "OR":
+            self.advance()
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_unary()
+        while self.peek() is not None and self.peek().kind == "AND":
+            self.advance()
+            left = And(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        if token.kind == "NOT":
+            self.advance()
+            return Not(self.parse_unary())
+        if token.kind in {"EXISTS", "FORALL", "EXISTSS", "FORALLS"}:
+            return self.parse_quantified()
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_iff()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "NAME":
+            return self.parse_atom()
+        raise ParseError(f"unexpected token {token.value!r}")
+
+    def parse_quantified(self) -> Formula:
+        token = self.advance()
+        name = self.expect("NAME").value
+        self.expect("DOT")
+        if token.kind in {"EXISTSS", "FORALLS"}:
+            self.set_variables.add(name)
+            body = self.parse_unary_or_rest()
+            node = ExistsSet if token.kind == "EXISTSS" else ForallSet
+            return node(SetVariable(name), body)
+        body = self.parse_unary_or_rest()
+        node = Exists if token.kind == "EXISTS" else Forall
+        return node(Variable(name), body)
+
+    def parse_unary_or_rest(self) -> Formula:
+        # The body of a quantifier extends as far to the right as possible.
+        return self.parse_iff()
+
+    def parse_atom(self) -> Formula:
+        left = self.expect("NAME").value
+        operator = self.advance()
+        if operator.kind == "EQ":
+            right = self.expect("NAME").value
+            return Equal(Variable(left), Variable(right))
+        if operator.kind == "ADJ":
+            right = self.expect("NAME").value
+            return Adjacent(Variable(left), Variable(right))
+        if operator.kind == "IN":
+            right = self.expect("NAME").value
+            self.set_variables.add(right)
+            return InSet(Variable(left), SetVariable(right))
+        raise ParseError(f"expected '=', '~' or 'in' after {left!r}, found {operator.value!r}")
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a formula from its concrete syntax.  See the module docstring."""
+    return _Parser(text).parse()

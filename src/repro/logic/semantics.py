@@ -1,0 +1,134 @@
+"""Exact model checking for FO and MSO formulas.
+
+The evaluator is the textbook recursive one: first-order quantifiers range
+over the vertex set, set quantifiers range over all ``2^n`` subsets.  It is
+therefore exponential and intended for kernels, gadgets and test instances —
+exactly the role the paper assigns to centralized model checking once a
+bounded-size kernel has been certified (Section 6).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, Hashable, Iterable, Union
+
+import networkx as nx
+
+from repro.logic.syntax import (
+    Adjacent,
+    And,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Iff,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    SetVariable,
+    Variable,
+)
+
+Vertex = Hashable
+Assignment = Dict[Union[Variable, SetVariable], Union[Vertex, FrozenSet[Vertex]]]
+
+_MAX_SET_QUANTIFIER_VERTICES = 22
+"""Hard guard: a set quantifier over more vertices than this would enumerate
+more than four million subsets per quantifier, which is almost certainly a
+mistake (the kernels of Section 6 are far smaller)."""
+
+
+def _all_subsets(vertices: Iterable[Vertex]) -> Iterable[FrozenSet[Vertex]]:
+    vertices = list(vertices)
+    return (
+        frozenset(combo)
+        for combo in chain.from_iterable(
+            combinations(vertices, r) for r in range(len(vertices) + 1)
+        )
+    )
+
+
+def evaluate(
+    graph: nx.Graph, formula: Formula, assignment: Assignment | None = None
+) -> bool:
+    """Evaluate ``formula`` on ``graph`` under a (possibly partial) assignment.
+
+    Free variables must be bound by ``assignment``; a :class:`KeyError` is
+    raised otherwise.
+    """
+    assignment = dict(assignment or {})
+    return _eval(graph, formula, assignment)
+
+
+def satisfies(graph: nx.Graph, formula: Formula) -> bool:
+    """Evaluate a *sentence* (no free variables) on ``graph``."""
+    return evaluate(graph, formula, {})
+
+
+def _eval(graph: nx.Graph, formula: Formula, assignment: Assignment) -> bool:
+    if isinstance(formula, Equal):
+        return assignment[formula.left] == assignment[formula.right]
+    if isinstance(formula, Adjacent):
+        left = assignment[formula.left]
+        right = assignment[formula.right]
+        return left != right and graph.has_edge(left, right)
+    if isinstance(formula, InSet):
+        return assignment[formula.element] in assignment[formula.set_variable]
+    if isinstance(formula, Not):
+        return not _eval(graph, formula.operand, assignment)
+    if isinstance(formula, And):
+        return _eval(graph, formula.left, assignment) and _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, Or):
+        return _eval(graph, formula.left, assignment) or _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, Implies):
+        return (not _eval(graph, formula.left, assignment)) or _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, Iff):
+        return _eval(graph, formula.left, assignment) == _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, Exists):
+        for vertex in graph.nodes():
+            assignment[formula.variable] = vertex
+            if _eval(graph, formula.body, assignment):
+                del assignment[formula.variable]
+                return True
+        assignment.pop(formula.variable, None)
+        return False
+    if isinstance(formula, Forall):
+        for vertex in graph.nodes():
+            assignment[formula.variable] = vertex
+            if not _eval(graph, formula.body, assignment):
+                del assignment[formula.variable]
+                return False
+        assignment.pop(formula.variable, None)
+        return True
+    if isinstance(formula, (ExistsSet, ForallSet)):
+        n = graph.number_of_nodes()
+        if n > _MAX_SET_QUANTIFIER_VERTICES:
+            raise ValueError(
+                "refusing to enumerate subsets of a graph with "
+                f"{n} > {_MAX_SET_QUANTIFIER_VERTICES} vertices; "
+                "MSO model checking is meant for kernels and small instances"
+            )
+        existential = isinstance(formula, ExistsSet)
+        for subset in _all_subsets(graph.nodes()):
+            assignment[formula.variable] = subset
+            value = _eval(graph, formula.body, assignment)
+            if existential and value:
+                del assignment[formula.variable]
+                return True
+            if not existential and not value:
+                del assignment[formula.variable]
+                return False
+        assignment.pop(formula.variable, None)
+        return not existential
+    raise TypeError(f"unknown formula node: {formula!r}")

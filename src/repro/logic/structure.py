@@ -1,0 +1,263 @@
+"""Structural measures and normal forms of formulas.
+
+The paper's generic-case discussion (Section 2.2 and Lemma 2.1) classifies FO
+sentences by quantifier depth and alternation, and the kernelization of
+Section 6 is parameterised by quantifier depth.  This module computes those
+measures and produces prenex normal forms.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Union
+
+from repro.logic.syntax import (
+    Adjacent,
+    And,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    ForallSet,
+    Formula,
+    Iff,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    SetVariable,
+    Variable,
+)
+
+AnyVariable = Union[Variable, SetVariable]
+
+_QUANTIFIERS = (Exists, Forall, ExistsSet, ForallSet)
+
+
+def is_first_order(formula: Formula) -> bool:
+    """True when the formula uses no set quantifier and no membership atom."""
+    return not any(
+        isinstance(sub, (ExistsSet, ForallSet, InSet)) for sub in formula.subformulas()
+    )
+
+
+def quantifier_depth(formula: Formula) -> int:
+    """Maximum number of nested quantifiers (FO and MSO alike)."""
+    if isinstance(formula, (Equal, Adjacent, InSet)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_depth(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return max(quantifier_depth(formula.left), quantifier_depth(formula.right))
+    if isinstance(formula, _QUANTIFIERS):
+        return 1 + quantifier_depth(formula.body)
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def free_variables(formula: Formula) -> FrozenSet[AnyVariable]:
+    """Free (first-order and set) variables of a formula."""
+    if isinstance(formula, Equal):
+        return frozenset({formula.left, formula.right})
+    if isinstance(formula, Adjacent):
+        return frozenset({formula.left, formula.right})
+    if isinstance(formula, InSet):
+        return frozenset({formula.element, formula.set_variable})
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, _QUANTIFIERS):
+        return free_variables(formula.body) - {formula.variable}
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def is_sentence(formula: Formula) -> bool:
+    """True when the formula has no free variables."""
+    return not free_variables(formula)
+
+
+def _eliminate_derived(formula: Formula) -> Formula:
+    """Rewrite ``->`` and ``<->`` in terms of ``&``, ``|`` and ``!``."""
+    if isinstance(formula, (Equal, Adjacent, InSet)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_eliminate_derived(formula.operand))
+    if isinstance(formula, And):
+        return And(_eliminate_derived(formula.left), _eliminate_derived(formula.right))
+    if isinstance(formula, Or):
+        return Or(_eliminate_derived(formula.left), _eliminate_derived(formula.right))
+    if isinstance(formula, Implies):
+        return Or(Not(_eliminate_derived(formula.left)), _eliminate_derived(formula.right))
+    if isinstance(formula, Iff):
+        left = _eliminate_derived(formula.left)
+        right = _eliminate_derived(formula.right)
+        return And(Or(Not(left), right), Or(Not(right), left))
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, _eliminate_derived(formula.body))
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, _eliminate_derived(formula.body))
+    if isinstance(formula, ExistsSet):
+        return ExistsSet(formula.variable, _eliminate_derived(formula.body))
+    if isinstance(formula, ForallSet):
+        return ForallSet(formula.variable, _eliminate_derived(formula.body))
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def _negation_normal_form(formula: Formula) -> Formula:
+    """Push negations down to atoms (after derived connectives are removed)."""
+    if isinstance(formula, (Equal, Adjacent, InSet)):
+        return formula
+    if isinstance(formula, And):
+        return And(_negation_normal_form(formula.left), _negation_normal_form(formula.right))
+    if isinstance(formula, Or):
+        return Or(_negation_normal_form(formula.left), _negation_normal_form(formula.right))
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, _negation_normal_form(formula.body))
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, _negation_normal_form(formula.body))
+    if isinstance(formula, ExistsSet):
+        return ExistsSet(formula.variable, _negation_normal_form(formula.body))
+    if isinstance(formula, ForallSet):
+        return ForallSet(formula.variable, _negation_normal_form(formula.body))
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, (Equal, Adjacent, InSet)):
+            return formula
+        if isinstance(inner, Not):
+            return _negation_normal_form(inner.operand)
+        if isinstance(inner, And):
+            return Or(
+                _negation_normal_form(Not(inner.left)),
+                _negation_normal_form(Not(inner.right)),
+            )
+        if isinstance(inner, Or):
+            return And(
+                _negation_normal_form(Not(inner.left)),
+                _negation_normal_form(Not(inner.right)),
+            )
+        if isinstance(inner, Exists):
+            return Forall(inner.variable, _negation_normal_form(Not(inner.body)))
+        if isinstance(inner, Forall):
+            return Exists(inner.variable, _negation_normal_form(Not(inner.body)))
+        if isinstance(inner, ExistsSet):
+            return ForallSet(inner.variable, _negation_normal_form(Not(inner.body)))
+        if isinstance(inner, ForallSet):
+            return ExistsSet(inner.variable, _negation_normal_form(Not(inner.body)))
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def negation_normal_form(formula: Formula) -> Formula:
+    """Negation normal form (negations only on atoms, no -> or <->)."""
+    return _negation_normal_form(_eliminate_derived(formula))
+
+
+def _fresh_name(base: str, used: set[str]) -> str:
+    if base not in used:
+        return base
+    counter = 1
+    while f"{base}_{counter}" in used:
+        counter += 1
+    return f"{base}_{counter}"
+
+
+def _rename(formula: Formula, mapping: dict[AnyVariable, AnyVariable]) -> Formula:
+    if isinstance(formula, Equal):
+        return Equal(mapping.get(formula.left, formula.left), mapping.get(formula.right, formula.right))
+    if isinstance(formula, Adjacent):
+        return Adjacent(mapping.get(formula.left, formula.left), mapping.get(formula.right, formula.right))
+    if isinstance(formula, InSet):
+        return InSet(
+            mapping.get(formula.element, formula.element),
+            mapping.get(formula.set_variable, formula.set_variable),
+        )
+    if isinstance(formula, Not):
+        return Not(_rename(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And(_rename(formula.left, mapping), _rename(formula.right, mapping))
+    if isinstance(formula, Or):
+        return Or(_rename(formula.left, mapping), _rename(formula.right, mapping))
+    if isinstance(formula, _QUANTIFIERS):
+        inner_mapping = {k: v for k, v in mapping.items() if k != formula.variable}
+        return type(formula)(formula.variable, _rename(formula.body, inner_mapping))
+    raise TypeError(f"unknown formula node in rename: {formula!r}")
+
+
+def prenex_normal_form(formula: Formula) -> Formula:
+    """Prenex normal form: all quantifiers pulled to the front.
+
+    Works on formulas built from atoms, ``&``, ``|``, ``!``, ``->``, ``<->``
+    and quantifiers; bound variables are renamed apart when necessary.
+    """
+    nnf = negation_normal_form(formula)
+    used_names: set[str] = set()
+    for sub in nnf.subformulas():
+        if isinstance(sub, _QUANTIFIERS):
+            used_names.add(sub.variable.name)
+        for variable in free_variables(nnf):
+            used_names.add(variable.name)
+
+    def pull(node: Formula) -> tuple[list[tuple[type, AnyVariable]], Formula]:
+        if isinstance(node, (Equal, Adjacent, InSet)):
+            return [], node
+        if isinstance(node, Not):
+            # In NNF, negation only wraps atoms.
+            return [], node
+        if isinstance(node, _QUANTIFIERS):
+            prefix, matrix = pull(node.body)
+            return [(type(node), node.variable)] + prefix, matrix
+        if isinstance(node, (And, Or)):
+            left_prefix, left_matrix = pull(node.left)
+            right_prefix, right_matrix = pull(node.right)
+            # Rename the right prefix apart from the left one.
+            mapping: dict[AnyVariable, AnyVariable] = {}
+            renamed_right_prefix = []
+            taken = {variable.name for _, variable in left_prefix} | used_names
+            for quantifier, variable in right_prefix:
+                if variable.name in taken:
+                    fresh = _fresh_name(variable.name, taken)
+                    taken.add(fresh)
+                    new_variable = (
+                        SetVariable(fresh) if isinstance(variable, SetVariable) else Variable(fresh)
+                    )
+                    mapping[variable] = new_variable
+                    renamed_right_prefix.append((quantifier, new_variable))
+                else:
+                    taken.add(variable.name)
+                    renamed_right_prefix.append((quantifier, variable))
+            if mapping:
+                right_matrix = _rename(right_matrix, mapping)
+            connective = And if isinstance(node, And) else Or
+            return left_prefix + renamed_right_prefix, connective(left_matrix, right_matrix)
+        raise TypeError(f"unexpected node in prenex conversion: {node!r}")
+
+    prefix, matrix = pull(nnf)
+    result = matrix
+    for quantifier, variable in reversed(prefix):
+        result = quantifier(variable, result)
+    return result
+
+
+def quantifier_alternations(formula: Formula) -> int:
+    """Number of alternations between existential and universal blocks in the
+    prenex normal form of the formula."""
+    prenex = prenex_normal_form(formula)
+    kinds = []
+    node = prenex
+    while isinstance(node, _QUANTIFIERS):
+        kinds.append("E" if isinstance(node, (Exists, ExistsSet)) else "A")
+        node = node.body
+    alternations = 0
+    for previous, current in zip(kinds, kinds[1:]):
+        if previous != current:
+            alternations += 1
+    return alternations
+
+
+def is_existential(formula: Formula) -> bool:
+    """True when the prenex normal form only has existential quantifiers."""
+    prenex = prenex_normal_form(formula)
+    node = prenex
+    while isinstance(node, _QUANTIFIERS):
+        if isinstance(node, (Forall, ForallSet)):
+            return False
+        node = node.body
+    return True

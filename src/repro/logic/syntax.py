@@ -1,0 +1,266 @@
+"""Abstract syntax of FO and MSO formulas on graphs.
+
+The signature is the one of the paper (Section 3.2): first-order variables
+range over vertices, monadic second-order variables range over *sets* of
+vertices, and the atomic predicates are equality ``x = y``, adjacency
+``x - y`` and set membership ``x ∈ X``.  Formulas are immutable trees of
+dataclasses; they hash and compare structurally, which the type-based
+constructions rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A first-order variable, ranging over vertices."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SetVariable:
+    """A monadic second-order variable, ranging over sets of vertices."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Formula:
+    """Base class of all formula nodes (purely a marker / shared helpers)."""
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Yield this formula and every strict subformula (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+
+# --------------------------------------------------------------------------
+# Atomic formulas
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Equal(Formula):
+    """``left = right``."""
+
+    left: Variable
+    right: Variable
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Adjacent(Formula):
+    """``left - right`` (the vertices are adjacent)."""
+
+    left: Variable
+    right: Variable
+
+    def __str__(self) -> str:
+        return f"{self.left} ~ {self.right}"
+
+
+@dataclass(frozen=True)
+class InSet(Formula):
+    """``element ∈ set_variable``."""
+
+    element: Variable
+    set_variable: SetVariable
+
+    def __str__(self) -> str:
+        return f"{self.element} in {self.set_variable}"
+
+
+# --------------------------------------------------------------------------
+# Boolean connectives
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+# --------------------------------------------------------------------------
+# Quantifiers
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """First-order existential quantification over vertices."""
+
+    variable: Variable
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"exists {self.variable}. {self.body}"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """First-order universal quantification over vertices."""
+
+    variable: Variable
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"forall {self.variable}. {self.body}"
+
+
+@dataclass(frozen=True)
+class ExistsSet(Formula):
+    """Monadic second-order existential quantification over vertex sets."""
+
+    variable: SetVariable
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"existsS {self.variable}. {self.body}"
+
+
+@dataclass(frozen=True)
+class ForallSet(Formula):
+    """Monadic second-order universal quantification over vertex sets."""
+
+    variable: SetVariable
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"forallS {self.variable}. {self.body}"
+
+
+# Convenience constructors -------------------------------------------------
+
+
+def var(name: str) -> Variable:
+    """Shorthand for :class:`Variable`."""
+    return Variable(name)
+
+
+def setvar(name: str) -> SetVariable:
+    """Shorthand for :class:`SetVariable`."""
+    return SetVariable(name)
+
+
+def adjacent(x: str | Variable, y: str | Variable) -> Adjacent:
+    """Adjacency atom from variable names or variables."""
+    return Adjacent(_as_var(x), _as_var(y))
+
+
+def equal(x: str | Variable, y: str | Variable) -> Equal:
+    """Equality atom from variable names or variables."""
+    return Equal(_as_var(x), _as_var(y))
+
+
+def conjunction(*formulas: Formula) -> Formula:
+    """Left-nested conjunction of one or more formulas."""
+    if not formulas:
+        raise ValueError("conjunction needs at least one conjunct")
+    result = formulas[0]
+    for formula in formulas[1:]:
+        result = And(result, formula)
+    return result
+
+
+def disjunction(*formulas: Formula) -> Formula:
+    """Left-nested disjunction of one or more formulas."""
+    if not formulas:
+        raise ValueError("disjunction needs at least one disjunct")
+    result = formulas[0]
+    for formula in formulas[1:]:
+        result = Or(result, formula)
+    return result
+
+
+def _as_var(value: str | Variable) -> Variable:
+    return value if isinstance(value, Variable) else Variable(value)

@@ -1,0 +1,42 @@
+"""Lower bounds via non-deterministic communication complexity (Section 7).
+
+* :mod:`repro.lower_bounds.communication` — the two-party non-deterministic
+  model, the EQUALITY problem and its Ω(ℓ) bound (Theorem 7.1);
+* :mod:`repro.lower_bounds.framework` — the reduction framework
+  (Section 7.1): the four-part graphs G(s_A, s_B), the simulation of a local
+  verifier by Alice and Bob, and the certificate-size bound of
+  Proposition 7.2;
+* :mod:`repro.lower_bounds.automorphism` — the Ω̃(n) bound for
+  fixed-point-free automorphism of bounded-depth trees (Theorem 2.3);
+* :mod:`repro.lower_bounds.treedepth_lb` — the Ω(log n) bound for
+  treedepth ≤ 5 (Theorem 2.5, Figure 3) and the Lemma 7.3 dichotomy.
+"""
+
+from repro.lower_bounds.communication import (
+    equality_certificate_lower_bound,
+    fooling_set_refutes,
+)
+from repro.lower_bounds.framework import ReductionFramework, certificate_size_lower_bound
+from repro.lower_bounds.automorphism import (
+    automorphism_instance,
+    automorphism_lower_bound_bits,
+    string_to_rooted_tree,
+)
+from repro.lower_bounds.treedepth_lb import (
+    string_to_matching,
+    treedepth_gadget,
+    treedepth_lower_bound_bits,
+)
+
+__all__ = [
+    "equality_certificate_lower_bound",
+    "fooling_set_refutes",
+    "ReductionFramework",
+    "certificate_size_lower_bound",
+    "automorphism_instance",
+    "automorphism_lower_bound_bits",
+    "string_to_rooted_tree",
+    "string_to_matching",
+    "treedepth_gadget",
+    "treedepth_lower_bound_bits",
+]

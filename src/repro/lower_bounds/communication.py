@@ -1,0 +1,90 @@
+"""Non-deterministic two-party communication complexity and EQUALITY.
+
+The setting of Section 7.1: Alice holds a string ``s_A``, Bob a string
+``s_B`` (both of length ℓ); a prover publishes a certificate ``s_P`` visible
+to both; Alice accepts or rejects as a function of ``(s_A, s_P)`` only, and
+symmetrically for Bob.  The protocol decides EQUALITY when there is an
+accepted certificate iff ``s_A = s_B``.
+
+Theorem 7.1 (Babai–Frankl–Simon): any such protocol needs certificates of
+Ω(ℓ) bits.  The classical proof is a fooling-set argument: the 2^ℓ diagonal
+pairs (s, s) must all be accepted, and two different diagonal pairs cannot
+share an accepting certificate, else a cross pair (s, s′) with s ≠ s′ would
+also be accepted.  :func:`fooling_set_refutes` replays that argument
+mechanically for a *given* small protocol, and
+:func:`equality_certificate_lower_bound` returns the implied bound.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterable, Tuple
+
+Protocol = Tuple[Callable[[str, bytes], bool], Callable[[str, bytes], bool]]
+
+
+def equality_certificate_lower_bound(ell: int) -> int:
+    """Minimum certificate size (in bits) of a non-deterministic protocol for
+    EQUALITY on ℓ-bit strings: exactly ℓ (Theorem 7.1, fooling-set argument)."""
+    if ell < 0:
+        raise ValueError("ell must be non-negative")
+    return ell
+
+
+def all_strings(ell: int) -> Iterable[str]:
+    """All binary strings of length ℓ (2^ℓ of them — keep ℓ small)."""
+    for bits in product("01", repeat=ell):
+        yield "".join(bits)
+
+
+def all_certificates(bits: int) -> Iterable[bytes]:
+    """All certificates of exactly ``bits`` bits."""
+    n_bytes = (bits + 7) // 8
+    for value in range(1 << bits):
+        yield value.to_bytes(n_bytes, "big") if n_bytes else b""
+
+
+def protocol_decides_equality(protocol: Protocol, ell: int, certificate_bits: int) -> bool:
+    """Exhaustively check that a protocol decides EQUALITY on ℓ-bit strings
+    with certificates of ``certificate_bits`` bits.  Exponential; tiny inputs only."""
+    alice, bob = protocol
+    for s_a in all_strings(ell):
+        for s_b in all_strings(ell):
+            accepted = any(
+                alice(s_a, cert) and bob(s_b, cert)
+                for cert in all_certificates(certificate_bits)
+            )
+            if (s_a == s_b) != accepted:
+                return False
+    return True
+
+
+def fooling_set_refutes(protocol: Protocol, ell: int, certificate_bits: int) -> bool:
+    """Replay the fooling-set argument against a concrete protocol.
+
+    Returns True when the argument finds a violation, i.e. when
+    ``certificate_bits < ℓ`` forces the protocol to either reject some
+    diagonal pair or accept some off-diagonal pair.  (For a protocol that
+    genuinely decides EQUALITY this is guaranteed whenever
+    ``certificate_bits < ℓ``.)
+    """
+    alice, bob = protocol
+    accepted_certificate = {}
+    for s in all_strings(ell):
+        witness = None
+        for cert in all_certificates(certificate_bits):
+            if alice(s, cert) and bob(s, cert):
+                witness = cert
+                break
+        if witness is None:
+            return True  # a diagonal pair is rejected: not an EQUALITY protocol
+        accepted_certificate[s] = witness
+    # Pigeonhole: two diagonal strings share a certificate → cross pair accepted.
+    seen = {}
+    for s, cert in accepted_certificate.items():
+        if cert in seen:
+            other = seen[cert]
+            if alice(s, cert) and bob(other, cert):
+                return True
+        seen[cert] = s
+    return False

@@ -1,0 +1,190 @@
+"""The reduction framework of Section 7.1.
+
+A reduction is described by four vertex sets ``V_A, V_α, V_β, V_B``, a fixed
+edge set ``E_P`` touching only the allowed pairs of parts, and two injections
+``t_A`` (from strings to edge sets inside ``V_A``) and ``t_B`` (inside
+``V_B``).  The graph ``G(s_A, s_B)`` is the union of the fixed part and the
+two private parts.  Proposition 7.2: if a property P holds on
+``G(s_A, s_B)`` exactly when ``s_A = s_B``, then any local certification of P
+needs certificates of size Ω(ℓ / r) where ``r = |V_α ∪ V_β|``, because Alice
+and Bob can turn a certification into a non-deterministic EQUALITY protocol
+whose certificate is the concatenation of the local certificates of
+``V_α ∪ V_β``.
+
+The :meth:`ReductionFramework.simulate_protocol` method implements exactly
+that Alice/Bob simulation for a concrete
+:class:`~repro.core.scheme.CertificationScheme`, so the reduction itself can
+be exercised on small instances (see the Theorem 2.5 benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.scheme import CertificationScheme
+from repro.network.ids import IdentifierAssignment
+from repro.network.simulator import NetworkSimulator
+from repro.network.views import LocalView
+
+Vertex = Hashable
+EdgeSet = FrozenSet[Tuple[Vertex, Vertex]]
+Injection = Callable[[str], Iterable[Tuple[Vertex, Vertex]]]
+
+
+def certificate_size_lower_bound(ell: int, r: int) -> float:
+    """Proposition 7.2: certificates need Ω(ℓ / r) bits; return ℓ / r."""
+    if r <= 0:
+        raise ValueError("r must be positive")
+    return ell / r
+
+
+@dataclass(frozen=True)
+class ReductionFramework:
+    """A concrete instantiation of the Section 7.1 framework."""
+
+    v_a: Tuple[Vertex, ...]
+    v_alpha: Tuple[Vertex, ...]
+    v_beta: Tuple[Vertex, ...]
+    v_b: Tuple[Vertex, ...]
+    fixed_edges: Tuple[Tuple[Vertex, Vertex], ...]
+    alice_injection: Injection
+    bob_injection: Injection
+
+    def __post_init__(self) -> None:
+        parts = [set(self.v_a), set(self.v_alpha), set(self.v_beta), set(self.v_b)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                if parts[i] & parts[j]:
+                    raise ValueError("the four vertex parts must be disjoint")
+        allowed = self._allowed_fixed_pairs()
+        for u, v in self.fixed_edges:
+            part_u, part_v = self._part_of(u), self._part_of(v)
+            if (part_u, part_v) not in allowed and (part_v, part_u) not in allowed:
+                raise ValueError(
+                    f"fixed edge ({u!r}, {v!r}) joins forbidden parts {part_u}–{part_v}"
+                )
+
+    def _part_of(self, vertex: Vertex) -> str:
+        if vertex in self.v_a:
+            return "A"
+        if vertex in self.v_alpha:
+            return "alpha"
+        if vertex in self.v_beta:
+            return "beta"
+        if vertex in self.v_b:
+            return "B"
+        raise ValueError(f"vertex {vertex!r} is in no part")
+
+    @staticmethod
+    def _allowed_fixed_pairs() -> set[Tuple[str, str]]:
+        return {
+            ("A", "alpha"),
+            ("alpha", "alpha"),
+            ("alpha", "beta"),
+            ("beta", "beta"),
+            ("beta", "B"),
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def r(self) -> int:
+        """|V_α ∪ V_β| — the number of vertices whose certificates Alice and
+        Bob read from the prover."""
+        return len(self.v_alpha) + len(self.v_beta)
+
+    def build_graph(self, s_a: str, s_b: str) -> nx.Graph:
+        """The instance G(s_A, s_B)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.v_a)
+        graph.add_nodes_from(self.v_alpha)
+        graph.add_nodes_from(self.v_beta)
+        graph.add_nodes_from(self.v_b)
+        graph.add_edges_from(self.fixed_edges)
+        for u, v in self.alice_injection(s_a):
+            if self._part_of(u) != "A" or self._part_of(v) != "A":
+                raise ValueError("Alice's injection must produce edges inside V_A")
+            graph.add_edge(u, v)
+        for u, v in self.bob_injection(s_b):
+            if self._part_of(u) != "B" or self._part_of(v) != "B":
+                raise ValueError("Bob's injection must produce edges inside V_B")
+            graph.add_edge(u, v)
+        return graph
+
+    def lower_bound_bits(self, ell: int) -> float:
+        """The Ω(ℓ / r) bound implied by Proposition 7.2 for string length ℓ."""
+        return certificate_size_lower_bound(ell, self.r)
+
+    # ------------------------------------------------------------------
+    # Alice/Bob simulation of a local verifier (proof of Proposition 7.2)
+    # ------------------------------------------------------------------
+
+    def simulate_protocol(
+        self,
+        scheme: CertificationScheme,
+        s_a: str,
+        s_b: str,
+        certificate_bits_per_vertex: int,
+        ids: IdentifierAssignment,
+        max_side_bits: int = 12,
+    ) -> bool:
+        """Run the Proposition 7.2 simulation on one (s_A, s_B) pair.
+
+        The prover's message is interpreted as certificates for ``V_α ∪ V_β``;
+        Alice enumerates all certificate assignments of her side ``V_A`` (at
+        most ``2^max_side_bits`` of them — tiny instances only) and accepts if
+        one makes all of ``V_A ∪ V_α`` accept; Bob symmetrically.  The
+        function returns True iff *some* prover message makes both accept —
+        which, by the argument of Appendix E.1, happens iff the full graph
+        admits an accepting certificate assignment.
+        """
+        graph = self.build_graph(s_a, s_b)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        middle = list(self.v_alpha) + list(self.v_beta)
+        side_a = list(self.v_a)
+        side_b = list(self.v_b)
+        total_side_bits_a = certificate_bits_per_vertex * len(side_a)
+        total_side_bits_b = certificate_bits_per_vertex * len(side_b)
+        if max(total_side_bits_a, total_side_bits_b) > max_side_bits:
+            raise ValueError("instance too large for exhaustive protocol simulation")
+        middle_bits = certificate_bits_per_vertex * len(middle)
+        if middle_bits > max_side_bits:
+            raise ValueError("instance too large for exhaustive protocol simulation")
+
+        def assignments(vertices: Sequence[Vertex]) -> Iterable[Dict[Vertex, bytes]]:
+            n_bytes = (certificate_bits_per_vertex + 7) // 8
+            options = [
+                value.to_bytes(n_bytes, "big") if n_bytes else b""
+                for value in range(1 << certificate_bits_per_vertex)
+            ]
+            def recurse(index: int, current: Dict[Vertex, bytes]):
+                if index == len(vertices):
+                    yield dict(current)
+                    return
+                for option in options:
+                    current[vertices[index]] = option
+                    yield from recurse(index + 1, current)
+                current.pop(vertices[index], None)
+            yield from recurse(0, {})
+
+        def side_accepts(side: Sequence[Vertex], middle_assignment: Dict[Vertex, bytes]) -> bool:
+            checked_vertices = set(side) | set(middle)
+            for side_assignment in assignments(list(side)):
+                certificates = {**middle_assignment, **side_assignment}
+                # Vertices outside this player's knowledge get empty labels;
+                # their decisions are not simulated.
+                views = simulator.build_views({**{v: b"" for v in graph.nodes()}, **certificates})
+                if all(scheme.verify(views[v]) for v in checked_vertices if v in side or v in middle):
+                    return True
+            return False
+
+        for middle_assignment in assignments(middle):
+            alice_ok = side_accepts(side_a, middle_assignment)
+            bob_ok = side_accepts(side_b, middle_assignment)
+            if alice_ok and bob_ok:
+                return True
+        return False

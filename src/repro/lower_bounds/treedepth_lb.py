@@ -1,0 +1,136 @@
+"""The Ω(log n) lower bound for certifying treedepth ≤ 5 (Theorem 2.5).
+
+The construction (Figure 3): two copies of everything.  Each part
+``V_A, V_α, V_β, V_B`` consists of two groups of ``n`` indexed vertices; the
+fixed edges form 2n disjoint paths
+``V_A^j[i] – V_α^j[i] – V_β^j[i] – V_B^j[i]`` plus an apex vertex ``u``
+adjacent to every vertex of ``V_α``.  Alice adds a perfect matching between
+``V_A^1`` and ``V_A^2`` encoding her string, Bob does the same on his side.
+Lemma 7.3: the graph has treedepth 5 when the two matchings are equal
+(every cycle closes up with length 8) and at least 6 otherwise (some cycle
+has length ≥ 16).  Since a matching on n elements encodes ~n·log n bits and
+``|V_α ∪ V_β| = 4n + 1`` (we count the apex with Alice's middle, as the paper
+does), Proposition 7.2 gives an Ω(log n) bound.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.lower_bounds.framework import ReductionFramework
+
+Vertex = Hashable
+Matching = Tuple[int, ...]
+"""A matching between two indexed n-sets, represented as a permutation:
+``matching[i] = j`` means the i-th vertex of the first set is matched to the
+j-th vertex of the second set."""
+
+
+def string_to_matching(bits: str, n: int) -> Matching:
+    """Injective map from bit strings of length ≤ log2(n!) to permutations.
+
+    Uses the factorial number system (Lehmer code) so the map is a bijection
+    between ``[0, n!)`` and permutations of ``n`` elements.
+    """
+    value = int(bits, 2) if bits else 0
+    if value >= math.factorial(n):
+        raise ValueError(f"string value {value} does not fit in a matching on {n} elements")
+    available = list(range(n))
+    permutation: List[int] = []
+    for position in range(n, 0, -1):
+        radix = math.factorial(position - 1)
+        index, value = divmod(value, radix)
+        permutation.append(available.pop(index))
+    return tuple(permutation)
+
+
+def matching_capacity_bits(n: int) -> int:
+    """Largest ℓ such that every ℓ-bit string fits in a matching on n elements."""
+    return int(math.floor(math.log2(math.factorial(n)))) if n >= 2 else 0
+
+
+def treedepth_framework(n: int) -> ReductionFramework:
+    """The Theorem 2.5 instantiation of the framework with parameter n."""
+    if n < 1:
+        raise ValueError("n must be positive")
+
+    def vertices(part: str) -> Tuple[Vertex, ...]:
+        return tuple((part, group, index) for group in (1, 2) for index in range(n))
+
+    v_a = vertices("A")
+    v_b = vertices("B")
+    # The apex u behaves like a vertex of V_α (it is simulated by Alice).
+    v_alpha = vertices("alpha") + (("u", 0, 0),)
+    v_beta = vertices("beta")
+    fixed_edges: List[Tuple[Vertex, Vertex]] = []
+    for group in (1, 2):
+        for index in range(n):
+            fixed_edges.append((("A", group, index), ("alpha", group, index)))
+            fixed_edges.append((("alpha", group, index), ("beta", group, index)))
+            fixed_edges.append((("beta", group, index), ("B", group, index)))
+    for group in (1, 2):
+        for index in range(n):
+            fixed_edges.append((("u", 0, 0), ("alpha", group, index)))
+
+    def alice_injection(bits: str):
+        matching = string_to_matching(bits, n)
+        return [(("A", 1, i), ("A", 2, matching[i])) for i in range(n)]
+
+    def bob_injection(bits: str):
+        matching = string_to_matching(bits, n)
+        return [(("B", 1, i), ("B", 2, matching[i])) for i in range(n)]
+
+    return ReductionFramework(
+        v_a=v_a,
+        v_alpha=v_alpha,
+        v_beta=v_beta,
+        v_b=v_b,
+        fixed_edges=tuple(fixed_edges),
+        alice_injection=alice_injection,
+        bob_injection=bob_injection,
+    )
+
+
+def treedepth_gadget(matching_a: Matching, matching_b: Matching) -> nx.Graph:
+    """Build G(M_A, M_B) directly from two matchings (bypassing the strings)."""
+    if len(matching_a) != len(matching_b):
+        raise ValueError("the matchings must have the same size")
+    n = len(matching_a)
+    graph = nx.Graph()
+    for group in (1, 2):
+        for index in range(n):
+            graph.add_edge(("A", group, index), ("alpha", group, index))
+            graph.add_edge(("alpha", group, index), ("beta", group, index))
+            graph.add_edge(("beta", group, index), ("B", group, index))
+    for group in (1, 2):
+        for index in range(n):
+            graph.add_edge(("u", 0, 0), ("alpha", group, index))
+    for i in range(n):
+        graph.add_edge(("A", 1, i), ("A", 2, matching_a[i]))
+        graph.add_edge(("B", 1, i), ("B", 2, matching_b[i]))
+    return graph
+
+
+def matchings_equal(matching_a: Matching, matching_b: Matching) -> bool:
+    """The paper's equality of matchings (index-wise identity)."""
+    return tuple(matching_a) == tuple(matching_b)
+
+
+def expected_treedepth(matching_a: Matching, matching_b: Matching) -> int:
+    """Lemma 7.3: treedepth 5 when the matchings are equal, at least 6 otherwise.
+
+    (Returned as 5 or 6; the actual treedepth can exceed 6 for wildly
+    different matchings, the lemma only needs the dichotomy at the threshold.)
+    """
+    return 5 if matchings_equal(matching_a, matching_b) else 6
+
+
+def treedepth_lower_bound_bits(n: int) -> float:
+    """The Ω(log n) bound: ℓ / r with ℓ ≈ log2(n!) and r = 4n + 1."""
+    ell = matching_capacity_bits(n)
+    r = 4 * n + 1
+    return ell / r

@@ -1,0 +1,55 @@
+"""Distributed execution model for local certification (Section 3.3).
+
+This package simulates the model of the paper: every vertex of a connected
+graph carries a unique identifier from a polynomial range and a certificate
+(a byte string).  A verifier is a pure function of a radius-1
+:class:`~repro.network.views.LocalView`: the node's own identifier,
+certificate and degree, plus the identifiers and certificates of its
+neighbours.  The :class:`~repro.network.simulator.NetworkSimulator` runs the
+verifier at every node and reports the global decision (accept iff all nodes
+accept).
+
+The package also contains the adversarial machinery used by the soundness
+experiments: certificate corruption, random assignments, and exhaustive
+search over all bounded-size assignments on tiny instances.
+"""
+
+from repro.network.ids import IdentifierAssignment, assign_identifiers
+from repro.network.views import LocalView, NeighborInfo
+from repro.network.simulator import (
+    CertificateAssignment,
+    NetworkSimulator,
+    SimulationResult,
+)
+from repro.network.adversary import (
+    corrupt_assignment,
+    exhaustive_assignments,
+    random_assignment,
+)
+from repro.network.radius import (
+    RadiusSimulationResult,
+    RadiusSimulator,
+    RadiusView,
+    diameter_at_most_verifier,
+)
+
+# The self-stabilisation harness wraps CertificationScheme, which itself uses
+# this package; import it from ``repro.network.self_stabilization`` directly
+# to avoid a circular package-level import.
+
+__all__ = [
+    "IdentifierAssignment",
+    "assign_identifiers",
+    "LocalView",
+    "NeighborInfo",
+    "CertificateAssignment",
+    "NetworkSimulator",
+    "SimulationResult",
+    "corrupt_assignment",
+    "exhaustive_assignments",
+    "random_assignment",
+    "RadiusSimulationResult",
+    "RadiusSimulator",
+    "RadiusView",
+    "diameter_at_most_verifier",
+]

@@ -1,0 +1,101 @@
+"""Adversarial certificate assignments.
+
+Soundness of a local certification says: on a no-instance, *every* certificate
+assignment is rejected by at least one vertex.  Exercising this empirically
+requires generating adversarial assignments.  We provide three generators of
+increasing strength:
+
+* :func:`corrupt_assignment` — structured corruption of an honest assignment
+  (bit flips, swaps, truncation), modelling faults;
+* :func:`random_assignment` — independent random certificates of a prescribed
+  size, modelling a clueless prover;
+* :func:`exhaustive_assignments` — every assignment of certificates of at most
+  ``max_bits`` bits, usable only on tiny instances, modelling the strongest
+  possible prover and therefore giving a *proof* of soundness (or of a lower
+  bound) for that instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Hashable, Iterator, Mapping, Sequence
+
+Vertex = Hashable
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def corrupt_assignment(
+    certificates: Mapping[Vertex, bytes],
+    seed: int | random.Random | None = None,
+    kind: str = "bitflip",
+) -> Dict[Vertex, bytes]:
+    """Return a corrupted copy of an honest certificate assignment.
+
+    ``kind`` selects the fault model:
+
+    * ``"bitflip"``   — flip one random bit of one random non-empty certificate;
+    * ``"swap"``      — exchange the certificates of two random vertices;
+    * ``"truncate"``  — drop the last byte of one random non-empty certificate;
+    * ``"zero"``      — replace one certificate with all-zero bytes of the same length.
+    """
+    rng = _rng(seed)
+    corrupted = {v: bytes(c) for v, c in certificates.items()}
+    vertices = sorted(corrupted.keys(), key=repr)
+    if not vertices:
+        return corrupted
+    if kind == "swap":
+        if len(vertices) >= 2:
+            a, b = rng.sample(vertices, 2)
+            corrupted[a], corrupted[b] = corrupted[b], corrupted[a]
+        return corrupted
+    non_empty = [v for v in vertices if corrupted[v]]
+    if not non_empty:
+        return corrupted
+    target = rng.choice(non_empty)
+    data = bytearray(corrupted[target])
+    if kind == "bitflip":
+        bit = rng.randrange(len(data) * 8)
+        data[bit // 8] ^= 1 << (bit % 8)
+    elif kind == "truncate":
+        data = data[:-1]
+    elif kind == "zero":
+        data = bytearray(len(data))
+    else:
+        raise ValueError(f"unknown corruption kind: {kind}")
+    corrupted[target] = bytes(data)
+    return corrupted
+
+
+def random_assignment(
+    vertices: Sequence[Vertex],
+    certificate_bytes: int,
+    seed: int | random.Random | None = None,
+) -> Dict[Vertex, bytes]:
+    """Independent uniformly random certificates of a fixed byte length."""
+    rng = _rng(seed)
+    return {v: bytes(rng.randrange(256) for _ in range(certificate_bytes)) for v in vertices}
+
+
+def exhaustive_assignments(
+    vertices: Sequence[Vertex], max_bits: int
+) -> Iterator[Dict[Vertex, bytes]]:
+    """Yield *every* assignment of certificates of at most ``max_bits`` bits.
+
+    Certificates are enumerated as bit strings of length exactly ``max_bits``
+    (an honest prover can always pad), so the number of assignments is
+    ``2 ** (max_bits * len(vertices))``.  Guard your instance sizes.
+    """
+    if max_bits < 0:
+        raise ValueError("max_bits must be non-negative")
+    n_bytes = (max_bits + 7) // 8
+    options = []
+    for value in range(1 << max_bits):
+        options.append(value.to_bytes(n_bytes, "big") if n_bytes else b"")
+    for combo in itertools.product(options, repeat=len(vertices)):
+        yield dict(zip(vertices, combo))

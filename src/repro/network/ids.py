@@ -1,0 +1,79 @@
+"""Identifier assignments.
+
+The paper assumes that vertices carry unique identifiers from a polynomial
+range :math:`[1, n^k]` (Section 3.3), so an identifier fits in
+:math:`O(\\log n)` bits.  Schemes must work for *every* such assignment, which
+is why the simulator lets experiments draw many random assignments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class IdentifierAssignment:
+    """An injective map from vertices to identifiers in ``[1, n**exponent]``."""
+
+    ids: Dict[Vertex, int]
+    exponent: int = 3
+
+    def __post_init__(self) -> None:
+        values = list(self.ids.values())
+        if len(set(values)) != len(values):
+            raise ValueError("identifiers must be distinct")
+        if any(v < 1 for v in values):
+            raise ValueError("identifiers must be at least 1")
+
+    def __getitem__(self, vertex: Vertex) -> int:
+        return self.ids[vertex]
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self.ids
+
+    def vertices(self) -> Iterable[Vertex]:
+        return self.ids.keys()
+
+    @property
+    def id_bits(self) -> int:
+        """Number of bits needed to write the largest identifier."""
+        return max(v.bit_length() for v in self.ids.values())
+
+    def vertex_of(self, identifier: int) -> Vertex:
+        """Inverse lookup (linear scan; identifiers are unique)."""
+        for vertex, value in self.ids.items():
+            if value == identifier:
+                return vertex
+        raise KeyError(identifier)
+
+
+def assign_identifiers(
+    graph: nx.Graph,
+    exponent: int = 3,
+    seed: int | random.Random | None = None,
+    sequential: bool = False,
+) -> IdentifierAssignment:
+    """Draw an injective identifier assignment in ``[1, n**exponent]``.
+
+    With ``sequential=True`` vertices simply get ``1..n`` in sorted vertex
+    order (useful for deterministic unit tests); otherwise identifiers are a
+    uniform random sample of the range, which is the adversarial situation a
+    certification scheme must survive.
+    """
+    vertices = sorted(graph.nodes(), key=repr)
+    n = len(vertices)
+    if n == 0:
+        raise ValueError("cannot assign identifiers to an empty graph")
+    if sequential:
+        ids = {v: i + 1 for i, v in enumerate(vertices)}
+        return IdentifierAssignment(ids=ids, exponent=exponent)
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    universe_size = max(n, n**exponent)
+    sample = rng.sample(range(1, universe_size + 1), n)
+    return IdentifierAssignment(ids=dict(zip(vertices, sample)), exponent=exponent)

@@ -1,0 +1,160 @@
+"""Radius-r verification (the Appendix A.1 model comparison).
+
+The paper fixes the verification radius to 1 (proof-labeling schemes); the
+locally checkable proofs model of Göös and Suomela lets nodes look at any
+constant distance instead.  Appendix A.1 spells out why the choice matters:
+with radius 3 a node can decide "diameter ≤ 3" with *no* certificate at all,
+while at radius 1 the same property needs certificates of size linear in n.
+This module implements the radius-r model so the ablation benchmark can
+reproduce that gap empirically: a :class:`RadiusView` is the full induced
+subgraph of the ball of radius r around the vertex (identifiers,
+certificates and the edges among them), and :class:`RadiusSimulator` runs a
+radius-r verifier at every node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.utils import ensure_connected
+from repro.network.ids import IdentifierAssignment, assign_identifiers
+
+Vertex = Hashable
+CertificateAssignment = Mapping[Vertex, bytes]
+
+
+@dataclass(frozen=True)
+class RadiusView:
+    """Everything a node sees at verification radius r.
+
+    Unlike the radius-1 :class:`~repro.network.views.LocalView`, a radius-r
+    view contains the *edges* among the visible vertices — this is the extra
+    power Appendix A.1 discusses (at radius 1 a node cannot even tell
+    whether two of its neighbours are adjacent).
+    """
+
+    identifier: int
+    radius: int
+    #: Identifier → (distance from the center, certificate) for every vertex
+    #: within distance ``radius`` (the center itself included, at distance 0).
+    vertices: Mapping[int, Tuple[int, bytes]]
+    #: Edges of the induced subgraph on the visible vertices, as identifier pairs.
+    edges: FrozenSet[Tuple[int, int]]
+
+    @property
+    def certificate(self) -> bytes:
+        return self.vertices[self.identifier][1]
+
+    def visible_identifiers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.vertices))
+
+    def distance_to(self, identifier: int) -> int:
+        return self.vertices[identifier][0]
+
+    def certificate_of(self, identifier: int) -> bytes:
+        return self.vertices[identifier][1]
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return (a, b) in self.edges or (b, a) in self.edges
+
+    def as_graph(self) -> nx.Graph:
+        """The visible ball as a networkx graph on identifiers."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.vertices)
+        graph.add_edges_from(self.edges)
+        return graph
+
+
+RadiusVerifier = Callable[[RadiusView], bool]
+
+
+@dataclass(frozen=True)
+class RadiusSimulationResult:
+    accepted: bool
+    rejecting_vertices: tuple = ()
+    max_certificate_bits: int = 0
+
+
+class RadiusSimulator:
+    """Run a radius-r verifier at every vertex of a connected graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        radius: int,
+        identifiers: IdentifierAssignment | None = None,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        if radius < 1:
+            raise ValueError("the verification radius must be at least 1")
+        self.graph = ensure_connected(graph)
+        self.radius = radius
+        self.identifiers = identifiers or assign_identifiers(graph, seed=seed)
+
+    def build_view(self, vertex: Vertex, certificates: CertificateAssignment) -> RadiusView:
+        distances = nx.single_source_shortest_path_length(self.graph, vertex, cutoff=self.radius)
+        visible = {
+            self.identifiers[v]: (distance, bytes(certificates.get(v, b"")))
+            for v, distance in distances.items()
+        }
+        edges = frozenset(
+            (self.identifiers[a], self.identifiers[b])
+            for a, b in self.graph.subgraph(distances.keys()).edges()
+        )
+        return RadiusView(
+            identifier=self.identifiers[vertex],
+            radius=self.radius,
+            vertices=visible,
+            edges=edges,
+        )
+
+    def run(self, verifier: RadiusVerifier, certificates: CertificateAssignment) -> RadiusSimulationResult:
+        rejecting = []
+        for vertex in self.graph.nodes():
+            if not verifier(self.build_view(vertex, certificates)):
+                rejecting.append(vertex)
+        max_bits = max(
+            (len(bytes(certificates.get(v, b""))) * 8 for v in self.graph.nodes()),
+            default=0,
+        )
+        return RadiusSimulationResult(
+            accepted=not rejecting,
+            rejecting_vertices=tuple(sorted(rejecting, key=repr)),
+            max_certificate_bits=max_bits,
+        )
+
+
+def diameter_at_most_verifier(bound: int) -> RadiusVerifier:
+    """The certificate-free radius-r verifier for "diameter ≤ bound".
+
+    When the verification radius is at least ``bound`` (Appendix A.1's
+    example with bound 3), a node sees its whole ball of radius ``bound``
+    and simply checks that every other visible vertex is within distance
+    ``bound`` *and* that nothing lies beyond the ball — which it detects by
+    checking that no visible vertex sits exactly at the boundary with an
+    unseen neighbour.  Concretely, it accepts iff every visible vertex is at
+    distance < radius, or at distance == radius ≤ bound with the whole graph
+    visible; the simple sufficient check used here is that all visible
+    distances are ≤ bound and no visible vertex at distance == radius has a
+    visible degree smaller than its announced degree — since degrees are not
+    part of the model, the check reduces to: all pairwise-visible distances
+    are at most ``bound`` inside the ball.  For radius ≥ bound + 1 this is
+    exact; the tests exercise exactly that regime.
+    """
+
+    def verifier(view: RadiusView) -> bool:
+        ball = view.as_graph()
+        lengths = nx.single_source_shortest_path_length(ball, view.identifier)
+        # Everything the center can see must be within the bound...
+        if any(distance > bound for distance in lengths.values()):
+            return False
+        # ...and nothing may be hidden beyond the ball: a vertex at the very
+        # edge of the view could have unseen neighbours, so the center only
+        # accepts if its ball stopped growing strictly before the radius.
+        return all(distance < view.radius for distance in lengths.values())
+
+    return verifier

@@ -1,0 +1,58 @@
+"""Radius-1 local views.
+
+A verifier in the paper's model sees, at a vertex ``v``: the identifier and
+certificate of ``v`` and, for every neighbour, the neighbour's identifier and
+certificate.  Crucially (Section 2.2 and Appendix A.1) it does *not* see the
+edges between neighbours, nor anything at distance two.  The
+:class:`LocalView` dataclass is the only information a
+:class:`~repro.core.scheme.CertificationScheme` verifier receives, which
+makes the radius-1 restriction structural rather than a convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class NeighborInfo:
+    """What a vertex knows about one of its neighbours."""
+
+    identifier: int
+    certificate: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NeighborInfo(id={self.identifier}, cert={self.certificate!r})"
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """Everything a node sees when running the local verification algorithm."""
+
+    identifier: int
+    certificate: bytes
+    neighbors: Tuple[NeighborInfo, ...] = field(default_factory=tuple)
+    total_vertices_hint: int | None = None
+    """Optional out-of-band value used *only* by size accounting and by
+    schemes that are explicitly allowed to know ``n`` (none of the paper's
+    schemes need it; it defaults to ``None``)."""
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def neighbor_identifiers(self) -> Tuple[int, ...]:
+        return tuple(info.identifier for info in self.neighbors)
+
+    def neighbor_certificates(self) -> Tuple[bytes, ...]:
+        return tuple(info.certificate for info in self.neighbors)
+
+    def neighbor_by_id(self, identifier: int) -> NeighborInfo:
+        for info in self.neighbors:
+            if info.identifier == identifier:
+                return info
+        raise KeyError(f"no neighbour with identifier {identifier}")
+
+    def has_neighbor(self, identifier: int) -> bool:
+        return any(info.identifier == identifier for info in self.neighbors)

@@ -1,0 +1,43 @@
+"""Treedepth substrate (Section 3.1).
+
+Contents:
+
+* :mod:`repro.treedepth.elimination_tree` — elimination forests/trees
+  (the paper's *models*), coherence, validity checking;
+* :mod:`repro.treedepth.decomposition` — exact treedepth (exponential, for
+  small graphs), heuristic upper bounds, and optimal elimination trees for
+  the named families used in the experiments;
+* :mod:`repro.treedepth.cops_robbers` — the cops-and-robber game value used
+  by the paper to analyse the lower-bound gadget (Lemma 7.3).
+"""
+
+from repro.treedepth.elimination_tree import (
+    EliminationTree,
+    elimination_tree_from_parents,
+    is_valid_model,
+    make_coherent,
+)
+from repro.treedepth.decomposition import (
+    balanced_path_elimination_tree,
+    exact_treedepth,
+    optimal_elimination_tree,
+    star_elimination_tree,
+    treedepth_of_path,
+    treedepth_upper_bound_dfs,
+)
+from repro.treedepth.cops_robbers import cops_needed, treedepth_via_cops
+
+__all__ = [
+    "EliminationTree",
+    "elimination_tree_from_parents",
+    "is_valid_model",
+    "make_coherent",
+    "balanced_path_elimination_tree",
+    "exact_treedepth",
+    "optimal_elimination_tree",
+    "star_elimination_tree",
+    "treedepth_of_path",
+    "treedepth_upper_bound_dfs",
+    "cops_needed",
+    "treedepth_via_cops",
+]

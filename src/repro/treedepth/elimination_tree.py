@@ -1,0 +1,209 @@
+"""Elimination trees (the paper's *models* of a graph, Definition 3.1).
+
+An elimination tree of a connected graph ``G`` is a rooted tree ``T`` on the
+same vertex set such that every edge of ``G`` joins an ancestor–descendant
+pair of ``T``.  Its *depth* is the number of vertices of a longest
+root-to-leaf path (so a single vertex has depth 1, matching the paper's
+convention that treedepth of :math:`K_1` is 1).
+
+A model is *coherent* when for every vertex ``v``, the subgraph of ``G``
+induced by the subtree of ``T`` rooted at ``v`` is connected — equivalently,
+every child subtree of ``v`` contains a vertex adjacent to ``v``'s subtree
+through ``v``'s ancestors... the paper's phrasing: for every child ``w`` of
+``v`` there is a vertex in the subtree rooted at ``w`` adjacent to ``v``.
+Lemma B.1 shows a coherent model of minimum depth always exists; the
+certification of Theorem 2.4 requires coherence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional
+
+import networkx as nx
+
+from repro.graphs.utils import ensure_connected
+
+Vertex = Hashable
+
+
+@dataclass
+class EliminationTree:
+    """A rooted forest/tree over the vertex set of a graph.
+
+    ``parent`` maps every non-root vertex to its parent; roots map to ``None``.
+    """
+
+    parent: Dict[Vertex, Optional[Vertex]]
+
+    def __post_init__(self) -> None:
+        self._children: Dict[Vertex, List[Vertex]] = {v: [] for v in self.parent}
+        for vertex, parent in self.parent.items():
+            if parent is not None:
+                if parent not in self.parent:
+                    raise ValueError(f"parent {parent!r} of {vertex!r} is not a vertex")
+                self._children[parent].append(vertex)
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        for vertex in self.parent:
+            seen = set()
+            current: Optional[Vertex] = vertex
+            while current is not None:
+                if current in seen:
+                    raise ValueError("parent pointers contain a cycle")
+                seen.add(current)
+                current = self.parent[current]
+
+    # Basic accessors --------------------------------------------------------
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        return list(self.parent.keys())
+
+    @property
+    def roots(self) -> List[Vertex]:
+        return [v for v, p in self.parent.items() if p is None]
+
+    @property
+    def root(self) -> Vertex:
+        roots = self.roots
+        if len(roots) != 1:
+            raise ValueError(f"expected a single root, found {len(roots)}")
+        return roots[0]
+
+    def children(self, vertex: Vertex) -> List[Vertex]:
+        return list(self._children[vertex])
+
+    def ancestors(self, vertex: Vertex, include_self: bool = False) -> List[Vertex]:
+        """Ancestors of ``vertex`` ordered from (optionally itself then) parent up to the root."""
+        chain: List[Vertex] = [vertex] if include_self else []
+        current = self.parent[vertex]
+        while current is not None:
+            chain.append(current)
+            current = self.parent[current]
+        return chain
+
+    def depth_of(self, vertex: Vertex) -> int:
+        """Depth of ``vertex``: the root has depth 1."""
+        return len(self.ancestors(vertex, include_self=True))
+
+    @property
+    def depth(self) -> int:
+        """Depth of the tree: number of vertices of a longest root-to-leaf path."""
+        return max(self.depth_of(v) for v in self.parent)
+
+    def subtree_vertices(self, vertex: Vertex) -> List[Vertex]:
+        """Vertices of the subtree rooted at ``vertex`` (pre-order)."""
+        stack = [vertex]
+        result: List[Vertex] = []
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self._children[current])
+        return result
+
+    def iter_bottom_up(self) -> Iterator[Vertex]:
+        """Yield vertices so that every vertex appears after all its descendants."""
+        order = sorted(self.parent, key=lambda v: -self.depth_of(v))
+        return iter(order)
+
+    def is_ancestor(self, ancestor: Vertex, descendant: Vertex) -> bool:
+        return ancestor in self.ancestors(descendant, include_self=True)
+
+    def as_networkx(self) -> nx.DiGraph:
+        """Return the tree as a directed graph with edges parent → child."""
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(self.parent)
+        for vertex, parent in self.parent.items():
+            if parent is not None:
+                digraph.add_edge(parent, vertex)
+        return digraph
+
+
+def elimination_tree_from_parents(parent: Dict[Vertex, Optional[Vertex]]) -> EliminationTree:
+    """Build an :class:`EliminationTree` from a parent map (convenience alias)."""
+    return EliminationTree(dict(parent))
+
+
+def is_valid_model(graph: nx.Graph, tree: EliminationTree, depth: int | None = None) -> bool:
+    """Check that ``tree`` is an elimination tree of ``graph`` (Definition 3.1).
+
+    When ``depth`` is given, additionally check that the tree depth is at most
+    ``depth`` (making it a ``depth``-model).
+    """
+    if set(tree.parent.keys()) != set(graph.nodes()):
+        return False
+    for u, v in graph.edges():
+        if not (tree.is_ancestor(u, v) or tree.is_ancestor(v, u)):
+            return False
+    if depth is not None and tree.depth > depth:
+        return False
+    return True
+
+
+def is_coherent(graph: nx.Graph, tree: EliminationTree) -> bool:
+    """Check coherence: every subtree induces a connected subgraph of ``graph``."""
+    for vertex in tree.vertices:
+        subtree = tree.subtree_vertices(vertex)
+        if len(subtree) > 1 and not nx.is_connected(graph.subgraph(subtree)):
+            return False
+    return True
+
+
+def make_coherent(graph: nx.Graph, tree: EliminationTree) -> EliminationTree:
+    """Turn a valid model into a coherent one without increasing its depth.
+
+    Implements the re-attachment argument of Lemma B.1: while some vertex
+    ``v`` has a child ``w`` whose subtree contains no neighbour of ``v``,
+    re-attach ``w`` to the lowest ancestor of ``v`` adjacent to the subtree of
+    ``w``.  Each move strictly decreases the sum of depths, so it terminates.
+    """
+    ensure_connected(graph)
+    if not is_valid_model(graph, tree):
+        raise ValueError("make_coherent expects a valid elimination tree")
+    parent = dict(tree.parent)
+    changed = True
+    while changed:
+        changed = False
+        current = EliminationTree(dict(parent))
+        for vertex in current.vertices:
+            for child in current.children(vertex):
+                subtree = set(current.subtree_vertices(child))
+                if any(graph.has_edge(vertex, u) for u in subtree):
+                    continue
+                # Find the lowest strict ancestor of `vertex` adjacent to the subtree.
+                new_parent = None
+                for ancestor in current.ancestors(vertex):
+                    if any(graph.has_edge(ancestor, u) for u in subtree):
+                        new_parent = ancestor
+                        break
+                if new_parent is None:
+                    # The subtree is only attached through `vertex` itself;
+                    # connectivity of the graph guarantees some ancestor works,
+                    # unless the edges go even higher (handled next iteration).
+                    continue
+                parent[child] = new_parent
+                changed = True
+                break
+            if changed:
+                break
+    result = EliminationTree(parent)
+    if not is_valid_model(graph, result):
+        raise AssertionError("coherence repair broke model validity")
+    return result
+
+
+def exit_vertex(graph: nx.Graph, tree: EliminationTree, vertex: Vertex) -> Vertex:
+    """An *exit vertex* of ``vertex``: a vertex of its subtree adjacent to its parent.
+
+    Exists whenever the model is coherent and ``vertex`` is not the root
+    (Section 5).
+    """
+    parent = tree.parent[vertex]
+    if parent is None:
+        raise ValueError("the root has no exit vertex")
+    for candidate in tree.subtree_vertices(vertex):
+        if graph.has_edge(candidate, parent):
+            return candidate
+    raise ValueError("no exit vertex: the model is not coherent at this vertex")

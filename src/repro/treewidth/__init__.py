@@ -1,0 +1,61 @@
+"""Tree decompositions and treewidth.
+
+The paper's closing discussion (Section 2.4) points at the follow-up
+meta-theorem of Fraigniaud, Montealegre, Rapaport and Todinca: MSO properties
+of bounded-*treewidth* graphs can be certified with Θ(log² n)-bit
+certificates.  Certifying that the graph has a width-k tree decomposition at
+all is the preliminary step of that programme, just like Theorem 2.4 is the
+preliminary step of Theorem 2.6.  This subpackage is the substrate for that
+extension experiment: tree decompositions as first-class objects, validity
+checking, exact treewidth on small graphs, heuristic decompositions on larger
+ones, nice decompositions, and the classic parameter inequalities relating
+treewidth, pathwidth and treedepth.
+"""
+
+from repro.treewidth.balanced import (
+    balanced_caterpillar_decomposition,
+    balanced_cycle_decomposition,
+    balanced_decomposition,
+    balanced_path_decomposition,
+    path_order,
+)
+from repro.treewidth.decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination_order,
+    greedy_decomposition,
+    is_valid_decomposition,
+    root_decomposition,
+    topmost_bag_assignment,
+)
+from repro.treewidth.exact import (
+    exact_treewidth,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+)
+from repro.treewidth.nice import NiceNodeKind, NiceTreeDecomposition, make_nice
+from repro.treewidth.relations import (
+    pathwidth_upper_bound,
+    verify_parameter_inequalities,
+)
+
+__all__ = [
+    "balanced_caterpillar_decomposition",
+    "balanced_cycle_decomposition",
+    "balanced_decomposition",
+    "balanced_path_decomposition",
+    "path_order",
+    "TreeDecomposition",
+    "decomposition_from_elimination_order",
+    "greedy_decomposition",
+    "is_valid_decomposition",
+    "root_decomposition",
+    "topmost_bag_assignment",
+    "exact_treewidth",
+    "treewidth_lower_bound",
+    "treewidth_upper_bound",
+    "NiceNodeKind",
+    "NiceTreeDecomposition",
+    "make_nice",
+    "pathwidth_upper_bound",
+    "verify_parameter_inequalities",
+]

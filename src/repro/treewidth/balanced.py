@@ -1,0 +1,177 @@
+"""Balanced (logarithmic-depth) tree decompositions for structured families.
+
+The certificate size of :class:`~repro.core.treewidth_scheme.TreeDecompositionScheme`
+is ``O(d · k · log n)`` where ``d`` is the depth of the rooted decomposition
+the prover uses.  A heuristic decomposition of a path is itself path-shaped
+(``d = Θ(n)``), which would bury the ``log² n`` behaviour of the follow-up
+meta-theorem.  Bodlaender's classic result says every width-``k``
+decomposition can be rebalanced to depth ``O(log n)`` at the cost of a
+constant-factor width increase; implementing the general rebalancing is out
+of scope (documented in DESIGN.md §4), but the families the benchmarks sweep
+admit direct balanced constructions:
+
+* paths — the segment-tree decomposition: the bag of the segment ``[a, b]``
+  is ``{a, m, b}`` with ``m`` the midpoint, children are the two half
+  segments; width 2, depth ``O(log n)``;
+* cycles — the path construction plus one fixed vertex added to every bag
+  (width 3, depth ``O(log n)``);
+* caterpillar-style trees — the spine's segment tree with each leg's leaf
+  added to the bag of the lowest segment containing its spine vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.graphs.utils import is_tree
+from repro.treewidth.decomposition import TreeDecomposition
+
+Vertex = Hashable
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.bags: Dict[int, FrozenSet[Vertex]] = {}
+        self.edges: List[Tuple[int, int]] = []
+        self._next = 0
+
+    def add_bag(self, contents, parent: Optional[int] = None) -> int:
+        index = self._next
+        self._next += 1
+        self.bags[index] = frozenset(contents)
+        if parent is not None:
+            self.edges.append((parent, index))
+        return index
+
+    def build(self) -> TreeDecomposition:
+        return TreeDecomposition(bags=dict(self.bags), tree_edges=tuple(self.edges))
+
+
+def balanced_path_decomposition(path: nx.Graph) -> TreeDecomposition:
+    """Segment-tree decomposition of a path graph: width 2, depth O(log n).
+
+    The input must be a path; vertices are ordered along it.  Each internal
+    bag is ``{left end, midpoint, right end}`` of its segment, and the two
+    children split the segment at the midpoint.  A vertex occurs in the bags
+    where it is a segment endpoint or midpoint, which form a connected
+    subtree, and every edge is covered by its length-one leaf segment.
+    """
+    order = path_order(path)
+    builder = _Builder()
+
+    def build_segment(lo: int, hi: int, parent: Optional[int]) -> None:
+        if hi - lo <= 1:
+            builder.add_bag(order[lo : hi + 1], parent)
+            return
+        mid = (lo + hi) // 2
+        bag = builder.add_bag({order[lo], order[mid], order[hi]}, parent)
+        build_segment(lo, mid, bag)
+        build_segment(mid, hi, bag)
+
+    if len(order) == 1:
+        builder.add_bag(order)
+    else:
+        build_segment(0, len(order) - 1, None)
+    return builder.build()
+
+
+def balanced_cycle_decomposition(cycle: nx.Graph) -> TreeDecomposition:
+    """Balanced decomposition of a cycle: width 3, depth O(log n).
+
+    Remove one vertex ``a`` to obtain a path, build the balanced path
+    decomposition, then add ``a`` to every bag — its occurrence is the whole
+    tree (connected), and both of its edges are covered by the bags holding
+    its two path-neighbours.
+    """
+    if not all(degree == 2 for _, degree in cycle.degree()) or not nx.is_connected(cycle):
+        raise ValueError("balanced_cycle_decomposition expects a cycle graph")
+    apex = min(cycle.nodes(), key=repr)
+    remaining = cycle.subgraph([v for v in cycle.nodes() if v != apex]).copy()
+    base = balanced_path_decomposition(remaining)
+    bags = {bag_id: bag | {apex} for bag_id, bag in base.bags.items()}
+    return TreeDecomposition(bags=bags, tree_edges=base.tree_edges)
+
+
+def balanced_caterpillar_decomposition(tree: nx.Graph) -> TreeDecomposition:
+    """Balanced decomposition of a caterpillar: width ≤ 3, depth O(log spine).
+
+    A caterpillar is a tree whose non-leaf vertices form a path (the spine).
+    The decomposition is the spine's segment tree with each leaf attached as
+    a tiny child bag ``{leaf, spine vertex}`` below a lowest segment bag
+    containing its spine vertex.
+    """
+    if not is_tree(tree):
+        raise ValueError("balanced_caterpillar_decomposition expects a tree")
+    if tree.number_of_nodes() <= 2:
+        return balanced_path_decomposition(tree)
+    spine = [v for v in tree.nodes() if tree.degree(v) > 1]
+    spine_graph = tree.subgraph(spine)
+    if spine and (not nx.is_connected(spine_graph) or any(spine_graph.degree(v) > 2 for v in spine)):
+        raise ValueError("the non-leaf vertices do not form a path: not a caterpillar")
+    if not spine:  # a single edge
+        return balanced_path_decomposition(tree)
+    base = balanced_path_decomposition(spine_graph) if len(spine) > 1 else None
+    builder = _Builder()
+    if base is None:
+        lowest_bag_of = {spine[0]: builder.add_bag({spine[0]})}
+        tree_edges: List[Tuple[int, int]] = []
+    else:
+        # Copy the spine decomposition, remembering for every spine vertex a
+        # deepest bag containing it (any one works: occurrences are connected).
+        id_map = {}
+        for bag_id, bag in base.bags.items():
+            id_map[bag_id] = builder.add_bag(bag)
+        builder.edges.extend((id_map[a], id_map[b]) for a, b in base.tree_edges)
+        lowest_bag_of = {}
+        for bag_id, bag in base.bags.items():
+            for vertex in bag:
+                lowest_bag_of.setdefault(vertex, id_map[bag_id])
+                if len(bag) <= 2:  # leaf segments are deepest; prefer them
+                    lowest_bag_of[vertex] = id_map[bag_id]
+    for leaf in tree.nodes():
+        if tree.degree(leaf) != 1:
+            continue
+        anchor = next(iter(tree.neighbors(leaf)))
+        builder.add_bag({leaf, anchor}, lowest_bag_of[anchor])
+    return builder.build()
+
+
+def balanced_decomposition(graph: nx.Graph) -> TreeDecomposition:
+    """Dispatch to the right balanced construction for the supported families."""
+    degrees = [d for _, d in graph.degree()]
+    if is_tree(graph):
+        if max(degrees, default=0) <= 2:
+            return balanced_path_decomposition(graph)
+        return balanced_caterpillar_decomposition(graph)
+    if degrees and all(d == 2 for d in degrees):
+        return balanced_cycle_decomposition(graph)
+    raise ValueError(
+        "balanced_decomposition supports paths, cycles and caterpillars; "
+        "see DESIGN.md §4 for the general-rebalancing substitution"
+    )
+
+
+def path_order(path: nx.Graph) -> Sequence[Vertex]:
+    """Vertices of a path graph in path order (raises on non-paths)."""
+    if path.number_of_nodes() == 1:
+        return list(path.nodes())
+    endpoints = [v for v, d in path.degree() if d == 1]
+    is_path = (
+        len(endpoints) == 2
+        and nx.is_connected(path)
+        and path.number_of_edges() == path.number_of_nodes() - 1
+        and all(d <= 2 for _, d in path.degree())
+    )
+    if not is_path:
+        raise ValueError("expected a path graph")
+    start = min(endpoints, key=repr)
+    order = [start]
+    previous = None
+    current = start
+    while len(order) < path.number_of_nodes():
+        nexts = [w for w in path.neighbors(current) if w != previous]
+        previous, current = current, nexts[0]
+        order.append(current)
+    return order

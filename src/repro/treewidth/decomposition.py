@@ -1,0 +1,246 @@
+"""Tree decompositions as first-class objects.
+
+A *tree decomposition* of a graph ``G`` is a tree ``T`` whose nodes carry
+*bags* (vertex subsets of ``G``) such that
+
+1. every vertex of ``G`` appears in at least one bag,
+2. every edge of ``G`` has both endpoints together in at least one bag,
+3. for every vertex ``v`` of ``G`` the bags containing ``v`` induce a
+   connected subtree of ``T``.
+
+Its *width* is the maximum bag size minus one; the *treewidth* of ``G`` is
+the minimum width over all decompositions.  The module provides the data
+structure, validity checking, construction from elimination orderings (the
+route every heuristic and the exact algorithm take), and the two helpers the
+certification scheme needs: rooting a decomposition and assigning each graph
+vertex to the topmost bag that contains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.graphs.utils import ensure_connected
+
+Vertex = Hashable
+BagId = int
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """A tree decomposition: bags indexed by integers plus tree edges.
+
+    The decomposition tree is stored explicitly (``tree_edges``) instead of
+    as a networkx object so the structure stays hashable and cheap to copy.
+    ``root`` is optional; :func:`root_decomposition` fills it in and computes
+    parents/depths when a rooted view is needed.
+    """
+
+    bags: Mapping[BagId, FrozenSet[Vertex]]
+    tree_edges: Tuple[Tuple[BagId, BagId], ...]
+    root: Optional[BagId] = None
+    parent: Mapping[BagId, Optional[BagId]] = field(default_factory=dict)
+
+    @property
+    def width(self) -> int:
+        """Maximum bag size minus one (the usual convention)."""
+        if not self.bags:
+            return -1
+        return max(len(bag) for bag in self.bags.values()) - 1
+
+    @property
+    def number_of_bags(self) -> int:
+        return len(self.bags)
+
+    def as_tree(self) -> nx.Graph:
+        """The decomposition tree as a networkx graph on bag ids."""
+        tree = nx.Graph()
+        tree.add_nodes_from(self.bags.keys())
+        tree.add_edges_from(self.tree_edges)
+        return tree
+
+    def bags_containing(self, vertex: Vertex) -> List[BagId]:
+        return [bag_id for bag_id, bag in self.bags.items() if vertex in bag]
+
+    def depth_of(self, bag_id: BagId) -> int:
+        """Depth of a bag in the rooted decomposition (root has depth 0)."""
+        if self.root is None:
+            raise ValueError("decomposition is not rooted; call root_decomposition first")
+        depth = 0
+        current: Optional[BagId] = bag_id
+        while current is not None and current != self.root:
+            current = self.parent.get(current)
+            depth += 1
+        if current is None:
+            raise ValueError(f"bag {bag_id} is not connected to the root")
+        return depth
+
+    def ancestors_of(self, bag_id: BagId) -> List[BagId]:
+        """Bag ids from ``bag_id`` (inclusive) up to the root (inclusive)."""
+        if self.root is None:
+            raise ValueError("decomposition is not rooted; call root_decomposition first")
+        chain = [bag_id]
+        current: Optional[BagId] = bag_id
+        while current != self.root:
+            current = self.parent.get(current)
+            if current is None:
+                raise ValueError(f"bag {bag_id} is not connected to the root")
+            chain.append(current)
+        return chain
+
+    @property
+    def depth(self) -> int:
+        """Number of bags on the longest root-to-leaf path (rooted only)."""
+        if self.root is None:
+            raise ValueError("decomposition is not rooted; call root_decomposition first")
+        return max(len(self.ancestors_of(bag_id)) for bag_id in self.bags)
+
+
+def is_valid_decomposition(graph: nx.Graph, decomposition: TreeDecomposition) -> bool:
+    """Check the three tree-decomposition axioms for ``decomposition``.
+
+    Also checks that the decomposition tree really is a tree on the declared
+    bag ids.  Returns False (never raises) on malformed input, because the
+    certification tests feed adversarially corrupted decompositions here.
+    """
+    tree = decomposition.as_tree()
+    if tree.number_of_nodes() == 0:
+        return graph.number_of_nodes() == 0
+    if not nx.is_tree(tree):
+        return False
+    if set(tree.nodes()) != set(decomposition.bags.keys()):
+        return False
+    # Axiom 1: vertex coverage.
+    covered = set()
+    for bag in decomposition.bags.values():
+        covered.update(bag)
+    if covered != set(graph.nodes()):
+        return False
+    # Axiom 2: edge coverage.
+    for u, v in graph.edges():
+        if not any(u in bag and v in bag for bag in decomposition.bags.values()):
+            return False
+    # Axiom 3: connectivity of the bags containing each vertex.
+    for vertex in graph.nodes():
+        containing = decomposition.bags_containing(vertex)
+        if not containing:
+            return False
+        if len(containing) > 1 and not nx.is_connected(tree.subgraph(containing)):
+            return False
+    return True
+
+
+def decomposition_from_elimination_order(
+    graph: nx.Graph, order: Sequence[Vertex]
+) -> TreeDecomposition:
+    """Build a tree decomposition from an elimination ordering.
+
+    Eliminating vertices in ``order`` while adding fill edges yields one bag
+    per vertex, ``bag(v) = {v} ∪ (higher neighbours of v in the filled
+    graph)``, and the bag of ``v`` is attached to the bag of the lowest
+    higher neighbour.  This is the textbook construction; its width equals
+    the maximum fill degree of the ordering, so the exact algorithm and the
+    heuristics can all funnel through it.
+    """
+    vertices = list(order)
+    if set(vertices) != set(graph.nodes()):
+        raise ValueError("elimination order must be a permutation of the vertices")
+    if not vertices:
+        return TreeDecomposition(bags={}, tree_edges=())
+    position = {v: i for i, v in enumerate(vertices)}
+    filled = nx.Graph(graph)
+    higher_neighbors: Dict[Vertex, List[Vertex]] = {}
+    for v in vertices:
+        later = [u for u in filled.neighbors(v) if position[u] > position[v]]
+        higher_neighbors[v] = later
+        for i, a in enumerate(later):
+            for b in later[i + 1 :]:
+                filled.add_edge(a, b)
+    bag_id_of = {v: i for i, v in enumerate(vertices)}
+    bags: Dict[BagId, FrozenSet[Vertex]] = {}
+    edges: List[Tuple[BagId, BagId]] = []
+    for v in vertices:
+        bags[bag_id_of[v]] = frozenset([v, *higher_neighbors[v]])
+        if higher_neighbors[v]:
+            lowest_higher = min(higher_neighbors[v], key=lambda u: position[u])
+            edges.append((bag_id_of[v], bag_id_of[lowest_higher]))
+    return TreeDecomposition(bags=bags, tree_edges=tuple(edges))
+
+
+def greedy_decomposition(graph: nx.Graph, heuristic: str = "min_fill_in") -> TreeDecomposition:
+    """Heuristic tree decomposition via networkx's elimination heuristics.
+
+    ``heuristic`` is ``"min_fill_in"`` (default, usually smaller width) or
+    ``"min_degree"``.  The returned decomposition is always valid; its width
+    is an upper bound on the treewidth.
+    """
+    graph = ensure_connected(graph)
+    if graph.number_of_nodes() == 1:
+        only = next(iter(graph.nodes()))
+        return TreeDecomposition(bags={0: frozenset([only])}, tree_edges=())
+    from networkx.algorithms.approximation import treewidth_min_degree, treewidth_min_fill_in
+
+    if heuristic == "min_fill_in":
+        _, nx_tree = treewidth_min_fill_in(graph)
+    elif heuristic == "min_degree":
+        _, nx_tree = treewidth_min_degree(graph)
+    else:
+        raise ValueError(f"unknown heuristic {heuristic!r}")
+    bag_nodes = list(nx_tree.nodes())
+    bag_id = {bag: i for i, bag in enumerate(bag_nodes)}
+    bags = {bag_id[bag]: frozenset(bag) for bag in bag_nodes}
+    edges = tuple((bag_id[a], bag_id[b]) for a, b in nx_tree.edges())
+    return TreeDecomposition(bags=bags, tree_edges=edges)
+
+
+def root_decomposition(
+    decomposition: TreeDecomposition, root: Optional[BagId] = None
+) -> TreeDecomposition:
+    """Return a rooted copy of ``decomposition`` with parents computed.
+
+    Without an explicit ``root`` the bag minimizing the resulting depth is
+    chosen (a tree center), which keeps ancestor lists — and hence
+    certificates — as short as this decomposition allows.
+    """
+    tree = decomposition.as_tree()
+    if tree.number_of_nodes() == 0:
+        return decomposition
+    if root is None:
+        root = min(nx.center(tree))
+    if root not in decomposition.bags:
+        raise ValueError(f"root bag {root} does not exist")
+    parent: Dict[BagId, Optional[BagId]] = {root: None}
+    for child, par in nx.bfs_predecessors(tree, root):
+        parent[child] = par
+    return TreeDecomposition(
+        bags=dict(decomposition.bags),
+        tree_edges=decomposition.tree_edges,
+        root=root,
+        parent=parent,
+    )
+
+
+def topmost_bag_assignment(
+    graph: nx.Graph, decomposition: TreeDecomposition
+) -> Dict[Vertex, BagId]:
+    """Assign every graph vertex to the topmost bag containing it.
+
+    The decomposition must be rooted.  Because the bags containing a vertex
+    form a connected subtree, the topmost such bag is unique, and for every
+    edge ``(u, v)`` the assigned bags are comparable (one is an ancestor of
+    the other) with the deeper vertex's topmost bag containing both
+    endpoints — the property the certification verifier relies on.
+    """
+    if decomposition.root is None:
+        raise ValueError("decomposition must be rooted")
+    depth_cache = {bag_id: decomposition.depth_of(bag_id) for bag_id in decomposition.bags}
+    assignment: Dict[Vertex, BagId] = {}
+    for vertex in graph.nodes():
+        containing = decomposition.bags_containing(vertex)
+        if not containing:
+            raise ValueError(f"vertex {vertex!r} appears in no bag")
+        assignment[vertex] = min(containing, key=lambda b: (depth_cache[b], b))
+    return assignment

@@ -1,0 +1,182 @@
+"""Exact and bounded treewidth computation.
+
+Treewidth is NP-hard, so the exact algorithm here is the classic
+Held–Karp-style dynamic programming over elimination orderings (exponential
+in the number of vertices, with a hard size guard).  Larger instances go
+through :func:`treewidth_upper_bound` (elimination heuristics) and
+:func:`treewidth_lower_bound` (degeneracy and clique bounds); the
+certification scheme's ground-truth ``holds`` combines the three so it never
+silently guesses.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.utils import ensure_connected
+from repro.treewidth.decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination_order,
+    greedy_decomposition,
+)
+
+Vertex = Hashable
+
+_MAX_EXACT_VERTICES = 14
+
+
+class TreewidthUndecided(ValueError):
+    """Raised when neither bounds nor the exact algorithm can decide."""
+
+
+def treewidth_upper_bound(graph: nx.Graph) -> Tuple[int, TreeDecomposition]:
+    """Best width over the two networkx elimination heuristics."""
+    graph = ensure_connected(graph)
+    best: Optional[TreeDecomposition] = None
+    for heuristic in ("min_fill_in", "min_degree"):
+        candidate = greedy_decomposition(graph, heuristic=heuristic)
+        if best is None or candidate.width < best.width:
+            best = candidate
+    assert best is not None
+    return best.width, best
+
+
+def treewidth_lower_bound(graph: nx.Graph) -> int:
+    """A cheap lower bound: max(degeneracy, clique-number-minus-one on small graphs).
+
+    Degeneracy (the maximum over subgraphs of the minimum degree) never
+    exceeds treewidth.  On graphs small enough for an exact clique search the
+    clique bound ``ω(G) - 1 ≤ tw(G)`` is added, because it is tight for the
+    complete graphs and k-trees the tests use.
+    """
+    graph = ensure_connected(graph)
+    if graph.number_of_nodes() <= 1:
+        return 0
+    degeneracy = max(nx.core_number(graph).values())
+    bound = degeneracy
+    if graph.number_of_nodes() <= 40:
+        clique_number = max(len(c) for c in nx.find_cliques(graph))
+        bound = max(bound, clique_number - 1)
+    return bound
+
+
+def _fill_degree(
+    graph: nx.Graph, eliminated: FrozenSet[Vertex], vertex: Vertex
+) -> int:
+    """Number of still-present vertices reachable from ``vertex`` through
+    eliminated vertices (its degree at elimination time in the filled graph)."""
+    seen = {vertex}
+    frontier = [vertex]
+    reached: set = set()
+    while frontier:
+        current = frontier.pop()
+        for neighbor in graph.neighbors(current):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            if neighbor in eliminated:
+                frontier.append(neighbor)
+            else:
+                reached.add(neighbor)
+    reached.discard(vertex)
+    return len(reached)
+
+
+def exact_treewidth(
+    graph: nx.Graph, max_vertices: int = _MAX_EXACT_VERTICES
+) -> Tuple[int, TreeDecomposition]:
+    """Exact treewidth and an optimal decomposition (small graphs only).
+
+    Dynamic programming over subsets of eliminated vertices:
+    ``g(R) = min_{v in R} max(g(R \\ {v}), filldeg(R \\ {v}, v))`` where
+    ``filldeg`` counts the neighbours of ``v`` among the not-yet-eliminated
+    vertices after contracting the already-eliminated ones.  ``g(V)`` is the
+    treewidth; an optimal elimination ordering is recovered by walking the
+    DP table backwards and converted into a decomposition.
+    Cost is ``O(2^n · n · (n + m))`` — guarded by ``max_vertices``.
+    """
+    graph = ensure_connected(graph)
+    n = graph.number_of_nodes()
+    if n > max_vertices:
+        raise ValueError(
+            f"exact_treewidth is limited to {max_vertices} vertices (got {n}); "
+            "use treewidth_upper_bound / treewidth_lower_bound instead"
+        )
+    vertices = sorted(graph.nodes(), key=repr)
+    if n <= 1:
+        order = list(vertices)
+        return 0, decomposition_from_elimination_order(graph, order)
+
+    @lru_cache(maxsize=None)
+    def best_width(eliminated: FrozenSet[Vertex]) -> int:
+        if not eliminated:
+            return 0
+        best = n
+        for vertex in eliminated:
+            rest = eliminated - {vertex}
+            width = max(best_width(rest), _fill_degree(graph, rest, vertex))
+            if width < best:
+                best = width
+        return best
+
+    treewidth = best_width(frozenset(vertices))
+
+    # Recover one optimal elimination ordering by greedily undoing the DP.
+    order: List[Vertex] = []
+    eliminated = frozenset(vertices)
+    while eliminated:
+        for vertex in sorted(eliminated, key=repr):
+            rest = eliminated - {vertex}
+            width = max(best_width(rest), _fill_degree(graph, rest, vertex))
+            if width <= treewidth:
+                order.append(vertex)
+                eliminated = rest
+                break
+        else:  # pragma: no cover - the DP guarantees some vertex always works
+            raise RuntimeError("failed to reconstruct an optimal elimination ordering")
+    order.reverse()
+    best_width.cache_clear()
+    decomposition = decomposition_from_elimination_order(graph, order)
+    return treewidth, decomposition
+
+
+def decide_treewidth_at_most(
+    graph: nx.Graph, k: int, max_exact_vertices: int = _MAX_EXACT_VERTICES
+) -> bool:
+    """Ground truth for "treewidth ≤ k", combining bounds with the exact DP.
+
+    Order of attempts: a heuristic decomposition of width ≤ k proves yes; a
+    lower bound above k proves no; otherwise the exact algorithm decides if
+    the graph is small enough, and :class:`TreewidthUndecided` is raised
+    instead of guessing.
+    """
+    if k < 0:
+        return graph.number_of_nodes() == 0
+    upper, _ = treewidth_upper_bound(graph)
+    if upper <= k:
+        return True
+    if treewidth_lower_bound(graph) > k:
+        return False
+    if graph.number_of_nodes() <= max_exact_vertices:
+        exact, _ = exact_treewidth(graph, max_vertices=max_exact_vertices)
+        return exact <= k
+    raise TreewidthUndecided(
+        f"cannot decide treewidth ≤ {k} for a {graph.number_of_nodes()}-vertex graph: "
+        f"heuristic width {upper}, lower bound {treewidth_lower_bound(graph)}"
+    )
+
+
+def known_treewidth_families() -> Dict[str, Tuple[nx.Graph, int]]:
+    """A few graphs with textbook treewidth values, for tests and benchmarks."""
+    families: Dict[str, Tuple[nx.Graph, int]] = {
+        "P8 (path)": (nx.path_graph(8), 1),
+        "C8 (cycle)": (nx.cycle_graph(8), 2),
+        "K5 (clique)": (nx.complete_graph(5), 4),
+        "K3,3 (complete bipartite)": (nx.complete_bipartite_graph(3, 3), 3),
+        "3x3 grid": (nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3)), 3),
+        "star with 7 leaves": (nx.star_graph(7), 1),
+    }
+    return families

@@ -1,0 +1,94 @@
+"""Parameter inequalities relating treewidth, pathwidth and treedepth.
+
+Section 3.1 of the paper places treedepth in the width-parameter hierarchy:
+``tw(G) ≤ pw(G) ≤ td(G) - 1`` for every graph, and treedepth additionally
+bounds the length of the longest path (``td(G) ≥ log₂(ℓ + 2)`` when G has a
+path on ℓ edges).  The helpers here compute a pathwidth upper bound from a
+tree decomposition and verify the inequality chain on concrete instances —
+they are what the hypothesis tests and the treewidth-vs-treedepth ablation
+benchmark exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, List
+
+import networkx as nx
+
+from repro.graphs.minors import longest_path_length
+from repro.treedepth.decomposition import exact_treedepth
+from repro.treewidth.decomposition import TreeDecomposition, root_decomposition
+from repro.treewidth.exact import exact_treewidth
+
+Vertex = Hashable
+
+
+def pathwidth_upper_bound(graph: nx.Graph, decomposition: TreeDecomposition) -> int:
+    """An upper bound on the pathwidth from a tree decomposition.
+
+    A depth-first traversal of the decomposition tree gives a path
+    decomposition whose bags are unions of a root-to-node path's bags, so its
+    width is at most ``(width + 1) · depth - 1``.  The bound is crude but
+    monotone in the right parameters, and exact on paths and stars, which is
+    all the inequality tests need.
+    """
+    rooted = decomposition if decomposition.root is not None else root_decomposition(decomposition)
+    if not rooted.bags:
+        return -1
+    best = -1
+    for bag_id in rooted.bags:
+        union: set = set()
+        for ancestor in rooted.ancestors_of(bag_id):
+            union.update(rooted.bags[ancestor])
+        best = max(best, len(union) - 1)
+    return best
+
+
+@dataclass(frozen=True)
+class ParameterReport:
+    """Exact small-graph values of the three width parameters plus the checks."""
+
+    treewidth: int
+    pathwidth_upper: int
+    treedepth: int
+    longest_path_vertices: int
+
+    @property
+    def chain_holds(self) -> bool:
+        """The guaranteed inequality ``tw(G) ≤ td(G) - 1`` (with td(K1) = 1)."""
+        return self.treewidth <= self.treedepth - 1 or self.treedepth == 1
+
+    @property
+    def path_bound_holds(self) -> bool:
+        """``td(G) ≥ log₂(L + 1)`` where L is the longest path's vertex count."""
+        return self.treedepth >= math.log2(self.longest_path_vertices + 1)
+
+
+def verify_parameter_inequalities(graph: nx.Graph, max_vertices: int = 12) -> ParameterReport:
+    """Compute exact treewidth/treedepth on a small graph and check the chain.
+
+    Raises ``ValueError`` through the exact solvers when the graph exceeds
+    ``max_vertices`` — the callers (tests, benchmarks) keep instances small.
+    """
+    treewidth, decomposition = exact_treewidth(graph, max_vertices=max_vertices)
+    treedepth = exact_treedepth(graph, max_vertices=max_vertices)
+    rooted = root_decomposition(decomposition)
+    pathwidth_bound = pathwidth_upper_bound(graph, rooted)
+    longest = longest_path_length(graph)
+    return ParameterReport(
+        treewidth=treewidth,
+        pathwidth_upper=pathwidth_bound,
+        treedepth=treedepth,
+        longest_path_vertices=longest,
+    )
+
+
+def treewidth_of_known_families(max_path: int = 10) -> List[tuple]:
+    """(name, n, exact treewidth) rows for the families used in benchmarks."""
+    rows = []
+    for n in range(3, max_path + 1):
+        rows.append((f"P{n}", n, exact_treewidth(nx.path_graph(n))[0]))
+        rows.append((f"C{n}", n, exact_treewidth(nx.cycle_graph(n))[0]))
+    return rows

@@ -1,0 +1,78 @@
+"""Cross-validation of every catalogue automaton against its checker."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.automata.catalog import (
+    CATALOG,
+    all_leaves_at_even_depth_automaton,
+    check_all_leaves_at_even_depth,
+    check_has_vertex_with_children,
+    check_max_children_at_most,
+    has_vertex_with_children_automaton,
+    height_exactly_automaton,
+    max_children_at_most_automaton,
+)
+from repro.graphs.generators import complete_binary_tree, random_tree, spider, star_graph
+
+
+class TestCatalogAgainstCheckers:
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    @pytest.mark.parametrize("seed", range(10))
+    def test_automaton_matches_checker_on_random_trees(self, name, seed):
+        factory, checker = CATALOG[name]
+        automaton = factory()
+        tree = random_tree(10, seed=seed)
+        assert automaton.accepts(tree, 0) == checker(tree, 0)
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_automaton_matches_checker_on_special_trees(self, name):
+        factory, checker = CATALOG[name]
+        automaton = factory()
+        single = nx.Graph()
+        single.add_node(0)
+        for tree, root in [
+            (single, 0),
+            (nx.path_graph(2), 0),
+            (nx.path_graph(7), 0),
+            (nx.path_graph(7), 3),
+            (star_graph(5), 0),
+            (complete_binary_tree(3), 0),
+            (spider(3, 2), 0),
+        ]:
+            assert automaton.accepts(tree, root) == checker(tree, root), (name, root)
+
+
+class TestSpecificAutomata:
+    def test_max_children(self):
+        automaton = max_children_at_most_automaton(2)
+        assert automaton.accepts(complete_binary_tree(3), 0)
+        assert not automaton.accepts(star_graph(3), 0)
+
+    def test_has_vertex_with_children(self):
+        automaton = has_vertex_with_children_automaton(3)
+        assert automaton.accepts(star_graph(3), 0)
+        assert not automaton.accepts(nx.path_graph(6), 0)
+        assert check_has_vertex_with_children(star_graph(3), 0, 3)
+
+    def test_leaves_at_even_depth(self):
+        automaton = all_leaves_at_even_depth_automaton()
+        # A path on 3 vertices rooted at an end: single leaf at depth 2.
+        assert automaton.accepts(nx.path_graph(3), 0)
+        # Rooted at the middle: two leaves at depth 1.
+        assert not automaton.accepts(nx.path_graph(3), 1)
+        assert check_all_leaves_at_even_depth(nx.path_graph(3), 0)
+
+    def test_height_exactly(self):
+        automaton = height_exactly_automaton(2)
+        assert automaton.accepts(nx.path_graph(3), 0)
+        assert not automaton.accepts(nx.path_graph(3), 1)
+        assert not automaton.accepts(nx.path_graph(4), 0)
+
+    def test_checker_edge_case_single_vertex(self):
+        single = nx.Graph()
+        single.add_node(0)
+        assert check_max_children_at_most(single, 0, 0)
+        assert check_all_leaves_at_even_depth(single, 0)

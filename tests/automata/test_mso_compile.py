@@ -1,0 +1,87 @@
+"""Tests for the rank-type FO-to-automaton compiler (DESIGN.md §4 substitution)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.automata.mso_compile import compile_fo_sentence_to_automaton
+from repro.graphs.generators import complete_binary_tree, random_tree, star_graph
+from repro.logic import properties
+from repro.logic.semantics import satisfies
+
+
+class TestCompiler:
+    def test_rejects_mso_formula(self):
+        with pytest.raises(ValueError):
+            compile_fo_sentence_to_automaton(properties.two_colorable())
+
+    def test_rank_defaults_to_quantifier_depth(self):
+        automaton = compile_fo_sentence_to_automaton(properties.is_clique())
+        assert automaton.rank == 2
+        assert automaton.threshold == 2
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            properties.has_dominating_vertex,
+            properties.is_clique,
+            lambda: properties.max_degree_at_most(2),
+        ],
+    )
+    @pytest.mark.parametrize("seed", range(5))
+    def test_acceptance_matches_model_checking_random_trees(self, factory, seed):
+        formula = factory()
+        automaton = compile_fo_sentence_to_automaton(formula)
+        tree = random_tree(8, seed=seed)
+        assert automaton.accepts(tree, 0) == satisfies(tree, formula)
+
+    def test_acceptance_matches_model_checking_special_trees(self):
+        formula = properties.has_dominating_vertex()
+        automaton = compile_fo_sentence_to_automaton(formula)
+        for tree, root in [
+            (star_graph(4), 0),
+            (star_graph(4), 1),
+            (nx.path_graph(2), 0),
+            (nx.path_graph(3), 1),
+            (nx.path_graph(5), 0),
+            (complete_binary_tree(2), 0),
+        ]:
+            assert automaton.accepts(tree, root) == satisfies(tree, formula), root
+
+    def test_states_are_reused_across_isomorphic_subtrees(self):
+        formula = properties.is_clique()
+        automaton = compile_fo_sentence_to_automaton(formula)
+        automaton.accepts(star_graph(6), 0)
+        # A star has only a handful of distinct subtree types regardless of size.
+        assert automaton.state_count <= 4
+
+    def test_run_assigns_state_to_every_vertex(self):
+        formula = properties.has_dominating_vertex()
+        automaton = compile_fo_sentence_to_automaton(formula)
+        tree = random_tree(7, seed=3)
+        run = automaton.run(tree, 0)
+        assert set(run.keys()) == set(tree.nodes())
+
+    def test_local_check_accepts_honest_run(self):
+        formula = properties.has_dominating_vertex()
+        automaton = compile_fo_sentence_to_automaton(formula)
+        tree = star_graph(3)
+        run = automaton.run(tree, 0)
+        children_states = [run[v] for v in tree.neighbors(0)]
+        assert automaton.check_local(run[0], children_states, is_root=True)
+
+    def test_local_check_rejects_wrong_state(self):
+        formula = properties.has_dominating_vertex()
+        automaton = compile_fo_sentence_to_automaton(formula)
+        tree = star_graph(3)
+        run = automaton.run(tree, 0)
+        children_states = [run[v] for v in tree.neighbors(0)]
+        wrong = run[0] + 1 if automaton.state_count > run[0] + 1 else run[0] - 1
+        if wrong >= 0:
+            assert not automaton.check_local(wrong, children_states, is_root=True)
+
+    def test_local_check_rejects_out_of_range_state(self):
+        automaton = compile_fo_sentence_to_automaton(properties.is_clique())
+        automaton.accepts(nx.path_graph(2), 0)
+        assert not automaton.check_local(9999, [], is_root=False)

@@ -1,0 +1,82 @@
+"""Tests for UOP constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.presburger import (
+    AlwaysTrue,
+    ConstraintAnd,
+    ConstraintNot,
+    ConstraintOr,
+    CountAtLeast,
+    CountAtMost,
+    CountExactly,
+    conjunction,
+    disjunction,
+    leaf_constraint,
+)
+
+
+class TestAtoms:
+    def test_always_true(self):
+        assert AlwaysTrue().evaluate({})
+        assert AlwaysTrue().evaluate({"q": 5})
+
+    def test_count_at_least(self):
+        constraint = CountAtLeast("q", 2)
+        assert constraint.evaluate({"q": 2})
+        assert constraint.evaluate({"q": 7})
+        assert not constraint.evaluate({"q": 1})
+        assert not constraint.evaluate({})
+
+    def test_count_at_most(self):
+        constraint = CountAtMost("q", 1)
+        assert constraint.evaluate({})
+        assert constraint.evaluate({"q": 1})
+        assert not constraint.evaluate({"q": 2})
+
+    def test_count_exactly(self):
+        constraint = CountExactly("q", 3)
+        assert constraint.evaluate({"q": 3})
+        assert not constraint.evaluate({"q": 2})
+        assert not constraint.evaluate({"q": 4})
+
+    def test_constants_exposed(self):
+        constraint = ConstraintAnd(CountAtLeast("a", 2), CountAtMost("b", 5))
+        assert sorted(constraint.constants()) == [2, 5]
+
+
+class TestCombinators:
+    def test_negation(self):
+        constraint = ConstraintNot(CountAtLeast("q", 1))
+        assert constraint.evaluate({})
+        assert not constraint.evaluate({"q": 1})
+
+    def test_and_or(self):
+        constraint = ConstraintOr(
+            ConstraintAnd(CountAtLeast("a", 1), CountAtMost("b", 0)),
+            CountAtLeast("c", 2),
+        )
+        assert constraint.evaluate({"a": 1})
+        assert constraint.evaluate({"c": 2})
+        assert not constraint.evaluate({"a": 1, "b": 1})
+
+    def test_operator_overloads(self):
+        constraint = CountAtLeast("a", 1) & ~CountAtLeast("b", 1)
+        assert constraint.evaluate({"a": 1})
+        assert not constraint.evaluate({"a": 1, "b": 1})
+        either = CountAtLeast("a", 1) | CountAtLeast("b", 1)
+        assert either.evaluate({"b": 3})
+
+    def test_conjunction_empty_is_true(self):
+        assert conjunction().evaluate({"q": 99})
+
+    def test_disjunction_empty_is_true(self):
+        assert disjunction().evaluate({})
+
+    def test_leaf_constraint(self):
+        constraint = leaf_constraint(["a", "b"])
+        assert constraint.evaluate({})
+        assert not constraint.evaluate({"a": 1})
+        assert not constraint.evaluate({"b": 2})

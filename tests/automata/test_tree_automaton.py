@@ -1,0 +1,124 @@
+"""Tests for UOP tree automata: runs, local checks and acceptance."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.automata.catalog import (
+    height_at_most_automaton,
+    perfect_matching_automaton,
+)
+from repro.automata.presburger import CountAtMost
+from repro.automata.tree_automaton import DEFAULT_LABEL, UOPTreeAutomaton
+from repro.graphs.generators import complete_binary_tree, random_tree
+
+
+class TestConstruction:
+    def test_rejects_unknown_accepting_state(self):
+        with pytest.raises(ValueError):
+            UOPTreeAutomaton(
+                name="bad",
+                states=("a",),
+                accepting=frozenset({"z"}),
+                transitions={},
+            )
+
+    def test_rejects_unknown_transition_state(self):
+        with pytest.raises(ValueError):
+            UOPTreeAutomaton(
+                name="bad",
+                states=("a",),
+                accepting=frozenset({"a"}),
+                transitions={("z", DEFAULT_LABEL): CountAtMost("a", 0)},
+            )
+
+
+class TestAcceptingRuns:
+    def test_perfect_matching_on_single_edge(self):
+        automaton = perfect_matching_automaton()
+        tree = nx.path_graph(2)
+        assert automaton.accepts(tree, 0)
+        run = automaton.accepting_run(tree, 0)
+        assert run.state_of(0) == "M"
+        assert run.state_of(1) == "U"
+
+    def test_perfect_matching_rejects_odd_tree(self):
+        automaton = perfect_matching_automaton()
+        assert not automaton.accepts(nx.path_graph(5), 0)
+        assert automaton.accepting_run(nx.path_graph(5), 0) is None
+
+    def test_run_is_locally_checkable(self):
+        automaton = perfect_matching_automaton()
+        tree = nx.path_graph(6)
+        run = automaton.accepting_run(tree, 0)
+        assert automaton.check_run(tree, 0, run.states)
+
+    def test_check_run_rejects_corrupted_state(self):
+        automaton = perfect_matching_automaton()
+        tree = nx.path_graph(6)
+        run = dict(automaton.accepting_run(tree, 0).states)
+        run[3] = "M" if run[3] == "U" else "U"
+        assert not automaton.check_run(tree, 0, run)
+
+    def test_height_automaton_accepts_and_rejects(self):
+        automaton = height_at_most_automaton(2)
+        assert automaton.accepts(complete_binary_tree(2), 0)
+        assert not automaton.accepts(complete_binary_tree(3), 0)
+
+    def test_height_exact_on_path(self):
+        automaton = height_at_most_automaton(4)
+        path = nx.path_graph(5)
+        assert automaton.accepts(path, 0)  # height 4 from an endpoint
+        automaton3 = height_at_most_automaton(3)
+        assert not automaton3.accepts(path, 0)
+        assert automaton3.accepts(path, 2)  # height 2 from the middle
+
+    def test_possible_states_of_leaf(self):
+        automaton = perfect_matching_automaton()
+        tree = nx.path_graph(2)
+        possible = automaton.possible_states(tree, 0)
+        assert possible[1] == frozenset({"U"})
+        assert "M" in possible[0]
+
+    def test_non_tree_input_rejected(self):
+        automaton = perfect_matching_automaton()
+        disconnected = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            automaton.accepts(disconnected, 0)
+
+
+class TestLocalCheck:
+    def test_local_check_accepts_valid_transition(self):
+        automaton = perfect_matching_automaton()
+        assert automaton.check_local("M", DEFAULT_LABEL, ["U", "M"], is_root=True)
+        assert automaton.check_local("U", DEFAULT_LABEL, ["M", "M"], is_root=False)
+
+    def test_local_check_rejects_invalid_transition(self):
+        automaton = perfect_matching_automaton()
+        assert not automaton.check_local("U", DEFAULT_LABEL, ["U"], is_root=False)
+        assert not automaton.check_local("M", DEFAULT_LABEL, ["M", "M"], is_root=False)
+
+    def test_local_check_rejects_non_accepting_root(self):
+        automaton = perfect_matching_automaton()
+        assert not automaton.check_local("U", DEFAULT_LABEL, ["M"], is_root=True)
+
+    def test_local_check_unknown_state(self):
+        automaton = perfect_matching_automaton()
+        assert not automaton.check_local("nonsense", DEFAULT_LABEL, [], is_root=False)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_perfect_matching_agrees_with_networkx(self, seed):
+        automaton = perfect_matching_automaton()
+        tree = random_tree(9, seed=seed)
+        expected = 2 * len(nx.max_weight_matching(tree, maxcardinality=True)) == 9
+        assert automaton.accepts(tree, 0) == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_height_agrees_with_bfs(self, seed):
+        automaton = height_at_most_automaton(3)
+        tree = random_tree(10, seed=seed)
+        height = max(nx.single_source_shortest_path_length(tree, 0).values())
+        assert automaton.accepts(tree, 0) == (height <= 3)

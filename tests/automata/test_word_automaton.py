@@ -1,0 +1,81 @@
+"""Tests for word automata (the Section 4 warm-up)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.word_automaton import (
+    WordAutomaton,
+    even_number_of_ones,
+    no_two_consecutive_ones,
+)
+
+
+class TestDFA:
+    def test_even_ones_acceptance(self):
+        dfa = even_number_of_ones()
+        assert dfa.accepts([])
+        assert dfa.accepts([1, 1])
+        assert dfa.accepts([0, 1, 0, 1])
+        assert not dfa.accepts([1])
+        assert not dfa.accepts([1, 0, 0])
+
+    def test_no_consecutive_ones(self):
+        dfa = no_two_consecutive_ones()
+        assert dfa.accepts([0, 1, 0, 1, 0])
+        assert not dfa.accepts([1, 1])
+        assert not dfa.accepts([0, 1, 1, 0])
+
+    def test_run_states_length(self):
+        dfa = even_number_of_ones()
+        states = dfa.run_states([1, 0, 1])
+        assert states is not None
+        assert len(states) == 4
+        assert states[0] == "even"
+        assert states[-1] == "even"
+
+    def test_run_states_none_on_rejection(self):
+        dfa = even_number_of_ones()
+        assert dfa.run_states([1]) is None
+
+    def test_local_transition_check(self):
+        """A certified run is verified by checking each transition locally —
+        the word-automaton analogue of Theorem 2.2."""
+        dfa = even_number_of_ones()
+        word = [1, 0, 1, 1, 0, 1]
+        states = dfa.run_states(word)
+        assert states is not None
+        for position, letter in enumerate(word):
+            assert dfa.check_transition(states[position], letter, states[position + 1])
+
+    def test_local_check_catches_corruption(self):
+        dfa = even_number_of_ones()
+        word = [1, 0, 1]
+        states = list(dfa.run_states(word))
+        states[1] = "even"  # corrupt the run
+        violations = [
+            position
+            for position, letter in enumerate(word)
+            if not dfa.check_transition(states[position], letter, states[position + 1])
+        ]
+        assert violations
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            WordAutomaton(
+                name="bad",
+                states=("a",),
+                alphabet=(0,),
+                initial="z",
+                accepting=frozenset({"a"}),
+                transitions={},
+            )
+        with pytest.raises(ValueError):
+            WordAutomaton(
+                name="bad",
+                states=("a",),
+                alphabet=(0,),
+                initial="a",
+                accepting=frozenset({"a"}),
+                transitions={("a", 7): "a"},
+            )

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    bounded_treedepth_graph,
+    caterpillar,
+    complete_binary_tree,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    union_of_cycles_with_apex,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_trees() -> list[nx.Graph]:
+    """A mixed bag of small trees used by many scheme tests."""
+    return [
+        nx.path_graph(1),
+        nx.path_graph(2),
+        nx.path_graph(6),
+        nx.path_graph(7),
+        nx.star_graph(5),
+        complete_binary_tree(3),
+        caterpillar(4, legs_per_vertex=1),
+        random_tree(12, seed=7),
+        random_tree(15, seed=8),
+    ]
+
+
+@pytest.fixture
+def small_connected_graphs() -> list[nx.Graph]:
+    """Small connected graphs that are not all trees."""
+    return [
+        nx.path_graph(5),
+        nx.cycle_graph(5),
+        nx.complete_graph(5),
+        nx.star_graph(4),
+        random_connected_graph(8, p=0.3, seed=3),
+        random_connected_graph(10, p=0.4, seed=4),
+        union_of_cycles_with_apex([3, 4]),
+        bounded_treedepth_graph(3, branching=2, seed=5),
+    ]
+
+
+@pytest.fixture
+def bounded_td_graphs() -> list[nx.Graph]:
+    """Connected graphs of treedepth at most 3, generated from random models."""
+    return [bounded_treedepth_graph(3, branching=2, seed=seed) for seed in range(4)]

@@ -1,0 +1,143 @@
+"""Tests for the certificate encoding layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import (
+    CertificateFormatError,
+    CertificateReader,
+    CertificateWriter,
+    decode_adjacency_matrix,
+    encode_adjacency_matrix,
+)
+
+
+class TestWriterReader:
+    def test_uint_roundtrip(self):
+        writer = CertificateWriter()
+        values = [0, 1, 127, 128, 300, 2**20, 2**40]
+        for value in values:
+            writer.write_uint(value)
+        reader = CertificateReader(writer.getvalue())
+        assert [reader.read_uint() for _ in values] == values
+        assert reader.at_end()
+
+    def test_varint_is_compact(self):
+        writer = CertificateWriter()
+        writer.write_uint(100)
+        assert len(writer.getvalue()) == 1
+        writer2 = CertificateWriter()
+        writer2.write_uint(1000)
+        assert len(writer2.getvalue()) == 2
+
+    def test_negative_uint_rejected(self):
+        with pytest.raises(ValueError):
+            CertificateWriter().write_uint(-1)
+
+    def test_bool_roundtrip(self):
+        writer = CertificateWriter()
+        writer.write_bool(True).write_bool(False)
+        reader = CertificateReader(writer.getvalue())
+        assert reader.read_bool() is True
+        assert reader.read_bool() is False
+
+    def test_uint_list_roundtrip(self):
+        writer = CertificateWriter()
+        writer.write_uint_list([5, 0, 99, 1024])
+        writer.write_uint_list([])
+        reader = CertificateReader(writer.getvalue())
+        assert reader.read_uint_list() == [5, 0, 99, 1024]
+        assert reader.read_uint_list() == []
+
+    def test_bool_list_roundtrip(self):
+        values = [True, False, False, True, True, False, True, True, False]
+        writer = CertificateWriter()
+        writer.write_bool_list(values)
+        reader = CertificateReader(writer.getvalue())
+        assert reader.read_bool_list() == values
+
+    def test_bool_list_is_bit_packed(self):
+        writer = CertificateWriter()
+        writer.write_bool_list([True] * 16)
+        # 1 length byte + 2 payload bytes.
+        assert len(writer.getvalue()) == 3
+
+    def test_bytes_roundtrip(self):
+        writer = CertificateWriter()
+        writer.write_bytes(b"hello")
+        writer.write_bytes(b"")
+        reader = CertificateReader(writer.getvalue())
+        assert reader.read_bytes() == b"hello"
+        assert reader.read_bytes() == b""
+
+    def test_mixed_sequence(self):
+        writer = CertificateWriter()
+        writer.write_uint(7).write_bool_list([True, False]).write_bytes(b"xy").write_uint_list([1, 2])
+        reader = CertificateReader(writer.getvalue())
+        assert reader.read_uint() == 7
+        assert reader.read_bool_list() == [True, False]
+        assert reader.read_bytes() == b"xy"
+        assert reader.read_uint_list() == [1, 2]
+        reader.expect_end()
+
+    def test_bit_length_property(self):
+        writer = CertificateWriter()
+        writer.write_uint(1)
+        assert writer.bit_length == 8
+
+
+class TestStrictDecoding:
+    def test_truncated_varint(self):
+        with pytest.raises(CertificateFormatError):
+            CertificateReader(b"\x80").read_uint()
+
+    def test_truncated_bytes(self):
+        writer = CertificateWriter()
+        writer.write_bytes(b"abcdef")
+        data = writer.getvalue()[:-3]
+        with pytest.raises(CertificateFormatError):
+            CertificateReader(data).read_bytes()
+
+    def test_invalid_bool(self):
+        writer = CertificateWriter()
+        writer.write_uint(2)
+        with pytest.raises(CertificateFormatError):
+            CertificateReader(writer.getvalue()).read_bool()
+
+    def test_trailing_bytes_detected(self):
+        writer = CertificateWriter()
+        writer.write_uint(1).write_uint(2)
+        reader = CertificateReader(writer.getvalue())
+        reader.read_uint()
+        with pytest.raises(CertificateFormatError):
+            reader.expect_end()
+
+    def test_empty_certificate_read(self):
+        with pytest.raises(CertificateFormatError):
+            CertificateReader(b"").read_uint()
+
+
+class TestAdjacencyMatrix:
+    def test_roundtrip(self):
+        ids = [10, 20, 30]
+        adjacency = [
+            [False, True, False],
+            [True, False, True],
+            [False, True, False],
+        ]
+        data = encode_adjacency_matrix(ids, adjacency)
+        decoded_ids, decoded_matrix = decode_adjacency_matrix(data)
+        assert decoded_ids == ids
+        assert decoded_matrix == adjacency
+
+    def test_single_vertex(self):
+        data = encode_adjacency_matrix([7], [[False]])
+        ids, matrix = decode_adjacency_matrix(data)
+        assert ids == [7]
+        assert matrix == [[False]]
+
+    def test_corrupted_matrix_rejected(self):
+        data = encode_adjacency_matrix([1, 2, 3], [[False] * 3 for _ in range(3)])
+        with pytest.raises(CertificateFormatError):
+            decode_adjacency_matrix(data + b"\x00")

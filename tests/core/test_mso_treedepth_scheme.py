@@ -1,0 +1,91 @@
+"""Tests for the Theorem 2.6 kernelization-based certification."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.mso_treedepth_scheme import MSOTreedepthScheme
+from repro.core.scheme import NotAYesInstance, evaluate_scheme, soundness_under_corruption
+from repro.graphs.generators import bounded_treedepth_graph, path_graph, star_graph
+from repro.logic import properties
+from repro.network.ids import assign_identifiers
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_colorability_on_bipartite_bounded_td(self, seed):
+        graph = bounded_treedepth_graph(3, branching=2, extra_edge_probability=0.0, seed=seed)
+        scheme = MSOTreedepthScheme(properties.two_colorable(), t=3, name="2col")
+        report = evaluate_scheme(scheme, graph, seed=seed)
+        assert report.holds and report.completeness_ok
+
+    def test_triangle_free_on_star(self):
+        scheme = MSOTreedepthScheme(properties.triangle_free(), t=2, name="triangle-free")
+        report = evaluate_scheme(scheme, star_graph(8))
+        assert report.holds and report.completeness_ok
+
+    def test_dominating_vertex_on_star(self):
+        scheme = MSOTreedepthScheme(properties.has_dominating_vertex(), t=2, name="dom")
+        assert evaluate_scheme(scheme, star_graph(6)).completeness_ok
+
+    def test_path_diameter_formula(self):
+        scheme = MSOTreedepthScheme(properties.diameter_at_most_two(), t=2, name="diam2")
+        assert evaluate_scheme(scheme, star_graph(5)).completeness_ok
+
+
+class TestSoundness:
+    def test_formula_violation_is_no_instance(self):
+        graph = nx.complete_graph(4)  # has triangles, treedepth 4
+        scheme = MSOTreedepthScheme(properties.triangle_free(), t=4, name="triangle-free")
+        report = evaluate_scheme(scheme, graph)
+        assert not report.holds and report.soundness_ok
+
+    def test_treedepth_violation_is_no_instance(self):
+        graph = path_graph(16)  # treedepth 5
+        scheme = MSOTreedepthScheme(properties.two_colorable(), t=3, name="2col")
+        report = evaluate_scheme(scheme, graph)
+        assert not report.holds and report.soundness_ok
+
+    def test_prover_refuses_when_formula_fails(self):
+        graph = nx.complete_graph(4)
+        scheme = MSOTreedepthScheme(properties.triangle_free(), t=4, name="triangle-free")
+        with pytest.raises(NotAYesInstance):
+            scheme.prove(graph, assign_identifiers(graph, seed=0))
+
+    def test_corruption_detected(self):
+        graph = bounded_treedepth_graph(3, branching=2, seed=3)
+        scheme = MSOTreedepthScheme(properties.two_colorable(), t=3, name="2col")
+        if scheme.holds(graph):
+            assert soundness_under_corruption(scheme, graph, seed=0)
+
+    def test_kernel_swap_between_instances_rejected(self):
+        """Certificates honestly produced for a star must not certify a
+        path against the dominating-vertex property (the path has none)."""
+        from repro.network.simulator import NetworkSimulator
+
+        scheme = MSOTreedepthScheme(properties.has_dominating_vertex(), t=3, name="dom")
+        star = star_graph(4)
+        path = path_graph(5)
+        star_ids = assign_identifiers(star, seed=0, sequential=True)
+        path_ids = assign_identifiers(path, seed=0, sequential=True)
+        star_certificates = scheme.prove(star, star_ids)
+        simulator = NetworkSimulator(path, identifiers=path_ids)
+        assert not simulator.run(scheme.verify, star_certificates).accepted
+
+
+class TestKernelSizeIndependence:
+    def test_certificate_size_dominated_by_treedepth_part(self):
+        """For a fixed formula and t, the kernel part of the certificate does
+        not grow with n (Proposition 6.2), so sizes grow like t·log n."""
+        scheme = MSOTreedepthScheme(properties.has_dominating_vertex(), t=2, name="dom")
+        sizes = {n: scheme.max_certificate_bits(star_graph(n)) for n in (8, 32, 128)}
+        assert sizes[128] <= sizes[8] + 200  # only identifier growth, no kernel growth
+
+    def test_quantifier_depth_default(self):
+        scheme = MSOTreedepthScheme(properties.has_dominating_vertex(), t=2)
+        assert scheme.k == 2
+
+    def test_explicit_k_override(self):
+        scheme = MSOTreedepthScheme(properties.has_dominating_vertex(), t=2, k=3)
+        assert scheme.k == 3

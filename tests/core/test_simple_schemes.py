@@ -1,0 +1,224 @@
+"""Tests for the constant-size witness schemes and the tree-diameter scheme."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.diameter import TreeDiameterScheme
+from repro.core.scheme import (
+    NotAYesInstance,
+    evaluate_scheme,
+    exhaustive_soundness_holds,
+    soundness_under_corruption,
+)
+from repro.core.simple_schemes import (
+    BipartitenessScheme,
+    MaxDegreeScheme,
+    PerfectMatchingWitnessScheme,
+    ProperColoringScheme,
+)
+from repro.graphs.generators import caterpillar, complete_binary_tree, random_connected_graph, random_tree
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator
+
+
+class TestMaxDegree:
+    def test_zero_bits(self):
+        scheme = MaxDegreeScheme(d=3)
+        assert scheme.max_certificate_bits(nx.path_graph(10)) == 0
+
+    @pytest.mark.parametrize("n", [2, 5, 12])
+    def test_paths_have_degree_two(self, n):
+        report = evaluate_scheme(MaxDegreeScheme(d=2), nx.path_graph(n), seed=n)
+        assert report.holds and report.completeness_ok
+
+    def test_star_rejected_for_small_d(self):
+        report = evaluate_scheme(MaxDegreeScheme(d=2), nx.star_graph(5), seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_prover_refuses_no_instance(self):
+        graph = nx.star_graph(4)
+        with pytest.raises(NotAYesInstance):
+            MaxDegreeScheme(d=1).prove(graph, assign_identifiers(graph, seed=0))
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            MaxDegreeScheme(d=-1)
+
+    def test_exhaustive_soundness_trivially_holds(self):
+        # The verifier ignores certificates, so soundness is a degree fact.
+        assert exhaustive_soundness_holds(MaxDegreeScheme(d=1), nx.star_graph(3), max_bits=1)
+
+
+class TestBipartiteness:
+    @pytest.mark.parametrize(
+        "graph",
+        [nx.path_graph(8), nx.cycle_graph(6), nx.complete_bipartite_graph(3, 4), nx.star_graph(7)],
+    )
+    def test_completeness_on_bipartite_graphs(self, graph):
+        report = evaluate_scheme(BipartitenessScheme(), graph, seed=1)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("graph", [nx.cycle_graph(5), nx.complete_graph(3), nx.complete_graph(5)])
+    def test_soundness_on_odd_structures(self, graph):
+        report = evaluate_scheme(BipartitenessScheme(), graph, seed=1)
+        assert not report.holds and report.soundness_ok
+
+    def test_certificates_are_one_byte(self):
+        assert BipartitenessScheme().max_certificate_bits(nx.path_graph(50)) == 8
+
+    def test_exhaustive_soundness_on_triangle(self):
+        assert exhaustive_soundness_holds(BipartitenessScheme(), nx.complete_graph(3), max_bits=1)
+
+    def test_monochromatic_edge_detected(self):
+        graph = nx.path_graph(4)
+        ids = assign_identifiers(graph, seed=2)
+        scheme = BipartitenessScheme()
+        certificates = dict(scheme.prove(graph, ids))
+        certificates[1] = certificates[0]
+        assert not NetworkSimulator(graph, identifiers=ids).run(scheme.verify, certificates).accepted
+
+
+class TestProperColoring:
+    @pytest.mark.parametrize("graph, colors", [
+        (nx.cycle_graph(5), 3),
+        (nx.complete_graph(4), 4),
+        (nx.petersen_graph(), 3),
+        (random_connected_graph(12, p=0.3, seed=1), 4),
+    ])
+    def test_completeness(self, graph, colors):
+        report = evaluate_scheme(ProperColoringScheme(colors), graph, seed=0)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("graph, colors", [
+        (nx.complete_graph(4), 3),
+        (nx.cycle_graph(5), 2),
+        (nx.complete_graph(5), 4),
+    ])
+    def test_no_instances(self, graph, colors):
+        report = evaluate_scheme(ProperColoringScheme(colors), graph, seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_color_out_of_range_rejected(self):
+        graph = nx.path_graph(3)
+        ids = assign_identifiers(graph, seed=0)
+        scheme = ProperColoringScheme(2)
+        honest = dict(ProperColoringScheme(5).prove(graph, ids))
+        # Craft a certificate announcing colour 4, outside the range of 2.
+        from repro.core.encoding import CertificateWriter
+
+        writer = CertificateWriter()
+        writer.write_uint(4)
+        honest[0] = writer.getvalue()
+        assert not NetworkSimulator(graph, identifiers=ids).run(scheme.verify, honest).accepted
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            ProperColoringScheme(0)
+
+    def test_prover_refuses_non_colorable(self):
+        graph = nx.complete_graph(4)
+        with pytest.raises(NotAYesInstance):
+            ProperColoringScheme(3).prove(graph, assign_identifiers(graph, seed=0))
+
+
+class TestPerfectMatchingWitness:
+    @pytest.mark.parametrize("graph", [
+        nx.path_graph(2),
+        nx.path_graph(8),
+        nx.cycle_graph(6),
+        nx.complete_graph(4),
+        nx.complete_bipartite_graph(3, 3),
+    ])
+    def test_completeness(self, graph):
+        report = evaluate_scheme(PerfectMatchingWitnessScheme(), graph, seed=2)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("graph", [nx.path_graph(3), nx.star_graph(3), nx.cycle_graph(5)])
+    def test_no_instances(self, graph):
+        report = evaluate_scheme(PerfectMatchingWitnessScheme(), graph, seed=2)
+        assert not report.holds and report.soundness_ok
+
+    def test_partner_must_point_back(self):
+        graph = nx.path_graph(4)
+        ids = assign_identifiers(graph, seed=3)
+        scheme = PerfectMatchingWitnessScheme()
+        certificates = dict(scheme.prove(graph, ids))
+        # Make vertex 1 claim vertex 2 as its partner while 2 still points to 3.
+        from repro.core.encoding import CertificateWriter
+
+        writer = CertificateWriter()
+        writer.write_uint(ids[2])
+        certificates[1] = writer.getvalue()
+        assert not NetworkSimulator(graph, identifiers=ids).run(scheme.verify, certificates).accepted
+
+    def test_corruption_detected(self):
+        assert soundness_under_corruption(PerfectMatchingWitnessScheme(), nx.cycle_graph(8), seed=1)
+
+
+class TestTreeDiameter:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9, 33])
+    def test_paths_diameter_exact(self, n):
+        graph = nx.path_graph(n)
+        scheme = TreeDiameterScheme(diameter=n - 1)
+        report = evaluate_scheme(scheme, graph, seed=n)
+        assert report.holds and report.completeness_ok
+
+    def test_path_diameter_too_small_rejected(self):
+        report = evaluate_scheme(TreeDiameterScheme(diameter=3), nx.path_graph(6), seed=0)
+        assert not report.holds and report.soundness_ok
+
+    @pytest.mark.parametrize("depth", [2, 3, 4])
+    def test_complete_binary_trees(self, depth):
+        graph = complete_binary_tree(depth)
+        diameter = nx.diameter(graph)
+        assert evaluate_scheme(TreeDiameterScheme(diameter), graph, seed=depth).completeness_ok
+        report = evaluate_scheme(TreeDiameterScheme(diameter - 1), graph, seed=depth)
+        assert not report.holds and report.soundness_ok
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees(self, seed):
+        tree = random_tree(14, seed=seed)
+        diameter = nx.diameter(tree)
+        report = evaluate_scheme(TreeDiameterScheme(diameter), tree, seed=seed)
+        assert report.holds and report.completeness_ok
+
+    def test_cycles_are_not_trees(self):
+        report = evaluate_scheme(TreeDiameterScheme(diameter=10), nx.cycle_graph(6), seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_caterpillar(self):
+        graph = caterpillar(5, legs_per_vertex=2)
+        diameter = nx.diameter(graph)
+        assert evaluate_scheme(TreeDiameterScheme(diameter), graph, seed=1).completeness_ok
+
+    def test_certificate_size_logarithmic(self):
+        small = TreeDiameterScheme(7).max_certificate_bits(nx.path_graph(8), seed=0)
+        large = TreeDiameterScheme(511).max_certificate_bits(nx.path_graph(512), seed=0)
+        assert large <= 4 * small
+
+    def test_wrong_height_detected(self):
+        graph = nx.path_graph(5)
+        ids = assign_identifiers(graph, seed=4)
+        scheme = TreeDiameterScheme(diameter=4)
+        certificates = dict(scheme.prove(graph, ids))
+        from repro.core.encoding import CertificateReader, CertificateWriter
+
+        reader = CertificateReader(certificates[2])
+        distance = reader.read_uint()
+        height = reader.read_uint()
+        writer = CertificateWriter()
+        writer.write_uint(distance)
+        writer.write_uint(height + 3)
+        certificates[2] = writer.getvalue()
+        assert not NetworkSimulator(graph, identifiers=ids).run(scheme.verify, certificates).accepted
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            TreeDiameterScheme(diameter=-1)
+
+    def test_prover_refuses_non_tree(self):
+        graph = nx.cycle_graph(4)
+        with pytest.raises(NotAYesInstance):
+            TreeDiameterScheme(10).prove(graph, assign_identifiers(graph, seed=0))

@@ -1,0 +1,120 @@
+"""Tests for the spanning-tree-based schemes (Proposition 3.4)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.scheme import NotAYesInstance, evaluate_scheme, soundness_under_corruption
+from repro.core.spanning_tree import SpanningTreeCountScheme, TreeScheme, bfs_spanning_tree
+from repro.graphs.generators import random_connected_graph, random_tree
+
+
+class TestBFSHelper:
+    def test_distances_and_parents(self):
+        graph = nx.path_graph(5)
+        distances, parents, sizes = bfs_spanning_tree(graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert parents[0] is None
+        assert parents[3] == 2
+        assert sizes[0] == 5
+        assert sizes[4] == 1
+
+    def test_subtree_sizes_sum(self):
+        graph = random_connected_graph(12, p=0.3, seed=1)
+        _, parents, sizes = bfs_spanning_tree(graph, 0)
+        assert sizes[0] == 12
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            bfs_spanning_tree(nx.Graph([(0, 1), (2, 3)]), 0)
+
+
+class TestTreeScheme:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_completeness_on_trees(self, seed):
+        tree = random_tree(12, seed=seed)
+        report = evaluate_scheme(TreeScheme(), tree, seed=seed)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_soundness_samples_on_cycles(self, n):
+        report = evaluate_scheme(TreeScheme(), nx.cycle_graph(n), seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_prover_refuses_no_instance(self):
+        from repro.network.ids import assign_identifiers
+
+        graph = nx.cycle_graph(5)
+        with pytest.raises(NotAYesInstance):
+            TreeScheme().prove(graph, assign_identifiers(graph, seed=0))
+
+    def test_certificate_size_logarithmic(self):
+        scheme = TreeScheme()
+        small = scheme.max_certificate_bits(random_tree(8, seed=0))
+        large = scheme.max_certificate_bits(random_tree(256, seed=0))
+        assert large <= small + 4 * math.ceil(math.log2(256))
+
+    def test_corruption_detected(self):
+        assert soundness_under_corruption(TreeScheme(), random_tree(15, seed=3), seed=1)
+
+    def test_single_vertex_tree(self):
+        single = nx.Graph()
+        single.add_node(0)
+        report = evaluate_scheme(TreeScheme(), single)
+        assert report.completeness_ok
+
+
+class TestSpanningTreeCountScheme:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_completeness(self, seed):
+        graph = random_connected_graph(9, p=0.3, seed=seed)
+        scheme = SpanningTreeCountScheme(expected_n=9)
+        report = evaluate_scheme(scheme, graph, seed=seed)
+        assert report.holds and report.completeness_ok
+
+    def test_wrong_count_is_no_instance(self):
+        graph = random_connected_graph(9, p=0.3, seed=0)
+        scheme = SpanningTreeCountScheme(expected_n=8)
+        report = evaluate_scheme(scheme, graph, seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_prover_rejects_wrong_count(self):
+        from repro.network.ids import assign_identifiers
+
+        graph = nx.path_graph(5)
+        with pytest.raises(NotAYesInstance):
+            SpanningTreeCountScheme(expected_n=4).prove(graph, assign_identifiers(graph, seed=0))
+
+    def test_corruption_detected(self):
+        graph = random_connected_graph(10, p=0.4, seed=2)
+        assert soundness_under_corruption(SpanningTreeCountScheme(10), graph, seed=0)
+
+    def test_cheating_total_rejected(self):
+        """A prover that claims n+1 vertices must be caught by the counting rule."""
+        from repro.core.encoding import CertificateReader, CertificateWriter
+        from repro.network.ids import assign_identifiers
+        from repro.network.simulator import NetworkSimulator
+
+        graph = nx.path_graph(6)
+        ids = assign_identifiers(graph, seed=0)
+        scheme = SpanningTreeCountScheme(expected_n=7)
+        honest_for_six = SpanningTreeCountScheme(expected_n=6).prove(graph, ids)
+        # Rewrite every certificate to claim 7 vertices in total.
+        cheated = {}
+        for vertex, certificate in honest_for_six.items():
+            reader = CertificateReader(certificate)
+            fields = [reader.read_uint() for _ in range(5)]
+            fields[4] = 7
+            writer = CertificateWriter()
+            for value in fields:
+                writer.write_uint(value)
+            cheated[vertex] = writer.getvalue()
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        assert not simulator.run(scheme.verify, cheated).accepted
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            SpanningTreeCountScheme(0)

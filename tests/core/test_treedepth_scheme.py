@@ -1,0 +1,137 @@
+"""Tests for the Theorem 2.4 treedepth certification."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.scheme import NotAYesInstance, evaluate_scheme, soundness_under_corruption
+from repro.core.treedepth_scheme import TreedepthScheme
+from repro.graphs.generators import (
+    bounded_treedepth_graph,
+    path_graph,
+    random_tree,
+    union_of_cycles_with_apex,
+)
+from repro.network.ids import assign_identifiers
+from repro.treedepth.decomposition import exact_treedepth, treedepth_of_path
+from repro.treedepth.elimination_tree import EliminationTree
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 15])
+    def test_paths_at_exact_threshold(self, n):
+        scheme = TreedepthScheme(treedepth_of_path(n))
+        report = evaluate_scheme(scheme, path_graph(n))
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounded_treedepth_family(self, seed):
+        graph = bounded_treedepth_graph(3, branching=2, seed=seed)
+        scheme = TreedepthScheme(3)
+        report = evaluate_scheme(scheme, graph, seed=seed)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_cliques(self, n):
+        scheme = TreedepthScheme(n)
+        report = evaluate_scheme(scheme, nx.complete_graph(n))
+        assert report.holds and report.completeness_ok
+
+    def test_trees_have_small_treedepth(self):
+        tree = random_tree(14, seed=2)
+        scheme = TreedepthScheme(exact_treedepth(tree))
+        assert evaluate_scheme(scheme, tree).completeness_ok
+
+    def test_larger_bound_also_accepted(self):
+        graph = path_graph(7)
+        assert evaluate_scheme(TreedepthScheme(5), graph).completeness_ok
+
+    def test_model_builder_is_used(self):
+        graph = path_graph(7)
+        model = EliminationTree({3: None, 1: 3, 5: 3, 0: 1, 2: 1, 4: 5, 6: 5})
+        scheme = TreedepthScheme(3, model_builder=lambda g: model)
+        assert evaluate_scheme(scheme, graph).completeness_ok
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_paths_below_threshold(self, n):
+        scheme = TreedepthScheme(treedepth_of_path(n) - 1)
+        report = evaluate_scheme(scheme, path_graph(n))
+        assert not report.holds and report.soundness_ok
+
+    def test_clique_below_threshold(self):
+        report = evaluate_scheme(TreedepthScheme(3), nx.complete_graph(5))
+        assert not report.holds and report.soundness_ok
+
+    def test_lemma_7_3_gadget_at_threshold_5(self):
+        yes_instance = union_of_cycles_with_apex([8, 8])
+        no_instance = union_of_cycles_with_apex([16])
+        scheme = TreedepthScheme(5)
+        assert evaluate_scheme(scheme, yes_instance).completeness_ok
+        # A 16-cycle with apex has treedepth 5 too, so go one step further:
+        assert not TreedepthScheme(4).holds(yes_instance)
+
+    def test_prover_refuses_no_instance(self):
+        graph = nx.complete_graph(5)
+        with pytest.raises(NotAYesInstance):
+            TreedepthScheme(3).prove(graph, assign_identifiers(graph, seed=0))
+
+    def test_corruption_detected(self):
+        graph = bounded_treedepth_graph(3, branching=2, seed=1)
+        assert soundness_under_corruption(TreedepthScheme(3), graph, seed=0)
+
+    def test_cheating_depth_truncation_rejected(self):
+        """Relabeling every vertex's list to pretend the depth is smaller must fail."""
+        from repro.network.simulator import NetworkSimulator
+
+        graph = path_graph(7)
+        ids = assign_identifiers(graph, seed=0)
+        honest = TreedepthScheme(3).prove(graph, ids)
+        strict = TreedepthScheme(2)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        # The honest depth-3 certificates violate the t=2 length bound.
+        assert not simulator.run(strict.verify, honest).accepted
+
+
+class TestSize:
+    def test_size_grows_like_t_log_n(self):
+        """Certificates are O(t · log n): doubling n adds O(t) bits."""
+        sizes = {}
+        for exponent in (3, 5, 7):
+            n = 2**exponent - 1
+            scheme = TreedepthScheme(
+                exponent, model_builder=lambda g: _balanced_path_model(g)
+            )
+            sizes[n] = scheme.max_certificate_bits(path_graph(n))
+        assert sizes[31] < sizes[127]
+        # Roughly linear in t·log n: the 127-vertex path (t=7) uses less than
+        # four times the bits of the 7-vertex path (t=3).
+        assert sizes[127] <= 4 * sizes[7]
+
+    def test_single_vertex(self):
+        single = nx.Graph()
+        single.add_node(0)
+        assert evaluate_scheme(TreedepthScheme(1), single).completeness_ok
+
+
+def _balanced_path_model(graph: nx.Graph) -> EliminationTree:
+    """Optimal elimination tree of a path: recursively root at the midpoint."""
+    vertices = sorted(graph.nodes())
+
+    parent = {}
+
+    def build(segment, parent_vertex):
+        if not segment:
+            return
+        middle = len(segment) // 2
+        root = segment[middle]
+        parent[root] = parent_vertex
+        build(segment[:middle], root)
+        build(segment[middle + 1 :], root)
+
+    build(vertices, None)
+    return EliminationTree(parent)

@@ -1,0 +1,158 @@
+"""Tests for the bounded-treewidth certification scheme (extension of Thm 2.4)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.scheme import (
+    NotAYesInstance,
+    evaluate_scheme,
+    soundness_under_corruption,
+)
+from repro.core.treewidth_scheme import TreeDecompositionScheme
+from repro.graphs.generators import random_connected_graph, random_tree
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator
+from repro.treewidth.decomposition import greedy_decomposition
+
+
+class TestParameters:
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            TreeDecompositionScheme(k=-1)
+
+    def test_name_mentions_k(self):
+        assert "2" in TreeDecompositionScheme(k=2).name
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("n", [2, 5, 12, 40])
+    def test_paths_have_width_one(self, n):
+        report = evaluate_scheme(TreeDecompositionScheme(k=1), nx.path_graph(n), seed=n)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("n", [4, 9, 25])
+    def test_cycles_have_width_two(self, n):
+        report = evaluate_scheme(TreeDecompositionScheme(k=2), nx.cycle_graph(n), seed=n)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees_width_one(self, seed):
+        tree = random_tree(15, seed=seed)
+        report = evaluate_scheme(TreeDecompositionScheme(k=1), tree, seed=seed)
+        assert report.holds and report.completeness_ok
+
+    def test_clique_at_exact_width(self):
+        graph = nx.complete_graph(5)
+        report = evaluate_scheme(TreeDecompositionScheme(k=4), graph, seed=0)
+        assert report.holds and report.completeness_ok
+
+    def test_grid_width_three(self):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        report = evaluate_scheme(TreeDecompositionScheme(k=3), graph, seed=0)
+        assert report.holds and report.completeness_ok
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_sparse_graphs_generous_k(self, seed):
+        graph = random_connected_graph(12, p=0.25, seed=seed)
+        report = evaluate_scheme(TreeDecompositionScheme(k=6), graph, seed=seed)
+        assert report.holds and report.completeness_ok
+
+    def test_larger_k_also_accepts(self):
+        # treewidth ≤ 1 implies treewidth ≤ 3; the scheme with larger k must accept.
+        report = evaluate_scheme(TreeDecompositionScheme(k=3), nx.path_graph(9), seed=1)
+        assert report.holds and report.completeness_ok
+
+
+class TestNoInstances:
+    def test_cycle_is_not_width_one(self):
+        report = evaluate_scheme(TreeDecompositionScheme(k=1), nx.cycle_graph(8), seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_clique_is_not_width_three(self):
+        report = evaluate_scheme(TreeDecompositionScheme(k=3), nx.complete_graph(5), seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_prover_refuses_no_instance(self):
+        graph = nx.complete_graph(5)
+        ids = assign_identifiers(graph, seed=0)
+        with pytest.raises(NotAYesInstance):
+            TreeDecompositionScheme(k=2).prove(graph, ids)
+
+    def test_petersen_exact_fallback(self):
+        # The Petersen graph has treewidth 4; heuristics alone may only show 5.
+        scheme = TreeDecompositionScheme(k=4)
+        assert scheme.holds(nx.petersen_graph())
+        assert not TreeDecompositionScheme(k=3).holds(nx.petersen_graph())
+
+
+class TestVerifierRobustness:
+    def test_rejects_garbage_certificates(self):
+        graph = nx.path_graph(6)
+        scheme = TreeDecompositionScheme(k=1)
+        simulator = NetworkSimulator(graph, identifiers=assign_identifiers(graph, seed=1))
+        garbage = {v: b"\xff\x13\x07" for v in graph.nodes()}
+        assert not simulator.run(scheme.verify, garbage).accepted
+
+    def test_rejects_empty_certificates(self):
+        graph = nx.path_graph(6)
+        scheme = TreeDecompositionScheme(k=1)
+        simulator = NetworkSimulator(graph, identifiers=assign_identifiers(graph, seed=1))
+        assert not simulator.run(scheme.verify, {v: b"" for v in graph.nodes()}).accepted
+
+    def test_rejects_oversized_bags(self):
+        # Honest proof for width 2 presented to a verifier expecting width 1.
+        graph = nx.cycle_graph(7)
+        ids = assign_identifiers(graph, seed=3)
+        honest = TreeDecompositionScheme(k=2).prove(graph, ids)
+        strict = TreeDecompositionScheme(k=1)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        assert not simulator.run(strict.verify, honest).accepted
+
+    def test_corruption_detected(self):
+        graph = nx.cycle_graph(9)
+        assert soundness_under_corruption(TreeDecompositionScheme(k=2), graph, seed=4)
+
+    def test_swapped_certificates_detected(self):
+        graph = nx.path_graph(8)
+        ids = assign_identifiers(graph, seed=5)
+        scheme = TreeDecompositionScheme(k=1)
+        honest = dict(scheme.prove(graph, ids))
+        honest[0], honest[7] = honest[7], honest[0]
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        assert not simulator.run(scheme.verify, honest).accepted
+
+
+class TestCertificateSizes:
+    def test_balanced_decomposition_keeps_certificates_polylogarithmic(self):
+        from repro.treewidth.balanced import balanced_path_decomposition
+
+        scheme = TreeDecompositionScheme(k=2, decomposition_builder=balanced_path_decomposition)
+        sizes = [scheme.max_certificate_bits(nx.path_graph(n), seed=0) for n in (8, 64, 256)]
+        assert sizes[0] > 0
+        # O(k·log² n): going from 8 to 256 vertices multiplies log² n by ~7,
+        # so a factor-32 (linear-growth) blow-up would be a regression.
+        assert sizes[-1] <= 16 * sizes[0]
+
+    def test_unbalanced_decomposition_is_much_larger(self):
+        from repro.treewidth.balanced import balanced_path_decomposition
+
+        n = 128
+        unbalanced = TreeDecompositionScheme(k=1).max_certificate_bits(nx.path_graph(n), seed=0)
+        balanced = TreeDecompositionScheme(
+            k=2, decomposition_builder=balanced_path_decomposition
+        ).max_certificate_bits(nx.path_graph(n), seed=0)
+        assert balanced < unbalanced / 4
+
+    def test_custom_builder_is_used(self):
+        calls = []
+
+        def builder(graph):
+            calls.append(graph.number_of_nodes())
+            return greedy_decomposition(graph)
+
+        scheme = TreeDecompositionScheme(k=1, decomposition_builder=builder)
+        report = evaluate_scheme(scheme, nx.path_graph(10), seed=0)
+        assert report.completeness_ok
+        assert calls

@@ -1,0 +1,139 @@
+"""Tests for the universal scheme and the Lemma 2.1 fragment schemes."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.fragments import CliqueScheme, DominatingVertexScheme, ExistentialFOScheme
+from repro.core.scheme import (
+    NotAYesInstance,
+    evaluate_scheme,
+    exhaustive_soundness_holds,
+    soundness_under_corruption,
+)
+from repro.core.universal import UniversalScheme
+from repro.graphs.generators import random_connected_graph
+from repro.logic import properties
+from repro.network.ids import assign_identifiers
+
+
+class TestUniversalScheme:
+    def test_completeness_arbitrary_property(self):
+        scheme = UniversalScheme(lambda g: nx.is_bipartite(g), name="bipartite")
+        report = evaluate_scheme(scheme, nx.cycle_graph(6))
+        assert report.holds and report.completeness_ok
+
+    def test_soundness_samples(self):
+        scheme = UniversalScheme(lambda g: nx.is_bipartite(g), name="bipartite")
+        report = evaluate_scheme(scheme, nx.cycle_graph(5))
+        assert not report.holds and report.soundness_ok
+
+    def test_size_is_quadratic_ish(self):
+        scheme = UniversalScheme(lambda g: True, name="trivial")
+        small = scheme.max_certificate_bits(random_connected_graph(8, seed=0))
+        large = scheme.max_certificate_bits(random_connected_graph(32, seed=0))
+        assert large > 4 * small  # super-linear growth
+
+    def test_description_mismatch_rejected(self):
+        """A certificate describing a different graph must be rejected."""
+        from repro.network.simulator import NetworkSimulator
+
+        graph = nx.path_graph(4)
+        other = nx.cycle_graph(4)
+        scheme = UniversalScheme(lambda g: True, name="trivial")
+        ids = assign_identifiers(graph, seed=0, sequential=True)
+        wrong = scheme.prove(other, assign_identifiers(other, seed=0, sequential=True))
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        assert not simulator.run(scheme.verify, wrong).accepted
+
+    def test_corruption_detected(self):
+        scheme = UniversalScheme(lambda g: True, name="trivial")
+        assert soundness_under_corruption(scheme, random_connected_graph(7, seed=1), seed=0)
+
+
+class TestExistentialFOScheme:
+    def test_triangle_completeness(self):
+        scheme = ExistentialFOScheme(properties.has_triangle(), name="triangle")
+        report = evaluate_scheme(scheme, nx.complete_graph(5))
+        assert report.holds and report.completeness_ok
+
+    def test_triangle_soundness_samples(self):
+        scheme = ExistentialFOScheme(properties.has_triangle(), name="triangle")
+        report = evaluate_scheme(scheme, nx.cycle_graph(6))
+        assert not report.holds and report.soundness_ok
+
+    def test_clique_of_size_4(self):
+        scheme = ExistentialFOScheme(properties.has_clique_of_size(4), name="k4")
+        graph = random_connected_graph(8, p=0.85, seed=1)
+        report = evaluate_scheme(scheme, graph)
+        if report.holds:
+            assert report.completeness_ok
+        else:
+            assert report.soundness_ok
+
+    def test_independent_set_scheme(self):
+        scheme = ExistentialFOScheme(properties.has_independent_set_of_size(3), name="is3")
+        report = evaluate_scheme(scheme, nx.path_graph(6))
+        assert report.holds and report.completeness_ok
+
+    def test_size_scales_logarithmically(self):
+        scheme = ExistentialFOScheme(properties.has_triangle(), name="triangle")
+        small = scheme.max_certificate_bits(nx.complete_graph(8))
+        large = scheme.max_certificate_bits(nx.complete_graph(64))
+        assert large <= 3 * small
+
+    def test_rejects_universal_formula(self):
+        with pytest.raises(ValueError):
+            ExistentialFOScheme(properties.triangle_free(), name="bad")
+
+    def test_rejects_mso_formula(self):
+        with pytest.raises(ValueError):
+            ExistentialFOScheme(properties.two_colorable(), name="bad")
+
+    def test_prover_refuses_no_instance(self):
+        graph = nx.path_graph(5)
+        scheme = ExistentialFOScheme(properties.has_triangle(), name="triangle")
+        with pytest.raises(NotAYesInstance):
+            scheme.prove(graph, assign_identifiers(graph, seed=0))
+
+    def test_corruption_detected(self):
+        scheme = ExistentialFOScheme(properties.has_triangle(), name="triangle")
+        assert soundness_under_corruption(scheme, nx.complete_graph(6), seed=0)
+
+    def test_exhaustive_soundness_on_tiny_instance(self):
+        """On a 3-vertex path, *no* 1-bit certificate assignment can convince
+        the triangle scheme."""
+        scheme = ExistentialFOScheme(properties.has_triangle(), name="triangle")
+        assert exhaustive_soundness_holds(scheme, nx.path_graph(3), max_bits=1)
+
+
+class TestDepthTwoSchemes:
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_clique_completeness(self, n):
+        report = evaluate_scheme(CliqueScheme(), nx.complete_graph(n))
+        assert report.holds and report.completeness_ok
+
+    def test_clique_soundness_samples(self):
+        report = evaluate_scheme(CliqueScheme(), nx.path_graph(4))
+        assert not report.holds and report.soundness_ok
+
+    def test_clique_missing_edge_detected(self):
+        graph = nx.complete_graph(6)
+        graph.remove_edge(0, 1)
+        report = evaluate_scheme(CliqueScheme(), graph)
+        assert not report.holds and report.soundness_ok
+
+    @pytest.mark.parametrize("builder", [nx.star_graph, nx.complete_graph, nx.wheel_graph])
+    def test_dominating_vertex_completeness(self, builder):
+        report = evaluate_scheme(DominatingVertexScheme(), builder(5))
+        assert report.holds and report.completeness_ok
+
+    def test_dominating_vertex_soundness_samples(self):
+        report = evaluate_scheme(DominatingVertexScheme(), nx.cycle_graph(5))
+        assert not report.holds and report.soundness_ok
+
+    def test_sizes_logarithmic(self):
+        small = CliqueScheme().max_certificate_bits(nx.complete_graph(8))
+        large = CliqueScheme().max_certificate_bits(nx.complete_graph(128))
+        assert large <= small + 64

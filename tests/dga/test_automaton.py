@@ -1,0 +1,119 @@
+"""Tests for the deterministic distributed graph automaton model."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.dga.automaton import DistributedGraphAutomaton, all_states_in, some_state_is
+from repro.dga.catalog import all_nodes_labelled, proper_coloring_checker, radius_at_most, some_node_labelled
+
+
+class TestModelBasics:
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedGraphAutomaton(
+                name="bad",
+                states=frozenset({"a"}),
+                initial=lambda label: "a",
+                transition=lambda s, ns: s,
+                acceptance=all_states_in({"a"}),
+                rounds=-1,
+            )
+
+    def test_empty_state_set_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedGraphAutomaton(
+                name="bad",
+                states=frozenset(),
+                initial=lambda label: "a",
+                transition=lambda s, ns: s,
+                acceptance=all_states_in({"a"}),
+                rounds=0,
+            )
+
+    def test_unknown_label_rejected(self):
+        automaton = all_nodes_labelled("x")
+        with pytest.raises(ValueError):
+            automaton.run(nx.path_graph(3), labels={0: "y"})
+
+    def test_transition_leaving_state_set_is_an_error(self):
+        automaton = DistributedGraphAutomaton(
+            name="escapes",
+            states=frozenset({"a"}),
+            initial=lambda label: "a",
+            transition=lambda s, ns: "b",
+            acceptance=all_states_in({"a"}),
+            rounds=1,
+        )
+        with pytest.raises(ValueError):
+            automaton.run(nx.path_graph(2))
+
+    def test_history_collection(self):
+        automaton = radius_at_most(2)
+        run = automaton.run(nx.path_graph(3), labels={0: "center"}, keep_history=True)
+        assert len(run.history) == 3  # initial snapshot + 2 rounds
+        assert run.states_of(2) == ("waiting", "waiting", "reached")
+
+    def test_anonymous_runs_are_isomorphism_invariant(self):
+        automaton = radius_at_most(1)
+        graph_a = nx.path_graph(3)
+        graph_b = nx.relabel_nodes(graph_a, {0: "x", 1: "y", 2: "z"})
+        assert automaton.accepts(graph_a, labels={1: "center"}) == automaton.accepts(
+            graph_b, labels={"y": "center"}
+        )
+
+
+class TestCatalogDeterministic:
+    def test_all_nodes_labelled(self):
+        automaton = all_nodes_labelled("ok")
+        graph = nx.path_graph(4)
+        assert automaton.accepts(graph, labels={v: "ok" for v in graph.nodes()})
+        assert not automaton.accepts(graph, labels={0: "ok"})
+
+    def test_some_node_labelled(self):
+        automaton = some_node_labelled("flag")
+        graph = nx.cycle_graph(5)
+        assert automaton.accepts(graph, labels={3: "flag"})
+        assert not automaton.accepts(graph)
+
+    @pytest.mark.parametrize("r, expected", [(0, False), (1, False), (2, True), (3, True)])
+    def test_radius_from_center_of_path(self, r, expected):
+        graph = nx.path_graph(5)
+        assert radius_at_most(r).accepts(graph, labels={2: "center"}) is expected
+
+    def test_radius_zero_single_vertex(self):
+        graph = nx.path_graph(1)
+        assert radius_at_most(0).accepts(graph, labels={0: "center"})
+
+    def test_proper_coloring_checker_accepts_proper(self):
+        graph = nx.cycle_graph(6)
+        colors = {v: v % 2 for v in graph.nodes()}
+        assert proper_coloring_checker(2).accepts(graph, labels=colors)
+
+    def test_proper_coloring_checker_rejects_monochromatic_edge(self):
+        graph = nx.path_graph(3)
+        assert not proper_coloring_checker(2).accepts(graph, labels={0: 0, 1: 0, 2: 1})
+
+    def test_proper_coloring_checker_rejects_missing_labels(self):
+        graph = nx.path_graph(3)
+        assert not proper_coloring_checker(2).accepts(graph, labels={0: 0})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            proper_coloring_checker(0)
+        with pytest.raises(ValueError):
+            radius_at_most(-1)
+
+
+class TestAcceptancePredicates:
+    def test_all_states_in(self):
+        predicate = all_states_in({"a", "b"})
+        assert predicate(frozenset({"a"}))
+        assert predicate(frozenset({"a", "b"}))
+        assert not predicate(frozenset({"a", "c"}))
+
+    def test_some_state_is(self):
+        predicate = some_state_is("win")
+        assert predicate(frozenset({"win", "lose"}))
+        assert not predicate(frozenset({"lose"}))

@@ -1,0 +1,95 @@
+"""Tests for the existential (prover) DGA layer and the certification bridge."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.scheme import evaluate_scheme
+from repro.dga.catalog import proper_coloring_checker, two_coloring_prover_dga
+from repro.dga.nondeterministic import NondeterministicDGA, certification_from_dga
+from repro.graphs.generators import random_tree
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator
+
+
+class TestNondeterministicAcceptance:
+    @pytest.mark.parametrize(
+        "graph, expected",
+        [
+            (nx.path_graph(6), True),
+            (nx.cycle_graph(6), True),
+            (nx.cycle_graph(5), False),
+            (nx.complete_graph(3), False),
+            (nx.complete_bipartite_graph(2, 3), True),
+        ],
+    )
+    def test_two_colorability_with_witness(self, graph, expected):
+        assert two_coloring_prover_dga().accepts(graph) is expected
+
+    def test_exhaustive_search_matches_witness(self):
+        # Drop the witness and force the exhaustive search on small graphs.
+        exhaustive = NondeterministicDGA(
+            automaton=proper_coloring_checker(2), prover_labels=(0, 1)
+        )
+        for graph in (nx.path_graph(5), nx.cycle_graph(5), nx.cycle_graph(4)):
+            assert exhaustive.accepts(graph) == two_coloring_prover_dga().accepts(graph)
+
+    def test_exhaustive_search_guard(self):
+        exhaustive = NondeterministicDGA(
+            automaton=proper_coloring_checker(2), prover_labels=(0, 1)
+        )
+        with pytest.raises(ValueError):
+            exhaustive.accepts(nx.path_graph(40))
+
+    def test_witness_failure_falls_back_to_search(self):
+        # A witness that always returns a wrong labelling must not break small
+        # instances: the exhaustive fallback still finds a proper colouring.
+        ndga = NondeterministicDGA(
+            automaton=proper_coloring_checker(2),
+            prover_labels=(0, 1),
+            witness=lambda graph: {v: 0 for v in graph.nodes()},
+        )
+        assert ndga.accepts(nx.path_graph(4))
+
+    def test_witness_only_on_large_graphs(self):
+        ndga = two_coloring_prover_dga()
+        assert ndga.accepts(random_tree(60, seed=1))  # trees are bipartite
+        assert not ndga.accepts(nx.cycle_graph(41))  # odd cycle, witness is None
+
+
+class TestCertificationBridge:
+    def test_scheme_completeness_on_bipartite_graphs(self):
+        scheme = certification_from_dga(two_coloring_prover_dga())
+        for graph in (nx.path_graph(7), nx.cycle_graph(8), nx.complete_bipartite_graph(2, 4)):
+            report = evaluate_scheme(scheme, graph, seed=1)
+            assert report.holds and report.completeness_ok
+
+    def test_scheme_soundness_samples_on_odd_cycles(self):
+        scheme = certification_from_dga(two_coloring_prover_dga())
+        report = evaluate_scheme(scheme, nx.cycle_graph(5), seed=1)
+        assert not report.holds and report.soundness_ok
+
+    def test_certificates_are_constant_size(self):
+        scheme = certification_from_dga(two_coloring_prover_dga())
+        small = scheme.max_certificate_bits(nx.path_graph(8), seed=0)
+        large = scheme.max_certificate_bits(nx.path_graph(200), seed=0)
+        assert small == large  # label + 2-entry trajectory, independent of n
+
+    def test_tampered_trajectory_detected(self):
+        scheme = certification_from_dga(two_coloring_prover_dga())
+        graph = nx.path_graph(6)
+        ids = assign_identifiers(graph, seed=2)
+        certificates = dict(scheme.prove(graph, ids))
+        # Give two adjacent vertices the same certificate (same colour): the
+        # transition re-check flags the inconsistency.
+        certificates[1] = certificates[0]
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        assert not simulator.run(scheme.verify, certificates).accepted
+
+    def test_garbage_certificates_rejected(self):
+        scheme = certification_from_dga(two_coloring_prover_dga())
+        graph = nx.path_graph(4)
+        ids = assign_identifiers(graph, seed=3)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        assert not simulator.run(scheme.verify, {v: b"\x99\x99" for v in graph.nodes()}).accepted

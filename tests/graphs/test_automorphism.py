@@ -1,0 +1,98 @@
+"""Tests for automorphism detection (needed by Theorem 2.3's construction)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.automorphism import (
+    automorphisms,
+    count_fixed_points,
+    has_fixed_point_free_automorphism,
+    has_fixed_point_free_automorphism_bruteforce,
+    is_automorphism,
+)
+from repro.graphs.generators import random_tree
+
+
+class TestIsAutomorphism:
+    def test_identity_is_automorphism(self):
+        graph = nx.cycle_graph(5)
+        assert is_automorphism(graph, {v: v for v in graph.nodes()})
+
+    def test_rotation_of_cycle(self):
+        graph = nx.cycle_graph(5)
+        rotation = {v: (v + 1) % 5 for v in graph.nodes()}
+        assert is_automorphism(graph, rotation)
+        assert count_fixed_points(rotation) == 0
+
+    def test_non_automorphism_detected(self):
+        graph = nx.path_graph(4)
+        swap_ends_only = {0: 3, 3: 0, 1: 1, 2: 2}
+        assert not is_automorphism(graph, swap_ends_only)
+
+    def test_wrong_domain_rejected(self):
+        graph = nx.path_graph(3)
+        assert not is_automorphism(graph, {0: 0, 1: 1})
+
+
+class TestBruteForce:
+    def test_number_of_automorphisms_of_path(self):
+        assert len(list(automorphisms(nx.path_graph(4)))) == 2
+
+    def test_number_of_automorphisms_of_triangle(self):
+        assert len(list(automorphisms(nx.complete_graph(3)))) == 6
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            list(automorphisms(nx.path_graph(12)))
+
+    def test_cycle_has_fixed_point_free_automorphism(self):
+        assert has_fixed_point_free_automorphism_bruteforce(nx.cycle_graph(6))
+
+    def test_star_has_none(self):
+        assert not has_fixed_point_free_automorphism_bruteforce(nx.star_graph(3))
+
+
+class TestTreeFixedPointFree:
+    def test_single_edge_has_fpf(self):
+        assert has_fixed_point_free_automorphism(nx.path_graph(2))
+
+    def test_even_path_has_fpf(self):
+        assert has_fixed_point_free_automorphism(nx.path_graph(6))
+
+    def test_odd_path_has_none(self):
+        assert not has_fixed_point_free_automorphism(nx.path_graph(5))
+
+    def test_star_has_none(self):
+        assert not has_fixed_point_free_automorphism(nx.star_graph(4))
+
+    def test_single_vertex_has_none(self):
+        tree = nx.Graph()
+        tree.add_node(0)
+        assert not has_fixed_point_free_automorphism(tree)
+
+    def test_double_star_symmetric(self):
+        # Two centres joined by an edge, each with two leaves: swapping halves works.
+        tree = nx.Graph([(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)])
+        assert has_fixed_point_free_automorphism(tree)
+
+    def test_double_star_asymmetric(self):
+        tree = nx.Graph([(0, 1), (0, 2), (0, 3), (1, 4)])
+        assert not has_fixed_point_free_automorphism(tree)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_structural_matches_bruteforce_on_small_trees(self, seed):
+        tree = random_tree(8, seed=seed)
+        expected = has_fixed_point_free_automorphism_bruteforce(tree)
+        assert has_fixed_point_free_automorphism(tree) == expected
+
+    def test_mirror_tree_construction_has_fpf(self):
+        # Two copies of a random tree whose roots are joined: always has one.
+        base = random_tree(7, seed=9)
+        mirrored = nx.Graph()
+        for u, v in base.edges():
+            mirrored.add_edge(("L", u), ("L", v))
+            mirrored.add_edge(("R", u), ("R", v))
+        mirrored.add_edge(("L", 0), ("R", 0))
+        assert has_fixed_point_free_automorphism(mirrored)

@@ -1,0 +1,152 @@
+"""Tests for the graph generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    all_connected_graphs,
+    bounded_treedepth_graph,
+    caterpillar,
+    clique_graph,
+    complete_binary_tree,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_graph,
+    random_tree,
+    random_tree_of_depth,
+    spider,
+    star_graph,
+    union_of_cycles_with_apex,
+)
+from repro.graphs.utils import is_tree
+from repro.treedepth.decomposition import exact_treedepth
+
+
+class TestBasicFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 5, 17])
+    def test_path_graph_size(self, n):
+        graph = path_graph(n)
+        assert graph.number_of_nodes() == n
+        assert graph.number_of_edges() == n - 1
+
+    def test_path_graph_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    @pytest.mark.parametrize("n", [3, 4, 8])
+    def test_cycle_graph(self, n):
+        graph = cycle_graph(n)
+        assert graph.number_of_nodes() == n
+        assert graph.number_of_edges() == n
+        assert all(graph.degree(v) == 2 for v in graph.nodes())
+
+    def test_cycle_graph_rejects_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    @pytest.mark.parametrize("n", [1, 4, 6])
+    def test_clique(self, n):
+        graph = clique_graph(n)
+        assert graph.number_of_edges() == n * (n - 1) // 2
+
+    def test_star(self):
+        graph = star_graph(7)
+        assert graph.number_of_nodes() == 8
+        assert graph.degree(0) == 7
+
+    @pytest.mark.parametrize("depth,expected", [(0, 1), (1, 3), (3, 15)])
+    def test_complete_binary_tree_size(self, depth, expected):
+        graph = complete_binary_tree(depth)
+        assert graph.number_of_nodes() == expected
+        assert is_tree(graph)
+
+    def test_caterpillar_is_tree(self):
+        graph = caterpillar(5, legs_per_vertex=2)
+        assert is_tree(graph)
+        assert graph.number_of_nodes() == 5 + 10
+
+    def test_spider_is_tree(self):
+        graph = spider(4, 3)
+        assert is_tree(graph)
+        assert graph.number_of_nodes() == 1 + 12
+
+    def test_grid_graph(self):
+        graph = grid_graph(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4
+
+
+class TestRandomFamilies:
+    @pytest.mark.parametrize("n", [1, 5, 20])
+    def test_random_tree_is_tree(self, n):
+        graph = random_tree(n, seed=0)
+        assert is_tree(graph)
+        assert graph.number_of_nodes() == n
+
+    def test_random_tree_deterministic_with_seed(self):
+        a = random_tree(15, seed=42)
+        b = random_tree(15, seed=42)
+        assert set(a.edges()) == set(b.edges())
+
+    @pytest.mark.parametrize("depth", [0, 1, 3])
+    def test_random_tree_of_depth_exact(self, depth):
+        graph = random_tree_of_depth(depth, max_children=2, seed=1)
+        assert is_tree(graph)
+        lengths = nx.single_source_shortest_path_length(graph, 0)
+        assert max(lengths.values()) == depth
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(5):
+            graph = random_connected_graph(12, p=0.2, seed=seed)
+            assert nx.is_connected(graph)
+
+    def test_random_graph_density_monotone(self):
+        sparse = random_graph(20, p=0.05, seed=1)
+        dense = random_graph(20, p=0.9, seed=1)
+        assert sparse.number_of_edges() < dense.number_of_edges()
+
+
+class TestBoundedTreedepthGenerator:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_respects_depth_bound(self, depth):
+        for seed in range(3):
+            graph = bounded_treedepth_graph(depth, branching=2, seed=seed)
+            if graph.number_of_nodes() <= 14:
+                assert exact_treedepth(graph) <= depth
+
+    def test_connected(self):
+        for seed in range(5):
+            graph = bounded_treedepth_graph(3, branching=3, seed=seed)
+            assert nx.is_connected(graph)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            bounded_treedepth_graph(0)
+
+
+class TestGadgetFamilies:
+    def test_union_of_cycles_with_apex_structure(self):
+        graph = union_of_cycles_with_apex([8, 8, 8])
+        assert graph.number_of_nodes() == 25
+        # Removing the apex leaves a 2-regular graph.
+        rest = graph.copy()
+        rest.remove_node(0)
+        assert all(rest.degree(v) == 2 for v in rest.nodes())
+        assert nx.is_connected(graph)
+
+    def test_union_of_cycles_rejects_short(self):
+        with pytest.raises(ValueError):
+            union_of_cycles_with_apex([2])
+
+    def test_all_connected_graphs_count_n3(self):
+        graphs = list(all_connected_graphs(3))
+        # Connected labelled graphs on 3 vertices: 4 (path ×3 labellings + triangle).
+        assert len(graphs) == 4
+
+    def test_all_connected_graphs_are_connected(self):
+        for graph in all_connected_graphs(4):
+            assert nx.is_connected(graph)

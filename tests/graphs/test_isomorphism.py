@@ -1,0 +1,87 @@
+"""Tests for tree canonical forms and isomorphism."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import complete_binary_tree, random_tree
+from repro.graphs.isomorphism import (
+    rooted_tree_canonical_form,
+    rooted_trees_isomorphic,
+    tree_canonical_form,
+    tree_centroids,
+    trees_isomorphic,
+)
+
+
+class TestRootedCanonicalForm:
+    def test_single_vertex(self):
+        tree = nx.Graph()
+        tree.add_node(0)
+        assert rooted_tree_canonical_form(tree, 0) == "()"
+
+    def test_path_rooted_at_end_vs_middle_differ(self):
+        tree = nx.path_graph(3)
+        assert rooted_tree_canonical_form(tree, 0) != rooted_tree_canonical_form(tree, 1)
+
+    def test_isomorphic_rooted_trees_same_form(self):
+        a = nx.Graph([(0, 1), (0, 2), (2, 3)])
+        b = nx.Graph([(10, 11), (10, 12), (11, 13)])
+        assert rooted_trees_isomorphic(a, 0, b, 10)
+
+    def test_non_isomorphic_rooted_trees(self):
+        a = nx.path_graph(4)  # rooted at 0: a path of length 3
+        b = nx.star_graph(3)  # rooted at centre: three leaves
+        assert not rooted_trees_isomorphic(a, 0, b, 0)
+
+    def test_unknown_root_raises(self):
+        with pytest.raises(ValueError):
+            rooted_tree_canonical_form(nx.path_graph(3), 99)
+
+
+class TestCentroids:
+    def test_path_even_has_two_centroids(self):
+        assert len(tree_centroids(nx.path_graph(6))) == 2
+
+    def test_path_odd_has_one_centroid(self):
+        centroids = tree_centroids(nx.path_graph(7))
+        assert centroids == [3]
+
+    def test_star_centroid_is_centre(self):
+        assert tree_centroids(nx.star_graph(6)) == [0]
+
+    def test_single_vertex(self):
+        tree = nx.Graph()
+        tree.add_node(42)
+        assert tree_centroids(tree) == [42]
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(ValueError):
+            tree_centroids(nx.cycle_graph(4))
+
+
+class TestUnrootedIsomorphism:
+    def test_relabelled_tree_is_isomorphic(self):
+        tree = random_tree(14, seed=3)
+        mapping = {v: v + 100 for v in tree.nodes()}
+        relabelled = nx.relabel_nodes(tree, mapping)
+        assert trees_isomorphic(tree, relabelled)
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not trees_isomorphic(nx.path_graph(5), nx.path_graph(6))
+
+    def test_path_vs_star(self):
+        assert not trees_isomorphic(nx.path_graph(4), nx.star_graph(3))
+
+    def test_canonical_form_agrees_with_networkx(self):
+        for seed in range(6):
+            a = random_tree(9, seed=seed)
+            b = random_tree(9, seed=seed + 50)
+            expected = nx.is_isomorphic(a, b)
+            assert trees_isomorphic(a, b) == expected
+
+    def test_canonical_form_invariant_under_relabelling(self):
+        tree = complete_binary_tree(3)
+        shuffled = nx.relabel_nodes(tree, {v: (v * 7 + 3) % 100 for v in tree.nodes()})
+        assert tree_canonical_form(tree) == tree_canonical_form(shuffled)

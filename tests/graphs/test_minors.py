@@ -1,0 +1,91 @@
+"""Tests for path/cycle minor containment (Corollary 2.7 substrate)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import union_of_cycles_with_apex
+from repro.graphs.minors import (
+    circumference,
+    has_cycle_minor,
+    has_minor,
+    has_path_minor,
+    is_cycle_minor_free,
+    is_path_minor_free,
+    longest_path_length,
+)
+
+
+class TestLongestPath:
+    def test_path_graph(self):
+        assert longest_path_length(nx.path_graph(6)) == 6
+
+    def test_star(self):
+        assert longest_path_length(nx.star_graph(5)) == 3
+
+    def test_cycle(self):
+        assert longest_path_length(nx.cycle_graph(5)) == 5
+
+    def test_cutoff_stops_early(self):
+        assert longest_path_length(nx.path_graph(20), cutoff=4) >= 4
+
+
+class TestPathMinor:
+    @pytest.mark.parametrize("t,expected", [(2, True), (5, True), (6, True), (7, False)])
+    def test_path_on_six(self, t, expected):
+        assert has_path_minor(nx.path_graph(6), t) == expected
+
+    def test_star_is_p4_free(self):
+        assert is_path_minor_free(nx.star_graph(10), 4)
+
+    def test_triangle_with_pendant_has_p4(self):
+        graph = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert has_path_minor(graph, 4)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            has_path_minor(nx.path_graph(3), 0)
+
+
+class TestCycleMinor:
+    def test_forest_has_no_cycle_minor(self):
+        assert is_cycle_minor_free(nx.path_graph(8), 3)
+
+    def test_circumference_of_cycle(self):
+        assert circumference(nx.cycle_graph(7)) == 7
+
+    def test_circumference_of_complete_graph(self):
+        assert circumference(nx.complete_graph(5)) == 5
+
+    @pytest.mark.parametrize("t,expected", [(3, True), (5, True), (6, False)])
+    def test_cycle_minor_on_c5(self, t, expected):
+        assert has_cycle_minor(nx.cycle_graph(5), t) == expected
+
+    def test_union_of_small_cycles_is_c5_free(self):
+        graph = union_of_cycles_with_apex([3, 4, 4])
+        assert is_cycle_minor_free(graph, 5)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            has_cycle_minor(nx.cycle_graph(4), 2)
+
+
+class TestGenericMinor:
+    def test_k4_in_k5(self):
+        assert has_minor(nx.complete_graph(5), nx.complete_graph(4))
+
+    def test_k4_not_in_tree(self):
+        assert not has_minor(nx.path_graph(6), nx.complete_graph(4))
+
+    def test_c4_minor_in_c6(self):
+        assert has_minor(nx.cycle_graph(6), nx.cycle_graph(4))
+
+    def test_path_minor_agrees_with_specialised(self):
+        graph = nx.Graph([(0, 1), (1, 2), (2, 3), (1, 4), (4, 5)])
+        for t in range(2, 6):
+            assert has_minor(graph, nx.path_graph(t)) == has_path_minor(graph, t)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            has_minor(nx.path_graph(20), nx.path_graph(3))

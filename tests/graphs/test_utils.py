@@ -1,0 +1,88 @@
+"""Tests for graph utilities."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.utils import (
+    disjoint_union_relabel,
+    ensure_connected,
+    graph_from_edges,
+    induced_subgraph,
+    is_clique,
+    is_tree,
+    relabel_to_integers,
+    vertex_set,
+)
+
+
+class TestPredicates:
+    def test_is_tree_on_tree(self):
+        assert is_tree(nx.path_graph(5))
+
+    def test_is_tree_on_cycle(self):
+        assert not is_tree(nx.cycle_graph(5))
+
+    def test_is_tree_on_empty(self):
+        assert not is_tree(nx.Graph())
+
+    def test_is_tree_on_forest(self):
+        forest = nx.Graph([(0, 1), (2, 3)])
+        assert not is_tree(forest)
+
+    def test_is_clique(self):
+        assert is_clique(nx.complete_graph(4))
+        assert not is_clique(nx.path_graph(4))
+        assert is_clique(nx.complete_graph(1))
+
+
+class TestEnsureConnected:
+    def test_accepts_connected(self):
+        graph = nx.path_graph(4)
+        assert ensure_connected(graph) is graph
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensure_connected(nx.Graph())
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            ensure_connected(nx.Graph([(0, 1), (2, 3)]))
+
+    def test_rejects_self_loop(self):
+        graph = nx.Graph([(0, 1)])
+        graph.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            ensure_connected(graph)
+
+
+class TestTransformations:
+    def test_induced_subgraph_is_copy(self):
+        graph = nx.complete_graph(5)
+        sub = induced_subgraph(graph, [0, 1, 2])
+        sub.remove_edge(0, 1)
+        assert graph.has_edge(0, 1)
+
+    def test_relabel_to_integers(self):
+        graph = nx.Graph([("a", "b"), ("b", "c")])
+        relabelled = relabel_to_integers(graph)
+        assert set(relabelled.nodes()) == {0, 1, 2}
+        assert relabelled.number_of_edges() == 2
+
+    def test_relabel_with_offset(self):
+        graph = nx.path_graph(3)
+        relabelled = relabel_to_integers(graph, start=10)
+        assert set(relabelled.nodes()) == {10, 11, 12}
+
+    def test_disjoint_union(self):
+        union = disjoint_union_relabel(nx.path_graph(3), nx.complete_graph(3))
+        assert union.number_of_nodes() == 6
+        assert union.number_of_edges() == 2 + 3
+
+    def test_graph_from_edges(self):
+        graph = graph_from_edges([(0, 1), (1, 2)])
+        assert graph.number_of_edges() == 2
+
+    def test_vertex_set(self):
+        assert vertex_set(nx.path_graph(3)) == frozenset({0, 1, 2})

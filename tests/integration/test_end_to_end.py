@@ -1,0 +1,165 @@
+"""End-to-end integration tests: every scheme exercised through the simulator
+on mixed instance pools, plus the minor-free schemes of Corollary 2.7."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.automata.catalog import perfect_matching_automaton
+from repro.core import (
+    CliqueScheme,
+    CycleMinorFreeScheme,
+    DominatingVertexScheme,
+    MSOTreedepthScheme,
+    MSOTreeScheme,
+    PathMinorFreeScheme,
+    TreedepthScheme,
+    TreeScheme,
+    UniversalScheme,
+)
+from repro.core.scheme import evaluate_scheme
+from repro.graphs.generators import (
+    bounded_treedepth_graph,
+    caterpillar,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    star_graph,
+    union_of_cycles_with_apex,
+)
+from repro.logic import properties
+
+
+def assert_classified_correctly(scheme, graph, seed=0):
+    """A yes-instance must verify with the honest proof; a no-instance must
+    reject the sampled adversarial assignments."""
+    report = evaluate_scheme(scheme, graph, seed=seed)
+    if report.holds:
+        assert report.completeness_ok, (scheme.name, report.rejecting_vertices)
+    else:
+        assert report.soundness_ok, scheme.name
+
+
+MIXED_POOL = [
+    path_graph(6),
+    path_graph(9),
+    nx.cycle_graph(6),
+    nx.complete_graph(5),
+    star_graph(6),
+    caterpillar(3, legs_per_vertex=2),
+    random_tree(11, seed=1),
+    random_connected_graph(9, p=0.3, seed=2),
+    bounded_treedepth_graph(3, branching=2, seed=3),
+    union_of_cycles_with_apex([3, 4]),
+]
+
+
+class TestEverySchemeOnMixedPool:
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_tree_scheme(self, index):
+        assert_classified_correctly(TreeScheme(), MIXED_POOL[index], seed=index)
+
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_clique_scheme(self, index):
+        assert_classified_correctly(CliqueScheme(), MIXED_POOL[index], seed=index)
+
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_dominating_vertex_scheme(self, index):
+        assert_classified_correctly(DominatingVertexScheme(), MIXED_POOL[index], seed=index)
+
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_treedepth_scheme(self, index):
+        assert_classified_correctly(TreedepthScheme(3), MIXED_POOL[index], seed=index)
+
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_universal_scheme(self, index):
+        scheme = UniversalScheme(lambda g: nx.is_bipartite(g), name="bipartite")
+        assert_classified_correctly(scheme, MIXED_POOL[index], seed=index)
+
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_path_minor_free_scheme(self, index):
+        assert_classified_correctly(PathMinorFreeScheme(4), MIXED_POOL[index], seed=index)
+
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_cycle_minor_free_scheme(self, index):
+        assert_classified_correctly(CycleMinorFreeScheme(5), MIXED_POOL[index], seed=index)
+
+
+class TestMinorFreeSchemes:
+    def test_p4_free_star_certified(self):
+        report = evaluate_scheme(PathMinorFreeScheme(4), star_graph(8))
+        assert report.holds and report.completeness_ok
+
+    def test_p4_free_rejects_path(self):
+        report = evaluate_scheme(PathMinorFreeScheme(4), path_graph(6))
+        assert not report.holds and report.soundness_ok
+
+    def test_p5_free_double_star(self):
+        # Two adjacent centres, each with leaves: the longest path has 4 vertices.
+        graph = nx.Graph([(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)])
+        report = evaluate_scheme(PathMinorFreeScheme(5), graph)
+        assert report.holds and report.completeness_ok
+
+    def test_c4_free_cactus_of_triangles(self):
+        graph = union_of_cycles_with_apex([3, 3, 3])
+        report = evaluate_scheme(CycleMinorFreeScheme(4), graph)
+        assert report.holds and report.completeness_ok
+
+    def test_c4_free_rejects_square(self):
+        report = evaluate_scheme(CycleMinorFreeScheme(4), nx.cycle_graph(4))
+        assert not report.holds and report.soundness_ok
+
+    def test_c5_free_tree(self):
+        report = evaluate_scheme(CycleMinorFreeScheme(5), random_tree(12, seed=5))
+        assert report.holds and report.completeness_ok
+
+    def test_cycle_scheme_size_logarithmic_for_bounded_blocks(self):
+        """On a chain of triangles every vertex lies in at most two blocks of
+        size 3, so per-vertex certificates grow only through identifier width."""
+
+        def triangle_chain(length: int) -> nx.Graph:
+            graph = nx.Graph()
+            for i in range(length):
+                base = 2 * i
+                graph.add_edge(base, base + 1)
+                graph.add_edge(base, base + 2)
+                graph.add_edge(base + 1, base + 2)
+            return graph
+
+        scheme = CycleMinorFreeScheme(4)
+        small = scheme.max_certificate_bits(triangle_chain(2))
+        large = scheme.max_certificate_bits(triangle_chain(24))
+        # A 12× larger instance costs only wider identifiers (a constant
+        # number of them per vertex), not more structure.
+        assert large <= 3 * small
+
+
+class TestCrossSchemeConsistency:
+    """Different certifications of the same ground truth must agree on holds()."""
+
+    @pytest.mark.parametrize("index", range(len(MIXED_POOL)))
+    def test_mso_trees_vs_direct_checker(self, index):
+        graph = MIXED_POOL[index]
+        scheme = MSOTreeScheme(perfect_matching_automaton(), name="pm")
+        expected = (
+            nx.is_tree(graph)
+            and 2 * len(nx.max_weight_matching(graph, maxcardinality=True))
+            == graph.number_of_nodes()
+        )
+        assert scheme.holds(graph) == expected
+
+    def test_treedepth_scheme_vs_exact(self):
+        from repro.treedepth.decomposition import exact_treedepth
+
+        for graph in MIXED_POOL:
+            if graph.number_of_nodes() <= 14:
+                assert TreedepthScheme(3).holds(graph) == (exact_treedepth(graph) <= 3)
+
+    def test_mso_treedepth_vs_direct_evaluation(self):
+        from repro.logic.semantics import satisfies
+
+        scheme = MSOTreedepthScheme(properties.triangle_free(), t=3, name="triangle-free")
+        for graph in MIXED_POOL:
+            if graph.number_of_nodes() <= 12 and TreedepthScheme(3).holds(graph):
+                assert scheme.holds(graph) == satisfies(graph, properties.triangle_free())

@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the extension subpackages.
+
+Each test couples several subsystems the way the examples do: schemes with
+the self-stabilisation harness, the treewidth substrate with the
+certification layer and the width-parameter relations, the LCL/DGA models
+with the certification bridge, and the radius-r simulator against the
+radius-1 schemes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.scheme import evaluate_scheme
+from repro.core.simple_schemes import BipartitenessScheme
+from repro.core.treedepth_scheme import TreedepthScheme
+from repro.core.treewidth_scheme import TreeDecompositionScheme
+from repro.dga.catalog import two_coloring_prover_dga
+from repro.dga.nondeterministic import certification_from_dga
+from repro.graphs.generators import caterpillar, random_tree
+from repro.lcl.classic import presburger_proper_coloring
+from repro.lcl.scheme import LCLWitnessScheme
+from repro.network.radius import RadiusSimulator, diameter_at_most_verifier
+from repro.network.self_stabilization import SelfStabilizingNetwork
+from repro.treedepth.decomposition import balanced_path_elimination_tree, exact_treedepth
+from repro.treewidth.balanced import balanced_decomposition
+from repro.treewidth.decomposition import is_valid_decomposition, root_decomposition
+from repro.treewidth.exact import exact_treewidth
+from repro.treewidth.relations import verify_parameter_inequalities
+
+
+class TestTreewidthPipeline:
+    @pytest.mark.parametrize("graph", [nx.path_graph(40), nx.cycle_graph(33), caterpillar(8, 2)])
+    def test_balanced_decomposition_feeds_the_scheme(self, graph):
+        decomposition = balanced_decomposition(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        scheme = TreeDecompositionScheme(
+            k=decomposition.width, decomposition_builder=lambda g: decomposition
+        )
+        report = evaluate_scheme(scheme, graph, seed=7)
+        assert report.holds and report.completeness_ok
+        # The certificate stays polylogarithmic because the decomposition is shallow.
+        rooted = root_decomposition(decomposition)
+        n = graph.number_of_nodes()
+        assert rooted.depth <= 2 * math.ceil(math.log2(n)) + 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_width_parameters_agree_with_scheme_decisions(self, seed):
+        graph = random_tree(9, seed=seed)
+        report = verify_parameter_inequalities(graph)
+        # Trees: treewidth 1, so the scheme at k=1 accepts and at k=0 rejects
+        # (unless the tree is a single vertex).
+        assert report.treewidth == 1
+        assert TreeDecompositionScheme(k=1).holds(graph)
+        assert not TreeDecompositionScheme(k=0).holds(graph)
+        assert report.treedepth == exact_treedepth(graph)
+
+    def test_treewidth_and_treedepth_schemes_coexist_on_paths(self):
+        graph = nx.path_graph(63)
+        treedepth_scheme = TreedepthScheme(t=6, model_builder=balanced_path_elimination_tree)
+        treewidth_scheme = TreeDecompositionScheme(k=1)
+        assert evaluate_scheme(treedepth_scheme, graph, seed=1).completeness_ok
+        assert evaluate_scheme(treewidth_scheme, graph, seed=1).completeness_ok
+
+
+class TestModelBridges:
+    def test_three_models_agree_on_random_trees(self):
+        lcl_scheme = LCLWitnessScheme(
+            presburger_proper_coloring(2),
+            solver=lambda g: {v: int(c) for v, c in nx.bipartite.color(g).items()}
+            if nx.is_bipartite(g) else None,
+        )
+        dga_scheme = certification_from_dga(two_coloring_prover_dga())
+        dedicated = BipartitenessScheme()
+        for seed in range(3):
+            tree = random_tree(12, seed=seed)
+            for scheme in (dedicated, lcl_scheme, dga_scheme):
+                report = evaluate_scheme(scheme, tree, seed=seed)
+                assert report.holds and report.completeness_ok, scheme.name
+
+    def test_three_models_reject_odd_cycles(self):
+        lcl_scheme = LCLWitnessScheme(presburger_proper_coloring(2))
+        dga_scheme = certification_from_dga(two_coloring_prover_dga())
+        dedicated = BipartitenessScheme()
+        for scheme in (dedicated, lcl_scheme, dga_scheme):
+            report = evaluate_scheme(scheme, nx.cycle_graph(7), seed=0)
+            assert not report.holds and report.soundness_ok, scheme.name
+
+
+class TestSelfStabilizationWithExtensionSchemes:
+    def test_treewidth_certificates_survive_the_fault_loop(self):
+        graph = nx.cycle_graph(12)
+        network = SelfStabilizingNetwork(graph, TreeDecompositionScheme(k=2), seed=9)
+        network.inject_fault(kind="overwrite", vertices=[3, 7])
+        assert network.run_detect_recover()
+
+    def test_bipartiteness_certificates_survive_the_fault_loop(self):
+        graph = nx.cycle_graph(10)
+        network = SelfStabilizingNetwork(graph, BipartitenessScheme(), seed=10)
+        for _ in range(2):
+            network.inject_fault(kind="bitflip")
+            assert network.run_detect_recover()
+
+
+class TestRadiusAgainstRadiusOneSchemes:
+    def test_radius_r_decides_what_radius_one_certifies_with_log_bits(self):
+        # "The tree has diameter ≤ 6": radius-1 needs the Section 2.3 scheme
+        # (O(log n) bits); radius 7 needs none.  Both must agree.
+        from repro.core.diameter import TreeDiameterScheme
+
+        for seed in range(3):
+            tree = random_tree(14, seed=seed)
+            bound = 6
+            radius_one = evaluate_scheme(TreeDiameterScheme(bound), tree, seed=seed)
+            simulator = RadiusSimulator(tree, radius=bound + 1, seed=seed)
+            radius_r = simulator.run(diameter_at_most_verifier(bound), {v: b"" for v in tree.nodes()})
+            assert radius_one.holds == (nx.diameter(tree) <= bound)
+            assert radius_r.accepted == (nx.diameter(tree) <= bound)
+            if radius_one.holds:
+                assert radius_one.completeness_ok
+                assert radius_one.max_certificate_bits > 0
+            assert radius_r.max_certificate_bits == 0

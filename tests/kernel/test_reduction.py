@@ -1,0 +1,137 @@
+"""Tests for the k-reduced graph (Propositions 6.2 and 6.3)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import bounded_treedepth_graph, path_graph, star_graph
+from repro.kernel.reduction import k_reduced_graph, type_count_bound, type_count_bound_log2
+from repro.kernel.types import compute_types
+from repro.logic.ef_games import ef_equivalent
+from repro.logic import properties
+from repro.logic.semantics import satisfies
+from repro.treedepth.decomposition import optimal_elimination_tree
+from repro.treedepth.elimination_tree import EliminationTree, is_valid_model, make_coherent
+
+
+def coherent_model(graph: nx.Graph) -> EliminationTree:
+    return make_coherent(graph, optimal_elimination_tree(graph))
+
+
+class TestPruning:
+    def test_star_reduces_to_k_plus_one_vertices(self):
+        graph = star_graph(10)
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=3)
+        # All leaves share a type, so only 3 survive (plus the centre).
+        assert reduction.kernel_size == 4
+        assert len(reduction.pruned_roots) == 7
+        assert len(reduction.deleted_vertices) == 7
+
+    def test_kernel_is_subgraph(self):
+        graph = bounded_treedepth_graph(3, branching=3, seed=2)
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=2)
+        for u, v in reduction.kernel_graph.edges():
+            assert graph.has_edge(u, v)
+        assert set(reduction.kernel_graph.nodes()) <= set(graph.nodes())
+
+    def test_kernel_tree_is_valid_model_of_kernel(self):
+        graph = bounded_treedepth_graph(3, branching=3, seed=4)
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=2)
+        assert is_valid_model(reduction.kernel_graph, reduction.kernel_tree)
+
+    def test_no_pruning_when_k_large(self):
+        graph = path_graph(7)
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=5)
+        assert reduction.kernel_size == 7
+        assert not reduction.pruned_roots
+
+    def test_end_types_cover_all_original_vertices(self):
+        graph = bounded_treedepth_graph(3, branching=3, seed=6)
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=1)
+        assert set(reduction.end_types.keys()) == set(graph.nodes())
+
+    def test_lemma_6_1_exactly_k_siblings_remain(self):
+        """Lemma 6.1: a pruned child leaves exactly k unpruned siblings of its type."""
+        graph = star_graph(9)
+        tree = coherent_model(graph)
+        k = 3
+        reduction = k_reduced_graph(graph, tree, k=k)
+        kernel_types = compute_types(reduction.kernel_graph, reduction.kernel_tree)
+        for pruned in reduction.pruned_roots:
+            parent = tree.parent[pruned]
+            assert parent in reduction.kernel_graph
+            siblings_in_kernel = [
+                child
+                for child in reduction.kernel_tree.children(parent)
+                if reduction.end_types[child] == reduction.end_types[pruned]
+            ]
+            assert len(siblings_in_kernel) == k
+
+    def test_invalid_k_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            k_reduced_graph(graph, coherent_model(graph), k=0)
+
+
+class TestProposition63Equivalence:
+    """The kernel satisfies the same depth-k FO sentences as the original graph."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_ef_equivalence(self, seed, k):
+        graph = bounded_treedepth_graph(2, branching=4, extra_edge_probability=0.6, seed=seed)
+        if graph.number_of_nodes() > 11:
+            pytest.skip("EF game too large for this seed")
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=k)
+        assert ef_equivalent(graph, reduction.kernel_graph, k)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_depth2_sentences_preserved(self, seed):
+        graph = bounded_treedepth_graph(3, branching=3, extra_edge_probability=0.5, seed=seed)
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=2)
+        for factory in [properties.is_clique, properties.has_dominating_vertex]:
+            formula = factory()
+            assert satisfies(graph, formula) == satisfies(reduction.kernel_graph, formula)
+
+    def test_depth3_sentences_preserved_on_star_like_graphs(self):
+        graph = star_graph(12)
+        reduction = k_reduced_graph(graph, coherent_model(graph), k=3)
+        for factory in [properties.triangle_free, properties.diameter_at_most_two]:
+            formula = factory()
+            assert satisfies(graph, formula) == satisfies(reduction.kernel_graph, formula)
+
+
+class TestProposition62Bound:
+    def test_leaf_level_bound(self):
+        assert type_count_bound(depth=2, k=1, t=2) == 4
+
+    def test_recursive_bound_value(self):
+        # f_2(1, 2) = 2^2 = 4 and f_1(1, 2) = 2^1 · (1+1)^{f_2} = 2 · 2^4 = 32.
+        assert type_count_bound(depth=1, k=1, t=2) == 32
+
+    def test_bound_monotone_in_k(self):
+        assert type_count_bound(1, 2, 2) >= type_count_bound(1, 1, 2)
+
+    def test_log_version_consistent(self):
+        import math
+
+        exact = type_count_bound(1, 1, 2)
+        assert math.isclose(type_count_bound_log2(1, 1, 2), math.log2(exact))
+
+    def test_depth_beyond_t_rejected(self):
+        with pytest.raises(ValueError):
+            type_count_bound(4, 1, 3)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_actual_type_counts_within_bound(self, seed):
+        graph = bounded_treedepth_graph(2, branching=4, seed=seed)
+        tree = coherent_model(graph)
+        reduction = k_reduced_graph(graph, tree, k=2)
+        kernel_types = compute_types(reduction.kernel_graph, reduction.kernel_tree)
+        by_depth: dict[int, set] = {}
+        for vertex, vertex_type in kernel_types.items():
+            depth = reduction.kernel_tree.depth_of(vertex)
+            by_depth.setdefault(depth, set()).add(vertex_type)
+        for depth, type_set in by_depth.items():
+            assert len(type_set) <= type_count_bound(depth, 2, max(2, reduction.kernel_tree.depth))

@@ -1,0 +1,93 @@
+"""Tests for type-table serialisation and kernel reconstruction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.encoding import CertificateFormatError
+from repro.graphs.generators import bounded_treedepth_graph, path_graph, star_graph
+from repro.kernel.reduction import k_reduced_graph
+from repro.kernel.serialize import (
+    decode_type_table,
+    encode_type_table,
+    graph_from_type,
+    topological_type_table,
+)
+from repro.kernel.types import VertexType, compute_types
+from repro.treedepth.decomposition import optimal_elimination_tree
+from repro.treedepth.elimination_tree import is_valid_model, make_coherent
+
+
+def kernel_of(graph: nx.Graph, k: int):
+    tree = make_coherent(graph, optimal_elimination_tree(graph))
+    return k_reduced_graph(graph, tree, k)
+
+
+class TestTypeTable:
+    def test_children_first_order(self):
+        reduction = kernel_of(path_graph(7), 2)
+        table = topological_type_table(sorted(set(reduction.end_types.values()), key=repr))
+        positions = {vertex_type: i for i, vertex_type in enumerate(table)}
+        for vertex_type in table:
+            for child, _count in vertex_type.child_types:
+                assert positions[child] < positions[vertex_type]
+
+    def test_roundtrip(self):
+        reduction = kernel_of(bounded_treedepth_graph(3, branching=2, seed=3), 2)
+        table = topological_type_table(sorted(set(reduction.end_types.values()), key=repr))
+        data = encode_type_table(table)
+        decoded = decode_type_table(data)
+        assert decoded == table
+
+    def test_decode_rejects_truncated(self):
+        reduction = kernel_of(path_graph(7), 2)
+        table = topological_type_table(sorted(set(reduction.end_types.values()), key=repr))
+        data = encode_type_table(table)
+        with pytest.raises(CertificateFormatError):
+            decode_type_table(data[:-2])
+
+    def test_encode_rejects_out_of_order_table(self):
+        reduction = kernel_of(path_graph(7), 2)
+        table = topological_type_table(sorted(set(reduction.end_types.values()), key=repr))
+        if len(table) >= 2:
+            with pytest.raises(ValueError):
+                encode_type_table(list(reversed(table)))
+
+
+class TestGraphFromType:
+    def test_single_vertex_type(self):
+        vertex_type = VertexType(ancestor_vector=(), child_types=())
+        graph, tree = graph_from_type(vertex_type)
+        assert graph.number_of_nodes() == 1
+        assert tree.depth == 1
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(7), star_graph(5), nx.complete_graph(4)],
+        ids=["path", "star", "clique"],
+    )
+    def test_root_type_reconstructs_graph_up_to_isomorphism(self, graph):
+        tree = make_coherent(graph, optimal_elimination_tree(graph))
+        types = compute_types(graph, tree)
+        rebuilt, rebuilt_tree = graph_from_type(types[tree.root])
+        assert rebuilt.number_of_nodes() == graph.number_of_nodes()
+        assert rebuilt.number_of_edges() == graph.number_of_edges()
+        assert nx.is_isomorphic(rebuilt, graph)
+        assert is_valid_model(rebuilt, rebuilt_tree)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kernel_reconstruction_matches_kernel(self, seed):
+        graph = bounded_treedepth_graph(3, branching=3, extra_edge_probability=0.5, seed=seed)
+        reduction = kernel_of(graph, 2)
+        root = reduction.kernel_tree.root
+        rebuilt, _ = graph_from_type(reduction.end_types[root])
+        assert nx.is_isomorphic(rebuilt, reduction.kernel_graph)
+
+    def test_mismatched_ancestor_vector_rejected(self):
+        bad = VertexType(
+            ancestor_vector=(),
+            child_types=((VertexType(ancestor_vector=(1, 1), child_types=()), 1),),
+        )
+        with pytest.raises(ValueError):
+            graph_from_type(bad)

@@ -1,0 +1,80 @@
+"""Tests for ancestor vectors and vertex types (Section 6.1)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import path_graph
+from repro.kernel.types import VertexType, ancestor_vector, compute_types, end_type_table
+from repro.treedepth.elimination_tree import EliminationTree
+
+
+def p7_model() -> EliminationTree:
+    return EliminationTree({3: None, 1: 3, 5: 3, 0: 1, 2: 1, 4: 5, 6: 5})
+
+
+class TestAncestorVectors:
+    def test_root_has_empty_vector(self):
+        assert ancestor_vector(path_graph(7), p7_model(), 3) == ()
+
+    def test_middle_vertex(self):
+        # Vertex 1 is adjacent to 0 and 2 but not to its only strict ancestor 3.
+        assert ancestor_vector(path_graph(7), p7_model(), 1) == (0,)
+
+    def test_leaf_vectors(self):
+        graph = path_graph(7)
+        tree = p7_model()
+        # Vertex 2 is adjacent to its grandparent 3 and to its parent 1.
+        assert ancestor_vector(graph, tree, 2) == (1, 1)
+        # Vertex 0 is adjacent only to its parent 1.
+        assert ancestor_vector(graph, tree, 0) == (0, 1)
+
+    def test_vector_ordered_root_first(self):
+        clique = nx.complete_graph(3)
+        chain = EliminationTree({0: None, 1: 0, 2: 1})
+        assert ancestor_vector(clique, chain, 2) == (1, 1)
+
+
+class TestTypes:
+    def test_leaves_with_same_adjacency_share_type(self):
+        graph = path_graph(7)
+        types = compute_types(graph, p7_model())
+        # 0 and 6 touch only their parent; 2 and 4 also touch the root 3.
+        assert types[0] == types[6]
+        assert types[2] == types[4]
+        assert types[0] != types[2]
+
+    def test_symmetric_subtrees_share_type(self):
+        graph = path_graph(7)
+        types = compute_types(graph, p7_model())
+        assert types[1] == types[5]
+
+    def test_root_type_counts_children(self):
+        graph = path_graph(7)
+        types = compute_types(graph, p7_model())
+        root_type = types[3]
+        assert root_type.ancestor_vector == ()
+        assert len(root_type.child_types) == 1
+        child_type, count = root_type.child_types[0]
+        assert count == 2
+        assert child_type == types[1]
+
+    def test_subtree_size(self):
+        graph = path_graph(7)
+        types = compute_types(graph, p7_model())
+        assert types[3].subtree_size == 7
+        assert types[1].subtree_size == 3
+        assert types[0].subtree_size == 1
+
+    def test_types_are_hashable_and_comparable(self):
+        graph = path_graph(7)
+        types = compute_types(graph, p7_model())
+        # Two leaf types, one internal type (shared by 1 and 5), one root type.
+        assert len({types[v] for v in graph.nodes()}) == 4
+
+    def test_end_type_table_assigns_small_indices(self):
+        graph = path_graph(7)
+        types = compute_types(graph, p7_model())
+        table = end_type_table(types)
+        assert sorted(table.values()) == [0, 1, 2, 3]

@@ -1,0 +1,119 @@
+"""Tests for the unbounded-degree Presburger LCL generalisation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.automata.presburger import CountAtMost
+from repro.lcl.classic import (
+    IN,
+    OUT,
+    greedy_dominating_set,
+    greedy_maximal_independent_set,
+    maximal_independent_set_lcl,
+    presburger_dominating_set,
+    presburger_maximal_independent_set,
+    presburger_proper_coloring,
+    proper_coloring_lcl,
+)
+from repro.lcl.presburger_lcl import PresburgerLCL, lcl_to_presburger
+from repro.lcl.problem import is_correct_labeling
+
+
+class TestDefinition:
+    def test_missing_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            PresburgerLCL(name="bad", labels=frozenset({0, 1}), constraints={0: CountAtMost(0, 0)})
+
+    def test_extra_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            PresburgerLCL(
+                name="bad",
+                labels=frozenset({0}),
+                constraints={0: CountAtMost(0, 0), 1: CountAtMost(0, 0)},
+            )
+
+
+class TestUnboundedDegree:
+    def test_coloring_works_on_large_stars(self):
+        # The point of the generalisation: the same constant-size description
+        # applies to a degree-100 vertex.
+        lcl = presburger_proper_coloring(2)
+        graph = nx.star_graph(100)
+        labeling = {v: (0 if v == 0 else 1) for v in graph.nodes()}
+        assert lcl.is_correct_labeling(graph, labeling)
+        labeling[50] = 0
+        assert not lcl.is_correct_labeling(graph, labeling)
+        assert set(lcl.unhappy_vertices(graph, labeling)) == {0, 50}
+
+    def test_mis_on_large_stars(self):
+        lcl = presburger_maximal_independent_set()
+        graph = nx.star_graph(64)
+        labeling = greedy_maximal_independent_set(graph)
+        assert lcl.is_correct_labeling(graph, labeling)
+
+    def test_dominating_set_on_random_graphs(self):
+        from repro.graphs.generators import random_connected_graph
+
+        lcl = presburger_dominating_set()
+        for seed in range(3):
+            graph = random_connected_graph(30, p=0.15, seed=seed)
+            assert lcl.is_correct_labeling(graph, greedy_dominating_set(graph))
+
+    def test_missing_vertex_label_rejected(self):
+        lcl = presburger_proper_coloring(2)
+        graph = nx.path_graph(3)
+        assert not lcl.is_correct_labeling(graph, {0: 0, 1: 1})
+
+    def test_unknown_label_rejected(self):
+        lcl = presburger_proper_coloring(2)
+        graph = nx.path_graph(2)
+        assert not lcl.is_correct_labeling(graph, {0: 0, 1: 7})
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("graph", [nx.path_graph(6), nx.cycle_graph(6), nx.star_graph(3)])
+    def test_roundtrip_agreement_on_bounded_degree_graphs(self, graph):
+        problem = proper_coloring_lcl(colors=3, max_degree=3)
+        compiled = lcl_to_presburger(problem)
+        colorings = [
+            {v: v % 3 for v in graph.nodes()},
+            {v: 0 for v in graph.nodes()},
+            {v: (v * 2) % 3 for v in graph.nodes()},
+        ]
+        for labeling in colorings:
+            assert compiled.is_correct_labeling(graph, labeling) == is_correct_labeling(
+                problem, graph, labeling
+            )
+
+    def test_roundtrip_mis(self):
+        problem = maximal_independent_set_lcl(max_degree=3)
+        compiled = lcl_to_presburger(problem)
+        graph = nx.path_graph(6)
+        good = greedy_maximal_independent_set(graph)
+        bad = {v: OUT for v in graph.nodes()}
+        assert compiled.is_correct_labeling(graph, good)
+        assert not compiled.is_correct_labeling(graph, bad)
+
+    def test_compiled_problem_rejects_degrees_above_bound(self):
+        problem = proper_coloring_lcl(colors=2, max_degree=2)
+        compiled = lcl_to_presburger(problem)
+        graph = nx.star_graph(4)
+        labeling = {v: (0 if v == 0 else 1) for v in graph.nodes()}
+        # Degree 4 > 2: no allowed neighbourhood of that size exists.
+        assert not compiled.is_correct_labeling(graph, labeling)
+
+    def test_label_with_no_allowed_neighborhood_is_unsatisfiable(self):
+        from repro.lcl.problem import LCLProblem, make_neighborhood
+
+        problem = LCLProblem(
+            name="only-zero-is-usable",
+            labels=frozenset({0, 1}),
+            max_degree=1,
+            allowed=frozenset({make_neighborhood(0, []), make_neighborhood(0, [0])}),
+        )
+        compiled = lcl_to_presburger(problem)
+        graph = nx.path_graph(2)
+        assert compiled.is_correct_labeling(graph, {0: 0, 1: 0})
+        assert not compiled.is_correct_labeling(graph, {0: 1, 1: 0})

@@ -1,0 +1,126 @@
+"""Tests for the classic bounded-degree LCL formalism."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.lcl.classic import (
+    IN,
+    OUT,
+    dominating_set_lcl,
+    greedy_dominating_set,
+    greedy_maximal_independent_set,
+    greedy_proper_coloring,
+    maximal_independent_set_lcl,
+    proper_coloring_lcl,
+)
+from repro.lcl.problem import LCLProblem, is_correct_labeling, make_neighborhood, unhappy_vertices
+
+
+class TestProblemDefinition:
+    def test_unknown_center_label_rejected(self):
+        with pytest.raises(ValueError):
+            LCLProblem(
+                name="bad",
+                labels=frozenset({0}),
+                max_degree=2,
+                allowed=frozenset({make_neighborhood(1, [0])}),
+            )
+
+    def test_unknown_neighbor_label_rejected(self):
+        with pytest.raises(ValueError):
+            LCLProblem(
+                name="bad",
+                labels=frozenset({0}),
+                max_degree=2,
+                allowed=frozenset({make_neighborhood(0, [1])}),
+            )
+
+    def test_degree_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            LCLProblem(
+                name="bad",
+                labels=frozenset({0}),
+                max_degree=1,
+                allowed=frozenset({make_neighborhood(0, [0, 0])}),
+            )
+
+    def test_negative_max_degree_rejected(self):
+        with pytest.raises(ValueError):
+            LCLProblem(name="bad", labels=frozenset({0}), max_degree=-1, allowed=frozenset())
+
+
+class TestProperColoring:
+    def test_proper_coloring_accepted(self):
+        problem = proper_coloring_lcl(colors=2, max_degree=2)
+        graph = nx.path_graph(5)
+        labeling = {v: v % 2 for v in graph.nodes()}
+        assert is_correct_labeling(problem, graph, labeling)
+
+    def test_monochromatic_edge_rejected(self):
+        problem = proper_coloring_lcl(colors=2, max_degree=2)
+        graph = nx.path_graph(3)
+        labeling = {0: 0, 1: 0, 2: 1}
+        assert not is_correct_labeling(problem, graph, labeling)
+        assert set(unhappy_vertices(problem, graph, labeling)) == {0, 1}
+
+    def test_degree_above_bound_rejected(self):
+        problem = proper_coloring_lcl(colors=3, max_degree=2)
+        graph = nx.star_graph(4)  # center has degree 4 > 2
+        labeling = {v: (0 if v == 0 else 1) for v in graph.nodes()}
+        assert not is_correct_labeling(problem, graph, labeling)
+
+    def test_missing_label_rejected(self):
+        problem = proper_coloring_lcl(colors=2, max_degree=3)
+        graph = nx.path_graph(3)
+        assert not is_correct_labeling(problem, graph, {0: 0, 1: 1})
+
+    def test_greedy_solver_produces_correct_labelings(self):
+        problem = proper_coloring_lcl(colors=3, max_degree=4)
+        graph = nx.cycle_graph(7)
+        labeling = greedy_proper_coloring(graph, colors=3)
+        assert is_correct_labeling(problem, graph, labeling)
+
+    def test_greedy_solver_raises_when_colors_insufficient(self):
+        with pytest.raises(ValueError):
+            greedy_proper_coloring(nx.complete_graph(4), colors=3)
+
+
+class TestMaximalIndependentSet:
+    def test_greedy_mis_is_correct(self):
+        problem = maximal_independent_set_lcl(max_degree=4)
+        for graph in (nx.path_graph(8), nx.cycle_graph(9), nx.star_graph(4)):
+            labeling = greedy_maximal_independent_set(graph)
+            assert is_correct_labeling(problem, graph, labeling)
+
+    def test_non_maximal_set_rejected(self):
+        problem = maximal_independent_set_lcl(max_degree=2)
+        graph = nx.path_graph(5)
+        labeling = {v: OUT for v in graph.nodes()}  # empty set is not maximal
+        assert not is_correct_labeling(problem, graph, labeling)
+
+    def test_non_independent_set_rejected(self):
+        problem = maximal_independent_set_lcl(max_degree=2)
+        graph = nx.path_graph(3)
+        labeling = {0: IN, 1: IN, 2: OUT}
+        assert not is_correct_labeling(problem, graph, labeling)
+
+
+class TestDominatingSet:
+    def test_greedy_dominating_set_is_correct(self):
+        problem = dominating_set_lcl(max_degree=6)
+        for graph in (nx.path_graph(9), nx.star_graph(6), nx.cycle_graph(8)):
+            labeling = greedy_dominating_set(graph)
+            assert is_correct_labeling(problem, graph, labeling)
+
+    def test_undominated_vertex_rejected(self):
+        problem = dominating_set_lcl(max_degree=3)
+        graph = nx.path_graph(4)
+        labeling = {0: IN, 1: OUT, 2: OUT, 3: OUT}
+        assert not is_correct_labeling(problem, graph, labeling)
+
+    def test_all_in_is_always_correct(self):
+        problem = dominating_set_lcl(max_degree=3)
+        graph = nx.cycle_graph(5)
+        assert is_correct_labeling(problem, graph, {v: IN for v in graph.nodes()})

@@ -1,0 +1,89 @@
+"""Tests for the LCL-witness certification scheme."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.scheme import NotAYesInstance, evaluate_scheme
+from repro.lcl.classic import (
+    greedy_dominating_set,
+    greedy_maximal_independent_set,
+    presburger_dominating_set,
+    presburger_maximal_independent_set,
+    presburger_proper_coloring,
+    proper_coloring_lcl,
+)
+from repro.lcl.scheme import LCLWitnessScheme
+from repro.graphs.generators import random_connected_graph
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator
+
+
+class TestColoringWitness:
+    def test_two_coloring_on_bipartite_graphs(self):
+        scheme = LCLWitnessScheme(presburger_proper_coloring(2))
+        for graph in (nx.path_graph(7), nx.cycle_graph(6)):
+            report = evaluate_scheme(scheme, graph, seed=0)
+            assert report.holds and report.completeness_ok
+
+    def test_two_coloring_rejected_on_odd_cycle(self):
+        scheme = LCLWitnessScheme(presburger_proper_coloring(2))
+        report = evaluate_scheme(scheme, nx.cycle_graph(5), seed=0)
+        assert not report.holds and report.soundness_ok
+
+    def test_certificates_are_constant_size(self):
+        scheme = LCLWitnessScheme(presburger_proper_coloring(3))
+        small = scheme.max_certificate_bits(nx.cycle_graph(5), seed=0)
+        large = scheme.max_certificate_bits(nx.cycle_graph(9), seed=0)
+        assert small == large == 8
+
+    def test_classic_problem_is_accepted_too(self):
+        scheme = LCLWitnessScheme(proper_coloring_lcl(colors=2, max_degree=2))
+        report = evaluate_scheme(scheme, nx.path_graph(6), seed=1)
+        assert report.holds and report.completeness_ok
+
+    def test_exhaustive_guard(self):
+        scheme = LCLWitnessScheme(presburger_proper_coloring(2))
+        with pytest.raises(ValueError):
+            scheme.holds(nx.path_graph(40))
+
+
+class TestSolverBackedWitness:
+    def test_mis_with_solver_scales(self):
+        scheme = LCLWitnessScheme(
+            presburger_maximal_independent_set(),
+            solver=greedy_maximal_independent_set,
+        )
+        graph = random_connected_graph(60, p=0.08, seed=3)
+        report = evaluate_scheme(scheme, graph, seed=3)
+        assert report.holds and report.completeness_ok
+
+    def test_dominating_set_with_solver(self):
+        scheme = LCLWitnessScheme(
+            presburger_dominating_set(), solver=greedy_dominating_set
+        )
+        graph = random_connected_graph(50, p=0.1, seed=5)
+        report = evaluate_scheme(scheme, graph, seed=5)
+        assert report.holds and report.completeness_ok
+
+    def test_prover_refuses_when_no_labeling_exists(self):
+        scheme = LCLWitnessScheme(presburger_proper_coloring(2))
+        graph = nx.complete_graph(3)
+        with pytest.raises(NotAYesInstance):
+            scheme.prove(graph, assign_identifiers(graph, seed=0))
+
+    def test_bad_witness_detected_by_verifier(self):
+        scheme = LCLWitnessScheme(presburger_proper_coloring(2))
+        graph = nx.path_graph(4)
+        ids = assign_identifiers(graph, seed=1)
+        certificates = dict(scheme.prove(graph, ids))
+        certificates[1] = certificates[0]  # two adjacent vertices, same colour
+        assert not NetworkSimulator(graph, identifiers=ids).run(scheme.verify, certificates).accepted
+
+    def test_garbage_certificates_rejected(self):
+        scheme = LCLWitnessScheme(presburger_proper_coloring(2))
+        graph = nx.path_graph(4)
+        ids = assign_identifiers(graph, seed=1)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        assert not simulator.run(scheme.verify, {v: b"\xf0\x0f" for v in graph.nodes()}).accepted

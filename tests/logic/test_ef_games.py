@@ -1,0 +1,79 @@
+"""Tests for the Ehrenfeucht–Fraïssé game solver (Theorem 3.3)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.logic.ef_games import duplicator_wins, ef_equivalent
+from repro.logic import properties
+from repro.logic.semantics import satisfies
+from repro.logic.structure import quantifier_depth
+
+
+class TestBasicGames:
+    def test_zero_rounds_always_duplicator(self):
+        assert ef_equivalent(nx.path_graph(3), nx.complete_graph(3), 0)
+
+    def test_one_round_any_two_nonempty_graphs(self):
+        # With a single pebble no atomic difference is observable.
+        assert ef_equivalent(nx.path_graph(4), nx.cycle_graph(5), 1)
+
+    def test_two_rounds_distinguishes_clique_from_path(self):
+        # Spoiler can exhibit a non-edge in the path; the clique has none.
+        assert not ef_equivalent(nx.path_graph(3), nx.complete_graph(3), 2)
+
+    def test_isomorphic_graphs_equivalent_at_any_depth(self):
+        graph = random_connected_graph(6, p=0.4, seed=1)
+        relabelled = nx.relabel_nodes(graph, {v: v + 10 for v in graph.nodes()})
+        assert ef_equivalent(graph, relabelled, 3)
+
+    def test_long_paths_equivalent_at_low_rank(self):
+        # P_8 and P_9 cannot be told apart with 2 quantifiers.
+        assert ef_equivalent(nx.path_graph(8), nx.path_graph(9), 2)
+
+    def test_paths_of_very_different_length_distinguished(self):
+        # 3 rounds suffice to tell P_2 from P_5 (diameter argument).
+        assert not ef_equivalent(nx.path_graph(2), nx.path_graph(5), 3)
+
+    def test_initial_positions_respected(self):
+        # A pre-played pair mapping a degree-1 vertex to a degree-2 vertex of
+        # a path loses within 2 more rounds.
+        path = nx.path_graph(5)
+        assert not duplicator_wins(path, path, 2, initial_a=(0,), initial_b=(2,))
+        assert duplicator_wins(path, path, 2, initial_a=(0,), initial_b=(4,))
+
+    def test_mismatched_initial_positions_rejected(self):
+        with pytest.raises(ValueError):
+            duplicator_wins(nx.path_graph(2), nx.path_graph(2), 1, initial_a=(0,), initial_b=())
+
+
+class TestTheorem33Soundness:
+    """If G ≃_k H then G and H satisfy the same depth-k sentences."""
+
+    FORMULAS = [
+        properties.is_clique,
+        properties.has_dominating_vertex,
+        properties.triangle_free,
+        properties.has_triangle,
+        properties.diameter_at_most_two,
+    ]
+
+    @pytest.mark.parametrize("seed_a", range(3))
+    @pytest.mark.parametrize("seed_b", range(3))
+    def test_equivalence_implies_same_sentences(self, seed_a, seed_b):
+        graph_a = random_connected_graph(5, p=0.45, seed=seed_a)
+        graph_b = random_connected_graph(5, p=0.45, seed=seed_b + 10)
+        for factory in self.FORMULAS:
+            formula = factory()
+            depth = quantifier_depth(formula)
+            if ef_equivalent(graph_a, graph_b, depth):
+                assert satisfies(graph_a, formula) == satisfies(graph_b, formula)
+
+    def test_different_sentence_value_implies_spoiler_wins(self):
+        clique = nx.complete_graph(4)
+        path = nx.path_graph(4)
+        formula = properties.is_clique()
+        assert satisfies(clique, formula) != satisfies(path, formula)
+        assert not ef_equivalent(clique, path, quantifier_depth(formula))

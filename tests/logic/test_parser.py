@@ -1,0 +1,101 @@
+"""Tests for the formula parser."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.logic.parser import ParseError, parse_formula
+from repro.logic.semantics import satisfies
+from repro.logic.structure import quantifier_depth
+from repro.logic.syntax import (
+    Adjacent,
+    And,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    Iff,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    Variable,
+)
+from repro.logic import properties
+
+
+class TestParsingStructure:
+    def test_atom_equality(self):
+        assert parse_formula("x = y") == Equal(Variable("x"), Variable("y"))
+
+    def test_atom_adjacency(self):
+        assert parse_formula("x ~ y") == Adjacent(Variable("x"), Variable("y"))
+
+    def test_membership(self):
+        formula = parse_formula("x in A")
+        assert isinstance(formula, InSet)
+
+    def test_negation_and_parentheses(self):
+        formula = parse_formula("!(x = y)")
+        assert isinstance(formula, Not)
+
+    def test_precedence_and_over_or(self):
+        formula = parse_formula("x = y | x ~ y & y ~ z")
+        assert isinstance(formula, Or)
+        assert isinstance(formula.right, And)
+
+    def test_implication_right_associative(self):
+        formula = parse_formula("x = x -> y = y -> z = z")
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_iff(self):
+        assert isinstance(parse_formula("x = y <-> y = x"), Iff)
+
+    def test_quantifier_scope_extends_right(self):
+        formula = parse_formula("forall x. x = x & x ~ x")
+        assert isinstance(formula, Forall)
+        assert isinstance(formula.body, And)
+
+    def test_set_quantifier(self):
+        formula = parse_formula("existsS A. exists x. x in A")
+        assert isinstance(formula, ExistsSet)
+        assert isinstance(formula.body, Exists)
+
+    def test_nested_quantifiers_depth(self):
+        formula = parse_formula("forall x. forall y. exists z. (x ~ z & z ~ y)")
+        assert quantifier_depth(formula) == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "x =", "(x = y", "x ? y", "forall . x = x", "exists x x = x", "x = y extra junk ="],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+
+class TestParsedSemantics:
+    def test_diameter_two_roundtrip(self):
+        parsed = parse_formula(
+            "forall x. forall y. (x = y | x ~ y | exists z. (x ~ z & z ~ y))"
+        )
+        built = properties.diameter_at_most_two()
+        for graph in [nx.star_graph(4), nx.path_graph(5), nx.cycle_graph(4)]:
+            assert satisfies(graph, parsed) == satisfies(graph, built)
+
+    def test_triangle_free_roundtrip(self):
+        parsed = parse_formula("forall x. forall y. forall z. !(x ~ y & y ~ z & x ~ z)")
+        for graph in [nx.complete_graph(3), nx.cycle_graph(5)]:
+            assert satisfies(graph, parsed) == satisfies(graph, properties.triangle_free())
+
+    def test_mso_two_colorability(self):
+        parsed = parse_formula(
+            "existsS A. forall x. forall y. "
+            "(x ~ y -> !((x in A & y in A) | (!(x in A) & !(y in A))))"
+        )
+        assert satisfies(nx.cycle_graph(6), parsed)
+        assert not satisfies(nx.cycle_graph(5), parsed)

@@ -1,0 +1,146 @@
+"""Tests for FO/MSO model checking, cross-validated against direct checkers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph, random_tree
+from repro.logic import properties
+from repro.logic.semantics import evaluate, satisfies
+from repro.logic.syntax import (
+    Adjacent,
+    Equal,
+    Exists,
+    ExistsSet,
+    Forall,
+    InSet,
+    Not,
+    SetVariable,
+    Variable,
+)
+
+
+class TestAtomsAndConnectives:
+    def test_adjacency_atom(self):
+        graph = nx.path_graph(3)
+        x, y = Variable("x"), Variable("y")
+        assert evaluate(graph, Adjacent(x, y), {x: 0, y: 1})
+        assert not evaluate(graph, Adjacent(x, y), {x: 0, y: 2})
+
+    def test_adjacency_is_irreflexive(self):
+        graph = nx.path_graph(3)
+        x, y = Variable("x"), Variable("y")
+        assert not evaluate(graph, Adjacent(x, y), {x: 1, y: 1})
+
+    def test_equality_atom(self):
+        graph = nx.path_graph(2)
+        x, y = Variable("x"), Variable("y")
+        assert evaluate(graph, Equal(x, y), {x: 0, y: 0})
+        assert not evaluate(graph, Equal(x, y), {x: 0, y: 1})
+
+    def test_membership_atom(self):
+        graph = nx.path_graph(3)
+        x, big_a = Variable("x"), SetVariable("A")
+        assert evaluate(graph, InSet(x, big_a), {x: 1, big_a: frozenset({1, 2})})
+        assert not evaluate(graph, InSet(x, big_a), {x: 0, big_a: frozenset({1, 2})})
+
+    def test_free_variable_raises(self):
+        graph = nx.path_graph(2)
+        with pytest.raises(KeyError):
+            evaluate(graph, Adjacent(Variable("x"), Variable("y")), {})
+
+    def test_quantifiers(self):
+        graph = nx.path_graph(3)
+        x = Variable("x")
+        some_degree_two = Exists(
+            x, Exists(Variable("y"), Exists(Variable("z"), Adjacent(x, Variable("y"))))
+        )
+        assert satisfies(graph, some_degree_two)
+        all_self_equal = Forall(x, Equal(x, x))
+        assert satisfies(graph, all_self_equal)
+
+    def test_set_quantifier_guard(self):
+        graph = nx.path_graph(30)
+        formula = ExistsSet(SetVariable("A"), Exists(Variable("x"), InSet(Variable("x"), SetVariable("A"))))
+        with pytest.raises(ValueError):
+            satisfies(graph, formula)
+
+
+class TestNamedPropertiesAgainstCheckers:
+    """The formula semantics and the independent combinatorial checkers must agree."""
+
+    @pytest.mark.parametrize("name", sorted(properties.NAMED_PROPERTIES))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_formula_matches_checker_random_graphs(self, name, seed):
+        formula_factory, checker = properties.NAMED_PROPERTIES[name]
+        graph = random_connected_graph(7, p=0.35, seed=seed)
+        assert satisfies(graph, formula_factory()) == checker(graph)
+
+    @pytest.mark.parametrize("name", sorted(properties.NAMED_PROPERTIES))
+    def test_formula_matches_checker_special_graphs(self, name):
+        formula_factory, checker = properties.NAMED_PROPERTIES[name]
+        for graph in [nx.path_graph(5), nx.cycle_graph(5), nx.complete_graph(4), nx.star_graph(4)]:
+            assert satisfies(graph, formula_factory()) == checker(graph)
+
+
+class TestSpecificProperties:
+    def test_diameter_two(self):
+        assert satisfies(nx.star_graph(5), properties.diameter_at_most_two())
+        assert not satisfies(nx.path_graph(5), properties.diameter_at_most_two())
+
+    def test_triangle_free(self):
+        assert satisfies(nx.cycle_graph(5), properties.triangle_free())
+        assert not satisfies(nx.complete_graph(3), properties.triangle_free())
+
+    def test_has_triangle_is_negation_of_triangle_free(self):
+        for seed in range(4):
+            graph = random_connected_graph(7, p=0.4, seed=seed)
+            assert satisfies(graph, properties.has_triangle()) != satisfies(
+                graph, properties.triangle_free()
+            )
+
+    def test_clique_formula(self):
+        assert satisfies(nx.complete_graph(4), properties.is_clique())
+        assert not satisfies(nx.path_graph(4), properties.is_clique())
+
+    def test_dominating_vertex(self):
+        assert satisfies(nx.star_graph(6), properties.has_dominating_vertex())
+        assert not satisfies(nx.path_graph(4), properties.has_dominating_vertex())
+
+    def test_has_clique_of_size(self):
+        assert satisfies(nx.complete_graph(5), properties.has_clique_of_size(4))
+        assert not satisfies(nx.cycle_graph(6), properties.has_clique_of_size(3))
+
+    def test_has_independent_set_of_size(self):
+        assert satisfies(nx.path_graph(5), properties.has_independent_set_of_size(3))
+        assert not satisfies(nx.complete_graph(4), properties.has_independent_set_of_size(2))
+
+    def test_max_degree(self):
+        assert satisfies(nx.path_graph(5), properties.max_degree_at_most(2))
+        assert not satisfies(nx.star_graph(4), properties.max_degree_at_most(2))
+
+    def test_two_colorable(self):
+        assert satisfies(nx.cycle_graph(6), properties.two_colorable())
+        assert not satisfies(nx.cycle_graph(5), properties.two_colorable())
+
+    def test_three_colorable(self):
+        assert satisfies(nx.cycle_graph(5), properties.three_colorable())
+        assert not satisfies(nx.complete_graph(4), properties.three_colorable())
+
+    def test_acyclicity(self):
+        assert satisfies(random_tree(8, seed=0), properties.acyclic_mso())
+        assert not satisfies(nx.cycle_graph(6), properties.acyclic_mso())
+
+    def test_connectivity_formula(self):
+        # Our graphs are always connected, so test on an artificially
+        # disconnected graph directly through evaluate.
+        disconnected = nx.Graph([(0, 1), (2, 3)])
+        assert not satisfies(disconnected, properties.connected_via_sets())
+        assert satisfies(nx.path_graph(4), properties.connected_via_sets())
+
+    def test_at_most_one_vertex(self):
+        single = nx.Graph()
+        single.add_node(0)
+        assert satisfies(single, properties.has_at_most_one_vertex())
+        assert not satisfies(nx.path_graph(2), properties.has_at_most_one_vertex())

@@ -1,0 +1,107 @@
+"""Tests for quantifier depth, prenex normal form and fragment classification."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.logic import properties
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import satisfies
+from repro.logic.structure import (
+    free_variables,
+    is_existential,
+    is_first_order,
+    is_sentence,
+    negation_normal_form,
+    prenex_normal_form,
+    quantifier_alternations,
+    quantifier_depth,
+)
+from repro.logic.syntax import Exists, Forall, Not, Variable
+
+
+class TestMeasures:
+    def test_quantifier_depth_examples(self):
+        assert quantifier_depth(properties.diameter_at_most_two()) == 3
+        assert quantifier_depth(properties.triangle_free()) == 3
+        assert quantifier_depth(properties.is_clique()) == 2
+        assert quantifier_depth(properties.has_dominating_vertex()) == 2
+        assert quantifier_depth(parse_formula("x = y")) == 0
+
+    def test_alternations(self):
+        assert quantifier_alternations(properties.has_dominating_vertex()) == 1
+        assert quantifier_alternations(properties.triangle_free()) == 0
+        assert quantifier_alternations(properties.has_triangle()) == 0
+        assert quantifier_alternations(properties.diameter_at_most_two()) == 1
+
+    def test_is_first_order(self):
+        assert is_first_order(properties.triangle_free())
+        assert not is_first_order(properties.two_colorable())
+        assert not is_first_order(properties.acyclic_mso())
+
+    def test_is_existential(self):
+        assert is_existential(properties.has_triangle())
+        assert is_existential(properties.has_clique_of_size(3))
+        assert not is_existential(properties.triangle_free())
+        assert not is_existential(properties.has_dominating_vertex())
+
+    def test_free_variables(self):
+        formula = parse_formula("exists x. x ~ y")
+        names = {v.name for v in free_variables(formula)}
+        assert names == {"y"}
+        assert is_sentence(properties.is_clique())
+        assert not is_sentence(formula)
+
+
+class TestNormalForms:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            properties.diameter_at_most_two,
+            properties.triangle_free,
+            properties.has_dominating_vertex,
+            properties.is_clique,
+            properties.has_triangle,
+        ],
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_prenex_preserves_semantics(self, factory, seed):
+        formula = factory()
+        prenex = prenex_normal_form(formula)
+        graph = random_connected_graph(6, p=0.4, seed=seed)
+        assert satisfies(graph, prenex) == satisfies(graph, formula)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [properties.diameter_at_most_two, properties.triangle_free, properties.is_clique],
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_nnf_preserves_semantics(self, factory, seed):
+        formula = factory()
+        nnf = negation_normal_form(formula)
+        graph = random_connected_graph(6, p=0.4, seed=seed)
+        assert satisfies(graph, nnf) == satisfies(graph, formula)
+
+    def test_nnf_pushes_negation_to_atoms(self):
+        formula = Not(Forall(Variable("x"), Exists(Variable("y"), parse_formula("x ~ y"))))
+        nnf = negation_normal_form(formula)
+        # The outermost node must now be an existential quantifier.
+        assert isinstance(nnf, Exists)
+
+    def test_prenex_of_implication(self):
+        formula = parse_formula("(exists x. x ~ y) -> (forall z. z = z)")
+        prenex = prenex_normal_form(formula)
+        # Pulling out quantifiers from the negated antecedent flips them.
+        assert isinstance(prenex, Forall)
+
+    def test_prenex_renames_colliding_variables(self):
+        formula = parse_formula("(exists x. x ~ y) & (exists x. x = y)")
+        prenex = prenex_normal_form(formula)
+        graph = nx.path_graph(3)
+        x = Variable("y")
+        from repro.logic.semantics import evaluate
+
+        for vertex in graph.nodes():
+            assert evaluate(graph, prenex, {x: vertex}) == evaluate(graph, formula, {x: vertex})

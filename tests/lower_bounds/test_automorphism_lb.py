@@ -1,0 +1,77 @@
+"""Tests for the Theorem 2.3 construction (fixed-point-free automorphism)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.utils import is_tree
+from repro.lower_bounds.automorphism import (
+    automorphism_framework,
+    automorphism_instance,
+    automorphism_lower_bound_bits,
+    instance_has_property,
+    rooted_tree_to_string,
+    string_to_rooted_tree,
+)
+from repro.lower_bounds.communication import all_strings
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("bits", ["", "0", "1", "101", "111000", "010101"])
+    def test_roundtrip(self, bits):
+        tree = string_to_rooted_tree(bits)
+        assert is_tree(tree)
+        assert rooted_tree_to_string(tree, length=len(bits)) == bits
+
+    def test_encoding_is_injective_up_to_isomorphism(self):
+        from repro.graphs.isomorphism import trees_isomorphic
+
+        trees = {bits: string_to_rooted_tree(bits) for bits in all_strings(4)}
+        keys = list(trees)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1 :]:
+                assert not trees_isomorphic(trees[a], trees[b]), (a, b)
+
+    def test_bounded_depth(self):
+        tree = string_to_rooted_tree("110101101")
+        lengths = nx.single_source_shortest_path_length(tree, 0)
+        assert max(lengths.values()) <= 2
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            string_to_rooted_tree("10x")
+
+
+class TestGadget:
+    def test_instance_is_a_bounded_depth_tree(self):
+        graph = automorphism_instance("1011", "0100")
+        assert is_tree(graph)
+        # Depth at most 4 from the middle edge.
+        eccentricities = nx.eccentricity(graph)
+        assert min(eccentricities.values()) <= 4
+
+    @pytest.mark.parametrize("bits", ["0", "11", "1010"])
+    def test_equal_strings_give_yes_instance(self, bits):
+        assert instance_has_property(automorphism_instance(bits, bits))
+
+    @pytest.mark.parametrize(
+        "s_a,s_b", [("0", "1"), ("10", "01"), ("1010", "1011"), ("0000", "1111")]
+    )
+    def test_different_strings_give_no_instance(self, s_a, s_b):
+        assert not instance_has_property(automorphism_instance(s_a, s_b))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            automorphism_instance("0", "01")
+
+    def test_framework_middle_has_two_vertices(self):
+        assert automorphism_framework(4).r == 2
+
+
+class TestBound:
+    def test_bound_grows_with_n(self):
+        assert automorphism_lower_bound_bits(2000) > automorphism_lower_bound_bits(200) > 0
+
+    def test_bound_zero_for_tiny_graphs(self):
+        assert automorphism_lower_bound_bits(2) == 0.0

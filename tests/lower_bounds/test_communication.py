@@ -1,0 +1,73 @@
+"""Tests for the non-deterministic communication-complexity substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lower_bounds.communication import (
+    all_certificates,
+    all_strings,
+    equality_certificate_lower_bound,
+    fooling_set_refutes,
+    protocol_decides_equality,
+)
+
+
+def full_string_protocol(ell: int):
+    """The optimal protocol: the prover writes the common string."""
+
+    def alice(s_a: str, cert: bytes) -> bool:
+        return cert == _encode(s_a, ell)
+
+    def bob(s_b: str, cert: bytes) -> bool:
+        return cert == _encode(s_b, ell)
+
+    return alice, bob
+
+
+def _encode(bits: str, ell: int) -> bytes:
+    value = int(bits, 2) if bits else 0
+    return value.to_bytes((ell + 7) // 8 or 1, "big")
+
+
+class TestBound:
+    @pytest.mark.parametrize("ell", [0, 1, 8, 100])
+    def test_bound_is_linear(self, ell):
+        assert equality_certificate_lower_bound(ell) == ell
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            equality_certificate_lower_bound(-1)
+
+
+class TestEnumerators:
+    def test_all_strings_count(self):
+        assert len(list(all_strings(3))) == 8
+
+    def test_all_certificates_count(self):
+        assert len(list(all_certificates(3))) == 8
+        assert list(all_certificates(0)) == [b""]
+
+
+class TestProtocols:
+    @pytest.mark.parametrize("ell", [1, 2, 3])
+    def test_full_string_protocol_decides_equality(self, ell):
+        protocol = full_string_protocol(ell)
+        assert protocol_decides_equality(protocol, ell, certificate_bits=8)
+
+    def test_too_small_certificates_cannot_decide_equality(self):
+        """With fewer than ℓ certificate bits the fooling-set argument bites."""
+        ell = 3
+
+        def alice(s_a: str, cert: bytes) -> bool:
+            # A (necessarily broken) protocol that only looks at 2 bits.
+            return cert[0] % 4 == int(s_a, 2) % 4
+
+        bob = alice
+        assert not protocol_decides_equality((alice, bob), ell, certificate_bits=2)
+        assert fooling_set_refutes((alice, bob), ell, certificate_bits=2)
+
+    def test_fooling_set_accepts_optimal_protocol(self):
+        ell = 3
+        protocol = full_string_protocol(ell)
+        assert not fooling_set_refutes(protocol, ell, certificate_bits=8)

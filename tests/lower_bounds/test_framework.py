@@ -1,0 +1,153 @@
+"""Tests for the Section 7.1 reduction framework."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.lower_bounds.framework import ReductionFramework, certificate_size_lower_bound
+
+
+def tiny_framework() -> ReductionFramework:
+    """A minimal instantiation: one vertex per part, a middle path, and the
+    string 0/1 toggling a pendant edge inside V_A / V_B."""
+
+    def alice_injection(bits: str):
+        return [(("A", 0), ("A", 1))] if bits == "1" else []
+
+    def bob_injection(bits: str):
+        return [(("B", 0), ("B", 1))] if bits == "1" else []
+
+    return ReductionFramework(
+        v_a=(("A", 0), ("A", 1)),
+        v_alpha=(("alpha", 0),),
+        v_beta=(("beta", 0),),
+        v_b=(("B", 0), ("B", 1)),
+        fixed_edges=(
+            (("A", 0), ("alpha", 0)),
+            (("alpha", 0), ("beta", 0)),
+            (("beta", 0), ("B", 0)),
+        ),
+        alice_injection=alice_injection,
+        bob_injection=bob_injection,
+    )
+
+
+class TestFrameworkConstruction:
+    def test_build_graph_respects_injections(self):
+        framework = tiny_framework()
+        graph = framework.build_graph("1", "0")
+        assert graph.has_edge(("A", 0), ("A", 1))
+        assert not graph.has_edge(("B", 0), ("B", 1))
+
+    def test_no_edges_between_alice_and_bob_sides(self):
+        framework = tiny_framework()
+        graph = framework.build_graph("1", "1")
+        for u, v in graph.edges():
+            parts = {framework._part_of(u), framework._part_of(v)}
+            assert parts != {"A", "B"}
+            assert parts != {"A", "beta"}
+            assert parts != {"alpha", "B"}
+
+    def test_r_counts_middle_vertices(self):
+        assert tiny_framework().r == 2
+
+    def test_lower_bound_formula(self):
+        assert certificate_size_lower_bound(100, 4) == 25.0
+        assert tiny_framework().lower_bound_bits(10) == 5.0
+
+    def test_bad_r_rejected(self):
+        with pytest.raises(ValueError):
+            certificate_size_lower_bound(10, 0)
+
+    def test_overlapping_parts_rejected(self):
+        with pytest.raises(ValueError):
+            ReductionFramework(
+                v_a=(0,),
+                v_alpha=(0,),
+                v_beta=(1,),
+                v_b=(2,),
+                fixed_edges=(),
+                alice_injection=lambda s: [],
+                bob_injection=lambda s: [],
+            )
+
+    def test_forbidden_fixed_edge_rejected(self):
+        with pytest.raises(ValueError):
+            ReductionFramework(
+                v_a=(0,),
+                v_alpha=(1,),
+                v_beta=(2,),
+                v_b=(3,),
+                fixed_edges=((0, 3),),
+                alice_injection=lambda s: [],
+                bob_injection=lambda s: [],
+            )
+
+    def test_injection_outside_private_part_rejected(self):
+        framework = ReductionFramework(
+            v_a=(("A", 0),),
+            v_alpha=(("alpha", 0),),
+            v_beta=(("beta", 0),),
+            v_b=(("B", 0),),
+            fixed_edges=((("A", 0), ("alpha", 0)),),
+            alice_injection=lambda s: [(("A", 0), ("alpha", 0))],
+            bob_injection=lambda s: [],
+        )
+        with pytest.raises(ValueError):
+            framework.build_graph("1", "1")
+
+
+class TestProtocolSimulation:
+    def test_simulation_matches_global_accepting_assignment(self):
+        """On a tiny instance, the Alice/Bob simulation of a trivial verifier
+        accepts exactly when the full graph admits an accepting assignment."""
+        from repro.core.scheme import CertificationScheme
+        from repro.network.ids import assign_identifiers
+        from repro.network.views import LocalView
+
+        class ParityScheme(CertificationScheme):
+            """Toy scheme: every certificate must equal b"\\x01"."""
+
+            name = "toy-parity"
+
+            def holds(self, graph):
+                return True
+
+            def prove(self, graph, ids):
+                return {v: b"\x01" for v in graph.nodes()}
+
+            def verify(self, view: LocalView) -> bool:
+                return view.certificate == b"\x01"
+
+        framework = tiny_framework()
+        graph = framework.build_graph("1", "1")
+        ids = assign_identifiers(graph, seed=0, sequential=True)
+        accepted = framework.simulate_protocol(
+            ParityScheme(), "1", "1", certificate_bits_per_vertex=1, ids=ids, max_side_bits=4
+        )
+        assert accepted
+
+    def test_simulation_size_guard(self):
+        framework = tiny_framework()
+        graph = framework.build_graph("0", "0")
+        from repro.core.scheme import CertificationScheme
+        from repro.network.ids import assign_identifiers
+
+        class Trivial(CertificationScheme):
+            name = "trivial"
+
+            def holds(self, graph):
+                return True
+
+            def prove(self, graph, ids):
+                return {}
+
+            def verify(self, view):
+                return True
+
+        ids = assign_identifiers(graph, seed=0, sequential=True)
+        with pytest.raises(ValueError):
+            framework.simulate_protocol(
+                Trivial(), "0", "0", certificate_bits_per_vertex=16, ids=ids, max_side_bits=4
+            )

@@ -1,0 +1,108 @@
+"""Tests for the Theorem 2.5 construction and Lemma 7.3."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.lower_bounds.treedepth_lb import (
+    expected_treedepth,
+    matching_capacity_bits,
+    matchings_equal,
+    string_to_matching,
+    treedepth_framework,
+    treedepth_gadget,
+    treedepth_lower_bound_bits,
+)
+from repro.treedepth.cops_robbers import cops_needed
+from repro.treedepth.decomposition import exact_treedepth
+
+
+class TestMatchingEncoding:
+    def test_lehmer_roundtrip_injective(self):
+        seen = set()
+        for value in range(math.factorial(4)):
+            bits = format(value, "b") or "0"
+            matching = string_to_matching(bits, 4)
+            assert matching not in seen
+            seen.add(matching)
+        assert len(seen) == 24
+
+    def test_matching_is_a_permutation(self):
+        matching = string_to_matching("10110", 5)
+        assert sorted(matching) == list(range(5))
+
+    def test_capacity(self):
+        assert matching_capacity_bits(4) == int(math.floor(math.log2(24)))
+        assert matching_capacity_bits(1) == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            string_to_matching("111", 2)  # 7 ≥ 2!
+
+
+class TestGadgetStructure:
+    def test_gadget_is_connected_and_cubic_ish(self):
+        gadget = treedepth_gadget((0, 1), (0, 1))
+        assert nx.is_connected(gadget)
+        assert gadget.number_of_nodes() == 2 * 4 * 2 + 1
+        # Removing the apex leaves a 2-regular graph (disjoint cycles).
+        rest = gadget.copy()
+        rest.remove_node(("u", 0, 0))
+        assert all(rest.degree(v) == 2 for v in rest.nodes())
+
+    def test_equal_matchings_give_8_cycles(self):
+        gadget = treedepth_gadget((1, 0), (1, 0))
+        rest = gadget.copy()
+        rest.remove_node(("u", 0, 0))
+        cycles = list(nx.connected_components(rest))
+        assert all(len(component) == 8 for component in cycles)
+
+    def test_unequal_matchings_give_a_long_cycle(self):
+        gadget = treedepth_gadget((0, 1), (1, 0))
+        rest = gadget.copy()
+        rest.remove_node(("u", 0, 0))
+        sizes = sorted(len(component) for component in nx.connected_components(rest))
+        assert max(sizes) >= 16
+
+    def test_framework_builds_same_graph_as_direct_gadget(self):
+        framework = treedepth_framework(2)
+        graph = framework.build_graph("1", "1")
+        direct = treedepth_gadget(string_to_matching("1", 2), string_to_matching("1", 2))
+        assert nx.is_isomorphic(graph, direct)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            treedepth_gadget((0, 1), (0,))
+
+
+class TestLemma73:
+    """The dichotomy that drives Theorem 2.5, verified exactly on n = 2."""
+
+    def test_equal_matchings_treedepth_exactly_5(self):
+        gadget = treedepth_gadget((0, 1), (0, 1))
+        assert exact_treedepth(gadget) == 5
+        assert expected_treedepth((0, 1), (0, 1)) == 5
+
+    def test_unequal_matchings_treedepth_at_least_6(self):
+        gadget = treedepth_gadget((0, 1), (1, 0))
+        assert exact_treedepth(gadget) >= 6
+        assert expected_treedepth((0, 1), (1, 0)) == 6
+
+    def test_cops_and_robbers_agrees_on_yes_side(self):
+        gadget = treedepth_gadget((1, 0), (1, 0))
+        assert cops_needed(gadget) == 5
+
+    def test_matchings_equal_predicate(self):
+        assert matchings_equal((0, 1, 2), (0, 1, 2))
+        assert not matchings_equal((0, 1, 2), (0, 2, 1))
+
+
+class TestBound:
+    def test_bound_is_logarithmic_shape(self):
+        """ℓ/r = Θ(log n): the ratio against log2(n) stays bounded and positive."""
+        ratios = [treedepth_lower_bound_bits(n) / math.log2(n) for n in (8, 64, 512)]
+        assert all(0.1 < ratio < 1.0 for ratio in ratios)
+        assert treedepth_lower_bound_bits(64) > treedepth_lower_bound_bits(8)

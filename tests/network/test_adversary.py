@@ -1,0 +1,72 @@
+"""Tests for adversarial certificate assignments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.adversary import (
+    corrupt_assignment,
+    exhaustive_assignments,
+    random_assignment,
+)
+
+
+class TestCorruption:
+    def setup_method(self):
+        self.honest = {0: b"\x01\x02", 1: b"\x03\x04", 2: b"\x05\x06"}
+
+    def test_bitflip_changes_exactly_one_certificate(self):
+        corrupted = corrupt_assignment(self.honest, seed=0, kind="bitflip")
+        differences = [v for v in self.honest if corrupted[v] != self.honest[v]]
+        assert len(differences) == 1
+
+    def test_swap_exchanges_two(self):
+        corrupted = corrupt_assignment(self.honest, seed=0, kind="swap")
+        assert sorted(corrupted.values()) == sorted(self.honest.values())
+
+    def test_truncate_shortens(self):
+        corrupted = corrupt_assignment(self.honest, seed=0, kind="truncate")
+        assert any(len(corrupted[v]) < len(self.honest[v]) for v in self.honest)
+
+    def test_zero_blanks_one(self):
+        corrupted = corrupt_assignment(self.honest, seed=0, kind="zero")
+        assert any(corrupted[v] == bytes(len(self.honest[v])) for v in self.honest)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_assignment(self.honest, seed=0, kind="nonsense")
+
+    def test_original_untouched(self):
+        corrupt_assignment(self.honest, seed=0, kind="bitflip")
+        assert self.honest[0] == b"\x01\x02"
+
+    def test_empty_assignment_handled(self):
+        assert corrupt_assignment({}, seed=0) == {}
+
+
+class TestRandomAndExhaustive:
+    def test_random_assignment_sizes(self):
+        assignment = random_assignment([0, 1, 2], certificate_bytes=3, seed=0)
+        assert all(len(c) == 3 for c in assignment.values())
+
+    def test_random_assignment_deterministic(self):
+        a = random_assignment([0, 1], 2, seed=5)
+        b = random_assignment([0, 1], 2, seed=5)
+        assert a == b
+
+    def test_exhaustive_count(self):
+        assignments = list(exhaustive_assignments([0, 1], max_bits=2))
+        assert len(assignments) == 16  # (2^2)^2
+
+    def test_exhaustive_zero_bits(self):
+        assignments = list(exhaustive_assignments([0, 1, 2], max_bits=0))
+        assert len(assignments) == 1
+        assert all(c == b"" for c in assignments[0].values())
+
+    def test_exhaustive_covers_all_values(self):
+        seen = {assignment[0] for assignment in exhaustive_assignments([0], max_bits=3)}
+        assert len(seen) == 8
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            list(exhaustive_assignments([0], max_bits=-1))

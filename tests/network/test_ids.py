@@ -1,0 +1,66 @@
+"""Tests for identifier assignments."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network.ids import IdentifierAssignment, assign_identifiers
+
+
+class TestIdentifierAssignment:
+    def test_sequential_assignment(self):
+        graph = nx.path_graph(5)
+        ids = assign_identifiers(graph, sequential=True)
+        assert sorted(ids.ids.values()) == [1, 2, 3, 4, 5]
+
+    def test_random_assignment_in_range(self):
+        graph = nx.path_graph(10)
+        ids = assign_identifiers(graph, exponent=3, seed=0)
+        assert all(1 <= ids[v] <= 1000 for v in graph.nodes())
+
+    def test_random_assignment_injective(self):
+        graph = nx.complete_graph(20)
+        ids = assign_identifiers(graph, seed=1)
+        values = [ids[v] for v in graph.nodes()]
+        assert len(set(values)) == len(values)
+
+    def test_deterministic_with_seed(self):
+        graph = nx.path_graph(8)
+        a = assign_identifiers(graph, seed=7)
+        b = assign_identifiers(graph, seed=7)
+        assert a.ids == b.ids
+
+    def test_id_bits_logarithmic(self):
+        graph = nx.path_graph(64)
+        ids = assign_identifiers(graph, exponent=3, seed=0)
+        assert ids.id_bits <= 3 * 7  # 64^3 = 2^18 plus slack
+
+    def test_vertex_of_inverse(self):
+        graph = nx.path_graph(5)
+        ids = assign_identifiers(graph, seed=2)
+        for vertex in graph.nodes():
+            assert ids.vertex_of(ids[vertex]) == vertex
+
+    def test_vertex_of_missing_raises(self):
+        graph = nx.path_graph(3)
+        ids = assign_identifiers(graph, sequential=True)
+        with pytest.raises(KeyError):
+            ids.vertex_of(99)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            IdentifierAssignment(ids={0: 1, 1: 1})
+
+    def test_zero_id_rejected(self):
+        with pytest.raises(ValueError):
+            IdentifierAssignment(ids={0: 0})
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            assign_identifiers(nx.Graph())
+
+    def test_contains(self):
+        graph = nx.path_graph(3)
+        ids = assign_identifiers(graph, sequential=True)
+        assert 0 in ids and 99 not in ids

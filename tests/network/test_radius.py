@@ -1,0 +1,81 @@
+"""Tests for the radius-r verification model (Appendix A.1)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.network.ids import assign_identifiers
+from repro.network.radius import RadiusSimulator, diameter_at_most_verifier
+
+
+class TestRadiusViews:
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RadiusSimulator(nx.path_graph(3), radius=0)
+
+    def test_view_contains_ball_and_edges(self):
+        graph = nx.path_graph(5)
+        ids = assign_identifiers(graph, seed=0, sequential=True)
+        simulator = RadiusSimulator(graph, radius=2, identifiers=ids)
+        view = simulator.build_view(2, {v: bytes([v]) for v in graph.nodes()})
+        assert set(view.visible_identifiers()) == {1, 2, 3, 4, 5}
+        assert view.distance_to(ids[0]) == 2
+        assert view.distance_to(ids[2]) == 0
+        assert view.are_adjacent(ids[0], ids[1])
+        assert not view.are_adjacent(ids[0], ids[2])
+        assert view.certificate == bytes([2])
+        assert view.certificate_of(ids[4]) == bytes([4])
+
+    def test_radius_one_view_matches_neighborhood(self):
+        graph = nx.star_graph(4)
+        ids = assign_identifiers(graph, seed=1, sequential=True)
+        simulator = RadiusSimulator(graph, radius=1, identifiers=ids)
+        leaf_view = simulator.build_view(3, {})
+        assert set(leaf_view.visible_identifiers()) == {ids[0], ids[3]}
+
+    def test_view_as_graph_is_the_induced_ball(self):
+        graph = nx.cycle_graph(6)
+        simulator = RadiusSimulator(graph, radius=2, seed=2)
+        view = simulator.build_view(0, {})
+        ball = view.as_graph()
+        assert ball.number_of_nodes() == 5
+        assert ball.number_of_edges() == 4
+
+
+class TestDiameterWithoutCertificates:
+    @pytest.mark.parametrize(
+        "graph, bound, expected",
+        [
+            (nx.star_graph(6), 2, True),
+            (nx.path_graph(4), 3, True),
+            (nx.path_graph(5), 3, False),
+            (nx.complete_graph(5), 1, True),
+            (nx.cycle_graph(7), 3, True),
+            (nx.cycle_graph(9), 3, False),
+        ],
+    )
+    def test_exact_at_radius_bound_plus_one(self, graph, bound, expected):
+        simulator = RadiusSimulator(graph, radius=bound + 1, seed=0)
+        verifier = diameter_at_most_verifier(bound)
+        result = simulator.run(verifier, {v: b"" for v in graph.nodes()})
+        assert result.accepted is expected
+        assert result.max_certificate_bits == 0
+
+    def test_radius_one_cannot_decide_diameter_two(self):
+        # At radius 1 the same certificate-free verifier is either incomplete
+        # or unsound: the star (diameter 2) is a yes-instance it rejects.
+        graph = nx.star_graph(5)
+        simulator = RadiusSimulator(graph, radius=1, seed=0)
+        verifier = diameter_at_most_verifier(2)
+        assert not simulator.run(verifier, {v: b"" for v in graph.nodes()}).accepted
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_with_networkx_diameter(self, seed):
+        graph = random_connected_graph(12, p=0.25, seed=seed)
+        bound = 3
+        simulator = RadiusSimulator(graph, radius=bound + 1, seed=seed)
+        verifier = diameter_at_most_verifier(bound)
+        result = simulator.run(verifier, {v: b"" for v in graph.nodes()})
+        assert result.accepted == (nx.diameter(graph) <= bound)

@@ -1,0 +1,89 @@
+"""Tests for the radius-1 simulator and local views."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator, max_certificate_bits
+from repro.network.views import LocalView, NeighborInfo
+
+
+class TestLocalView:
+    def test_degree_and_lookup(self):
+        view = LocalView(
+            identifier=5,
+            certificate=b"abc",
+            neighbors=(NeighborInfo(1, b"x"), NeighborInfo(2, b"y")),
+        )
+        assert view.degree == 2
+        assert view.neighbor_identifiers() == (1, 2)
+        assert view.neighbor_certificates() == (b"x", b"y")
+        assert view.neighbor_by_id(2).certificate == b"y"
+        assert view.has_neighbor(1)
+        assert not view.has_neighbor(9)
+
+    def test_missing_neighbor_raises(self):
+        view = LocalView(identifier=5, certificate=b"", neighbors=())
+        with pytest.raises(KeyError):
+            view.neighbor_by_id(1)
+
+
+class TestSimulator:
+    def test_views_expose_only_radius_one(self):
+        graph = nx.path_graph(4)
+        ids = assign_identifiers(graph, sequential=True)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        views = simulator.build_views({v: bytes([v]) for v in graph.nodes()})
+        # Vertex 0 sees only vertex 1.
+        assert views[0].degree == 1
+        assert views[0].neighbors[0].identifier == ids[1]
+        # Vertex 1 sees vertices 0 and 2 but not 3.
+        assert {info.identifier for info in views[1].neighbors} == {ids[0], ids[2]}
+
+    def test_all_accept(self):
+        graph = nx.cycle_graph(5)
+        simulator = NetworkSimulator(graph, seed=0)
+        result = simulator.run(lambda view: True, {v: b"" for v in graph.nodes()})
+        assert result.accepted
+        assert result.rejecting_vertices == ()
+
+    def test_single_rejection_fails_globally(self):
+        graph = nx.path_graph(5)
+        ids = assign_identifiers(graph, sequential=True)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        target = ids[2]
+        result = simulator.run(
+            lambda view: view.identifier != target, {v: b"" for v in graph.nodes()}
+        )
+        assert not result.accepted
+        assert result.rejecting_vertices == (2,)
+
+    def test_max_certificate_bits_reported(self):
+        graph = nx.path_graph(3)
+        simulator = NetworkSimulator(graph, seed=0)
+        result = simulator.run(lambda view: True, {0: b"abcd", 1: b"", 2: b"x"})
+        assert result.max_certificate_bits == 32
+
+    def test_missing_certificates_default_to_empty(self):
+        graph = nx.path_graph(3)
+        simulator = NetworkSimulator(graph, seed=0)
+        result = simulator.run(lambda view: view.certificate == b"", {})
+        assert result.accepted
+
+    def test_rejects_disconnected_graph(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator(nx.Graph([(0, 1), (2, 3)]))
+
+    def test_max_certificate_bits_helper(self):
+        assert max_certificate_bits({0: b"ab", 1: b""}) == 16
+        assert max_certificate_bits({}) == 0
+
+    def test_neighbors_sorted_by_identifier(self):
+        graph = nx.star_graph(3)
+        ids = assign_identifiers(graph, sequential=True)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        views = simulator.build_views({})
+        centre_neighbors = [info.identifier for info in views[0].neighbors]
+        assert centre_neighbors == sorted(centre_neighbors)

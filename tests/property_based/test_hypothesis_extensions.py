@@ -1,0 +1,169 @@
+"""Property-based tests for the extension subpackages (treewidth, LCL, DGA, radius)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import random_tree
+from repro.lcl.classic import (
+    greedy_dominating_set,
+    greedy_maximal_independent_set,
+    presburger_dominating_set,
+    presburger_maximal_independent_set,
+)
+from repro.network.radius import RadiusSimulator
+from repro.treedepth.decomposition import exact_treedepth
+from repro.treewidth.balanced import balanced_path_decomposition
+from repro.treewidth.decomposition import (
+    decomposition_from_elimination_order,
+    greedy_decomposition,
+    is_valid_decomposition,
+    root_decomposition,
+    topmost_bag_assignment,
+)
+from repro.treewidth.exact import exact_treewidth, treewidth_lower_bound, treewidth_upper_bound
+from repro.treewidth.nice import make_nice
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_connected_graphs(draw, max_vertices=9):
+    """Random connected graph built from a random tree plus extra edges."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_tree(n, seed=seed)
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=2 * n
+    ))
+    for u, v in extra:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def elimination_orders(draw, max_vertices=8):
+    graph = draw(small_connected_graphs(max_vertices=max_vertices))
+    order = draw(st.permutations(sorted(graph.nodes())))
+    return graph, list(order)
+
+
+# ---------------------------------------------------------------------------
+# Treewidth invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(elimination_orders())
+def test_every_elimination_order_yields_a_valid_decomposition(data):
+    graph, order = data
+    decomposition = decomposition_from_elimination_order(graph, order)
+    assert is_valid_decomposition(graph, decomposition)
+    # Any ordering's width is an upper bound on the exact treewidth.
+    exact, _ = exact_treewidth(graph)
+    assert decomposition.width >= exact
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_connected_graphs())
+def test_treewidth_bounds_bracket_the_exact_value(graph):
+    exact, decomposition = exact_treewidth(graph)
+    assert is_valid_decomposition(graph, decomposition)
+    assert treewidth_lower_bound(graph) <= exact <= treewidth_upper_bound(graph)[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_connected_graphs())
+def test_treewidth_is_below_treedepth(graph):
+    exact, _ = exact_treewidth(graph)
+    assert exact <= max(exact_treedepth(graph) - 1, 0) or graph.number_of_nodes() == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_connected_graphs(max_vertices=8))
+def test_nice_decomposition_preserves_width_and_shape(graph):
+    decomposition = greedy_decomposition(graph)
+    nice = make_nice(graph, decomposition)
+    assert nice.is_well_formed()
+    assert nice.width == decomposition.width
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_connected_graphs())
+def test_topmost_assignment_covers_every_edge(graph):
+    rooted = root_decomposition(greedy_decomposition(graph))
+    assignment = topmost_bag_assignment(graph, rooted)
+    depth = {bag_id: rooted.depth_of(bag_id) for bag_id in rooted.bags}
+    for u, v in graph.edges():
+        deeper = u if depth[assignment[u]] >= depth[assignment[v]] else v
+        bag = rooted.bags[assignment[deeper]]
+        assert u in bag and v in bag
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=200))
+def test_balanced_path_decomposition_invariants(n):
+    graph = nx.path_graph(n)
+    decomposition = balanced_path_decomposition(graph)
+    assert is_valid_decomposition(graph, decomposition)
+    assert decomposition.width <= 2
+
+
+# ---------------------------------------------------------------------------
+# LCL invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_connected_graphs(max_vertices=12))
+def test_greedy_mis_always_satisfies_the_presburger_lcl(graph):
+    lcl = presburger_maximal_independent_set()
+    assert lcl.is_correct_labeling(graph, greedy_maximal_independent_set(graph))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_connected_graphs(max_vertices=12))
+def test_greedy_dominating_set_always_satisfies_the_presburger_lcl(graph):
+    lcl = presburger_dominating_set()
+    assert lcl.is_correct_labeling(graph, greedy_dominating_set(graph))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_connected_graphs(max_vertices=10))
+def test_flipping_one_mis_label_never_goes_unnoticed_by_everyone(graph):
+    """Changing one vertex's label in a correct MIS labeling either stays correct
+    (impossible for MIS: adding violates independence or the removed vertex loses
+    domination) or some vertex's local check fails — the soundness of local
+    checkability itself."""
+    lcl = presburger_maximal_independent_set()
+    labeling = greedy_maximal_independent_set(graph)
+    for vertex in graph.nodes():
+        flipped = dict(labeling)
+        flipped[vertex] = "in" if labeling[vertex] == "out" else "out"
+        assert lcl.unhappy_vertices(graph, flipped), (
+            "a single-label flip of a maximal independent set must be detected"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Radius-r views
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_connected_graphs(max_vertices=9), st.integers(min_value=1, max_value=4))
+def test_radius_views_contain_exactly_the_ball(graph, radius):
+    simulator = RadiusSimulator(graph, radius=radius, seed=0)
+    certificates = {v: b"" for v in graph.nodes()}
+    for vertex in graph.nodes():
+        view = simulator.build_view(vertex, certificates)
+        expected = nx.single_source_shortest_path_length(graph, vertex, cutoff=radius)
+        assert len(view.vertices) == len(expected)
+        for other, distance in expected.items():
+            assert view.distance_to(simulator.identifiers[other]) == distance

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import CertificateReader, CertificateWriter
+from repro.graphs.generators import random_tree
+from repro.graphs.isomorphism import tree_canonical_form, trees_isomorphic
+from repro.kernel.reduction import k_reduced_graph
+from repro.kernel.serialize import (
+    decode_type_table,
+    encode_type_table,
+    graph_from_type,
+    topological_type_table,
+)
+from repro.kernel.types import compute_types
+from repro.logic.ef_games import ef_equivalent
+from repro.treedepth.cops_robbers import cops_needed
+from repro.treedepth.decomposition import (
+    exact_treedepth,
+    optimal_elimination_tree,
+    treedepth_of_path,
+    treedepth_upper_bound_dfs,
+)
+from repro.treedepth.elimination_tree import is_coherent, is_valid_model, make_coherent
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_connected_graphs(draw, max_vertices=9):
+    """Random connected graph built from a random tree plus extra edges."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_tree(n, seed=seed)
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=2 * n
+    ))
+    for u, v in extra:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def small_trees(draw, max_vertices=12):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_tree(n, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Encoding invariants
+# ---------------------------------------------------------------------------
+
+
+class TestEncodingRoundtrips:
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+    def test_uint_list_roundtrip(self, values):
+        writer = CertificateWriter()
+        writer.write_uint_list(values)
+        assert CertificateReader(writer.getvalue()).read_uint_list() == values
+
+    @given(st.lists(st.booleans(), max_size=64))
+    def test_bool_list_roundtrip(self, values):
+        writer = CertificateWriter()
+        writer.write_bool_list(values)
+        assert CertificateReader(writer.getvalue()).read_bool_list() == values
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=2**30))
+    def test_mixed_roundtrip(self, blob, value):
+        writer = CertificateWriter()
+        writer.write_bytes(blob)
+        writer.write_uint(value)
+        reader = CertificateReader(writer.getvalue())
+        assert reader.read_bytes() == blob
+        assert reader.read_uint() == value
+        reader.expect_end()
+
+    @given(st.binary(max_size=40))
+    def test_reader_never_crashes_on_garbage(self, garbage):
+        """Malformed certificates raise CertificateFormatError, never anything else."""
+        from repro.core.encoding import CertificateFormatError
+
+        reader = CertificateReader(garbage)
+        try:
+            reader.read_uint_list()
+            reader.read_bool_list()
+            reader.read_bytes()
+        except CertificateFormatError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Treedepth invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTreedepthInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(small_connected_graphs())
+    def test_optimal_model_matches_exact_value(self, graph):
+        tree = optimal_elimination_tree(graph)
+        assert is_valid_model(graph, tree)
+        assert tree.depth == exact_treedepth(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_connected_graphs())
+    def test_dfs_model_is_valid_upper_bound(self, graph):
+        depth, tree = treedepth_upper_bound_dfs(graph)
+        assert is_valid_model(graph, tree)
+        assert depth >= exact_treedepth(graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_connected_graphs(max_vertices=8))
+    def test_cops_equals_treedepth(self, graph):
+        assert cops_needed(graph) == exact_treedepth(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_connected_graphs())
+    def test_make_coherent_is_idempotent_and_valid(self, graph):
+        tree = optimal_elimination_tree(graph)
+        coherent = make_coherent(graph, tree)
+        assert is_valid_model(graph, coherent)
+        assert is_coherent(graph, coherent)
+        assert coherent.depth <= tree.depth
+        again = make_coherent(graph, coherent)
+        assert again.parent == coherent.parent
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=40))
+    def test_treedepth_of_path_matches_exact(self, n):
+        if n <= 16:
+            assert treedepth_of_path(n) == exact_treedepth(nx.path_graph(n))
+        # The closed form is monotone and grows by at most 1 when n doubles.
+        assert treedepth_of_path(2 * n) <= treedepth_of_path(n) + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_connected_graphs(max_vertices=8), st.integers(min_value=0, max_value=3))
+    def test_treedepth_monotone_under_vertex_deletion(self, graph, index):
+        vertices = sorted(graph.nodes(), key=repr)
+        victim = vertices[index % len(vertices)]
+        remaining = graph.copy()
+        remaining.remove_node(victim)
+        if remaining.number_of_nodes() == 0 or not nx.is_connected(remaining):
+            return
+        assert exact_treedepth(remaining) <= exact_treedepth(graph)
+
+
+# ---------------------------------------------------------------------------
+# Tree isomorphism invariants
+# ---------------------------------------------------------------------------
+
+
+class TestIsomorphismInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(), st.integers(min_value=0, max_value=1000))
+    def test_canonical_form_invariant_under_relabelling(self, tree, offset):
+        relabelled = nx.relabel_nodes(tree, {v: (v * 13 + offset) for v in tree.nodes()})
+        assert tree_canonical_form(tree) == tree_canonical_form(relabelled)
+        assert trees_isomorphic(tree, relabelled)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_trees(max_vertices=9), small_trees(max_vertices=9))
+    def test_isomorphism_agrees_with_networkx(self, tree_a, tree_b):
+        assert trees_isomorphic(tree_a, tree_b) == nx.is_isomorphic(tree_a, tree_b)
+
+
+# ---------------------------------------------------------------------------
+# Kernel invariants (Propositions 6.2 / 6.3)
+# ---------------------------------------------------------------------------
+
+
+class TestKernelInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(small_connected_graphs(max_vertices=9), st.integers(min_value=1, max_value=3))
+    def test_kernel_is_subgraph_and_types_cover(self, graph, k):
+        tree = make_coherent(graph, optimal_elimination_tree(graph))
+        reduction = k_reduced_graph(graph, tree, k)
+        assert set(reduction.kernel_graph.nodes()) <= set(graph.nodes())
+        assert set(reduction.end_types) == set(graph.nodes())
+        assert reduction.kernel_size + len(reduction.deleted_vertices) == graph.number_of_nodes()
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_connected_graphs(max_vertices=8), st.integers(min_value=1, max_value=2))
+    def test_kernel_ef_equivalent(self, graph, k):
+        tree = make_coherent(graph, optimal_elimination_tree(graph))
+        reduction = k_reduced_graph(graph, tree, k)
+        assert ef_equivalent(graph, reduction.kernel_graph, k)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_connected_graphs(max_vertices=9))
+    def test_type_table_roundtrip_and_reconstruction(self, graph):
+        tree = make_coherent(graph, optimal_elimination_tree(graph))
+        types = compute_types(graph, tree)
+        table = topological_type_table(sorted(set(types.values()), key=repr))
+        assert decode_type_table(encode_type_table(table)) == table
+        rebuilt, _ = graph_from_type(types[tree.root])
+        assert nx.is_isomorphic(rebuilt, graph)

@@ -1,0 +1,98 @@
+"""Property-based tests of scheme completeness/soundness on random instances."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.catalog import perfect_matching_automaton
+from repro.core import MSOTreeScheme, TreedepthScheme, TreeScheme, CliqueScheme
+from repro.core.scheme import evaluate_scheme
+from repro.graphs.generators import random_tree
+from repro.logic import properties
+from repro.logic.semantics import satisfies
+from repro.logic.structure import prenex_normal_form
+from repro.logic.parser import parse_formula
+
+
+@st.composite
+def small_connected_graphs(draw, max_vertices=9):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_tree(n, seed=seed)
+    extra = draw(
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=n)
+    )
+    for u, v in extra:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def small_trees(draw, max_vertices=12):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_tree(n, seed=seed)
+
+
+class TestSchemesNeverMisclassify:
+    """For every random instance: honest proofs verify on yes-instances and
+    sampled adversarial assignments are rejected on no-instances."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_connected_graphs(), st.integers(min_value=0, max_value=100))
+    def test_tree_scheme(self, graph, seed):
+        report = evaluate_scheme(TreeScheme(), graph, seed=seed)
+        assert report.completeness_ok or report.soundness_ok
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_connected_graphs(), st.integers(min_value=0, max_value=100))
+    def test_clique_scheme(self, graph, seed):
+        report = evaluate_scheme(CliqueScheme(), graph, seed=seed)
+        if report.holds:
+            assert report.completeness_ok
+        else:
+            assert report.soundness_ok
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_connected_graphs(max_vertices=8), st.integers(min_value=2, max_value=4))
+    def test_treedepth_scheme(self, graph, t):
+        report = evaluate_scheme(TreedepthScheme(t), graph, seed=1)
+        if report.holds:
+            assert report.completeness_ok
+        else:
+            assert report.soundness_ok
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_trees(), st.integers(min_value=0, max_value=100))
+    def test_mso_tree_scheme_perfect_matching(self, tree, seed):
+        scheme = MSOTreeScheme(perfect_matching_automaton(), name="pm")
+        report = evaluate_scheme(scheme, tree, seed=seed)
+        if report.holds:
+            assert report.completeness_ok
+        else:
+            assert report.soundness_ok
+
+
+class TestLogicInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(small_connected_graphs(max_vertices=7))
+    def test_prenex_preserves_semantics_on_random_graphs(self, graph):
+        for factory in (properties.diameter_at_most_two, properties.has_dominating_vertex):
+            formula = factory()
+            assert satisfies(graph, prenex_normal_form(formula)) == satisfies(graph, formula)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_connected_graphs(max_vertices=7))
+    def test_parser_and_builder_agree(self, graph):
+        parsed = parse_formula(
+            "forall x. forall y. (x = y | x ~ y | exists z. (x ~ z & z ~ y))"
+        )
+        assert satisfies(graph, parsed) == satisfies(graph, properties.diameter_at_most_two())
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_trees(max_vertices=10))
+    def test_trees_are_bipartite_and_acyclic(self, tree):
+        assert satisfies(tree, properties.two_colorable())
+        assert satisfies(tree, properties.acyclic_mso())

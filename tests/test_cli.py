@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.cli import SCHEME_FACTORIES, build_graph, main
+
+
+class TestBuildGraph:
+    @pytest.mark.parametrize(
+        "spec, nodes",
+        [
+            ("path:7", 7),
+            ("cycle:5", 5),
+            ("clique:4", 4),
+            ("star:6", 6),
+            ("random-tree:9", 9),
+            ("grid:3", 9),
+        ],
+    )
+    def test_families(self, spec, nodes):
+        assert build_graph(spec).number_of_nodes() == nodes
+
+    def test_binary_tree_depth(self):
+        graph = build_graph("binary-tree:3")
+        assert nx.is_tree(graph)
+
+    def test_file_graph(self, tmp_path):
+        edge_file = tmp_path / "edges.txt"
+        edge_file.write_text("a b\nb c\nc d\n")
+        graph = build_graph(f"file:{edge_file}")
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+
+    @pytest.mark.parametrize("spec", ["nocolon", "path:abc", "path:0", "nebula:4"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(SystemExit):
+            build_graph(spec)
+
+
+class TestSchemeFactories:
+    def test_every_factory_builds_a_scheme(self):
+        params = {"treedepth": "3", "treewidth": "2", "coloring": "3",
+                  "max-degree": "4", "tree-diameter": "6"}
+        for name, factory in SCHEME_FACTORIES.items():
+            scheme = factory(params.get(name))
+            assert hasattr(scheme, "verify")
+
+    def test_missing_parameter_rejected(self):
+        with pytest.raises(SystemExit):
+            SCHEME_FACTORIES["treedepth"](None)
+
+    def test_non_integer_parameter_rejected(self):
+        with pytest.raises(SystemExit):
+            SCHEME_FACTORIES["treewidth"]("two")
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "treedepth" in output and "treewidth" in output
+
+    def test_certify_yes_instance(self, capsys):
+        assert main(["certify", "--scheme", "treedepth", "--param", "3", "--graph", "path:7"]) == 0
+        output = capsys.readouterr().out
+        assert "holds:      True" in output
+        assert "accepted:   True" in output
+
+    def test_certify_no_instance(self, capsys):
+        assert main(["certify", "--scheme", "bipartite", "--graph", "cycle:5"]) == 0
+        output = capsys.readouterr().out
+        assert "holds:      False" in output
+
+    def test_certify_verbose_prints_certificates(self, capsys):
+        assert main(
+            ["certify", "--scheme", "bipartite", "--graph", "path:4", "--verbose"]
+        ) == 0
+        assert "per-vertex certificates" in capsys.readouterr().out
+
+    def test_certify_treewidth_scheme(self, capsys):
+        assert main(["certify", "--scheme", "treewidth", "--param", "2", "--graph", "cycle:12"]) == 0
+        assert "bits per vertex" in capsys.readouterr().out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "--scheme", "quantum", "--graph", "path:4"])
+
+    def test_file_graph_end_to_end(self, tmp_path, capsys):
+        edge_file = tmp_path / "tree.txt"
+        edge_file.write_text("1 2\n2 3\n3 4\n4 5\n")
+        assert main(["certify", "--scheme", "tree", "--graph", f"file:{edge_file}"]) == 0
+        assert "holds:      True" in capsys.readouterr().out

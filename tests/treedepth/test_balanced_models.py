@@ -1,0 +1,49 @@
+"""Tests for the closed-form elimination-tree builders (paths and stars)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.treedepth.decomposition import (
+    balanced_path_elimination_tree,
+    star_elimination_tree,
+    treedepth_of_path,
+)
+from repro.treedepth.elimination_tree import is_valid_model
+
+
+class TestBalancedPathModel:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 31, 100, 255])
+    def test_valid_and_optimal_depth(self, n):
+        graph = nx.path_graph(n)
+        tree = balanced_path_elimination_tree(graph)
+        assert is_valid_model(graph, tree)
+        assert tree.depth == treedepth_of_path(n)
+
+    def test_relabelled_path(self):
+        graph = nx.relabel_nodes(nx.path_graph(9), {i: f"node-{i}" for i in range(9)})
+        tree = balanced_path_elimination_tree(graph)
+        assert is_valid_model(graph, tree)
+        assert tree.depth == treedepth_of_path(9)
+
+    def test_rejects_non_paths(self):
+        with pytest.raises(ValueError):
+            balanced_path_elimination_tree(nx.star_graph(3))
+        with pytest.raises(ValueError):
+            balanced_path_elimination_tree(nx.cycle_graph(5))
+
+
+class TestStarModel:
+    @pytest.mark.parametrize("leaves", [1, 2, 5, 40])
+    def test_valid_depth_two(self, leaves):
+        graph = nx.star_graph(leaves)
+        tree = star_elimination_tree(graph)
+        assert is_valid_model(graph, tree)
+        assert tree.depth == 2
+
+    def test_rejects_non_stars(self):
+        with pytest.raises(ValueError):
+            star_elimination_tree(nx.path_graph(4))
+        with pytest.raises(ValueError):
+            star_elimination_tree(nx.cycle_graph(4))

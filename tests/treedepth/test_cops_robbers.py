@@ -1,0 +1,57 @@
+"""Tests for the cops-and-robber characterisation of treedepth (Lemma 7.3)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import path_graph, random_connected_graph, union_of_cycles_with_apex
+from repro.treedepth.cops_robbers import cops_needed, treedepth_via_cops
+from repro.treedepth.decomposition import exact_treedepth
+
+
+class TestGameValues:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (4, 3), (7, 3)])
+    def test_paths(self, n, expected):
+        assert cops_needed(path_graph(n)) == expected
+
+    def test_clique_needs_all_cops(self):
+        assert cops_needed(nx.complete_graph(5)) == 5
+
+    def test_star_needs_two(self):
+        assert cops_needed(nx.star_graph(7)) == 2
+
+    def test_cycle_of_length_8(self):
+        assert cops_needed(nx.cycle_graph(8)) == 4
+
+    def test_figure_4_instance(self):
+        """The Figure 4 strategy: an apex guarding two 8-cycles is caught with
+        exactly 5 cops (apex first, then binary search in the robber's cycle)."""
+        assert cops_needed(union_of_cycles_with_apex([8, 8])) == 5
+
+    def test_longer_cycle_needs_five_alone(self):
+        """A 16-cycle already needs 5 cops on its own; the no-side of Lemma 7.3
+        (≥ 6 for the full two-sided gadget) is exercised in
+        tests/lower_bounds/test_treedepth_lb.py on the real construction."""
+        assert cops_needed(nx.cycle_graph(16)) == 5
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            cops_needed(nx.path_graph(25))
+
+
+class TestCharacterisation:
+    """cop number == treedepth (the two implementations cross-validate)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exact_treedepth_random(self, seed):
+        graph = random_connected_graph(8, p=0.35, seed=seed)
+        assert treedepth_via_cops(graph) == exact_treedepth(graph)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(6), nx.cycle_graph(6), nx.complete_graph(4), nx.star_graph(5)],
+        ids=["path", "cycle", "clique", "star"],
+    )
+    def test_matches_exact_treedepth_named(self, graph):
+        assert treedepth_via_cops(graph) == exact_treedepth(graph)

@@ -1,0 +1,117 @@
+"""Tests for exact treedepth and elimination-tree construction."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    bounded_treedepth_graph,
+    complete_binary_tree,
+    path_graph,
+    random_connected_graph,
+    union_of_cycles_with_apex,
+)
+from repro.treedepth.decomposition import (
+    exact_treedepth,
+    optimal_elimination_tree,
+    treedepth_of_path,
+    treedepth_upper_bound_dfs,
+)
+from repro.treedepth.elimination_tree import is_valid_model
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (15, 4), (16, 5)]
+    )
+    def test_treedepth_of_path_formula(self, n, expected):
+        assert treedepth_of_path(n) == expected
+
+    def test_treedepth_of_path_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            treedepth_of_path(0)
+
+
+class TestExactTreedepth:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 15])
+    def test_paths_match_closed_form(self, n):
+        assert exact_treedepth(path_graph(n)) == treedepth_of_path(n)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_cliques(self, n):
+        assert exact_treedepth(nx.complete_graph(n)) == n
+
+    def test_star(self):
+        assert exact_treedepth(nx.star_graph(6)) == 2
+
+    @pytest.mark.parametrize("n,expected", [(3, 3), (4, 3), (5, 4), (8, 4)])
+    def test_cycles(self, n, expected):
+        # td(C_n) = 1 + td(P_{n-1}) = 1 + ceil(log2(n)).
+        assert exact_treedepth(nx.cycle_graph(n)) == expected
+
+    def test_figure1_p7_has_treedepth_3(self):
+        """Figure 1 of the paper (vertex-counted convention, see DESIGN.md)."""
+        assert exact_treedepth(path_graph(7)) == 3
+
+    def test_lemma_7_3_building_block(self):
+        """Two 8-cycles behind an apex have treedepth 5 — the yes-side of
+        Lemma 7.3 (a single 8-cycle with an apex only has treedepth 4, the
+        second cycle is what forces a cop onto the apex)."""
+        assert exact_treedepth(union_of_cycles_with_apex([8])) == 4
+        assert exact_treedepth(union_of_cycles_with_apex([8, 8])) == 5
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            exact_treedepth(nx.path_graph(30))
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_generator_graphs_within_bound(self, depth):
+        for seed in range(3):
+            graph = bounded_treedepth_graph(depth, branching=2, seed=seed)
+            if graph.number_of_nodes() <= 14:
+                assert exact_treedepth(graph) <= depth
+
+    def test_complete_binary_tree(self):
+        # td of the complete binary tree of depth d is d+1.
+        assert exact_treedepth(complete_binary_tree(2)) == 3
+        assert exact_treedepth(complete_binary_tree(3)) == 4
+
+
+class TestOptimalEliminationTree:
+    @pytest.mark.parametrize("builder,args", [
+        (path_graph, (7,)),
+        (nx.complete_graph, (4,)),
+        (nx.cycle_graph, (6,)),
+        (nx.star_graph, (5,)),
+    ])
+    def test_tree_is_valid_and_optimal(self, builder, args):
+        graph = builder(*args)
+        tree = optimal_elimination_tree(graph)
+        assert is_valid_model(graph, tree)
+        assert tree.depth == exact_treedepth(graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        graph = random_connected_graph(9, p=0.3, seed=seed)
+        tree = optimal_elimination_tree(graph)
+        assert is_valid_model(graph, tree)
+        assert tree.depth == exact_treedepth(graph)
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            optimal_elimination_tree(nx.Graph([(0, 1), (2, 3)]))
+
+
+class TestDFSUpperBound:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dfs_tree_is_valid_model(self, seed):
+        graph = random_connected_graph(12, p=0.3, seed=seed)
+        depth, tree = treedepth_upper_bound_dfs(graph)
+        assert is_valid_model(graph, tree)
+        assert depth == tree.depth
+        assert depth >= exact_treedepth(graph)
+
+    def test_dfs_on_clique_gives_exact(self):
+        depth, _ = treedepth_upper_bound_dfs(nx.complete_graph(5))
+        assert depth == 5

@@ -1,0 +1,141 @@
+"""Tests for elimination trees, coherence and exit vertices."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import bounded_treedepth_graph, path_graph
+from repro.treedepth.elimination_tree import (
+    EliminationTree,
+    exit_vertex,
+    is_coherent,
+    is_valid_model,
+    make_coherent,
+)
+
+
+def p7_model() -> EliminationTree:
+    """The Figure 1 elimination tree of P_7 (vertices 0..6, root 3)."""
+    return EliminationTree({3: None, 1: 3, 5: 3, 0: 1, 2: 1, 4: 5, 6: 5})
+
+
+class TestEliminationTree:
+    def test_p7_model_is_valid(self):
+        assert is_valid_model(path_graph(7), p7_model(), depth=3)
+
+    def test_depths(self):
+        tree = p7_model()
+        assert tree.depth == 3
+        assert tree.depth_of(3) == 1
+        assert tree.depth_of(1) == 2
+        assert tree.depth_of(0) == 3
+
+    def test_ancestors(self):
+        tree = p7_model()
+        assert tree.ancestors(0) == [1, 3]
+        assert tree.ancestors(0, include_self=True) == [0, 1, 3]
+        assert tree.ancestors(3) == []
+
+    def test_children_and_subtree(self):
+        tree = p7_model()
+        assert sorted(tree.children(3)) == [1, 5]
+        assert sorted(tree.subtree_vertices(1)) == [0, 1, 2]
+        assert sorted(tree.subtree_vertices(3)) == list(range(7))
+
+    def test_root_property(self):
+        assert p7_model().root == 3
+
+    def test_bottom_up_order(self):
+        tree = p7_model()
+        order = list(tree.iter_bottom_up())
+        assert order.index(0) < order.index(1) < order.index(3)
+
+    def test_cycle_in_parents_rejected(self):
+        with pytest.raises(ValueError):
+            EliminationTree({0: 1, 1: 0})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            EliminationTree({0: 7})
+
+    def test_is_ancestor(self):
+        tree = p7_model()
+        assert tree.is_ancestor(3, 0)
+        assert tree.is_ancestor(0, 0)
+        assert not tree.is_ancestor(0, 3)
+
+    def test_as_networkx(self):
+        digraph = p7_model().as_networkx()
+        assert digraph.number_of_edges() == 6
+        assert digraph.has_edge(3, 1)
+
+
+class TestValidity:
+    def test_flat_star_model_of_clique(self):
+        clique = nx.complete_graph(3)
+        chain = EliminationTree({0: None, 1: 0, 2: 1})
+        assert is_valid_model(clique, chain)
+
+    def test_invalid_model_detected(self):
+        graph = path_graph(3)
+        bad = EliminationTree({0: None, 1: 0, 2: 1})
+        # Edge (1,2) is ancestor-descendant, edge (0,1) too: actually valid.
+        assert is_valid_model(graph, bad)
+        worse = EliminationTree({1: None, 0: 1, 2: 0})
+        # Edge (1,2): 1 is root, 2 below 0 — still ancestor/descendant; valid too.
+        assert is_valid_model(graph, worse)
+        truly_bad = EliminationTree({0: None, 1: 0, 2: 0})
+        # Edge (1,2) joins two siblings: not a valid model of P3.
+        assert not is_valid_model(graph, truly_bad)
+
+    def test_depth_bound_enforced(self):
+        graph = path_graph(3)
+        chain = EliminationTree({0: None, 1: 0, 2: 1})
+        assert is_valid_model(graph, chain, depth=3)
+        assert not is_valid_model(graph, chain, depth=2)
+
+    def test_wrong_vertex_set_rejected(self):
+        graph = path_graph(3)
+        assert not is_valid_model(graph, EliminationTree({0: None, 1: 0}))
+
+
+class TestCoherence:
+    def test_p7_model_is_coherent(self):
+        assert is_coherent(path_graph(7), p7_model())
+
+    def test_incoherent_model_detected_and_repaired(self):
+        # P4 with the model 1 -> 0 -> 2 -> 3 (as a chain rooted at 1):
+        # the subtree {3} hangs below 2 but 3's only edge goes to 2 — fine;
+        # instead build one where a subtree is attached too low.
+        graph = nx.Graph([(0, 1), (1, 2), (2, 3), (1, 3)])
+        model = EliminationTree({1: None, 2: 1, 3: 2, 0: 3})
+        # Vertex 0 is only adjacent to 1, not to anything in the subtree of 3.
+        assert is_valid_model(graph, model)
+        assert not is_coherent(graph, model)
+        repaired = make_coherent(graph, model)
+        assert is_valid_model(graph, repaired)
+        assert is_coherent(graph, repaired)
+        assert repaired.depth <= model.depth
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_make_coherent_preserves_validity_and_depth(self, seed):
+        graph = bounded_treedepth_graph(3, branching=2, seed=seed)
+        from repro.treedepth.decomposition import treedepth_upper_bound_dfs
+
+        _, model = treedepth_upper_bound_dfs(graph)
+        repaired = make_coherent(graph, model)
+        assert is_valid_model(graph, repaired)
+        assert is_coherent(graph, repaired)
+        assert repaired.depth <= model.depth
+
+    def test_exit_vertex_exists_in_coherent_model(self):
+        graph = path_graph(7)
+        tree = p7_model()
+        assert exit_vertex(graph, tree, 1) in {0, 1, 2}
+        # Exit vertex of 1 must be adjacent to 3: that is vertex 2.
+        assert exit_vertex(graph, tree, 1) == 2
+
+    def test_exit_vertex_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            exit_vertex(path_graph(7), p7_model(), 3)

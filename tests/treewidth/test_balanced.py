@@ -1,0 +1,111 @@
+"""Tests for the balanced (logarithmic-depth) decomposition constructions."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import caterpillar
+from repro.treewidth.balanced import (
+    balanced_caterpillar_decomposition,
+    balanced_cycle_decomposition,
+    balanced_decomposition,
+    balanced_path_decomposition,
+    path_order,
+)
+from repro.treewidth.decomposition import is_valid_decomposition, root_decomposition
+
+
+class TestPathOrder:
+    def test_orders_relabelled_path(self):
+        graph = nx.relabel_nodes(nx.path_graph(6), {i: f"v{i}" for i in range(6)})
+        order = path_order(graph)
+        assert len(order) == 6
+        for a, b in zip(order, order[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_single_vertex(self):
+        assert list(path_order(nx.path_graph(1))) == [0]
+
+    def test_rejects_non_paths(self):
+        with pytest.raises(ValueError):
+            path_order(nx.star_graph(3))
+        with pytest.raises(ValueError):
+            path_order(nx.cycle_graph(4))
+
+
+class TestBalancedPath:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 64, 200])
+    def test_valid_width_two(self, n):
+        graph = nx.path_graph(n)
+        decomposition = balanced_path_decomposition(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width <= 2
+
+    @pytest.mark.parametrize("n", [16, 64, 256, 1024])
+    def test_depth_is_logarithmic(self, n):
+        graph = nx.path_graph(n)
+        rooted = root_decomposition(balanced_path_decomposition(graph), root=0)
+        assert rooted.depth <= 2 * math.ceil(math.log2(n)) + 2
+
+
+class TestBalancedCycle:
+    @pytest.mark.parametrize("n", [3, 4, 7, 32, 101])
+    def test_valid_width_three(self, n):
+        graph = nx.cycle_graph(n)
+        decomposition = balanced_cycle_decomposition(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width <= 3
+
+    def test_depth_is_logarithmic(self):
+        graph = nx.cycle_graph(256)
+        rooted = root_decomposition(balanced_cycle_decomposition(graph), root=0)
+        assert rooted.depth <= 2 * math.ceil(math.log2(256)) + 2
+
+    def test_rejects_non_cycles(self):
+        with pytest.raises(ValueError):
+            balanced_cycle_decomposition(nx.path_graph(5))
+
+
+class TestBalancedCaterpillar:
+    @pytest.mark.parametrize("spine, legs", [(3, 1), (5, 2), (10, 3), (1, 4)])
+    def test_valid_and_narrow(self, spine, legs):
+        graph = caterpillar(spine, legs_per_vertex=legs)
+        decomposition = balanced_caterpillar_decomposition(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width <= 2
+
+    def test_single_edge(self):
+        graph = nx.path_graph(2)
+        decomposition = balanced_caterpillar_decomposition(graph)
+        assert is_valid_decomposition(graph, decomposition)
+
+    def test_star(self):
+        graph = nx.star_graph(9)
+        decomposition = balanced_caterpillar_decomposition(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width <= 1
+
+    def test_rejects_non_trees(self):
+        with pytest.raises(ValueError):
+            balanced_caterpillar_decomposition(nx.cycle_graph(5))
+
+    def test_rejects_non_caterpillars(self):
+        # A complete binary tree of depth 3 has internal branching in its spine.
+        from repro.graphs.generators import complete_binary_tree
+
+        with pytest.raises(ValueError):
+            balanced_caterpillar_decomposition(complete_binary_tree(4))
+
+
+class TestDispatch:
+    def test_path_cycle_and_caterpillar(self):
+        for graph in (nx.path_graph(9), nx.cycle_graph(9), caterpillar(4, legs_per_vertex=2)):
+            decomposition = balanced_decomposition(graph)
+            assert is_valid_decomposition(graph, decomposition)
+
+    def test_unsupported_family_raises(self):
+        with pytest.raises(ValueError):
+            balanced_decomposition(nx.complete_graph(4))

@@ -1,0 +1,171 @@
+"""Tests for tree decompositions (data structure, validity, construction)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.treewidth.decomposition import (
+    TreeDecomposition,
+    decomposition_from_elimination_order,
+    greedy_decomposition,
+    is_valid_decomposition,
+    root_decomposition,
+    topmost_bag_assignment,
+)
+
+
+def _single_bag_decomposition(graph: nx.Graph) -> TreeDecomposition:
+    return TreeDecomposition(bags={0: frozenset(graph.nodes())}, tree_edges=())
+
+
+class TestValidity:
+    def test_single_bag_is_always_valid(self):
+        graph = nx.complete_graph(4)
+        assert is_valid_decomposition(graph, _single_bag_decomposition(graph))
+
+    def test_missing_vertex_invalid(self):
+        graph = nx.path_graph(3)
+        decomposition = TreeDecomposition(bags={0: frozenset({0, 1})}, tree_edges=())
+        assert not is_valid_decomposition(graph, decomposition)
+
+    def test_missing_edge_invalid(self):
+        graph = nx.path_graph(3)
+        decomposition = TreeDecomposition(
+            bags={0: frozenset({0, 1}), 1: frozenset({2})}, tree_edges=((0, 1),)
+        )
+        assert not is_valid_decomposition(graph, decomposition)
+
+    def test_disconnected_occurrence_invalid(self):
+        # Vertex 0 appears in two bags that are not adjacent in the tree.
+        graph = nx.path_graph(3)
+        decomposition = TreeDecomposition(
+            bags={
+                0: frozenset({0, 1}),
+                1: frozenset({1, 2}),
+                2: frozenset({2, 0}),
+            },
+            tree_edges=((0, 1), (1, 2)),
+        )
+        assert not is_valid_decomposition(graph, decomposition)
+
+    def test_non_tree_shape_invalid(self):
+        graph = nx.path_graph(3)
+        decomposition = TreeDecomposition(
+            bags={0: frozenset({0, 1}), 1: frozenset({1, 2}), 2: frozenset({0, 1, 2})},
+            tree_edges=((0, 1), (1, 2), (2, 0)),
+        )
+        assert not is_valid_decomposition(graph, decomposition)
+
+    def test_width_of_single_vertex(self):
+        graph = nx.path_graph(1)
+        decomposition = _single_bag_decomposition(graph)
+        assert decomposition.width == 0
+
+
+class TestEliminationOrderConstruction:
+    def test_path_natural_order_has_width_one(self):
+        graph = nx.path_graph(6)
+        decomposition = decomposition_from_elimination_order(graph, list(range(6)))
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width == 1
+
+    def test_cycle_has_width_two(self):
+        graph = nx.cycle_graph(6)
+        decomposition = decomposition_from_elimination_order(graph, list(range(6)))
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width == 2
+
+    def test_bad_order_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            decomposition_from_elimination_order(graph, [0, 1])
+
+    def test_clique_any_order_gives_full_width(self):
+        graph = nx.complete_graph(5)
+        decomposition = decomposition_from_elimination_order(graph, list(range(5)))
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_yield_valid_decompositions(self, seed):
+        graph = random_connected_graph(10, p=0.3, seed=seed)
+        order = sorted(graph.nodes())
+        decomposition = decomposition_from_elimination_order(graph, order)
+        assert is_valid_decomposition(graph, decomposition)
+
+
+class TestGreedyDecomposition:
+    @pytest.mark.parametrize("heuristic", ["min_fill_in", "min_degree"])
+    def test_valid_on_random_graphs(self, heuristic):
+        graph = random_connected_graph(15, p=0.25, seed=2)
+        decomposition = greedy_decomposition(graph, heuristic=heuristic)
+        assert is_valid_decomposition(graph, decomposition)
+
+    def test_path_width_one(self):
+        decomposition = greedy_decomposition(nx.path_graph(10))
+        assert decomposition.width == 1
+
+    def test_single_vertex(self):
+        decomposition = greedy_decomposition(nx.path_graph(1))
+        assert decomposition.width == 0
+        assert decomposition.number_of_bags == 1
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_decomposition(nx.path_graph(3), heuristic="magic")
+
+
+class TestRootingAndAssignment:
+    def test_rooting_sets_parents(self):
+        graph = nx.path_graph(6)
+        decomposition = root_decomposition(greedy_decomposition(graph))
+        assert decomposition.root is not None
+        assert decomposition.parent[decomposition.root] is None
+        # Every non-root bag has a parent and reaches the root.
+        for bag_id in decomposition.bags:
+            assert decomposition.ancestors_of(bag_id)[-1] == decomposition.root
+
+    def test_depth_of_root_is_zero(self):
+        decomposition = root_decomposition(greedy_decomposition(nx.path_graph(5)))
+        assert decomposition.depth_of(decomposition.root) == 0
+
+    def test_unrooted_depth_queries_raise(self):
+        decomposition = greedy_decomposition(nx.path_graph(5))
+        with pytest.raises(ValueError):
+            decomposition.depth_of(0)
+
+    def test_explicit_root(self):
+        decomposition = greedy_decomposition(nx.path_graph(5))
+        some_bag = max(decomposition.bags)
+        rooted = root_decomposition(decomposition, root=some_bag)
+        assert rooted.root == some_bag
+
+    def test_missing_root_rejected(self):
+        decomposition = greedy_decomposition(nx.path_graph(5))
+        with pytest.raises(ValueError):
+            root_decomposition(decomposition, root=999)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_topmost_assignment_invariants(self, seed):
+        graph = random_connected_graph(12, p=0.3, seed=seed)
+        rooted = root_decomposition(greedy_decomposition(graph))
+        assignment = topmost_bag_assignment(graph, rooted)
+        depth = {bag_id: rooted.depth_of(bag_id) for bag_id in rooted.bags}
+        for vertex, bag_id in assignment.items():
+            assert vertex in rooted.bags[bag_id]
+            # No strictly higher bag contains the vertex.
+            for other in rooted.bags_containing(vertex):
+                assert depth[other] >= depth[bag_id]
+        # For every edge the deeper endpoint's topmost bag contains both ends.
+        for u, v in graph.edges():
+            deeper = u if depth[assignment[u]] >= depth[assignment[v]] else v
+            other = v if deeper == u else u
+            assert other in rooted.bags[assignment[deeper]]
+            assert deeper in rooted.bags[assignment[deeper]]
+
+    def test_assignment_requires_rooted_decomposition(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            topmost_bag_assignment(graph, greedy_decomposition(graph))

@@ -1,0 +1,105 @@
+"""Tests for exact treewidth, bounds and the decision helper."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.treewidth.decomposition import is_valid_decomposition
+from repro.treewidth.exact import (
+    TreewidthUndecided,
+    decide_treewidth_at_most,
+    exact_treewidth,
+    known_treewidth_families,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+)
+
+
+class TestExactTreewidth:
+    @pytest.mark.parametrize(
+        "graph, expected",
+        [
+            (nx.path_graph(1), 0),
+            (nx.path_graph(2), 1),
+            (nx.path_graph(8), 1),
+            (nx.star_graph(6), 1),
+            (nx.cycle_graph(5), 2),
+            (nx.cycle_graph(10), 2),
+            (nx.complete_graph(4), 3),
+            (nx.complete_graph(6), 5),
+            (nx.complete_bipartite_graph(2, 3), 2),
+            (nx.complete_bipartite_graph(3, 3), 3),
+            (nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3)), 3),
+            (nx.petersen_graph(), 4),
+        ],
+    )
+    def test_textbook_values(self, graph, expected):
+        width, decomposition = exact_treewidth(graph)
+        assert width == expected
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width == expected
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            exact_treewidth(nx.path_graph(40))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_between_bounds_on_random_graphs(self, seed):
+        graph = random_connected_graph(9, p=0.35, seed=seed)
+        width, decomposition = exact_treewidth(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert treewidth_lower_bound(graph) <= width <= treewidth_upper_bound(graph)[0]
+
+    def test_known_families_catalogue(self):
+        for name, (graph, expected) in known_treewidth_families().items():
+            width, _ = exact_treewidth(graph) if graph.number_of_nodes() <= 14 else (expected, None)
+            assert width == expected, name
+
+
+class TestBounds:
+    def test_upper_bound_decomposition_is_valid(self):
+        graph = random_connected_graph(20, p=0.2, seed=1)
+        width, decomposition = treewidth_upper_bound(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width == width
+
+    def test_lower_bound_on_cliques(self):
+        assert treewidth_lower_bound(nx.complete_graph(7)) == 6
+
+    def test_lower_bound_trivial_graphs(self):
+        assert treewidth_lower_bound(nx.path_graph(1)) == 0
+        assert treewidth_lower_bound(nx.path_graph(2)) == 1
+
+
+class TestDecision:
+    def test_path_is_width_one(self):
+        assert decide_treewidth_at_most(nx.path_graph(50), 1)
+        assert not decide_treewidth_at_most(nx.cycle_graph(50), 1)
+
+    def test_cycle_is_width_two(self):
+        assert decide_treewidth_at_most(nx.cycle_graph(50), 2)
+
+    def test_clique_needs_full_width(self):
+        assert decide_treewidth_at_most(nx.complete_graph(6), 5)
+        assert not decide_treewidth_at_most(nx.complete_graph(6), 4)
+
+    def test_negative_k(self):
+        assert not decide_treewidth_at_most(nx.path_graph(3), -1)
+
+    def test_exact_fallback_on_small_ambiguous_graph(self):
+        # Petersen graph: heuristics may give width 5 while the true value is 4.
+        graph = nx.petersen_graph()
+        assert decide_treewidth_at_most(graph, 4)
+        assert not decide_treewidth_at_most(graph, 3)
+
+    def test_undecided_raises_on_large_ambiguous_instances(self):
+        # A large random graph whose bounds straddle k and that is too big for
+        # the exact DP must raise instead of guessing.
+        graph = random_connected_graph(40, p=0.2, seed=0)
+        lower = treewidth_lower_bound(graph)
+        upper, _ = treewidth_upper_bound(graph)
+        if lower < upper:  # the interesting case; holds for this seed
+            with pytest.raises(TreewidthUndecided):
+                decide_treewidth_at_most(graph, upper - 1, max_exact_vertices=10)

@@ -1,0 +1,85 @@
+"""Tests for nice tree decompositions."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.treewidth.decomposition import (
+    TreeDecomposition,
+    greedy_decomposition,
+    is_valid_decomposition,
+)
+from repro.treewidth.nice import NiceNodeKind, make_nice
+
+
+class TestMakeNice:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            nx.path_graph(2),
+            nx.path_graph(7),
+            nx.cycle_graph(6),
+            nx.star_graph(5),
+            nx.complete_graph(4),
+            nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3)),
+        ],
+    )
+    def test_width_preserved_and_well_formed(self, graph):
+        decomposition = greedy_decomposition(graph)
+        nice = make_nice(graph, decomposition)
+        assert nice.is_well_formed()
+        assert nice.width == decomposition.width
+        # Flattening back yields a valid decomposition of the same graph
+        # (empty bags are allowed in nice decompositions, so drop them for
+        # the coverage axioms by checking only edge/vertex coverage hold).
+        flattened = nice.to_tree_decomposition()
+        non_empty = {i: b for i, b in flattened.bags.items() if b}
+        covered = set()
+        for bag in non_empty.values():
+            covered.update(bag)
+        assert covered == set(graph.nodes())
+        for u, v in graph.edges():
+            assert any(u in bag and v in bag for bag in non_empty.values())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        graph = random_connected_graph(10, p=0.3, seed=seed)
+        nice = make_nice(graph, greedy_decomposition(graph))
+        assert nice.is_well_formed()
+
+    def test_root_bag_is_empty(self):
+        graph = nx.path_graph(5)
+        nice = make_nice(graph, greedy_decomposition(graph))
+        assert nice.nodes[nice.root].bag == frozenset()
+
+    def test_node_kinds_present(self):
+        graph = nx.star_graph(4)
+        nice = make_nice(graph, greedy_decomposition(graph))
+        kinds = {node.kind for node in nice.nodes.values()}
+        assert NiceNodeKind.LEAF in kinds
+        assert NiceNodeKind.INTRODUCE in kinds
+        assert NiceNodeKind.FORGET in kinds
+
+    def test_join_nodes_for_branching_decompositions(self):
+        # A spider has a decomposition tree with branching, which forces joins.
+        graph = nx.star_graph(6)
+        nice = make_nice(graph, greedy_decomposition(graph))
+        joins = [n for n in nice.nodes.values() if n.kind is NiceNodeKind.JOIN]
+        assert joins, "expected at least one join node"
+        for join in joins:
+            for child in join.children:
+                assert nice.nodes[child].bag == join.bag
+
+    def test_invalid_decomposition_rejected(self):
+        graph = nx.path_graph(4)
+        bogus = TreeDecomposition(bags={0: frozenset({0, 1})}, tree_edges=())
+        with pytest.raises(ValueError):
+            make_nice(graph, bogus)
+
+    def test_node_count_linear_in_n_times_width(self):
+        graph = nx.path_graph(30)
+        decomposition = greedy_decomposition(graph)
+        nice = make_nice(graph, decomposition)
+        assert nice.number_of_nodes <= 10 * (decomposition.width + 1) * graph.number_of_nodes()

@@ -1,0 +1,72 @@
+"""Tests for the width-parameter inequality helpers."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.treewidth.decomposition import greedy_decomposition, root_decomposition
+from repro.treewidth.relations import (
+    pathwidth_upper_bound,
+    treewidth_of_known_families,
+    verify_parameter_inequalities,
+)
+
+
+class TestPathwidthUpperBound:
+    def test_single_bag(self):
+        graph = nx.complete_graph(4)
+        rooted = root_decomposition(greedy_decomposition(graph))
+        assert pathwidth_upper_bound(graph, rooted) >= 3
+
+    def test_path_bound_small(self):
+        graph = nx.path_graph(8)
+        rooted = root_decomposition(greedy_decomposition(graph))
+        bound = pathwidth_upper_bound(graph, rooted)
+        assert bound >= 1  # pathwidth of a path is 1
+
+    def test_accepts_unrooted_decomposition(self):
+        graph = nx.cycle_graph(5)
+        bound = pathwidth_upper_bound(graph, greedy_decomposition(graph))
+        assert bound >= 2
+
+
+class TestParameterInequalities:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            nx.path_graph(7),
+            nx.cycle_graph(6),
+            nx.star_graph(5),
+            nx.complete_graph(4),
+            nx.complete_bipartite_graph(2, 3),
+        ],
+    )
+    def test_chain_on_named_graphs(self, graph):
+        report = verify_parameter_inequalities(graph)
+        assert report.chain_holds
+        assert report.path_bound_holds
+        assert report.treewidth <= report.pathwidth_upper
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_chain_on_random_graphs(self, seed):
+        graph = random_connected_graph(9, p=0.3, seed=seed)
+        report = verify_parameter_inequalities(graph)
+        assert report.chain_holds
+        assert report.path_bound_holds
+
+    def test_path_values(self):
+        report = verify_parameter_inequalities(nx.path_graph(7))
+        assert report.treewidth == 1
+        assert report.treedepth == 3
+        assert report.longest_path_vertices == 7
+        assert report.treedepth >= math.log2(8)
+
+    def test_known_family_rows(self):
+        rows = treewidth_of_known_families(max_path=6)
+        values = {name: width for name, _, width in rows}
+        assert values["P5"] == 1
+        assert values["C5"] == 2
