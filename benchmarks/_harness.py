@@ -16,8 +16,8 @@ from typing import Callable, Dict, Iterable, Sequence
 
 import networkx as nx
 
+from repro.core.cache import cached_identifiers
 from repro.core.scheme import CertificationScheme, evaluate_scheme
-from repro.network.ids import assign_identifiers
 
 
 def measure_scheme_sizes(
@@ -28,7 +28,7 @@ def measure_scheme_sizes(
     """Max certificate bits of the honest proof for each instance, keyed by n."""
     sizes: Dict[int, int] = {}
     for key, graph in sorted(instances.items()):
-        sizes[key] = scheme.max_certificate_bits(graph, seed=seed)
+        sizes[key] = scheme.max_certificate_bits(graph, ids=cached_identifiers(graph, seed))
     return sizes
 
 
@@ -37,13 +37,18 @@ def check_instances(
     yes_instances: Iterable[nx.Graph] = (),
     no_instances: Iterable[nx.Graph] = (),
     seed: int = 0,
+    engine: str = "compiled",
 ) -> None:
-    """Assert completeness on yes-instances and sampled soundness on no-instances."""
+    """Assert completeness on yes-instances and sampled soundness on no-instances.
+
+    Runs on the compile-once engine by default so repeated sweeps over the
+    same instances reuse topology, identifier and ground-truth caches.
+    """
     for graph in yes_instances:
-        report = evaluate_scheme(scheme, graph, seed=seed)
+        report = evaluate_scheme(scheme, graph, seed=seed, engine=engine)
         assert report.holds and report.completeness_ok, scheme.name
     for graph in no_instances:
-        report = evaluate_scheme(scheme, graph, seed=seed)
+        report = evaluate_scheme(scheme, graph, seed=seed, engine=engine)
         assert not report.holds and report.soundness_ok, scheme.name
 
 
@@ -58,7 +63,9 @@ def log2(n: int) -> float:
     return math.log2(max(2, n))
 
 
-def prove_and_verify_once(scheme: CertificationScheme, graph: nx.Graph, seed: int = 0) -> bool:
+def prove_and_verify_once(
+    scheme: CertificationScheme, graph: nx.Graph, seed: int = 0, engine: str = "compiled"
+) -> bool:
     """One full prove + distributed-verify round; used as the timed kernel."""
-    report = evaluate_scheme(scheme, graph, seed=seed)
+    report = evaluate_scheme(scheme, graph, seed=seed, engine=engine)
     return bool(report.completeness_ok)

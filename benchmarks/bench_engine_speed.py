@@ -1,0 +1,152 @@
+"""Engine microbenchmark: compile-once topology vs. the legacy simulator.
+
+Times the two kernels every experiment in the repo bottoms out in:
+
+* ``evaluate``   — repeated ``evaluate_scheme`` calls on the same instances
+  (the certificate-size series and soundness sweeps), legacy per-assignment
+  view building vs. the compiled engine with topology/ground-truth caches;
+* ``exhaustive`` — the exhaustive-soundness kernel, ``2**(bits*n)``
+  certificate assignments against one tiny no-instance.
+
+Results (wall-clock seconds, assignments/sec, speedups) are printed and
+written to ``BENCH_engine.json`` next to this file, so the performance
+trajectory of the hot path is tracked from PR 1 onward.
+
+Usage::
+
+    python benchmarks/bench_engine_speed.py           # full measurement
+    python benchmarks/bench_engine_speed.py --quick   # CI smoke variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import networkx as nx
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import clear_caches  # noqa: E402
+from repro.core.scheme import (  # noqa: E402
+    evaluate_scheme,
+    exhaustive_soundness_holds,
+)
+from repro.core.simple_schemes import BipartitenessScheme  # noqa: E402
+from repro.core.spanning_tree import TreeScheme  # noqa: E402
+from repro.core.treedepth_scheme import TreedepthScheme  # noqa: E402
+from repro.graphs.generators import random_tree  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _timed(fn, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return time.perf_counter() - start
+
+
+def bench_evaluate(quick: bool) -> dict:
+    """Repeated ``evaluate_scheme`` on a fixed instance pool, both engines."""
+    n = 40 if quick else 120
+    repeats = 3 if quick else 15
+    instances = [
+        (TreeScheme(), random_tree(n, seed=3)),           # yes-instance
+        (TreeScheme(), nx.cycle_graph(n)),                # no-instance
+        (BipartitenessScheme(), nx.cycle_graph(n + 1)),   # odd cycle: no
+        (TreedepthScheme(4), nx.path_graph(15)),          # decision procedure
+    ]
+
+    def sweep(engine: str) -> None:
+        for scheme, graph in instances:
+            evaluate_scheme(scheme, graph, seed=0, engine=engine)
+
+    # Sanity: both engines agree on every instance before timing anything.
+    clear_caches()
+    for scheme, graph in instances:
+        compiled = evaluate_scheme(scheme, graph, seed=0, engine="compiled")
+        legacy = evaluate_scheme(scheme, graph, seed=0, engine="legacy")
+        assert compiled == legacy, (scheme.name, compiled, legacy)
+
+    legacy_s = _timed(lambda: sweep("legacy"), repeats)
+    clear_caches()
+    compiled_s = _timed(lambda: sweep("compiled"), repeats)
+    return {
+        "n": n,
+        "repeats": repeats,
+        "evaluations": repeats * len(instances),
+        "legacy_s": legacy_s,
+        "compiled_s": compiled_s,
+        "speedup": legacy_s / compiled_s if compiled_s else float("inf"),
+    }
+
+
+def bench_exhaustive(quick: bool) -> dict:
+    """The exhaustive-soundness kernel on a tiny no-instance."""
+    scheme = TreeScheme()
+    graph = nx.cycle_graph(4 if quick else 5)  # not a tree: a no-instance
+    max_bits = 2
+    repeats = 1 if quick else 3
+    assignments = (1 << max_bits) ** graph.number_of_nodes()
+
+    def run(engine: str) -> None:
+        result = exhaustive_soundness_holds(scheme, graph, max_bits=max_bits, engine=engine)
+        assert result is True
+
+    legacy_s = _timed(lambda: run("legacy"), repeats)
+    clear_caches()
+    compiled_s = _timed(lambda: run("compiled"), repeats)
+    total = assignments * repeats
+    return {
+        "n": graph.number_of_nodes(),
+        "max_bits": max_bits,
+        "assignments": assignments,
+        "repeats": repeats,
+        "legacy_s": legacy_s,
+        "compiled_s": compiled_s,
+        "legacy_assignments_per_s": total / legacy_s if legacy_s else float("inf"),
+        "compiled_assignments_per_s": total / compiled_s if compiled_s else float("inf"),
+        "speedup": legacy_s / compiled_s if compiled_s else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_PATH,
+        help=f"where to write the JSON report (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "engine_speed",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "kernels": {
+            "evaluate": bench_evaluate(args.quick),
+            "exhaustive": bench_exhaustive(args.quick),
+        },
+    }
+
+    print("\n[engine speed: compiled vs legacy]")
+    for name, kernel in report["kernels"].items():
+        print(
+            f"  {name:<11} legacy {kernel['legacy_s']:8.3f}s   "
+            f"compiled {kernel['compiled_s']:8.3f}s   "
+            f"speedup {kernel['speedup']:6.2f}x"
+        )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Generic bounded LRU caching keyed by exact graph structure.
+
+The evaluation harness and the decision procedures repeatedly pay for work
+that only depends on the graph: exponential treedepth/treewidth solvers,
+decomposition builders, identifier draws, compiled network topologies.  This
+module provides the cycle-free substrate — a small thread-safe LRU cache, an
+*exact* structural fingerprint for graphs, and a memoisation decorator — that
+both :mod:`repro.core.cache` (scheme-level helpers) and the decomposition
+modules build on.  It deliberately imports nothing from ``repro`` subpackages
+so any layer of the code base can use it.
+
+Keys never rely on ``hash()`` truncation tricks: fingerprints keep the vertex
+and edge frozensets themselves, so two graphs collide iff they are equal as
+labelled graphs — precisely the inputs every cached computation depends on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+import networkx as nx
+
+GraphFingerprint = Tuple[int, int, frozenset, frozenset]
+
+
+class LRUCache:
+    """A tiny thread-safe LRU cache with a ``get_or_compute`` primitive."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+        # Compute outside the lock: decision procedures can be slow, and a
+        # duplicated computation is cheaper than serialising all callers.
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+            self.misses += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_REGISTRY: Dict[str, LRUCache] = {}
+_registry_lock = threading.Lock()
+
+
+def register_cache(name: str, cache: LRUCache) -> LRUCache:
+    """Register a cache under ``name`` so global clear/stats can reach it."""
+    with _registry_lock:
+        _REGISTRY[name] = cache
+    return cache
+
+
+def clear_caches() -> None:
+    """Drop every registered cached value (tests and long-running services)."""
+    with _registry_lock:
+        caches = list(_REGISTRY.values())
+    for cache in caches:
+        cache.clear()
+
+
+def cache_stats() -> dict:
+    """Hit/miss/size counters per registered cache, for observability."""
+    with _registry_lock:
+        caches = dict(_REGISTRY)
+    return {
+        name: {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
+        for name, cache in caches.items()
+    }
+
+
+def graph_fingerprint(graph: nx.Graph) -> GraphFingerprint:
+    """An exact, hashable structural key for a graph.
+
+    Two graphs share a fingerprint iff they have the same vertex set and the
+    same (undirected) edge set, so mutating or rebuilding a graph naturally
+    misses the cache while re-evaluating the same instance hits it.
+
+    Graph/node/edge *attributes* are deliberately not part of the key: every
+    property in this code base is a function of the labelled structure alone
+    (the paper's model has no weights).  Do not cache computations that read
+    attributes (e.g. a ``UniversalScheme`` property checker over weighted
+    graphs) on this fingerprint.
+    """
+    nodes = frozenset(graph.nodes())
+    edges = frozenset(frozenset(edge) for edge in graph.edges())
+    return (len(nodes), len(edges), nodes, edges)
+
+
+_graph_fn_cache = register_cache("graph_functions", LRUCache(maxsize=512))
+
+
+def memoize_on_graph(fn: Callable) -> Callable:
+    """Memoise ``fn(graph, *args, **kwargs)`` on the graph's structure.
+
+    Intended for expensive pure graph computations (decompositions, exact
+    width/depth decision procedures).  Extra arguments must be hashable.
+    The cached value is returned as-is, so decorated functions must return
+    values their callers treat as read-only — which is already the contract
+    for decompositions and elimination trees.  Exceptions propagate uncached.
+    """
+
+    def wrapper(graph: nx.Graph, *args, **kwargs):
+        key = (
+            fn.__module__,
+            fn.__qualname__,
+            graph_fingerprint(graph),
+            args,
+            tuple(sorted(kwargs.items())),
+        )
+        return _graph_fn_cache.get_or_compute(key, lambda: fn(graph, *args, **kwargs))
+
+    wrapper.__name__ = fn.__name__
+    wrapper.__qualname__ = fn.__qualname__
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__wrapped__ = fn
+    return wrapper

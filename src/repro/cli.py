@@ -116,7 +116,13 @@ def cmd_certify(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown scheme {args.scheme!r}; run 'python -m repro.cli list'")
     scheme = factory(args.param)
     graph = build_graph(args.graph, seed=args.seed)
-    report = evaluate_scheme(scheme, graph, seed=args.seed)
+    report = evaluate_scheme(
+        scheme,
+        graph,
+        seed=args.seed,
+        adversarial_trials=args.trials,
+        engine=args.engine,
+    )
     print(f"scheme:     {scheme.name}")
     print(f"graph:      {args.graph} ({graph.number_of_nodes()} vertices, "
           f"{graph.number_of_edges()} edges)")
@@ -154,6 +160,19 @@ def main(argv: Optional[list] = None) -> int:
     certify.add_argument("--param", default=None, help="scheme parameter (t, k, colours, ...)")
     certify.add_argument("--graph", required=True, help="graph specifier, e.g. path:15 or file:edges.txt")
     certify.add_argument("--seed", type=int, default=0, help="seed for identifiers and generators")
+    certify.add_argument(
+        "--trials",
+        type=int,
+        default=20,
+        help="adversarial certificate assignments tried on no-instances (default 20)",
+    )
+    certify.add_argument(
+        "--engine",
+        choices=("compiled", "legacy"),
+        default="compiled",
+        help="verification engine: compile-once topology (default) or the "
+        "per-assignment reference simulator",
+    )
     certify.add_argument("--verbose", action="store_true", help="print the raw certificates")
 
     args = parser.parse_args(argv)

@@ -33,9 +33,13 @@ Scheme                                    Property                        Certif
 from repro.core.scheme import (
     CertificationScheme,
     SchemeEvaluation,
+    adversarial_schedule,
+    derive_trial_seed,
     evaluate_scheme,
     exhaustive_soundness_holds,
+    soundness_under_corruption,
 )
+from repro.core.cache import cache_stats, clear_caches
 from repro.core.encoding import CertificateReader, CertificateWriter
 from repro.core.spanning_tree import SpanningTreeCountScheme, TreeScheme
 from repro.core.universal import UniversalScheme
@@ -60,8 +64,13 @@ from repro.core.simple_schemes import (
 __all__ = [
     "CertificationScheme",
     "SchemeEvaluation",
+    "adversarial_schedule",
+    "derive_trial_seed",
     "evaluate_scheme",
     "exhaustive_soundness_holds",
+    "soundness_under_corruption",
+    "cache_stats",
+    "clear_caches",
     "CertificateReader",
     "CertificateWriter",
     "SpanningTreeCountScheme",

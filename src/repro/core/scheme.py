@@ -13,6 +13,15 @@ The harness functions at the bottom of the module check completeness and
 (empirically or exhaustively) soundness of a scheme on concrete instances and
 measure real certificate sizes; they are what the tests and the benchmark
 suite call.
+
+All harness functions run on the compile-once engine of
+:mod:`repro.network.compiled` by default; ``engine="legacy"`` re-runs the
+original per-assignment view-building path (no topology reuse, no caches) —
+the benchmark baseline and the reference semantics for equivalence tests.
+Adversarial trials derive an independent seed per trial index
+(:func:`derive_trial_seed`), so any sub-range of a sweep can be reproduced
+or resumed without replaying the preceding trials, and both engines see
+byte-identical adversarial assignments.
 """
 
 from __future__ import annotations
@@ -20,17 +29,27 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro.core.cache import (
+    cached_compiled_network,
+    cached_evaluation_identifiers,
+    cached_holds,
+    graph_fingerprint,
+)
 from repro.network.adversary import corrupt_assignment, exhaustive_assignments, random_assignment
+from repro.network.compiled import CompiledNetwork
 from repro.network.ids import IdentifierAssignment, assign_identifiers
 from repro.network.simulator import NetworkSimulator
 from repro.network.views import LocalView
 
 Vertex = Hashable
 Certificates = Dict[Vertex, bytes]
+
+#: Certificate byte-lengths an adversarial trial draws from (legacy choice set).
+ADVERSARIAL_CERTIFICATE_BYTES: Tuple[int, ...] = (0, 1, 2, 4, 8)
 
 
 class NotAYesInstance(ValueError):
@@ -42,6 +61,13 @@ class CertificationScheme(ABC):
 
     #: Human-readable name used in reports and benchmark output.
     name: str = "unnamed-scheme"
+
+    #: Whether ``holds`` is a pure function of the labelled graph structure
+    #: (vertex + edge sets).  Every scheme of the paper is; schemes wrapping
+    #: arbitrary callables that may read graph/node/edge attributes (e.g.
+    #: :class:`UniversalScheme`) set this to False to opt out of the
+    #: structural ``holds`` cache in :func:`evaluate_scheme`.
+    cacheable_holds: bool = True
 
     @abstractmethod
     def holds(self, graph: nx.Graph) -> bool:
@@ -66,14 +92,24 @@ class CertificationScheme(ABC):
         """Prove and verify on ``graph`` with a fresh identifier assignment."""
         return evaluate_scheme(self, graph, seed=seed)
 
-    def max_certificate_bits(self, graph: nx.Graph, seed: int | None = 0) -> int:
-        """Size in bits of the largest honest certificate on ``graph``."""
-        ids = assign_identifiers(graph, seed=seed)
+    def max_certificate_bits(
+        self,
+        graph: nx.Graph,
+        seed: int | None = 0,
+        ids: IdentifierAssignment | None = None,
+    ) -> int:
+        """Size in bits of the largest honest certificate on ``graph``.
+
+        ``ids`` lets callers reuse a (possibly cached) identifier assignment
+        instead of drawing a fresh one from ``seed``.
+        """
+        if ids is None:
+            ids = assign_identifiers(graph, seed=seed)
         certificates = self.prove(graph, ids)
         return max((len(c) * 8 for c in certificates.values()), default=0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchemeEvaluation:
     """Outcome of evaluating a scheme on one instance."""
 
@@ -89,25 +125,114 @@ class SchemeEvaluation:
     rejecting_vertices: tuple = ()
 
 
+# ---------------------------------------------------------------------------
+# Deterministic adversarial schedules
+# ---------------------------------------------------------------------------
+
+_MIX_MULT = 0x9E3779B97F4A7C15  # golden-ratio increment, SplitMix64 style
+_MIX_TRIAL = 0xBF58476D1CE4E5B9
+_MIX_OFFSET = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def derive_trial_seed(seed: int, trial: int) -> int:
+    """An independent 64-bit seed for trial ``trial`` of a sweep seeded with
+    ``seed``.  Pure arithmetic on the pair, so trial ``k`` can be reproduced
+    without generating trials ``0..k-1`` (resumable sweeps)."""
+    return (seed * _MIX_MULT + trial * _MIX_TRIAL + _MIX_OFFSET) & _MASK64
+
+
+def adversarial_schedule(
+    seed: int,
+    trials: int,
+    certificate_bytes: Optional[Sequence[int]] = None,
+    start: int = 0,
+) -> List[Tuple[int, int]]:
+    """The deterministic ``(trial_seed, certificate_bytes)`` schedule of an
+    adversarial sweep.
+
+    With ``certificate_bytes`` the byte-length of each trial is taken from
+    the given sequence (an explicit schedule); otherwise each trial draws its
+    length from its own derived seed.  ``start`` offsets the trial indices so
+    a sweep can be resumed mid-way and still produce the same assignments.
+    """
+    schedule: List[Tuple[int, int]] = []
+    for offset in range(trials):
+        trial = start + offset
+        trial_seed = derive_trial_seed(seed, trial)
+        if certificate_bytes is not None:
+            # Index by absolute trial, not loop offset: a resumed sweep
+            # (start > 0) must replay the exact sizes of the full sweep.
+            size = certificate_bytes[trial % len(certificate_bytes)]
+        else:
+            size = random.Random(trial_seed).choice(ADVERSARIAL_CERTIFICATE_BYTES)
+        schedule.append((trial_seed, size))
+    return schedule
+
+
+def _adversarial_assignments(vertices, schedule):
+    """Generate the adversarial assignment of each scheduled trial lazily."""
+    for trial_seed, size in schedule:
+        # A fresh generator per trial: reproducible in isolation.
+        rng = random.Random(trial_seed)
+        rng.choice(ADVERSARIAL_CERTIFICATE_BYTES)  # keep stream aligned with schedule
+        yield random_assignment(vertices, size, seed=rng)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation harness
+# ---------------------------------------------------------------------------
+
+
 def evaluate_scheme(
     scheme: CertificationScheme,
     graph: nx.Graph,
     seed: int | None = 0,
     adversarial_trials: int = 20,
+    trial_schedule: Optional[Sequence[int]] = None,
+    trial_offset: int = 0,
+    engine: str = "compiled",
 ) -> SchemeEvaluation:
     """Run a scheme on one instance.
 
     On a yes-instance: run the honest prover and report completeness plus the
-    certificate size.  On a no-instance: try ``adversarial_trials`` random and
-    structured certificate assignments and report whether all were rejected
-    (a necessary condition for soundness).
+    certificate size.  On a no-instance: try ``adversarial_trials`` random
+    certificate assignments and report whether all were rejected (a necessary
+    condition for soundness).  ``trial_schedule`` optionally fixes the
+    certificate byte-length of each trial explicitly, and ``trial_offset``
+    resumes a sweep at a later trial index; both engines replay identical
+    assignments for identical parameters.
     """
-    rng = random.Random(seed)
-    ids = assign_identifiers(graph, seed=rng)
-    simulator = NetworkSimulator(graph, identifiers=ids)
-    if scheme.holds(graph):
+    if engine not in ("compiled", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'legacy'")
+    use_compiled = engine == "compiled"
+
+    # Identifier derivation is unchanged from the original harness (the
+    # certificate sizes the paper measures depend on the drawn identifiers),
+    # but deterministic seeds hit the cache on repeated evaluations.
+    if use_compiled and isinstance(seed, int):
+        fingerprint = graph_fingerprint(graph)
+        ids = cached_evaluation_identifiers(graph, seed, fingerprint)
+        network = cached_compiled_network(graph, ids, fingerprint)
+        holds = (
+            cached_holds(scheme, graph, fingerprint)
+            if scheme.cacheable_holds
+            else scheme.holds(graph)
+        )
+    else:
+        ids = assign_identifiers(graph, seed=random.Random(seed))
+        network = (
+            CompiledNetwork(graph, identifiers=ids)
+            if use_compiled
+            else NetworkSimulator(graph, identifiers=ids)
+        )
+        holds = scheme.holds(graph)
+
+    run = network.run if use_compiled else network.run_legacy
+
+    if holds:
         certificates = scheme.prove(graph, ids)
-        result = simulator.run(scheme.verify, certificates)
+        result = run(scheme.verify, certificates)
         return SchemeEvaluation(
             scheme_name=scheme.name,
             n=graph.number_of_nodes(),
@@ -117,19 +242,38 @@ def evaluate_scheme(
             max_certificate_bits=result.max_certificate_bits,
             rejecting_vertices=result.rejecting_vertices,
         )
-    # No-instance: the prover has no honest certificate; check that a few
-    # adversarial assignments are all rejected.
+
+    # No-instance: the prover has no honest certificate; check that the
+    # scheduled adversarial assignments are all rejected.
     vertices = sorted(graph.nodes(), key=repr)
+    schedule_seed = seed if isinstance(seed, int) else random.Random(seed).getrandbits(63)
+    schedule = adversarial_schedule(
+        schedule_seed,
+        len(trial_schedule) if trial_schedule is not None else adversarial_trials,
+        certificate_bytes=trial_schedule,
+        start=trial_offset,
+    )
     all_rejected = True
     max_bits = 0
-    for trial in range(adversarial_trials):
-        certificate_bytes = rng.choice([0, 1, 2, 4, 8])
-        assignment = random_assignment(vertices, certificate_bytes, seed=rng)
-        outcome = simulator.run(scheme.verify, assignment)
-        max_bits = max(max_bits, outcome.max_certificate_bits)
-        if outcome.accepted:
-            all_rejected = False
-            break
+    if use_compiled:
+        # Early exit twice over: the first accepted assignment settles the
+        # sweep, and within each assignment the first rejecting vertex
+        # discards it.  Every vertex of a scheduled assignment carries
+        # exactly `size` bytes, so the reported size needs no measuring.
+        for (_, size), assignment in zip(
+            schedule, _adversarial_assignments(vertices, schedule)
+        ):
+            max_bits = max(max_bits, size * 8)
+            if network.accepts(scheme.verify, assignment):
+                all_rejected = False
+                break
+    else:
+        for assignment in _adversarial_assignments(vertices, schedule):
+            outcome = run(scheme.verify, assignment)
+            max_bits = max(max_bits, outcome.max_certificate_bits)
+            if outcome.accepted:
+                all_rejected = False
+                break
     return SchemeEvaluation(
         scheme_name=scheme.name,
         n=graph.number_of_nodes(),
@@ -145,6 +289,7 @@ def soundness_under_corruption(
     graph: nx.Graph,
     seed: int | None = 0,
     trials: int = 10,
+    engine: str = "compiled",
 ) -> bool:
     """On a *yes*-instance, check that corrupted honest certificates are not
     silently accepted as long as the corruption changes the view of some node
@@ -155,20 +300,40 @@ def soundness_under_corruption(
     reports whether *any* corrupted assignment was rejected — a scheme whose
     verifier ignores certificates entirely would fail it.
     """
+    if engine not in ("compiled", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'legacy'")
     rng = random.Random(seed)
     ids = assign_identifiers(graph, seed=rng)
-    simulator = NetworkSimulator(graph, identifiers=ids)
+    if engine == "compiled":
+        # Only deterministic seeds produce reusable identifier maps; caching
+        # a seed=None topology would just evict useful entries.
+        network = (
+            cached_compiled_network(graph, ids)
+            if isinstance(seed, int)
+            else CompiledNetwork(graph, identifiers=ids)
+        )
+    else:
+        network = NetworkSimulator(graph, identifiers=ids)
     certificates = scheme.prove(graph, ids)
-    rejected_some = False
-    for trial in range(trials):
-        kind = rng.choice(["bitflip", "swap", "truncate", "zero"])
-        corrupted = corrupt_assignment(certificates, seed=rng, kind=kind)
-        if corrupted == dict(certificates):
-            continue
-        outcome = simulator.run(scheme.verify, corrupted)
-        if not outcome.accepted:
-            rejected_some = True
-    return rejected_some
+
+    def corrupted_assignments():
+        for _ in range(trials):
+            kind = rng.choice(["bitflip", "swap", "truncate", "zero"])
+            corrupted = corrupt_assignment(certificates, seed=rng, kind=kind)
+            if corrupted != dict(certificates):
+                yield corrupted
+
+    if engine == "compiled":
+        for outcome in network.run_many(
+            scheme.verify, corrupted_assignments(), stop_on_reject=True
+        ):
+            if not outcome.accepted:
+                return True
+        return False
+    for corrupted in corrupted_assignments():
+        if not network.run_legacy(scheme.verify, corrupted).accepted:
+            return True
+    return False
 
 
 def exhaustive_soundness_holds(
@@ -176,6 +341,7 @@ def exhaustive_soundness_holds(
     graph: nx.Graph,
     max_bits: int,
     seed: int | None = 0,
+    engine: str = "compiled",
 ) -> bool:
     """Exhaustively check soundness of a scheme on a tiny no-instance.
 
@@ -185,12 +351,18 @@ def exhaustive_soundness_holds(
     instance with these identifiers".  The cost is
     ``2 ** (max_bits * n)`` simulations — keep both parameters tiny.
     """
+    if engine not in ("compiled", "legacy"):
+        raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'legacy'")
     if scheme.holds(graph):
         raise ValueError("exhaustive_soundness_holds expects a no-instance")
     ids = assign_identifiers(graph, seed=seed, sequential=True)
-    simulator = NetworkSimulator(graph, identifiers=ids)
     vertices = sorted(graph.nodes(), key=repr)
-    for assignment in exhaustive_assignments(vertices, max_bits):
-        if simulator.run(scheme.verify, assignment).accepted:
+    assignments = exhaustive_assignments(vertices, max_bits)
+    if engine == "compiled":
+        network = cached_compiled_network(graph, ids)
+        return not network.any_accepted(scheme.verify, assignments)
+    simulator = NetworkSimulator(graph, identifiers=ids)
+    for assignment in assignments:
+        if simulator.run_legacy(scheme.verify, assignment).accepted:
             return False
     return True

@@ -35,6 +35,10 @@ class UniversalScheme(CertificationScheme):
     0..n−1 before it is called).
     """
 
+    #: ``property_checker`` is arbitrary and may read graph/node/edge
+    #: attributes, which the structural holds cache cannot key on.
+    cacheable_holds = False
+
     def __init__(self, property_checker: Callable[[nx.Graph], bool], name: str = "universal") -> None:
         self.property_checker = property_checker
         self.name = f"universal({name})"

@@ -15,7 +15,8 @@ search over all bounded-size assignments on tiny instances.
 """
 
 from repro.network.ids import IdentifierAssignment, assign_identifiers
-from repro.network.views import LocalView, NeighborInfo
+from repro.network.views import LocalView, LocalViewOps, NeighborInfo
+from repro.network.compiled import CompiledNetwork, compile_network
 from repro.network.simulator import (
     CertificateAssignment,
     NetworkSimulator,
@@ -41,7 +42,10 @@ __all__ = [
     "IdentifierAssignment",
     "assign_identifiers",
     "LocalView",
+    "LocalViewOps",
     "NeighborInfo",
+    "CompiledNetwork",
+    "compile_network",
     "CertificateAssignment",
     "NetworkSimulator",
     "SimulationResult",

@@ -79,7 +79,7 @@ def random_assignment(
 ) -> Dict[Vertex, bytes]:
     """Independent uniformly random certificates of a fixed byte length."""
     rng = _rng(seed)
-    return {v: bytes(rng.randrange(256) for _ in range(certificate_bytes)) for v in vertices}
+    return {v: rng.randbytes(certificate_bytes) for v in vertices}
 
 
 def exhaustive_assignments(

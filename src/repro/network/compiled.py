@@ -1,0 +1,293 @@
+"""Compile-once network topology for the certification hot path.
+
+Every experiment in the repo — certificate-size series, soundness sweeps,
+lower-bound searches — bottoms out in running a radius-1 verifier at every
+vertex for *many* certificate assignments on the *same* graph.  The legacy
+:class:`~repro.network.simulator.NetworkSimulator` rebuilds every
+:class:`~repro.network.views.LocalView` (including re-sorting neighbours by
+identifier and reallocating one ``NeighborInfo`` per edge endpoint) for each
+assignment, which makes an exhaustive soundness check of ``2**(bits*n)``
+assignments quadratically worse than it needs to be.
+
+:class:`CompiledNetwork` preprocesses the graph plus identifier assignment
+exactly once into flat CSR-style adjacency arrays (neighbour index lists,
+id-sorted) and a set of *reusable* mutable view structures.  Running a new
+certificate assignment then only swaps certificate bytes into the existing
+views — ``n`` attribute writes instead of ``n + 2m`` object allocations —
+and the batched entry points (:meth:`run_many`, :meth:`any_accepted`,
+:meth:`accepts`) add early exit on top.
+
+The mutable views are private to the engine between calls: a verifier must
+treat its view as read-only (the model's verifiers are pure functions), and
+``collect_views=True`` returns immutable :class:`LocalView` snapshots so
+results never alias engine internals.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from repro.graphs.utils import ensure_connected
+from repro.network.ids import IdentifierAssignment, assign_identifiers
+from repro.network.views import LocalView, LocalViewOps, NeighborInfo
+
+Vertex = Hashable
+CertificateAssignment = Mapping[Vertex, bytes]
+Verifier = Callable[["LocalViewOps"], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationResult:
+    """Outcome of running a verifier at every vertex."""
+
+    accepted: bool
+    rejecting_vertices: tuple = ()
+    max_certificate_bits: int = 0
+    views: Dict[Vertex, LocalView] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+class _NeighborRecord:
+    """Mutable (identifier, certificate) slot shared by every view that sees
+    this vertex as a neighbour; one instance per vertex, reused across runs."""
+
+    __slots__ = ("identifier", "certificate")
+
+    def __init__(self, identifier: int, certificate: bytes = b"") -> None:
+        self.identifier = identifier
+        self.certificate = certificate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_NeighborRecord(id={self.identifier}, cert={self.certificate!r})"
+
+
+class _MutableLocalView(LocalViewOps):
+    """Reusable radius-1 view; only ``certificate`` changes between runs."""
+
+    __slots__ = ("identifier", "certificate", "neighbors", "total_vertices_hint")
+
+    def __init__(
+        self,
+        identifier: int,
+        certificate: bytes,
+        neighbors: tuple,
+        total_vertices_hint: int | None,
+    ) -> None:
+        self.identifier = identifier
+        self.certificate = certificate
+        self.neighbors = neighbors
+        self.total_vertices_hint = total_vertices_hint
+
+
+class CompiledNetwork:
+    """A graph + identifier assignment compiled for repeated verification.
+
+    The constructor performs all per-topology work (connectivity validation,
+    id-sorted adjacency in CSR form, view allocation); :meth:`run` and the
+    batched entry points only touch certificate bytes.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        identifiers: IdentifierAssignment | None = None,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        self.graph = ensure_connected(graph)
+        self.identifiers = identifiers or assign_identifiers(graph, seed=seed)
+        missing = [v for v in graph.nodes() if v not in self.identifiers]
+        if missing:
+            raise ValueError(f"identifier assignment misses vertices: {missing}")
+
+        ids = self.identifiers
+        order = list(graph.nodes())
+        index = {v: i for i, v in enumerate(order)}
+        n = len(order)
+
+        # CSR adjacency: neighbours of vertex i are
+        # indices[indptr[i]:indptr[i+1]], sorted by identifier once.
+        indptr = [0]
+        indices: list[int] = []
+        for v in order:
+            neighbors = sorted(graph.neighbors(v), key=lambda w: ids[w])
+            indices.extend(index[w] for w in neighbors)
+            indptr.append(len(indices))
+
+        records = [_NeighborRecord(ids[v]) for v in order]
+        views = [
+            _MutableLocalView(
+                ids[v],
+                b"",
+                tuple(records[j] for j in indices[indptr[i] : indptr[i + 1]]),
+                n,
+            )
+            for i, v in enumerate(order)
+        ]
+
+        self._order = order
+        self._index = index
+        self._indptr = indptr
+        self._indices = indices
+        self._records = records
+        self._views = views
+        # Hot-loop iteration structure: (vertex, view, shared neighbor record).
+        self._stations = list(zip(order, views, records))
+        # The reusable views are engine state: concurrent runs on a shared
+        # (e.g. cached) instance must not interleave certificate swaps.
+        self._run_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Certificate loading
+    # ------------------------------------------------------------------
+
+    def _load(self, certificates: CertificateAssignment) -> int:
+        """Swap certificate bytes into the reusable views.
+
+        Returns the size in bits of the largest certificate assigned to a
+        vertex of the graph (coercing each certificate to ``bytes`` exactly
+        once, shared between the view and every neighbour record).
+        """
+        max_len = 0
+        get = certificates.get
+        for vertex, view, record in self._stations:
+            cert = get(vertex, b"")
+            if type(cert) is not bytes:
+                cert = bytes(cert)
+            view.certificate = cert
+            record.certificate = cert
+            if len(cert) > max_len:
+                max_len = len(cert)
+        return max_len * 8
+
+    # ------------------------------------------------------------------
+    # Single-assignment entry points
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        verifier: Verifier,
+        certificates: CertificateAssignment,
+        collect_views: bool = False,
+    ) -> SimulationResult:
+        """Run ``verifier`` at every vertex on the given certificate assignment."""
+        with self._run_lock:
+            max_bits = self._load(certificates)
+            rejecting = [vertex for vertex, view, _ in self._stations if not verifier(view)]
+            return SimulationResult(
+                accepted=not rejecting,
+                rejecting_vertices=tuple(sorted(rejecting, key=repr)),
+                max_certificate_bits=max_bits,
+                views=self._snapshot_views() if collect_views else {},
+            )
+
+    def accepts(self, verifier: Verifier, certificates: CertificateAssignment) -> bool:
+        """Fast path: is the assignment accepted by *every* vertex?
+
+        Short-circuits on the first rejecting vertex, which is the common
+        outcome in adversarial sweeps; use :meth:`run` when the rejecting
+        set or the certificate size is needed.
+        """
+        with self._run_lock:
+            self._load(certificates)
+            for _, view, _ in self._stations:
+                if not verifier(view):
+                    return False
+            return True
+
+    def accepts_at(
+        self,
+        verifier: Verifier,
+        certificates: CertificateAssignment,
+        vertices: Iterable[Vertex],
+    ) -> bool:
+        """Does every vertex in ``vertices`` accept?  (Early exit; used by the
+        Alice/Bob protocol simulation, which only observes part of the graph.)"""
+        with self._run_lock:
+            self._load(certificates)
+            views = self._views
+            index = self._index
+            for vertex in vertices:
+                if not verifier(views[index[vertex]]):
+                    return False
+            return True
+
+    # ------------------------------------------------------------------
+    # Batched entry points
+    # ------------------------------------------------------------------
+
+    def run_many(
+        self,
+        verifier: Verifier,
+        assignments: Iterable[CertificateAssignment],
+        stop_on_accept: bool = False,
+        stop_on_reject: bool = False,
+    ) -> Iterator[SimulationResult]:
+        """Run many certificate assignments against the compiled topology.
+
+        Yields one :class:`SimulationResult` per assignment, in order.  With
+        ``stop_on_accept`` (soundness sweeps: one accepted adversarial
+        assignment is already a verdict) or ``stop_on_reject`` (corruption
+        smoke tests) iteration ends right after the first such result.
+        """
+        for certificates in assignments:
+            result = self.run(verifier, certificates)
+            yield result
+            if stop_on_accept and result.accepted:
+                return
+            if stop_on_reject and not result.accepted:
+                return
+
+    def any_accepted(
+        self, verifier: Verifier, assignments: Iterable[CertificateAssignment]
+    ) -> bool:
+        """Is *some* assignment accepted by every vertex?
+
+        The exhaustive-soundness kernel: short-circuits both across
+        assignments (first accepted one wins) and within each assignment
+        (first rejecting vertex discards it).
+        """
+        accepts = self.accepts
+        for certificates in assignments:
+            if accepts(verifier, certificates):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def vertices(self) -> tuple:
+        return tuple(self._order)
+
+    def view_of(self, vertex: Vertex) -> LocalView:
+        """Immutable snapshot of one vertex's view under the *last loaded*
+        certificate assignment."""
+        view = self._views[self._index[vertex]]
+        return LocalView(
+            identifier=view.identifier,
+            certificate=view.certificate,
+            neighbors=tuple(
+                NeighborInfo(rec.identifier, rec.certificate) for rec in view.neighbors
+            ),
+            total_vertices_hint=view.total_vertices_hint,
+        )
+
+    def _snapshot_views(self) -> Dict[Vertex, LocalView]:
+        return {vertex: self.view_of(vertex) for vertex in self._order}
+
+
+def compile_network(
+    graph: nx.Graph,
+    identifiers: IdentifierAssignment | None = None,
+    seed: int | random.Random | None = None,
+) -> CompiledNetwork:
+    """Convenience constructor mirroring ``NetworkSimulator``'s signature."""
+    return CompiledNetwork(graph, identifiers=identifiers, seed=seed)

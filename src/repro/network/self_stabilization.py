@@ -56,6 +56,9 @@ class SelfStabilizingNetwork:
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
         self.identifiers = assign_identifiers(self.graph, seed=self._rng)
+        # Detection runs every round on the (usually unchanged) topology; the
+        # wrapper reuses one compiled topology and recompiles only when the
+        # graph was structurally mutated (topology faults must stay visible).
         self._simulator = NetworkSimulator(self.graph, identifiers=self.identifiers)
         self.install()
 

@@ -6,17 +6,27 @@ every vertex (one round of communication in which each node sends its
 identifier and certificate to its neighbours), runs the verifier at every
 vertex and aggregates the decisions: the certification is accepted iff every
 single vertex accepts (Section 3.3).
+
+:class:`NetworkSimulator` is now a thin compatibility wrapper around the
+compile-once engine of :mod:`repro.network.compiled`: :meth:`~NetworkSimulator.run`
+delegates to a lazily-built :class:`~repro.network.compiled.CompiledNetwork`
+so every existing call site gets the fast path.  The original per-run
+view-building implementation is preserved as :meth:`NetworkSimulator.run_legacy`
+— it is the executable reference semantics, used by the equivalence tests in
+``tests/network/test_compiled.py`` and as the "before" baseline of
+``benchmarks/bench_engine_speed.py``.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Mapping
 
 import networkx as nx
 
+from repro.caching import graph_fingerprint
 from repro.graphs.utils import ensure_connected
+from repro.network.compiled import CompiledNetwork, SimulationResult
 from repro.network.ids import IdentifierAssignment, assign_identifiers
 from repro.network.views import LocalView, NeighborInfo
 
@@ -24,18 +34,13 @@ Vertex = Hashable
 CertificateAssignment = Mapping[Vertex, bytes]
 Verifier = Callable[[LocalView], bool]
 
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Outcome of running a verifier at every vertex."""
-
-    accepted: bool
-    rejecting_vertices: tuple = ()
-    max_certificate_bits: int = 0
-    views: Dict[Vertex, LocalView] = field(default_factory=dict)
-
-    def __bool__(self) -> bool:
-        return self.accepted
+__all__ = [
+    "CertificateAssignment",
+    "NetworkSimulator",
+    "SimulationResult",
+    "Verifier",
+    "max_certificate_bits",
+]
 
 
 class NetworkSimulator:
@@ -52,22 +57,48 @@ class NetworkSimulator:
         missing = [v for v in graph.nodes() if v not in self.identifiers]
         if missing:
             raise ValueError(f"identifier assignment misses vertices: {missing}")
+        self._compiled: CompiledNetwork | None = None
+        self._compiled_fingerprint = None
+
+    def compiled(self) -> CompiledNetwork:
+        """The compile-once engine for this graph + identifier assignment.
+
+        Recompiles when the graph was structurally mutated since the last
+        call, so the wrapper keeps the legacy "views reflect the graph as it
+        is now" semantics; loops that never mutate pay one O(n + m)
+        fingerprint check per call, far below the cost of rebuilding views.
+        """
+        fingerprint = graph_fingerprint(self.graph)
+        if self._compiled is None or fingerprint != self._compiled_fingerprint:
+            self._compiled = CompiledNetwork(self.graph, identifiers=self.identifiers)
+            self._compiled_fingerprint = fingerprint
+        return self._compiled
 
     def build_views(self, certificates: CertificateAssignment) -> Dict[Vertex, LocalView]:
-        """One communication round: every node learns its neighbours' ids/certs."""
+        """One communication round: every node learns its neighbours' ids/certs.
+
+        Reference implementation: allocates fresh immutable views per call.
+        """
         views: Dict[Vertex, LocalView] = {}
         n = self.graph.number_of_nodes()
+        ids = self.identifiers
+        # Coerce each certificate to bytes once, not once per edge endpoint.
+        coerced = {
+            v: cert if type(cert) is bytes else bytes(cert)
+            for v, cert in certificates.items()
+        }
+        empty = b""
         for vertex in self.graph.nodes():
             neighbors = tuple(
                 NeighborInfo(
-                    identifier=self.identifiers[w],
-                    certificate=bytes(certificates.get(w, b"")),
+                    identifier=ids[w],
+                    certificate=coerced.get(w, empty),
                 )
-                for w in sorted(self.graph.neighbors(vertex), key=lambda x: self.identifiers[x])
+                for w in sorted(self.graph.neighbors(vertex), key=lambda x: ids[x])
             )
             views[vertex] = LocalView(
-                identifier=self.identifiers[vertex],
-                certificate=bytes(certificates.get(vertex, b"")),
+                identifier=ids[vertex],
+                certificate=coerced.get(vertex, empty),
                 neighbors=neighbors,
                 total_vertices_hint=n,
             )
@@ -79,16 +110,33 @@ class NetworkSimulator:
         certificates: CertificateAssignment,
         collect_views: bool = False,
     ) -> SimulationResult:
-        """Run ``verifier`` at every vertex on the given certificate assignment."""
+        """Run ``verifier`` at every vertex on the given certificate assignment.
+
+        Delegates to the compiled engine; semantically identical to
+        :meth:`run_legacy` (the equivalence tests assert exactly that).
+        """
+        return self.compiled().run(verifier, certificates, collect_views=collect_views)
+
+    def run_legacy(
+        self,
+        verifier: Verifier,
+        certificates: CertificateAssignment,
+        collect_views: bool = False,
+    ) -> SimulationResult:
+        """The original per-run implementation: rebuild every view, then verify.
+
+        Kept as the executable specification of the model and as the
+        benchmark baseline; prefer :meth:`run` (or :class:`CompiledNetwork`
+        directly) everywhere else.
+        """
         views = self.build_views(certificates)
         rejecting = []
         for vertex, view in views.items():
             if not verifier(view):
                 rejecting.append(vertex)
-        max_bits = max(
-            (len(bytes(certificates.get(v, b""))) * 8 for v in self.graph.nodes()),
-            default=0,
-        )
+        # The views hold the already-coerced certificate of every graph node
+        # (missing ones as b""), so one pass over them gives the max size.
+        max_bits = max((len(view.certificate) for view in views.values()), default=0) * 8
         return SimulationResult(
             accepted=not rejecting,
             rejecting_vertices=tuple(sorted(rejecting, key=repr)),

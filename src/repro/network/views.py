@@ -7,6 +7,12 @@ edges between neighbours, nor anything at distance two.  The
 :class:`LocalView` dataclass is the only information a
 :class:`~repro.core.scheme.CertificationScheme` verifier receives, which
 makes the radius-1 restriction structural rather than a convention.
+
+Two concrete view types implement the same read-only protocol
+(:class:`LocalViewOps`): the frozen :class:`LocalView` handed out by the
+legacy simulator and by ``collect_views=True`` snapshots, and the reusable
+mutable views of :mod:`repro.network.compiled` whose certificate slots are
+swapped between runs instead of reallocating the whole structure.
 """
 
 from __future__ import annotations
@@ -15,28 +21,14 @@ from dataclasses import dataclass, field
 from typing import Tuple
 
 
-@dataclass(frozen=True)
-class NeighborInfo:
-    """What a vertex knows about one of its neighbours."""
+class LocalViewOps:
+    """Read-only helpers shared by every radius-1 view implementation.
 
-    identifier: int
-    certificate: bytes
+    Subclasses only need ``identifier``, ``certificate`` and ``neighbors``
+    attributes, where each neighbour exposes ``identifier``/``certificate``.
+    """
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"NeighborInfo(id={self.identifier}, cert={self.certificate!r})"
-
-
-@dataclass(frozen=True)
-class LocalView:
-    """Everything a node sees when running the local verification algorithm."""
-
-    identifier: int
-    certificate: bytes
-    neighbors: Tuple[NeighborInfo, ...] = field(default_factory=tuple)
-    total_vertices_hint: int | None = None
-    """Optional out-of-band value used *only* by size accounting and by
-    schemes that are explicitly allowed to know ``n`` (none of the paper's
-    schemes need it; it defaults to ``None``)."""
+    __slots__ = ()
 
     @property
     def degree(self) -> int:
@@ -48,7 +40,7 @@ class LocalView:
     def neighbor_certificates(self) -> Tuple[bytes, ...]:
         return tuple(info.certificate for info in self.neighbors)
 
-    def neighbor_by_id(self, identifier: int) -> NeighborInfo:
+    def neighbor_by_id(self, identifier: int):
         for info in self.neighbors:
             if info.identifier == identifier:
                 return info
@@ -56,3 +48,27 @@ class LocalView:
 
     def has_neighbor(self, identifier: int) -> bool:
         return any(info.identifier == identifier for info in self.neighbors)
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborInfo:
+    """What a vertex knows about one of its neighbours."""
+
+    identifier: int
+    certificate: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NeighborInfo(id={self.identifier}, cert={self.certificate!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class LocalView(LocalViewOps):
+    """Everything a node sees when running the local verification algorithm."""
+
+    identifier: int
+    certificate: bytes
+    neighbors: Tuple[NeighborInfo, ...] = field(default_factory=tuple)
+    total_vertices_hint: int | None = None
+    """Optional out-of-band value used *only* by size accounting and by
+    schemes that are explicitly allowed to know ``n`` (none of the paper's
+    schemes need it; it defaults to ``None``)."""

@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, Hashable, Optional, Tuple
 
 import networkx as nx
 
+from repro.caching import memoize_on_graph
 from repro.graphs.utils import ensure_connected
 from repro.treedepth.elimination_tree import EliminationTree
 
@@ -98,8 +99,9 @@ def star_elimination_tree(star: nx.Graph) -> EliminationTree:
     return EliminationTree(parent)
 
 
+@memoize_on_graph
 def exact_treedepth(graph: nx.Graph, max_vertices: int = _MAX_EXACT_VERTICES) -> int:
-    """Exact treedepth of a (small) graph."""
+    """Exact treedepth of a (small) graph (memoised on graph structure)."""
     n = graph.number_of_nodes()
     if n == 0:
         return 0
@@ -156,10 +158,12 @@ def exact_treedepth(graph: nx.Graph, max_vertices: int = _MAX_EXACT_VERTICES) ->
     return result
 
 
+@memoize_on_graph
 def optimal_elimination_tree(
     graph: nx.Graph, max_vertices: int = _MAX_EXACT_VERTICES
 ) -> EliminationTree:
-    """An elimination tree of minimum depth (exact, small graphs only)."""
+    """An elimination tree of minimum depth (exact, small graphs only;
+    memoised on graph structure — treat the result as read-only)."""
     ensure_connected(graph)
     n = graph.number_of_nodes()
     if n > max_vertices:

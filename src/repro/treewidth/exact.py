@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.caching import memoize_on_graph
 from repro.graphs.utils import ensure_connected
 from repro.treewidth.decomposition import (
     TreeDecomposition,
@@ -32,8 +33,10 @@ class TreewidthUndecided(ValueError):
     """Raised when neither bounds nor the exact algorithm can decide."""
 
 
+@memoize_on_graph
 def treewidth_upper_bound(graph: nx.Graph) -> Tuple[int, TreeDecomposition]:
-    """Best width over the two networkx elimination heuristics."""
+    """Best width over the two networkx elimination heuristics (memoised
+    on graph structure — treat the decomposition as read-only)."""
     graph = ensure_connected(graph)
     best: Optional[TreeDecomposition] = None
     for heuristic in ("min_fill_in", "min_degree"):
@@ -85,10 +88,12 @@ def _fill_degree(
     return len(reached)
 
 
+@memoize_on_graph
 def exact_treewidth(
     graph: nx.Graph, max_vertices: int = _MAX_EXACT_VERTICES
 ) -> Tuple[int, TreeDecomposition]:
-    """Exact treewidth and an optimal decomposition (small graphs only).
+    """Exact treewidth and an optimal decomposition (small graphs only,
+    memoised on graph structure).
 
     Dynamic programming over subsets of eliminated vertices:
     ``g(R) = min_{v in R} max(g(R \\ {v}), filldeg(R \\ {v}, v))`` where

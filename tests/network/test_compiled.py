@@ -1,0 +1,293 @@
+"""Equivalence and behaviour tests for the compile-once verification engine.
+
+The contract of this PR: :class:`~repro.network.compiled.CompiledNetwork`
+is an *observationally identical*, faster replacement for the legacy
+per-assignment simulator.  These tests assert identical
+:class:`SimulationResult`s (accepted flag, rejecting-vertex set, max
+certificate bits) across random graphs, schemes and corrupted assignments,
+plus the batched entry points, view-snapshot semantics and the caching layer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.caching import clear_caches
+from repro.core.cache import (
+    cached_compiled_network,
+    cached_evaluation_identifiers,
+    cached_holds,
+)
+from repro.core.scheme import (
+    adversarial_schedule,
+    derive_trial_seed,
+    evaluate_scheme,
+    exhaustive_soundness_holds,
+    soundness_under_corruption,
+)
+from repro.core.simple_schemes import BipartitenessScheme, ProperColoringScheme
+from repro.core.spanning_tree import SpanningTreeCountScheme, TreeScheme
+from repro.core.treedepth_scheme import TreedepthScheme
+from repro.graphs.generators import random_connected_graph, random_tree
+from repro.network.adversary import corrupt_assignment, random_assignment
+from repro.network.compiled import CompiledNetwork
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator
+from repro.network.views import LocalView
+
+
+def _assert_equivalent(graph, verifier, certificates, seed=0):
+    """Compiled and legacy runs must agree on every observable field."""
+    ids = assign_identifiers(graph, seed=seed)
+    legacy = NetworkSimulator(graph, identifiers=ids).run_legacy(verifier, certificates)
+    compiled = CompiledNetwork(graph, identifiers=ids).run(verifier, certificates)
+    assert compiled.accepted == legacy.accepted
+    assert compiled.rejecting_vertices == legacy.rejecting_vertices
+    assert compiled.max_certificate_bits == legacy.max_certificate_bits
+    return compiled, legacy
+
+
+def _random_graphs():
+    graphs = [
+        nx.path_graph(1),
+        nx.path_graph(7),
+        nx.cycle_graph(6),
+        nx.star_graph(5),
+        nx.complete_graph(5),
+        random_tree(14, seed=2),
+    ]
+    graphs += [random_connected_graph(10, seed=s) for s in range(3)]
+    return graphs
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_certificates_agree(self, seed):
+        rng = random.Random(seed)
+        for graph in _random_graphs():
+            vertices = sorted(graph.nodes(), key=repr)
+            certificates = random_assignment(vertices, rng.choice([0, 1, 3]), seed=rng)
+            verifier = lambda view: (view.certificate[:1] or b"\0") < b"\x80"
+            _assert_equivalent(graph, verifier, certificates, seed=seed)
+
+    @pytest.mark.parametrize(
+        "scheme,graph",
+        [
+            (TreeScheme(), random_tree(12, seed=5)),
+            (TreeScheme(), nx.cycle_graph(8)),
+            (BipartitenessScheme(), nx.cycle_graph(6)),
+            (BipartitenessScheme(), nx.cycle_graph(7)),
+            (ProperColoringScheme(colors=3), nx.complete_graph(4)),
+            (SpanningTreeCountScheme(9), random_tree(9, seed=1)),
+            (TreedepthScheme(3), nx.path_graph(7)),
+        ],
+    )
+    def test_schemes_agree_on_honest_and_corrupted(self, scheme, graph):
+        ids = assign_identifiers(graph, seed=3)
+        try:
+            honest = scheme.prove(graph, ids)
+        except Exception:
+            honest = {v: b"" for v in graph.nodes()}
+        legacy_sim = NetworkSimulator(graph, identifiers=ids)
+        compiled_net = CompiledNetwork(graph, identifiers=ids)
+        assignments = [honest]
+        rng = random.Random(7)
+        for kind in ("bitflip", "swap", "truncate", "zero"):
+            assignments.append(corrupt_assignment(honest, seed=rng, kind=kind))
+        assignments.append({})  # everything defaults to b""
+        for certificates in assignments:
+            legacy = legacy_sim.run_legacy(scheme.verify, certificates)
+            compiled = compiled_net.run(scheme.verify, certificates)
+            assert compiled.accepted == legacy.accepted
+            assert compiled.rejecting_vertices == legacy.rejecting_vertices
+            assert compiled.max_certificate_bits == legacy.max_certificate_bits
+
+    def test_wrapper_run_delegates_to_compiled(self):
+        graph = random_tree(10, seed=4)
+        simulator = NetworkSimulator(graph, seed=0)
+        scheme = TreeScheme()
+        certificates = scheme.prove(graph, simulator.identifiers)
+        assert simulator.run(scheme.verify, certificates) == simulator.run_legacy(
+            scheme.verify, certificates
+        )
+        assert simulator.compiled() is simulator.compiled()  # compiled once
+
+    def test_wrapper_recompiles_after_graph_mutation(self):
+        graph = nx.path_graph(4)
+        ids = assign_identifiers(graph, sequential=True)
+        simulator = NetworkSimulator(graph, identifiers=ids)
+        lonely = lambda view: view.degree <= 1  # endpoints accept, middle rejects
+        before = simulator.run(lonely, {})
+        graph.add_edge(0, 3)  # now a cycle: every vertex has degree 2
+        after = simulator.run(lonely, {})
+        assert after == simulator.run_legacy(lonely, {})
+        assert before.rejecting_vertices != after.rejecting_vertices
+
+    def test_collect_views_snapshots_match_legacy(self):
+        graph = nx.cycle_graph(5)
+        ids = assign_identifiers(graph, sequential=True)
+        certificates = {v: bytes([v]) for v in graph.nodes()}
+        legacy = NetworkSimulator(graph, identifiers=ids).run_legacy(
+            lambda view: True, certificates, collect_views=True
+        )
+        compiled_net = CompiledNetwork(graph, identifiers=ids)
+        compiled = compiled_net.run(lambda view: True, certificates, collect_views=True)
+        assert compiled.views == legacy.views
+        for view in compiled.views.values():
+            assert isinstance(view, LocalView)
+        # Snapshots must not alias engine internals: a later run with other
+        # certificates leaves them untouched.
+        frozen = {v: view.certificate for v, view in compiled.views.items()}
+        compiled_net.run(lambda view: True, {})
+        assert {v: view.certificate for v, view in compiled.views.items()} == frozen
+
+
+class TestBatchedEntryPoints:
+    def test_run_many_stops_on_accept(self):
+        graph = nx.path_graph(4)
+        network = CompiledNetwork(graph, seed=0)
+        assignments = [{0: b"no"}, {0: b"yes"}, {0: b"never-reached"}]
+        verifier = lambda view: b"no" not in (view.certificate, *view.neighbor_certificates())
+        results = list(network.run_many(verifier, assignments, stop_on_accept=True))
+        assert [r.accepted for r in results] == [False, True]
+
+    def test_run_many_stops_on_reject(self):
+        graph = nx.path_graph(4)
+        network = CompiledNetwork(graph, seed=0)
+        assignments = [{}, {0: b"bad"}, {}]
+        verifier = lambda view: b"bad" not in (view.certificate, *view.neighbor_certificates())
+        results = list(network.run_many(verifier, assignments, stop_on_reject=True))
+        assert [r.accepted for r in results] == [True, False]
+
+    def test_any_accepted_matches_run_many(self):
+        graph = nx.cycle_graph(4)
+        network = CompiledNetwork(graph, seed=1)
+        rng = random.Random(0)
+        assignments = [
+            random_assignment(sorted(graph.nodes()), 1, seed=rng) for _ in range(8)
+        ]
+        verifier = lambda view: view.certificate < b"\xf0"
+        expected = any(r.accepted for r in network.run_many(verifier, assignments))
+        assert network.any_accepted(verifier, assignments) == expected
+
+    def test_accepts_at_checks_only_given_vertices(self):
+        graph = nx.path_graph(5)
+        ids = assign_identifiers(graph, sequential=True)
+        network = CompiledNetwork(graph, identifiers=ids)
+        rejector = ids[4]
+        verifier = lambda view: view.identifier != rejector
+        assert network.accepts_at(verifier, {}, [0, 1, 2])
+        assert not network.accepts_at(verifier, {}, [0, 4])
+
+
+class TestHarnessEquivalence:
+    @pytest.mark.parametrize(
+        "scheme,graph",
+        [
+            (TreeScheme(), random_tree(11, seed=6)),
+            (TreeScheme(), nx.cycle_graph(9)),
+            (BipartitenessScheme(), nx.cycle_graph(7)),
+            (TreedepthScheme(3), nx.path_graph(7)),
+        ],
+    )
+    def test_evaluate_scheme_engines_agree(self, scheme, graph):
+        clear_caches()
+        compiled = evaluate_scheme(scheme, graph, seed=5, engine="compiled")
+        legacy = evaluate_scheme(scheme, graph, seed=5, engine="legacy")
+        assert compiled == legacy
+        # And a second compiled evaluation (warm caches) is still identical.
+        assert evaluate_scheme(scheme, graph, seed=5, engine="compiled") == legacy
+
+    def test_exhaustive_soundness_engines_agree(self):
+        scheme = BipartitenessScheme()
+        graph = nx.complete_graph(3)
+        assert exhaustive_soundness_holds(
+            scheme, graph, max_bits=1, engine="compiled"
+        ) == exhaustive_soundness_holds(scheme, graph, max_bits=1, engine="legacy")
+
+    def test_soundness_under_corruption_engines_agree(self):
+        scheme = TreeScheme()
+        graph = random_tree(12, seed=9)
+        assert soundness_under_corruption(
+            scheme, graph, seed=1, engine="compiled"
+        ) == soundness_under_corruption(scheme, graph, seed=1, engine="legacy")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_scheme(TreeScheme(), nx.path_graph(3), engine="quantum")
+
+
+class TestDeterministicSchedules:
+    def test_trial_seeds_are_pure_functions_of_seed_and_index(self):
+        assert derive_trial_seed(3, 7) == derive_trial_seed(3, 7)
+        assert derive_trial_seed(3, 7) != derive_trial_seed(3, 8)
+        assert derive_trial_seed(3, 7) != derive_trial_seed(4, 7)
+
+    def test_schedule_is_resumable(self):
+        full = adversarial_schedule(11, 10)
+        tail = adversarial_schedule(11, 4, start=6)
+        assert full[6:] == tail
+
+    def test_explicit_certificate_bytes_schedule(self):
+        schedule = adversarial_schedule(0, 4, certificate_bytes=[2, 5])
+        assert [size for _, size in schedule] == [2, 5, 2, 5]
+
+    def test_explicit_schedule_resume_replays_same_sizes(self):
+        full = adversarial_schedule(11, 10, certificate_bytes=[2, 5])
+        tail = adversarial_schedule(11, 3, certificate_bytes=[2, 5], start=7)
+        assert full[7:] == tail
+
+    def test_evaluate_is_reproducible_across_calls_and_offsets(self):
+        scheme = TreeScheme()
+        graph = nx.cycle_graph(8)
+        first = evaluate_scheme(scheme, graph, seed=2, adversarial_trials=6)
+        second = evaluate_scheme(scheme, graph, seed=2, adversarial_trials=6)
+        assert first == second
+        resumed = evaluate_scheme(
+            scheme, graph, seed=2, adversarial_trials=3, trial_offset=3
+        )
+        assert resumed.soundness_ok  # the tail of a sound sweep is sound
+
+
+class TestCachingLayer:
+    def test_holds_cache_hits_same_structure_and_misses_after_mutation(self):
+        clear_caches()
+        scheme = TreeScheme()
+        graph = random_tree(9, seed=3)
+
+        calls = []
+        original = scheme.holds
+        scheme.holds = lambda g: calls.append(1) or original(g)
+        try:
+            assert cached_holds(scheme, graph) is True
+            assert cached_holds(scheme, graph) is True
+            assert len(calls) == 1
+            graph.add_edge(*next(iter(nx.non_edges(graph))))  # fingerprint moves
+            cached_holds(scheme, graph)
+            assert len(calls) == 2
+        finally:
+            scheme.holds = original
+
+    def test_compiled_network_cache_reuses_topology(self):
+        clear_caches()
+        graph = random_tree(8, seed=0)
+        ids = cached_evaluation_identifiers(graph, 0)
+        assert cached_compiled_network(graph, ids) is cached_compiled_network(graph, ids)
+
+    def test_evaluation_identifiers_match_legacy_derivation(self):
+        graph = random_tree(8, seed=0)
+        expected = assign_identifiers(graph, seed=random.Random(42))
+        assert cached_evaluation_identifiers(graph, 42).ids == expected.ids
+
+
+class TestSlotsConversion:
+    def test_view_dataclasses_have_no_dict(self):
+        view = LocalView(identifier=1, certificate=b"")
+        with pytest.raises((AttributeError, TypeError)):
+            view.__dict__
+        result = CompiledNetwork(nx.path_graph(2), seed=0).run(lambda v: True, {})
+        with pytest.raises((AttributeError, TypeError)):
+            result.__dict__

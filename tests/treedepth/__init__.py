@@ -1,0 +1,1 @@
+"""Test package (gives same-basename test modules distinct import paths)."""
