@@ -7,17 +7,25 @@ real certificate sizes (bits per vertex) across a range of ``n``, check
 completeness/soundness on the instances, and print the resulting series so it
 can be compared against the claimed asymptotic shape.  The printed lines are
 collected into EXPERIMENTS.md.
+
+Benchmarks whose experiment is a straight sweep — one registered scheme, one
+graph family, a grid of sizes — declare a
+:class:`~repro.experiments.SweepSpec` and run it through
+:func:`sweep_series`/:func:`sweep_result` below instead of hand-rolling the
+measurement loop; only experiments over bespoke instances (planted gadgets,
+kernel internals, lower-bound constructions) still build graphs by hand.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, Sequence
+from typing import Dict, Iterable, Sequence, Tuple
 
 import networkx as nx
 
 from repro.core.cache import cached_identifiers
 from repro.core.scheme import CertificationScheme, evaluate_scheme
+from repro.experiments import SweepResult, SweepSpec, run_sweep
 
 
 def measure_scheme_sizes(
@@ -69,3 +77,88 @@ def prove_and_verify_once(
     """One full prove + distributed-verify round; used as the timed kernel."""
     report = evaluate_scheme(scheme, graph, seed=seed, engine=engine)
     return bool(report.completeness_ok)
+
+
+# ---------------------------------------------------------------------------
+# Declarative sweeps (the SweepSpec-based benchmark path)
+# ---------------------------------------------------------------------------
+
+
+def sweep_result(spec: SweepSpec) -> SweepResult:
+    """Run a sweep and assert it is clean.
+
+    Clean means: honest proofs accepted on every yes-instance, sampled
+    adversaries rejected on every no-instance, and — when the spec checks it
+    — the measured series within the registered asymptotic bound.
+    """
+    result = run_sweep(spec)
+    assert result.all_accepted, f"{spec.label}: an honest proof was rejected"
+    assert result.all_sound, f"{spec.label}: an adversarial assignment was accepted"
+    if result.bound is not None:
+        assert result.bound.ok, (
+            f"{spec.label}: series {result.series} violates {result.bound.label} "
+            f"(spread {result.bound.spread:.2f} > slack {result.bound.slack})"
+        )
+    return result
+
+
+def sweep_series(spec: SweepSpec) -> Dict[int, int]:
+    """The measured yes-instance size series of a clean sweep (n → bits)."""
+    return sweep_result(spec).series
+
+
+def sweep_series_by_vertices(spec: SweepSpec) -> Dict[int, int]:
+    """Like :func:`sweep_series`, but keyed by actual vertex count.
+
+    Useful for families whose grid coordinate is not the vertex count
+    (``binary-tree`` depth, ``triangle-chain`` length, random families).
+    """
+    series: Dict[int, int] = {}
+    for point in sweep_result(spec).points:
+        if point.holds:
+            series[point.vertices] = max(
+                series.get(point.vertices, 0), point.max_certificate_bits
+            )
+    return series
+
+
+def merged_sweep_series(specs: Iterable[SweepSpec]) -> Dict[int, int]:
+    """Union of single-family sweep series — for grids whose scheme
+    parameters vary with ``n`` beyond what ``$n`` templating expresses
+    (e.g. treedepth t = ⌈log₂(n+1)⌉ on paths)."""
+    series: Dict[int, int] = {}
+    for spec in specs:
+        series.update(sweep_series(spec))
+    return series
+
+
+def sweep_check(
+    scheme: str,
+    params: Dict[str, object],
+    cases: Sequence[Tuple[str, int, bool]],
+    trials: int = 20,
+    seed: int = 0,
+) -> None:
+    """Check expected yes/no classification across families, via sweeps.
+
+    ``cases`` is a sequence of ``(family, size, expect_holds)`` triples; each
+    runs as a one-point sweep (bound checks off — single points carry no
+    shape information) and must come back clean with the expected
+    classification.
+    """
+    for family, size, expect_holds in cases:
+        spec = SweepSpec(
+            scheme=scheme,
+            params=params,
+            family=family,
+            sizes=(size,),
+            trials=trials,
+            seed=seed,
+            check_bound=False,
+        )
+        result = sweep_result(spec)
+        point = result.points[0]
+        assert point.holds == expect_holds, (
+            f"{scheme} on {family}:{size}: holds={point.holds}, "
+            f"expected {expect_holds}"
+        )

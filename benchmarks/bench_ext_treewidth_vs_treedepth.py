@@ -7,74 +7,99 @@ O(k log² n)), the same scheme with a heuristic path-shaped decomposition
 (expected Θ(n log n) — the ablation that shows why balance matters), and the
 Theorem 2.4 treedepth scheme on the same paths (whose treedepth is
 ⌈log₂(n+1)⌉, so its certificates are also Θ(log² n)).
+
+All four series are declarative sweeps over the ``treewidth``/``treedepth``
+registry entries; the builders (``balanced-path``, ``balanced-cycle``) are
+selected by the ``decomposition``/``model`` parameters.  The ablation sweep
+turns the registered-bound check off — violating O(k log² n) is its point.
 """
 
 from __future__ import annotations
 
 import math
 
-import networkx as nx
 import pytest
 
-from _harness import check_instances, log2, print_series
+from _harness import merged_sweep_series, print_series, sweep_check, sweep_series
 
-from repro.core.treedepth_scheme import TreedepthScheme
-from repro.core.treewidth_scheme import TreeDecompositionScheme
-from repro.treedepth.decomposition import balanced_path_elimination_tree
-from repro.treewidth.balanced import balanced_cycle_decomposition, balanced_path_decomposition
+from repro.experiments import SweepSpec
 
 _SIZES = (16, 64, 256)
 
 
 def test_balanced_treewidth_certificates_on_paths(benchmark) -> None:
-    scheme = TreeDecompositionScheme(k=2, decomposition_builder=balanced_path_decomposition)
-    sizes = benchmark(
-        lambda: {n: scheme.max_certificate_bits(nx.path_graph(n), seed=0) for n in _SIZES}
+    spec = SweepSpec(
+        scheme="treewidth",
+        params={"k": 2, "decomposition": "balanced-path"},
+        family="path",
+        sizes=_SIZES,
+        trials=10,
+        measure="size",
     )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E14 treewidth<=2 via balanced decomposition on paths (expect ~log^2 n)", sizes)
     # log²(256)/log²(16) = 4: allow a generous constant but forbid linear growth.
     assert sizes[256] <= 10 * sizes[16]
 
 
 def test_unbalanced_treewidth_certificates_on_paths(benchmark) -> None:
-    scheme = TreeDecompositionScheme(k=1)
-    sizes = benchmark(
-        lambda: {n: scheme.max_certificate_bits(nx.path_graph(n), seed=0) for n in _SIZES}
+    spec = SweepSpec(
+        scheme="treewidth",
+        params={"k": 1},  # decomposition="auto": the heuristic, path-shaped one
+        family="path",
+        sizes=_SIZES,
+        trials=10,
+        measure="size",
+        check_bound=False,  # the ablation exists to violate O(k log² n)
     )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E14 treewidth<=1 via heuristic (path-shaped) decomposition (expect ~n log n)", sizes)
     # The ablation: without balancing the certificates grow roughly linearly.
     assert sizes[256] >= 8 * sizes[16]
 
 
 def test_treedepth_certificates_on_paths(benchmark) -> None:
-    def measure() -> dict:
-        sizes = {}
-        for n in _SIZES:
-            t = math.ceil(math.log2(n + 1))
-            scheme = TreedepthScheme(t=t, model_builder=balanced_path_elimination_tree)
-            sizes[n] = scheme.max_certificate_bits(nx.path_graph(n), seed=0)
-        return sizes
-
-    sizes = benchmark(measure)
+    specs = [
+        SweepSpec(
+            scheme="treedepth",
+            params={"t": math.ceil(math.log2(n + 1)), "model": "balanced-path"},
+            family="path",
+            sizes=(n,),
+            trials=10,
+            measure="size",
+        )
+        for n in _SIZES
+    ]
+    sizes = benchmark(lambda: merged_sweep_series(specs))
     print_series("E14 treedepth<=log n (Thm 2.4) on paths (expect ~log^2 n)", sizes)
     assert sizes[256] <= 10 * sizes[16]
 
 
 def test_balanced_treewidth_on_cycles(benchmark) -> None:
-    scheme = TreeDecompositionScheme(k=3, decomposition_builder=balanced_cycle_decomposition)
-    sizes = benchmark(
-        lambda: {n: scheme.max_certificate_bits(nx.cycle_graph(n), seed=0) for n in _SIZES}
+    spec = SweepSpec(
+        scheme="treewidth",
+        params={"k": 3, "decomposition": "balanced-cycle"},
+        family="cycle",
+        sizes=_SIZES,
+        trials=10,
+        measure="size",
     )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E14 treewidth<=3 via balanced decomposition on cycles", sizes)
     assert sizes[256] <= 10 * sizes[16]
 
 
 def test_treewidth_scheme_correctness_around_threshold(benchmark) -> None:
     result = benchmark(
-        lambda: check_instances(
-            TreeDecompositionScheme(k=1),
-            yes_instances=[nx.path_graph(12), nx.star_graph(6)],
-            no_instances=[nx.cycle_graph(8), nx.complete_graph(4)],
+        lambda: sweep_check(
+            "treewidth",
+            {"k": 1},
+            cases=[
+                ("path", 12, True),
+                ("star", 7, True),
+                ("cycle", 8, False),
+                ("clique", 4, False),
+            ],
         )
         or True
     )

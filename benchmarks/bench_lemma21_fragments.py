@@ -1,56 +1,60 @@
 """E7 — Lemma 2.1: small FO fragments certified with O(log n) bits.
 
 Reproduced series: certificate bits vs n for an existential FO sentence
-(has a triangle) and for the two non-trivial depth-2 properties (clique,
-dominating vertex), against the log₂(n) reference.
+(has a triangle, on cliques where the witness always exists) and for the
+two non-trivial depth-2 properties (clique, dominating vertex), against the
+log₂(n) reference — each as a declarative sweep over the registry, with
+triangle-free cycles as the soundness side of the existential sweep.
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 
-from _harness import check_instances, log2, print_series
+from _harness import log2, print_series, sweep_result, sweep_series
 
-from repro.core import CliqueScheme, DominatingVertexScheme, ExistentialFOScheme
-from repro.graphs.generators import star_graph
-from repro.logic import properties
-
-SIZES = [8, 32, 128, 512]
+from repro.experiments import SweepSpec
 
 
 def test_existential_fo_logarithmic(benchmark) -> None:
-    scheme = ExistentialFOScheme(properties.has_triangle(), name="has-triangle")
-
-    def measure():
-        sizes = {}
-        for n in SIZES:
-            graph = nx.cycle_graph(n)
-            graph.add_edge(0, 2)  # plant one triangle
-            sizes[n] = scheme.max_certificate_bits(graph)
-        return sizes
-
-    sizes = benchmark(measure)
+    spec = SweepSpec(
+        scheme="existential-fo",
+        params={"property": "has-triangle"},
+        family="clique",
+        sizes=(8, 32, 128),
+        trials=10,
+    )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E7 Lemma 2.1: existential FO (has triangle)", sizes)
-    ratios = [sizes[n] / log2(n) for n in SIZES]
+    ratios = [sizes[n] / log2(n) for n in sizes]
     assert max(ratios) / min(ratios) < 4.0
-    check_instances(scheme, no_instances=[nx.cycle_graph(8)])
+    # Cycles are triangle-free: every point is a no-instance and the sweep
+    # asserts the sampled adversaries were rejected.
+    no_side = sweep_result(
+        SweepSpec(
+            scheme="existential-fo",
+            params={"property": "has-triangle"},
+            family="cycle",
+            sizes=(8, 16),
+            trials=10,
+            check_bound=False,
+        )
+    )
+    assert not any(point.holds for point in no_side.points)
 
 
 def test_clique_scheme_logarithmic(benchmark) -> None:
-    sizes = benchmark(
-        lambda: {n: CliqueScheme().max_certificate_bits(nx.complete_graph(n)) for n in SIZES}
-    )
+    spec = SweepSpec(scheme="clique", family="clique", sizes=(8, 32, 128), trials=10)
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E7 Lemma 2.1: clique (depth-2 FO)", sizes)
-    ratios = [sizes[n] / log2(n) for n in SIZES]
+    ratios = [sizes[n] / log2(n) for n in sizes]
     assert max(ratios) / min(ratios) < 4.0
 
 
 def test_dominating_vertex_scheme_logarithmic(benchmark) -> None:
-    sizes = benchmark(
-        lambda: {
-            n: DominatingVertexScheme().max_certificate_bits(star_graph(n - 1)) for n in SIZES
-        }
+    spec = SweepSpec(
+        scheme="dominating-vertex", family="star", sizes=(8, 32, 128, 512), trials=10
     )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E7 Lemma 2.1: dominating vertex (depth-2 FO)", sizes)
     assert sizes[512] <= 4 * sizes[8]

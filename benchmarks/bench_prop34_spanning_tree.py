@@ -1,47 +1,58 @@
-"""E9 — Proposition 3.4: spanning tree and vertex count with O(log n) bits."""
+"""E9 — Proposition 3.4: spanning tree and vertex count with O(log n) bits.
+
+All three experiments are declarative sweeps: the counting scheme certifies
+"exactly n vertices" via the ``$n`` parameter template, the acyclicity
+scheme runs on random trees, and the soundness check pins ``expected_n=16``
+against instances of 16 (yes) and 15 (no) vertices.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import check_instances, log2, print_series
+from _harness import log2, print_series, sweep_result, sweep_series
 
-from repro.core import SpanningTreeCountScheme, TreeScheme
-from repro.graphs.generators import random_connected_graph, random_tree
-
-SIZES = [8, 32, 128, 512]
+from repro.experiments import SweepSpec
 
 
 def test_counting_scheme_logarithmic(benchmark) -> None:
-    def measure():
-        return {
-            n: SpanningTreeCountScheme(n).max_certificate_bits(
-                random_connected_graph(n, p=0.05, seed=0)
-            )
-            for n in SIZES
-        }
-
-    sizes = benchmark(measure)
+    spec = SweepSpec(
+        scheme="spanning-tree-count",
+        params={"expected_n": "$n"},
+        family="random-connected",
+        sizes=(8, 32, 128, 512),
+        trials=10,
+    )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E9 Prop 3.4: spanning tree + count", sizes)
-    ratios = [sizes[n] / log2(n) for n in SIZES]
+    ratios = [sizes[n] / log2(n) for n in sizes]
     assert max(ratios) / min(ratios) < 4.0
 
 
 def test_tree_certification_logarithmic(benchmark) -> None:
-    sizes = benchmark(
-        lambda: {n: TreeScheme().max_certificate_bits(random_tree(n, seed=1)) for n in SIZES}
+    spec = SweepSpec(
+        scheme="tree",
+        family="random-tree",
+        sizes=(8, 32, 128, 512),
+        trials=10,
+        seed=1,
     )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E9 Prop 3.4: acyclicity (the graph is a tree)", sizes)
     assert sizes[512] <= 4 * sizes[8]
 
 
 def test_counting_soundness(benchmark) -> None:
-    result = benchmark(
-        lambda: check_instances(
-            SpanningTreeCountScheme(16),
-            yes_instances=[random_connected_graph(16, p=0.2, seed=2)],
-            no_instances=[random_connected_graph(15, p=0.2, seed=2)],
-        )
-        or True
+    # 16 vertices is a yes-instance for expected_n=16; 15 is a no-instance
+    # whose sampled adversarial assignments must all be rejected.
+    spec = SweepSpec(
+        scheme="spanning-tree-count",
+        params={"expected_n": 16},
+        family="random-connected",
+        sizes=(16, 15),
+        trials=20,
+        seed=2,
+        check_bound=False,
     )
-    assert result
+    result = benchmark(lambda: sweep_result(spec))
+    assert [point.holds for point in result.points] == [True, False]

@@ -1,72 +1,77 @@
 """E2 — Theorem 2.2: MSO properties of trees with O(1)-bit certificates.
 
 Series reproduced: max certificate bits per vertex vs n, for three catalogue
-automata and one compiled FO sentence, on random trees.  The paper's claim is
-that the series is flat (constant, independent of n), in contrast with the
-O(log n) spanning-tree baseline printed alongside.
+automata and one compiled FO sentence, on paths and stars.  The paper's
+claim is that the series is flat (constant, independent of n), in contrast
+with the O(log n) spanning-tree baseline of E9.
+
+Every experiment is a declarative sweep over the ``mso-trees`` registry
+entry; odd-length paths double as no-instances for the perfect-matching
+automaton, so completeness, soundness and the O(1) bound are all checked by
+the same sweep.
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 
-from _harness import check_instances, measure_scheme_sizes, print_series
+from _harness import print_series, sweep_result, sweep_series
 
-from repro.automata.catalog import (
-    all_leaves_at_even_depth_automaton,
-    height_at_most_automaton,
-    perfect_matching_automaton,
-)
-from repro.automata.mso_compile import compile_fo_sentence_to_automaton
-from repro.core import MSOTreeScheme, SpanningTreeCountScheme
-from repro.graphs.generators import path_graph, random_tree
-from repro.logic import properties
-
-SIZES = [8, 32, 128, 512]
+from repro.experiments import SweepSpec
 
 
 def test_perfect_matching_constant_certificates(benchmark) -> None:
-    scheme = MSOTreeScheme(perfect_matching_automaton(), name="perfect-matching")
-    instances = {n: path_graph(n) for n in SIZES}  # even paths have perfect matchings
-    sizes = benchmark(lambda: measure_scheme_sizes(scheme, instances))
+    # Even paths have perfect matchings; 7 and 129 are no-instances whose
+    # sampled adversaries must all be rejected.
+    spec = SweepSpec(
+        scheme="mso-trees",
+        params={"automaton": "perfect-matching"},
+        family="path",
+        sizes=(7, 8, 32, 128, 129, 512),
+        trials=10,
+    )
+    result = benchmark(lambda: sweep_result(spec))
+    sizes = result.series
     print_series("E2 Thm 2.2: perfect matching on trees (expect flat)", sizes)
+    assert set(sizes) == {8, 32, 128, 512}
     assert len(set(sizes.values())) == 1, "certificate size must not grow with n"
-    check_instances(scheme, yes_instances=[path_graph(8)], no_instances=[path_graph(7)])
 
 
 def test_height_bound_constant_certificates(benchmark) -> None:
-    scheme = MSOTreeScheme(height_at_most_automaton(4), name="height<=4")
-    instances = {n: nx.star_graph(n - 1) for n in SIZES}
-    sizes = benchmark(lambda: measure_scheme_sizes(scheme, instances))
+    spec = SweepSpec(
+        scheme="mso-trees",
+        params={"automaton": "height-at-most-4"},
+        family="star",
+        sizes=(8, 32, 128, 512),
+        trials=10,
+    )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E2 Thm 2.2: height <= 4 on stars (expect flat)", sizes)
     assert max(sizes.values()) == min(sizes.values())
 
 
 def test_leaves_at_even_depth_constant_certificates(benchmark) -> None:
-    scheme = MSOTreeScheme(all_leaves_at_even_depth_automaton(), name="even-leaves")
-    instances = {n: path_graph(n) for n in (9, 33, 129)}  # odd paths: leaf at even depth
-    sizes = benchmark(lambda: measure_scheme_sizes(scheme, instances))
+    # Odd paths have both leaves at even depth from the midpoint rooting.
+    spec = SweepSpec(
+        scheme="mso-trees",
+        params={"automaton": "even-leaves"},
+        family="path",
+        sizes=(9, 33, 129),
+        trials=10,
+    )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E2 Thm 2.2: all leaves at even depth (expect flat)", sizes)
     assert max(sizes.values()) == min(sizes.values())
 
 
 def test_compiled_fo_sentence_constant_certificates(benchmark) -> None:
-    automaton = compile_fo_sentence_to_automaton(properties.has_dominating_vertex())
-    scheme = MSOTreeScheme(automaton, name="dominating-vertex")
-    instances = {n: nx.star_graph(n - 1) for n in (8, 32, 128)}
-    sizes = benchmark(lambda: measure_scheme_sizes(scheme, instances))
+    spec = SweepSpec(
+        scheme="mso-trees",
+        params={"automaton": "dominating-vertex"},
+        family="star",
+        sizes=(8, 32, 128),
+        trials=10,
+    )
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E2 Thm 2.2: compiled FO (dominating vertex), expect flat", sizes)
     assert max(sizes.values()) == min(sizes.values())
-
-
-def test_baseline_log_n_grows(benchmark) -> None:
-    """Contrast series: the O(log n) counting scheme does grow with n."""
-    sizes = benchmark(
-        lambda: {
-            n: SpanningTreeCountScheme(n).max_certificate_bits(random_tree(n, seed=0))
-            for n in SIZES
-        }
-    )
-    print_series("E2 baseline Prop 3.4: spanning tree + count (expect growth)", sizes)
-    assert sizes[512] > sizes[8]

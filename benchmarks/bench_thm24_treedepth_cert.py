@@ -1,42 +1,47 @@
 """E4 — Theorem 2.4: certifying treedepth ≤ t with O(t·log n) bits.
 
-Series reproduced: max certificate bits vs n on paths (treedepth ⌈log(n+1)⌉)
-and on random bounded-treedepth graphs with t fixed, compared against the
-t·log₂(n) reference curve.
+Series reproduced: max certificate bits vs n on paths (treedepth ⌈log(n+1)⌉,
+via the registered ``balanced-path`` model builder) and on random
+bounded-treedepth graphs with t fixed, compared against the t·log₂(n)
+reference curve.
+
+The path series needs a different ``t`` per grid point (the treedepth of a
+path grows with n), so it merges one-point sweeps; the fixed-t series and
+the threshold checks are single declarative sweeps.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import check_instances, log2, measure_scheme_sizes, print_series
+from _harness import (
+    log2,
+    merged_sweep_series,
+    print_series,
+    sweep_check,
+    sweep_result,
+)
 
-from repro.core import TreedepthScheme
-from repro.graphs.generators import bounded_treedepth_graph, path_graph
+from repro.experiments import SweepSpec
 from repro.treedepth.decomposition import treedepth_of_path
-from repro.treedepth.elimination_tree import EliminationTree
 
 
-def _balanced_path_model(graph) -> EliminationTree:
-    vertices = sorted(graph.nodes())
-    parent = {}
-
-    def build(segment, parent_vertex):
-        if not segment:
-            return
-        middle = len(segment) // 2
-        root = segment[middle]
-        parent[root] = parent_vertex
-        build(segment[:middle], root)
-        build(segment[middle + 1 :], root)
-
-    build(vertices, None)
-    return EliminationTree(parent)
+def _path_specs():
+    for exponent in (3, 4, 5, 6, 7):
+        n = 2**exponent - 1
+        yield n, SweepSpec(
+            scheme="treedepth",
+            params={"t": treedepth_of_path(n), "model": "balanced-path"},
+            family="path",
+            sizes=(n,),
+            trials=10,
+            measure="size",
+        )
 
 
 def test_paths_scale_like_t_log_n(benchmark) -> None:
-    sizes_and_reference = benchmark(lambda: _measure_paths())
-    sizes, reference = sizes_and_reference
+    sizes = benchmark(lambda: merged_sweep_series(spec for _, spec in _path_specs()))
+    reference = {n: treedepth_of_path(n) * log2(n) for n, _ in _path_specs()}
     print_series("E4 Thm 2.4: treedepth certificates on paths (measured)", sizes)
     print_series("E4 Thm 2.4: t*log2(n) reference", reference, unit="t*log2(n)")
     ratios = [sizes[n] / reference[n] for n in sizes]
@@ -44,40 +49,39 @@ def test_paths_scale_like_t_log_n(benchmark) -> None:
     assert max(ratios) / min(ratios) < 4.0
 
 
-def _measure_paths():
-    sizes = {}
-    reference = {}
-    for exponent in (3, 4, 5, 6, 7):
-        n = 2**exponent - 1
-        t = treedepth_of_path(n)
-        scheme = TreedepthScheme(t, model_builder=_balanced_path_model)
-        sizes[n] = scheme.max_certificate_bits(path_graph(n))
-        reference[n] = t * log2(n)
-    return sizes, reference
-
-
 def test_fixed_t_random_family(benchmark) -> None:
     """With t fixed, the growth in n is purely logarithmic (identifier width)."""
-    scheme = TreedepthScheme(4)
+    # Four independent draws of the depth-4 random family (repeated grid
+    # points derive independent seeds), keyed by actual vertex count.
+    spec = SweepSpec(
+        scheme="treedepth",
+        params={"t": 4},
+        family="bounded-treedepth",
+        sizes=(4, 4, 4, 4),
+        trials=10,
+        measure="size",
+    )
 
     def measure():
-        sizes = {}
-        for seed, branching in [(0, 2), (1, 3), (2, 4), (3, 5)]:
-            graph = bounded_treedepth_graph(4, branching=branching, seed=seed)
-            sizes[graph.number_of_nodes()] = scheme.max_certificate_bits(graph)
-        return sizes
+        result = sweep_result(spec)
+        return {
+            point.vertices: point.max_certificate_bits
+            for point in result.points
+            if point.holds
+        }
 
     sizes = benchmark(measure)
     print_series("E4 Thm 2.4: fixed t=4, random bounded-treedepth graphs", sizes)
+    assert sizes
     assert max(sizes.values()) <= 4 * min(sizes.values())
 
 
 def test_completeness_and_soundness_around_threshold(benchmark) -> None:
     result = benchmark(
-        lambda: check_instances(
-            TreedepthScheme(3),
-            yes_instances=[path_graph(7), bounded_treedepth_graph(3, seed=0)],
-            no_instances=[path_graph(8)],
+        lambda: sweep_check(
+            "treedepth",
+            {"t": 3},
+            cases=[("path", 7, True), ("bounded-treedepth", 3, True), ("path", 8, False)],
         )
         or True
     )

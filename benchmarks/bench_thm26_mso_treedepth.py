@@ -4,9 +4,15 @@ Reproduced series, for a fixed formula and fixed t:
 
 * the kernel size (number of vertices of the k-reduced graph) vs n — the
   paper's Proposition 6.2 says it is bounded by a function of (k, t) only,
-  so the series must flatten out;
+  so the series must flatten out (this one inspects kernel internals, so it
+  builds its instances by hand);
 * the certificate size vs n — it should grow like t·log n (the treedepth
-  layer), with the kernel contribution constant.
+  layer), with the kernel contribution constant: a declarative sweep of the
+  ``mso-treedepth`` registry entry with the ``star`` model builder.
+
+Completeness and soundness ride on sweeps too: stars satisfy "has a
+dominating vertex" at treedepth 2, and K₃ is a no-instance for
+"triangle-free at treedepth ≤ 2" (it has both a triangle and treedepth 3).
 """
 
 from __future__ import annotations
@@ -14,22 +20,15 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from _harness import check_instances, measure_scheme_sizes, print_series
+from _harness import print_series, sweep_check, sweep_series
 
-from repro.core import MSOTreedepthScheme
+from repro.experiments import SweepSpec
 from repro.graphs.generators import star_graph
 from repro.kernel.reduction import k_reduced_graph
-from repro.logic import properties
-from repro.treedepth.decomposition import optimal_elimination_tree
-from repro.treedepth.elimination_tree import EliminationTree, make_coherent
+from repro.treedepth.decomposition import star_elimination_tree
+from repro.treedepth.elimination_tree import make_coherent
 
-
-def _star_model(graph: nx.Graph) -> EliminationTree:
-    centre = max(graph.nodes(), key=graph.degree)
-    return EliminationTree({centre: None, **{v: centre for v in graph.nodes() if v != centre}})
-
-
-SIZES = [8, 32, 128, 512]
+SIZES = (8, 32, 128, 512)
 
 
 def test_kernel_size_is_independent_of_n(benchmark) -> None:
@@ -37,7 +36,7 @@ def test_kernel_size_is_independent_of_n(benchmark) -> None:
         kernel_sizes = {}
         for n in SIZES:
             graph = star_graph(n - 1)
-            model = make_coherent(graph, _star_model(graph))
+            model = make_coherent(graph, star_elimination_tree(graph))
             kernel_sizes[n] = k_reduced_graph(graph, model, k=2).kernel_size
         return kernel_sizes
 
@@ -47,25 +46,31 @@ def test_kernel_size_is_independent_of_n(benchmark) -> None:
 
 
 def test_certificate_size_scales_like_treedepth_layer(benchmark) -> None:
-    scheme = MSOTreedepthScheme(
-        properties.has_dominating_vertex(), t=2, model_builder=_star_model, name="dom"
+    spec = SweepSpec(
+        scheme="mso-treedepth",
+        params={"t": 2, "formula": "has-dominating-vertex", "model": "star"},
+        family="star",
+        sizes=SIZES,
+        trials=10,
+        measure="size",
     )
-    instances = {n: star_graph(n - 1) for n in SIZES}
-    sizes = benchmark(lambda: measure_scheme_sizes(scheme, instances))
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E6 Thm 2.6: certificate bits vs n (expect O(t log n))", sizes)
     # Growth from n=8 to n=512 is only identifier width, not kernel growth.
     assert sizes[512] <= sizes[8] + 300
 
 
 def test_completeness_and_soundness(benchmark) -> None:
-    scheme = MSOTreedepthScheme(properties.triangle_free(), t=2, name="triangle-free")
-    triangle_plus_pendant = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
-
     result = benchmark(
-        lambda: check_instances(
-            scheme,
-            yes_instances=[star_graph(7)],
-            no_instances=[triangle_plus_pendant],
+        lambda: sweep_check(
+            "mso-treedepth",
+            {"t": 2, "formula": "has-dominating-vertex"},
+            cases=[("star", 8, True)],
+        )
+        or sweep_check(
+            "mso-treedepth",
+            {"t": 2, "formula": "triangle-free"},
+            cases=[("star", 8, True), ("clique", 3, False)],
         )
         or True
     )

@@ -1,120 +1,135 @@
 """Command-line interface: certify properties of a graph from the shell.
 
+Every scheme known to the :mod:`repro.registry` catalogue is available here
+— ``list`` prints the catalogue (name, parameters, certificate-size bound,
+paper reference), ``certify`` runs one scheme on one graph, and ``sweep``
+runs a declarative size sweep through :mod:`repro.experiments`.
+
 Usage examples::
 
     python -m repro.cli list
-    python -m repro.cli certify --scheme treedepth --param 3 --graph path:15
-    python -m repro.cli certify --scheme treewidth --param 2 --graph cycle:40 --verbose
+    python -m repro.cli certify --scheme treedepth --param t=3 --graph path:15
+    python -m repro.cli certify --scheme mso-trees --param automaton=perfect-matching \\
+        --graph path:8 --json
     python -m repro.cli certify --scheme bipartite --graph file:edges.txt --seed 7
 
-Graphs are described by ``family:size`` specifiers (``path``, ``cycle``,
-``star``, ``clique``, ``binary-tree``, ``random-tree``, ``grid``) or by
-``file:PATH`` pointing at an edge list (one ``u v`` pair per line).  The
-command prints whether the property holds, whether the honest proof was
-accepted by the radius-1 verifier, and the maximum certificate size in bits
-— the quantity the paper is about.
+Graphs are described by ``family:size`` specifiers (see ``list`` for the
+full family catalogue) or by ``file:PATH`` pointing at an edge list (one
+``u v`` pair per line).  ``certify`` prints whether the property holds,
+whether the honest proof was accepted by the radius-1 verifier, and the
+maximum certificate size in bits — the quantity the paper is about; with
+``--json`` the same result is printed machine-readable.
+
+Running sweeps
+--------------
+
+``sweep`` measures a whole certificate-size series in one invocation: pick a
+scheme, a graph family and a grid of sizes, and the runner evaluates every
+instance on the compile-once engine (fanning out across processes with
+``--processes``), checks the measured series against the scheme's registered
+asymptotic bound, and writes a JSON artifact::
+
+    python -m repro.cli sweep --scheme tree --family random-tree \\
+        --sizes 8,32,128 --trials 10 --output sweep_tree.json
+    python -m repro.cli sweep --scheme spanning-tree-count --param expected_n='$n' \\
+        --family random-connected --sizes 8,16,32,64
+
+Parameter values may use the literal ``$n`` template, substituted with each
+grid point's size.  Every grid point derives an independent seed from
+``(--seed, index)``, so sweeps are reproducible point-by-point and shardable
+across machines.  The exit status is non-zero when a yes-instance's honest
+proof is rejected, a no-instance's sampled adversary is accepted, or the
+measured series violates the registered bound.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, Optional
+from typing import Dict, List, Optional
 
 import networkx as nx
 
-from repro.core.diameter import TreeDiameterScheme
-from repro.core.scheme import CertificationScheme, evaluate_scheme
-from repro.core.simple_schemes import (
-    BipartitenessScheme,
-    MaxDegreeScheme,
-    PerfectMatchingWitnessScheme,
-    ProperColoringScheme,
+from repro.core.scheme import evaluate_scheme
+from repro.experiments import SweepSpec, run_sweep, write_artifact
+from repro.graphs.generators import (
+    GRAPH_FAMILIES,
+    GRAPH_FAMILY_SIZE_MEANING,
+    GraphSpecError,
+    build_graph_spec,
 )
-from repro.core.spanning_tree import TreeScheme
-from repro.core.treedepth_scheme import TreedepthScheme
-from repro.core.treewidth_scheme import TreeDecompositionScheme
-from repro.graphs.generators import complete_binary_tree, random_tree
-
-
-def _int_param(value: Optional[str], scheme: str) -> int:
-    if value is None:
-        raise SystemExit(f"scheme '{scheme}' requires --param <integer>")
-    try:
-        return int(value)
-    except ValueError as error:
-        raise SystemExit(f"--param must be an integer, got {value!r}") from error
-
-
-#: scheme name → factory taking the raw --param string.
-SCHEME_FACTORIES: Dict[str, Callable[[Optional[str]], CertificationScheme]] = {
-    "tree": lambda param: TreeScheme(),
-    "bipartite": lambda param: BipartitenessScheme(),
-    "matching": lambda param: PerfectMatchingWitnessScheme(),
-    "treedepth": lambda param: TreedepthScheme(t=_int_param(param, "treedepth")),
-    "treewidth": lambda param: TreeDecompositionScheme(k=_int_param(param, "treewidth")),
-    "coloring": lambda param: ProperColoringScheme(colors=_int_param(param, "coloring")),
-    "max-degree": lambda param: MaxDegreeScheme(d=_int_param(param, "max-degree")),
-    "tree-diameter": lambda param: TreeDiameterScheme(diameter=_int_param(param, "tree-diameter")),
-}
+from repro.registry import REGISTRY, RegistryError
 
 
 def build_graph(spec: str, seed: int = 0) -> nx.Graph:
-    """Build a graph from a ``family:size`` or ``file:path`` specifier."""
-    if ":" not in spec:
-        raise SystemExit(f"graph specifier must look like 'family:size', got {spec!r}")
-    family, _, argument = spec.partition(":")
-    if family == "file":
-        graph = nx.read_edgelist(argument)
-        if graph.number_of_nodes() == 0:
-            raise SystemExit(f"edge list {argument!r} produced an empty graph")
-        return graph
+    """Resolve a graph specifier, turning resolution errors into clean exits."""
     try:
-        size = int(argument)
-    except ValueError as error:
-        raise SystemExit(f"graph size must be an integer, got {argument!r}") from error
-    if size <= 0:
-        raise SystemExit("graph size must be positive")
-    builders: Dict[str, Callable[[int], nx.Graph]] = {
-        "path": nx.path_graph,
-        "cycle": nx.cycle_graph,
-        "clique": nx.complete_graph,
-        "star": lambda n: nx.star_graph(max(1, n - 1)),
-        "binary-tree": complete_binary_tree,
-        "random-tree": lambda n: random_tree(n, seed=seed),
-        "grid": lambda n: nx.convert_node_labels_to_integers(nx.grid_2d_graph(n, n)),
-    }
-    if family not in builders:
-        raise SystemExit(
-            f"unknown graph family {family!r}; choose from {sorted(builders)} or 'file:PATH'"
-        )
-    return builders[family](size)
+        return build_graph_spec(spec, seed=seed)
+    except GraphSpecError as error:
+        raise SystemExit(f"error: {error}") from error
+
+
+def parse_params(entries: Optional[List[str]], scheme: str) -> Dict[str, str]:
+    """Parse repeated ``--param`` flags into a raw parameter mapping.
+
+    Each entry is ``key=value``; a bare ``value`` is shorthand for the
+    scheme's single required parameter (so ``--scheme treedepth --param 3``
+    keeps working alongside the explicit ``--param t=3``).
+    """
+    info = REGISTRY.get(scheme)
+    params: Dict[str, str] = {}
+    required = [spec.name for spec in info.params if spec.required]
+    for entry in entries or []:
+        if "=" in entry:
+            key, _, value = entry.partition("=")
+            key = key.strip()
+            if not key:
+                raise SystemExit(f"malformed --param {entry!r}; use key=value")
+            params[key] = value
+        elif len(required) == 1:
+            params[required[0]] = entry
+        else:
+            raise SystemExit(
+                f"scheme {scheme!r} has no single required parameter; "
+                f"use --param key=value (parameters: "
+                f"{', '.join(spec.name for spec in info.params) or 'none'})"
+            )
+    return params
+
+
+def _create_scheme(args: argparse.Namespace):
+    try:
+        info = REGISTRY.get(args.scheme)
+        return info, info.create(parse_params(args.param, args.scheme))
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
 
 
 def cmd_list(_: argparse.Namespace) -> int:
-    print("available schemes (--scheme):")
-    descriptions = {
-        "tree": "the graph is a tree (O(log n) bits)",
-        "bipartite": "the graph is 2-colourable (1 bit)",
-        "matching": "the graph has a perfect matching (O(log n) bits)",
-        "treedepth": "treedepth <= PARAM (Theorem 2.4, O(t log n) bits)",
-        "treewidth": "treewidth <= PARAM (extension of Thm 2.4, O(d k log n) bits)",
-        "coloring": "the graph is PARAM-colourable (O(log PARAM) bits)",
-        "max-degree": "maximum degree <= PARAM (no certificate)",
-        "tree-diameter": "the graph is a tree of diameter <= PARAM (O(log n) bits)",
-    }
-    for name in sorted(SCHEME_FACTORIES):
-        print(f"  {name:<14} {descriptions[name]}")
-    print("\ngraph families (--graph): path:N cycle:N star:N clique:N binary-tree:DEPTH")
-    print("                          random-tree:N grid:N file:PATH")
+    print(f"available schemes (--scheme), {len(REGISTRY)} registered:")
+    for info in REGISTRY:
+        params = " ".join(
+            f"{spec.name}{'*' if spec.required else ''}" for spec in info.params
+        )
+        params = f"  params: {params}" if params else ""
+        print(f"  {info.key:<20} {info.bound.label:<12} {info.summary}")
+        print(f"  {'':<20} {'':<12} [{info.paper}]{params}")
+    print("\ngraph families (--graph / --family):")
+    print(
+        "  "
+        + " ".join(
+            f"{family}:{GRAPH_FAMILY_SIZE_MEANING.get(family, 'N')}"
+            for family in sorted(GRAPH_FAMILIES)
+        )
+    )
+    print("  file:PATH (edge list, one 'u v' pair per line)")
+    print("\nparameters marked * are required; pass them as --param key=value")
     return 0
 
 
 def cmd_certify(args: argparse.Namespace) -> int:
-    factory = SCHEME_FACTORIES.get(args.scheme)
-    if factory is None:
-        raise SystemExit(f"unknown scheme {args.scheme!r}; run 'python -m repro.cli list'")
-    scheme = factory(args.param)
+    info, scheme = _create_scheme(args)
     graph = build_graph(args.graph, seed=args.seed)
     report = evaluate_scheme(
         scheme,
@@ -123,6 +138,32 @@ def cmd_certify(args: argparse.Namespace) -> int:
         adversarial_trials=args.trials,
         engine=args.engine,
     )
+    failed = bool(report.holds and not report.completeness_ok)
+    if args.json:
+        payload = {
+            "scheme": scheme.name,
+            "registry_key": info.key,
+            "graph": args.graph,
+            "vertices": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "holds": report.holds,
+            "accepted": report.completeness_ok,
+            "sound": report.soundness_ok,
+            "max_certificate_bits": report.max_certificate_bits,
+            "bound": info.bound.label,
+            "engine": args.engine,
+            "seed": args.seed,
+        }
+        if args.verbose and report.holds:
+            from repro.network.ids import assign_identifiers
+
+            ids = assign_identifiers(graph, seed=args.seed)
+            payload["certificates"] = {
+                repr(vertex): {"id": ids[vertex], "hex": certificate.hex()}
+                for vertex, certificate in scheme.prove(graph, ids).items()
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if failed else 0
     print(f"scheme:     {scheme.name}")
     print(f"graph:      {args.graph} ({graph.number_of_nodes()} vertices, "
           f"{graph.number_of_edges()} edges)")
@@ -140,9 +181,61 @@ def cmd_certify(args: argparse.Namespace) -> int:
         print("\nper-vertex certificates:")
         for vertex in sorted(graph.nodes(), key=repr):
             print(f"  {vertex!r:>10} id={ids[vertex]:<8} {certificates[vertex].hex() or '(empty)'}")
-    if report.holds and not report.completeness_ok:
-        return 1
-    return 0
+    return 1 if failed else 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        sizes = tuple(int(part) for part in args.sizes.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"--sizes must be a comma-separated list of integers, got {args.sizes!r}")
+    try:
+        spec = SweepSpec(
+            scheme=args.scheme,
+            family=args.family,
+            sizes=sizes,
+            params=parse_params(args.param, args.scheme),
+            trials=args.trials,
+            seed=args.seed,
+            engine=args.engine,
+            processes=args.processes,
+            check_bound=not args.no_bound_check,
+            name=args.name,
+        ).validate()
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
+
+    try:
+        result = run_sweep(spec)
+    except GraphSpecError as error:
+        # validate() checks sizes are positive, but families may impose
+        # stricter minimums (a cycle needs 3 vertices, ...).
+        raise SystemExit(f"error: {error}") from error
+    output = args.output or f"sweep_{spec.label}.json"
+    path = write_artifact(result, output)
+
+    info = spec.info
+    print(f"sweep:      {spec.label} ({len(result.points)} instances, "
+          f"engine={spec.engine}, processes={spec.processes})")
+    print(f"scheme:     {info.key} — {info.summary}")
+    for point in result.points:
+        status = (
+            f"accepted={point.completeness_ok}"
+            if point.holds
+            else f"holds=False sound={point.soundness_ok}"
+        )
+        print(f"  {point.graph:<22} n={point.vertices:<6} "
+              f"{point.max_certificate_bits:>6} bits  {status}  ({point.elapsed_s:.3f}s)")
+    if result.bound is not None:
+        spread = "n/a" if result.bound.spread is None else f"{result.bound.spread:.2f}"
+        print(f"bound:      {result.bound.label}  "
+              f"ok={result.bound.ok} (spread {spread} <= slack {result.bound.slack})")
+    print(f"artifact:   {path}")
+
+    ok = result.all_accepted and result.all_sound
+    if result.bound is not None:
+        ok = ok and result.bound.ok
+    return 0 if ok else 1
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -153,11 +246,17 @@ def main(argv: Optional[list] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list available schemes and graph families")
+    subparsers.add_parser("list", help="list registered schemes and graph families")
 
     certify = subparsers.add_parser("certify", help="run a scheme on a graph")
-    certify.add_argument("--scheme", required=True, help="scheme name (see 'list')")
-    certify.add_argument("--param", default=None, help="scheme parameter (t, k, colours, ...)")
+    certify.add_argument("--scheme", required=True, help="registry key (see 'list')")
+    certify.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        help="scheme parameter as key=value (repeatable); a bare value binds "
+        "the single required parameter",
+    )
     certify.add_argument("--graph", required=True, help="graph specifier, e.g. path:15 or file:edges.txt")
     certify.add_argument("--seed", type=int, default=0, help="seed for identifiers and generators")
     certify.add_argument(
@@ -174,10 +273,42 @@ def main(argv: Optional[list] = None) -> int:
         "per-assignment reference simulator",
     )
     certify.add_argument("--verbose", action="store_true", help="print the raw certificates")
+    certify.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as machine-readable JSON",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a declarative certificate-size sweep, write a JSON artifact"
+    )
+    sweep.add_argument("--scheme", required=True, help="registry key (see 'list')")
+    sweep.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        help="scheme parameter as key=value (repeatable); values may use the "
+        "$n size template",
+    )
+    sweep.add_argument("--family", required=True, help="graph family (see 'list')")
+    sweep.add_argument("--sizes", required=True, help="comma-separated size grid, e.g. 8,32,128")
+    sweep.add_argument("--trials", type=int, default=20, help="adversarial trials per no-instance")
+    sweep.add_argument("--seed", type=int, default=0, help="sweep seed (per-point seeds derive from it)")
+    sweep.add_argument("--engine", choices=("compiled", "legacy"), default="compiled")
+    sweep.add_argument("--processes", type=int, default=1, help="worker processes for the fan-out")
+    sweep.add_argument("--output", default=None, help="artifact path (default sweep_<label>.json)")
+    sweep.add_argument("--name", default=None, help="label stored in the artifact")
+    sweep.add_argument(
+        "--no-bound-check",
+        action="store_true",
+        help="skip checking the series against the registered asymptotic bound",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     return cmd_certify(args)
 
 

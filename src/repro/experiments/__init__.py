@@ -1,0 +1,50 @@
+"""Declarative experiment orchestration: sweeps over the scheme registry.
+
+A sweep — one certification scheme, one graph family, a grid of sizes,
+per-instance adversarial trials — is the unit of measurement of every
+certificate-size series in the paper's experiments.  This package makes the
+sweep a declarative object instead of a hand-rolled loop:
+
+* :class:`~repro.experiments.spec.SweepSpec` describes the sweep (scheme
+  key, validated parameters, ``family`` + ``sizes`` grid, trials, seed,
+  engine, worker count) and serialises to/from JSON;
+* :func:`~repro.experiments.runner.run_sweep` executes it on the
+  compile-once engine, fanning instances out across ``multiprocessing``
+  workers, with a derived independent seed per instance so any sub-range is
+  reproducible and shardable;
+* :mod:`~repro.experiments.artifacts` captures the result — the measured
+  size series, completeness/soundness flags per instance, and the series
+  checked against the asymptotic bound registered for the scheme — as a
+  JSON artifact.
+
+Example::
+
+    from repro.experiments import SweepSpec, run_sweep, write_artifact
+
+    spec = SweepSpec(scheme="treedepth", params={"t": 3},
+                     family="bounded-treedepth", sizes=(3, 3, 3), trials=10)
+    result = run_sweep(spec)
+    print(result.series, result.bound.ok)
+    write_artifact(result, "sweep_treedepth.json")
+"""
+
+from repro.experiments.artifacts import (
+    BoundCheck,
+    SweepPoint,
+    SweepResult,
+    load_artifact,
+    write_artifact,
+)
+from repro.experiments.runner import run_point, run_sweep
+from repro.experiments.spec import SweepSpec
+
+__all__ = [
+    "BoundCheck",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "load_artifact",
+    "run_point",
+    "run_sweep",
+    "write_artifact",
+]

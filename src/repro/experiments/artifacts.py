@@ -1,0 +1,151 @@
+"""Sweep results as structured, JSON-serialisable artifacts."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.experiments.spec import SweepSpec
+
+#: Bumped whenever the artifact layout changes incompatibly.
+ARTIFACT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """The measured outcome of one grid point of a sweep."""
+
+    index: int
+    n: int
+    """The requested family size (the grid coordinate)."""
+    graph: str
+    """The resolved ``family:size`` specifier."""
+    vertices: int
+    edges: int
+    seed: int
+    """The derived per-point seed (identifiers + adversarial schedule)."""
+    holds: bool
+    completeness_ok: Optional[bool]
+    soundness_ok: Optional[bool]
+    max_certificate_bits: int
+    elapsed_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepPoint":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """The measured series checked against the registered asymptotic bound."""
+
+    label: str
+    ok: bool
+    spread: Optional[float]
+    slack: float
+    ratios: Dict[int, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "ok": self.ok,
+            "spread": self.spread,
+            "slack": self.slack,
+            # JSON object keys are strings; parse back in from_dict.
+            "ratios": {str(n): ratio for n, ratio in self.ratios.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BoundCheck":
+        return cls(
+            label=data["label"],
+            ok=bool(data["ok"]),
+            spread=data.get("spread"),
+            slack=float(data.get("slack", 0.0)),
+            ratios={int(n): float(r) for n, r in dict(data.get("ratios", {})).items()},
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything :func:`repro.experiments.runner.run_sweep` produces."""
+
+    spec: SweepSpec
+    points: Tuple[SweepPoint, ...]
+    bound: Optional[BoundCheck] = None
+
+    @property
+    def series(self) -> Dict[int, int]:
+        """Measured honest-certificate bits per size, yes-instances only.
+
+        With repeated sizes the *largest* measurement per size is kept (the
+        quantity the paper bounds is the maximum certificate size).
+        """
+        series: Dict[int, int] = {}
+        for point in self.points:
+            if point.holds:
+                series[point.n] = max(series.get(point.n, 0), point.max_certificate_bits)
+        return series
+
+    @property
+    def all_accepted(self) -> bool:
+        """No yes-instance's honest proof was rejected.
+
+        Vacuously true for ``measure="size"`` sweeps, which never run the
+        distributed verifier (``completeness_ok`` is None).
+        """
+        return all(point.completeness_ok is not False for point in self.points if point.holds)
+
+    @property
+    def all_sound(self) -> bool:
+        """No no-instance's sampled adversarial assignment was accepted.
+
+        Vacuously true for ``measure="size"`` sweeps, which run no
+        adversarial trials (``soundness_ok`` is None).
+        """
+        return all(point.soundness_ok is not False for point in self.points if not point.holds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "spec": self.spec.to_dict(),
+            "points": [point.to_dict() for point in self.points],
+            "series": {str(n): bits for n, bits in sorted(self.series.items())},
+            "all_accepted": self.all_accepted,
+            "all_sound": self.all_sound,
+            "bound": self.bound.to_dict() if self.bound is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        bound = data.get("bound")
+        return cls(
+            spec=SweepSpec.from_dict(data["spec"]),
+            points=tuple(SweepPoint.from_dict(p) for p in data["points"]),
+            bound=BoundCheck.from_dict(bound) if bound is not None else None,
+        )
+
+
+def write_artifact(result: SweepResult, path: str | os.PathLike) -> Path:
+    """Write a sweep result as a JSON artifact; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: str | os.PathLike) -> SweepResult:
+    """Load a sweep result previously written by :func:`write_artifact`."""
+    data = json.loads(Path(path).read_text())
+    schema = data.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"artifact {path} has schema {schema!r}, expected {ARTIFACT_SCHEMA}"
+        )
+    return SweepResult.from_dict(data)

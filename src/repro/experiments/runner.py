@@ -1,0 +1,119 @@
+"""Execute a :class:`~repro.experiments.spec.SweepSpec` on the compiled engine.
+
+One grid point = build the instance, create the scheme from the registry,
+run the full evaluation harness (honest proof + distributed verification on
+yes-instances, scheduled adversarial trials on no-instances) and record the
+measured certificate size.  Points are independent by construction — each
+derives its own seed from ``(sweep seed, index)`` — which is what makes the
+``multiprocessing`` fan-out below trivial and any sub-range shardable: a
+worker needs nothing but the spec and a point index.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import replace
+from typing import Mapping, Optional, Tuple
+
+from repro.core.scheme import NotAYesInstance, evaluate_scheme
+from repro.experiments.artifacts import BoundCheck, SweepPoint, SweepResult
+from repro.experiments.spec import SweepSpec
+from repro.graphs.generators import build_graph_spec
+
+
+def run_point(spec: SweepSpec, index: int) -> SweepPoint:
+    """Run one grid point of a sweep (reproducible in isolation)."""
+    n = spec.sizes[index]
+    point_seed = spec.point_seed(index)
+    graph_spec = spec.graph_spec(index)
+    graph = build_graph_spec(graph_spec, seed=point_seed)
+    scheme = spec.info.create(spec.resolved_params(n))
+    started = time.perf_counter()
+    if spec.measure == "size":
+        # Honest prover only: ``holds`` records whether a proof exists.
+        try:
+            bits = scheme.max_certificate_bits(graph, seed=point_seed)
+            holds, completeness, soundness = True, None, None
+        except NotAYesInstance:
+            bits, holds, completeness, soundness = 0, False, None, None
+    else:
+        report = evaluate_scheme(
+            scheme,
+            graph,
+            seed=point_seed,
+            adversarial_trials=spec.trials,
+            engine=spec.engine,
+        )
+        bits = report.max_certificate_bits
+        holds = report.holds
+        completeness = report.completeness_ok
+        soundness = report.soundness_ok
+    return SweepPoint(
+        index=index,
+        n=n,
+        graph=graph_spec,
+        vertices=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        seed=point_seed,
+        holds=holds,
+        completeness_ok=completeness,
+        soundness_ok=soundness,
+        max_certificate_bits=bits,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _run_point_task(task: Tuple[dict, int]) -> SweepPoint:
+    """Worker entry point: rebuild the spec from its dict and run one point.
+
+    Only plain data crosses the process boundary — schemes are re-created
+    from the registry inside the worker, so nothing unpicklable (automata,
+    closures, caches) ever has to be serialised.
+    """
+    spec_dict, index = task
+    return run_point(SweepSpec.from_dict(spec_dict), index)
+
+
+def run_sweep(spec: SweepSpec, processes: Optional[int] = None) -> SweepResult:
+    """Execute a whole sweep and check the series against the scheme's bound.
+
+    ``processes`` overrides ``spec.processes``; with more than one process
+    the grid points fan out across a ``multiprocessing`` pool.  The result
+    is identical either way — workers derive the same per-point seeds.
+    """
+    spec.validate()
+    processes = spec.processes if processes is None else max(1, processes)
+    indices = range(len(spec.sizes))
+    if processes > 1 and len(spec.sizes) > 1:
+        tasks = [(spec.to_dict(), index) for index in indices]
+        with multiprocessing.Pool(processes=min(processes, len(tasks))) as pool:
+            points = pool.map(_run_point_task, tasks)
+        points.sort(key=lambda point: point.index)
+    else:
+        points = [run_point(spec, index) for index in indices]
+
+    result = SweepResult(spec=spec, points=tuple(points))
+    if spec.check_bound:
+        result = replace(result, bound=check_series_bound(spec, result.series))
+    return result
+
+
+def check_series_bound(spec: SweepSpec, series: Mapping[int, int]) -> BoundCheck:
+    """Check a measured yes-instance series against the registered bound.
+
+    ``series`` is the n → bits mapping of :attr:`SweepResult.series`.
+    Bounds whose envelope reads scheme parameters (``t``, ``k``) evaluate
+    them at the largest grid size — with ``$n``-templated parameters the
+    envelope is conservative for smaller points, which only widens the
+    allowed band.
+    """
+    params = spec.resolved_params(max(spec.sizes))
+    ok, detail = spec.info.bound.check_series(series, params)
+    return BoundCheck(
+        label=detail["label"],
+        ok=ok,
+        spread=detail.get("spread"),
+        slack=detail["slack"],
+        ratios=detail.get("ratios", {}),
+    )

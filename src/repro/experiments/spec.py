@@ -1,0 +1,148 @@
+"""The declarative description of one certificate-size sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.scheme import derive_trial_seed
+from repro.graphs.generators import GRAPH_FAMILIES
+from repro.registry import REGISTRY, RegistryError, SchemeInfo
+
+_ENGINES = ("compiled", "legacy")
+_MEASURES = ("full", "size")
+
+#: Parameter values of this form are substituted per grid point: ``"$n"``
+#: becomes the point's size, so e.g. ``spanning-tree-count`` can certify
+#: "exactly n vertices" across a whole grid with one spec.
+SIZE_TEMPLATE = "$n"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: a scheme, a graph-family grid, and how to run it.
+
+    ``sizes`` is the grid of family sizes (one instance per entry; repeats
+    are allowed — each grid point draws its own derived seed, so repeated
+    sizes give independent trials of a random family).  ``params`` values
+    may be the literal string ``"$n"``, replaced by the point's size before
+    validation against the registry's parameter spec.
+
+    ``measure`` selects what each point runs: ``"full"`` (default) is the
+    complete harness — honest proof plus distributed verification on
+    yes-instances, scheduled adversarial trials on no-instances — while
+    ``"size"`` only runs the honest prover and measures certificate bits
+    (the paper's size series; usable on instances too large for the exact
+    ``holds`` decision procedures, since a point counts as a yes-instance
+    exactly when the prover succeeds).
+    """
+
+    scheme: str
+    family: str
+    sizes: Tuple[int, ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    trials: int = 20
+    seed: int = 0
+    engine: str = "compiled"
+    processes: int = 1
+    check_bound: bool = True
+    measure: str = "full"
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "params", dict(self.params))
+
+    # -- validation ---------------------------------------------------------
+
+    @property
+    def info(self) -> SchemeInfo:
+        return REGISTRY.get(self.scheme)
+
+    def validate(self) -> "SweepSpec":
+        """Check the whole spec against the registry; returns self."""
+        info = self.info  # raises RegistryError on unknown schemes
+        if self.family not in GRAPH_FAMILIES:
+            raise RegistryError(
+                f"unknown graph family {self.family!r}; choose from {sorted(GRAPH_FAMILIES)}"
+            )
+        if not self.sizes:
+            raise RegistryError("a sweep needs at least one size")
+        if any(n <= 0 for n in self.sizes):
+            raise RegistryError(f"sizes must be positive, got {self.sizes}")
+        if self.trials < 0:
+            raise RegistryError("trials must be non-negative")
+        if self.engine not in _ENGINES:
+            raise RegistryError(f"unknown engine {self.engine!r}; use one of {_ENGINES}")
+        if self.measure not in _MEASURES:
+            raise RegistryError(f"unknown measure {self.measure!r}; use one of {_MEASURES}")
+        if self.processes < 1:
+            raise RegistryError("processes must be at least 1")
+        for n in self.sizes:
+            info.resolve_params(self._substituted(n))  # raises on bad params
+        return self
+
+    # -- per-point derivation ----------------------------------------------
+
+    def _substituted(self, n: int) -> Dict[str, Any]:
+        return {
+            key: (n if value == SIZE_TEMPLATE else value)
+            for key, value in self.params.items()
+        }
+
+    def resolved_params(self, n: int) -> Dict[str, Any]:
+        """The validated, typed scheme parameters of the point at size ``n``."""
+        return self.info.resolve_params(self._substituted(n))
+
+    def point_seed(self, index: int) -> int:
+        """An independent seed for grid point ``index``.
+
+        Derived arithmetically from the sweep seed (same mixing as the
+        per-trial adversarial seeds), so any sub-range of the grid — a
+        shard, a resumed run — reproduces the full run's instances without
+        executing the preceding points.
+        """
+        return derive_trial_seed(self.seed, index)
+
+    def graph_spec(self, index: int) -> str:
+        return f"{self.family}:{self.sizes[index]}"
+
+    def shard(self, indices: Sequence[int]) -> "SweepSpec":
+        """The sub-sweep covering only the given grid points.
+
+        Note the shard's points keep their own *local* indices; use
+        :func:`repro.experiments.runner.run_point` with the original spec to
+        reproduce a single point of the full grid bit-for-bit.
+        """
+        return replace(self, sizes=tuple(self.sizes[i] for i in indices))
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "family": self.family,
+            "sizes": list(self.sizes),
+            "params": dict(self.params),
+            "trials": self.trials,
+            "seed": self.seed,
+            "engine": self.engine,
+            "processes": self.processes,
+            "check_bound": self.check_bound,
+            "measure": self.measure,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RegistryError(f"unknown SweepSpec field(s) {unknown}")
+        if "scheme" not in data or "family" not in data or "sizes" not in data:
+            raise RegistryError("a SweepSpec needs at least scheme, family and sizes")
+        return cls(**dict(data))
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.scheme}-{self.family}"

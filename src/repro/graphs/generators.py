@@ -12,12 +12,19 @@ experiments rely on:
 All generators return plain :class:`networkx.Graph` objects with integer
 vertex labels and accept an optional :class:`random.Random` (or seed) so
 experiments are reproducible.
+
+The module is also the single home of the ``family:size`` specifier language
+shared by the CLI, the sweep runner and the benchmark suite: every named
+family lives in :data:`GRAPH_FAMILIES` and :func:`build_graph_spec` resolves
+a specifier string (``path:15``, ``grid:4``, ``file:edges.txt``) into a
+graph.  Resolution errors raise :class:`GraphSpecError` (a ``ValueError``),
+which callers with a user interface translate into their own error channel.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Callable, Dict, Iterable, Sequence
 
 import networkx as nx
 
@@ -251,6 +258,24 @@ def union_of_cycles_with_apex(cycle_lengths: Sequence[int]) -> nx.Graph:
     return graph
 
 
+def triangle_chain(triangles: int) -> nx.Graph:
+    """A chain of ``triangles`` triangles sharing one vertex between links.
+
+    Every block (biconnected component) is a triangle, so the graph is
+    C_t-minor-free for every t ≥ 4 — the yes-family of the Corollary 2.7
+    cycle-minor experiments.  The graph has ``2 * triangles + 1`` vertices.
+    """
+    if triangles <= 0:
+        raise ValueError("triangles must be positive")
+    graph = nx.Graph()
+    for i in range(triangles):
+        base = 2 * i
+        graph.add_edge(base, base + 1)
+        graph.add_edge(base, base + 2)
+        graph.add_edge(base + 1, base + 2)
+    return graph
+
+
 def grid_graph(rows: int, cols: int) -> nx.Graph:
     """Grid graph with integer labels (row-major order)."""
     if rows <= 0 or cols <= 0:
@@ -265,6 +290,91 @@ def grid_graph(rows: int, cols: int) -> nx.Graph:
             if r + 1 < rows:
                 graph.add_edge(v, v + cols)
     return graph
+
+
+# ---------------------------------------------------------------------------
+# The shared ``family:size`` specifier language
+# ---------------------------------------------------------------------------
+
+
+class GraphSpecError(ValueError):
+    """A ``family:size`` specifier could not be resolved into a graph."""
+
+
+#: family name → what the ``size`` argument of the specifier means.  Shown
+#: verbatim by the CLI ``list`` command; keep in sync with
+#: :data:`GRAPH_FAMILIES`.
+GRAPH_FAMILY_SIZE_MEANING: Dict[str, str] = {
+    "path": "N",
+    "cycle": "N",
+    "clique": "N",
+    "star": "N",
+    "binary-tree": "DEPTH",
+    "caterpillar": "SPINE",
+    "spider": "LEGS",
+    "random-tree": "N",
+    "random-connected": "N",
+    "bounded-treedepth": "DEPTH",
+    "triangle-chain": "LINKS",
+    "grid": "SIDE",
+}
+
+#: family name → builder taking ``(size, rng)``.  The meaning of ``size`` is
+#: family-specific — vertex count for most, but e.g. depth for
+#: ``binary-tree`` — see :data:`GRAPH_FAMILY_SIZE_MEANING`.
+GRAPH_FAMILIES: Dict[str, Callable[[int, random.Random], nx.Graph]] = {
+    "path": lambda n, rng: path_graph(n),
+    "cycle": lambda n, rng: cycle_graph(n),
+    "clique": lambda n, rng: clique_graph(n),
+    "star": lambda n, rng: star_graph(max(1, n - 1)),
+    "binary-tree": lambda depth, rng: complete_binary_tree(depth),
+    "caterpillar": lambda spine, rng: caterpillar(spine),
+    "spider": lambda legs, rng: spider(legs, leg_length=2),
+    "random-tree": lambda n, rng: random_tree(n, seed=rng),
+    "random-connected": lambda n, rng: random_connected_graph(n, p=0.1, seed=rng),
+    "bounded-treedepth": lambda depth, rng: bounded_treedepth_graph(depth, seed=rng),
+    "triangle-chain": lambda triangles, rng: triangle_chain(triangles),
+    "grid": lambda side, rng: grid_graph(side, side),
+}
+
+
+def build_graph_spec(spec: str, seed: int | random.Random | None = 0) -> nx.Graph:
+    """Resolve a ``family:size`` or ``file:PATH`` specifier into a graph.
+
+    This is the one resolver shared by the CLI, :mod:`repro.experiments`
+    and the benchmark suite.  ``file:PATH`` reads an edge list (one ``u v``
+    pair per line).  Raises :class:`GraphSpecError` on any malformed or
+    unresolvable specifier, including a missing edge-list file.
+    """
+    if ":" not in spec:
+        raise GraphSpecError(f"graph specifier must look like 'family:size', got {spec!r}")
+    family, _, argument = spec.partition(":")
+    if family == "file":
+        try:
+            graph = nx.read_edgelist(argument)
+        except FileNotFoundError as error:
+            raise GraphSpecError(f"edge-list file {argument!r} does not exist") from error
+        except OSError as error:
+            raise GraphSpecError(f"cannot read edge-list file {argument!r}: {error}") from error
+        if graph.number_of_nodes() == 0:
+            raise GraphSpecError(f"edge list {argument!r} produced an empty graph")
+        return graph
+    try:
+        size = int(argument)
+    except ValueError as error:
+        raise GraphSpecError(f"graph size must be an integer, got {argument!r}") from error
+    if size <= 0:
+        raise GraphSpecError("graph size must be positive")
+    builder = GRAPH_FAMILIES.get(family)
+    if builder is None:
+        raise GraphSpecError(
+            f"unknown graph family {family!r}; choose from "
+            f"{sorted(GRAPH_FAMILIES)} or 'file:PATH'"
+        )
+    try:
+        return builder(size, _rng(seed))
+    except ValueError as error:
+        raise GraphSpecError(f"cannot build {spec!r}: {error}") from error
 
 
 def all_connected_graphs(n: int) -> Iterable[nx.Graph]:

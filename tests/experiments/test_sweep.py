@@ -1,0 +1,186 @@
+"""Tests for the declarative sweep subsystem (spec, runner, artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    SweepSpec,
+    load_artifact,
+    run_point,
+    run_sweep,
+    write_artifact,
+)
+from repro.registry import RegistryError
+
+
+def _point_key(point):
+    """Everything about a point except the wall-clock timing."""
+    data = point.to_dict()
+    data.pop("elapsed_s")
+    return data
+
+
+class TestSweepSpec:
+    def test_roundtrip_through_dict(self):
+        spec = SweepSpec(
+            scheme="treedepth",
+            params={"t": 3},
+            family="path",
+            sizes=(4, 7),
+            trials=5,
+            seed=9,
+            measure="size",
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validate_rejects_unknown_scheme(self):
+        with pytest.raises(RegistryError):
+            SweepSpec(scheme="quantum", family="path", sizes=(4,)).validate()
+
+    def test_validate_rejects_unknown_family(self):
+        with pytest.raises(RegistryError, match="graph family"):
+            SweepSpec(scheme="tree", family="nebula", sizes=(4,)).validate()
+
+    def test_validate_rejects_bad_params_early(self):
+        with pytest.raises(RegistryError, match="requires parameter"):
+            SweepSpec(scheme="treedepth", family="path", sizes=(4,)).validate()
+
+    def test_validate_rejects_empty_grid_and_bad_measure(self):
+        with pytest.raises(RegistryError, match="at least one size"):
+            SweepSpec(scheme="tree", family="path", sizes=()).validate()
+        with pytest.raises(RegistryError, match="measure"):
+            SweepSpec(scheme="tree", family="path", sizes=(4,), measure="fast").validate()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(RegistryError, match="unknown SweepSpec field"):
+            SweepSpec.from_dict({"scheme": "tree", "family": "path", "sizes": [4], "x": 1})
+
+    def test_size_template_substitution(self):
+        spec = SweepSpec(
+            scheme="spanning-tree-count",
+            params={"expected_n": "$n"},
+            family="path",
+            sizes=(5, 9),
+        )
+        assert spec.resolved_params(5) == {"expected_n": 5}
+        assert spec.resolved_params(9) == {"expected_n": 9}
+
+    def test_point_seeds_are_independent_of_preceding_points(self):
+        spec = SweepSpec(scheme="tree", family="random-tree", sizes=(4, 8, 16))
+        shard = spec.shard([2])
+        assert shard.sizes == (16,)
+        # Reproducing point 2 needs only the original spec and its index.
+        assert spec.point_seed(2) == SweepSpec.from_dict(spec.to_dict()).point_seed(2)
+        assert len({spec.point_seed(i) for i in range(3)}) == 3
+
+
+class TestRunner:
+    def test_full_sweep_on_tree_scheme(self):
+        spec = SweepSpec(scheme="tree", family="random-tree", sizes=(4, 8, 16), trials=5)
+        result = run_sweep(spec)
+        assert [point.n for point in result.points] == [4, 8, 16]
+        assert result.all_accepted and result.all_sound
+        assert set(result.series) == {4, 8, 16}
+        assert result.bound is not None and result.bound.ok
+
+    def test_no_instances_run_adversarial_trials(self):
+        # Cycles are not trees: every point must be a sound no-instance.
+        result = run_sweep(SweepSpec(scheme="tree", family="cycle", sizes=(4, 6), trials=8))
+        assert not any(point.holds for point in result.points)
+        assert all(point.soundness_ok for point in result.points)
+        assert result.series == {}
+
+    def test_points_reproducible_in_isolation(self):
+        spec = SweepSpec(scheme="tree", family="random-tree", sizes=(6, 12), trials=5)
+        full = run_sweep(spec)
+        alone = run_point(spec, 1)
+        assert _point_key(alone) == _point_key(full.points[1])
+
+    def test_multiprocessing_matches_serial(self):
+        spec = SweepSpec(scheme="bipartite", family="path", sizes=(4, 8, 12), trials=5)
+        serial = run_sweep(spec)
+        fanned = run_sweep(spec, processes=2)
+        assert [_point_key(p) for p in serial.points] == [_point_key(p) for p in fanned.points]
+
+    def test_size_measure_skips_verification(self):
+        spec = SweepSpec(
+            scheme="tree", family="random-tree", sizes=(8,), measure="size"
+        )
+        result = run_sweep(spec)
+        point = result.points[0]
+        assert point.holds and point.completeness_ok is None
+        assert point.max_certificate_bits > 0
+
+    def test_size_measure_detects_no_instances(self):
+        result = run_sweep(
+            SweepSpec(scheme="tree", family="cycle", sizes=(5,), measure="size")
+        )
+        assert not result.points[0].holds
+        assert result.points[0].max_certificate_bits == 0
+
+    def test_bound_violation_is_reported_not_raised(self):
+        # The heuristic (unbalanced) treewidth decomposition yields ~n log n
+        # bits on paths, violating the registered O(k log² n) bound.
+        spec = SweepSpec(
+            scheme="treewidth",
+            params={"k": 1},
+            family="path",
+            sizes=(16, 512),
+            measure="size",
+        )
+        result = run_sweep(spec)
+        assert result.bound is not None
+        assert not result.bound.ok
+
+    def test_check_bound_can_be_disabled(self):
+        spec = SweepSpec(
+            scheme="treewidth",
+            params={"k": 1},
+            family="path",
+            sizes=(16, 256),
+            measure="size",
+            check_bound=False,
+        )
+        assert run_sweep(spec).bound is None
+
+    def test_size_template_end_to_end(self):
+        spec = SweepSpec(
+            scheme="spanning-tree-count",
+            params={"expected_n": "$n"},
+            family="random-connected",
+            sizes=(6, 10),
+            trials=5,
+        )
+        result = run_sweep(spec)
+        assert all(point.holds for point in result.points)
+        assert result.all_accepted
+
+
+class TestArtifacts:
+    def test_artifact_roundtrip(self, tmp_path):
+        spec = SweepSpec(scheme="tree", family="random-tree", sizes=(4, 8), trials=5)
+        result = run_sweep(spec)
+        path = write_artifact(result, tmp_path / "artifact.json")
+        loaded = load_artifact(path)
+        assert loaded.spec == spec
+        assert [_point_key(p) for p in loaded.points] == [_point_key(p) for p in result.points]
+        assert loaded.bound == result.bound
+        assert loaded.series == result.series
+
+    def test_artifact_is_plain_json_with_series(self, tmp_path):
+        spec = SweepSpec(scheme="bipartite", family="path", sizes=(4,), trials=2)
+        path = write_artifact(run_sweep(spec), tmp_path / "a.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert data["spec"]["scheme"] == "bipartite"
+        assert data["series"] == {"4": 8}
+        assert data["bound"]["label"] == "O(1)"
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "spec": {}, "points": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_artifact(path)

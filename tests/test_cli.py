@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import networkx as nx
 import pytest
 
-from repro.cli import SCHEME_FACTORIES, build_graph, main
+from repro.cli import build_graph, main, parse_params
+from repro.registry import REGISTRY
 
 
 class TestBuildGraph:
@@ -18,6 +21,7 @@ class TestBuildGraph:
             ("star:6", 6),
             ("random-tree:9", 9),
             ("grid:3", 9),
+            ("triangle-chain:3", 7),
         ],
     )
     def test_families(self, spec, nodes):
@@ -39,29 +43,46 @@ class TestBuildGraph:
         with pytest.raises(SystemExit):
             build_graph(spec)
 
+    def test_missing_file_is_a_clean_exit(self, tmp_path):
+        """A nonexistent edge list exits with a message, not a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_graph(f"file:{tmp_path / 'missing.txt'}")
+        assert "does not exist" in str(excinfo.value)
 
-class TestSchemeFactories:
-    def test_every_factory_builds_a_scheme(self):
-        params = {"treedepth": "3", "treewidth": "2", "coloring": "3",
-                  "max-degree": "4", "tree-diameter": "6"}
-        for name, factory in SCHEME_FACTORIES.items():
-            scheme = factory(params.get(name))
+
+class TestParseParams:
+    def test_key_value_pairs(self):
+        assert parse_params(["t=3", "model=auto"], "treedepth") == {
+            "t": "3",
+            "model": "auto",
+        }
+
+    def test_bare_value_binds_single_required_param(self):
+        assert parse_params(["3"], "treedepth") == {"t": "3"}
+
+    def test_bare_value_without_required_param_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_params(["3"], "tree")
+
+    def test_every_registered_scheme_builds_from_the_registry(self):
+        for info in REGISTRY:
+            params = {
+                spec.name: (spec.choices[0] if spec.choices else 3)
+                for spec in info.params
+                if spec.required
+            }
+            scheme = info.create(params)
             assert hasattr(scheme, "verify")
-
-    def test_missing_parameter_rejected(self):
-        with pytest.raises(SystemExit):
-            SCHEME_FACTORIES["treedepth"](None)
-
-    def test_non_integer_parameter_rejected(self):
-        with pytest.raises(SystemExit):
-            SCHEME_FACTORIES["treewidth"]("two")
 
 
 class TestMain:
-    def test_list_command(self, capsys):
+    def test_list_command_enumerates_the_registry(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
-        assert "treedepth" in output and "treewidth" in output
+        assert f"{len(REGISTRY)} registered" in output
+        for key in REGISTRY.names():
+            assert key in output
+        assert "mso-trees" in output and "universal" in output
 
     def test_certify_yes_instance(self, capsys):
         assert main(["certify", "--scheme", "treedepth", "--param", "3", "--graph", "path:7"]) == 0
@@ -69,16 +90,48 @@ class TestMain:
         assert "holds:      True" in output
         assert "accepted:   True" in output
 
+    def test_certify_key_value_param(self, capsys):
+        assert main(
+            ["certify", "--scheme", "treedepth", "--param", "t=3", "--graph", "path:7"]
+        ) == 0
+        assert "accepted:   True" in capsys.readouterr().out
+
     def test_certify_no_instance(self, capsys):
         assert main(["certify", "--scheme", "bipartite", "--graph", "cycle:5"]) == 0
         output = capsys.readouterr().out
         assert "holds:      False" in output
+
+    def test_certify_json_output(self, capsys):
+        assert main(
+            [
+                "certify",
+                "--scheme",
+                "mso-trees",
+                "--param",
+                "automaton=perfect-matching",
+                "--graph",
+                "path:8",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["holds"] is True
+        assert payload["accepted"] is True
+        assert payload["registry_key"] == "mso-trees"
+        assert payload["engine"] == "compiled"
+        assert payload["seed"] == 0
+        assert payload["max_certificate_bits"] > 0
 
     def test_certify_verbose_prints_certificates(self, capsys):
         assert main(
             ["certify", "--scheme", "bipartite", "--graph", "path:4", "--verbose"]
         ) == 0
         assert "per-vertex certificates" in capsys.readouterr().out
+
+    def test_certify_registry_only_scheme(self, capsys):
+        """Schemes that the old hand-rolled CLI table never exposed run now."""
+        assert main(["certify", "--scheme", "lcl-mis", "--graph", "path:5"]) == 0
+        assert "holds:      True" in capsys.readouterr().out
 
     def test_certify_treewidth_scheme(self, capsys):
         assert main(["certify", "--scheme", "treewidth", "--param", "2", "--graph", "cycle:12"]) == 0
@@ -88,8 +141,74 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["certify", "--scheme", "quantum", "--graph", "path:4"])
 
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "--scheme", "treedepth", "--graph", "path:4"])
+
     def test_file_graph_end_to_end(self, tmp_path, capsys):
         edge_file = tmp_path / "tree.txt"
         edge_file.write_text("1 2\n2 3\n3 4\n4 5\n")
         assert main(["certify", "--scheme", "tree", "--graph", f"file:{edge_file}"]) == 0
         assert "holds:      True" in capsys.readouterr().out
+
+    def test_missing_file_end_to_end(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["certify", "--scheme", "tree", "--graph", f"file:{tmp_path}/no.txt"])
+        assert "does not exist" in str(excinfo.value)
+
+
+class TestSweepCommand:
+    def test_sweep_writes_artifact_and_checks_bound(self, tmp_path, capsys):
+        artifact = tmp_path / "sweep.json"
+        assert main(
+            [
+                "sweep",
+                "--scheme",
+                "tree",
+                "--family",
+                "random-tree",
+                "--sizes",
+                "4,8,16",
+                "--trials",
+                "5",
+                "--output",
+                str(artifact),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "bound:      O(log n)  ok=True" in output
+        data = json.loads(artifact.read_text())
+        assert data["spec"]["scheme"] == "tree"
+        assert data["all_accepted"] is True
+        assert data["bound"]["ok"] is True
+        assert set(data["series"]) == {"4", "8", "16"}
+
+    def test_sweep_with_size_template(self, tmp_path):
+        artifact = tmp_path / "count.json"
+        assert main(
+            [
+                "sweep",
+                "--scheme",
+                "spanning-tree-count",
+                "--param",
+                "expected_n=$n",
+                "--family",
+                "random-connected",
+                "--sizes",
+                "6,10",
+                "--trials",
+                "5",
+                "--output",
+                str(artifact),
+            ]
+        ) == 0
+        data = json.loads(artifact.read_text())
+        assert data["all_accepted"] is True
+
+    def test_sweep_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scheme", "tree", "--family", "path", "--sizes", "a,b"])
+
+    def test_sweep_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scheme", "tree", "--family", "nebula", "--sizes", "4"])

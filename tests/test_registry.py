@@ -1,0 +1,177 @@
+"""Tests for the unified scheme registry."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import registry
+from repro.core.scheme import CertificationScheme, evaluate_scheme
+from repro.registry import (
+    LOG_N,
+    REGISTRY,
+    ParamSpec,
+    RegistryError,
+    SchemeRegistry,
+    SizeBound,
+)
+
+
+def _all_concrete_schemes() -> set[type]:
+    """Every concrete CertificationScheme subclass defined by the package.
+
+    Walks ``__subclasses__`` recursively; classes defined outside ``repro``
+    (test-local helpers) and abstract intermediates are excluded.
+    """
+    seen: set[type] = set()
+    frontier = [CertificationScheme]
+    while frontier:
+        cls = frontier.pop()
+        for subclass in cls.__subclasses__():
+            if subclass not in seen:
+                seen.add(subclass)
+                frontier.append(subclass)
+    return {
+        cls
+        for cls in seen
+        if cls.__module__.startswith("repro.")
+        and not getattr(cls, "__abstractmethods__", None)
+    }
+
+
+class TestRegistryCompleteness:
+    def test_every_concrete_scheme_is_registered(self):
+        """The registry is the catalogue: no scheme may be missing from it."""
+        registered = set(REGISTRY.classes())
+        missing = sorted(
+            cls.__name__ for cls in _all_concrete_schemes() if cls not in registered
+        )
+        assert not missing, (
+            f"concrete schemes missing from the registry: {missing}; "
+            "add a @register(...) factory in repro/registry.py"
+        )
+
+    def test_registry_is_large_enough(self):
+        assert len(REGISTRY) >= 15
+
+    def test_flagship_schemes_present(self):
+        for key in ("mso-trees", "mso-treedepth", "universal",
+                    "path-minor-free", "cycle-minor-free", "treedepth", "treewidth"):
+            assert key in REGISTRY
+
+    def test_every_entry_has_bound_and_paper(self):
+        for info in REGISTRY:
+            assert isinstance(info.bound, SizeBound), info.key
+            assert info.bound.label, info.key
+            assert info.paper, info.key
+            assert info.summary, info.key
+
+    def test_every_entry_is_constructible_with_defaults(self):
+        """Defaults (plus a generic value for required ints) build a scheme."""
+        for info in REGISTRY:
+            params = {
+                spec.name: (spec.choices[0] if spec.choices else 3)
+                for spec in info.params
+                if spec.required
+            }
+            scheme = info.create(params)
+            assert isinstance(scheme, CertificationScheme), info.key
+            assert isinstance(scheme.name, str) and scheme.name
+
+    def test_families_are_known(self):
+        from repro.graphs.generators import GRAPH_FAMILIES
+
+        for info in REGISTRY:
+            unknown = set(info.families) - set(GRAPH_FAMILIES)
+            assert not unknown, f"{info.key} references unknown families {unknown}"
+
+
+class TestParamValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(RegistryError):
+            registry.get("quantum")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(RegistryError, match="does not take"):
+            registry.create("tree", {"bogus": 1})
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(RegistryError, match="requires parameter"):
+            registry.create("treedepth", {})
+
+    def test_type_coercion_from_cli_strings(self):
+        scheme = registry.create("treedepth", {"t": "3"})
+        assert scheme.t == 3
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(RegistryError, match="expects int"):
+            registry.create("treedepth", {"t": "three"})
+
+    def test_choice_enforced(self):
+        with pytest.raises(RegistryError, match="must be one of"):
+            registry.create("mso-trees", {"automaton": "nope"})
+
+    def test_minimum_enforced(self):
+        with pytest.raises(RegistryError, match=">="):
+            registry.create("treedepth", {"t": 0})
+
+    def test_defaults_applied(self):
+        scheme = registry.create("mso-trees")
+        assert "perfect-matching" in scheme.name
+
+    def test_duplicate_key_rejected(self):
+        local = SchemeRegistry()
+
+        @local.register("x", cls=CertificationScheme, summary="s", paper="p", bound=LOG_N)
+        def factory():  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(RegistryError, match="already registered"):
+            local.register("x", cls=CertificationScheme, summary="s", paper="p", bound=LOG_N)(
+                factory
+            )
+
+    def test_bad_param_type_rejected_at_declaration(self):
+        with pytest.raises(RegistryError, match="unknown parameter type"):
+            ParamSpec("p", type="complex")
+
+
+class TestSizeBound:
+    def test_flat_series_respects_log_bound(self):
+        ok, detail = LOG_N.check_series({8: 30, 64: 60, 512: 90})
+        assert ok and detail["spread"] < 8.0
+
+    def test_linear_series_violates_log_bound(self):
+        ok, detail = LOG_N.check_series({8: 8, 64: 64, 512: 512})
+        assert not ok
+        assert detail["spread"] > 8.0
+
+    def test_empty_and_zero_series_pass(self):
+        assert LOG_N.check_series({})[0]
+        assert LOG_N.check_series({8: 0, 64: 0})[0]
+
+    def test_parameterised_envelope_reads_params(self):
+        from repro.registry import T_LOG_N
+
+        loose, _ = T_LOG_N.check_series({8: 30, 512: 270}, {"t": 3})
+        assert loose
+
+
+class TestRegisteredSchemesRun:
+    """One end-to-end evaluation per flagship registry entry."""
+
+    @pytest.mark.parametrize(
+        "key, params, yes_graph",
+        [
+            ("tree", {}, nx.path_graph(6)),
+            ("mso-trees", {"automaton": "perfect-matching"}, nx.path_graph(6)),
+            ("universal", {"property": "triangle-free"}, nx.cycle_graph(5)),
+            ("lcl-mis", {}, nx.path_graph(5)),
+            ("dga-two-coloring", {}, nx.path_graph(4)),
+            ("path-minor-free", {"t": 4}, nx.star_graph(5)),
+        ],
+    )
+    def test_yes_instance_accepted(self, key, params, yes_graph):
+        scheme = registry.create(key, params)
+        report = evaluate_scheme(scheme, yes_graph, seed=0, adversarial_trials=5)
+        assert report.holds and report.completeness_ok
