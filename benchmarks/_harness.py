@@ -25,7 +25,17 @@ import networkx as nx
 
 from repro.core.cache import cached_identifiers
 from repro.core.scheme import CertificationScheme, evaluate_scheme
-from repro.experiments import SweepResult, SweepSpec, run_sweep
+from repro.experiments import (
+    LowerBoundResult,
+    LowerBoundSpec,
+    RadiusResult,
+    RadiusSpec,
+    SweepResult,
+    SweepSpec,
+    run_lower_bound,
+    run_radius,
+    run_sweep,
+)
 
 
 def measure_scheme_sizes(
@@ -130,6 +140,40 @@ def merged_sweep_series(specs: Iterable[SweepSpec]) -> Dict[int, int]:
     for spec in specs:
         series.update(sweep_series(spec))
     return series
+
+
+def lower_bound_result(spec: LowerBoundSpec) -> LowerBoundResult:
+    """Run a declarative lower-bound search and assert it is clean.
+
+    Clean means: every dichotomy/protocol check that ran passed, and — when
+    the spec checks it — the Ω-bound series tracks the construction's
+    expected asymptotic shape.
+    """
+    result = run_lower_bound(spec)
+    assert result.all_ok, f"{spec.label}: a dichotomy or protocol check failed"
+    if result.bound is not None:
+        assert result.bound.ok, (
+            f"{spec.label}: bound series {result.series} violates "
+            f"{result.bound.label} (spread {result.bound.spread:.2f} > "
+            f"slack {result.bound.slack})"
+        )
+    return result
+
+
+def lower_bound_series(spec: LowerBoundSpec) -> Dict[int, float]:
+    """The ``size → Ω-bound bits`` series of a clean lower-bound search."""
+    return lower_bound_result(spec).series
+
+
+def radius_result(spec: RadiusSpec) -> RadiusResult:
+    """Run a declarative radius-r verification series; every decision must
+    match the instance's actual diameter."""
+    result = run_radius(spec)
+    assert result.all_ok, (
+        f"{spec.label}: the radius-{spec.effective_radius} verifier decided "
+        f"some instance incorrectly"
+    )
+    return result
 
 
 def sweep_check(

@@ -3,37 +3,44 @@
 DESIGN.md §4 records the choice of drawing identifiers from [1, n³]
 (exponent 3).  Since every O(log n) scheme stores identifiers in its
 certificates, the constant in front of log n is proportional to the
-exponent.  Reproduced series: certificate bits of the spanning-tree scheme
-and of the treedepth scheme under identifier exponents 1, 2 and 3 — the
-sizes must grow with the exponent but stay within a constant factor, which
-is exactly why the paper's [1, n^k] assumption does not change any theorem.
+exponent.  Reproduced series, as declarative sweeps with the spec's
+``id_exponent`` knob: certificate bits of the spanning-tree scheme and of
+the treedepth scheme under identifier exponents 1, 2 and 3 — the sizes must
+grow with the exponent but stay within a constant factor, which is exactly
+why the paper's [1, n^k] assumption does not change any theorem.
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 
-from _harness import print_series
+from _harness import print_series, sweep_result, sweep_series
 
-from repro.core.spanning_tree import SpanningTreeCountScheme
-from repro.core.treedepth_scheme import TreedepthScheme
-from repro.network.ids import assign_identifiers
-from repro.treedepth.decomposition import balanced_path_elimination_tree
+from repro.experiments import SweepSpec
 
 
-def _max_bits_with_exponent(scheme, graph, exponent: int) -> int:
-    ids = assign_identifiers(graph, exponent=exponent, seed=0)
-    certificates = scheme.prove(graph, ids)
-    return max(len(c) * 8 for c in certificates.values())
+def _bits_for_exponent(scheme: str, params: dict, family: str, size: int, exponent: int) -> int:
+    spec = SweepSpec(
+        scheme=scheme,
+        params=params,
+        family=family,
+        sizes=(size,),
+        measure="size",
+        id_exponent=exponent,
+        check_bound=False,
+        name=f"{scheme}-ids-e{exponent}",
+    )
+    return sweep_series(spec)[size]
 
 
 def test_spanning_tree_scheme_id_exponent(benchmark) -> None:
-    graph = nx.path_graph(128)
-    scheme = SpanningTreeCountScheme(expected_n=128)
-
     sizes = benchmark(
-        lambda: {e: _max_bits_with_exponent(scheme, graph, e) for e in (1, 2, 3)}
+        lambda: {
+            e: _bits_for_exponent(
+                "spanning-tree-count", {"expected_n": "$n"}, "path", 128, e
+            )
+            for e in (1, 2, 3)
+        }
     )
     print_series("E15 Prop 3.4 scheme vs id exponent (n=128)", sizes, unit="bits")
     assert sizes[1] <= sizes[2] <= sizes[3]
@@ -41,11 +48,13 @@ def test_spanning_tree_scheme_id_exponent(benchmark) -> None:
 
 
 def test_treedepth_scheme_id_exponent(benchmark) -> None:
-    graph = nx.path_graph(63)  # treedepth 6
-    scheme = TreedepthScheme(t=6, model_builder=balanced_path_elimination_tree)
-
     sizes = benchmark(
-        lambda: {e: _max_bits_with_exponent(scheme, graph, e) for e in (1, 2, 3)}
+        lambda: {
+            e: _bits_for_exponent(
+                "treedepth", {"t": 6, "model": "balanced-path"}, "path", 63, e
+            )
+            for e in (1, 2, 3)
+        }
     )
     print_series("E15 Thm 2.4 scheme vs id exponent (P63, t=6)", sizes, unit="bits")
     assert sizes[1] <= sizes[2] <= sizes[3]
@@ -53,17 +62,18 @@ def test_treedepth_scheme_id_exponent(benchmark) -> None:
 
 
 def test_exponent_does_not_change_completeness(benchmark) -> None:
-    graph = nx.path_graph(31)
-    scheme = TreedepthScheme(t=5, model_builder=balanced_path_elimination_tree)
-
     def run() -> bool:
-        from repro.network.simulator import NetworkSimulator
-
         for exponent in (1, 2, 3):
-            ids = assign_identifiers(graph, exponent=exponent, seed=1)
-            certificates = scheme.prove(graph, ids)
-            simulator = NetworkSimulator(graph, identifiers=ids)
-            if not simulator.run(scheme.verify, certificates).accepted:
+            spec = SweepSpec(
+                scheme="treedepth",
+                params={"t": 5, "model": "balanced-path"},
+                family="path",
+                sizes=(31,),
+                trials=0,
+                id_exponent=exponent,
+                check_bound=False,
+            )
+            if not sweep_result(spec).all_accepted:
                 return False
         return True
 

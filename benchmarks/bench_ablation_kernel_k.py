@@ -3,28 +3,41 @@
 The kernel keeps at most k children of each type (Lemma 6.1); its size bound
 f_d(k, t) (Proposition 6.2) grows quickly with k, while correctness only
 requires k to be at least the quantifier depth of the certified sentence.
-Reproduced series: kernel size and certificate bits of the Theorem 2.6
-scheme as k grows on a fixed star family — the certificates must grow with
-k (the design reason for picking k = quantifier depth and not larger) while
-remaining independent of n for each fixed k.
+Reproduced series, as declarative sweeps over the registry's
+``mso-treedepth`` scheme (whose ``k`` parameter is the ablation knob):
+certificate bits of the Theorem 2.6 scheme as k grows on a fixed star
+family — the certificates must grow with k (the design reason for picking
+k = quantifier depth and not larger) while remaining independent of n for
+each fixed k.  The kernel-size and type-count bounds themselves are
+closed-form checks on the shared ``star`` family.
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 
-from _harness import print_series
+from _harness import print_series, sweep_series
 
-from repro.core.mso_treedepth_scheme import MSOTreedepthScheme
-from repro.graphs.generators import star_graph
+from repro.experiments import SweepSpec
+from repro.graphs.generators import build_graph_spec
 from repro.kernel.reduction import k_reduced_graph, type_count_bound
-from repro.logic import properties
 from repro.treedepth.decomposition import star_elimination_tree
 
 
+def _mso_treedepth_spec(k: int, sizes: tuple) -> SweepSpec:
+    return SweepSpec(
+        scheme="mso-treedepth",
+        params={"t": 2, "k": k, "formula": "has-dominating-vertex"},
+        family="star",
+        sizes=sizes,
+        measure="size",
+        check_bound=False,
+        name=f"mso-treedepth-k{k}",
+    )
+
+
 def test_kernel_size_vs_k(benchmark) -> None:
-    graph = star_graph(40)
+    graph = build_graph_spec("star:41")
     tree = star_elimination_tree(graph)
 
     def run() -> dict:
@@ -40,28 +53,15 @@ def test_kernel_size_vs_k(benchmark) -> None:
 
 
 def test_certificate_bits_vs_k(benchmark) -> None:
-    graph = star_graph(32)
-
-    def run() -> dict:
-        results = {}
-        for k in (1, 2, 3):
-            scheme = MSOTreedepthScheme(
-                properties.has_dominating_vertex(), t=2, k=k, name=f"dominating,k={k}"
-            )
-            results[k] = scheme.max_certificate_bits(graph, seed=0)
-        return results
-
-    sizes = benchmark(run)
+    sizes = benchmark(
+        lambda: {k: sweep_series(_mso_treedepth_spec(k, (33,)))[33] for k in (1, 2, 3)}
+    )
     print_series("E17 Thm 2.6 certificate bits on a 33-vertex star vs k", sizes)
     assert sizes[1] <= sizes[3]
 
 
 def test_certificates_stay_flat_in_n_for_fixed_k(benchmark) -> None:
-    scheme = MSOTreedepthScheme(properties.has_dominating_vertex(), t=2, k=2, name="dominating")
-
-    sizes = benchmark(
-        lambda: {n: scheme.max_certificate_bits(star_graph(n - 1), seed=0) for n in (9, 33, 129)}
-    )
+    sizes = benchmark(lambda: sweep_series(_mso_treedepth_spec(2, (9, 33, 129))))
     print_series("E17 Thm 2.6 certificate bits vs n for fixed k=2 (stars)", sizes)
     # Only the identifier width may grow.
     assert sizes[129] <= sizes[9] + 200

@@ -1,70 +1,65 @@
 """E16 — Ablation: verification radius 1 vs radius r (Appendix A.1).
 
-Appendix A.1 explains the paper's choice of radius 1: with radius 3 a node
+Appendix A.1 explains the paper's choice of radius 1: with radius 4 a node
 can decide "diameter ≤ 3" with no certificate at all, whereas at radius 1
-the property needs certificates of size (almost) linear in n.  Reproduced
-series: certificate bits needed at radius 1 (the universal scheme — the only
-generic radius-1 upper bound for diameter) vs the 0 bits needed at radius
-bound+1, across n, plus correctness checks of the radius-r verifier.
+the property needs certificates of size (almost) linear in n.  Reproduced,
+as declarative specs through the experiment pipeline:
+
+* the radius-1 side is an ordinary ``universal``-scheme sweep (the only
+  generic radius-1 upper bound for diameter) — Θ(n²) certificate bits;
+* the radius-4 side is a :class:`RadiusSpec`: 0 certificate bits, with the
+  verifier's accept/reject decision checked against the instances' actual
+  diameters on an accepting family (stars), a rejecting path family, and
+  the rejecting ``union-of-cycles`` family (diameter 4 once it has two
+  cycles — the Figure 3 basis graph).
 """
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 
-from _harness import print_series
+from _harness import print_series, radius_result, sweep_series
 
-from repro.core.universal import UniversalScheme
-from repro.graphs.generators import random_connected_graph
-from repro.network.radius import RadiusSimulator, diameter_at_most_verifier
+from repro.experiments import RadiusSpec, SweepSpec
 
 _BOUND = 3
 
 
-def _diameter_at_most(bound: int):
-    return lambda graph: nx.diameter(graph) <= bound
-
-
 def test_radius_one_universal_certificates(benchmark) -> None:
-    scheme = UniversalScheme(_diameter_at_most(_BOUND), name=f"diameter<={_BOUND}")
-    instances = {n: random_connected_graph(n, p=min(0.9, 6 / n), seed=n) for n in (8, 16, 32)}
-    instances = {n: g for n, g in instances.items() if nx.diameter(g) <= _BOUND}
-
-    sizes = benchmark(
-        lambda: {n: scheme.max_certificate_bits(graph, seed=0) for n, graph in instances.items()}
+    spec = SweepSpec(
+        scheme="universal",
+        params={"property": "diameter-at-most-3"},
+        family="star",
+        sizes=(8, 16, 32),
+        measure="size",
+        name="universal-diameter3-star",
     )
+
+    sizes = benchmark(lambda: sweep_series(spec))
     print_series("E16 radius-1 universal certificates for diameter<=3 (expect ~n^2 bits)", sizes)
     assert all(size > 0 for size in sizes.values())
 
 
 def test_radius_four_needs_no_certificates(benchmark) -> None:
-    verifier = diameter_at_most_verifier(_BOUND)
+    spec = RadiusSpec(family="star", sizes=(8, 16, 32, 64), bound=_BOUND)
 
-    def run() -> dict:
-        results = {}
-        for n in (8, 16, 32, 64):
-            graph = nx.star_graph(n - 1)  # diameter 2 ≤ 3
-            simulator = RadiusSimulator(graph, radius=_BOUND + 1, seed=0)
-            outcome = simulator.run(verifier, {v: b"" for v in graph.nodes()})
-            assert outcome.accepted
-            results[n] = outcome.max_certificate_bits
-        return results
-
-    sizes = benchmark(run)
+    result = benchmark(lambda: radius_result(spec))
+    assert all(point.expected and point.accepted for point in result.points)
+    sizes = result.series
     print_series("E16 radius-4 verification of diameter<=3 (0 bits by construction)", sizes)
     assert set(sizes.values()) == {0}
 
 
 def test_radius_verifier_rejects_large_diameter(benchmark) -> None:
-    verifier = diameter_at_most_verifier(_BOUND)
-
     def run() -> bool:
-        for n in (6, 10, 20):
-            graph = nx.path_graph(n)  # diameter n-1 > 3
-            simulator = RadiusSimulator(graph, radius=_BOUND + 1, seed=0)
-            if simulator.run(verifier, {v: b"" for v in graph.nodes()}).accepted:
-                return False
-        return True
+        paths = radius_result(RadiusSpec(family="path", sizes=(6, 10, 20), bound=_BOUND))
+        cycles = radius_result(
+            RadiusSpec(family="union-of-cycles", sizes=(2, 4, 8), bound=_BOUND)
+        )
+        return all(
+            not point.expected and not point.accepted
+            for result in (paths, cycles)
+            for point in result.points
+        )
 
     assert benchmark(run)

@@ -1,49 +1,55 @@
 """E3 — Theorem 2.3: Ω̃(n) lower bound for fixed-point-free automorphism.
 
-Reproduced series: for growing instance sizes, (i) the gadget G(s_A, s_B) is
-built and the dichotomy "fixed-point-free automorphism ⇔ s_A = s_B" is
-verified, and (ii) the Proposition 7.2 bound ℓ/r implied by the instantiated
-encoding is printed — it grows linearly in the number of encoded bits while
-r stays 2, which is the paper's Ω̃(n) shape.
+Reproduced series, now as declarative :class:`LowerBoundSpec` runs through
+the experiment pipeline (the same artifact path as the upper-bound sweeps):
+
+* the ``automorphism`` construction builds G(s_A, s_B) per grid point and
+  verifies the dichotomy "fixed-point-free automorphism ⇔ s_A = s_B", while
+  the Proposition 7.2 bound ℓ/r grows linearly in ℓ with r pinned at 2 —
+  the paper's Ω̃(n) shape;
+* on the smallest point the Alice/Bob protocol simulation of Proposition
+  7.2 runs against the completeness/soundness probe schemes;
+* the closed-form ``automorphism-by-n`` variant reports the implied bound
+  as a function of the instance's vertex count.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import print_series
+from _harness import lower_bound_result, lower_bound_series, print_series
 
-from repro.lower_bounds.automorphism import (
-    automorphism_framework,
-    automorphism_instance,
-    automorphism_lower_bound_bits,
-    instance_has_property,
-)
+from repro.experiments import LowerBoundSpec
 
 
 def test_dichotomy_and_bound(benchmark) -> None:
-    def run():
-        results = {}
-        for ell in (3, 6, 9, 12):
-            equal = "1" * ell
-            different = "0" + "1" * (ell - 1)
-            yes_instance = automorphism_instance(equal, equal)
-            no_instance = automorphism_instance(equal, different)
-            assert instance_has_property(yes_instance)
-            assert not instance_has_property(no_instance)
-            framework = automorphism_framework(ell)
-            results[yes_instance.number_of_nodes()] = framework.lower_bound_bits(ell)
-        return results
+    spec = LowerBoundSpec(construction="automorphism", sizes=(3, 6, 9, 12), seed=0)
 
-    bounds = benchmark(run)
+    result = benchmark(lambda: lower_bound_result(spec))
+    assert all(point.dichotomy_ok for point in result.points)
+    bounds = {point.vertices: point.bound_bits for point in result.points}
     print_series("E3 Thm 2.3: lower bound ℓ/r vs instance size (expect linear in ℓ)", bounds)
     values = [bounds[n] for n in sorted(bounds)]
     assert values == sorted(values) and values[-1] > values[0]
+    assert result.bound is not None and result.bound.ok  # Ω(ℓ) shape
+    assert result.fit is not None and result.fit.exponent > 0.8  # linear in ℓ
+
+
+def test_protocol_simulation_on_smallest_gadget(benchmark) -> None:
+    """The Alice/Bob simulation (Prop. 7.2) accepts the probe scheme and
+    rejects its never-accepting control on the real Theorem 2.3 gadget."""
+    spec = LowerBoundSpec(construction="automorphism", sizes=(3,), simulate=True)
+
+    result = benchmark(lambda: lower_bound_result(spec))
+    assert result.points[0].protocol_ok is True
 
 
 def test_asymptotic_bound_grows(benchmark) -> None:
-    bounds = benchmark(
-        lambda: {n: automorphism_lower_bound_bits(n) for n in (64, 256, 1024, 4096)}
+    spec = LowerBoundSpec(
+        construction="automorphism-by-n",
+        sizes=(64, 256, 1024, 4096),
+        check_dichotomy=False,
     )
+    bounds = benchmark(lambda: lower_bound_series(spec))
     print_series("E3 Thm 2.3: implied bound for n-vertex bounded-depth trees", bounds)
     assert bounds[4096] > bounds[64]

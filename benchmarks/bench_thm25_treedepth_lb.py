@@ -1,61 +1,68 @@
 """E5 — Theorem 2.5 / Figure 3: Ω(log n) lower bound for certifying treedepth ≤ 5.
 
-Reproduced:
+Reproduced, as declarative :class:`LowerBoundSpec` runs through the
+experiment pipeline:
 
 * Lemma 7.3's dichotomy, verified exactly on the n = 2 gadget (17 vertices):
-  treedepth 5 when Alice's and Bob's matchings are equal, ≥ 6 otherwise;
+  treedepth ≤ 5 when Alice's and Bob's matchings are equal, ≥ 6 otherwise —
+  plus the Alice/Bob protocol simulation on the same gadget;
 * the Ω(log n) bound ℓ/r = log₂(n!)/(4n+1) implied by Proposition 7.2,
-  printed against log₂(n) to exhibit the logarithmic shape.
+  checked against (and printed relative to) the log₂(n) envelope;
+* the Θ(n log n) encoding capacity of the matchings, read off the per-point
+  ℓ recorded in the artifact.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import log2, print_series
+from _harness import log2, lower_bound_result, lower_bound_series, print_series
 
-from repro.lower_bounds.treedepth_lb import (
-    string_to_matching,
-    treedepth_gadget,
-    treedepth_lower_bound_bits,
-)
-from repro.treedepth.decomposition import exact_treedepth
+from repro.experiments import LowerBoundSpec
 
 
 def test_lemma_7_3_dichotomy(benchmark) -> None:
-    def run():
-        equal = treedepth_gadget((0, 1), (0, 1))
-        different = treedepth_gadget((0, 1), (1, 0))
-        return exact_treedepth(equal), exact_treedepth(different)
+    spec = LowerBoundSpec(construction="treedepth", sizes=(2,), simulate=True, seed=0)
 
-    yes_depth, no_depth = benchmark(run)
-    print(f"\n[E5 Lemma 7.3] equal matchings: treedepth {yes_depth} (paper: 5); "
-          f"different matchings: treedepth {no_depth} (paper: ≥ 6)")
-    assert yes_depth == 5
-    assert no_depth >= 6
+    result = benchmark(lambda: lower_bound_result(spec))
+    point = result.points[0]
+    print(f"\n[E5 Lemma 7.3] {point.vertices}-vertex gadget: dichotomy "
+          f"(td 5 iff matchings equal) = {point.dichotomy_ok}; "
+          f"Alice/Bob protocol probes = {point.protocol_ok}")
+    assert point.dichotomy_ok is True
+    assert point.protocol_ok is True
 
 
 def test_lower_bound_is_logarithmic(benchmark) -> None:
-    bounds = benchmark(
-        lambda: {n: treedepth_lower_bound_bits(n) for n in (8, 32, 128, 512, 2048)}
+    spec = LowerBoundSpec(
+        construction="treedepth",
+        sizes=(8, 32, 128, 512, 2048),
+        check_dichotomy=False,
     )
+
+    result = benchmark(lambda: lower_bound_result(spec))
+    bounds = result.series
     print_series("E5 Thm 2.5: bound ℓ/r (expect Θ(log n))", bounds)
     ratios = {n: bounds[n] / log2(n) for n in bounds}
     print_series("E5 Thm 2.5: bound divided by log2(n) (expect flat band)", ratios, unit="ratio")
     assert max(ratios.values()) / min(ratios.values()) < 3.0
+    assert result.bound is not None and result.bound.ok  # Ω(log n) shape
 
 
 def test_matching_injection_capacity(benchmark) -> None:
-    """The encoding packs Θ(n log n) bits into the matchings, as the proof needs."""
-    capacities = benchmark(lambda: {n: _capacity(n) for n in (4, 8, 16, 32)})
+    """The encoding packs Θ(n log n) bits into the matchings, as the proof
+    needs — ℓ is recorded per point in the artifact."""
+    from repro.lower_bounds.treedepth_lb import string_to_matching
+
+    spec = LowerBoundSpec(
+        construction="treedepth", sizes=(4, 8, 16, 32), check_dichotomy=False
+    )
+
+    result = benchmark(lambda: lower_bound_result(spec))
+    capacities = {point.size: float(point.ell) for point in result.points}
     print_series("E5 encoding capacity log2(n!)", capacities)
     assert capacities[32] > capacities[4]
-
-
-def _capacity(n: int) -> float:
-    from repro.lower_bounds.treedepth_lb import matching_capacity_bits
-
-    # Sanity: a maximal-capacity string actually round-trips into a matching.
-    bits = "1" * matching_capacity_bits(n)
-    string_to_matching(bits, n)
-    return float(matching_capacity_bits(n))
+    # Sanity: a maximal-capacity string actually injects into a matching —
+    # an over-counting capacity() would crash here.
+    for point in result.points:
+        string_to_matching("1" * point.ell, point.size)

@@ -1,14 +1,18 @@
 """Scenario: exploring why some properties cannot be certified compactly.
 
-This example replays Section 7 of the paper on small instances:
+This example replays Section 7 of the paper on small instances, driving
+everything through the declarative experiment pipeline — the same
+:class:`~repro.experiments.LowerBoundSpec` machinery behind
+``python -m repro.cli lower-bound``:
 
-* it builds the Theorem 2.5 gadget from two strings, shows that its treedepth
-  is 5 exactly when the strings agree (Lemma 7.3), and prints the Ω(log n)
-  certificate-size bound implied by Proposition 7.2;
-* it builds the Theorem 2.3 gadget and shows the fixed-point-free
-  automorphism appearing and disappearing as the strings change;
-* it runs the Alice/Bob simulation of Proposition 7.2 on a toy scheme to make
-  the reduction concrete.
+* the Theorem 2.5 construction: gadget dichotomy (treedepth 5 exactly when
+  the matchings agree, Lemma 7.3), the Alice/Bob protocol simulation of
+  Proposition 7.2, and the Ω(log n) bound series;
+* the Theorem 2.3 construction: the fixed-point-free automorphism appearing
+  and disappearing with the strings, and the Ω(ℓ) bound series;
+* the punchline: the registry's *upper*-bound catalogue
+  (``registry.create`` builds every scheme) side by side with the lower
+  bounds that force the paper's restriction to tree-like graphs.
 
 Run with::
 
@@ -17,51 +21,72 @@ Run with::
 
 from __future__ import annotations
 
-from repro.lower_bounds.automorphism import automorphism_instance, instance_has_property
-from repro.lower_bounds.treedepth_lb import (
-    matching_capacity_bits,
-    string_to_matching,
-    treedepth_gadget,
-    treedepth_lower_bound_bits,
-)
-from repro.treedepth.decomposition import exact_treedepth
-from repro.treedepth.cops_robbers import cops_needed
+from repro import registry
+from repro.experiments import LowerBoundSpec, run_lower_bound
+from repro.lower_bounds.catalog import LOWER_BOUND_CONSTRUCTIONS
 
 
 def main() -> None:
     # --- Theorem 2.5 / Lemma 7.3 ---------------------------------------------
-    print("Theorem 2.5 gadget (n = 2 paths per side):")
-    for s_a, s_b in [("1", "1"), ("1", "0")]:
-        gadget = treedepth_gadget(string_to_matching(s_a, 2), string_to_matching(s_b, 2))
-        depth = exact_treedepth(gadget)
-        cops = cops_needed(gadget)
-        relation = "equal" if s_a == s_b else "different"
-        print(
-            f"  strings {s_a!r} vs {s_b!r} ({relation} matchings): "
-            f"treedepth {depth}, cop number {cops}"
-        )
+    print("Theorem 2.5 (treedepth <= 5 needs Omega(log n) bits):")
+    small = run_lower_bound(
+        LowerBoundSpec(construction="treedepth", sizes=(2,), simulate=True, seed=0)
+    )
+    point = small.points[0]
+    print(
+        f"  n=2 gadget ({point.vertices} vertices): dichotomy "
+        f"(td 5 iff matchings equal) verified = {point.dichotomy_ok}, "
+        f"Alice/Bob protocol probes = {point.protocol_ok}"
+    )
+    series = run_lower_bound(
+        LowerBoundSpec(construction="treedepth", sizes=(8, 64, 512), check_dichotomy=False)
+    )
     print("  implied certificate lower bound for larger n (bits):")
-    for n in (8, 64, 512):
+    for p in series.points:
         print(
-            f"    n={n:>4}: ell = log2(n!) = {matching_capacity_bits(n):>5} bits, "
-            f"bound ell/r = {treedepth_lower_bound_bits(n):.2f}"
+            f"    n={p.size:>4}: ell = log2(n!) = {p.ell:>5} bits over r = {p.r:>5} "
+            f"middle vertices, bound ell/r = {p.bound_bits:.2f}"
         )
+    print(f"  series shape: {series.bound.label}, within band = {series.bound.ok}")
 
     # --- Theorem 2.3 ----------------------------------------------------------
-    print("\nTheorem 2.3 gadget (fixed-point-free automorphism of a tree):")
-    for s_a, s_b in [("1011", "1011"), ("1011", "0011")]:
-        gadget = automorphism_instance(s_a, s_b)
-        answer = instance_has_property(gadget)
+    print("\nTheorem 2.3 (fixed-point-free automorphism needs Omega(ell) bits):")
+    autom = run_lower_bound(
+        LowerBoundSpec(construction="automorphism", sizes=(4, 8, 12), seed=7)
+    )
+    for p in autom.points:
         print(
-            f"  strings {s_a!r} vs {s_b!r}: {gadget.number_of_nodes()} vertices, "
-            f"fixed-point-free automorphism: {answer}"
+            f"  ell={p.size:>3}: {p.vertices}-vertex tree gadget, dichotomy "
+            f"(automorphism iff strings equal) verified = {p.dichotomy_ok}, "
+            f"bound = {p.bound_bits:.1f} bits"
         )
+    if autom.fit is not None:
+        print(f"  fitted growth of the bound series: {autom.fit.label}")
+
+    # --- upper bounds vs lower bounds ----------------------------------------
+    # The registry catalogues what CAN be certified compactly; the
+    # constructions above show what cannot.  Every scheme below builds via
+    # registry.create(key), so new registry entries appear here for free.
+    print("\nThe two sides of the paper, in one place:")
+    print("  upper bounds (registry catalogue, first 6 of "
+          f"{len(registry.REGISTRY)}):")
+    for info in list(registry.REGISTRY)[:6]:
+        print(f"    {info.key:<20} {info.bound.label:<12} [{info.paper}]")
+    print("  lower bounds (construction catalogue):")
+    for key in sorted(LOWER_BOUND_CONSTRUCTIONS):
+        construction = LOWER_BOUND_CONSTRUCTIONS[key]
+        print(f"    {key:<20} {construction.bound.label:<12} [{construction.paper}]")
+
+    # Sanity: the registry really builds a scheme for the treedepth upper
+    # bound whose matching lower bound we just exercised.
+    scheme = registry.create("treedepth", {"t": 5})
+    print(f"\n  registry.create('treedepth', {{'t': 5}}) -> {scheme.name!r}")
 
     print(
-        "\nTakeaway: both properties encode EQUALITY between far-apart parts of"
-        " the graph, so by Proposition 7.2 their certificates cannot be compact"
-        " in general — which is why the paper restricts to MSO properties on"
-        " trees and bounded-treedepth graphs."
+        "\nTakeaway: both lower-bound properties encode EQUALITY between"
+        " far-apart parts of the graph, so by Proposition 7.2 their"
+        " certificates cannot be compact in general — which is why the paper"
+        " restricts to MSO properties on trees and bounded-treedepth graphs."
     )
 
 

@@ -7,21 +7,24 @@ Run with::
 The script walks through the basic workflow of the library:
 
 1. build a graph (here: the 7-vertex path from Figure 1 of the paper);
-2. pick a certification scheme (here: "treedepth ≤ 3", Theorem 2.4);
+2. pick a certification scheme **from the registry** — every scheme in the
+   repo registers in :mod:`repro.registry`, so ``registry.create(key,
+   params)`` is the one way to build any of them (and new schemes show up
+   in this tour for free);
 3. let the honest prover assign certificates;
 4. run the radius-1 distributed verifier at every node;
 5. look at the sizes, and at what happens on a no-instance;
 6. run a declarative *sweep*: a whole certificate-size series measured
    through the scheme registry, checked against the scheme's asymptotic
-   bound, in a handful of lines (the same machinery behind
-   ``python -m repro.cli sweep``).
+   bound **and** fitted for its measured growth exponent, in a handful of
+   lines (the same machinery behind ``python -m repro.cli sweep``).
 """
 
 from __future__ import annotations
 
 import networkx as nx
 
-from repro.core import TreedepthScheme, TreeScheme
+from repro import registry
 from repro.core.scheme import evaluate_scheme
 from repro.experiments import SweepSpec, run_sweep
 from repro.network.ids import assign_identifiers
@@ -29,12 +32,20 @@ from repro.network.simulator import NetworkSimulator
 
 
 def main() -> None:
+    # --- the catalogue ------------------------------------------------------
+    # Every certification scheme registers under a stable key with its paper
+    # reference and expected certificate-size bound.
+    print(f"registry: {len(registry.REGISTRY)} schemes; a few of them:")
+    for key in ("tree", "treedepth", "mso-trees", "universal"):
+        info = registry.get(key)
+        print(f"  {info.key:<12} {info.bound.label:<10} [{info.paper}]")
+
     # --- a yes-instance -----------------------------------------------------
     path = nx.path_graph(7)  # treedepth 3 (Figure 1 of the paper)
-    scheme = TreedepthScheme(t=3)
+    scheme = registry.create("treedepth", {"t": 3})
 
     report = evaluate_scheme(scheme, path, seed=42)
-    print("P7, scheme 'treedepth <= 3'")
+    print("\nP7, scheme 'treedepth <= 3'")
     print(f"  property holds:        {report.holds}")
     print(f"  honest proof accepted: {report.completeness_ok}")
     print(f"  max certificate size:  {report.max_certificate_bits} bits per vertex")
@@ -58,22 +69,25 @@ def main() -> None:
     print(f"  adversarial assignments all rejected: {report.soundness_ok}")
 
     # --- a second scheme: acyclicity ----------------------------------------
-    tree_report = evaluate_scheme(TreeScheme(), path, seed=1)
+    tree_report = evaluate_scheme(registry.create("tree"), path, seed=1)
     print("\nP7, scheme 'the graph is a tree'")
     print(f"  accepted with {tree_report.max_certificate_bits} bits per vertex")
 
     # --- running sweeps ------------------------------------------------------
-    # Every scheme is registered in repro.registry (run `python -m repro.cli
-    # list` for the catalogue); a SweepSpec measures a whole size series
-    # through it.  Each grid point derives its own seed, so any sub-range of
-    # the sweep reproduces independently — and the measured series is checked
-    # against the bound registered for the scheme (here: O(log n)).
+    # A SweepSpec measures a whole size series through the registry (run
+    # `python -m repro.cli list` for the catalogue).  Each grid point derives
+    # its own seed, so any sub-range of the sweep reproduces independently —
+    # sweeps even shard across machines (run_sweep(spec, shard=(i, k))) —
+    # and the measured series is checked against the bound registered for
+    # the scheme (here: O(log n)) and fitted for its actual growth exponent.
     spec = SweepSpec(scheme="tree", family="random-tree", sizes=(8, 32, 128), trials=10)
     result = run_sweep(spec)
     print("\nsweep 'tree' over random-tree:{8,32,128}")
     for n, bits in sorted(result.series.items()):
         print(f"  n={n:>4}: {bits} bits per vertex")
     print(f"  within registered bound {result.bound.label}: {result.bound.ok}")
+    if result.fit is not None:
+        print(f"  fitted growth: {result.fit.label} (R² {result.fit.r_squared:.2f})")
 
 
 if __name__ == "__main__":

@@ -40,6 +40,35 @@ grid point's size.  Every grid point derives an independent seed from
 across machines.  The exit status is non-zero when a yes-instance's honest
 proof is rejected, a no-instance's sampled adversary is accepted, or the
 measured series violates the registered bound.
+
+Sharding, lower bounds and the regression gate
+----------------------------------------------
+
+``sweep --shard 0/2`` runs only grid points ``0, 2, 4, ...`` (global indices
+and per-point seeds unchanged) and writes a partial artifact; ``merge``
+stitches the partial artifacts of a complete shard set back into the
+unsharded run's artifact::
+
+    python -m repro.cli sweep --scheme tree --family random-tree \\
+        --sizes 8,16,32,64 --shard 0/2 --output part0.json
+    python -m repro.cli sweep --scheme tree --family random-tree \\
+        --sizes 8,16,32,64 --shard 1/2 --output part1.json
+    python -m repro.cli merge --output sweep_tree.json part0.json part1.json
+
+``lower-bound`` runs the matching Ω(·) side — a Section 7 reduction-framework
+search — through the same artifact pipeline::
+
+    python -m repro.cli lower-bound --construction treedepth \\
+        --sizes 8,32,128,512 --no-dichotomy --output lb_treedepth.json
+
+``results`` aggregates every artifact in a directory into an EXPERIMENTS.md
+table and, with ``--check``, diffs the measured series against a committed
+baseline — exiting non-zero when an upper-bound series grew or a lower-bound
+series shrank (the regression gate CI runs)::
+
+    python -m repro.cli results --dir . --output EXPERIMENTS.md \\
+        --check benchmarks/baselines
+    python -m repro.cli results --dir . --write-baseline benchmarks/baselines
 """
 
 from __future__ import annotations
@@ -47,12 +76,26 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import networkx as nx
 
 from repro.core.scheme import evaluate_scheme
-from repro.experiments import SweepSpec, run_sweep, write_artifact
+from repro.experiments import (
+    LowerBoundSpec,
+    SweepSpec,
+    collect_artifacts,
+    compare_to_baseline,
+    load_artifact,
+    merge_artifacts,
+    render_experiments_md,
+    run_lower_bound,
+    run_sweep,
+    write_artifact,
+    write_baseline,
+)
+from repro.lower_bounds.catalog import LOWER_BOUND_CONSTRUCTIONS
 from repro.graphs.generators import (
     GRAPH_FAMILIES,
     GRAPH_FAMILY_SIZE_MEANING,
@@ -124,6 +167,11 @@ def cmd_list(_: argparse.Namespace) -> int:
         )
     )
     print("  file:PATH (edge list, one 'u v' pair per line)")
+    print("\nlower-bound constructions (lower-bound --construction):")
+    for key in sorted(LOWER_BOUND_CONSTRUCTIONS):
+        construction = LOWER_BOUND_CONSTRUCTIONS[key]
+        print(f"  {key:<20} {construction.bound.label:<12} {construction.summary}")
+        print(f"  {'':<20} {'':<12} [{construction.paper}]")
     print("\nparameters marked * are required; pass them as --param key=value")
     return 0
 
@@ -184,22 +232,55 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def parse_sizes(raw: str) -> tuple:
     try:
-        sizes = tuple(int(part) for part in args.sizes.split(",") if part.strip())
+        return tuple(int(part) for part in raw.split(",") if part.strip())
     except ValueError:
-        raise SystemExit(f"--sizes must be a comma-separated list of integers, got {args.sizes!r}")
+        raise SystemExit(f"--sizes must be a comma-separated list of integers, got {raw!r}")
+
+
+def parse_shard(raw: Optional[str]) -> Optional[tuple]:
+    """Parse ``--shard I/K`` into the (index, count) pair of the spec."""
+    if raw is None:
+        return None
+    index, slash, count = raw.partition("/")
+    try:
+        shard = (int(index), int(count))
+    except ValueError:
+        raise SystemExit(f"--shard must look like I/K (e.g. 0/2), got {raw!r}")
+    if not slash:
+        raise SystemExit(f"--shard must look like I/K (e.g. 0/2), got {raw!r}")
+    return shard
+
+
+def _print_fit(result) -> None:
+    if result.fit is not None:
+        print(f"fit:        {result.fit.label} "
+              f"(exponent {result.fit.exponent:.2f}, R² {result.fit.r_squared:.2f})")
+
+
+def _print_bound(result) -> None:
+    if result.bound is not None:
+        spread = "n/a" if result.bound.spread is None else f"{result.bound.spread:.2f}"
+        print(f"bound:      {result.bound.label}  "
+              f"ok={result.bound.ok} (spread {spread} <= slack {result.bound.slack})")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         spec = SweepSpec(
             scheme=args.scheme,
             family=args.family,
-            sizes=sizes,
+            sizes=parse_sizes(args.sizes),
             params=parse_params(args.param, args.scheme),
             trials=args.trials,
             seed=args.seed,
             engine=args.engine,
             processes=args.processes,
             check_bound=not args.no_bound_check,
+            measure=args.measure,
+            id_exponent=args.id_exponent,
+            shard=parse_shard(args.shard),
             name=args.name,
         ).validate()
     except RegistryError as error:
@@ -211,12 +292,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # validate() checks sizes are positive, but families may impose
         # stricter minimums (a cycle needs 3 vertices, ...).
         raise SystemExit(f"error: {error}") from error
-    output = args.output or f"sweep_{spec.label}.json"
+    if args.output:
+        output = args.output
+    elif spec.shard is not None:
+        output = f"sweep_{spec.label}.shard{spec.shard[0]}of{spec.shard[1]}.json"
+    else:
+        output = f"sweep_{spec.label}.json"
     path = write_artifact(result, output)
 
     info = spec.info
+    shard_note = (
+        f", shard {spec.shard[0]}/{spec.shard[1]}" if spec.shard is not None else ""
+    )
     print(f"sweep:      {spec.label} ({len(result.points)} instances, "
-          f"engine={spec.engine}, processes={spec.processes})")
+          f"engine={spec.engine}, processes={spec.processes}{shard_note})")
     print(f"scheme:     {info.key} — {info.summary}")
     for point in result.points:
         status = (
@@ -226,16 +315,163 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"  {point.graph:<22} n={point.vertices:<6} "
               f"{point.max_certificate_bits:>6} bits  {status}  ({point.elapsed_s:.3f}s)")
-    if result.bound is not None:
-        spread = "n/a" if result.bound.spread is None else f"{result.bound.spread:.2f}"
-        print(f"bound:      {result.bound.label}  "
-              f"ok={result.bound.ok} (spread {spread} <= slack {result.bound.slack})")
+    _print_bound(result)
+    _print_fit(result)
     print(f"artifact:   {path}")
 
     ok = result.all_accepted and result.all_sound
     if result.bound is not None:
         ok = ok and result.bound.ok
     return 0 if ok else 1
+
+
+def cmd_lower_bound(args: argparse.Namespace) -> int:
+    try:
+        spec = LowerBoundSpec(
+            construction=args.construction,
+            sizes=parse_sizes(args.sizes),
+            check_dichotomy=not args.no_dichotomy,
+            simulate=args.simulate,
+            check_bound=not args.no_bound_check,
+            seed=args.seed,
+            shard=parse_shard(args.shard),
+            name=args.name,
+        ).validate()
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
+
+    result = run_lower_bound(spec)
+    if args.output:
+        output = args.output
+    elif spec.shard is not None:
+        output = f"lb_{spec.label}.shard{spec.shard[0]}of{spec.shard[1]}.json"
+    else:
+        output = f"lb_{spec.label}.json"
+    path = write_artifact(result, output)
+
+    info = spec.info
+    print(f"lower bound: {spec.label} ({len(result.points)} grid points)")
+    print(f"construction: {info.key} — {info.summary} [{info.paper}]")
+    for point in result.points:
+        checks = []
+        if point.dichotomy_ok is not None:
+            checks.append(f"dichotomy={point.dichotomy_ok}")
+        if point.protocol_ok is not None:
+            checks.append(f"protocol={point.protocol_ok}")
+        extra = f"  {' '.join(checks)}" if checks else ""
+        print(f"  size={point.size:<6} ell={point.ell:<6} r={point.r:<6} "
+              f"bound {point.bound_bits:>8.2f} bits{extra}  ({point.elapsed_s:.3f}s)")
+    _print_bound(result)
+    _print_fit(result)
+    print(f"artifact:   {path}")
+
+    ok = result.all_ok
+    if result.bound is not None:
+        ok = ok and result.bound.ok
+    return 0 if ok else 1
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    try:
+        parts = [load_artifact(path) for path in args.artifacts]
+        merged = merge_artifacts(parts)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from error
+    path = write_artifact(merged, args.output)
+    print(f"merged:     {len(parts)} partial artifact(s), "
+          f"{len(merged.points)} grid points")
+    print(f"experiment: {merged.spec.label} ({merged.kind})")
+    _print_bound(merged)
+    _print_fit(merged)
+    print(f"artifact:   {path}")
+    # Same exit contract as the commands that produced the shards: a merged
+    # run that is unclean or out of its registered band fails.
+    ok = (
+        (merged.all_accepted and merged.all_sound)
+        if hasattr(merged, "all_accepted")
+        else merged.all_ok
+    )
+    if merged.bound is not None:
+        ok = ok and merged.bound.ok
+    return 0 if ok else 1
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    try:
+        artifacts = collect_artifacts(args.dir)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from error
+    if not artifacts:
+        raise SystemExit(f"error: no experiment artifacts found under {args.dir!r} "
+                         f"(looked for sweep_*.json, lb_*.json, radius_*.json)")
+
+    labels = [result.spec.label for _, result in artifacts]
+    for label in sorted({l for l in labels if labels.count(l) > 1}):
+        print(f"warning: {labels.count(label)} artifacts share the label {label!r}; "
+              "the baseline keeps only the last one — give runs distinct --name s")
+
+    table = render_experiments_md(artifacts)
+    if args.output:
+        Path(args.output).write_text(table)
+        print(f"wrote {args.output} ({len(artifacts)} artifact(s))")
+    else:
+        print(table)
+
+    status = 0
+    unclean = [
+        result.spec.label
+        for _, result in artifacts
+        if not (
+            (result.all_accepted and result.all_sound)
+            if hasattr(result, "all_accepted")
+            else result.all_ok
+        )
+    ]
+    for label in unclean:
+        print(f"UNCLEAN: {label} has a failed completeness/soundness/dichotomy check")
+    violated = [
+        result.spec.label
+        for _, result in artifacts
+        if result.bound is not None and not result.bound.ok
+    ]
+    for label in violated:
+        print(f"BOUND VIOLATED: {label} left its registered asymptotic band")
+    if unclean or violated:
+        status = 1
+
+    # --check runs BEFORE --write-baseline: with both flags on the same path
+    # the gate must diff against the previous baseline, not the file that is
+    # about to be (re)written from this very run.
+    if args.check:
+        try:
+            report = compare_to_baseline(artifacts, args.check)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: {error}") from error
+        for regression in report.regressions:
+            print(f"REGRESSION: {regression.describe()}")
+        for improvement in report.improvements:
+            print(f"improved:   {improvement.describe()}")
+        for mismatch in report.kind_mismatches:
+            print(f"KIND MISMATCH: {mismatch}")
+        for label in report.missing_labels:
+            print(f"missing:    baseline entry {label!r} has no artifact this run")
+        for label in report.new_labels:
+            print(f"new:        {label!r} is not in the baseline yet")
+        if report.ok:
+            print("regression gate: OK")
+        else:
+            print(f"regression gate: FAILED ({len(report.regressions)} regression(s), "
+                  f"{len(report.kind_mismatches)} kind mismatch(es))")
+            status = 1
+
+    if args.write_baseline:
+        if unclean or violated:
+            print("baseline:   NOT written — fix the unclean/violated artifacts "
+                  "above first (a baseline must record a clean run)")
+        else:
+            path = write_baseline(artifacts, args.write_baseline)
+            print(f"baseline:   wrote {path}")
+    return status
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -303,12 +539,105 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="skip checking the series against the registered asymptotic bound",
     )
+    sweep.add_argument(
+        "--measure",
+        choices=("full", "size"),
+        default="full",
+        help="'full' runs the complete harness; 'size' only measures the "
+        "honest prover's certificate bits (usable on instances too large "
+        "for the exact holds decision)",
+    )
+    sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/K",
+        help="run only grid points with index ≡ I (mod K); merge the partial "
+        "artifacts of all K shards with the 'merge' command",
+    )
+    sweep.add_argument(
+        "--id-exponent",
+        type=int,
+        default=None,
+        help="draw identifiers from [1, n^EXP] instead of the default n^3 "
+        "(the identifier-range ablation)",
+    )
+
+    lower_bound = subparsers.add_parser(
+        "lower-bound",
+        help="run a declarative Section-7 lower-bound search, write a JSON artifact",
+    )
+    lower_bound.add_argument(
+        "--construction",
+        required=True,
+        help=f"one of: {', '.join(sorted(LOWER_BOUND_CONSTRUCTIONS))}",
+    )
+    lower_bound.add_argument(
+        "--sizes", required=True, help="comma-separated construction-size grid"
+    )
+    lower_bound.add_argument("--seed", type=int, default=0, help="search seed (per-point seeds derive from it)")
+    lower_bound.add_argument(
+        "--no-dichotomy",
+        action="store_true",
+        help="skip building gadgets and checking the property dichotomy "
+        "(required for closed-form constructions / large grids)",
+    )
+    lower_bound.add_argument(
+        "--simulate",
+        action="store_true",
+        help="run the Alice/Bob protocol simulation probes (tiny sizes only)",
+    )
+    lower_bound.add_argument("--output", default=None, help="artifact path (default lb_<label>.json)")
+    lower_bound.add_argument("--name", default=None, help="label stored in the artifact")
+    lower_bound.add_argument(
+        "--no-bound-check",
+        action="store_true",
+        help="skip checking the Ω series against the expected asymptotic shape",
+    )
+    lower_bound.add_argument("--shard", default=None, metavar="I/K", help="as for sweep")
+
+    merge = subparsers.add_parser(
+        "merge", help="stitch the partial artifacts of a sharded run back together"
+    )
+    merge.add_argument("artifacts", nargs="+", help="partial artifact paths")
+    merge.add_argument("--output", required=True, help="merged artifact path")
+
+    results = subparsers.add_parser(
+        "results",
+        help="aggregate experiment artifacts into EXPERIMENTS.md and run the "
+        "baseline regression gate",
+    )
+    results.add_argument("--dir", default=".", help="directory holding the artifacts (default .)")
+    results.add_argument(
+        "--output",
+        default=None,
+        metavar="EXPERIMENTS.md",
+        help="write the aggregated markdown table here (default: print it)",
+    )
+    results.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="diff measured series against this baseline file/dir; exit "
+        "non-zero on regressions",
+    )
+    results.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="BASELINE",
+        help="record the measured series as the new baseline file/dir",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "lower-bound":
+        return cmd_lower_bound(args)
+    if args.command == "merge":
+        return cmd_merge(args)
+    if args.command == "results":
+        return cmd_results(args)
     return cmd_certify(args)
 
 

@@ -37,6 +37,7 @@ from repro.core.cache import (
     cached_compiled_network,
     cached_evaluation_identifiers,
     cached_holds,
+    cached_identifiers,
     graph_fingerprint,
 )
 from repro.network.adversary import corrupt_assignment, exhaustive_assignments, random_assignment
@@ -192,6 +193,7 @@ def evaluate_scheme(
     trial_schedule: Optional[Sequence[int]] = None,
     trial_offset: int = 0,
     engine: str = "compiled",
+    id_exponent: Optional[int] = None,
 ) -> SchemeEvaluation:
     """Run a scheme on one instance.
 
@@ -201,7 +203,9 @@ def evaluate_scheme(
     condition for soundness).  ``trial_schedule`` optionally fixes the
     certificate byte-length of each trial explicitly, and ``trial_offset``
     resumes a sweep at a later trial index; both engines replay identical
-    assignments for identical parameters.
+    assignments for identical parameters.  ``id_exponent`` overrides the
+    identifier range ``[1, n^exponent]`` (default 3, the paper's choice) —
+    the knob of the identifier-range ablation.
     """
     if engine not in ("compiled", "legacy"):
         raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'legacy'")
@@ -212,7 +216,11 @@ def evaluate_scheme(
     # but deterministic seeds hit the cache on repeated evaluations.
     if use_compiled and isinstance(seed, int):
         fingerprint = graph_fingerprint(graph)
-        ids = cached_evaluation_identifiers(graph, seed, fingerprint)
+        ids = (
+            cached_evaluation_identifiers(graph, seed, fingerprint)
+            if id_exponent is None
+            else cached_identifiers(graph, seed, exponent=id_exponent)
+        )
         network = cached_compiled_network(graph, ids, fingerprint)
         holds = (
             cached_holds(scheme, graph, fingerprint)
@@ -220,7 +228,11 @@ def evaluate_scheme(
             else scheme.holds(graph)
         )
     else:
-        ids = assign_identifiers(graph, seed=random.Random(seed))
+        ids = assign_identifiers(
+            graph,
+            exponent=3 if id_exponent is None else id_exponent,
+            seed=random.Random(seed),
+        )
         network = (
             CompiledNetwork(graph, identifiers=ids)
             if use_compiled

@@ -1,21 +1,29 @@
-"""Declarative experiment orchestration: sweeps over the scheme registry.
+"""Declarative experiment orchestration: the repo's measurement pipeline.
 
-A sweep — one certification scheme, one graph family, a grid of sizes,
-per-instance adversarial trials — is the unit of measurement of every
-certificate-size series in the paper's experiments.  This package makes the
-sweep a declarative object instead of a hand-rolled loop:
+Every number the repo reports — an upper-bound certificate-size series, a
+lower-bound Ω(·) series, a radius-ablation check — is produced by running a
+declarative *spec* and lands in the same JSON artifact shape:
 
-* :class:`~repro.experiments.spec.SweepSpec` describes the sweep (scheme
-  key, validated parameters, ``family`` + ``sizes`` grid, trials, seed,
-  engine, worker count) and serialises to/from JSON;
-* :func:`~repro.experiments.runner.run_sweep` executes it on the
-  compile-once engine, fanning instances out across ``multiprocessing``
-  workers, with a derived independent seed per instance so any sub-range is
-  reproducible and shardable;
-* :mod:`~repro.experiments.artifacts` captures the result — the measured
-  size series, completeness/soundness flags per instance, and the series
-  checked against the asymptotic bound registered for the scheme — as a
-  JSON artifact.
+* :class:`~repro.experiments.spec.ExperimentSpec` is the shared backbone
+  (size grid, per-point derived seeds, ``shard=(i, k)`` execution, JSON
+  round-trip with kind dispatch);
+* :class:`~repro.experiments.spec.SweepSpec` + :func:`~repro.experiments.
+  runner.run_sweep` measure a certificate-size series of one registered
+  scheme over one graph family on the compile-once engine, fanning out
+  across ``multiprocessing`` workers;
+* :class:`~repro.experiments.lower_bound.LowerBoundSpec` +
+  :func:`~repro.experiments.lower_bound.run_lower_bound` run a Section 7.1
+  reduction-framework search (bound series, gadget dichotomy, Alice/Bob
+  protocol simulation);
+* :class:`~repro.experiments.radius.RadiusSpec` +
+  :func:`~repro.experiments.radius.run_radius` run the Appendix A.1
+  radius-r verification series;
+* :mod:`~repro.experiments.artifacts` serialises results (with both the
+  closed-form :class:`BoundCheck` verdict and the fitted regression
+  exponent of :mod:`~repro.experiments.bounds`) and merges sharded partial
+  artifacts (:func:`merge_artifacts`);
+* :mod:`~repro.experiments.results` aggregates artifacts into
+  ``EXPERIMENTS.md`` tables and gates them against a committed baseline.
 
 Example::
 
@@ -24,27 +32,74 @@ Example::
     spec = SweepSpec(scheme="treedepth", params={"t": 3},
                      family="bounded-treedepth", sizes=(3, 3, 3), trials=10)
     result = run_sweep(spec)
-    print(result.series, result.bound.ok)
+    print(result.series, result.bound.ok, result.fit)
     write_artifact(result, "sweep_treedepth.json")
+
+Sharded execution (e.g. across two machines)::
+
+    part0 = run_sweep(spec, shard=(0, 2))
+    part1 = run_sweep(spec, shard=(1, 2))
+    assert merge_artifacts([part0, part1]).series == result.series
 """
 
 from repro.experiments.artifacts import (
     BoundCheck,
+    ExperimentResult,
     SweepPoint,
     SweepResult,
+    check_series_bound,
     load_artifact,
+    merge_artifacts,
     write_artifact,
 )
+from repro.experiments.bounds import FittedBound, fit_series
+from repro.experiments.lower_bound import (
+    LowerBoundPoint,
+    LowerBoundResult,
+    LowerBoundSpec,
+    run_lower_bound,
+    run_lower_bound_point,
+)
+from repro.experiments.radius import RadiusPoint, RadiusResult, RadiusSpec, run_radius
+from repro.experiments.results import (
+    BaselineReport,
+    Regression,
+    collect_artifacts,
+    compare_to_baseline,
+    render_experiments_md,
+    write_baseline,
+)
 from repro.experiments.runner import run_point, run_sweep
-from repro.experiments.spec import SweepSpec
+from repro.experiments.spec import ExperimentSpec, SweepSpec
 
 __all__ = [
+    "BaselineReport",
     "BoundCheck",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FittedBound",
+    "LowerBoundPoint",
+    "LowerBoundResult",
+    "LowerBoundSpec",
+    "RadiusPoint",
+    "RadiusResult",
+    "RadiusSpec",
+    "Regression",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
+    "check_series_bound",
+    "collect_artifacts",
+    "compare_to_baseline",
+    "fit_series",
     "load_artifact",
+    "merge_artifacts",
+    "render_experiments_md",
+    "run_lower_bound",
+    "run_lower_bound_point",
     "run_point",
+    "run_radius",
     "run_sweep",
     "write_artifact",
+    "write_baseline",
 ]

@@ -1,17 +1,42 @@
-"""Sweep results as structured, JSON-serialisable artifacts."""
+"""Experiment results as structured, JSON-serialisable artifacts.
+
+Every experiment kind (sweep, lower-bound, radius) produces a result object
+deriving from :class:`ExperimentResult`; the artifact on disk is its
+``to_dict`` plus a schema version and a ``kind`` tag, so
+:func:`load_artifact` can re-hydrate any artifact without being told what it
+holds.  All results carry the same two bound judgements:
+
+* ``bound`` — the closed-form :class:`BoundCheck` verdict against the
+  registered :class:`~repro.registry.SizeBound` envelope, and
+* ``fit`` — the measured :class:`~repro.experiments.bounds.FittedBound`
+  regression exponent of the series,
+
+which is what lets the ``results`` aggregation print upper- and lower-bound
+series in one uniform table.
+
+Sharded runs write partial artifacts (their spec records the shard);
+:func:`merge_artifacts` stitches the shards of one experiment back into the
+artifact of the unsharded run — identical modulo wall-clock timings, because
+every grid point keeps its global index and derived seed.
+"""
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.experiments.spec import SweepSpec
+from repro.experiments.bounds import FittedBound, fit_series
+from repro.experiments.spec import ExperimentSpec, SweepSpec
 
-#: Bumped whenever the artifact layout changes incompatibly.
-ARTIFACT_SCHEMA = 1
+#: Bumped whenever the artifact layout changes incompatibly.  Schema 2 added
+#: the ``kind`` tag and the fitted-bound record; schema-1 artifacts (sweeps
+#: only, no fit) still load.
+ARTIFACT_SCHEMA = 2
+
+_READABLE_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -71,14 +96,72 @@ class BoundCheck:
             ratios={int(n): float(r) for n, r in dict(data.get("ratios", {})).items()},
         )
 
+    @classmethod
+    def from_check(cls, ok: bool, detail: Mapping[str, Any]) -> "BoundCheck":
+        """Build a verdict from ``SizeBound.check_series``'s return pair."""
+        return cls(
+            label=detail["label"],
+            ok=ok,
+            spread=detail.get("spread"),
+            slack=detail["slack"],
+            ratios=detail.get("ratios", {}),
+        )
+
+
+class ExperimentResult:
+    """Base class of experiment results; subclasses register by ``kind``.
+
+    A subclass must be a dataclass with at least ``spec``, ``points``,
+    ``bound`` and ``fit`` fields, a ``series`` property mapping grid size to
+    the measured quantity, and a ``merged_from_points`` classmethod that
+    re-finalises (bound check + fit) a merged point set.
+    """
+
+    kind: ClassVar[str] = ""
+    _KINDS: ClassVar[Dict[str, type]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("kind", "")
+        if kind:
+            existing = ExperimentResult._KINDS.get(kind)
+            if existing is not None and existing is not cls:
+                raise ValueError(f"result kind {kind!r} is already registered")
+            ExperimentResult._KINDS[kind] = cls
+
+    @classmethod
+    def result_class(cls, kind: str) -> type:
+        try:
+            return cls._KINDS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown artifact kind {kind!r}; known kinds: {sorted(cls._KINDS)}"
+            ) from None
+
+
+def check_series_bound(spec: SweepSpec, series: Mapping[int, float]) -> BoundCheck:
+    """Check a measured yes-instance series against the registered bound.
+
+    ``series`` is the n → bits mapping of :attr:`SweepResult.series`.
+    Bounds whose envelope reads scheme parameters (``t``, ``k``) evaluate
+    them at the largest grid size — with ``$n``-templated parameters the
+    envelope is conservative for smaller points, which only widens the
+    allowed band.
+    """
+    params = spec.resolved_params(max(spec.sizes))
+    return BoundCheck.from_check(*spec.info.bound.check_series(series, params))
+
 
 @dataclass(frozen=True)
-class SweepResult:
+class SweepResult(ExperimentResult):
     """Everything :func:`repro.experiments.runner.run_sweep` produces."""
+
+    kind: ClassVar[str] = "sweep"
 
     spec: SweepSpec
     points: Tuple[SweepPoint, ...]
     bound: Optional[BoundCheck] = None
+    fit: Optional[FittedBound] = None
 
     @property
     def series(self) -> Dict[int, int]:
@@ -111,41 +194,112 @@ class SweepResult:
         """
         return all(point.soundness_ok is not False for point in self.points if not point.holds)
 
+    @classmethod
+    def merged_from_points(
+        cls, spec: SweepSpec, points: Tuple[SweepPoint, ...]
+    ) -> "SweepResult":
+        result = cls(spec=spec, points=points)
+        bound = check_series_bound(spec, result.series) if spec.check_bound else None
+        return replace(result, bound=bound, fit=fit_series(result.series))
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "schema": ARTIFACT_SCHEMA,
+            "kind": self.kind,
             "spec": self.spec.to_dict(),
             "points": [point.to_dict() for point in self.points],
             "series": {str(n): bits for n, bits in sorted(self.series.items())},
             "all_accepted": self.all_accepted,
             "all_sound": self.all_sound,
             "bound": self.bound.to_dict() if self.bound is not None else None,
+            "fit": self.fit.to_dict() if self.fit is not None else None,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
         bound = data.get("bound")
+        fit = data.get("fit")
         return cls(
             spec=SweepSpec.from_dict(data["spec"]),
             points=tuple(SweepPoint.from_dict(p) for p in data["points"]),
             bound=BoundCheck.from_dict(bound) if bound is not None else None,
+            fit=FittedBound.from_dict(fit) if fit is not None else None,
         )
 
 
-def write_artifact(result: SweepResult, path: str | os.PathLike) -> Path:
-    """Write a sweep result as a JSON artifact; returns the path written."""
+def write_artifact(result: ExperimentResult, path: str | os.PathLike) -> Path:
+    """Write an experiment result as a JSON artifact; returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
     return path
 
 
-def load_artifact(path: str | os.PathLike) -> SweepResult:
-    """Load a sweep result previously written by :func:`write_artifact`."""
+def load_artifact(path: str | os.PathLike) -> ExperimentResult:
+    """Load an experiment result previously written by :func:`write_artifact`."""
     data = json.loads(Path(path).read_text())
     schema = data.get("schema")
-    if schema != ARTIFACT_SCHEMA:
+    if schema not in _READABLE_SCHEMAS:
         raise ValueError(
-            f"artifact {path} has schema {schema!r}, expected {ARTIFACT_SCHEMA}"
+            f"artifact {path} has schema {schema!r}, expected one of {_READABLE_SCHEMAS}"
         )
-    return SweepResult.from_dict(data)
+    cls = ExperimentResult.result_class(data.get("kind", "sweep"))
+    return cls.from_dict(data)
+
+
+def _merge_identity(spec: ExperimentSpec) -> ExperimentSpec:
+    """A spec reduced to what identifies the *experiment*, not its execution.
+
+    Shards of one experiment may legitimately run with different worker
+    counts on different machines (``processes`` does not affect any measured
+    value), so it is normalised away alongside the shard itself; the merged
+    artifact's spec carries the normalised form.
+    """
+    spec = spec.unsharded()
+    if hasattr(spec, "processes"):
+        spec = replace(spec, processes=1)
+    return spec
+
+
+def merge_artifacts(
+    parts: Iterable[Union[ExperimentResult, str, os.PathLike]],
+) -> ExperimentResult:
+    """Stitch the partial artifacts of one sharded experiment back together.
+
+    ``parts`` are results (or paths to artifacts) of runs of the *same*
+    experiment under different shards.  The shards must tile the grid
+    exactly — every global index covered once — and the merged result is
+    re-finalised (bound check, fit) from the union of points, so it equals
+    the unsharded run's artifact modulo per-point wall-clock timings.
+    """
+    results = [
+        part if isinstance(part, ExperimentResult) else load_artifact(part)
+        for part in parts
+    ]
+    if not results:
+        raise ValueError("merge_artifacts needs at least one partial result")
+    kinds = {type(result) for result in results}
+    if len(kinds) > 1:
+        raise ValueError(
+            f"cannot merge artifacts of different kinds: {sorted(c.kind for c in kinds)}"
+        )
+    spec = _merge_identity(results[0].spec)
+    if any(_merge_identity(result.spec) != spec for result in results[1:]):
+        raise ValueError("cannot merge artifacts of different experiments")
+
+    by_index: Dict[int, Any] = {}
+    for result in results:
+        for point in result.points:
+            if point.index in by_index:
+                raise ValueError(f"grid point {point.index} is covered by two shards")
+            by_index[point.index] = point
+    expected = set(range(len(spec.sizes)))
+    missing = sorted(expected - set(by_index))
+    if missing:
+        raise ValueError(f"merged shards do not cover grid point(s) {missing}")
+    extra = sorted(set(by_index) - expected)
+    if extra:
+        raise ValueError(f"merged shards cover out-of-grid point(s) {extra}")
+
+    points = tuple(by_index[index] for index in sorted(by_index))
+    return type(results[0]).merged_from_points(spec, points)

@@ -1,0 +1,133 @@
+"""Fitted size bounds: regression exponents folded into artifacts.
+
+The registry's :class:`~repro.registry.SizeBound` envelopes give a
+closed-form *verdict* — is the measured series inside a constant-factor band
+of the claimed O(f(n))?  This module adds the complementary *measurement*: a
+least-squares fit of the series' growth, recorded next to the verdict in
+every artifact so a reader (or the regression gate) can see not only that a
+series respects O(t log n) but what exponent it actually exhibits.
+
+Two models are fitted, both in closed form (no numpy dependency):
+
+* the power law ``bits ≈ c · n^a`` — ``a`` is the slope of the least-squares
+  line through ``(log2 n, log2 bits)``; an O(log n) series fits with a → 0,
+  an O(n) series with a → 1, the universal scheme's O(n²) with a → 2;
+* the poly-log law ``bits ≈ c · (log2 n)^b`` — ``b`` is the slope through
+  ``(log2 log2 n, log2 bits)`` and separates constant (b → 0) from
+  logarithmic (b → 1) from log² (b → 2) growth, which the power-law exponent
+  alone cannot distinguish.
+
+The classification is deliberately coarse (the grids are small); it is a
+reading aid, not a statistical claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: A fit needs at least this many distinct sizes to say anything about shape.
+MIN_FIT_POINTS = 3
+
+#: Power-law exponents below this are reported as sub-polynomial.
+SUBPOLYNOMIAL_EXPONENT = 0.25
+
+
+def _least_squares(xs: List[float], ys: List[float]) -> Tuple[float, float, float]:
+    """Slope, intercept and R² of the least-squares line through (xs, ys)."""
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0.0:
+        return 0.0, mean_y, 1.0
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    residual = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+    r_squared = 1.0 if syy == 0.0 else max(0.0, 1.0 - residual / syy)
+    return slope, intercept, r_squared
+
+
+@dataclass(frozen=True)
+class FittedBound:
+    """The measured growth of a size series, as regression exponents.
+
+    ``exponent`` is the fitted power-law exponent ``a`` of ``bits ≈ c·n^a``
+    with ``r_squared`` its fit quality; ``log_exponent`` is the poly-log
+    exponent ``b`` of ``bits ≈ c·(log2 n)^b``.  ``label`` is the human
+    reading of the pair (``"~n^1.02"``, ``"~log^1.0 n"``, ``"~constant"``).
+    """
+
+    exponent: float
+    r_squared: float
+    log_exponent: Optional[float]
+    points: int
+    label: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "exponent": self.exponent,
+            "r_squared": self.r_squared,
+            "log_exponent": self.log_exponent,
+            "points": self.points,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FittedBound":
+        return cls(
+            exponent=float(data["exponent"]),
+            r_squared=float(data["r_squared"]),
+            log_exponent=None if data.get("log_exponent") is None else float(data["log_exponent"]),
+            points=int(data["points"]),
+            label=str(data["label"]),
+        )
+
+
+def _classify(exponent: float, log_exponent: Optional[float]) -> str:
+    if exponent >= SUBPOLYNOMIAL_EXPONENT:
+        return f"~n^{exponent:.2f}"
+    if log_exponent is None:
+        return f"~n^{exponent:.2f}"
+    if log_exponent < 0.5:
+        return "~constant"
+    return f"~log^{log_exponent:.1f} n"
+
+
+def fit_series(series: Mapping[int, float]) -> Optional[FittedBound]:
+    """Fit the growth of an ``n → bits`` series; None when too small to fit.
+
+    Points with non-positive size or measurement are dropped (a no-instance's
+    0-bit entry carries no shape information); at least
+    :data:`MIN_FIT_POINTS` distinct sizes must remain.
+    """
+    cleaned = sorted(
+        (int(n), float(bits))
+        for n, bits in series.items()
+        if int(n) > 1 and float(bits) > 0.0
+    )
+    if len(cleaned) < MIN_FIT_POINTS:
+        return None
+    log_n = [math.log2(n) for n, _ in cleaned]
+    log_bits = [math.log2(bits) for _, bits in cleaned]
+    exponent, _, r_squared = _least_squares(log_n, log_bits)
+
+    # The poly-log fit only resolves when log2(log2 n) actually varies.
+    log_log_n = [math.log2(math.log2(n)) for n, _ in cleaned if math.log2(n) > 1.0]
+    log_bits_ll = [
+        math.log2(bits) for n, bits in cleaned if math.log2(n) > 1.0
+    ]
+    log_exponent: Optional[float] = None
+    if len(log_log_n) >= MIN_FIT_POINTS and max(log_log_n) - min(log_log_n) > 1e-6:
+        log_exponent, _, _ = _least_squares(log_log_n, log_bits_ll)
+
+    return FittedBound(
+        exponent=exponent,
+        r_squared=r_squared,
+        log_exponent=log_exponent,
+        points=len(cleaned),
+        label=_classify(exponent, log_exponent),
+    )

@@ -1,0 +1,189 @@
+"""Declarative radius-r verification series (the Appendix A.1 ablation).
+
+The paper fixes the verification radius at 1; Appendix A.1 justifies that
+choice with "diameter ≤ 3": at radius ``bound + 1`` a node sees far enough
+to decide the property with **zero** certificate bits, whereas at radius 1
+it needs the universal scheme's Θ(n²) bits.  A :class:`RadiusSpec` captures
+the radius-r half of that comparison declaratively: a graph family, a size
+grid, a diameter bound and a verification radius; every point runs the
+certificate-free radius-r verifier of
+:func:`repro.network.radius.diameter_at_most_verifier` and records whether
+its accept/reject decision matches the instance's actual diameter.
+
+(The radius-1 half of the comparison is an ordinary ``universal``-scheme
+:class:`~repro.experiments.spec.SweepSpec`.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.experiments.artifacts import ARTIFACT_SCHEMA, BoundCheck, ExperimentResult
+from repro.experiments.bounds import FittedBound, fit_series
+from repro.experiments.spec import ExperimentSpec
+from repro.graphs.generators import GRAPH_FAMILIES, build_graph_spec
+from repro.network.radius import RadiusSimulator, diameter_at_most_verifier
+from repro.registry import RegistryError
+
+
+@dataclass(frozen=True)
+class RadiusSpec(ExperimentSpec):
+    """A certificate-free radius-r "diameter ≤ bound" verification series.
+
+    ``radius`` defaults to ``bound + 1`` (the smallest radius at which the
+    verifier needs no certificates, per Appendix A.1) when left at 0.
+    """
+
+    kind: ClassVar[str] = "radius"
+    _REQUIRED: ClassVar[Tuple[str, ...]] = ("family", "sizes")
+
+    family: str
+    sizes: Tuple[int, ...]
+    bound: int = 3
+    radius: int = 0
+    seed: int = 0
+    shard: Optional[Tuple[int, int]] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "shard", self._normalize_shard(self.shard))
+
+    @property
+    def effective_radius(self) -> int:
+        return self.radius if self.radius > 0 else self.bound + 1
+
+    def validate(self) -> "RadiusSpec":
+        if self.family not in GRAPH_FAMILIES:
+            raise RegistryError(
+                f"unknown graph family {self.family!r}; choose from {sorted(GRAPH_FAMILIES)}"
+            )
+        self._validate_grid()
+        if self.bound < 1:
+            raise RegistryError("the diameter bound must be at least 1")
+        if self.radius < 0:
+            raise RegistryError("radius must be non-negative (0 = bound + 1)")
+        return self
+
+    def graph_spec(self, index: int) -> str:
+        return f"{self.family}:{self.sizes[index]}"
+
+    def _default_label(self) -> str:
+        return f"radius{self.effective_radius}-diameter{self.bound}-{self.family}"
+
+
+@dataclass(frozen=True)
+class RadiusPoint:
+    """The outcome of one radius-r verification instance."""
+
+    index: int
+    size: int
+    graph: str
+    vertices: int
+    diameter: int
+    seed: int
+    expected: bool
+    """Ground truth: does the instance have diameter ≤ bound?"""
+    accepted: bool
+    """Did every vertex of the radius-r verifier accept (with 0-bit certificates)?"""
+    ok: bool
+    """``accepted == expected`` — the verifier decided correctly."""
+    max_certificate_bits: int
+    elapsed_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RadiusPoint":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class RadiusResult(ExperimentResult):
+    """Everything :func:`run_radius` produces."""
+
+    kind: ClassVar[str] = "radius"
+
+    spec: RadiusSpec
+    points: Tuple[RadiusPoint, ...]
+    bound: Optional[BoundCheck] = None
+    fit: Optional[FittedBound] = None
+
+    @property
+    def series(self) -> Dict[int, int]:
+        """``size → certificate bits`` — identically 0 by construction."""
+        return {point.size: point.max_certificate_bits for point in self.points}
+
+    @property
+    def all_ok(self) -> bool:
+        return all(point.ok for point in self.points)
+
+    @classmethod
+    def merged_from_points(
+        cls, spec: RadiusSpec, points: Tuple[RadiusPoint, ...]
+    ) -> "RadiusResult":
+        result = cls(spec=spec, points=points)
+        return replace(result, fit=fit_series(result.series))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "kind": self.kind,
+            "spec": self.spec.to_dict(),
+            "points": [point.to_dict() for point in self.points],
+            "series": {str(size): bits for size, bits in sorted(self.series.items())},
+            "all_ok": self.all_ok,
+            "bound": None,
+            "fit": self.fit.to_dict() if self.fit is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RadiusResult":
+        fit = data.get("fit")
+        return cls(
+            spec=RadiusSpec.from_dict(data["spec"]),
+            points=tuple(RadiusPoint.from_dict(p) for p in data["points"]),
+            fit=FittedBound.from_dict(fit) if fit is not None else None,
+        )
+
+
+def run_radius_point(spec: RadiusSpec, index: int) -> RadiusPoint:
+    """Run one radius-r verification instance (reproducible in isolation)."""
+    size = spec.sizes[index]
+    point_seed = spec.point_seed(index)
+    graph_spec = spec.graph_spec(index)
+    graph = build_graph_spec(graph_spec, seed=point_seed)
+    started = time.perf_counter()
+    diameter = nx.diameter(graph)
+    expected = diameter <= spec.bound
+    simulator = RadiusSimulator(graph, radius=spec.effective_radius, seed=point_seed)
+    outcome = simulator.run(
+        diameter_at_most_verifier(spec.bound), {v: b"" for v in graph.nodes()}
+    )
+    return RadiusPoint(
+        index=index,
+        size=size,
+        graph=graph_spec,
+        vertices=graph.number_of_nodes(),
+        diameter=diameter,
+        seed=point_seed,
+        expected=expected,
+        accepted=outcome.accepted,
+        ok=outcome.accepted == expected,
+        max_certificate_bits=outcome.max_certificate_bits,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def run_radius(spec: RadiusSpec, shard: Optional[Tuple[int, int]] = None) -> RadiusResult:
+    """Execute a radius-verification series (or one shard of it)."""
+    if shard is not None:
+        spec = replace(spec, shard=shard)
+    spec.validate()
+    points = tuple(run_radius_point(spec, index) for index in spec.shard_indices())
+    return RadiusResult.merged_from_points(spec, points)

@@ -6,7 +6,8 @@ yes-instances, scheduled adversarial trials on no-instances) and record the
 measured certificate size.  Points are independent by construction — each
 derives its own seed from ``(sweep seed, index)`` — which is what makes the
 ``multiprocessing`` fan-out below trivial and any sub-range shardable: a
-worker needs nothing but the spec and a point index.
+worker (or a whole machine running ``shard=(i, k)``) needs nothing but the
+spec and a global point index.
 """
 
 from __future__ import annotations
@@ -14,12 +15,13 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import replace
-from typing import Mapping, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.scheme import NotAYesInstance, evaluate_scheme
-from repro.experiments.artifacts import BoundCheck, SweepPoint, SweepResult
+from repro.experiments.artifacts import SweepPoint, SweepResult
 from repro.experiments.spec import SweepSpec
 from repro.graphs.generators import build_graph_spec
+from repro.network.ids import assign_identifiers
 
 
 def run_point(spec: SweepSpec, index: int) -> SweepPoint:
@@ -32,8 +34,11 @@ def run_point(spec: SweepSpec, index: int) -> SweepPoint:
     started = time.perf_counter()
     if spec.measure == "size":
         # Honest prover only: ``holds`` records whether a proof exists.
+        ids = None
+        if spec.id_exponent is not None:
+            ids = assign_identifiers(graph, exponent=spec.id_exponent, seed=point_seed)
         try:
-            bits = scheme.max_certificate_bits(graph, seed=point_seed)
+            bits = scheme.max_certificate_bits(graph, seed=point_seed, ids=ids)
             holds, completeness, soundness = True, None, None
         except NotAYesInstance:
             bits, holds, completeness, soundness = 0, False, None, None
@@ -44,6 +49,7 @@ def run_point(spec: SweepSpec, index: int) -> SweepPoint:
             seed=point_seed,
             adversarial_trials=spec.trials,
             engine=spec.engine,
+            id_exponent=spec.id_exponent,
         )
         bits = report.max_certificate_bits
         holds = report.holds
@@ -75,17 +81,34 @@ def _run_point_task(task: Tuple[dict, int]) -> SweepPoint:
     return run_point(SweepSpec.from_dict(spec_dict), index)
 
 
-def run_sweep(spec: SweepSpec, processes: Optional[int] = None) -> SweepResult:
-    """Execute a whole sweep and check the series against the scheme's bound.
+def run_sweep(
+    spec: SweepSpec,
+    processes: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> SweepResult:
+    """Execute a sweep (or one shard of it) and judge the measured series.
 
     ``processes`` overrides ``spec.processes``; with more than one process
     the grid points fan out across a ``multiprocessing`` pool.  The result
     is identical either way — workers derive the same per-point seeds.
+
+    ``shard`` overrides ``spec.shard``: shard ``(i, k)`` runs only the grid
+    points with global index ≡ i (mod k), keeping their global indices and
+    derived seeds, and records the shard in the result's spec.  Partial
+    results from a complete set of shards merge back into the unsharded
+    artifact via :func:`repro.experiments.artifacts.merge_artifacts`.
+
+    The finalised result carries both bound judgements: the closed-form
+    :class:`BoundCheck` verdict against the registered envelope (when
+    ``spec.check_bound``) and the :class:`~repro.experiments.bounds.
+    FittedBound` regression exponent of the series.
     """
+    if shard is not None:
+        spec = replace(spec, shard=shard)
     spec.validate()
     processes = spec.processes if processes is None else max(1, processes)
-    indices = range(len(spec.sizes))
-    if processes > 1 and len(spec.sizes) > 1:
+    indices = spec.shard_indices()
+    if processes > 1 and len(indices) > 1:
         tasks = [(spec.to_dict(), index) for index in indices]
         with multiprocessing.Pool(processes=min(processes, len(tasks))) as pool:
             points = pool.map(_run_point_task, tasks)
@@ -93,27 +116,4 @@ def run_sweep(spec: SweepSpec, processes: Optional[int] = None) -> SweepResult:
     else:
         points = [run_point(spec, index) for index in indices]
 
-    result = SweepResult(spec=spec, points=tuple(points))
-    if spec.check_bound:
-        result = replace(result, bound=check_series_bound(spec, result.series))
-    return result
-
-
-def check_series_bound(spec: SweepSpec, series: Mapping[int, int]) -> BoundCheck:
-    """Check a measured yes-instance series against the registered bound.
-
-    ``series`` is the n → bits mapping of :attr:`SweepResult.series`.
-    Bounds whose envelope reads scheme parameters (``t``, ``k``) evaluate
-    them at the largest grid size — with ``$n``-templated parameters the
-    envelope is conservative for smaller points, which only widens the
-    allowed band.
-    """
-    params = spec.resolved_params(max(spec.sizes))
-    ok, detail = spec.info.bound.check_series(series, params)
-    return BoundCheck(
-        label=detail["label"],
-        ok=ok,
-        spread=detail.get("spread"),
-        slack=detail["slack"],
-        ratios=detail.get("ratios", {}),
-    )
+    return SweepResult.merged_from_points(spec, tuple(points))

@@ -316,6 +316,7 @@ GRAPH_FAMILY_SIZE_MEANING: Dict[str, str] = {
     "random-connected": "N",
     "bounded-treedepth": "DEPTH",
     "triangle-chain": "LINKS",
+    "union-of-cycles": "CYCLES",
     "grid": "SIDE",
 }
 
@@ -334,6 +335,10 @@ GRAPH_FAMILIES: Dict[str, Callable[[int, random.Random], nx.Graph]] = {
     "random-connected": lambda n, rng: random_connected_graph(n, p=0.1, seed=rng),
     "bounded-treedepth": lambda depth, rng: bounded_treedepth_graph(depth, seed=rng),
     "triangle-chain": lambda triangles, rng: triangle_chain(triangles),
+    # The basis of the Theorem 2.5 construction (Figure 3): k disjoint
+    # triangles plus an apex; treedepth ≤ 4 for every k, diameter 4 for
+    # k ≥ 2 — the no-family of the radius ablation.
+    "union-of-cycles": lambda cycles, rng: union_of_cycles_with_apex([3] * cycles),
     "grid": lambda side, rng: grid_graph(side, side),
 }
 

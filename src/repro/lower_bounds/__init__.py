@@ -9,7 +9,10 @@
 * :mod:`repro.lower_bounds.automorphism` — the Ω̃(n) bound for
   fixed-point-free automorphism of bounded-depth trees (Theorem 2.3);
 * :mod:`repro.lower_bounds.treedepth_lb` — the Ω(log n) bound for
-  treedepth ≤ 5 (Theorem 2.5, Figure 3) and the Lemma 7.3 dichotomy.
+  treedepth ≤ 5 (Theorem 2.5, Figure 3) and the Lemma 7.3 dichotomy;
+* :mod:`repro.lower_bounds.catalog` — the declarative catalogue of these
+  constructions, mirroring :mod:`repro.registry` for the Ω(·) side: the
+  entries :class:`repro.experiments.LowerBoundSpec` runs.
 """
 
 from repro.lower_bounds.communication import (
@@ -27,6 +30,11 @@ from repro.lower_bounds.treedepth_lb import (
     treedepth_gadget,
     treedepth_lower_bound_bits,
 )
+from repro.lower_bounds.catalog import (
+    LOWER_BOUND_CONSTRUCTIONS,
+    LowerBoundConstruction,
+    get_construction,
+)
 
 __all__ = [
     "equality_certificate_lower_bound",
@@ -39,4 +47,7 @@ __all__ = [
     "string_to_matching",
     "treedepth_gadget",
     "treedepth_lower_bound_bits",
+    "LOWER_BOUND_CONSTRUCTIONS",
+    "LowerBoundConstruction",
+    "get_construction",
 ]

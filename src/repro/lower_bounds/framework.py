@@ -143,12 +143,19 @@ class ReductionFramework:
         admits an accepting certificate assignment.
         """
         graph = self.build_graph(s_a, s_b)
+        # Fixed-size private parts may leave padding vertices isolated
+        # (shorter strings use fewer encoding vertices); drop them exactly as
+        # the instance constructions do — the model only considers connected
+        # graphs, and the players never read a padding certificate.
+        used = [v for v in graph.nodes() if graph.degree(v) > 0]
+        graph = graph.subgraph(used).copy()
+        present = set(used)
         # One compiled topology serves every assignment of the double
         # exponential sweep below; only certificate bytes change per run.
         network = CompiledNetwork(graph, identifiers=ids)
-        middle = list(self.v_alpha) + list(self.v_beta)
-        side_a = list(self.v_a)
-        side_b = list(self.v_b)
+        middle = [v for v in list(self.v_alpha) + list(self.v_beta) if v in present]
+        side_a = [v for v in self.v_a if v in present]
+        side_b = [v for v in self.v_b if v in present]
         total_side_bits_a = certificate_bits_per_vertex * len(side_a)
         total_side_bits_b = certificate_bits_per_vertex * len(side_b)
         if max(total_side_bits_a, total_side_bits_b) > max_side_bits:

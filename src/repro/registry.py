@@ -39,6 +39,8 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Type
 
+import networkx as nx
+
 from repro.core.scheme import CertificationScheme
 
 
@@ -350,12 +352,18 @@ NAMED_FORMULAS: Dict[str, Callable[[], Any]] = {
     "diameter-at-most-2": properties.diameter_at_most_two,
 }
 
+def _diameter_at_most_3(graph: nx.Graph) -> bool:
+    """The Appendix A.1 example property (the radius-ablation counterpart)."""
+    return nx.diameter(graph) <= 3
+
+
 #: Named graph predicates selectable by the ``universal`` scheme.
 NAMED_PREDICATES: Dict[str, Callable[..., bool]] = {
     "triangle-free": properties.check_triangle_free,
     "bipartite": properties.check_two_colorable,
     "acyclic": properties.check_acyclic,
     "tree": is_tree,
+    "diameter-at-most-3": _diameter_at_most_3,
 }
 
 #: Named elimination-tree builders for the treedepth-layer schemes.
@@ -488,7 +496,7 @@ def _tree_diameter_factory(diameter: int) -> CertificationScheme:
         ParamSpec("t", required=True, minimum=1, description="treedepth bound"),
         _MODEL_PARAM,
     ],
-    families=("path", "star", "bounded-treedepth", "caterpillar"),
+    families=("path", "star", "bounded-treedepth", "caterpillar", "union-of-cycles"),
 )
 def _treedepth_factory(t: int, model: str = "auto") -> CertificationScheme:
     return TreedepthScheme(t, model_builder=MODEL_BUILDERS[model])
@@ -597,15 +605,24 @@ def _mso_trees_factory(automaton: str = "perfect-matching") -> CertificationSche
             choices=tuple(NAMED_FORMULAS),
             description="named FO sentence to certify on the kernel",
         ),
+        ParamSpec(
+            "k",
+            minimum=1,
+            description="kernel pruning parameter (default: the sentence's "
+            "quantifier depth — the E17 ablation knob)",
+        ),
         _MODEL_PARAM,
     ],
     families=("star", "bounded-treedepth", "path"),
 )
 def _mso_treedepth_factory(
-    t: int, formula: str = "has-dominating-vertex", model: str = "auto"
+    t: int,
+    formula: str = "has-dominating-vertex",
+    k: Optional[int] = None,
+    model: str = "auto",
 ) -> CertificationScheme:
     return MSOTreedepthScheme(
-        NAMED_FORMULAS[formula](), t=t, model_builder=MODEL_BUILDERS[model], name=formula
+        NAMED_FORMULAS[formula](), t=t, k=k, model_builder=MODEL_BUILDERS[model], name=formula
     )
 
 

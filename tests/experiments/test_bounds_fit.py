@@ -1,0 +1,60 @@
+"""Fitted-bound sanity: the regression exponent recovers synthetic shapes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import FittedBound, fit_series
+
+
+def _series(f, sizes=(8, 16, 32, 64, 128, 256, 512, 1024)):
+    return {n: f(n) for n in sizes}
+
+
+class TestFitExponent:
+    def test_linear_series_fits_exponent_one(self):
+        fit = fit_series(_series(lambda n: 3.0 * n))
+        assert fit is not None
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+        assert fit.r_squared > 0.999
+        assert fit.label.startswith("~n^1.0")
+
+    def test_quadratic_series_fits_exponent_two(self):
+        fit = fit_series(_series(lambda n: 0.5 * n * n))
+        assert fit.exponent == pytest.approx(2.0, abs=0.01)
+
+    def test_logarithmic_series_fits_subpolynomial(self):
+        fit = fit_series(_series(lambda n: 12.0 * math.log2(n)))
+        assert fit.exponent < 0.25  # far from any polynomial
+        assert fit.log_exponent == pytest.approx(1.0, abs=0.15)
+        assert fit.label.startswith("~log^")
+
+    def test_constant_series_classified_constant(self):
+        fit = fit_series(_series(lambda n: 42.0))
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+        assert fit.label == "~constant"
+
+    def test_t_log_n_series_like_the_treedepth_scheme(self):
+        # The realistic shape of the paper's O(t log n) certificates.
+        fit = fit_series(_series(lambda n: 4 * 3 * math.log2(n) + 17))
+        assert fit.exponent < 0.25
+        assert fit.log_exponent is not None and 0.5 < fit.log_exponent < 1.5
+
+
+class TestFitEdgeCases:
+    def test_too_few_points_returns_none(self):
+        assert fit_series({8: 10, 16: 20}) is None
+
+    def test_zero_and_tiny_sizes_are_dropped(self):
+        series = {1: 100, 8: 0, 16: 32, 32: 40, 64: 48}
+        fit = fit_series(series)
+        assert fit is not None and fit.points == 3
+
+    def test_all_zero_series_returns_none(self):
+        assert fit_series({8: 0, 16: 0, 32: 0, 64: 0}) is None
+
+    def test_roundtrip_through_dict(self):
+        fit = fit_series(_series(lambda n: 2.0 * n))
+        assert FittedBound.from_dict(fit.to_dict()) == fit

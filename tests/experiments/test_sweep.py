@@ -70,11 +70,34 @@ class TestSweepSpec:
 
     def test_point_seeds_are_independent_of_preceding_points(self):
         spec = SweepSpec(scheme="tree", family="random-tree", sizes=(4, 8, 16))
-        shard = spec.shard([2])
-        assert shard.sizes == (16,)
+        subset = spec.subset([2])
+        assert subset.sizes == (16,)
         # Reproducing point 2 needs only the original spec and its index.
         assert spec.point_seed(2) == SweepSpec.from_dict(spec.to_dict()).point_seed(2)
         assert len({spec.point_seed(i) for i in range(3)}) == 3
+
+    def test_shard_field_selects_strided_global_indices(self):
+        spec = SweepSpec(scheme="tree", family="path", sizes=(4, 8, 16, 32, 64))
+        assert spec.shard_indices() == (0, 1, 2, 3, 4)
+        assert SweepSpec.from_dict({**spec.to_dict(), "shard": [0, 2]}).shard_indices() == (0, 2, 4)
+        assert SweepSpec.from_dict({**spec.to_dict(), "shard": [1, 2]}).shard_indices() == (1, 3)
+
+    def test_bad_shard_rejected(self):
+        with pytest.raises(RegistryError, match="shard"):
+            SweepSpec(scheme="tree", family="path", sizes=(4,), shard=(2, 2)).validate()
+        with pytest.raises(RegistryError, match="shard"):
+            SweepSpec(scheme="tree", family="path", sizes=(4,), shard=(0, 0)).validate()
+
+    def test_kind_dispatch_from_base_class(self):
+        from repro.experiments import ExperimentSpec
+
+        spec = SweepSpec(scheme="tree", family="path", sizes=(4,))
+        revived = ExperimentSpec.from_dict(spec.to_dict())
+        assert isinstance(revived, SweepSpec) and revived == spec
+        # Dicts without a kind (schema-1 artifacts) default to sweeps.
+        legacy = dict(spec.to_dict())
+        legacy.pop("kind")
+        assert ExperimentSpec.from_dict(legacy) == spec
 
 
 class TestRunner:
@@ -174,7 +197,8 @@ class TestArtifacts:
         spec = SweepSpec(scheme="bipartite", family="path", sizes=(4,), trials=2)
         path = write_artifact(run_sweep(spec), tmp_path / "a.json")
         data = json.loads(path.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
+        assert data["kind"] == "sweep"
         assert data["spec"]["scheme"] == "bipartite"
         assert data["series"] == {"4": 8}
         assert data["bound"]["label"] == "O(1)"
@@ -184,3 +208,19 @@ class TestArtifacts:
         path.write_text(json.dumps({"schema": 999, "spec": {}, "points": []}))
         with pytest.raises(ValueError, match="schema"):
             load_artifact(path)
+
+    def test_schema_1_artifacts_still_load_as_sweeps(self, tmp_path):
+        """Pre-pipeline artifacts carry no kind and no fit; they default to
+        sweeps with fit=None."""
+        spec = SweepSpec(scheme="bipartite", family="path", sizes=(4,), trials=2)
+        data = run_sweep(spec).to_dict()
+        data["schema"] = 1
+        del data["kind"], data["fit"]
+        data["spec"].pop("kind")
+        for legacy_field in ("id_exponent", "shard"):
+            data["spec"].pop(legacy_field)
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(data))
+        loaded = load_artifact(path)
+        assert loaded.spec == spec
+        assert loaded.fit is None and loaded.series == {4: 8}

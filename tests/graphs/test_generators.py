@@ -142,6 +142,29 @@ class TestGadgetFamilies:
         with pytest.raises(ValueError):
             union_of_cycles_with_apex([2])
 
+    @pytest.mark.parametrize("cycles", [1, 2, 5])
+    def test_union_of_cycles_family_spec_resolves(self, cycles):
+        """``union-of-cycles:K`` builds K triangles plus the apex."""
+        from repro.graphs.generators import GRAPH_FAMILIES, build_graph_spec
+
+        assert "union-of-cycles" in GRAPH_FAMILIES
+        graph = build_graph_spec(f"union-of-cycles:{cycles}")
+        assert graph.number_of_nodes() == 3 * cycles + 1
+        assert nx.is_connected(graph)
+        rest = graph.copy()
+        rest.remove_node(0)
+        assert all(rest.degree(v) == 2 for v in rest.nodes())
+        if cycles >= 2:
+            assert nx.diameter(graph) == 4  # the radius-ablation no-family
+
+    def test_union_of_cycles_family_deterministic(self):
+        """The family ignores the seed — same spec, same graph."""
+        from repro.graphs.generators import build_graph_spec
+
+        first = build_graph_spec("union-of-cycles:4", seed=1)
+        second = build_graph_spec("union-of-cycles:4", seed=2)
+        assert sorted(first.edges()) == sorted(second.edges())
+
     def test_all_connected_graphs_count_n3(self):
         graphs = list(all_connected_graphs(3))
         # Connected labelled graphs on 3 vertices: 4 (path ×3 labellings + triangle).

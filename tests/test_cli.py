@@ -22,6 +22,7 @@ class TestBuildGraph:
             ("random-tree:9", 9),
             ("grid:3", 9),
             ("triangle-chain:3", 7),
+            ("union-of-cycles:3", 10),
         ],
     )
     def test_families(self, spec, nodes):
@@ -212,3 +213,128 @@ class TestSweepCommand:
     def test_sweep_unknown_family_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--scheme", "tree", "--family", "nebula", "--sizes", "4"])
+
+    def test_sweep_bad_shard_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scheme", "tree", "--family", "path", "--sizes", "4",
+                  "--shard", "2"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scheme", "tree", "--family", "path", "--sizes", "4,8",
+                  "--shard", "3/2"])
+
+    def test_sweep_measure_size_flag(self, tmp_path):
+        artifact = tmp_path / "size.json"
+        assert main(
+            ["sweep", "--scheme", "treewidth", "--param", "k=1", "--family", "path",
+             "--sizes", "8,16", "--measure", "size", "--no-bound-check",
+             "--output", str(artifact)]
+        ) == 0
+        data = json.loads(artifact.read_text())
+        assert data["spec"]["measure"] == "size"
+        assert all(point["completeness_ok"] is None for point in data["points"])
+
+
+class TestShardMergeResultsCommands:
+    def _run_shards(self, tmp_path):
+        base = ["sweep", "--scheme", "tree", "--family", "random-tree",
+                "--sizes", "4,8,12,16", "--trials", "3", "--name", "gate"]
+        assert main(base + ["--shard", "0/2", "--output", str(tmp_path / "p0.json")]) == 0
+        assert main(base + ["--shard", "1/2", "--output", str(tmp_path / "p1.json")]) == 0
+        assert main(base + ["--output", str(tmp_path / "sweep_full.json")]) == 0
+
+    def test_shard_merge_equals_full_run(self, tmp_path, capsys):
+        self._run_shards(tmp_path)
+        assert main(
+            ["merge", "--output", str(tmp_path / "merged.json"),
+             str(tmp_path / "p0.json"), str(tmp_path / "p1.json")]
+        ) == 0
+        full = json.loads((tmp_path / "sweep_full.json").read_text())
+        merged = json.loads((tmp_path / "merged.json").read_text())
+        for data in (full, merged):
+            for point in data["points"]:
+                point.pop("elapsed_s")
+        assert merged == full
+
+    def test_merge_incomplete_shards_fails_cleanly(self, tmp_path):
+        self._run_shards(tmp_path)
+        with pytest.raises(SystemExit, match="cover"):
+            main(["merge", "--output", str(tmp_path / "m.json"), str(tmp_path / "p0.json")])
+
+    def test_lower_bound_command_writes_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "lb.json"
+        assert main(
+            ["lower-bound", "--construction", "automorphism", "--sizes", "3,6",
+             "--output", str(artifact)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "dichotomy=True" in output
+        data = json.loads(artifact.read_text())
+        assert data["kind"] == "lower-bound"
+        assert data["all_ok"] is True
+
+    def test_lower_bound_unknown_construction_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lower-bound", "--construction", "quantum", "--sizes", "3"])
+
+    def test_results_gate_roundtrip_and_regression_exit_codes(self, tmp_path, capsys):
+        self._run_shards(tmp_path)
+        (tmp_path / "p0.json").unlink()  # partials are skipped anyway; tidy up
+        (tmp_path / "p1.json").unlink()
+        # Write the baseline, check against it: clean pass.
+        assert main(
+            ["results", "--dir", str(tmp_path), "--output", str(tmp_path / "EXP.md"),
+             "--write-baseline", str(tmp_path / "base")]
+        ) == 0
+        assert main(
+            ["results", "--dir", str(tmp_path), "--check", str(tmp_path / "base")]
+        ) == 0
+        assert "regression gate: OK" in capsys.readouterr().out
+        assert "| gate | sweep |" in (tmp_path / "EXP.md").read_text()
+        # Inject a +1-bit regression: measured now exceeds the baseline.
+        baseline = tmp_path / "base" / "baselines.json"
+        data = json.loads(baseline.read_text())
+        series = data["experiments"]["gate"]["series"]
+        smallest = sorted(series, key=int)[0]
+        series[smallest] -= 1
+        baseline.write_text(json.dumps(data))
+        assert main(
+            ["results", "--dir", str(tmp_path), "--check", str(tmp_path / "base")]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_results_empty_dir_is_a_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit, match="no experiment artifacts"):
+            main(["results", "--dir", str(tmp_path)])
+
+    def test_check_runs_against_previous_baseline_when_writing_too(self, tmp_path, capsys):
+        """--check with --write-baseline on the same path must diff against
+        the old baseline, not the one being written from this run."""
+        self._run_shards(tmp_path)
+        (tmp_path / "p0.json").unlink(), (tmp_path / "p1.json").unlink()
+        both = ["results", "--dir", str(tmp_path),
+                "--check", str(tmp_path / "base"), "--write-baseline", str(tmp_path / "base")]
+        assert main(["results", "--dir", str(tmp_path),
+                     "--write-baseline", str(tmp_path / "base")]) == 0
+        baseline = tmp_path / "base" / "baselines.json"
+        data = json.loads(baseline.read_text())
+        series = data["experiments"]["gate"]["series"]
+        smallest = sorted(series, key=int)[0]
+        series[smallest] -= 1  # the previous baseline was stricter
+        baseline.write_text(json.dumps(data))
+        assert main(both) == 1  # regression detected against the OLD baseline
+        assert "REGRESSION" in capsys.readouterr().out
+        # ... and the baseline was refreshed afterwards, so a re-check passes.
+        assert main(["results", "--dir", str(tmp_path), "--check", str(tmp_path / "base")]) == 0
+
+    def test_merge_exit_code_reflects_bound_violation(self, tmp_path):
+        """Merging shards of a bound-violating sweep fails like the sweep would."""
+        base = ["sweep", "--scheme", "treewidth", "--param", "k=1", "--family", "path",
+                "--sizes", "16,512", "--measure", "size", "--name", "viol"]
+        # Each single-point shard is within the band on its own (spread 1);
+        # only the merged series exposes the violation — and merge fails.
+        assert main(base + ["--shard", "0/2", "--output", str(tmp_path / "v0.json")]) == 0
+        assert main(base + ["--shard", "1/2", "--output", str(tmp_path / "v1.json")]) == 0
+        assert main(
+            ["merge", "--output", str(tmp_path / "v.json"),
+             str(tmp_path / "v0.json"), str(tmp_path / "v1.json")]
+        ) == 1
