@@ -1,0 +1,168 @@
+"""Service-mode benchmark: warm long-lived service vs cold per-request runs.
+
+The point of the service layer is that a compiled topology, a decided
+ground truth and a constructed scheme instance are paid for **once** and
+then amortised over every later request that touches the same instance.
+This benchmark measures exactly that split:
+
+* ``cold``    — every request is served the way a per-request process would:
+  a fresh :class:`CertificationService` and empty caches each time, so each
+  request re-decides ``holds()``, re-draws identifiers and re-compiles the
+  topology;
+* ``service`` — the same request stream through one long-lived service,
+  caches intact across requests;
+* ``batched`` — the same stream again, submitted in one
+  :meth:`~repro.service.core.CertificationService.submit_many` batch on the
+  bounded worker pool.
+
+Results (wall-clock seconds, requests/sec, speedups, end-of-run cache
+counters) are printed and written to ``BENCH_service.json``; the run exits
+non-zero if the warm service is not at least 3x faster than cold — the
+regression bar for the service layer.
+
+Usage::
+
+    python benchmarks/bench_service.py           # full measurement
+    python benchmarks/bench_service.py --quick   # CI smoke variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import clear_caches  # noqa: E402
+from repro.service.core import CertificationService  # noqa: E402
+from repro.service.messages import CertifyRequest, CertifyResponse  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: The regression bar: repeated same-topology requests through the service
+#: must beat cold per-request evaluation at least this much.
+REQUIRED_SPEEDUP = 3.0
+
+
+def request_stream(quick: bool) -> list:
+    """The repeated request mix: same instances asked for again and again.
+
+    ``treedepth`` on a union-of-cycles gadget forces the exponential exact
+    decision procedure and the optimal elimination-tree search (the
+    expensive, cacheable ground truth the service exists for); the tree and
+    bipartite requests exercise topology compilation and the adversarial
+    no-instance path.
+    """
+    rounds = 4 if quick else 12
+    gadget = "union-of-cycles:4" if quick else "union-of-cycles:5"
+    base = [
+        CertifyRequest(scheme="treedepth", params={"t": 4}, graph=gadget),
+        CertifyRequest(scheme="tree", graph="random-tree:48"),
+        CertifyRequest(scheme="bipartite", graph="cycle:49"),  # odd: no-instance
+    ]
+    return base * rounds
+
+
+def _check(responses: list) -> None:
+    for response in responses:
+        assert isinstance(response, CertifyResponse), response
+        assert response.verdict_ok and response.sound is not False, response
+
+
+def bench_cold(requests: list) -> float:
+    """Every request on a fresh service with empty caches (per-request mode)."""
+    started = time.perf_counter()
+    responses = []
+    for request in requests:
+        clear_caches()
+        with CertificationService() as service:
+            responses.append(service.certify(request))
+    elapsed = time.perf_counter() - started
+    _check(responses)
+    return elapsed
+
+
+def bench_service(requests: list) -> tuple:
+    """The same stream through one long-lived service (caches shared)."""
+    clear_caches()
+    service = CertificationService()
+    started = time.perf_counter()
+    responses = [service.certify(request) for request in requests]
+    elapsed = time.perf_counter() - started
+    _check(responses)
+    stats = service.stats()
+    service.close()
+    return elapsed, stats
+
+
+def bench_batched(requests: list) -> float:
+    """The same stream as one submit_many batch on the worker pool."""
+    clear_caches()
+    with CertificationService() as service:
+        started = time.perf_counter()
+        responses = service.submit_many(requests)
+        elapsed = time.perf_counter() - started
+    _check(responses)
+    return elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_PATH,
+        help=f"where to write the JSON report (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    requests = request_stream(args.quick)
+    cold_s = bench_cold(requests)
+    service_s, stats = bench_service(requests)
+    batched_s = bench_batched(requests)
+
+    count = len(requests)
+    report = {
+        "benchmark": "service_mode",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "requests": count,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "cold_s": cold_s,
+        "service_s": service_s,
+        "batched_s": batched_s,
+        "cold_requests_per_s": count / cold_s if cold_s else float("inf"),
+        "service_requests_per_s": count / service_s if service_s else float("inf"),
+        "speedup_service_vs_cold": cold_s / service_s if service_s else float("inf"),
+        "speedup_batched_vs_cold": cold_s / batched_s if batched_s else float("inf"),
+        "service_cache_stats": stats["caches_since_start"],
+    }
+
+    print("\n[service mode: warm service vs cold per-request evaluation]")
+    print(f"  requests    {count}")
+    print(f"  cold        {cold_s:8.3f}s   ({report['cold_requests_per_s']:8.1f} req/s)")
+    print(f"  service     {service_s:8.3f}s   ({report['service_requests_per_s']:8.1f} req/s)"
+          f"   speedup {report['speedup_service_vs_cold']:6.2f}x")
+    print(f"  batched     {batched_s:8.3f}s   speedup {report['speedup_batched_vs_cold']:6.2f}x")
+    for name, counters in sorted(report["service_cache_stats"].items()):
+        print(f"  cache {name:<16} hits {counters['hits']:>5}  misses {counters['misses']:>5}")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # Quick mode is a smoke run on noisy CI hardware: require only that the
+    # warm service wins at all; the full run enforces the 3x bar.
+    required = 1.0 if args.quick else REQUIRED_SPEEDUP
+    if report["speedup_service_vs_cold"] < required:
+        print(f"FAIL: service speedup {report['speedup_service_vs_cold']:.2f}x "
+              f"< required {required:.1f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

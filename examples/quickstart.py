@@ -6,29 +6,32 @@ Run with::
 
 The script walks through the basic workflow of the library:
 
-1. build a graph (here: the 7-vertex path from Figure 1 of the paper);
-2. pick a certification scheme **from the registry** — every scheme in the
-   repo registers in :mod:`repro.registry`, so ``registry.create(key,
-   params)`` is the one way to build any of them (and new schemes show up
-   in this tour for free);
-3. let the honest prover assign certificates;
-4. run the radius-1 distributed verifier at every node;
-5. look at the sizes, and at what happens on a no-instance;
-6. run a declarative *sweep*: a whole certificate-size series measured
+1. ask the **stable facade** :mod:`repro.api` for a verdict — one call
+   builds the graph, creates the scheme from the registry, runs the honest
+   prover and the radius-1 distributed verifier, and returns a typed
+   response (no internals touched);
+2. look at the sizes, at what happens on a no-instance, and at how
+   expected failures come back as structured errors with machine-readable
+   codes instead of tracebacks;
+3. peek under the hood once (identifiers, raw certificates) via the
+   ``include_certificates`` knob;
+4. run a declarative *sweep*: a whole certificate-size series measured
    through the scheme registry, checked against the scheme's asymptotic
    bound **and** fitted for its measured growth exponent, in a handful of
    lines (the same machinery behind ``python -m repro.cli sweep``).
+
+Because every ``api`` call routes through one long-lived certification
+service, repeated questions about the same instance reuse the compiled
+topology and the decided ground truth — see ``service_quickstart.py`` for
+the batched/wire-protocol side of that service.
 """
 
 from __future__ import annotations
 
 import networkx as nx
 
-from repro import registry
-from repro.core.scheme import evaluate_scheme
+from repro import api, registry
 from repro.experiments import SweepSpec, run_sweep
-from repro.network.ids import assign_identifiers
-from repro.network.simulator import NetworkSimulator
 
 
 def main() -> None:
@@ -41,37 +44,44 @@ def main() -> None:
         print(f"  {info.key:<12} {info.bound.label:<10} [{info.paper}]")
 
     # --- a yes-instance -----------------------------------------------------
-    path = nx.path_graph(7)  # treedepth 3 (Figure 1 of the paper)
-    scheme = registry.create("treedepth", {"t": 3})
-
-    report = evaluate_scheme(scheme, path, seed=42)
+    # One facade call: graph spec in, typed verdict out.
+    verdict = api.certify("treedepth", "path:7", params={"t": 3}, seed=42)
     print("\nP7, scheme 'treedepth <= 3'")
-    print(f"  property holds:        {report.holds}")
-    print(f"  honest proof accepted: {report.completeness_ok}")
-    print(f"  max certificate size:  {report.max_certificate_bits} bits per vertex")
+    print(f"  property holds:        {verdict.holds}")
+    print(f"  honest proof accepted: {verdict.accepted}")
+    print(f"  max certificate size:  {verdict.max_certificate_bits} bits per vertex")
 
     # --- looking under the hood ---------------------------------------------
-    ids = assign_identifiers(path, seed=42)
-    certificates = scheme.prove(path, ids)
+    # ``include_certificates`` returns the raw per-vertex certificates the
+    # honest prover assigned (vertex id and hex bytes).
+    detailed = api.certify(
+        "treedepth", nx.path_graph(7), params={"t": 3}, seed=42,
+        include_certificates=True,
+    )
     print("\nper-vertex certificates (bytes):")
-    for vertex in sorted(path.nodes()):
-        print(f"  vertex {vertex} (id {ids[vertex]:>3}): {len(certificates[vertex])} bytes")
-
-    simulator = NetworkSimulator(path, identifiers=ids)
-    outcome = simulator.run(scheme.verify, certificates)
-    print(f"\ndistributed verification: accepted={outcome.accepted}")
+    for vertex_repr in sorted(detailed.certificates, key=int):
+        entry = detailed.certificates[vertex_repr]
+        print(f"  vertex {vertex_repr} (id {entry['id']:>3}): "
+              f"{len(entry['hex']) // 2} bytes")
 
     # --- a no-instance -------------------------------------------------------
-    long_path = nx.path_graph(8)  # treedepth 4 > 3
-    report = evaluate_scheme(scheme, long_path, seed=42)
+    verdict = api.certify("treedepth", "path:8", params={"t": 3}, seed=42)
     print("\nP8, scheme 'treedepth <= 3'")
-    print(f"  property holds:                      {report.holds}")
-    print(f"  adversarial assignments all rejected: {report.soundness_ok}")
+    print(f"  property holds:                      {verdict.holds}")
+    print(f"  adversarial assignments all rejected: {verdict.sound}")
+
+    # --- structured errors ---------------------------------------------------
+    # Expected failures are data: a machine-readable code plus the message.
+    try:
+        api.certify("treedepht", "path:7")
+    except api.ServiceError as error:
+        print(f"\ntypo'd scheme -> [{error.response.code}]")
+        print(f"  {error.response.message.splitlines()[0][:72]}...")
 
     # --- a second scheme: acyclicity ----------------------------------------
-    tree_report = evaluate_scheme(registry.create("tree"), path, seed=1)
+    tree_verdict = api.certify("tree", "path:7", seed=1)
     print("\nP7, scheme 'the graph is a tree'")
-    print(f"  accepted with {tree_report.max_certificate_bits} bits per vertex")
+    print(f"  accepted with {tree_verdict.max_certificate_bits} bits per vertex")
 
     # --- running sweeps ------------------------------------------------------
     # A SweepSpec measures a whole size series through the registry (run

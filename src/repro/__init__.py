@@ -6,21 +6,36 @@ rest on: FO/MSO logic and model checking, Ehrenfeucht–Fraïssé games, tree
 automata, treedepth and elimination trees, the k-reduction kernel, and the
 communication-complexity lower-bound constructions.
 
-Quick start::
+Quick start — the stable facade is :mod:`repro.api`::
 
-    import networkx as nx
-    from repro.core import TreedepthScheme
+    from repro import api
 
-    graph = nx.path_graph(7)          # treedepth 3
-    scheme = TreedepthScheme(t=3)
-    report = scheme.certify(graph)
-    assert report.completeness_ok
-    print(report.max_certificate_bits, "bits per vertex")
+    verdict = api.certify("treedepth", "path:7", params={"t": 3})
+    assert verdict.holds and verdict.accepted
+    print(verdict.max_certificate_bits, "bits per vertex")
+
+The facade routes through a long-lived
+:class:`~repro.service.CertificationService`, so repeated calls reuse
+compiled topologies and ground-truth decisions; the same service speaks a
+JSON-lines wire protocol via ``python -m repro.cli serve`` (see
+:mod:`repro.service`).  Scheme classes remain importable from
+:mod:`repro.core` for callers that want the lower layers.
 
 See the ``examples/`` directory for end-to-end scenarios and ``benchmarks/``
 for the per-theorem experiments.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "api"]
+
+
+def __getattr__(name: str):
+    # ``repro.api`` imports the service layer (and with it the registry and
+    # every scheme module); load it on first touch so ``import repro`` stays
+    # cheap for tooling that only wants the version.
+    if name == "api":
+        import importlib
+
+        return importlib.import_module("repro.api")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

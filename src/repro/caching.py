@@ -93,6 +93,25 @@ def cache_stats() -> dict:
     }
 
 
+def cache_stats_since(baseline: dict) -> dict:
+    """Hit/miss deltas of every registered cache against a prior snapshot.
+
+    ``baseline`` is a previous :func:`cache_stats` result; caches registered
+    after the snapshot count from zero.  Long-lived services expose these
+    deltas so "did the second request hit the cache?" is a counter read, not
+    a guess.
+    """
+    current = cache_stats()
+    return {
+        name: {
+            "hits": counters["hits"] - baseline.get(name, {}).get("hits", 0),
+            "misses": counters["misses"] - baseline.get(name, {}).get("misses", 0),
+            "size": counters["size"],
+        }
+        for name, counters in current.items()
+    }
+
+
 def graph_fingerprint(graph: nx.Graph) -> GraphFingerprint:
     """An exact, hashable structural key for a graph.
 

@@ -20,6 +20,32 @@ whether the honest proof was accepted by the radius-1 verifier, and the
 maximum certificate size in bits — the quantity the paper is about; with
 ``--json`` the same result is printed machine-readable.
 
+``certify`` is a thin shell over the long-lived certification service of
+:mod:`repro.service`: the request becomes a typed
+:class:`~repro.service.messages.CertifyRequest`, the verdict is the typed
+response's canonical JSON payload, and expected failures (unknown scheme,
+bad parameter, unresolvable graph, an undecidable ground truth) exit with a
+structured message instead of a traceback.
+
+Serving certification
+---------------------
+
+``serve`` keeps that service resident and speaks its JSON-lines wire
+protocol — one request object per line in, one response per line out, with
+compiled topologies, ground-truth decisions and scheme instances cached
+across requests::
+
+    printf '%s\\n' \\
+      '{"op":"certify","scheme":"treedepth","params":{"t":3},"graph":"path:7"}' \\
+      '{"op":"stats"}' '{"op":"shutdown"}' | python -m repro.cli serve
+
+    python -m repro.cli serve --tcp 127.0.0.1:8765   # localhost TCP mode
+
+The ``certify`` subcommand and the ``serve`` protocol share one code path,
+so ``certify --json`` and a wire ``certify`` request produce byte-identical
+verdicts.  Talk to a server programmatically with
+:class:`repro.service.ServiceClient` (see ``examples/service_quickstart.py``).
+
 Running sweeps
 --------------
 
@@ -74,14 +100,13 @@ series shrank (the regression gate CI runs)::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
 import networkx as nx
 
-from repro.core.scheme import evaluate_scheme
+from repro import api
 from repro.experiments import (
     LowerBoundSpec,
     SweepSpec,
@@ -103,6 +128,9 @@ from repro.graphs.generators import (
     build_graph_spec,
 )
 from repro.registry import REGISTRY, RegistryError
+from repro.service.core import CertificationService
+from repro.service.messages import CertifyRequest, ErrorResponse
+from repro.service.protocol import serve_stdio, serve_tcp
 
 
 def build_graph(spec: str, seed: int = 0) -> nx.Graph:
@@ -141,14 +169,6 @@ def parse_params(entries: Optional[List[str]], scheme: str) -> Dict[str, str]:
     return params
 
 
-def _create_scheme(args: argparse.Namespace):
-    try:
-        info = REGISTRY.get(args.scheme)
-        return info, info.create(parse_params(args.param, args.scheme))
-    except RegistryError as error:
-        raise SystemExit(f"error: {error}") from error
-
-
 def cmd_list(_: argparse.Namespace) -> int:
     print(f"available schemes (--scheme), {len(REGISTRY)} registered:")
     for info in REGISTRY:
@@ -176,60 +196,86 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_certify(args: argparse.Namespace) -> int:
-    info, scheme = _create_scheme(args)
-    graph = build_graph(args.graph, seed=args.seed)
-    report = evaluate_scheme(
-        scheme,
-        graph,
+def certify_request(args: argparse.Namespace) -> CertifyRequest:
+    """The typed service request a ``certify`` invocation describes.
+
+    Parameter-shorthand errors and unknown schemes exit here with a clean
+    message (the registry's close-match suggestions included).
+    """
+    try:
+        params = parse_params(args.param, args.scheme)
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
+    return CertifyRequest(
+        scheme=args.scheme,
+        graph=args.graph,
+        params=params,
         seed=args.seed,
-        adversarial_trials=args.trials,
+        trials=args.trials,
         engine=args.engine,
+        include_certificates=args.verbose,
     )
-    failed = bool(report.holds and not report.completeness_ok)
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    """One service call: the same request/verdict path ``serve`` speaks.
+
+    Expected failures (bad parameter, unresolvable graph, an undecidable
+    ground truth) arrive as structured error responses and exit non-zero
+    with their message — never a traceback.
+    """
+    response = api.respond(certify_request(args))
+    if isinstance(response, ErrorResponse):
+        raise SystemExit(f"error: {response.message}")
+    failed = not response.verdict_ok
     if args.json:
-        payload = {
-            "scheme": scheme.name,
-            "registry_key": info.key,
-            "graph": args.graph,
-            "vertices": graph.number_of_nodes(),
-            "edges": graph.number_of_edges(),
-            "holds": report.holds,
-            "accepted": report.completeness_ok,
-            "sound": report.soundness_ok,
-            "max_certificate_bits": report.max_certificate_bits,
-            "bound": info.bound.label,
-            "engine": args.engine,
-            "seed": args.seed,
-        }
-        if args.verbose and report.holds:
-            from repro.network.ids import assign_identifiers
-
-            ids = assign_identifiers(graph, seed=args.seed)
-            payload["certificates"] = {
-                repr(vertex): {"id": ids[vertex], "hex": certificate.hex()}
-                for vertex, certificate in scheme.prove(graph, ids).items()
-            }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(response.to_json(indent=2))
         return 1 if failed else 0
-    print(f"scheme:     {scheme.name}")
-    print(f"graph:      {args.graph} ({graph.number_of_nodes()} vertices, "
-          f"{graph.number_of_edges()} edges)")
-    print(f"holds:      {report.holds}")
-    if report.holds:
-        print(f"accepted:   {report.completeness_ok}")
-        print(f"size:       {report.max_certificate_bits} bits per vertex (max)")
+    print(f"scheme:     {response.scheme}")
+    print(f"graph:      {response.graph} ({response.vertices} vertices, "
+          f"{response.edges} edges)")
+    print(f"holds:      {response.holds}")
+    if response.holds:
+        print(f"accepted:   {response.accepted}")
+        print(f"size:       {response.max_certificate_bits} bits per vertex (max)")
     else:
-        print(f"sound (sampled adversaries all rejected): {report.soundness_ok}")
-    if args.verbose and report.holds:
-        from repro.network.ids import assign_identifiers
-
-        ids = assign_identifiers(graph, seed=args.seed)
-        certificates = scheme.prove(graph, ids)
+        print(f"sound (sampled adversaries all rejected): {response.sound}")
+    if response.certificates is not None:
         print("\nper-vertex certificates:")
-        for vertex in sorted(graph.nodes(), key=repr):
-            print(f"  {vertex!r:>10} id={ids[vertex]:<8} {certificates[vertex].hex() or '(empty)'}")
+        for vertex_repr in sorted(response.certificates):
+            entry = response.certificates[vertex_repr]
+            print(f"  {vertex_repr:>10} id={entry['id']:<8} {entry['hex'] or '(empty)'}")
     return 1 if failed else 0
+
+
+def parse_tcp_address(raw: str) -> tuple:
+    """Parse ``--tcp [HOST:]PORT`` (host defaults to localhost)."""
+    host, colon, port = raw.rpartition(":")
+    if not colon:
+        host, port = "127.0.0.1", raw
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"--tcp must look like PORT or HOST:PORT, got {raw!r}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived certification service on the wire protocol.
+
+    stdio mode (default) answers JSON-lines requests on stdin until EOF or
+    a ``{"op": "shutdown"}`` request; ``--tcp [HOST:]PORT`` serves the same
+    protocol on a localhost socket (port 0 picks a free port, announced on
+    stderr) until a client sends shutdown.
+    """
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be at least 1")
+    with CertificationService(workers=args.workers) as service:
+        if args.tcp is not None:
+            host, port = parse_tcp_address(args.tcp)
+            serve_tcp(service, host=host, port=port, announce=sys.stderr)
+        else:
+            serve_stdio(service, sys.stdin, sys.stdout)
+    return 0
 
 
 def parse_sizes(raw: str) -> tuple:
@@ -595,6 +641,24 @@ def main(argv: Optional[list] = None) -> int:
     )
     lower_bound.add_argument("--shard", default=None, metavar="I/K", help="as for sweep")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived certification service (JSON-lines protocol)",
+    )
+    serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve on a localhost TCP socket instead of stdio "
+        "(port 0 picks a free port, announced on stderr)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="width of the bounded worker pool behind batched submission",
+    )
+
     merge = subparsers.add_parser(
         "merge", help="stitch the partial artifacts of a sharded run back together"
     )
@@ -634,6 +698,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_sweep(args)
     if args.command == "lower-bound":
         return cmd_lower_bound(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "merge":
         return cmd_merge(args)
     if args.command == "results":

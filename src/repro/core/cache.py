@@ -22,6 +22,7 @@ import networkx as nx
 from repro.caching import (
     LRUCache,
     cache_stats,
+    cache_stats_since,
     clear_caches,
     graph_fingerprint,
     memoize_on_graph,
@@ -32,6 +33,7 @@ from repro.network.ids import IdentifierAssignment, assign_identifiers
 
 __all__ = [
     "cache_stats",
+    "cache_stats_since",
     "cached_compiled_network",
     "cached_evaluation_identifiers",
     "cached_holds",

@@ -35,6 +35,7 @@ Example::
 
 from __future__ import annotations
 
+import difflib
 import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Type
@@ -242,8 +243,11 @@ class SchemeRegistry:
         try:
             return self._entries[key]
         except KeyError:
+            suggestions = difflib.get_close_matches(key, self.names(), n=3, cutoff=0.5)
+            hint = f"did you mean {', '.join(map(repr, suggestions))}? " if suggestions else ""
             raise RegistryError(
-                f"unknown scheme {key!r}; known schemes: {', '.join(self.names())}"
+                f"unknown scheme {key!r}; {hint}"
+                f"known schemes: {', '.join(self.names())}"
             ) from None
 
     def create(

@@ -1,0 +1,59 @@
+"""Certification as a service: the long-lived batched service layer.
+
+The paper's model — a prover assigns certificates once, verifiers re-check
+locally forever — maps onto a service that compiles a topology once and then
+answers many verification requests against it.  This package is that
+service:
+
+* :mod:`repro.service.messages` — typed request/response dataclasses
+  (:class:`CertifyRequest`, :class:`SweepRequest`, :class:`CertifyResponse`,
+  :class:`SweepResponse`) and the structured :class:`ErrorResponse` that
+  maps ``NotAYesInstance`` / ``ValueError`` / parameter-validation failures
+  to machine-readable error codes instead of tracebacks;
+* :mod:`repro.service.core` — :class:`CertificationService`, the long-lived
+  object that owns the LRU caches (compiled topologies, ``holds()`` ground
+  truth, identifier assignments, decompositions, scheme instances) so they
+  are reused *across* requests, with a bounded worker pool and batched
+  submission (:meth:`CertificationService.submit_many`);
+* :mod:`repro.service.protocol` — the JSON-lines wire protocol behind
+  ``python -m repro.cli serve`` (stdio and localhost TCP modes);
+* :mod:`repro.service.client` — :class:`ServiceClient`, a thin client for
+  both transports.
+
+Callers that just want a verdict should go through the :mod:`repro.api`
+facade instead of instantiating these pieces directly.
+"""
+
+from repro.service.core import CertificationService
+from repro.service.client import ServiceClient
+from repro.service.messages import (
+    ERROR_CODES,
+    CertifyRequest,
+    CertifyResponse,
+    ErrorResponse,
+    Request,
+    Response,
+    StatsRequest,
+    StatsResponse,
+    SweepRequest,
+    SweepResponse,
+    request_from_dict,
+    response_from_dict,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "CertificationService",
+    "CertifyRequest",
+    "CertifyResponse",
+    "ErrorResponse",
+    "Request",
+    "Response",
+    "ServiceClient",
+    "StatsRequest",
+    "StatsResponse",
+    "SweepRequest",
+    "SweepResponse",
+    "request_from_dict",
+    "response_from_dict",
+]

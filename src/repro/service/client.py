@@ -1,0 +1,214 @@
+"""A thin client for the certification service's wire protocol.
+
+:class:`ServiceClient` speaks the JSON-lines protocol of
+:mod:`repro.service.protocol` over either transport:
+
+* :meth:`ServiceClient.connect` — a localhost TCP connection to a running
+  ``python -m repro.cli serve --tcp HOST:PORT`` process (retries briefly so
+  "start the server in the background, then connect" needs no sleep);
+* :meth:`ServiceClient.stdio` — spawn ``python -m repro.cli serve`` as a
+  child process and talk over its pipes (no network at all).
+
+Methods mirror the request types and return the typed responses of
+:mod:`repro.service.messages`; an error from the server comes back as an
+:class:`ErrorResponse` value, never an exception — only transport failures
+(connection refused, server died, protocol garbage) raise.
+
+Example::
+
+    with ServiceClient.stdio() as client:
+        verdict = client.certify(scheme="treedepth", params={"t": 3}, graph="path:7")
+        assert verdict.ok and verdict.accepted
+        print(client.stats().result["caches_since_start"])
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from typing import IO, Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.service.messages import (
+    CertifyRequest,
+    CertifyResponse,
+    ErrorResponse,
+    Request,
+    Response,
+    StatsRequest,
+    StatsResponse,
+    SweepRequest,
+    SweepResponse,
+    response_from_dict,
+)
+from repro.service.protocol import SHUTDOWN_OP, connect, encode_line
+
+
+class ServiceTransportError(ConnectionError):
+    """The conversation itself broke: no connection, EOF mid-request, garbage."""
+
+
+class ServiceClient:
+    """One conversation with a serve process, over pipes or a socket."""
+
+    def __init__(
+        self,
+        reader: IO[str],
+        writer: IO[str],
+        process: Optional[subprocess.Popen] = None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._process = process
+        self._closed = False
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def connect(
+        cls, host: str = "127.0.0.1", port: int = 8765, retries: int = 50,
+        retry_delay: float = 0.1, read_timeout: Optional[float] = None,
+    ) -> "ServiceClient":
+        """Connect to a TCP serve process, retrying while it starts up.
+
+        ``read_timeout`` optionally bounds each response wait; by default
+        reads block indefinitely, matching the stdio transport (requests
+        may legitimately take minutes of server-side compute).
+        """
+        last_error: Optional[Exception] = None
+        for _ in range(max(1, retries)):
+            try:
+                sock = connect(host, port, read_timeout=read_timeout)
+                break
+            except OSError as error:
+                last_error = error
+                time.sleep(retry_delay)
+        else:
+            raise ServiceTransportError(
+                f"could not connect to {host}:{port}: {last_error}"
+            ) from last_error
+        stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        return cls(reader=stream, writer=stream)
+
+    @classmethod
+    def stdio(cls, command: Optional[Sequence[str]] = None) -> "ServiceClient":
+        """Spawn a serve child process and talk over its stdin/stdout."""
+        command = list(command or (sys.executable, "-m", "repro.cli", "serve"))
+        process = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,  # line-buffered: one request line, one response line
+        )
+        assert process.stdin is not None and process.stdout is not None
+        return cls(reader=process.stdout, writer=process.stdin, process=process)
+
+    # -- the conversation ----------------------------------------------------
+
+    def _roundtrip(self, data: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise ServiceTransportError("the client is closed")
+        try:
+            self._writer.write(encode_line(data))
+            self._writer.flush()
+            line = self._reader.readline()
+        except (OSError, ValueError) as error:
+            raise ServiceTransportError(f"transport failed: {error}") from error
+        if not line:
+            raise ServiceTransportError("the server closed the connection")
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServiceTransportError(f"unparseable response line: {line!r}") from error
+        return payload
+
+    def request(self, request: Request) -> Response:
+        """Send any typed request and return the typed response."""
+        return response_from_dict(self._roundtrip(request.to_dict()))
+
+    def certify(
+        self,
+        scheme: str,
+        graph: str,
+        params: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        trials: int = 20,
+        engine: str = "compiled",
+        include_certificates: bool = False,
+    ) -> Union[CertifyResponse, ErrorResponse]:
+        return self.request(
+            CertifyRequest(
+                scheme=scheme,
+                graph=graph,
+                params=dict(params or {}),
+                seed=seed,
+                trials=trials,
+                engine=engine,
+                include_certificates=include_certificates,
+            )
+        )
+
+    def sweep(
+        self,
+        scheme: str,
+        family: str,
+        sizes: Sequence[int],
+        params: Optional[Mapping[str, Any]] = None,
+        trials: int = 20,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> Union[SweepResponse, ErrorResponse]:
+        return self.request(
+            SweepRequest(
+                scheme=scheme,
+                family=family,
+                sizes=tuple(sizes),
+                params=dict(params or {}),
+                trials=trials,
+                seed=seed,
+                **kwargs,
+            )
+        )
+
+    def stats(self) -> Union[StatsResponse, ErrorResponse]:
+        return self.request(StatsRequest())
+
+    def shutdown(self) -> bool:
+        """Ask the server to stop; True when it acknowledged."""
+        payload = self._roundtrip({"op": SHUTDOWN_OP})
+        return bool(payload.get("ok")) and payload.get("op") == SHUTDOWN_OP
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the transport (and reap the child process, if we spawned one)."""
+        if self._closed:
+            return
+        self._closed = True
+        for stream in {self._writer, self._reader}:
+            try:
+                stream.close()
+            except OSError:
+                pass
+        if self._process is not None:
+            try:
+                self._process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+                self._process.kill()
+                self._process.wait()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        # End a piped session politely so the child exits by itself; a TCP
+        # session just disconnects (shutting the shared server down is the
+        # owner's call, not every client's).
+        if self._process is not None and not self._closed:
+            try:
+                self.shutdown()
+            except ServiceTransportError:
+                pass
+        self.close()

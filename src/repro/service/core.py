@@ -1,0 +1,346 @@
+"""The long-lived certification service.
+
+A :class:`CertificationService` is the compile-once split of PR 1 turned
+into a resident process component: it owns the LRU caches (compiled
+topologies, ``holds()`` ground truth, identifier assignments, treedepth /
+treewidth decompositions — see :mod:`repro.caching` and
+:mod:`repro.core.cache`) plus a cache of scheme *instances*, so the second
+request for the same ``(graph, seed)`` re-verifies against an
+already-compiled topology and an already-decided ground truth instead of
+recomputing either.  Scheme instances must be cached here because the
+``holds`` cache keys on scheme identity: a service that rebuilt the scheme
+per request would never hit it.
+
+Requests come in as the typed messages of :mod:`repro.service.messages` and
+always come back as typed responses — every expected failure
+(unknown scheme, bad parameter, unresolvable graph, no-instance handed to
+the prover, a ground truth that raises) is an :class:`ErrorResponse` with a
+machine-readable code, never a traceback.
+
+Concurrency: a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+backs :meth:`submit` / :meth:`submit_many`.  The underlying caches are
+thread-safe, and the per-request evaluation rides the engine's own batched
+early-exit entry points (``run_many`` / ``any_accepted`` inside
+:func:`~repro.core.scheme.evaluate_scheme`); :meth:`submit_many` adds
+batch-level early exit on top — ``stop_on_failure`` cancels everything
+queued behind the first failed verdict.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+import networkx as nx
+
+from repro.caching import LRUCache, cache_stats, cache_stats_since
+from repro.core.cache import cached_evaluation_identifiers
+from repro.core.scheme import NotAYesInstance, evaluate_scheme
+from repro.experiments import SweepSpec, run_sweep
+from repro.graphs.generators import GraphSpecError, build_graph_spec
+from repro.registry import REGISTRY, RegistryError, SchemeInfo
+from repro.service.messages import (
+    CertifyRequest,
+    CertifyResponse,
+    ErrorResponse,
+    Request,
+    Response,
+    StatsRequest,
+    StatsResponse,
+    SweepRequest,
+    SweepResponse,
+)
+
+_ENGINES = ("compiled", "legacy")
+
+#: Default worker-pool width; deliberately small — the workload is CPU-bound.
+DEFAULT_WORKERS = 4
+
+
+class CertificationService:
+    """One facade, many schemes: a resident prover/verifier answering requests.
+
+    Parameters
+    ----------
+    workers:
+        Width of the bounded worker pool behind :meth:`submit` /
+        :meth:`submit_many` (synchronous :meth:`certify` / :meth:`sweep`
+        calls never touch the pool).
+    scheme_cache_size:
+        How many scheme instances to keep alive, keyed by
+        ``(registry key, resolved params)``.
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS, scheme_cache_size: int = 128) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._schemes = LRUCache(maxsize=scheme_cache_size)
+        self._counter_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "certify": 0,
+            "sweep": 0,
+            "stats": 0,
+            "errors": 0,
+            "batches": 0,
+        }
+        self._cache_baseline = cache_stats()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down; synchronous calls keep working."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "CertificationService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("the service is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="certify"
+                )
+            return self._pool
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        with self._counter_lock:
+            self._counters[kind] = self._counters.get(kind, 0) + 1
+
+    def stats(self) -> Dict[str, Any]:
+        """Request counters plus per-cache hit/miss/size statistics.
+
+        ``caches_since_start`` is the delta against the counters observed
+        when this service was constructed — the numbers a cache-reuse test
+        (or a dashboard) actually wants.
+        """
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "service": {"workers": self.workers, "requests": counters},
+            "schemes_cached": len(self._schemes),
+            "caches": cache_stats(),
+            "caches_since_start": cache_stats_since(self._cache_baseline),
+        }
+
+    # -- scheme instances ----------------------------------------------------
+
+    def _scheme(self, info: SchemeInfo, params: Dict[str, Any]):
+        key = (info.key, tuple(sorted(params.items(), key=repr)))
+        return self._schemes.get_or_compute(key, lambda: info.factory(**params))
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch any typed request; the wire protocol's single entry point."""
+        if isinstance(request, CertifyRequest):
+            return self.certify(request)
+        if isinstance(request, SweepRequest):
+            return self.sweep(request)
+        if isinstance(request, StatsRequest):
+            self._count("stats")
+            return StatsResponse(result=self.stats())
+        self._count("errors")
+        return ErrorResponse(
+            code="invalid-request",
+            message=f"unsupported request type {type(request).__name__}",
+        )
+
+    def certify(
+        self, request: CertifyRequest, *, graph: Optional[nx.Graph] = None
+    ) -> Union[CertifyResponse, ErrorResponse]:
+        """Answer one certification question.
+
+        ``graph`` lets in-process callers (the :mod:`repro.api` facade)
+        hand over an already-built :class:`networkx.Graph`; wire callers
+        always go through the ``family:size`` specifier in the request.
+        """
+
+        def fail(code: str, message: str) -> ErrorResponse:
+            self._count("errors")
+            return ErrorResponse(code=code, message=message, request_op=request.op)
+
+        try:
+            info = REGISTRY.get(request.scheme)
+        except RegistryError as error:
+            return fail("unknown-scheme", str(error))
+        except TypeError:
+            # e.g. an unhashable scheme value smuggled in over the wire.
+            return fail("invalid-request", f"scheme must be a string, got {request.scheme!r}")
+        try:
+            params = info.resolve_params(request.params)
+        except RegistryError as error:
+            return fail("invalid-param", str(error))
+        except TypeError:
+            return fail("invalid-request", f"params must be a mapping, got {request.params!r}")
+        if request.engine not in _ENGINES:
+            return fail(
+                "invalid-param",
+                f"unknown engine {request.engine!r}; use one of {_ENGINES}",
+            )
+        # Integer seeds are part of the contract: they are what makes the
+        # request deterministic and its caches reusable across callers.
+        for name, value in (("seed", request.seed), ("trials", request.trials)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                return fail("invalid-request", f"{name} must be an integer, got {value!r}")
+        if request.trials < 0:
+            return fail("invalid-param", "trials must be non-negative")
+        if graph is None:
+            try:
+                graph = build_graph_spec(request.graph, seed=request.seed)
+            except GraphSpecError as error:
+                return fail("invalid-graph", str(error))
+
+        try:
+            scheme = self._scheme(info, params)
+            report = evaluate_scheme(
+                scheme,
+                graph,
+                seed=request.seed,
+                adversarial_trials=request.trials,
+                engine=request.engine,
+            )
+            certificates = None
+            if request.include_certificates and report.holds:
+                ids = cached_evaluation_identifiers(graph, request.seed)
+                certificates = {
+                    repr(vertex): {"id": ids[vertex], "hex": certificate.hex()}
+                    for vertex, certificate in scheme.prove(graph, ids).items()
+                }
+        except NotAYesInstance as error:
+            return fail("not-a-yes-instance", str(error))
+        except ValueError as error:
+            # The exact decision procedures raise when the instance is out of
+            # their reach (e.g. treedepth on a long path without a model
+            # builder) and the structural checks raise on malformed graphs.
+            return fail("undecidable", str(error))
+        except Exception as error:  # noqa: BLE001 - the service must not crash
+            return fail("internal-error", f"{type(error).__name__}: {error}")
+
+        self._count("certify")
+        return CertifyResponse(
+            scheme=scheme.name,
+            registry_key=info.key,
+            graph=request.graph,
+            vertices=graph.number_of_nodes(),
+            edges=graph.number_of_edges(),
+            holds=report.holds,
+            accepted=report.completeness_ok,
+            sound=report.soundness_ok,
+            max_certificate_bits=report.max_certificate_bits,
+            bound=info.bound.label,
+            engine=request.engine,
+            seed=request.seed,
+            certificates=certificates,
+        )
+
+    def sweep(self, request: SweepRequest) -> Union[SweepResponse, ErrorResponse]:
+        """Run a whole declarative sweep as one request."""
+
+        def fail(code: str, message: str) -> ErrorResponse:
+            self._count("errors")
+            return ErrorResponse(code=code, message=message, request_op=request.op)
+
+        try:
+            spec = SweepSpec(
+                scheme=request.scheme,
+                family=request.family,
+                sizes=request.sizes,
+                params=request.params,
+                trials=request.trials,
+                seed=request.seed,
+                engine=request.engine,
+                check_bound=request.check_bound,
+                measure=request.measure,
+                name=request.name,
+            ).validate()
+        except RegistryError as error:
+            code = "unknown-scheme" if request.scheme not in REGISTRY else "invalid-param"
+            return fail(code, str(error))
+        try:
+            result = self.run_sweep_spec(spec)
+        except GraphSpecError as error:
+            return fail("invalid-graph", str(error))
+        except NotAYesInstance as error:
+            return fail("not-a-yes-instance", str(error))
+        except ValueError as error:
+            return fail("undecidable", str(error))
+        except Exception as error:  # noqa: BLE001
+            return fail("internal-error", f"{type(error).__name__}: {error}")
+        return SweepResponse(result=result.to_dict())
+
+    def run_sweep_spec(self, spec: SweepSpec):
+        """Execute a validated :class:`SweepSpec` inside this service.
+
+        The in-process path :mod:`benchmarks/_harness` and the wire ``sweep``
+        op share; it exists so every sweep a benchmark runs counts in
+        :meth:`stats` and reuses this service's warm caches.
+        """
+        result = run_sweep(spec)
+        self._count("sweep")
+        return result
+
+    # -- batched submission --------------------------------------------------
+
+    def submit(self, request: Request) -> "Future[Response]":
+        """Queue one request on the bounded worker pool."""
+        return self._executor().submit(self.handle, request)
+
+    def submit_many(
+        self,
+        requests: Iterable[Request],
+        stop_on_failure: bool = False,
+    ) -> List[Response]:
+        """Run a batch through the worker pool, preserving order.
+
+        With ``stop_on_failure`` the batch early-exits like the engine's
+        ``any_accepted``: after the first response that is an error or a
+        failed verdict, every request still waiting in the queue is
+        cancelled and answered with a ``skipped`` error instead of running.
+        """
+        self._count("batches")
+        batch: Sequence[Request] = list(requests)
+        futures = [self._executor().submit(self.handle, request) for request in batch]
+        responses: List[Response] = []
+        failed = False
+        for request, future in zip(batch, futures):
+            if failed and future.cancel():
+                responses.append(
+                    ErrorResponse(
+                        code="skipped",
+                        message="batch stopped early by a previous failure",
+                        request_op=request.op,
+                    )
+                )
+                continue
+            response = future.result()
+            responses.append(response)
+            if stop_on_failure and not _response_ok(response):
+                failed = True
+        return responses
+
+
+def _response_ok(response: Response) -> bool:
+    """Did this response carry a clean verdict (for batch early exit)?"""
+    if isinstance(response, ErrorResponse):
+        return False
+    if isinstance(response, CertifyResponse):
+        return response.verdict_ok and response.sound is not False
+    if isinstance(response, SweepResponse):
+        return response.clean
+    return True

@@ -1,0 +1,362 @@
+"""Typed request/response messages of the certification service.
+
+Every interaction with :class:`~repro.service.core.CertificationService` —
+in-process through :mod:`repro.api`, or over the JSON-lines wire protocol of
+:mod:`repro.service.protocol` — is one of the dataclasses here.  They are
+plain data: JSON round-trippable (``to_dict``/``from_dict``), with no
+references to schemes, graphs or caches, so the same message works across a
+process or socket boundary.
+
+Failures are data too.  Instead of letting ``NotAYesInstance``, registry
+``RegistryError`` s, ``GraphSpecError`` s or the exact-decision
+``ValueError`` of ``holds()`` escape as tracebacks, the service maps each to
+an :class:`ErrorResponse` carrying a machine-readable ``code`` from
+:data:`ERROR_CODES` plus the human-readable message — callers switch on the
+code, humans read the message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+#: Machine-readable error codes an :class:`ErrorResponse` may carry.
+ERROR_CODES: Tuple[str, ...] = (
+    "unknown-scheme",      # registry key not found (message lists suggestions)
+    "invalid-param",       # parameter validation failed (type/range/unknown key)
+    "invalid-graph",       # graph specifier did not resolve to a graph
+    "invalid-request",     # malformed wire message / unknown op / bad field
+    "not-a-yes-instance",  # the honest prover was asked to prove a no-instance
+    "undecidable",         # ground truth raised (e.g. exact treedepth too large)
+    "skipped",             # batch member not run because the batch exited early
+    "internal-error",      # anything else; the message carries the repr
+)
+
+
+class ProtocolError(ValueError):
+    """A wire message that does not decode into a known request."""
+
+
+def _dataclass_dict(message: Any) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"op": message.op}
+    for spec in fields(message):
+        value = getattr(message, spec.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        elif isinstance(value, Mapping):
+            value = dict(value)
+        data[spec.name] = value
+    return data
+
+
+def _from_dict(cls, data: Mapping[str, Any], *, kind: str):
+    payload = dict(data)
+    op = payload.pop("op", cls.op)
+    if op != cls.op:
+        raise ProtocolError(f"expected a {cls.op!r} {kind}, got op {op!r}")
+    known = {spec.name for spec in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ProtocolError(f"unknown {cls.op!r} field(s) {unknown}")
+    try:
+        # TypeError: missing/duplicate fields; ValueError/TypeError from
+        # __post_init__: field values that do not coerce (sizes=["a"],
+        # params="abc").  All are the sender's fault, so all are protocol
+        # errors — never tracebacks.
+        return cls(**payload)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad {cls.op!r} {kind}: {error}") from None
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CertifyRequest:
+    """One certification question: run ``scheme`` on ``graph``, full harness.
+
+    ``graph`` is a ``family:size`` / ``file:PATH`` specifier (the shared
+    language of :func:`repro.graphs.generators.build_graph_spec`); in-process
+    callers may hand the service an already-built graph alongside the
+    request, in which case ``graph`` is just the label reported back.
+    ``include_certificates`` asks for the raw per-vertex certificates of a
+    yes-instance in the response.
+    """
+
+    op = "certify"
+
+    scheme: str
+    graph: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    trials: int = 20
+    engine: str = "compiled"
+    include_certificates: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CertifyRequest":
+        return _from_dict(cls, data, kind="request")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A whole certificate-size series as one request.
+
+    Mirrors :class:`repro.experiments.SweepSpec` field-for-field (the service
+    builds the spec and runs it through the one declarative pipeline); the
+    response carries the artifact payload, bound verdict included.
+    """
+
+    op = "sweep"
+
+    scheme: str
+    family: str
+    sizes: Tuple[int, ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    trials: int = 20
+    seed: int = 0
+    engine: str = "compiled"
+    check_bound: bool = True
+    measure: str = "full"
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepRequest":
+        return _from_dict(cls, data, kind="request")
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask the service for its request counters and cache statistics."""
+
+    op = "stats"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StatsRequest":
+        return _from_dict(cls, data, kind="request")
+
+
+Request = Union[CertifyRequest, SweepRequest, StatsRequest]
+
+_REQUEST_TYPES: Dict[str, type] = {
+    cls.op: cls for cls in (CertifyRequest, SweepRequest, StatsRequest)
+}
+
+
+def request_from_dict(data: Mapping[str, Any]) -> Request:
+    """Re-hydrate any request by its ``op`` discriminator."""
+    op = data.get("op")
+    cls = _REQUEST_TYPES.get(op)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown request op {op!r}; known ops: "
+            f"{', '.join(sorted(_REQUEST_TYPES))}, shutdown"
+        )
+    return cls.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CertifyResponse:
+    """The verdict on one :class:`CertifyRequest`.
+
+    ``to_payload`` is *the* JSON verdict — ``repro.cli certify --json`` and
+    the ``serve`` wire protocol both print exactly this dictionary, so the
+    two surfaces cannot drift apart.
+    """
+
+    op = "certify"
+    ok = True
+
+    scheme: str
+    registry_key: str
+    graph: str
+    vertices: int
+    edges: int
+    holds: bool
+    accepted: Optional[bool]
+    sound: Optional[bool]
+    max_certificate_bits: int
+    bound: str
+    engine: str
+    seed: int
+    certificates: Optional[Dict[str, Dict[str, Any]]] = None
+
+    @property
+    def verdict_ok(self) -> bool:
+        """False exactly when a yes-instance's honest proof was rejected —
+        the condition the CLI turns into a non-zero exit status."""
+        return not (self.holds and self.accepted is False)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical verdict dictionary (certificates only if requested)."""
+        payload = {
+            "scheme": self.scheme,
+            "registry_key": self.registry_key,
+            "graph": self.graph,
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "holds": self.holds,
+            "accepted": self.accepted,
+            "sound": self.sound,
+            "max_certificate_bits": self.max_certificate_bits,
+            "bound": self.bound,
+            "engine": self.engine,
+            "seed": self.seed,
+        }
+        if self.certificates is not None:
+            payload["certificates"] = dict(self.certificates)
+        return payload
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": self.to_payload()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CertifyResponse":
+        result = dict(data.get("result") or {})
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(result) - known)
+        if unknown:
+            raise ProtocolError(f"unknown certify result field(s) {unknown}")
+        try:
+            return cls(**result)
+        except TypeError as error:
+            raise ProtocolError(f"bad certify response: {error}") from None
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    """The artifact payload of one :class:`SweepRequest`.
+
+    ``result`` is exactly what :func:`repro.experiments.write_artifact`
+    would have written (spec, points, series, bound verdict, fitted
+    exponent), so wire consumers read the same schema as artifact files.
+    """
+
+    op = "sweep"
+    ok = True
+
+    result: Dict[str, Any]
+
+    @property
+    def clean(self) -> bool:
+        ok = bool(self.result.get("all_accepted")) and bool(self.result.get("all_sound"))
+        bound = self.result.get("bound")
+        if bound is not None:
+            ok = ok and bool(bound.get("ok"))
+        return ok
+
+    @property
+    def series(self) -> Dict[int, int]:
+        return {int(n): bits for n, bits in (self.result.get("series") or {}).items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResponse":
+        return cls(result=dict(data.get("result") or {}))
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Service counters: requests served, errors, per-cache hit/miss/size."""
+
+    op = "stats"
+    ok = True
+
+    result: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StatsResponse":
+        return cls(result=dict(data.get("result") or {}))
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failure, as data: a machine-readable code plus the message.
+
+    ``request_op`` names the request kind that failed (when known), so a
+    batched caller can correlate errors with submissions.
+    """
+
+    op = "error"
+    ok = False
+
+    code: str
+    message: str
+    request_op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in ERROR_CODES:
+            raise ValueError(
+                f"unknown error code {self.code!r}; use one of {ERROR_CODES}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "ok": False,
+            "code": self.code,
+            "message": self.message,
+            "request_op": self.request_op,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorResponse":
+        try:
+            return cls(
+                code=data["code"],
+                message=data.get("message", ""),
+                request_op=data.get("request_op"),
+            )
+        except (KeyError, ValueError) as error:
+            raise ProtocolError(f"bad error response: {error}") from None
+
+
+Response = Union[CertifyResponse, SweepResponse, StatsResponse, ErrorResponse]
+
+_RESPONSE_TYPES: Dict[str, type] = {
+    cls.op: cls
+    for cls in (CertifyResponse, SweepResponse, StatsResponse, ErrorResponse)
+}
+
+
+def response_from_dict(data: Mapping[str, Any]) -> Response:
+    """Re-hydrate any response by its ``op`` discriminator."""
+    op = data.get("op")
+    cls = _RESPONSE_TYPES.get(op)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown response op {op!r}; known ops: {', '.join(sorted(_RESPONSE_TYPES))}"
+        )
+    return cls.from_dict(data)

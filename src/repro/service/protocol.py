@@ -1,0 +1,183 @@
+"""The JSON-lines wire protocol of ``python -m repro.cli serve``.
+
+One request per line in, one response per line out; every line is a single
+JSON object whose ``op`` field names the message type
+(:mod:`repro.service.messages`).  Two transports serve the same protocol:
+
+* **stdio** — the server reads stdin and writes stdout, so a caller can
+  pipe a batch of requests through one process (or keep the process alive
+  behind a pair of pipes, which is what
+  :meth:`repro.service.client.ServiceClient.stdio` does);
+* **localhost TCP** — a threading server on ``127.0.0.1``; each connection
+  speaks the same line protocol, and concurrent connections share the one
+  service (and therefore its warm caches).
+
+Three rules keep the protocol robust:
+
+1. a malformed line is answered with an ``invalid-request`` error response,
+   never a dropped connection;
+2. the special request ``{"op": "shutdown"}`` is acknowledged with
+   ``{"op": "shutdown", "ok": true}`` and then stops the server — the clean
+   way to end a session (EOF / disconnect merely ends the connection);
+3. responses are exactly one line of compact JSON with sorted keys, so
+   byte-level comparisons (and the CLI-parity test) are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import IO, Any, Dict, Optional, Tuple
+
+from repro.service.core import CertificationService
+from repro.service.messages import ErrorResponse, ProtocolError, request_from_dict
+
+#: ``op`` of the session-terminating request and of its acknowledgement.
+SHUTDOWN_OP = "shutdown"
+
+
+def encode_line(data: Dict[str, Any]) -> str:
+    """One protocol line: compact JSON, sorted keys, newline-terminated."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def handle_line(service: CertificationService, line: str) -> Tuple[str, bool]:
+    """Answer one request line; returns ``(response line, keep going)``."""
+    try:
+        data = json.loads(line)
+        if not isinstance(data, dict):
+            raise ProtocolError("a request must be a JSON object")
+    except (json.JSONDecodeError, ProtocolError) as error:
+        response = ErrorResponse(code="invalid-request", message=str(error))
+        return encode_line(response.to_dict()), True
+    if data.get("op") == SHUTDOWN_OP:
+        return encode_line({"op": SHUTDOWN_OP, "ok": True}), False
+    try:
+        request = request_from_dict(data)
+    except ProtocolError as error:
+        response = ErrorResponse(code="invalid-request", message=str(error))
+        return encode_line(response.to_dict()), True
+    try:
+        response = service.handle(request)
+    except Exception as error:  # noqa: BLE001 - rule 1: answer, never die
+        response = ErrorResponse(
+            code="internal-error",
+            message=f"{type(error).__name__}: {error}",
+            request_op=getattr(request, "op", None),
+        )
+    return encode_line(response.to_dict()), True
+
+
+def serve_stdio(
+    service: CertificationService,
+    stdin: IO[str],
+    stdout: IO[str],
+) -> int:
+    """Serve the line protocol over a stream pair until EOF or shutdown.
+
+    Returns the number of lines answered.  Blank lines are ignored, so a
+    trailing newline in a piped batch is harmless.
+    """
+    answered = 0
+    for line in stdin:
+        if not line.strip():
+            continue
+        response_line, keep_going = handle_line(service, line)
+        stdout.write(response_line)
+        stdout.flush()
+        answered += 1
+        if not keep_going:
+            break
+    return answered
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                return
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            response_line, keep_going = handle_line(self.server.service, line)
+            self.wfile.write(response_line.encode("utf-8"))
+            self.wfile.flush()
+            if not keep_going:
+                self.server.request_shutdown()
+                return
+
+
+class TCPProtocolServer(socketserver.ThreadingTCPServer):
+    """A localhost line-protocol server; connections share one service."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: CertificationService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._shutdown_requested = threading.Event()
+        super().__init__((host, port), _LineHandler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.server_address[:2]
+        return (host, port)
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (callable from handler threads)."""
+        if not self._shutdown_requested.is_set():
+            self._shutdown_requested.set()
+            # shutdown() must come from outside the serve_forever thread.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_until_shutdown(self) -> None:
+        try:
+            self.serve_forever(poll_interval=0.1)
+        finally:
+            self.server_close()
+
+
+def serve_tcp(
+    service: CertificationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[threading.Event] = None,
+    announce: Optional[IO[str]] = None,
+) -> Tuple[str, int]:
+    """Serve the line protocol on localhost TCP until a shutdown request.
+
+    Binds (``port=0`` picks a free port), optionally announces the bound
+    address on ``announce`` and sets ``ready`` once listening — the hooks a
+    supervisor or a test needs to know when to connect — then blocks until
+    a client sends ``{"op": "shutdown"}``.  Returns the address it served.
+    """
+    server = TCPProtocolServer(service, host=host, port=port)
+    bound = server.address
+    if announce is not None:
+        announce.write(f"serving on {bound[0]}:{bound[1]}\n")
+        announce.flush()
+    if ready is not None:
+        ready.set()
+    server.serve_until_shutdown()
+    return bound
+
+
+def connect(
+    host: str,
+    port: int,
+    connect_timeout: float = 10.0,
+    read_timeout: Optional[float] = None,
+) -> socket.socket:
+    """A connected TCP socket to a protocol server (used by the client).
+
+    ``connect_timeout`` bounds connection establishment only; once
+    connected the socket blocks for ``read_timeout`` (default: forever —
+    certification requests legitimately run for minutes, and an expired
+    read deadline would desynchronise the request/response stream).
+    """
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    sock.settimeout(read_timeout)
+    return sock

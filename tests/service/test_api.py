@@ -1,0 +1,65 @@
+"""The ``repro.api`` facade: the one public path from request to verdict."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import api
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_service():
+    api.reset_default_service()
+    yield
+    api.reset_default_service()
+
+
+class TestCertifyFacade:
+    def test_certify_by_spec(self):
+        verdict = api.certify("treedepth", "path:7", params={"t": 3})
+        assert verdict.holds and verdict.accepted
+        assert verdict.max_certificate_bits > 0
+
+    def test_certify_accepts_a_graph_object(self):
+        verdict = api.certify("tree", nx.path_graph(5))
+        assert verdict.accepted and verdict.vertices == 5
+        assert verdict.graph == "<graph n=5>"
+
+    def test_expected_failures_raise_service_error_with_code(self):
+        with pytest.raises(api.ServiceError) as excinfo:
+            api.certify("treedepht", "path:7")
+        assert excinfo.value.response.code == "unknown-scheme"
+        assert "did you mean" in str(excinfo.value)
+        with pytest.raises(api.ServiceError) as excinfo:
+            api.certify("treedepth", "path:64", params={"t": 7})
+        assert excinfo.value.response.code == "undecidable"
+
+    def test_respond_never_raises(self):
+        response = api.respond(api.CertifyRequest(scheme="nope", graph="path:4"))
+        assert isinstance(response, api.ErrorResponse)
+        assert response.code == "unknown-scheme"
+
+
+class TestServiceWideState:
+    def test_calls_share_the_default_service(self):
+        api.certify("tree", "path:6")
+        api.certify("tree", "path:6")
+        stats = api.stats()
+        assert stats["service"]["requests"]["certify"] == 2
+        assert stats["schemes_cached"] >= 1
+
+    def test_submit_many_through_the_facade(self):
+        requests = [api.CertifyRequest(scheme="tree", graph=f"path:{n}") for n in (4, 5, 6)]
+        responses = api.submit_many(requests)
+        assert [r.vertices for r in responses] == [4, 5, 6]
+
+    def test_sweep_through_the_facade(self):
+        response = api.sweep("tree", "random-tree", (4, 8), trials=3)
+        assert response.clean and set(response.series) == {4, 8}
+        assert api.stats()["service"]["requests"]["sweep"] == 1
+
+    def test_reset_builds_a_fresh_service(self):
+        api.certify("tree", "path:4")
+        api.reset_default_service()
+        assert api.stats()["service"]["requests"]["certify"] == 0

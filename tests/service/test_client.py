@@ -1,0 +1,84 @@
+"""ServiceClient over both transports: in-thread TCP and a stdio child."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceTransportError
+from repro.service.core import CertificationService
+from repro.service.messages import CertifyResponse, ErrorResponse
+from repro.service.protocol import TCPProtocolServer
+
+
+@pytest.fixture()
+def tcp_server():
+    """A protocol server on an ephemeral localhost port, in a thread."""
+    with CertificationService(workers=2) as service:
+        server = TCPProtocolServer(service, port=0)
+        thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=10)
+
+
+class TestTCP:
+    def test_certify_roundtrip(self, tcp_server):
+        host, port = tcp_server.address
+        with ServiceClient.connect(host, port) as client:
+            response = client.certify(scheme="treedepth", params={"t": 3}, graph="path:7")
+            assert isinstance(response, CertifyResponse)
+            assert response.holds and response.accepted
+
+    def test_errors_come_back_as_values(self, tcp_server):
+        host, port = tcp_server.address
+        with ServiceClient.connect(host, port) as client:
+            response = client.certify(scheme="treedepht", graph="path:7")
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "unknown-scheme"
+
+    def test_connections_share_one_service(self, tcp_server):
+        host, port = tcp_server.address
+        with ServiceClient.connect(host, port) as first:
+            first.certify(scheme="tree", graph="path:4")
+        with ServiceClient.connect(host, port) as second:
+            stats = second.stats()
+            assert stats.result["service"]["requests"]["certify"] == 1
+
+    def test_shutdown_stops_the_server(self, tcp_server):
+        host, port = tcp_server.address
+        client = ServiceClient.connect(host, port)
+        assert client.shutdown() is True
+        client.close()
+        with pytest.raises(ServiceTransportError):
+            ServiceClient.connect(host, port, retries=3, retry_delay=0.05).certify(
+                scheme="tree", graph="path:4"
+            )
+
+    def test_connect_refused_raises_transport_error(self):
+        with pytest.raises(ServiceTransportError, match="could not connect"):
+            # A port from the ephemeral range nothing listens on.
+            ServiceClient.connect("127.0.0.1", 1, retries=2, retry_delay=0.01)
+
+
+class TestStdioChild:
+    def test_full_conversation_with_a_child_process(self):
+        with ServiceClient.stdio() as client:
+            verdict = client.certify(scheme="treedepth", params={"t": 3}, graph="path:7")
+            assert verdict.ok and verdict.accepted
+            again = client.certify(scheme="treedepth", params={"t": 3}, graph="path:7")
+            assert again == verdict
+            stats = client.stats()
+            assert stats.result["service"]["requests"]["certify"] == 2
+            # The second request hit the caches the child keeps warm.
+            assert stats.result["caches_since_start"]["networks"]["hits"] >= 1
+            error = client.certify(scheme="tree", graph="nebula:4")
+            assert error.code == "invalid-graph"
+        # Leaving the context sent shutdown and reaped the child: a further
+        # request must fail on the closed transport.
+        with pytest.raises(ServiceTransportError):
+            client.certify(scheme="tree", graph="path:4")

@@ -1,0 +1,98 @@
+"""Round-trips and validation of the typed service messages."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.messages import (
+    ERROR_CODES,
+    CertifyRequest,
+    CertifyResponse,
+    ErrorResponse,
+    ProtocolError,
+    StatsRequest,
+    SweepRequest,
+    SweepResponse,
+    request_from_dict,
+    response_from_dict,
+)
+
+
+class TestRequests:
+    def test_certify_round_trip(self):
+        request = CertifyRequest(
+            scheme="treedepth", graph="path:7", params={"t": 3}, seed=5, trials=7
+        )
+        data = request.to_dict()
+        assert data["op"] == "certify"
+        assert request_from_dict(json.loads(json.dumps(data))) == request
+
+    def test_sweep_round_trip_normalises_sizes(self):
+        request = SweepRequest(scheme="tree", family="path", sizes=[4, 8])
+        assert request.sizes == (4, 8)
+        assert request_from_dict(request.to_dict()) == request
+
+    def test_stats_round_trip(self):
+        assert request_from_dict(StatsRequest().to_dict()) == StatsRequest()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request op"):
+            request_from_dict({"op": "teleport"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown 'certify' field"):
+            request_from_dict({"op": "certify", "scheme": "tree", "graph": "path:4",
+                               "warp": 9})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="bad 'certify' request"):
+            request_from_dict({"op": "certify", "scheme": "tree"})
+
+
+class TestResponses:
+    def _verdict(self, **overrides):
+        payload = dict(
+            scheme="tree", registry_key="tree", graph="path:4", vertices=4,
+            edges=3, holds=True, accepted=True, sound=None,
+            max_certificate_bits=16, bound="O(log n)", engine="compiled", seed=0,
+        )
+        payload.update(overrides)
+        return CertifyResponse(**payload)
+
+    def test_certify_round_trip(self):
+        response = self._verdict()
+        assert response.ok is True
+        assert response_from_dict(json.loads(json.dumps(response.to_dict()))) == response
+
+    def test_payload_omits_certificates_unless_present(self):
+        assert "certificates" not in self._verdict().to_payload()
+        full = self._verdict(certificates={"0": {"id": 3, "hex": "ff"}})
+        assert full.to_payload()["certificates"] == {"0": {"id": 3, "hex": "ff"}}
+
+    def test_verdict_ok_flags_rejected_honest_proof(self):
+        assert self._verdict().verdict_ok
+        assert self._verdict(holds=False, accepted=None).verdict_ok
+        assert not self._verdict(accepted=False).verdict_ok
+
+    def test_error_round_trip_and_code_validation(self):
+        response = ErrorResponse(code="invalid-param", message="t must be >= 1",
+                                 request_op="certify")
+        back = response_from_dict(response.to_dict())
+        assert back == response and back.ok is False
+        with pytest.raises(ValueError, match="unknown error code"):
+            ErrorResponse(code="exploded", message="boom")
+
+    def test_error_codes_are_stable(self):
+        # The wire contract: codes may be added, but these must keep existing.
+        for code in ("unknown-scheme", "invalid-param", "invalid-graph",
+                     "invalid-request", "not-a-yes-instance", "undecidable",
+                     "skipped", "internal-error"):
+            assert code in ERROR_CODES
+
+    def test_sweep_response_clean_property(self):
+        clean = SweepResponse(result={"all_accepted": True, "all_sound": True,
+                                      "bound": {"ok": True}, "series": {"4": 16}})
+        assert clean.clean and clean.series == {4: 16}
+        assert not SweepResponse(result={"all_accepted": True, "all_sound": False}).clean

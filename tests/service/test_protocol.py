@@ -1,0 +1,136 @@
+"""The JSON-lines wire protocol, and its parity with the CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.core import CertificationService
+from repro.service.messages import CertifyRequest
+from repro.service.protocol import encode_line, handle_line, serve_stdio
+
+
+@pytest.fixture()
+def service():
+    with CertificationService(workers=1) as svc:
+        yield svc
+
+
+def _lines(requests):
+    return "".join(encode_line(r) for r in requests)
+
+
+class TestHandleLine:
+    def test_certify_line(self, service):
+        line, keep_going = handle_line(
+            service, encode_line({"op": "certify", "scheme": "tree", "graph": "path:4"})
+        )
+        assert keep_going
+        payload = json.loads(line)
+        assert payload["ok"] is True and payload["result"]["accepted"] is True
+
+    def test_malformed_json_is_answered_not_fatal(self, service):
+        line, keep_going = handle_line(service, "{not json\n")
+        assert keep_going
+        payload = json.loads(line)
+        assert payload["ok"] is False and payload["code"] == "invalid-request"
+
+    def test_non_object_and_unknown_op(self, service):
+        for raw in ("[1,2]\n", encode_line({"op": "teleport"})):
+            line, keep_going = handle_line(service, raw)
+            assert keep_going and json.loads(line)["code"] == "invalid-request"
+
+    @pytest.mark.parametrize("request_data", [
+        # Parseable JSON whose field values do not coerce: each must be
+        # answered with an error response, never crash the server.
+        {"op": "certify", "scheme": "tree", "graph": "path:4", "params": "abc"},
+        {"op": "sweep", "scheme": "tree", "family": "path", "sizes": ["a"]},
+        {"op": "certify", "scheme": ["x"], "graph": "path:4"},
+        {"op": "certify", "scheme": "tree", "graph": "path:4", "seed": "zero"},
+    ])
+    def test_malformed_field_values_are_answered_not_fatal(self, service, request_data):
+        line, keep_going = handle_line(service, encode_line(request_data))
+        assert keep_going
+        payload = json.loads(line)
+        assert payload["ok"] is False
+        assert payload["code"] in ("invalid-request", "invalid-param", "internal-error")
+
+    def test_shutdown_is_acknowledged_and_stops(self, service):
+        line, keep_going = handle_line(service, encode_line({"op": "shutdown"}))
+        assert not keep_going
+        assert json.loads(line) == {"ok": True, "op": "shutdown"}
+
+    def test_responses_are_single_compact_lines(self, service):
+        line, _ = handle_line(
+            service, encode_line({"op": "certify", "scheme": "tree", "graph": "path:4"})
+        )
+        assert line.endswith("\n") and "\n" not in line[:-1]
+        assert ": " not in line  # compact separators
+
+
+class TestServeStdio:
+    def test_batch_then_eof(self, service):
+        stdin = io.StringIO(_lines([
+            {"op": "certify", "scheme": "tree", "graph": "path:4"},
+            {"op": "certify", "scheme": "treedepth", "params": {"t": 0}, "graph": "path:4"},
+            {"op": "stats"},
+        ]) + "\n")  # trailing blank line must be harmless
+        stdout = io.StringIO()
+        answered = serve_stdio(service, stdin, stdout)
+        assert answered == 3
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert responses[0]["result"]["holds"] is True
+        assert responses[1]["code"] == "invalid-param"
+        assert responses[2]["result"]["service"]["requests"]["certify"] == 1
+
+    def test_shutdown_stops_before_later_lines(self, service):
+        stdin = io.StringIO(_lines([
+            {"op": "shutdown"},
+            {"op": "certify", "scheme": "tree", "graph": "path:4"},
+        ]))
+        stdout = io.StringIO()
+        assert serve_stdio(service, stdin, stdout) == 1
+        assert json.loads(stdout.getvalue()) == {"ok": True, "op": "shutdown"}
+
+
+class TestCliServeParity:
+    """Acceptance: ``certify --json`` and the wire protocol may not drift."""
+
+    CASES = [
+        (["--scheme", "treedepth", "--param", "t=3", "--graph", "path:7"],
+         {"op": "certify", "scheme": "treedepth", "params": {"t": "3"}, "graph": "path:7"}),
+        (["--scheme", "bipartite", "--graph", "cycle:5", "--seed", "3"],
+         {"op": "certify", "scheme": "bipartite", "graph": "cycle:5", "seed": 3}),
+        (["--scheme", "tree", "--graph", "random-tree:9", "--verbose"],
+         {"op": "certify", "scheme": "tree", "graph": "random-tree:9",
+          "include_certificates": True}),
+    ]
+
+    @pytest.mark.parametrize("cli_args, wire_request", CASES)
+    def test_byte_identical_verdicts(self, capsys, service, cli_args, wire_request):
+        assert main(["certify", *cli_args, "--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        line, _ = handle_line(service, encode_line(wire_request))
+        wire_payload = json.loads(line)["result"]
+        cli_bytes = json.dumps(cli_payload, sort_keys=True).encode()
+        wire_bytes = json.dumps(wire_payload, sort_keys=True).encode()
+        assert cli_bytes == wire_bytes
+
+    def test_shared_code_path(self, service, monkeypatch):
+        """Both surfaces call CertificationService.certify — literally."""
+        calls = []
+        original = CertificationService.certify
+
+        def spy(self, request, **kwargs):
+            calls.append(request)
+            return original(self, request, **kwargs)
+
+        monkeypatch.setattr(CertificationService, "certify", spy)
+        main(["certify", "--scheme", "tree", "--graph", "path:4", "--json"])
+        handle_line(service, encode_line({"op": "certify", "scheme": "tree",
+                                          "graph": "path:4"}))
+        assert len(calls) == 2
+        assert calls[0] == calls[1] == CertifyRequest(scheme="tree", graph="path:4")

@@ -1,0 +1,196 @@
+"""The long-lived service: verdicts, structured errors, cache reuse, batching."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.caching import clear_caches
+from repro.service.core import CertificationService
+from repro.service.messages import (
+    CertifyRequest,
+    CertifyResponse,
+    ErrorResponse,
+    StatsRequest,
+    SweepRequest,
+    SweepResponse,
+)
+
+
+@pytest.fixture()
+def service():
+    with CertificationService(workers=2) as svc:
+        yield svc
+
+
+class TestCertify:
+    def test_yes_instance_verdict(self, service):
+        response = service.certify(
+            CertifyRequest(scheme="treedepth", graph="path:7", params={"t": 3})
+        )
+        assert isinstance(response, CertifyResponse)
+        assert response.holds and response.accepted and response.sound is None
+        assert response.max_certificate_bits > 0
+        assert response.registry_key == "treedepth"
+        assert response.bound == "O(t log n)"
+
+    def test_no_instance_verdict(self, service):
+        response = service.certify(CertifyRequest(scheme="bipartite", graph="cycle:5"))
+        assert isinstance(response, CertifyResponse)
+        assert response.holds is False and response.sound is True
+        assert response.accepted is None
+
+    def test_in_process_graph_object(self, service):
+        request = CertifyRequest(scheme="tree", graph="<handed over>")
+        response = service.certify(request, graph=nx.path_graph(5))
+        assert isinstance(response, CertifyResponse)
+        assert response.accepted and response.graph == "<handed over>"
+
+    def test_certificates_on_request(self, service):
+        response = service.certify(
+            CertifyRequest(scheme="tree", graph="path:4", include_certificates=True)
+        )
+        assert set(response.certificates) == {repr(v) for v in range(4)}
+        for entry in response.certificates.values():
+            assert set(entry) == {"id", "hex"}
+
+
+class TestStructuredErrors:
+    def test_unknown_scheme_has_code_and_suggestion(self, service):
+        response = service.certify(CertifyRequest(scheme="treedepht", graph="path:4"))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "unknown-scheme"
+        assert "did you mean" in response.message and "treedepth" in response.message
+
+    def test_param_validation_failure(self, service):
+        response = service.certify(
+            CertifyRequest(scheme="treedepth", graph="path:4", params={"t": 0})
+        )
+        assert response.code == "invalid-param"
+        response = service.certify(
+            CertifyRequest(scheme="tree", graph="path:4", params={"bogus": 1})
+        )
+        assert response.code == "invalid-param"
+
+    def test_unresolvable_graph(self, service):
+        response = service.certify(CertifyRequest(scheme="tree", graph="nebula:7"))
+        assert response.code == "invalid-graph"
+        response = service.certify(CertifyRequest(scheme="tree", graph="file:/no/such"))
+        assert response.code == "invalid-graph" and "does not exist" in response.message
+
+    def test_undecidable_ground_truth_is_an_error_response(self, service):
+        """Satellite regression: ``holds()`` raising ValueError (exact
+        treedepth beyond its reach) must come back as data, not a traceback."""
+        response = service.certify(
+            CertifyRequest(scheme="treedepth", graph="path:64", params={"t": 7})
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "undecidable"
+        assert "model_builder" in response.message
+
+    def test_bad_engine_and_trials(self, service):
+        assert service.certify(
+            CertifyRequest(scheme="tree", graph="path:4", engine="quantum")
+        ).code == "invalid-param"
+        assert service.certify(
+            CertifyRequest(scheme="tree", graph="path:4", trials=-1)
+        ).code == "invalid-param"
+
+    def test_errors_are_counted(self, service):
+        service.certify(CertifyRequest(scheme="nope", graph="path:4"))
+        assert service.stats()["service"]["requests"]["errors"] == 1
+
+
+class TestCacheReuse:
+    def test_second_request_hits_topology_and_holds_caches(self):
+        """Satellite: the whole point of the service — the second request for
+        the same (graph, seed) must reuse compiled topology, identifiers and
+        ground truth, observable on ``stats()`` counters."""
+        clear_caches()
+        with CertificationService() as service:
+            request = CertifyRequest(scheme="treedepth", graph="path:7", params={"t": 3})
+            first = service.certify(request)
+            after_first = service.stats()["caches_since_start"]
+            second = service.certify(request)
+            after_second = service.stats()["caches_since_start"]
+        assert first == second
+        for cache in ("networks", "holds", "identifiers"):
+            assert after_second[cache]["hits"] > after_first[cache]["hits"], cache
+            assert after_second[cache]["misses"] == after_first[cache]["misses"], cache
+
+    def test_scheme_instances_are_reused_across_requests(self):
+        clear_caches()
+        with CertificationService() as service:
+            request = CertifyRequest(scheme="treedepth", graph="path:7", params={"t": 3})
+            service.certify(request)
+            service.certify(request)
+            assert service.stats()["schemes_cached"] == 1
+
+    def test_different_seed_misses_identifier_cache_but_shares_holds(self):
+        clear_caches()
+        with CertificationService() as service:
+            service.certify(CertifyRequest(scheme="tree", graph="path:6", seed=0))
+            before = service.stats()["caches_since_start"]
+            service.certify(CertifyRequest(scheme="tree", graph="path:6", seed=1))
+            after = service.stats()["caches_since_start"]
+        assert after["identifiers"]["misses"] == before["identifiers"]["misses"] + 1
+        assert after["holds"]["hits"] == before["holds"]["hits"] + 1
+
+
+class TestSweepAndStats:
+    def test_sweep_request_returns_artifact_payload(self, service):
+        response = service.sweep(
+            SweepRequest(scheme="tree", family="random-tree", sizes=(4, 8), trials=3)
+        )
+        assert isinstance(response, SweepResponse)
+        assert response.clean and set(response.series) == {4, 8}
+        assert response.result["spec"]["scheme"] == "tree"
+        assert response.result["bound"]["ok"] is True
+
+    def test_sweep_error_mapping(self, service):
+        assert service.sweep(
+            SweepRequest(scheme="nope", family="path", sizes=(4,))
+        ).code == "unknown-scheme"
+        assert service.sweep(
+            SweepRequest(scheme="tree", family="nebula", sizes=(4,))
+        ).code == "invalid-param"
+
+    def test_stats_request_through_handle(self, service):
+        service.certify(CertifyRequest(scheme="tree", graph="path:4"))
+        response = service.handle(StatsRequest())
+        assert response.ok and response.result["service"]["requests"]["certify"] == 1
+
+
+class TestBatching:
+    def test_submit_many_preserves_order(self, service):
+        requests = [
+            CertifyRequest(scheme="tree", graph="path:4"),
+            CertifyRequest(scheme="bipartite", graph="cycle:5"),
+            CertifyRequest(scheme="tree", graph="path:6"),
+        ]
+        responses = service.submit_many(requests)
+        assert [r.vertices for r in responses] == [4, 5, 6]
+        assert all(isinstance(r, CertifyResponse) for r in responses)
+
+    def test_submit_many_stop_on_failure_skips_the_tail(self, service):
+        requests = [CertifyRequest(scheme="tree", graph="path:4")]
+        requests += [CertifyRequest(scheme="nope", graph="path:4")]
+        # Enough tail work that some of it is still queued when the error
+        # lands (2 workers, 30 queued requests).
+        requests += [CertifyRequest(scheme="tree", graph=f"random-tree:{8 + i}")
+                     for i in range(30)]
+        responses = service.submit_many(requests, stop_on_failure=True)
+        assert isinstance(responses[0], CertifyResponse)
+        assert responses[1].code == "unknown-scheme"
+        skipped = [r for r in responses[2:]
+                   if isinstance(r, ErrorResponse) and r.code == "skipped"]
+        assert skipped, "no queued request was cancelled after the failure"
+        assert len(responses) == len(requests)
+
+    def test_submit_after_close_raises(self):
+        service = CertificationService()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(CertifyRequest(scheme="tree", graph="path:4"))
+        # Synchronous calls still work on a closed service.
+        assert service.certify(CertifyRequest(scheme="tree", graph="path:4")).accepted

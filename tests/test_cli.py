@@ -142,9 +142,30 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["certify", "--scheme", "quantum", "--graph", "path:4"])
 
+    def test_unknown_scheme_message_suggests_close_matches(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["certify", "--scheme", "treedepht", "--graph", "path:4"])
+        assert "did you mean 'treedepth'" in str(excinfo.value)
+
     def test_missing_required_param_rejected(self):
         with pytest.raises(SystemExit):
             main(["certify", "--scheme", "treedepth", "--graph", "path:4"])
+
+    def test_invalid_param_value_is_a_clean_exit(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["certify", "--scheme", "treedepth", "--param", "t=0",
+                  "--graph", "path:4"])
+        assert "must be >= 1" in str(excinfo.value)
+
+    def test_undecidable_ground_truth_is_a_clean_exit(self):
+        """Regression: exact treedepth beyond its reach used to escape as a
+        ValueError traceback; it must exit with the message instead."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["certify", "--scheme", "treedepth", "--param", "t=7",
+                  "--graph", "path:64"])
+        message = str(excinfo.value)
+        assert "cannot decide treedepth" in message
+        assert "Traceback" not in message
 
     def test_file_graph_end_to_end(self, tmp_path, capsys):
         edge_file = tmp_path / "tree.txt"
@@ -156,6 +177,49 @@ class TestMain:
         with pytest.raises(SystemExit) as excinfo:
             main(["certify", "--scheme", "tree", "--graph", f"file:{tmp_path}/no.txt"])
         assert "does not exist" in str(excinfo.value)
+
+
+class TestServeCommand:
+    def _serve(self, monkeypatch, capsys, request_lines):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO("".join(request_lines)))
+        assert main(["serve", "--workers", "2"]) == 0
+        return [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+
+    def test_serve_stdio_answers_a_batch_and_shuts_down(self, monkeypatch, capsys):
+        responses = self._serve(monkeypatch, capsys, [
+            '{"op": "certify", "scheme": "treedepth", "params": {"t": 3}, "graph": "path:7"}\n',
+            '{"op": "certify", "scheme": "treedepth", "params": {"t": 0}, "graph": "path:7"}\n',
+            '{"op": "certify", "scheme": "bipartite", "graph": "cycle:5"}\n',
+            '{"op": "shutdown"}\n',
+        ])
+        assert len(responses) == 4
+        assert responses[0]["ok"] is True and responses[0]["result"]["accepted"] is True
+        assert responses[1]["ok"] is False and responses[1]["code"] == "invalid-param"
+        assert responses[2]["result"]["holds"] is False
+        assert responses[3] == {"ok": True, "op": "shutdown"}
+
+    def test_serve_survives_garbage_lines(self, monkeypatch, capsys):
+        responses = self._serve(monkeypatch, capsys, [
+            "definitely not json\n",
+            '{"op": "certify", "scheme": "tree", "graph": "path:4"}\n',
+        ])
+        assert responses[0]["code"] == "invalid-request"
+        assert responses[1]["result"]["accepted"] is True
+
+    def test_bad_tcp_address_rejected(self):
+        from repro.cli import parse_tcp_address
+
+        assert parse_tcp_address("8765") == ("127.0.0.1", 8765)
+        assert parse_tcp_address("0.0.0.0:9") == ("0.0.0.0", 9)
+        with pytest.raises(SystemExit):
+            parse_tcp_address("eight")
+
+    def test_bad_workers_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "0"])
 
 
 class TestSweepCommand:

@@ -91,6 +91,17 @@ class TestParamValidation:
         with pytest.raises(RegistryError):
             registry.get("quantum")
 
+    def test_unknown_scheme_suggests_close_matches(self):
+        """A typo'd key lists likely intended schemes (used verbatim by CLI
+        and service error responses)."""
+        with pytest.raises(RegistryError, match="did you mean 'treedepth'"):
+            registry.get("treedepht")
+        with pytest.raises(RegistryError, match="did you mean 'treewidth'"):
+            registry.get("tree-width")
+        # No plausible match: no suggestion clause, catalogue still listed.
+        with pytest.raises(RegistryError, match="^(?!.*did you mean).*known schemes"):
+            registry.get("zzz")
+
     def test_unknown_parameter(self):
         with pytest.raises(RegistryError, match="does not take"):
             registry.create("tree", {"bogus": 1})
