@@ -1,0 +1,238 @@
+"""Delta-engine microbenchmark: incremental verification vs. batch reloads.
+
+Times the enumeration-shaped kernels the delta engine (PR 5) was built for:
+
+* ``exhaustive``  — the exhaustive-soundness kernel: every ``max_bits``-bit
+  certificate assignment on a tiny no-instance.  The compiled baseline is
+  PR 1's ``any_accepted`` (reload + early-exit scan per assignment); the
+  delta engine walks the identical assignment set as a Gray-coded stream of
+  single-vertex changes on a persistent session, re-verifying one closed
+  neighbourhood per assignment.  **This kernel carries the enforced bar**:
+  the run fails unless delta is at least ``SPEEDUP_BAR``× faster.
+* ``corruption``  — neighbourhood-local corruption sweeps: many corruption
+  trials against one honest baseline, full re-runs vs. delta apply/revert
+  against the cached honest verdicts (informational, no bar).
+* ``frontier``    — a (n, max_bits) point sized so the compiled engine
+  would need minutes: run on the delta engine alone, with the compiled
+  cost estimated from its measured per-assignment rate in ``exhaustive``.
+
+Results are printed and written to ``BENCH_delta.json`` next to
+``BENCH_engine.json``, extending the hot-path trajectory tracked since PR 1.
+
+Usage::
+
+    python benchmarks/bench_delta_speed.py           # full measurement
+    python benchmarks/bench_delta_speed.py --quick   # CI smoke variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import networkx as nx
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import clear_caches  # noqa: E402
+from repro.core.cache import cached_compiled_network  # noqa: E402
+from repro.core.scheme import exhaustive_soundness_holds  # noqa: E402
+from repro.core.simple_schemes import BipartitenessScheme  # noqa: E402
+from repro.core.spanning_tree import TreeScheme  # noqa: E402
+from repro.graphs.generators import random_tree  # noqa: E402
+from repro.network.adversary import corrupt_assignment, corruption_deltas  # noqa: E402
+from repro.network.ids import assign_identifiers  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_delta.json"
+
+#: The acceptance bar on the exhaustive kernel: delta must beat the
+#: compiled ``any_accepted`` baseline by at least this factor.
+SPEEDUP_BAR = 5.0
+
+
+def _timed(fn, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return time.perf_counter() - start
+
+
+def bench_exhaustive(quick: bool) -> dict:
+    """The exhaustive-soundness kernel, compiled ``any_accepted`` vs. delta.
+
+    Bipartiteness on an odd cycle: a genuine no-instance of a paper scheme,
+    so both engines enumerate the full ``2**n`` one-bit assignment space and
+    must prove every one of them rejected.
+    """
+    n = 13 if quick else 15  # odd: an odd cycle is not bipartite
+    scheme = BipartitenessScheme()
+    graph = nx.cycle_graph(n)
+    max_bits = 1
+    repeats = 1 if quick else 3
+    assignments = (1 << max_bits) ** n
+
+    def run(engine: str) -> None:
+        assert exhaustive_soundness_holds(scheme, graph, max_bits=max_bits, engine=engine)
+
+    clear_caches()
+    compiled_s = _timed(lambda: run("compiled"), repeats)
+    clear_caches()
+    delta_s = _timed(lambda: run("delta"), repeats)
+    total = assignments * repeats
+    return {
+        "scheme": scheme.name,
+        "n": n,
+        "max_bits": max_bits,
+        "assignments": assignments,
+        "repeats": repeats,
+        "compiled_s": compiled_s,
+        "delta_s": delta_s,
+        "compiled_assignments_per_s": total / compiled_s if compiled_s else float("inf"),
+        "delta_assignments_per_s": total / delta_s if delta_s else float("inf"),
+        "speedup": compiled_s / delta_s if delta_s else float("inf"),
+        "speedup_bar": SPEEDUP_BAR,
+    }
+
+
+def bench_corruption(quick: bool) -> dict:
+    """Corruption sweeps: full re-runs vs. delta apply/revert per trial."""
+    n = 48 if quick else 64
+    trials = 150 if quick else 400
+    scheme = TreeScheme()
+    graph = random_tree(n, seed=7)
+    ids = assign_identifiers(graph, seed=7)
+    network = cached_compiled_network(graph, ids)
+    honest = scheme.prove(graph, ids)
+    kinds = ("bitflip", "swap", "truncate", "zero")
+
+    def compiled_sweep() -> int:
+        rejected = 0
+        for trial in range(trials):
+            kind = kinds[trial % len(kinds)]
+            corrupted = corrupt_assignment(honest, seed=trial, kind=kind)
+            if not network.accepts(scheme.verify, corrupted):
+                rejected += 1
+        return rejected
+
+    def delta_sweep() -> int:
+        rejected = 0
+        session = network.delta_session(scheme.verify, honest)
+        for trial in range(trials):
+            kind = kinds[trial % len(kinds)]
+            accepted = True
+            deltas = corruption_deltas(honest, seed=trial, kind=kind)
+            for vertex, certificate in deltas:
+                accepted = session.apply(vertex, certificate)
+            for vertex, _ in deltas:
+                session.apply(vertex, honest[vertex])
+            if not accepted:
+                rejected += 1
+        return rejected
+
+    clear_caches()
+    network = cached_compiled_network(graph, ids)
+    compiled_rejected = compiled_sweep()
+    compiled_s = _timed(compiled_sweep, 1)
+    delta_rejected = delta_sweep()
+    delta_s = _timed(delta_sweep, 1)
+    assert compiled_rejected == delta_rejected, (compiled_rejected, delta_rejected)
+    return {
+        "scheme": scheme.name,
+        "n": n,
+        "trials": trials,
+        "rejected": delta_rejected,
+        "compiled_s": compiled_s,
+        "delta_s": delta_s,
+        "speedup": compiled_s / delta_s if delta_s else float("inf"),
+    }
+
+
+def bench_frontier(quick: bool, compiled_assignments_per_s: float) -> dict:
+    """A previously impractical (n, max_bits) point, delta engine only.
+
+    ``estimated_compiled_s`` extrapolates the compiled baseline from its
+    measured per-assignment rate on the exhaustive kernel (the compiled
+    cost per assignment only grows with n, so the estimate is a floor).
+    """
+    n = 17 if quick else 21  # odd, as above
+    scheme = BipartitenessScheme()
+    graph = nx.cycle_graph(n)
+    max_bits = 1
+    assignments = (1 << max_bits) ** n
+
+    clear_caches()
+    start = time.perf_counter()
+    sound = exhaustive_soundness_holds(scheme, graph, max_bits=max_bits, engine="delta")
+    delta_s = time.perf_counter() - start
+    assert sound is True
+    return {
+        "scheme": scheme.name,
+        "n": n,
+        "max_bits": max_bits,
+        "assignments": assignments,
+        "delta_s": delta_s,
+        "delta_assignments_per_s": assignments / delta_s if delta_s else float("inf"),
+        "estimated_compiled_s": (
+            assignments / compiled_assignments_per_s if compiled_assignments_per_s else None
+        ),
+        "note": "delta engine only; the compiled estimate extrapolates its "
+        "measured exhaustive-kernel rate",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_PATH,
+        help=f"where to write the JSON report (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    exhaustive = bench_exhaustive(args.quick)
+    report = {
+        "benchmark": "delta_speed",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "kernels": {
+            "exhaustive": exhaustive,
+            "corruption": bench_corruption(args.quick),
+            "frontier": bench_frontier(args.quick, exhaustive["compiled_assignments_per_s"]),
+        },
+    }
+
+    print("\n[delta engine: incremental vs compiled batch]")
+    for name in ("exhaustive", "corruption"):
+        kernel = report["kernels"][name]
+        print(
+            f"  {name:<11} compiled {kernel['compiled_s']:8.3f}s   "
+            f"delta {kernel['delta_s']:8.3f}s   "
+            f"speedup {kernel['speedup']:6.2f}x"
+        )
+    frontier = report["kernels"]["frontier"]
+    estimate = frontier["estimated_compiled_s"]
+    print(
+        f"  {'frontier':<11} n={frontier['n']} ({frontier['assignments']} assignments): "
+        f"delta {frontier['delta_s']:.3f}s vs ~{estimate:.0f}s compiled (estimated)"
+    )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if exhaustive["speedup"] < SPEEDUP_BAR:
+        print(
+            f"FAILED: exhaustive-kernel speedup {exhaustive['speedup']:.2f}x "
+            f"is below the {SPEEDUP_BAR}x bar"
+        )
+        return 1
+    print(f"exhaustive-kernel speedup bar ({SPEEDUP_BAR}x): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,7 +130,7 @@ from repro.graphs.generators import (
 from repro.registry import REGISTRY, RegistryError
 from repro.service.core import CertificationService
 from repro.service.messages import CertifyRequest, ErrorResponse
-from repro.service.protocol import serve_stdio, serve_tcp
+from repro.service.protocol import DEFAULT_MAX_REQUEST_BYTES, serve_stdio, serve_tcp
 
 
 def build_graph(spec: str, seed: int = 0) -> nx.Graph:
@@ -269,12 +269,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     if args.workers < 1:
         raise SystemExit("error: --workers must be at least 1")
+    if args.max_request_bytes < 1:
+        raise SystemExit("error: --max-request-bytes must be at least 1")
     with CertificationService(workers=args.workers) as service:
         if args.tcp is not None:
             host, port = parse_tcp_address(args.tcp)
-            serve_tcp(service, host=host, port=port, announce=sys.stderr)
+            serve_tcp(
+                service,
+                host=host,
+                port=port,
+                announce=sys.stderr,
+                max_request_bytes=args.max_request_bytes,
+            )
         else:
-            serve_stdio(service, sys.stdin, sys.stdout)
+            serve_stdio(
+                service, sys.stdin, sys.stdout,
+                max_request_bytes=args.max_request_bytes,
+            )
     return 0
 
 
@@ -378,6 +389,7 @@ def cmd_lower_bound(args: argparse.Namespace) -> int:
             sizes=parse_sizes(args.sizes),
             check_dichotomy=not args.no_dichotomy,
             simulate=args.simulate,
+            engine=args.engine,
             check_bound=not args.no_bound_check,
             seed=args.seed,
             shard=parse_shard(args.shard),
@@ -632,6 +644,14 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="run the Alice/Bob protocol simulation probes (tiny sizes only)",
     )
+    lower_bound.add_argument(
+        "--engine",
+        choices=("compiled", "delta"),
+        default="compiled",
+        help="how the simulation probes sweep assignments: reload each full "
+        "assignment (compiled) or stream Gray-coded single-vertex deltas "
+        "through a persistent session (delta)",
+    )
     lower_bound.add_argument("--output", default=None, help="artifact path (default lb_<label>.json)")
     lower_bound.add_argument("--name", default=None, help="label stored in the artifact")
     lower_bound.add_argument(
@@ -657,6 +677,14 @@ def main(argv: Optional[list] = None) -> int:
         type=int,
         default=4,
         help="width of the bounded worker pool behind batched submission",
+    )
+    serve.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=DEFAULT_MAX_REQUEST_BYTES,
+        help="cap on one request line; oversized lines are answered with a "
+        "structured invalid-request error and the connection keeps serving "
+        f"(default {DEFAULT_MAX_REQUEST_BYTES})",
     )
 
     merge = subparsers.add_parser(

@@ -18,6 +18,12 @@ All harness functions run on the compile-once engine of
 :mod:`repro.network.compiled` by default; ``engine="legacy"`` re-runs the
 original per-assignment view-building path (no topology reuse, no caches) —
 the benchmark baseline and the reference semantics for equivalence tests.
+The enumeration-shaped checks (:func:`exhaustive_soundness_holds`,
+:func:`soundness_under_corruption`) additionally take ``engine="delta"``:
+they stream single-vertex changes through a persistent
+:class:`~repro.network.compiled.DeltaSession`, re-verifying only each
+changed vertex's closed neighbourhood instead of the whole graph —
+bit-identical verdicts, asymptotically less work per assignment.
 Adversarial trials derive an independent seed per trial index
 (:func:`derive_trial_seed`), so any sub-range of a sweep can be reproduced
 or resumed without replaying the preceding trials, and both engines see
@@ -40,7 +46,14 @@ from repro.core.cache import (
     cached_identifiers,
     graph_fingerprint,
 )
-from repro.network.adversary import corrupt_assignment, exhaustive_assignments, random_assignment
+from repro.network.adversary import (
+    corrupt_assignment,
+    corruption_deltas,
+    exhaustive_assignments,
+    exhaustive_deltas,
+    initial_exhaustive_assignment,
+    random_assignment,
+)
 from repro.network.compiled import CompiledNetwork
 from repro.network.ids import IdentifierAssignment, assign_identifiers
 from repro.network.simulator import NetworkSimulator
@@ -311,12 +324,21 @@ def soundness_under_corruption(
     (e.g. flipping a bit that the verifier never reads), so the function only
     reports whether *any* corrupted assignment was rejected — a scheme whose
     verifier ignores certificates entirely would fail it.
+
+    ``engine="delta"`` runs the sweep on a persistent
+    :class:`~repro.network.compiled.DeltaSession` over the honest baseline:
+    each trial applies only its :func:`corruption_deltas` (one or two
+    vertices), reads the O(1) acceptance counter and reverts — re-verifying
+    the corrupted vertices' neighbourhoods instead of the whole graph.  All
+    three engines replay byte-identical trials for identical seeds.
     """
-    if engine not in ("compiled", "legacy"):
-        raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'legacy'")
+    if engine not in ("compiled", "legacy", "delta"):
+        raise ValueError(
+            f"unknown engine {engine!r}; use 'compiled', 'legacy' or 'delta'"
+        )
     rng = random.Random(seed)
     ids = assign_identifiers(graph, seed=rng)
-    if engine == "compiled":
+    if engine in ("compiled", "delta"):
         # Only deterministic seeds produce reusable identifier maps; caching
         # a seed=None topology would just evict useful entries.
         network = (
@@ -327,6 +349,29 @@ def soundness_under_corruption(
     else:
         network = NetworkSimulator(graph, identifiers=ids)
     certificates = scheme.prove(graph, ids)
+
+    if engine == "delta":
+        honest = {v: bytes(c) for v, c in certificates.items()}
+        session = network.delta_session(scheme.verify, honest)
+        for _ in range(trials):
+            kind = rng.choice(["bitflip", "swap", "truncate", "zero"])
+            deltas = [
+                (vertex, certificate)
+                for vertex, certificate in corruption_deltas(honest, seed=rng, kind=kind)
+                if certificate != honest[vertex]
+            ]
+            if not deltas:
+                continue  # the trial left the assignment unchanged
+            accepted = True
+            for vertex, certificate in deltas:
+                accepted = session.apply(vertex, certificate)
+            # Revert to the honest baseline (neighbourhood-local again); the
+            # memoised baseline verdicts make this a handful of dict lookups.
+            for vertex, _ in deltas:
+                session.apply(vertex, honest[vertex])
+            if not accepted:
+                return True
+        return False
 
     def corrupted_assignments():
         for _ in range(trials):
@@ -362,13 +407,37 @@ def exhaustive_soundness_holds(
     statement "no prover with ``max_bits``-bit certificates can cheat on this
     instance with these identifiers".  The cost is
     ``2 ** (max_bits * n)`` simulations — keep both parameters tiny.
+
+    ``engine="delta"`` visits the identical assignment set as a Gray-coded
+    stream of single-vertex deltas (:func:`~repro.network.adversary.
+    exhaustive_deltas`) on a persistent session: each assignment costs one
+    closed-neighbourhood re-verification and an O(1) acceptance read instead
+    of an O(n) reload-and-rescan — the engine that moves the practical
+    (n, max_bits) frontier.
     """
-    if engine not in ("compiled", "legacy"):
-        raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'legacy'")
+    if engine not in ("compiled", "legacy", "delta"):
+        raise ValueError(
+            f"unknown engine {engine!r}; use 'compiled', 'legacy' or 'delta'"
+        )
     if scheme.holds(graph):
         raise ValueError("exhaustive_soundness_holds expects a no-instance")
-    ids = assign_identifiers(graph, seed=seed, sequential=True)
+    ids = (
+        cached_identifiers(graph, seed, sequential=True)
+        if isinstance(seed, int)
+        else assign_identifiers(graph, seed=seed, sequential=True)
+    )
     vertices = sorted(graph.nodes(), key=repr)
+    if engine == "delta":
+        network = cached_compiled_network(graph, ids)
+        session = network.delta_session(
+            scheme.verify, initial_exhaustive_assignment(vertices, max_bits)
+        )
+        if session.accepted:
+            return False
+        for vertex, certificate in exhaustive_deltas(vertices, max_bits):
+            if session.apply(vertex, certificate):
+                return False
+        return True
     assignments = exhaustive_assignments(vertices, max_bits)
     if engine == "compiled":
         network = cached_compiled_network(graph, ids)

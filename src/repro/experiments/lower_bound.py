@@ -67,6 +67,10 @@ class LowerBoundSpec(ExperimentSpec):
     simulate: bool = False
     simulate_bits: int = 1
     max_side_bits: int = 12
+    engine: str = "compiled"
+    """How the protocol-simulation probes sweep assignments: ``"compiled"``
+    reloads full assignments, ``"delta"`` streams Gray-coded single-vertex
+    changes through a persistent session (same verdicts, less work)."""
     check_bound: bool = True
     seed: int = 0
     shard: Optional[Tuple[int, int]] = None
@@ -87,6 +91,10 @@ class LowerBoundSpec(ExperimentSpec):
             raise RegistryError("simulate_bits must be at least 1")
         if self.max_side_bits < 1:
             raise RegistryError("max_side_bits must be at least 1")
+        if self.engine not in ("compiled", "delta"):
+            raise RegistryError(
+                f"unknown engine {self.engine!r}; use 'compiled' or 'delta'"
+            )
         needs_instances = self.check_dichotomy or self.simulate
         if needs_instances and not info.checkable:
             raise RegistryError(
@@ -249,6 +257,7 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
                     certificate_bits_per_vertex=spec.simulate_bits,
                     ids=ids,
                     max_side_bits=spec.max_side_bits,
+                    engine=spec.engine,
                 )
                 control_rejected = not framework.simulate_protocol(
                     NeverAcceptScheme(),
@@ -256,6 +265,7 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
                     certificate_bits_per_vertex=spec.simulate_bits,
                     ids=ids,
                     max_side_bits=spec.max_side_bits,
+                    engine=spec.engine,
                 )
                 protocol_ok = bool(probe_accepted and control_rejected)
             except ValueError:

@@ -26,6 +26,7 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence
 import networkx as nx
 
 from repro.core.scheme import CertificationScheme
+from repro.network.adversary import exhaustive_deltas, initial_exhaustive_assignment
 from repro.network.compiled import CompiledNetwork
 from repro.network.ids import IdentifierAssignment
 from repro.network.views import LocalView
@@ -131,6 +132,7 @@ class ReductionFramework:
         certificate_bits_per_vertex: int,
         ids: IdentifierAssignment,
         max_side_bits: int = 12,
+        engine: str = "compiled",
     ) -> bool:
         """Run the Proposition 7.2 simulation on one (s_A, s_B) pair.
 
@@ -141,7 +143,18 @@ class ReductionFramework:
         function returns True iff *some* prover message makes both accept —
         which, by the argument of Appendix E.1, happens iff the full graph
         admits an accepting certificate assignment.
+
+        ``engine`` selects how the doubly exponential sweep runs:
+        ``"compiled"`` reloads each full assignment on the compile-once
+        topology; ``"delta"`` keeps one persistent
+        :class:`~repro.network.compiled.DeltaSession` per player and walks
+        prover messages and side assignments as Gray-coded single-vertex
+        deltas, so each enumerated assignment re-verifies one closed
+        neighbourhood instead of every simulated vertex.  Both quantify over
+        the same sets and return the same boolean.
         """
+        if engine not in ("compiled", "delta"):
+            raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'delta'")
         graph = self.build_graph(s_a, s_b)
         # Fixed-size private parts may leave padding vertices isolated
         # (shorter strings use fewer encoding vertices); drop them exactly as
@@ -163,6 +176,12 @@ class ReductionFramework:
         middle_bits = certificate_bits_per_vertex * len(middle)
         if middle_bits > max_side_bits:
             raise ValueError("instance too large for exhaustive protocol simulation")
+
+        if engine == "delta":
+            return self._simulate_protocol_delta(
+                network, scheme.verify, side_a, side_b, middle,
+                certificate_bits_per_vertex,
+            )
 
         def assignments(vertices: Sequence[Vertex]) -> Iterable[Dict[Vertex, bytes]]:
             n_bytes = (certificate_bits_per_vertex + 7) // 8
@@ -195,5 +214,52 @@ class ReductionFramework:
             alice_ok = side_accepts(side_a, middle_assignment)
             bob_ok = side_accepts(side_b, middle_assignment)
             if alice_ok and bob_ok:
+                return True
+        return False
+
+    @staticmethod
+    def _simulate_protocol_delta(
+        network: CompiledNetwork,
+        verify: Callable[[LocalView], bool],
+        side_a: Sequence[Vertex],
+        side_b: Sequence[Vertex],
+        middle: Sequence[Vertex],
+        bits: int,
+    ) -> bool:
+        """The Alice/Bob sweep on persistent per-player delta sessions.
+
+        Each player's session watches their simulated vertices (side +
+        middle) with the *other* side's certificates pinned to ``b""``, the
+        exact universe :meth:`~CompiledNetwork.accepts_at` sees on the
+        compiled path.  Prover messages (middle) advance in Gray order on
+        both sessions at once; for each message the player's side is swept in
+        Gray order and then reset to its all-zero baseline, so every
+        enumerated assignment costs one closed-neighbourhood update.
+        """
+        zero = bytes((bits + 7) // 8)
+
+        def session_for(side: Sequence[Vertex]):
+            baseline = initial_exhaustive_assignment([*side, *middle], bits)
+            return network.delta_session(verify, baseline, vertices=[*side, *middle])
+
+        def side_accepts(session, side: Sequence[Vertex]) -> bool:
+            found = session.accepted
+            if not found:
+                for vertex, certificate in exhaustive_deltas(side, bits):
+                    if session.apply(vertex, certificate):
+                        found = True
+                        break
+            for vertex in side:  # back to the all-zero side baseline
+                session.apply(vertex, zero)
+            return found
+
+        alice = session_for(side_a)
+        bob = session_for(side_b)
+        if side_accepts(alice, side_a) and side_accepts(bob, side_b):
+            return True
+        for vertex, certificate in exhaustive_deltas(middle, bits):
+            alice.apply(vertex, certificate)
+            bob.apply(vertex, certificate)
+            if side_accepts(alice, side_a) and side_accepts(bob, side_b):
                 return True
         return False

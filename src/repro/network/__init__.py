@@ -11,12 +11,14 @@ accept).
 
 The package also contains the adversarial machinery used by the soundness
 experiments: certificate corruption, random assignments, and exhaustive
-search over all bounded-size assignments on tiny instances.
+search over all bounded-size assignments on tiny instances — each available
+both in full-assignment form and as single-vertex delta streams for the
+incremental engine (:class:`~repro.network.compiled.DeltaSession`).
 """
 
 from repro.network.ids import IdentifierAssignment, assign_identifiers
 from repro.network.views import LocalView, LocalViewOps, NeighborInfo
-from repro.network.compiled import CompiledNetwork, compile_network
+from repro.network.compiled import CompiledNetwork, DeltaSession, compile_network
 from repro.network.simulator import (
     CertificateAssignment,
     NetworkSimulator,
@@ -24,7 +26,10 @@ from repro.network.simulator import (
 )
 from repro.network.adversary import (
     corrupt_assignment,
+    corruption_deltas,
     exhaustive_assignments,
+    exhaustive_deltas,
+    initial_exhaustive_assignment,
     random_assignment,
 )
 from repro.network.radius import (
@@ -45,12 +50,16 @@ __all__ = [
     "LocalViewOps",
     "NeighborInfo",
     "CompiledNetwork",
+    "DeltaSession",
     "compile_network",
     "CertificateAssignment",
     "NetworkSimulator",
     "SimulationResult",
     "corrupt_assignment",
+    "corruption_deltas",
     "exhaustive_assignments",
+    "exhaustive_deltas",
+    "initial_exhaustive_assignment",
     "random_assignment",
     "RadiusSimulationResult",
     "RadiusSimulator",

@@ -13,13 +13,23 @@ increasing strength:
   ``max_bits`` bits, usable only on tiny instances, modelling the strongest
   possible prover and therefore giving a *proof* of soundness (or of a lower
   bound) for that instance.
+
+The delta-verification engine (:meth:`repro.network.compiled.CompiledNetwork.
+delta_session`) consumes the same adversaries as *streams of single-vertex
+changes* instead of full assignments: :func:`exhaustive_deltas` walks the
+exact assignment set of :func:`exhaustive_assignments` as a mixed-radix Gray
+code (every step changes one vertex's certificate, so each step re-verifies
+one closed neighbourhood instead of the whole graph), and
+:func:`corruption_deltas` expresses one corruption trial as the one or two
+per-vertex changes it makes, so a corruption sweep re-verifies only the
+corrupted vertices' neighbourhoods against the cached honest baseline.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Hashable, Iterator, Mapping, Sequence
+from typing import Dict, Hashable, Iterator, List, Mapping, Sequence, Tuple
 
 Vertex = Hashable
 
@@ -30,12 +40,21 @@ def _rng(seed: int | random.Random | None) -> random.Random:
     return random.Random(seed)
 
 
-def corrupt_assignment(
+def corruption_deltas(
     certificates: Mapping[Vertex, bytes],
     seed: int | random.Random | None = None,
     kind: str = "bitflip",
-) -> Dict[Vertex, bytes]:
-    """Return a corrupted copy of an honest certificate assignment.
+) -> List[Tuple[Vertex, bytes]]:
+    """One corruption trial as the per-vertex changes it makes.
+
+    Returns the ``(vertex, new certificate)`` deltas that
+    :func:`corrupt_assignment` would apply for the same seed and kind — one
+    delta for the single-vertex fault models, two for ``"swap"``, possibly
+    none (nothing to corrupt).  A delta may equal the vertex's honest
+    certificate (e.g. zeroing an already-zero certificate); callers that need
+    "did anything change" semantics filter on that.  Draws from the RNG in
+    exactly :func:`corrupt_assignment`'s order, so both forms of a trial are
+    interchangeable under a shared seed.
 
     ``kind`` selects the fault model:
 
@@ -45,20 +64,19 @@ def corrupt_assignment(
     * ``"zero"``      — replace one certificate with all-zero bytes of the same length.
     """
     rng = _rng(seed)
-    corrupted = {v: bytes(c) for v, c in certificates.items()}
-    vertices = sorted(corrupted.keys(), key=repr)
+    vertices = sorted(certificates.keys(), key=repr)
     if not vertices:
-        return corrupted
+        return []
     if kind == "swap":
-        if len(vertices) >= 2:
-            a, b = rng.sample(vertices, 2)
-            corrupted[a], corrupted[b] = corrupted[b], corrupted[a]
-        return corrupted
-    non_empty = [v for v in vertices if corrupted[v]]
+        if len(vertices) < 2:
+            return []
+        a, b = rng.sample(vertices, 2)
+        return [(a, bytes(certificates[b])), (b, bytes(certificates[a]))]
+    non_empty = [v for v in vertices if certificates[v]]
     if not non_empty:
-        return corrupted
+        return []
     target = rng.choice(non_empty)
-    data = bytearray(corrupted[target])
+    data = bytearray(certificates[target])
     if kind == "bitflip":
         bit = rng.randrange(len(data) * 8)
         data[bit // 8] ^= 1 << (bit % 8)
@@ -68,7 +86,22 @@ def corrupt_assignment(
         data = bytearray(len(data))
     else:
         raise ValueError(f"unknown corruption kind: {kind}")
-    corrupted[target] = bytes(data)
+    return [(target, bytes(data))]
+
+
+def corrupt_assignment(
+    certificates: Mapping[Vertex, bytes],
+    seed: int | random.Random | None = None,
+    kind: str = "bitflip",
+) -> Dict[Vertex, bytes]:
+    """Return a corrupted copy of an honest certificate assignment.
+
+    The full-assignment form of :func:`corruption_deltas` (see there for the
+    fault models): the honest mapping with that trial's deltas applied.
+    """
+    corrupted = {v: bytes(c) for v, c in certificates.items()}
+    for vertex, certificate in corruption_deltas(certificates, seed=seed, kind=kind):
+        corrupted[vertex] = certificate
     return corrupted
 
 
@@ -99,3 +132,54 @@ def exhaustive_assignments(
         options.append(value.to_bytes(n_bytes, "big") if n_bytes else b"")
     for combo in itertools.product(options, repeat=len(vertices)):
         yield dict(zip(vertices, combo))
+
+
+def initial_exhaustive_assignment(
+    vertices: Sequence[Vertex], max_bits: int
+) -> Dict[Vertex, bytes]:
+    """The assignment :func:`exhaustive_deltas` starts from: all-zero
+    certificates of exactly ``max_bits`` bits (``b""`` when ``max_bits == 0``)."""
+    if max_bits < 0:
+        raise ValueError("max_bits must be non-negative")
+    zero = bytes((max_bits + 7) // 8)
+    return {v: zero for v in vertices}
+
+
+def exhaustive_deltas(
+    vertices: Sequence[Vertex], max_bits: int
+) -> Iterator[Tuple[Vertex, bytes]]:
+    """The exhaustive adversary as a stream of single-vertex deltas.
+
+    Walks *exactly* the assignment set of :func:`exhaustive_assignments` —
+    all ``(2 ** max_bits) ** len(vertices)`` assignments of ``max_bits``-bit
+    certificates — as a mixed-radix reflected Gray code (Knuth 7.2.1.1,
+    Algorithm H): starting from :func:`initial_exhaustive_assignment`, each
+    of the ``(2 ** max_bits) ** len(vertices) - 1`` yielded
+    ``(vertex, certificate)`` pairs changes one vertex's certificate and
+    produces the next assignment, never repeating one.  Feed the stream to
+    :meth:`repro.network.compiled.DeltaSession.apply` and every assignment of
+    the exhaustive sweep costs one closed-neighbourhood re-verification
+    instead of a full-graph run.
+    """
+    if max_bits < 0:
+        raise ValueError("max_bits must be non-negative")
+    n = len(vertices)
+    radix = 1 << max_bits
+    if n == 0 or radix == 1:
+        return
+    n_bytes = (max_bits + 7) // 8
+    options = [value.to_bytes(n_bytes, "big") for value in range(radix)]
+    digits = [0] * n
+    direction = [1] * n
+    focus = list(range(n + 1))
+    while True:
+        j = focus[0]
+        focus[0] = 0
+        if j == n:
+            return
+        digits[j] += direction[j]
+        yield vertices[j], options[digits[j]]
+        if digits[j] == 0 or digits[j] == radix - 1:
+            direction[j] = -direction[j]
+            focus[j] = focus[j + 1]
+            focus[j + 1] = j + 1

@@ -21,6 +21,20 @@ The mutable views are private to the engine between calls: a verifier must
 treat its view as read-only (the model's verifiers are pure functions), and
 ``collect_views=True`` returns immutable :class:`LocalView` snapshots so
 results never alias engine internals.
+
+**Incremental (delta) verification.**  Local certification is local: changing
+one vertex's certificate can only change the verdicts inside its closed
+neighbourhood ``N[v]``.  :meth:`CompiledNetwork.delta_session` exploits that
+for enumeration-shaped workloads (exhaustive soundness proofs, corruption
+sweeps, Alice/Bob protocol simulations) whose assignments differ in a single
+vertex from step to step: a :class:`DeltaSession` keeps a persistent
+per-vertex verdict array plus a rejecting-vertex counter, and
+:meth:`DeltaSession.apply` re-verifies only ``N[v]`` — acceptance becomes an
+O(1) counter read instead of an O(n) rescan.  Because the model's verifiers
+are pure functions of the local view, per-vertex verdicts are additionally
+memoised on the local certificate bytes (shared across sessions of the same
+network + verifier via the registered ``delta-verdicts`` cache), so a sweep
+that revisits a local configuration pays a dict lookup, not a verifier call.
 """
 
 from __future__ import annotations
@@ -28,10 +42,11 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence
 
 import networkx as nx
 
+from repro.caching import LRUCache, register_cache
 from repro.graphs.utils import ensure_connected
 from repro.network.ids import IdentifierAssignment, assign_identifiers
 from repro.network.views import LocalView, LocalViewOps, NeighborInfo
@@ -39,6 +54,17 @@ from repro.network.views import LocalView, LocalViewOps, NeighborInfo
 Vertex = Hashable
 CertificateAssignment = Mapping[Vertex, bytes]
 Verifier = Callable[["LocalViewOps"], bool]
+
+#: Per-vertex cap on memoised local-verdict entries; a sweep whose local
+#: configuration space outgrows this simply falls back to calling the
+#: verifier (exhaustive sweeps stay tiny: 2**(bits * (deg + 1)) entries).
+_MEMO_ENTRY_CAP = 1 << 12
+
+#: Shared per-(network, verifier) verdict memos.  Keyed on object identities
+#: with strong references stored in the entry, so an identity cannot be
+#: recycled while its memo is alive; registered so ``cache_stats`` (and the
+#: service's stats endpoint) can observe delta-engine reuse.
+_VERDICT_MEMOS = register_cache("delta-verdicts", LRUCache(maxsize=64))
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,21 +146,15 @@ class CompiledNetwork:
             indices.extend(index[w] for w in neighbors)
             indptr.append(len(indices))
 
-        records = [_NeighborRecord(ids[v]) for v in order]
-        views = [
-            _MutableLocalView(
-                ids[v],
-                b"",
-                tuple(records[j] for j in indices[indptr[i] : indptr[i + 1]]),
-                n,
-            )
-            for i, v in enumerate(order)
-        ]
-
         self._order = order
         self._index = index
         self._indptr = indptr
         self._indices = indices
+        # Delta-mode adjacency tables, built lazily on the first session so
+        # the PR-1 compile path pays nothing for them (see _delta_tables).
+        self._closed = None
+        self._positions = None
+        records, views = self._fresh_views()
         self._records = records
         self._views = views
         # Hot-loop iteration structure: (vertex, view, shared neighbor record).
@@ -142,6 +162,27 @@ class CompiledNetwork:
         # The reusable views are engine state: concurrent runs on a shared
         # (e.g. cached) instance must not interleave certificate swaps.
         self._run_lock = threading.Lock()
+
+    def _fresh_views(self) -> tuple:
+        """Allocate an independent (records, views) pair over this topology.
+
+        The constructor uses it for the engine's own reusable views; every
+        :class:`DeltaSession` gets its own pair so sessions never contend
+        with :meth:`run` (or each other) for the shared mutable views.
+        """
+        ids = self.identifiers
+        n = len(self._order)
+        records = [_NeighborRecord(ids[v]) for v in self._order]
+        views = [
+            _MutableLocalView(
+                records[i].identifier,
+                b"",
+                tuple(records[j] for j in self._indices[self._indptr[i] : self._indptr[i + 1]]),
+                n,
+            )
+            for i in range(n)
+        ]
+        return records, views
 
     # ------------------------------------------------------------------
     # Certificate loading
@@ -260,6 +301,73 @@ class CompiledNetwork:
         return False
 
     # ------------------------------------------------------------------
+    # Incremental (delta) verification
+    # ------------------------------------------------------------------
+
+    def _delta_tables(self) -> tuple:
+        """The delta engine's adjacency tables, built on first use.
+
+        ``closed[i]`` is the closed neighbourhood N[v_i] as index tuples —
+        the exact set of verdicts a single-vertex certificate change can
+        move; ``positions[i]`` records the slot vertex i occupies in each
+        neighbour j's local-configuration list (slot 0 is j's own
+        certificate, slots 1.. its neighbours in view order), so one
+        certificate change updates every affected memo key by plain list
+        writes.  Concurrent first calls recompute the same values — benign.
+        """
+        if self._positions is None:
+            indices, indptr = self._indices, self._indptr
+            n = len(self._order)
+            neighbor_lists = [indices[indptr[i] : indptr[i + 1]] for i in range(n)]
+            slot_of = [
+                {j: pos + 1 for pos, j in enumerate(neighbors)}
+                for neighbors in neighbor_lists
+            ]
+            self._closed = tuple(
+                (i, *neighbors) for i, neighbors in enumerate(neighbor_lists)
+            )
+            self._positions = tuple(
+                tuple((j, slot_of[j][i]) for j in neighbor_lists[i]) for i in range(n)
+            )
+        return self._closed, self._positions
+
+    def _verdict_memo(self, verifier: Verifier) -> tuple:
+        """The per-vertex local-verdict memo shared by every delta session of
+        this (network, verifier) pair.
+
+        A bound method is keyed on ``(instance, function)`` identity so each
+        ``scheme.verify`` access — a fresh bound-method object — maps to the
+        same memo; the entry pins strong references so the ids stay valid.
+        """
+        instance = getattr(verifier, "__self__", None)
+        function = getattr(verifier, "__func__", verifier)
+        key = (id(self), id(instance), id(function))
+        _, _, _, memo = _VERDICT_MEMOS.get_or_compute(
+            key,
+            lambda: (self, instance, function, tuple({} for _ in self._order)),
+        )
+        return memo
+
+    def delta_session(
+        self,
+        verifier: Verifier,
+        certificates: CertificateAssignment,
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> "DeltaSession":
+        """Start an incremental verification session on this topology.
+
+        The session is fully verified against ``certificates`` on creation;
+        afterwards :meth:`DeltaSession.apply` re-verifies only the changed
+        vertex's closed neighbourhood, and acceptance is an O(1) counter
+        read.  ``vertices`` optionally restricts the verdicts that count to a
+        watched subset (the delta analogue of :meth:`accepts_at` — used by
+        the Alice/Bob protocol simulation, which only observes part of the
+        graph).  Sessions own their view structures, so any number of them
+        coexist with each other and with :meth:`run` on a shared instance.
+        """
+        return DeltaSession(self, verifier, certificates, vertices=vertices)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -282,6 +390,165 @@ class CompiledNetwork:
 
     def _snapshot_views(self) -> Dict[Vertex, LocalView]:
         return {vertex: self.view_of(vertex) for vertex in self._order}
+
+
+class DeltaSession:
+    """Persistent verdict state for a stream of single-vertex certificate deltas.
+
+    Holds the current certificate assignment, one verdict per watched vertex
+    and a rejecting-vertex counter.  :meth:`apply` updates a single vertex's
+    certificate and re-verifies exactly its closed neighbourhood ``N[v]``;
+    :attr:`accepted` is a counter comparison.  Per-vertex verdicts are
+    memoised on the local certificate bytes (own certificate plus the
+    id-sorted neighbour certificates — everything a pure radius-1 verifier
+    can read), with the memo shared across sessions of the same
+    (network, verifier) pair.
+
+    Create sessions with :meth:`CompiledNetwork.delta_session`.
+    """
+
+    __slots__ = (
+        "_network",
+        "_verifier",
+        "_records",
+        "_views",
+        "_closed",
+        "_positions",
+        "_local",
+        "_index",
+        "_memo",
+        "_watched",
+        "_verdicts",
+        "_reject_count",
+    )
+
+    def __init__(
+        self,
+        network: CompiledNetwork,
+        verifier: Verifier,
+        certificates: CertificateAssignment,
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> None:
+        self._network = network
+        self._verifier = verifier
+        self._records, self._views = network._fresh_views()
+        self._closed, self._positions = network._delta_tables()
+        self._index = network._index
+        self._memo = network._verdict_memo(verifier)
+
+        n = len(network._order)
+        if vertices is None:
+            watched_indices = range(n)
+        else:
+            watched_indices = sorted(self._index[v] for v in vertices)
+        self._watched = [False] * n
+        for i in watched_indices:
+            self._watched[i] = True
+
+        get = certificates.get
+        for i, vertex in enumerate(network._order):
+            cert = get(vertex, b"")
+            if type(cert) is not bytes:
+                cert = bytes(cert)
+            self._views[i].certificate = cert
+            self._records[i].certificate = cert
+        # Per-vertex local configurations (own certificate, then neighbour
+        # certificates in view order): the mutable source of the memo keys.
+        records = self._records
+        self._local = [[records[j].certificate for j in self._closed[i]] for i in range(n)]
+
+        self._verdicts = [True] * n
+        self._reject_count = 0
+        for i in watched_indices:
+            verdict = self._verify(i)
+            self._verdicts[i] = verdict
+            if not verdict:
+                self._reject_count += 1
+
+    def _verify(self, i: int) -> bool:
+        """Memoised verdict of vertex index ``i`` under the current views."""
+        memo = self._memo[i]
+        key = tuple(self._local[i])
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = True if self._verifier(self._views[i]) else False
+            if len(memo) < _MEMO_ENTRY_CAP:
+                memo[key] = verdict
+        return verdict
+
+    def apply(self, vertex: Vertex, certificate: bytes) -> bool:
+        """Set ``vertex``'s certificate and re-verify its closed neighbourhood.
+
+        Returns whether the *whole* assignment is now accepted (every watched
+        vertex accepts) — an O(1) counter read after O(deg) local updates.
+        Applying a certificate equal to the current one is a no-op.
+        """
+        i = self._index[vertex]
+        if type(certificate) is not bytes:
+            certificate = bytes(certificate)
+        record = self._records[i]
+        if record.certificate == certificate:
+            return self._reject_count == 0
+        record.certificate = certificate
+        self._views[i].certificate = certificate
+        local = self._local
+        local[i][0] = certificate
+        for j, pos in self._positions[i]:
+            local[j][pos] = certificate
+        memo = self._memo
+        verdicts = self._verdicts
+        watched = self._watched
+        reject_count = self._reject_count
+        for j in self._closed[i]:
+            if watched[j]:
+                memo_j = memo[j]
+                key = tuple(local[j])
+                verdict = memo_j.get(key)
+                if verdict is None:
+                    verdict = True if self._verifier(self._views[j]) else False
+                    if len(memo_j) < _MEMO_ENTRY_CAP:
+                        memo_j[key] = verdict
+                if verdict is not verdicts[j]:
+                    verdicts[j] = verdict
+                    reject_count += -1 if verdict else 1
+        self._reject_count = reject_count
+        return reject_count == 0
+
+    @property
+    def accepted(self) -> bool:
+        """Does every watched vertex accept the current assignment?  O(1)."""
+        return self._reject_count == 0
+
+    @property
+    def rejecting_count(self) -> int:
+        return self._reject_count
+
+    def certificate_of(self, vertex: Vertex) -> bytes:
+        """The certificate currently assigned to ``vertex`` in this session."""
+        return self._records[self._index[vertex]].certificate
+
+    def rejecting_vertices(self) -> tuple:
+        """The watched vertices currently rejecting, in ``repr`` order."""
+        order = self._network._order
+        rejecting = [
+            order[i]
+            for i, verdict in enumerate(self._verdicts)
+            if self._watched[i] and not verdict
+        ]
+        return tuple(sorted(rejecting, key=repr))
+
+    def result(self) -> SimulationResult:
+        """The current state as a :class:`SimulationResult` (full-run parity).
+
+        O(n) — intended for equivalence tests and endpoints that need the
+        rejecting set or the certificate size, not for the per-delta hot loop.
+        """
+        max_len = max((len(view.certificate) for view in self._views), default=0)
+        return SimulationResult(
+            accepted=self._reject_count == 0,
+            rejecting_vertices=self.rejecting_vertices(),
+            max_certificate_bits=max_len * 8,
+        )
 
 
 def compile_network(

@@ -10,7 +10,9 @@ single vertex accepts (Section 3.3).
 :class:`NetworkSimulator` is now a thin compatibility wrapper around the
 compile-once engine of :mod:`repro.network.compiled`: :meth:`~NetworkSimulator.run`
 delegates to a lazily-built :class:`~repro.network.compiled.CompiledNetwork`
-so every existing call site gets the fast path.  The original per-run
+so every existing call site gets the fast path, and
+:meth:`~NetworkSimulator.delta_session` exposes the same engine's
+incremental mode for enumeration-shaped callers.  The original per-run
 view-building implementation is preserved as :meth:`NetworkSimulator.run_legacy`
 — it is the executable reference semantics, used by the equivalence tests in
 ``tests/network/test_compiled.py`` and as the "before" baseline of
@@ -116,6 +118,20 @@ class NetworkSimulator:
         :meth:`run_legacy` (the equivalence tests assert exactly that).
         """
         return self.compiled().run(verifier, certificates, collect_views=collect_views)
+
+    def delta_session(
+        self,
+        verifier: Verifier,
+        certificates: CertificateAssignment,
+        vertices=None,
+    ):
+        """An incremental verification session on the compiled topology.
+
+        See :meth:`repro.network.compiled.CompiledNetwork.delta_session`;
+        exposed here so wrapper-level callers reach delta mode without
+        touching the engine directly.
+        """
+        return self.compiled().delta_session(verifier, certificates, vertices=vertices)
 
     def run_legacy(
         self,

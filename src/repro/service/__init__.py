@@ -28,6 +28,8 @@ from repro.service.core import CertificationService
 from repro.service.client import ServiceClient
 from repro.service.messages import (
     ERROR_CODES,
+    BatchRequest,
+    BatchResponse,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
@@ -43,6 +45,8 @@ from repro.service.messages import (
 
 __all__ = [
     "ERROR_CODES",
+    "BatchRequest",
+    "BatchResponse",
     "CertificationService",
     "CertifyRequest",
     "CertifyResponse",

@@ -28,9 +28,11 @@ import json
 import subprocess
 import sys
 import time
-from typing import IO, Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.service.messages import (
+    BatchRequest,
+    BatchResponse,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
@@ -171,6 +173,27 @@ class ServiceClient:
                 **kwargs,
             )
         )
+
+    def submit_many(
+        self,
+        requests: Sequence[Request],
+        stop_on_failure: bool = False,
+    ) -> Union[List[Response], ErrorResponse]:
+        """Send a whole batch as one ``batch`` wire request.
+
+        Returns the per-request responses in order — the remote counterpart
+        of :meth:`CertificationService.submit_many`, including the
+        ``stop_on_failure`` early exit (cancelled members come back as
+        ``skipped`` errors).  A failure of the batch envelope itself (e.g. a
+        member that does not decode) comes back as a single
+        :class:`ErrorResponse` value.
+        """
+        response = self.request(
+            BatchRequest(requests=tuple(requests), stop_on_failure=stop_on_failure)
+        )
+        if isinstance(response, BatchResponse):
+            return list(response.responses)
+        return response
 
     def stats(self) -> Union[StatsResponse, ErrorResponse]:
         return self.request(StatsRequest())

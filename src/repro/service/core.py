@@ -41,6 +41,8 @@ from repro.experiments import SweepSpec, run_sweep
 from repro.graphs.generators import GraphSpecError, build_graph_spec
 from repro.registry import REGISTRY, RegistryError, SchemeInfo
 from repro.service.messages import (
+    BatchRequest,
+    BatchResponse,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
@@ -155,6 +157,16 @@ class CertificationService:
         if isinstance(request, StatsRequest):
             self._count("stats")
             return StatsResponse(result=self.stats())
+        if isinstance(request, BatchRequest):
+            # The wire form of submit_many: the batch fans out over the
+            # worker pool and early-exits exactly like the in-process call.
+            return BatchResponse(
+                responses=tuple(
+                    self.submit_many(
+                        request.requests, stop_on_failure=request.stop_on_failure
+                    )
+                )
+            )
         self._count("errors")
         return ErrorResponse(
             code="invalid-request",
@@ -298,7 +310,19 @@ class CertificationService:
     # -- batched submission --------------------------------------------------
 
     def submit(self, request: Request) -> "Future[Response]":
-        """Queue one request on the bounded worker pool."""
+        """Queue one request on the bounded worker pool.
+
+        A :class:`BatchRequest` is rejected outright: its members need the
+        pool slot the wrapping future would occupy, which deadlocks a
+        saturated pool (in-process callers use :meth:`submit_many` directly;
+        the wire protocol dispatches batches through :meth:`handle` on the
+        connection thread).
+        """
+        if isinstance(request, BatchRequest):
+            raise ValueError(
+                "a batch cannot be queued on the worker pool; "
+                "use submit_many(batch.requests) or handle(batch)"
+            )
         return self._executor().submit(self.handle, request)
 
     def submit_many(
@@ -315,6 +339,10 @@ class CertificationService:
         """
         self._count("batches")
         batch: Sequence[Request] = list(requests)
+        if any(isinstance(request, BatchRequest) for request in batch):
+            # Nested batches would wait on pool slots their wrapper occupies
+            # — the same deadlock submit() guards against.
+            raise ValueError("batches cannot contain batches")
         futures = [self._executor().submit(self.handle, request) for request in batch]
         responses: List[Response] = []
         failed = False

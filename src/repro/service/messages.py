@@ -155,14 +155,12 @@ class StatsRequest:
         return _from_dict(cls, data, kind="request")
 
 
-Request = Union[CertifyRequest, SweepRequest, StatsRequest]
-
 _REQUEST_TYPES: Dict[str, type] = {
     cls.op: cls for cls in (CertifyRequest, SweepRequest, StatsRequest)
 }
 
 
-def request_from_dict(data: Mapping[str, Any]) -> Request:
+def request_from_dict(data: Mapping[str, Any]) -> "Request":
     """Re-hydrate any request by its ``op`` discriminator."""
     op = data.get("op")
     cls = _REQUEST_TYPES.get(op)
@@ -172,6 +170,69 @@ def request_from_dict(data: Mapping[str, Any]) -> Request:
             f"{', '.join(sorted(_REQUEST_TYPES))}, shutdown"
         )
     return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """Many requests as one wire message, answered through the worker pool.
+
+    The batch rides :meth:`~repro.service.core.CertificationService.
+    submit_many`, so ``stop_on_failure=True`` gives wire callers the same
+    batch-level early exit as in-process ones: after the first error or
+    failed verdict, still-queued members are answered with ``skipped``
+    errors instead of running.  Batches cannot nest, and ``shutdown`` cannot
+    ride in one (a batch member never terminates the session).
+    """
+
+    op = "batch"
+
+    requests: Tuple["Request", ...]
+    stop_on_failure: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "requests": [request.to_dict() for request in self.requests],
+            "stop_on_failure": self.stop_on_failure,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatchRequest":
+        payload = dict(data)
+        op = payload.pop("op", cls.op)
+        if op != cls.op:
+            raise ProtocolError(f"expected a 'batch' request, got op {op!r}")
+        raw_requests = payload.pop("requests", None)
+        stop_on_failure = payload.pop("stop_on_failure", False)
+        unknown = sorted(payload)
+        if unknown:
+            raise ProtocolError(f"unknown 'batch' field(s) {unknown}")
+        if not isinstance(raw_requests, (list, tuple)):
+            raise ProtocolError("a 'batch' request needs a 'requests' list")
+        if not isinstance(stop_on_failure, bool):
+            raise ProtocolError("stop_on_failure must be a boolean")
+        requests = []
+        for position, entry in enumerate(raw_requests):
+            if not isinstance(entry, Mapping):
+                raise ProtocolError(f"batch request #{position} must be a JSON object")
+            entry_op = entry.get("op")
+            if entry_op == cls.op:
+                raise ProtocolError("batch requests cannot nest")
+            if entry_op == "shutdown":
+                raise ProtocolError("shutdown cannot ride in a batch")
+            try:
+                requests.append(request_from_dict(entry))
+            except ProtocolError as error:
+                raise ProtocolError(f"batch request #{position}: {error}") from None
+        return cls(requests=tuple(requests), stop_on_failure=stop_on_failure)
+
+
+Request = Union[CertifyRequest, SweepRequest, StatsRequest, BatchRequest]
+
+_REQUEST_TYPES[BatchRequest.op] = BatchRequest
 
 
 # ---------------------------------------------------------------------------
@@ -343,15 +404,13 @@ class ErrorResponse:
             raise ProtocolError(f"bad error response: {error}") from None
 
 
-Response = Union[CertifyResponse, SweepResponse, StatsResponse, ErrorResponse]
-
 _RESPONSE_TYPES: Dict[str, type] = {
     cls.op: cls
     for cls in (CertifyResponse, SweepResponse, StatsResponse, ErrorResponse)
 }
 
 
-def response_from_dict(data: Mapping[str, Any]) -> Response:
+def response_from_dict(data: Mapping[str, Any]) -> "Response":
     """Re-hydrate any response by its ``op`` discriminator."""
     op = data.get("op")
     cls = _RESPONSE_TYPES.get(op)
@@ -360,3 +419,44 @@ def response_from_dict(data: Mapping[str, Any]) -> Response:
             f"unknown response op {op!r}; known ops: {', '.join(sorted(_RESPONSE_TYPES))}"
         )
     return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """The per-member responses of one :class:`BatchRequest`, in order.
+
+    The batch envelope itself is always ``ok``; failures live in the member
+    responses (``skipped`` errors mark members cancelled by
+    ``stop_on_failure``).
+    """
+
+    op = "batch"
+    ok = True
+
+    responses: Tuple["Response", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "responses", tuple(self.responses))
+
+    @property
+    def all_ok(self) -> bool:
+        return all(response.ok for response in self.responses)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "ok": True,
+            "responses": [response.to_dict() for response in self.responses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatchResponse":
+        raw = data.get("responses")
+        if not isinstance(raw, (list, tuple)):
+            raise ProtocolError("bad batch response: 'responses' must be a list")
+        return cls(responses=tuple(response_from_dict(entry) for entry in raw))
+
+
+Response = Union[CertifyResponse, SweepResponse, StatsResponse, ErrorResponse, BatchResponse]
+
+_RESPONSE_TYPES[BatchResponse.op] = BatchResponse

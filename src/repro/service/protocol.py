@@ -12,7 +12,7 @@ JSON object whose ``op`` field names the message type
   speaks the same line protocol, and concurrent connections share the one
   service (and therefore its warm caches).
 
-Three rules keep the protocol robust:
+Four rules keep the protocol robust:
 
 1. a malformed line is answered with an ``invalid-request`` error response,
    never a dropped connection;
@@ -20,7 +20,11 @@ Three rules keep the protocol robust:
    ``{"op": "shutdown", "ok": true}`` and then stops the server — the clean
    way to end a session (EOF / disconnect merely ends the connection);
 3. responses are exactly one line of compact JSON with sorted keys, so
-   byte-level comparisons (and the CLI-parity test) are meaningful.
+   byte-level comparisons (and the CLI-parity test) are meaningful;
+4. request lines are read at most ``max_request_bytes`` at a time, so an
+   oversized (or unterminated) line can never balloon server memory: the
+   excess is drained without buffering, the sender gets a structured
+   ``invalid-request`` error, and the connection keeps serving.
 """
 
 from __future__ import annotations
@@ -36,6 +40,52 @@ from repro.service.messages import ErrorResponse, ProtocolError, request_from_di
 
 #: ``op`` of the session-terminating request and of its acknowledgement.
 SHUTDOWN_OP = "shutdown"
+
+#: Default cap on one request line (newline included).  Generous for every
+#: real request shape — a thousand-member batch fits comfortably — while
+#: keeping a hostile or broken sender from buffering unbounded memory.
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
+#: Read size used while discarding the tail of an oversized line.
+_DRAIN_CHUNK = 1 << 16
+
+
+def _oversized_line(max_request_bytes: int) -> str:
+    """The structured answer to a request line that blew the size limit."""
+    response = ErrorResponse(
+        code="invalid-request",
+        message=f"request line exceeds the {max_request_bytes}-byte limit",
+    )
+    return encode_line(response.to_dict())
+
+
+def _read_limited_line(stream, max_request_bytes: int):
+    """Read one line from a text or binary stream, capped at the limit.
+
+    Returns ``(line, oversized)``; ``line`` is falsy at EOF.  An oversized
+    line is consumed (drained in bounded chunks, never buffered whole) up to
+    its newline so the stream stays synchronised on the next request.
+    """
+    line = stream.readline(max_request_bytes + 1)
+    if not line:
+        return line, False
+    if isinstance(line, str):
+        # Text streams cap readline by characters; enforce the advertised
+        # *byte* limit too (encoding only non-ASCII lines — the protocol is
+        # ASCII JSON, so the common case stays a C-speed scan).
+        newline = "\n"
+        oversized = len(line) > max_request_bytes or (
+            not line.isascii() and len(line.encode("utf-8")) > max_request_bytes
+        )
+    else:
+        newline = b"\n"
+        oversized = len(line) > max_request_bytes
+    if not oversized:
+        return line, False
+    chunk = line
+    while chunk and not chunk.endswith(newline):
+        chunk = stream.readline(_DRAIN_CHUNK)
+    return line, True
 
 
 def encode_line(data: Dict[str, Any]) -> str:
@@ -74,14 +124,25 @@ def serve_stdio(
     service: CertificationService,
     stdin: IO[str],
     stdout: IO[str],
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
 ) -> int:
     """Serve the line protocol over a stream pair until EOF or shutdown.
 
     Returns the number of lines answered.  Blank lines are ignored, so a
-    trailing newline in a piped batch is harmless.
+    trailing newline in a piped batch is harmless.  A line longer than
+    ``max_request_bytes`` is drained and answered with an
+    ``invalid-request`` error — the session keeps serving.
     """
     answered = 0
-    for line in stdin:
+    while True:
+        line, oversized = _read_limited_line(stdin, max_request_bytes)
+        if not line:
+            break
+        if oversized:
+            stdout.write(_oversized_line(max_request_bytes))
+            stdout.flush()
+            answered += 1
+            continue
         if not line.strip():
             continue
         response_line, keep_going = handle_line(service, line)
@@ -95,10 +156,15 @@ def serve_stdio(
 
 class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        limit = self.server.max_request_bytes
         while True:
-            raw = self.rfile.readline()
+            raw, oversized = _read_limited_line(self.rfile, limit)
             if not raw:
                 return
+            if oversized:
+                self.wfile.write(_oversized_line(limit).encode("utf-8"))
+                self.wfile.flush()
+                continue
             line = raw.decode("utf-8", errors="replace")
             if not line.strip():
                 continue
@@ -116,8 +182,15 @@ class TCPProtocolServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, service: CertificationService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: CertificationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ):
         self.service = service
+        self.max_request_bytes = max_request_bytes
         self._shutdown_requested = threading.Event()
         super().__init__((host, port), _LineHandler)
 
@@ -146,6 +219,7 @@ def serve_tcp(
     port: int = 0,
     ready: Optional[threading.Event] = None,
     announce: Optional[IO[str]] = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
 ) -> Tuple[str, int]:
     """Serve the line protocol on localhost TCP until a shutdown request.
 
@@ -154,7 +228,9 @@ def serve_tcp(
     supervisor or a test needs to know when to connect — then blocks until
     a client sends ``{"op": "shutdown"}``.  Returns the address it served.
     """
-    server = TCPProtocolServer(service, host=host, port=port)
+    server = TCPProtocolServer(
+        service, host=host, port=port, max_request_bytes=max_request_bytes
+    )
     bound = server.address
     if announce is not None:
         announce.write(f"serving on {bound[0]}:{bound[1]}\n")

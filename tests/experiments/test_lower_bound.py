@@ -43,6 +43,20 @@ class TestLowerBoundSpec:
         with pytest.raises(RegistryError, match="single"):
             LowerBoundSpec(construction="treedepth", sizes=(1,)).validate()
 
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(RegistryError, match="engine"):
+            LowerBoundSpec(
+                construction="automorphism", sizes=(3,), engine="quantum"
+            ).validate()
+
+    def test_engine_field_roundtrips_and_defaults(self):
+        spec = LowerBoundSpec(construction="automorphism", sizes=(3,), engine="delta")
+        assert LowerBoundSpec.from_dict(spec.to_dict()) == spec
+        # Artifacts written before the engine switch re-hydrate with the default.
+        payload = spec.to_dict()
+        payload.pop("engine")
+        assert LowerBoundSpec.from_dict(payload).engine == "compiled"
+
     def test_catalogue_entries_are_consistent(self):
         for key, construction in LOWER_BOUND_CONSTRUCTIONS.items():
             assert construction.key == key
@@ -72,6 +86,28 @@ class TestRunLowerBound:
         assert point.dichotomy_ok is True
         assert point.protocol_ok is True
         assert point.vertices == 17  # the Figure 3 gadget at n = 2
+
+    def test_simulation_engines_produce_identical_points(self):
+        """The gate's delta-engine search must match the compiled one
+        point-for-point (the engine only changes how the sweep runs)."""
+        results = {
+            engine: run_lower_bound(
+                LowerBoundSpec(
+                    construction="automorphism", sizes=(3, 4), simulate=True,
+                    engine=engine, seed=2,
+                )
+            )
+            for engine in ("compiled", "delta")
+        }
+        compiled_points = [
+            {**p.to_dict(), "elapsed_s": None} for p in results["compiled"].points
+        ]
+        delta_points = [
+            {**p.to_dict(), "elapsed_s": None} for p in results["delta"].points
+        ]
+        assert compiled_points == delta_points
+        assert results["delta"].all_ok
+        assert results["delta"].points[0].protocol_ok is True
 
     def test_oversized_simulation_is_skipped_not_failed(self):
         result = run_lower_bound(

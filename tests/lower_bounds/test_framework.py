@@ -151,3 +151,36 @@ class TestProtocolSimulation:
             framework.simulate_protocol(
                 Trivial(), "0", "0", certificate_bits_per_vertex=16, ids=ids, max_side_bits=4
             )
+
+    def test_engines_agree_on_every_string_pair(self):
+        """The Gray-coded delta sweep and the compiled reload sweep quantify
+        over the same assignment sets, so their verdicts must coincide."""
+        from repro.lower_bounds.catalog import NeverAcceptScheme, ProtocolProbeScheme
+        from repro.network.ids import assign_identifiers
+
+        framework = tiny_framework()
+        for pair in (("0", "0"), ("1", "1"), ("0", "1")):
+            graph = framework.build_graph(*pair)
+            ids = assign_identifiers(graph, seed=0, sequential=True)
+            for scheme, expected in ((ProtocolProbeScheme(), True), (NeverAcceptScheme(), False)):
+                verdicts = {
+                    engine: framework.simulate_protocol(
+                        scheme, *pair, certificate_bits_per_vertex=1,
+                        ids=ids, max_side_bits=8, engine=engine,
+                    )
+                    for engine in ("compiled", "delta")
+                }
+                assert verdicts["compiled"] == verdicts["delta"] == expected, (pair, verdicts)
+
+    def test_unknown_engine_rejected(self):
+        from repro.lower_bounds.catalog import ProtocolProbeScheme
+        from repro.network.ids import assign_identifiers
+
+        framework = tiny_framework()
+        graph = framework.build_graph("0", "0")
+        ids = assign_identifiers(graph, seed=0, sequential=True)
+        with pytest.raises(ValueError, match="engine"):
+            framework.simulate_protocol(
+                ProtocolProbeScheme(), "0", "0", certificate_bits_per_vertex=1,
+                ids=ids, engine="quantum",
+            )

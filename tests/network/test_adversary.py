@@ -6,7 +6,10 @@ import pytest
 
 from repro.network.adversary import (
     corrupt_assignment,
+    corruption_deltas,
     exhaustive_assignments,
+    exhaustive_deltas,
+    initial_exhaustive_assignment,
     random_assignment,
 )
 
@@ -44,6 +47,46 @@ class TestCorruption:
         assert corrupt_assignment({}, seed=0) == {}
 
 
+class TestCorruptionDeltas:
+    def setup_method(self):
+        self.honest = {0: b"\x01\x02", 1: b"\x03\x04", 2: b"", 3: b"\x05"}
+
+    @pytest.mark.parametrize("kind", ["bitflip", "swap", "truncate", "zero"])
+    def test_deltas_reproduce_corrupt_assignment(self, kind):
+        """Same seed: applying the deltas gives exactly the corrupted copy."""
+        for seed in range(25):
+            expected = corrupt_assignment(self.honest, seed=seed, kind=kind)
+            rebuilt = dict(self.honest)
+            for vertex, certificate in corruption_deltas(self.honest, seed=seed, kind=kind):
+                rebuilt[vertex] = certificate
+            assert rebuilt == expected
+
+    @pytest.mark.parametrize("kind", ["bitflip", "swap", "truncate", "zero"])
+    def test_both_forms_consume_the_same_rng_stream(self, kind):
+        """Interchangeable under a shared Random: post-trial states match."""
+        import random
+
+        full_rng, delta_rng = random.Random(9), random.Random(9)
+        corrupt_assignment(self.honest, seed=full_rng, kind=kind)
+        corruption_deltas(self.honest, seed=delta_rng, kind=kind)
+        assert full_rng.getstate() == delta_rng.getstate()
+
+    def test_swap_is_two_deltas(self):
+        deltas = corruption_deltas(self.honest, seed=0, kind="swap")
+        assert len(deltas) == 2
+        (a, cert_a), (b, cert_b) = deltas
+        assert cert_a == self.honest[b] and cert_b == self.honest[a]
+
+    def test_empty_and_undeletable_cases_yield_no_deltas(self):
+        assert corruption_deltas({}, seed=0) == []
+        assert corruption_deltas({0: b""}, seed=0, kind="bitflip") == []
+        assert corruption_deltas({0: b"x"}, seed=0, kind="swap") == []
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            corruption_deltas(self.honest, seed=0, kind="nonsense")
+
+
 class TestRandomAndExhaustive:
     def test_random_assignment_sizes(self):
         assignment = random_assignment([0, 1, 2], certificate_bytes=3, seed=0)
@@ -70,3 +113,17 @@ class TestRandomAndExhaustive:
     def test_negative_bits_rejected(self):
         with pytest.raises(ValueError):
             list(exhaustive_assignments([0], max_bits=-1))
+
+    def test_delta_stream_replays_the_exhaustive_set(self):
+        """The Gray-code stream is the same adversary in delta form (the
+        exhaustive property-grid equivalence lives in test_delta.py)."""
+        vertices = [0, 1, 2]
+        current = dict(initial_exhaustive_assignment(vertices, 1))
+        visited = {tuple(sorted(current.items()))}
+        for vertex, certificate in exhaustive_deltas(vertices, 1):
+            current[vertex] = certificate
+            visited.add(tuple(sorted(current.items())))
+        expected = {
+            tuple(sorted(a.items())) for a in exhaustive_assignments(vertices, 1)
+        }
+        assert visited == expected

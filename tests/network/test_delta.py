@@ -1,0 +1,270 @@
+"""Equivalence and behaviour tests for the delta-verification engine.
+
+The contract of this PR: a :class:`~repro.network.compiled.DeltaSession` fed
+a stream of single-vertex certificate changes is *observationally identical*
+to re-running the whole assignment through :meth:`CompiledNetwork.run` after
+every change, and the Gray-coded :func:`exhaustive_deltas` stream visits
+exactly the assignment set of :func:`exhaustive_assignments`.  On top of the
+engine, the rewired harness entry points (``exhaustive_soundness_holds``,
+``soundness_under_corruption``) must return bit-identical verdicts on all
+three engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.caching import clear_caches
+from repro.core.scheme import (
+    exhaustive_soundness_holds,
+    soundness_under_corruption,
+)
+from repro.core.simple_schemes import BipartitenessScheme
+from repro.core.spanning_tree import TreeScheme
+from repro.graphs.generators import random_connected_graph, random_tree
+from repro.network.adversary import (
+    corruption_deltas,
+    exhaustive_assignments,
+    exhaustive_deltas,
+    initial_exhaustive_assignment,
+    random_assignment,
+)
+from repro.network.compiled import CompiledNetwork
+from repro.network.ids import assign_identifiers
+from repro.network.simulator import NetworkSimulator
+
+
+def _threshold_verifier(view) -> bool:
+    """A certificate-sensitive pure verifier usable on any graph."""
+    own = view.certificate[:1] or b"\x00"
+    return own < b"\x60" and all(
+        (cert[:1] or b"\x00") < b"\xd0" for cert in view.neighbor_certificates()
+    )
+
+
+def _random_graphs():
+    graphs = [
+        nx.path_graph(1),
+        nx.path_graph(6),
+        nx.cycle_graph(5),
+        nx.star_graph(5),
+        nx.complete_graph(4),
+        random_tree(12, seed=2),
+    ]
+    graphs += [random_connected_graph(9, seed=s) for s in range(3)]
+    return graphs
+
+
+class TestGrayEnumeration:
+    @pytest.mark.parametrize(
+        "n,max_bits", [(1, 1), (2, 1), (2, 2), (3, 1), (3, 2), (4, 1), (2, 3)]
+    )
+    def test_deltas_visit_exactly_the_exhaustive_set(self, n, max_bits):
+        """Replaying the delta stream enumerates every assignment once."""
+        vertices = list(range(n))
+        current = dict(initial_exhaustive_assignment(vertices, max_bits))
+        visited = {tuple(sorted(current.items()))}
+        steps = 0
+        for vertex, certificate in exhaustive_deltas(vertices, max_bits):
+            current[vertex] = certificate
+            state = tuple(sorted(current.items()))
+            assert state not in visited, "Gray code revisited an assignment"
+            visited.add(state)
+            steps += 1
+        expected = {
+            tuple(sorted(assignment.items()))
+            for assignment in exhaustive_assignments(vertices, max_bits)
+        }
+        assert visited == expected
+        assert steps == (1 << max_bits) ** n - 1
+
+    def test_initial_assignment_is_all_zero_bytes(self):
+        assert initial_exhaustive_assignment([0, 1], 3) == {0: b"\x00", 1: b"\x00"}
+        assert initial_exhaustive_assignment([0], 9) == {0: b"\x00\x00"}
+        assert initial_exhaustive_assignment([0, 1], 0) == {0: b"", 1: b""}
+
+    def test_zero_bits_and_empty_vertex_set_yield_nothing(self):
+        assert list(exhaustive_deltas([0, 1, 2], 0)) == []
+        assert list(exhaustive_deltas([], 2)) == []
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            list(exhaustive_deltas([0], -1))
+        with pytest.raises(ValueError):
+            initial_exhaustive_assignment([0], -1)
+
+
+class TestDeltaSessionEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_delta_sequences_match_full_runs(self, seed):
+        """After every applied delta, verdicts and rejecting sets equal a
+        full ``run`` of the tracked assignment (randomized cross-check)."""
+        rng = random.Random(seed)
+        for graph in _random_graphs():
+            ids = assign_identifiers(graph, seed=seed)
+            network = CompiledNetwork(graph, identifiers=ids)
+            vertices = sorted(graph.nodes(), key=repr)
+            current = random_assignment(vertices, rng.choice([0, 1, 2]), seed=rng)
+            session = network.delta_session(_threshold_verifier, current)
+            assert session.result() == network.run(_threshold_verifier, current)
+            for _ in range(40):
+                vertex = rng.choice(vertices)
+                certificate = rng.randbytes(rng.choice([0, 1, 2]))
+                current[vertex] = certificate
+                accepted = session.apply(vertex, certificate)
+                full = network.run(_threshold_verifier, current)
+                assert accepted == full.accepted
+                assert session.accepted == full.accepted
+                assert session.result() == full
+            legacy = NetworkSimulator(graph, identifiers=ids).run_legacy(
+                _threshold_verifier, current
+            )
+            assert session.result() == legacy
+
+    def test_scheme_verifier_deltas_match_full_runs(self):
+        scheme = TreeScheme()
+        graph = random_tree(11, seed=4)
+        ids = assign_identifiers(graph, seed=4)
+        network = CompiledNetwork(graph, identifiers=ids)
+        honest = scheme.prove(graph, ids)
+        session = network.delta_session(scheme.verify, honest)
+        assert session.accepted
+        current = dict(honest)
+        rng = random.Random(4)
+        vertices = sorted(graph.nodes(), key=repr)
+        for _ in range(30):
+            vertex = rng.choice(vertices)
+            certificate = rng.randbytes(rng.choice([0, 1, len(honest[vertex])]))
+            current[vertex] = certificate
+            accepted = session.apply(vertex, certificate)
+            assert accepted == network.run(scheme.verify, current).accepted
+        # Reverting every vertex to its honest certificate restores acceptance.
+        for vertex in vertices:
+            session.apply(vertex, honest[vertex])
+        assert session.accepted and session.rejecting_count == 0
+
+    def test_watched_subset_matches_accepts_at(self):
+        graph = nx.path_graph(6)
+        ids = assign_identifiers(graph, sequential=True)
+        network = CompiledNetwork(graph, identifiers=ids)
+        watched = [0, 1, 2]
+        rng = random.Random(8)
+        vertices = sorted(graph.nodes())
+        current = random_assignment(vertices, 1, seed=rng)
+        session = network.delta_session(_threshold_verifier, current, vertices=watched)
+        assert session.accepted == network.accepts_at(
+            _threshold_verifier, current, watched
+        )
+        for _ in range(30):
+            vertex = rng.choice(vertices)
+            certificate = rng.randbytes(1)
+            current[vertex] = certificate
+            accepted = session.apply(vertex, certificate)
+            assert accepted == network.accepts_at(_threshold_verifier, current, watched)
+
+    def test_sessions_are_independent(self):
+        """Two sessions on one (possibly cached) network never interfere."""
+        graph = nx.cycle_graph(5)
+        network = CompiledNetwork(graph, seed=0)
+        verifier = lambda view: view.certificate == b"\x01"
+        all_ones = {v: b"\x01" for v in graph.nodes()}
+        accepting = network.delta_session(verifier, all_ones)
+        rejecting = network.delta_session(verifier, {})
+        assert accepting.accepted and not rejecting.accepted
+        rejecting.apply(0, b"\x01")
+        assert accepting.accepted  # untouched by the other session
+        # ... and both coexist with full runs on the same instance.
+        assert network.run(verifier, all_ones).accepted
+        assert accepting.accepted and not rejecting.accepted
+
+    def test_equal_certificate_apply_is_a_noop(self):
+        graph = nx.path_graph(3)
+        network = CompiledNetwork(graph, seed=0)
+        session = network.delta_session(lambda view: True, {0: b"\x07"})
+        assert session.apply(0, b"\x07") is True
+        assert session.certificate_of(0) == b"\x07"
+
+    def test_unknown_vertex_rejected(self):
+        network = CompiledNetwork(nx.path_graph(3), seed=0)
+        session = network.delta_session(lambda view: True, {})
+        with pytest.raises(KeyError):
+            session.apply("nope", b"")
+
+
+class TestHarnessDeltaEngine:
+    @pytest.mark.parametrize(
+        "scheme,graph,max_bits",
+        [
+            (BipartitenessScheme(), nx.complete_graph(3), 1),
+            (BipartitenessScheme(), nx.cycle_graph(5), 1),
+            (TreeScheme(), nx.cycle_graph(4), 2),
+        ],
+    )
+    def test_exhaustive_soundness_engines_agree(self, scheme, graph, max_bits):
+        clear_caches()
+        verdicts = {
+            engine: exhaustive_soundness_holds(
+                scheme, graph, max_bits=max_bits, engine=engine
+            )
+            for engine in ("legacy", "compiled", "delta")
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    def test_exhaustive_delta_finds_a_cheating_assignment(self):
+        """A verifier with an accepting assignment must be caught mid-stream."""
+        clear_caches()
+
+        class GullibleScheme(TreeScheme):
+            name = "gullible"
+
+            def verify(self, view):
+                return view.certificate == b"\x01"
+
+        graph = nx.cycle_graph(4)  # a no-instance for tree-ness
+        for engine in ("compiled", "delta"):
+            assert (
+                exhaustive_soundness_holds(
+                    GullibleScheme(), graph, max_bits=1, engine=engine
+                )
+                is False
+            )
+
+    def test_exhaustive_rejects_yes_instances_and_unknown_engines(self):
+        with pytest.raises(ValueError):
+            exhaustive_soundness_holds(
+                TreeScheme(), nx.path_graph(3), max_bits=1, engine="delta"
+            )
+        with pytest.raises(ValueError):
+            exhaustive_soundness_holds(
+                TreeScheme(), nx.cycle_graph(4), max_bits=1, engine="quantum"
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_soundness_under_corruption_engines_agree(self, seed):
+        graph = random_tree(12, seed=seed)
+        verdicts = {
+            engine: soundness_under_corruption(
+                TreeScheme(), graph, seed=seed, trials=10, engine=engine
+            )
+            for engine in ("legacy", "compiled", "delta")
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    def test_corruption_deltas_round_trip_restores_the_baseline(self):
+        scheme = TreeScheme()
+        graph = random_tree(10, seed=3)
+        ids = assign_identifiers(graph, seed=3)
+        network = CompiledNetwork(graph, identifiers=ids)
+        honest = scheme.prove(graph, ids)
+        session = network.delta_session(scheme.verify, honest)
+        for trial in range(12):
+            kind = ("bitflip", "swap", "truncate", "zero")[trial % 4]
+            deltas = corruption_deltas(honest, seed=trial, kind=kind)
+            for vertex, certificate in deltas:
+                session.apply(vertex, certificate)
+            for vertex, _ in deltas:
+                session.apply(vertex, honest[vertex])
+            assert session.accepted, (trial, kind)

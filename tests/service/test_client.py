@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+import json
 import threading
 
 import pytest
 
 from repro.service.client import ServiceClient, ServiceTransportError
 from repro.service.core import CertificationService
-from repro.service.messages import CertifyResponse, ErrorResponse
+from repro.service.messages import CertifyRequest, CertifyResponse, ErrorResponse
 from repro.service.protocol import TCPProtocolServer
 
 
@@ -63,6 +64,59 @@ class TestTCP:
         with pytest.raises(ServiceTransportError, match="could not connect"):
             # A port from the ephemeral range nothing listens on.
             ServiceClient.connect("127.0.0.1", 1, retries=2, retry_delay=0.01)
+
+    def test_submit_many_roundtrips_a_batch(self, tcp_server):
+        host, port = tcp_server.address
+        with ServiceClient.connect(host, port) as client:
+            responses = client.submit_many([
+                CertifyRequest(scheme="tree", graph="path:4"),
+                CertifyRequest(scheme="nope", graph="path:4"),
+                CertifyRequest(scheme="bipartite", graph="cycle:5"),
+            ])
+            assert isinstance(responses, list) and len(responses) == 3
+            assert isinstance(responses[0], CertifyResponse)
+            assert responses[0].vertices == 4
+            assert isinstance(responses[1], ErrorResponse)
+            assert responses[1].code == "unknown-scheme"
+            assert responses[2].holds is False and responses[2].sound is True
+
+    def test_submit_many_stop_on_failure_marks_skips(self, tcp_server):
+        host, port = tcp_server.address
+        requests = [CertifyRequest(scheme="nope", graph="path:4")]
+        requests += [
+            CertifyRequest(scheme="tree", graph=f"random-tree:{8 + i}")
+            for i in range(30)
+        ]
+        with ServiceClient.connect(host, port) as client:
+            responses = client.submit_many(requests, stop_on_failure=True)
+            assert len(responses) == len(requests)
+            assert responses[0].code == "unknown-scheme"
+            assert any(
+                isinstance(r, ErrorResponse) and r.code == "skipped"
+                for r in responses[1:]
+            )
+
+    def test_oversized_line_keeps_the_connection_alive(self):
+        """An over-limit request line is answered with a structured error
+        and the same connection still serves the next request."""
+        with CertificationService(workers=1) as service:
+            server = TCPProtocolServer(service, port=0, max_request_bytes=2048)
+            thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+            thread.start()
+            try:
+                host, port = server.address
+                with ServiceClient.connect(host, port) as client:
+                    client._writer.write("z" * 10_000 + "\n")
+                    client._writer.flush()
+                    line = client._reader.readline()
+                    payload = json.loads(line)
+                    assert payload["code"] == "invalid-request"
+                    assert "2048" in payload["message"]
+                    verdict = client.certify(scheme="tree", graph="path:4")
+                    assert isinstance(verdict, CertifyResponse) and verdict.accepted
+            finally:
+                server.request_shutdown()
+                thread.join(timeout=10)
 
 
 class TestStdioChild:

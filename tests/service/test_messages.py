@@ -8,6 +8,8 @@ import pytest
 
 from repro.service.messages import (
     ERROR_CODES,
+    BatchRequest,
+    BatchResponse,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
@@ -50,6 +52,28 @@ class TestRequests:
         with pytest.raises(ProtocolError, match="bad 'certify' request"):
             request_from_dict({"op": "certify", "scheme": "tree"})
 
+    def test_batch_round_trip(self):
+        request = BatchRequest(
+            requests=(
+                CertifyRequest(scheme="tree", graph="path:4"),
+                StatsRequest(),
+            ),
+            stop_on_failure=True,
+        )
+        data = request.to_dict()
+        assert data["op"] == "batch" and data["stop_on_failure"] is True
+        assert request_from_dict(json.loads(json.dumps(data))) == request
+
+    def test_batch_rejects_nesting_shutdown_and_bad_members(self):
+        with pytest.raises(ProtocolError, match="nest"):
+            request_from_dict({"op": "batch", "requests": [{"op": "batch", "requests": []}]})
+        with pytest.raises(ProtocolError, match="shutdown"):
+            request_from_dict({"op": "batch", "requests": [{"op": "shutdown"}]})
+        with pytest.raises(ProtocolError, match="#1"):
+            request_from_dict({"op": "batch", "requests": [{"op": "stats"}, {"op": "warp"}]})
+        with pytest.raises(ProtocolError, match="requests"):
+            request_from_dict({"op": "batch"})
+
 
 class TestResponses:
     def _verdict(self, **overrides):
@@ -90,6 +114,19 @@ class TestResponses:
                      "invalid-request", "not-a-yes-instance", "undecidable",
                      "skipped", "internal-error"):
             assert code in ERROR_CODES
+
+    def test_batch_response_round_trip_and_all_ok(self):
+        clean = BatchResponse(responses=(self._verdict(),))
+        assert clean.all_ok
+        assert response_from_dict(json.loads(json.dumps(clean.to_dict()))) == clean
+        mixed = BatchResponse(
+            responses=(
+                self._verdict(),
+                ErrorResponse(code="skipped", message="batch stopped early"),
+            )
+        )
+        assert not mixed.all_ok
+        assert response_from_dict(mixed.to_dict()) == mixed
 
     def test_sweep_response_clean_property(self):
         clean = SweepResponse(result={"all_accepted": True, "all_sound": True,

@@ -71,6 +71,95 @@ class TestHandleLine:
         assert ": " not in line  # compact separators
 
 
+class TestBatchOp:
+    def test_batch_answers_every_member_in_order(self, service):
+        line, keep_going = handle_line(service, encode_line({
+            "op": "batch",
+            "requests": [
+                {"op": "certify", "scheme": "tree", "graph": "path:4"},
+                {"op": "certify", "scheme": "nope", "graph": "path:4"},
+                {"op": "stats"},
+            ],
+        }))
+        assert keep_going
+        payload = json.loads(line)
+        assert payload["ok"] is True and payload["op"] == "batch"
+        members = payload["responses"]
+        assert [m["op"] for m in members] == ["certify", "error", "stats"]
+        assert members[0]["result"]["accepted"] is True
+        assert members[1]["code"] == "unknown-scheme"
+
+    def test_batch_stop_on_failure_skips_queued_members(self, service):
+        requests = [{"op": "certify", "scheme": "nope", "graph": "path:4"}]
+        requests += [
+            {"op": "certify", "scheme": "tree", "graph": f"random-tree:{8 + i}"}
+            for i in range(30)
+        ]
+        line, _ = handle_line(service, encode_line({
+            "op": "batch", "stop_on_failure": True, "requests": requests,
+        }))
+        members = json.loads(line)["responses"]
+        assert members[0]["code"] == "unknown-scheme"
+        assert len(members) == len(requests)
+        skipped = [m for m in members[1:] if m.get("code") == "skipped"]
+        assert skipped, "no queued member was cancelled after the failure"
+
+    @pytest.mark.parametrize("request_data", [
+        {"op": "batch", "requests": [{"op": "batch", "requests": []}]},  # nesting
+        {"op": "batch", "requests": [{"op": "shutdown"}]},
+        {"op": "batch", "requests": "abc"},
+        {"op": "batch", "requests": [{"op": "teleport"}]},
+        {"op": "batch", "requests": [], "stop_on_failure": "yes"},
+        {"op": "batch", "requests": [], "bogus": 1},
+    ])
+    def test_malformed_batches_are_answered_not_fatal(self, service, request_data):
+        line, keep_going = handle_line(service, encode_line(request_data))
+        assert keep_going
+        payload = json.loads(line)
+        assert payload["ok"] is False and payload["code"] == "invalid-request"
+
+    def test_empty_batch_is_answered_empty(self, service):
+        line, _ = handle_line(service, encode_line({"op": "batch", "requests": []}))
+        assert json.loads(line)["responses"] == []
+
+
+class TestRequestSizeLimit:
+    def test_oversized_line_answered_and_session_keeps_serving(self, service):
+        stdin = io.StringIO(
+            "x" * 4000 + "\n"
+            + encode_line({"op": "certify", "scheme": "tree", "graph": "path:4"})
+        )
+        stdout = io.StringIO()
+        answered = serve_stdio(service, stdin, stdout, max_request_bytes=1024)
+        assert answered == 2
+        first, second = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert first["ok"] is False and first["code"] == "invalid-request"
+        assert "1024" in first["message"]
+        assert second["result"]["accepted"] is True
+
+    def test_oversized_unterminated_line_then_eof(self, service):
+        stdin = io.StringIO("y" * 5000)  # no trailing newline, ever
+        stdout = io.StringIO()
+        assert serve_stdio(service, stdin, stdout, max_request_bytes=512) == 1
+        assert json.loads(stdout.getvalue())["code"] == "invalid-request"
+
+    def test_limit_counts_bytes_not_characters_on_text_streams(self, service):
+        # 400 three-byte characters: within the char cap, over the byte cap.
+        stdin = io.StringIO("€" * 400 + "\n")
+        stdout = io.StringIO()
+        assert serve_stdio(service, stdin, stdout, max_request_bytes=1024) == 1
+        assert json.loads(stdout.getvalue())["code"] == "invalid-request"
+
+    def test_lines_within_the_limit_are_untouched(self, service):
+        request = encode_line({"op": "certify", "scheme": "tree", "graph": "path:4"})
+        stdout = io.StringIO()
+        answered = serve_stdio(
+            service, io.StringIO(request), stdout, max_request_bytes=len(request)
+        )
+        assert answered == 1
+        assert json.loads(stdout.getvalue())["result"]["accepted"] is True
+
+
 class TestServeStdio:
     def test_batch_then_eof(self, service):
         stdin = io.StringIO(_lines([

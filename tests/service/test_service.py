@@ -187,6 +187,19 @@ class TestBatching:
         assert skipped, "no queued request was cancelled after the failure"
         assert len(responses) == len(requests)
 
+    def test_batches_cannot_ride_the_worker_pool(self, service):
+        """Queuing a batch would deadlock a saturated pool — rejected."""
+        from repro.service.messages import BatchRequest
+
+        batch = BatchRequest(requests=(CertifyRequest(scheme="tree", graph="path:4"),))
+        with pytest.raises(ValueError, match="batch"):
+            service.submit(batch)
+        with pytest.raises(ValueError, match="batches"):
+            service.submit_many([batch])
+        # handle() is the sanctioned entry point and must still work.
+        response = service.handle(batch)
+        assert response.ok and response.responses[0].accepted
+
     def test_submit_after_close_raises(self):
         service = CertificationService()
         service.close()
