@@ -1,0 +1,153 @@
+"""Fabric benchmark: the fault-tolerant shard driver vs an in-process run.
+
+The shard driver buys fault tolerance — deadlines, retries, dead-worker
+re-dispatch — by moving shards over the wire to a fleet of serve
+processes.  That indirection has a price, and this benchmark tracks it:
+
+* ``inline``  — ``run_sweep(spec)`` in this process, no sharding, the
+  cheapest possible execution of the workload;
+* ``fleet``   — the same spec driven over a :class:`LocalFleet` of serve
+  subprocesses (one shard per member), with the fleet's startup cost
+  reported separately from the drive itself;
+* ``chaos``   — the same drive again, but one fleet member is armed with a
+  ``kill:op=sweep,nth=1`` fault so it dies on its first shard; the
+  difference against the clean drive is the price of detecting the dead
+  worker and re-dispatching its shard.
+
+Every driven result is checked byte-identical (canonical form) to the
+inline run — a drive that "wins" by computing something else is a bug, not
+a speedup.  Timings are a **trajectory**, not a gate: fleet startup and
+wire overhead legitimately dominate small workloads, so the run always
+exits zero unless a measurement itself fails.  Results go to
+``BENCH_fabric.json``.
+
+Usage::
+
+    python benchmarks/bench_fabric.py           # full measurement
+    python benchmarks/bench_fabric.py --quick   # CI smoke variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import clear_caches  # noqa: E402
+from repro.experiments import canonical_payload, run_sweep  # noqa: E402
+from repro.experiments.spec import SweepSpec  # noqa: E402
+from repro.service.driver import LocalFleet, drive  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_fabric.json"
+
+
+def sweep_workload(quick: bool) -> SweepSpec:
+    """A sweep large enough that a shard is real work, small enough for CI."""
+    if quick:
+        return SweepSpec(
+            scheme="tree", family="random-tree", sizes=(6, 8, 10, 12),
+            trials=2, seed=7,
+        )
+    return SweepSpec(
+        scheme="tree", family="random-tree", sizes=(24, 48, 96, 144, 192),
+        trials=25, seed=7,
+    )
+
+
+def canonical_bytes(result) -> str:
+    return json.dumps(canonical_payload(result.to_dict()), sort_keys=True)
+
+
+def bench_inline(spec: SweepSpec) -> tuple:
+    clear_caches()
+    started = time.perf_counter()
+    result = run_sweep(spec)
+    return time.perf_counter() - started, canonical_bytes(result)
+
+
+def bench_fleet(spec: SweepSpec, members: int, baseline: str,
+                faults=None) -> dict:
+    """Start a fleet, drive the spec across it, check byte-identity."""
+    started = time.perf_counter()
+    fleet = LocalFleet(members, faults=faults)
+    with fleet as addresses:
+        startup_s = time.perf_counter() - started
+        drive_started = time.perf_counter()
+        report = drive(spec, addresses, shards=members, deadline_s=120.0)
+        drive_s = time.perf_counter() - drive_started
+    if canonical_bytes(report.result) != baseline:
+        raise AssertionError("driven artifact diverged from the inline run")
+    return {
+        "members": members,
+        "startup_s": startup_s,
+        "drive_s": drive_s,
+        "shards": report.shards,
+        "workers_lost": len(report.workers_lost),
+        "redispatched_shards": len(report.redispatched),
+        "attempts": sum(report.attempts.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_PATH,
+        help=f"where to write the JSON report (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    spec = sweep_workload(args.quick)
+    members = 2 if args.quick else 3
+    inline_s, baseline = bench_inline(spec)
+    clean = bench_fleet(spec, members, baseline)
+    chaos = bench_fleet(
+        spec, members, baseline, faults={0: ["kill:op=sweep,nth=1"]}
+    )
+    if not chaos["workers_lost"]:
+        raise AssertionError("chaos drive lost no worker — the kill fault never fired")
+
+    report = {
+        "benchmark": "fabric_overhead",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "spec": spec.to_dict(),
+        "inline_s": inline_s,
+        "fleet": clean,
+        "chaos": chaos,
+        "drive_overhead_vs_inline": (
+            clean["drive_s"] / inline_s if inline_s else float("inf")
+        ),
+        "chaos_recovery_overhead_s": chaos["drive_s"] - clean["drive_s"],
+        "byte_identical": True,
+    }
+
+    print("\n[fabric: fault-tolerant shard driver vs in-process run]")
+    print(f"  workload    {spec.label} sizes={list(spec.sizes)} trials={spec.trials}")
+    print(f"  inline      {inline_s:8.3f}s")
+    print(f"  fleet       {clean['drive_s']:8.3f}s drive"
+          f"  (+{clean['startup_s']:.3f}s startup, {members} member(s),"
+          f" {clean['shards']} shard(s))")
+    print(f"  chaos       {chaos['drive_s']:8.3f}s drive"
+          f"  ({chaos['workers_lost']} worker(s) killed,"
+          f" {chaos['redispatched_shards']} shard(s) re-dispatched)")
+    print(f"  drive overhead vs inline   {report['drive_overhead_vs_inline']:6.2f}x")
+    print(f"  chaos recovery overhead    {report['chaos_recovery_overhead_s']:+.3f}s")
+    print("  driven artifacts byte-identical to the inline run: yes")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    # Trajectory only: wire + startup overhead is expected to dominate small
+    # workloads, so there is no pass/fail bar — identity checks above are
+    # the correctness gate.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

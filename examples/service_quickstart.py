@@ -16,12 +16,28 @@ shows the three ways to hold that service in your hands:
    early-exit mode that cancels a batch's tail after the first failure;
 3. **over the wire** — a ``python -m repro.cli serve`` child process spoken
    to through :class:`~repro.service.ServiceClient` (the same JSON-lines
-   protocol a TCP deployment serves), structured errors included.
+   protocol a TCP deployment serves), structured errors included;
+4. **fault-tolerant** — deadlines that answer a structured ``timeout``,
+   the ``health`` and ``cancel`` control ops, and the shard driver
+   dispatching a sweep across a :class:`~repro.service.LocalFleet` while
+   one member is rigged to crash mid-shard.
 """
 
 from __future__ import annotations
 
-from repro.service import CertificationService, CertifyRequest, ServiceClient
+import json
+
+from repro.experiments import canonical_payload, run_sweep
+from repro.experiments.spec import SweepSpec
+from repro.service import (
+    CertificationService,
+    CertifyRequest,
+    FaultInjector,
+    HealthRequest,
+    LocalFleet,
+    ServiceClient,
+    drive,
+)
 
 
 def in_process_tour() -> None:
@@ -86,10 +102,47 @@ def wire_tour() -> None:
     print("  (leaving the context sent a shutdown request; the child exited)")
 
 
+def fault_tolerance_tour() -> None:
+    print("\n== 4. fault tolerance: deadlines, health, and the shard driver ==")
+    with CertificationService(workers=2) as service:
+        # A freeze fault stands in for a genuinely slow request; the
+        # per-request deadline turns it into a structured timeout instead
+        # of a wedged connection.
+        service.fault_injector = FaultInjector.parse(["freeze:op=certify,seconds=0"])
+        stuck = service.respond(
+            CertifyRequest(scheme="tree", graph="path:4", deadline_s=0.3)
+        )
+        print(f"  frozen request under a 0.3s deadline -> code={stuck.code!r}")
+        service.fault_injector = None
+
+        health = service.respond(HealthRequest()).result
+        print(f"  health: ok={health['ok']} workers={health['workers']} "
+              f"inflight={health['inflight']} "
+              f"timeouts so far={health['requests']['timeouts']}")
+
+    # The shard driver: the same sweep artifact, produced three ways —
+    # in-process, driven over a healthy fleet, and driven over a fleet
+    # whose first member dies on its first shard.
+    spec = SweepSpec(scheme="tree", family="random-tree", sizes=(6, 8, 10, 12),
+                     trials=2, seed=7)
+    inline = json.dumps(canonical_payload(run_sweep(spec).to_dict()),
+                        sort_keys=True)
+    with LocalFleet(2, faults={0: ["kill:op=sweep,nth=1"]}) as addresses:
+        report = drive(spec, addresses, deadline_s=60.0)
+    driven = json.dumps(canonical_payload(report.result.to_dict()),
+                        sort_keys=True)
+    print(f"  chaos drive: {report.shards} shard(s), "
+          f"{len(report.workers_lost)} worker(s) lost, "
+          f"{len(report.redispatched)} shard(s) re-dispatched")
+    print(f"  driven artifact byte-identical to the in-process run: "
+          f"{driven == inline}")
+
+
 def main() -> None:
     in_process_tour()
     batched_tour()
     wire_tour()
+    fault_tolerance_tour()
 
 
 if __name__ == "__main__":

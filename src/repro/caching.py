@@ -54,6 +54,28 @@ class LRUCache:
             self.misses += 1
         return value
 
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Plain lookup (counts a hit/miss, refreshes recency); no compute."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store a value directly (the imperative side of ``get_or_compute``)."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()

@@ -100,6 +100,7 @@ series shrank (the regression gate CI runs)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -108,6 +109,7 @@ import networkx as nx
 
 from repro import api
 from repro.experiments import (
+    ExperimentSpec,
     LowerBoundSpec,
     SweepSpec,
     collect_artifacts,
@@ -129,6 +131,8 @@ from repro.graphs.generators import (
 )
 from repro.registry import REGISTRY, RegistryError
 from repro.service.core import CertificationService
+from repro.service.driver import DriverError, LocalFleet, ShardDriver
+from repro.service.faults import FaultInjector, FaultSpecError
 from repro.service.messages import CertifyRequest, ErrorResponse
 from repro.service.protocol import DEFAULT_MAX_REQUEST_BYTES, serve_stdio, serve_tcp
 
@@ -271,7 +275,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("error: --workers must be at least 1")
     if args.max_request_bytes < 1:
         raise SystemExit("error: --max-request-bytes must be at least 1")
-    with CertificationService(workers=args.workers) as service:
+    if args.deadline is not None and args.deadline <= 0:
+        raise SystemExit("error: --deadline must be positive")
+    try:
+        injector = FaultInjector.parse(args.fault) if args.fault else None
+    except FaultSpecError as error:
+        raise SystemExit(f"error: {error}") from error
+    with CertificationService(
+        workers=args.workers, default_deadline_s=args.deadline
+    ) as service:
+        service.fault_injector = injector
         if args.tcp is not None:
             host, port = parse_tcp_address(args.tcp)
             serve_tcp(
@@ -355,7 +368,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         output = f"sweep_{spec.label}.shard{spec.shard[0]}of{spec.shard[1]}.json"
     else:
         output = f"sweep_{spec.label}.json"
-    path = write_artifact(result, output)
+    path = write_artifact(result, output, canonical=args.canonical)
 
     info = spec.info
     shard_note = (
@@ -405,7 +418,7 @@ def cmd_lower_bound(args: argparse.Namespace) -> int:
         output = f"lb_{spec.label}.shard{spec.shard[0]}of{spec.shard[1]}.json"
     else:
         output = f"lb_{spec.label}.json"
-    path = write_artifact(result, output)
+    path = write_artifact(result, output, canonical=args.canonical)
 
     info = spec.info
     print(f"lower bound: {spec.label} ({len(result.points)} grid points)")
@@ -429,13 +442,107 @@ def cmd_lower_bound(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def parse_fleet_fault(raw: str) -> tuple:
+    """Parse a ``shard-drive --fault`` entry: ``[MEMBER:]SPEC``.
+
+    A leading integer selects the fleet member the fault spec is installed
+    on (default member 0); the rest is a :mod:`repro.service.faults` spec.
+    Unambiguous because fault actions never start with a digit.
+    """
+    head, colon, rest = raw.partition(":")
+    if colon and head.isdigit():
+        return int(head), rest
+    return 0, raw
+
+
+def cmd_shard_drive(args: argparse.Namespace) -> int:
+    """Drive one experiment sharded across a fleet of serve processes.
+
+    The experiment comes from a JSON spec file (the ``to_dict`` form of a
+    sweep or lower-bound spec, ``kind`` included).  Workers are either an
+    explicit ``--worker HOST:PORT`` list of already-running serve processes
+    or a ``--fleet N`` of freshly spawned local ones; the driver survives
+    worker deaths as long as one worker remains, and the merged artifact is
+    identical to the unsharded run's (byte-identical with ``--canonical``).
+    """
+    try:
+        spec = ExperimentSpec.from_dict(json.loads(Path(args.spec).read_text()))
+        spec.validate()
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read spec {args.spec!r}: {error}") from error
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
+
+    faults: Dict[int, List[str]] = {}
+    for raw in args.fault or []:
+        member, fault_spec = parse_fleet_fault(raw)
+        faults.setdefault(member, []).append(fault_spec)
+    try:
+        if faults:
+            # Validate the specs up front (the fleet members would otherwise
+            # die on startup with a less helpful message).
+            FaultInjector.parse(spec for specs in faults.values() for spec in specs)
+    except FaultSpecError as error:
+        raise SystemExit(f"error: {error}") from error
+
+    driver = ShardDriver(
+        deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
+    )
+    try:
+        if args.worker:
+            if faults:
+                raise SystemExit(
+                    "error: --fault requires a spawned fleet (drop --worker)"
+                )
+            workers = [parse_tcp_address(raw) for raw in args.worker]
+            report = driver.drive(spec, workers, shards=args.shards)
+        else:
+            fleet = LocalFleet(
+                args.fleet,
+                serve_workers=args.serve_workers,
+                faults=faults,
+            )
+            with fleet as workers:
+                report = driver.drive(spec, workers, shards=args.shards)
+    except DriverError as error:
+        raise SystemExit(f"error: {error}") from error
+
+    merged = report.result
+    prefix = "sweep" if spec.kind == "sweep" else "lb"
+    output = args.output or f"{prefix}_{spec.label}.json"
+    path = write_artifact(merged, output, canonical=args.canonical)
+
+    print(f"drive:      {spec.label} ({spec.kind}), {report.shards} shard(s) "
+          f"across {len(set(report.assignments.values()))} worker(s)")
+    for index in sorted(report.assignments):
+        note = f" ({report.attempts[index]} attempts)" if report.attempts[index] > 1 else ""
+        print(f"  shard {index}: {report.assignments[index]}{note}")
+    for worker in report.workers_lost:
+        print(f"  LOST: {worker}")
+    if report.redispatched:
+        print(f"re-dispatched: shard(s) {', '.join(map(str, report.redispatched))}")
+    _print_bound(merged)
+    _print_fit(merged)
+    print(f"artifact:   {path}")
+
+    ok = (
+        (merged.all_accepted and merged.all_sound)
+        if hasattr(merged, "all_accepted")
+        else merged.all_ok
+    )
+    if merged.bound is not None:
+        ok = ok and merged.bound.ok
+    return 0 if ok else 1
+
+
 def cmd_merge(args: argparse.Namespace) -> int:
     try:
         parts = [load_artifact(path) for path in args.artifacts]
         merged = merge_artifacts(parts)
     except (OSError, ValueError) as error:
         raise SystemExit(f"error: {error}") from error
-    path = write_artifact(merged, args.output)
+    path = write_artifact(merged, args.output, canonical=args.canonical)
     print(f"merged:     {len(parts)} partial artifact(s), "
           f"{len(merged.points)} grid points")
     print(f"experiment: {merged.spec.label} ({merged.kind})")
@@ -619,6 +726,12 @@ def main(argv: Optional[list] = None) -> int:
         help="draw identifiers from [1, n^EXP] instead of the default n^3 "
         "(the identifier-range ablation)",
     )
+    sweep.add_argument(
+        "--canonical",
+        action="store_true",
+        help="zero per-point wall-clock timings in the artifact, making "
+        "artifacts of identical runs byte-comparable",
+    )
 
     lower_bound = subparsers.add_parser(
         "lower-bound",
@@ -660,6 +773,9 @@ def main(argv: Optional[list] = None) -> int:
         help="skip checking the Ω series against the expected asymptotic shape",
     )
     lower_bound.add_argument("--shard", default=None, metavar="I/K", help="as for sweep")
+    lower_bound.add_argument(
+        "--canonical", action="store_true", help="as for sweep"
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -686,12 +802,102 @@ def main(argv: Optional[list] = None) -> int:
         "structured invalid-request error and the connection keeps serving "
         f"(default {DEFAULT_MAX_REQUEST_BYTES})",
     )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline; requests without their own "
+        "deadline_s are answered with a structured timeout error past it",
+    )
+    serve.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="install a deterministic fault rule (repeatable), e.g. "
+        "kill:after=3, freeze:op=sweep,seconds=0, drop:nth=2 — the chaos "
+        "harness behind the fault-tolerance tests",
+    )
+
+    shard_drive = subparsers.add_parser(
+        "shard-drive",
+        help="fan one experiment's shards out over a fleet of serve "
+        "processes, survive worker deaths, merge the partial artifacts",
+    )
+    shard_drive.add_argument(
+        "--spec",
+        required=True,
+        metavar="FILE",
+        help="JSON experiment spec (the to_dict form of a sweep or "
+        "lower-bound spec, kind included)",
+    )
+    shard_drive.add_argument(
+        "--fleet",
+        type=int,
+        default=3,
+        metavar="N",
+        help="spawn N local serve processes as the fleet (default 3); "
+        "ignored when --worker is given",
+    )
+    shard_drive.add_argument(
+        "--worker",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="use an already-running serve process (repeatable) instead of "
+        "spawning a fleet",
+    )
+    shard_drive.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="split the grid into K shards (default: one per worker)",
+    )
+    shard_drive.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline; an expired shard is answered with a "
+        "structured timeout error and re-dispatched to a survivor",
+    )
+    shard_drive.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dispatch cap per shard (default: max(3, fleet size + 1))",
+    )
+    shard_drive.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker-pool width of each spawned fleet member (default 2)",
+    )
+    shard_drive.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="[MEMBER:]SPEC",
+        help="install a fault rule on fleet member MEMBER (default 0), "
+        "e.g. 1:kill:op=sweep,nth=1 — requires a spawned fleet",
+    )
+    shard_drive.add_argument(
+        "--output", default=None, help="merged artifact path (default by kind/label)"
+    )
+    shard_drive.add_argument(
+        "--canonical", action="store_true", help="as for sweep"
+    )
 
     merge = subparsers.add_parser(
         "merge", help="stitch the partial artifacts of a sharded run back together"
     )
     merge.add_argument("artifacts", nargs="+", help="partial artifact paths")
     merge.add_argument("--output", required=True, help="merged artifact path")
+    merge.add_argument("--canonical", action="store_true", help="as for sweep")
 
     results = subparsers.add_parser(
         "results",
@@ -728,6 +934,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_lower_bound(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "shard-drive":
+        return cmd_shard_drive(args)
     if args.command == "merge":
         return cmd_merge(args)
     if args.command == "results":

@@ -47,9 +47,11 @@ from repro.experiments.artifacts import (
     ExperimentResult,
     SweepPoint,
     SweepResult,
+    canonical_payload,
     check_series_bound,
     load_artifact,
     merge_artifacts,
+    result_from_payload,
     write_artifact,
 )
 from repro.experiments.bounds import FittedBound, fit_series
@@ -70,11 +72,17 @@ from repro.experiments.results import (
     write_baseline,
 )
 from repro.experiments.runner import run_point, run_sweep
-from repro.experiments.spec import ExperimentSpec, SweepSpec
+from repro.experiments.spec import (
+    ExperimentCancelled,
+    ExperimentSpec,
+    SweepSpec,
+    raise_if_stopped,
+)
 
 __all__ = [
     "BaselineReport",
     "BoundCheck",
+    "ExperimentCancelled",
     "ExperimentResult",
     "ExperimentSpec",
     "FittedBound",
@@ -88,13 +96,16 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
+    "canonical_payload",
     "check_series_bound",
     "collect_artifacts",
     "compare_to_baseline",
     "fit_series",
     "load_artifact",
     "merge_artifacts",
+    "raise_if_stopped",
     "render_experiments_md",
+    "result_from_payload",
     "run_lower_bound",
     "run_lower_bound_point",
     "run_point",

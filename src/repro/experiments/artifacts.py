@@ -227,24 +227,61 @@ class SweepResult(ExperimentResult):
         )
 
 
-def write_artifact(result: ExperimentResult, path: str | os.PathLike) -> Path:
-    """Write an experiment result as a JSON artifact; returns the path written."""
+def canonical_payload(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """An artifact payload with its wall-clock timings normalised away.
+
+    Per-point ``elapsed_s`` is the only field of an artifact that differs
+    between two runs of the same experiment (sharded or not, driven or
+    not); zeroing it makes artifacts *byte-comparable* — the check the
+    shard driver's exactness guarantee and the chaos CI job rest on.
+    """
+    out = dict(data)
+    out["points"] = [
+        {**dict(point), "elapsed_s": 0.0} for point in data.get("points", [])
+    ]
+    return out
+
+
+def write_artifact(
+    result: ExperimentResult, path: str | os.PathLike, canonical: bool = False
+) -> Path:
+    """Write an experiment result as a JSON artifact; returns the path written.
+
+    ``canonical`` routes the payload through :func:`canonical_payload`, so
+    two writes of the same experiment are byte-identical regardless of how
+    (or where) the points were executed.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+    payload = result.to_dict()
+    if canonical:
+        payload = canonical_payload(payload)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def result_from_payload(data: Mapping[str, Any]) -> ExperimentResult:
+    """Re-hydrate an experiment result from its artifact payload.
+
+    The payload is exactly what :meth:`ExperimentResult.to_dict` produced —
+    whether it came from a file, a ``sweep``/``lower-bound`` wire response
+    (the shard driver's path), or an in-memory round-trip.
+    """
+    schema = data.get("schema")
+    if schema not in _READABLE_SCHEMAS:
+        raise ValueError(
+            f"artifact payload has schema {schema!r}, expected one of {_READABLE_SCHEMAS}"
+        )
+    cls = ExperimentResult.result_class(data.get("kind", "sweep"))
+    return cls.from_dict(data)
 
 
 def load_artifact(path: str | os.PathLike) -> ExperimentResult:
     """Load an experiment result previously written by :func:`write_artifact`."""
-    data = json.loads(Path(path).read_text())
-    schema = data.get("schema")
-    if schema not in _READABLE_SCHEMAS:
-        raise ValueError(
-            f"artifact {path} has schema {schema!r}, expected one of {_READABLE_SCHEMAS}"
-        )
-    cls = ExperimentResult.result_class(data.get("kind", "sweep"))
-    return cls.from_dict(data)
+    try:
+        return result_from_payload(json.loads(Path(path).read_text()))
+    except ValueError as error:
+        raise ValueError(f"artifact {path}: {error}") from None
 
 
 def _merge_identity(spec: ExperimentSpec) -> ExperimentSpec:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, replace
-from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, Mapping, Optional, Tuple
 
 from repro.experiments.artifacts import (
     ARTIFACT_SCHEMA,
@@ -37,7 +37,7 @@ from repro.experiments.artifacts import (
     ExperimentResult,
 )
 from repro.experiments.bounds import FittedBound, fit_series
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.spec import ExperimentSpec, raise_if_stopped
 from repro.lower_bounds.catalog import (
     LowerBoundConstruction,
     NeverAcceptScheme,
@@ -289,16 +289,25 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
 
 
 def run_lower_bound(
-    spec: LowerBoundSpec, shard: Optional[Tuple[int, int]] = None
+    spec: LowerBoundSpec,
+    shard: Optional[Tuple[int, int]] = None,
+    should_stop: Optional[Callable[[], Optional[str]]] = None,
 ) -> LowerBoundResult:
     """Execute a lower-bound search (or one shard of it).
 
     ``shard`` overrides ``spec.shard``; the returned result's spec records
     the shard actually run, so partial artifacts are self-describing and
     :func:`~repro.experiments.artifacts.merge_artifacts` can stitch them.
+
+    ``should_stop`` is the same cooperative stop-check as
+    :func:`~repro.experiments.runner.run_sweep`'s, polled between grid
+    points; it raises :class:`~repro.experiments.spec.ExperimentCancelled`.
     """
     if shard is not None:
         spec = replace(spec, shard=shard)
     spec.validate()
-    points = tuple(run_lower_bound_point(spec, index) for index in spec.shard_indices())
-    return LowerBoundResult.merged_from_points(spec, points)
+    points = []
+    for index in spec.shard_indices():
+        raise_if_stopped(should_stop)
+        points.append(run_lower_bound_point(spec, index))
+    return LowerBoundResult.merged_from_points(spec, tuple(points))

@@ -15,11 +15,11 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import replace
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.scheme import NotAYesInstance, evaluate_scheme
 from repro.experiments.artifacts import SweepPoint, SweepResult
-from repro.experiments.spec import SweepSpec
+from repro.experiments.spec import SweepSpec, raise_if_stopped
 from repro.graphs.generators import build_graph_spec
 from repro.network.ids import assign_identifiers
 
@@ -85,6 +85,7 @@ def run_sweep(
     spec: SweepSpec,
     processes: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
+    should_stop: Optional[Callable[[], Optional[str]]] = None,
 ) -> SweepResult:
     """Execute a sweep (or one shard of it) and judge the measured series.
 
@@ -98,6 +99,12 @@ def run_sweep(
     results from a complete set of shards merge back into the unsharded
     artifact via :func:`repro.experiments.artifacts.merge_artifacts`.
 
+    ``should_stop`` is a cooperative stop-check (see
+    :func:`~repro.experiments.spec.raise_if_stopped`) polled between grid
+    points; when it fires the run raises
+    :class:`~repro.experiments.spec.ExperimentCancelled` instead of
+    grinding through the rest of the grid.
+
     The finalised result carries both bound judgements: the closed-form
     :class:`BoundCheck` verdict against the registered envelope (when
     ``spec.check_bound``) and the :class:`~repro.experiments.bounds.
@@ -106,14 +113,24 @@ def run_sweep(
     if shard is not None:
         spec = replace(spec, shard=shard)
     spec.validate()
+    raise_if_stopped(should_stop)
     processes = spec.processes if processes is None else max(1, processes)
     indices = spec.shard_indices()
     if processes > 1 and len(indices) > 1:
         tasks = [(spec.to_dict(), index) for index in indices]
         with multiprocessing.Pool(processes=min(processes, len(tasks))) as pool:
-            points = pool.map(_run_point_task, tasks)
+            # imap keeps submission order and lets the stop-check run between
+            # arrivals; leaving the ``with`` block on cancellation terminates
+            # the pool, so orphaned points stop with the run.
+            points = []
+            for point in pool.imap(_run_point_task, tasks):
+                points.append(point)
+                raise_if_stopped(should_stop)
         points.sort(key=lambda point: point.index)
     else:
-        points = [run_point(spec, index) for index in indices]
+        points = []
+        for index in indices:
+            raise_if_stopped(should_stop)
+            points.append(run_point(spec, index))
 
     return SweepResult.merged_from_points(spec, tuple(points))

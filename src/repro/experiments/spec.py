@@ -42,6 +42,34 @@ _MEASURES = ("full", "size")
 SIZE_TEMPLATE = "$n"
 
 
+class ExperimentCancelled(RuntimeError):
+    """A cooperative stop-check interrupted an experiment run.
+
+    ``reason`` is machine-readable — ``"cancelled"`` or ``"timeout"`` — and
+    maps one-to-one onto the service's wire error codes, so a cancelled
+    sweep surfaces as structured data, not a traceback.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def raise_if_stopped(should_stop: Optional[Any]) -> None:
+    """Run a cooperative stop-check between units of experiment work.
+
+    ``should_stop`` is a zero-argument callable returning a stop *reason*
+    (a string) when the run should abort, or a falsy value to continue —
+    the contract of :meth:`repro.service.core.CancelScope.check`.  A bare
+    ``True`` is accepted and normalised to ``"cancelled"``.
+    """
+    if should_stop is None:
+        return
+    reason = should_stop()
+    if reason:
+        raise ExperimentCancelled(reason if isinstance(reason, str) else "cancelled")
+
+
 class ExperimentSpec:
     """Shared backbone of all experiment kinds (grid, seeds, shard, JSON).
 

@@ -14,6 +14,14 @@ Methods mirror the request types and return the typed responses of
 :class:`ErrorResponse` value, never an exception — only transport failures
 (connection refused, server died, protocol garbage) raise.
 
+Fault tolerance: :meth:`ServiceClient.connect` retries with exponential
+backoff plus jitter under a total deadline (a thundering herd of shard
+workers reconnecting to a restarted server spreads out instead of
+stampeding), and :meth:`ServiceClient.request` can retry a broken
+conversation — it stamps the request with a ``request_id`` so the server's
+idempotent replay makes the retry exactly-once even when the failure hit
+after the work was done.
+
 Example::
 
     with ServiceClient.stdio() as client:
@@ -24,18 +32,27 @@ Example::
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import random
 import subprocess
 import sys
 import time
+import uuid
 from typing import IO, Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.service.messages import (
     BatchRequest,
     BatchResponse,
+    CancelRequest,
+    CancelResponse,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    LowerBoundRequest,
+    LowerBoundResponse,
     Request,
     Response,
     StatsRequest,
@@ -46,9 +63,37 @@ from repro.service.messages import (
 )
 from repro.service.protocol import SHUTDOWN_OP, connect, encode_line
 
+#: Ceiling on one backoff sleep; growth past this only adds jitter spread.
+_MAX_BACKOFF_S = 1.0
+
+
+def _backoff_delay(base: float, attempt: int) -> float:
+    """Exponential backoff with full jitter: ``U(0.5, 1) * base * 2^attempt``.
+
+    The random factor decorrelates a fleet of clients retrying against the
+    same restarted server; the cap keeps late attempts responsive.
+    """
+    delay = min(base * (2.0 ** attempt), _MAX_BACKOFF_S)
+    return delay * (0.5 + random.random() / 2.0)
+
 
 class ServiceTransportError(ConnectionError):
     """The conversation itself broke: no connection, EOF mid-request, garbage."""
+
+
+class ServiceConnectTimeout(ServiceTransportError):
+    """The connect retry budget (attempts or deadline) ran out.
+
+    Carries the machine-readable ``connect-timeout`` code — callers that
+    report errors as data (the shard driver) convert it via :meth:`error`
+    instead of reparsing the message.
+    """
+
+    code = "connect-timeout"
+
+    def error(self) -> ErrorResponse:
+        """This failure as the wire's structured error value."""
+        return ErrorResponse(code=self.code, message=str(self))
 
 
 class ServiceClient:
@@ -59,10 +104,12 @@ class ServiceClient:
         reader: IO[str],
         writer: IO[str],
         process: Optional[subprocess.Popen] = None,
+        endpoint: Optional[Tuple[str, int, Optional[float]]] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._process = process
+        self._endpoint = endpoint
         self._closed = False
 
     # -- constructors --------------------------------------------------------
@@ -71,27 +118,53 @@ class ServiceClient:
     def connect(
         cls, host: str = "127.0.0.1", port: int = 8765, retries: int = 50,
         retry_delay: float = 0.1, read_timeout: Optional[float] = None,
+        connect_deadline_s: Optional[float] = 15.0,
     ) -> "ServiceClient":
         """Connect to a TCP serve process, retrying while it starts up.
+
+        Failed attempts back off exponentially from ``retry_delay`` with
+        full jitter (see :func:`_backoff_delay`) under two caps: at most
+        ``retries`` attempts and at most ``connect_deadline_s`` seconds in
+        total.  Exhausting either raises :class:`ServiceConnectTimeout`,
+        whose ``connect-timeout`` code is the structured form of the
+        failure (the last ``OSError`` stays chained for humans).
 
         ``read_timeout`` optionally bounds each response wait; by default
         reads block indefinitely, matching the stdio transport (requests
         may legitimately take minutes of server-side compute).
         """
+        deadline_at = (
+            time.monotonic() + connect_deadline_s
+            if connect_deadline_s is not None
+            else None
+        )
+        attempts = max(1, retries)
         last_error: Optional[Exception] = None
-        for _ in range(max(1, retries)):
+        sock = None
+        for attempt in range(attempts):
             try:
                 sock = connect(host, port, read_timeout=read_timeout)
                 break
             except OSError as error:
                 last_error = error
-                time.sleep(retry_delay)
-        else:
-            raise ServiceTransportError(
-                f"could not connect to {host}:{port}: {last_error}"
+            if attempt + 1 >= attempts:
+                break
+            delay = _backoff_delay(retry_delay, attempt)
+            if deadline_at is not None:
+                budget = deadline_at - time.monotonic()
+                if budget <= 0:
+                    break
+                delay = min(delay, budget)
+            time.sleep(delay)
+        if sock is None:
+            raise ServiceConnectTimeout(
+                f"could not connect to {host}:{port} "
+                f"within the retry budget: {last_error}"
             ) from last_error
         stream = sock.makefile("rw", encoding="utf-8", newline="\n")
-        return cls(reader=stream, writer=stream)
+        return cls(
+            reader=stream, writer=stream, endpoint=(host, port, read_timeout)
+        )
 
     @classmethod
     def stdio(cls, command: Optional[Sequence[str]] = None) -> "ServiceClient":
@@ -126,9 +199,59 @@ class ServiceClient:
             raise ServiceTransportError(f"unparseable response line: {line!r}") from error
         return payload
 
-    def request(self, request: Request) -> Response:
-        """Send any typed request and return the typed response."""
-        return response_from_dict(self._roundtrip(request.to_dict()))
+    def _reconnect(self) -> None:
+        """Re-establish a broken TCP transport (stdio cannot reconnect)."""
+        if self._endpoint is None:
+            raise ServiceTransportError(
+                "this transport cannot reconnect (no TCP endpoint)"
+            )
+        host, port, read_timeout = self._endpoint
+        for stream in {self._writer, self._reader}:
+            try:
+                stream.close()
+            except OSError:
+                pass
+        fresh = ServiceClient.connect(host, port, read_timeout=read_timeout)
+        self._reader = fresh._reader
+        self._writer = fresh._writer
+        self._closed = False
+
+    def request(
+        self, request: Request, retries: int = 0, retry_delay: float = 0.2
+    ) -> Response:
+        """Send any typed request and return the typed response.
+
+        With ``retries > 0`` a broken conversation (connection reset, EOF,
+        an unparseable response line) is retried up to that many extra
+        times, reconnecting the TCP transport and backing off with jitter
+        between attempts.  The request is stamped with a ``request_id``
+        first (when its type carries one), so a resend of work the server
+        already finished replays the cached response instead of running it
+        twice — retries are idempotent, not at-least-once.
+        """
+        if (
+            retries > 0
+            and hasattr(request, "request_id")
+            and request.request_id is None
+        ):
+            request = dataclasses.replace(request, request_id=uuid.uuid4().hex)
+        data = request.to_dict()
+        attempt = 0
+        while True:
+            try:
+                return response_from_dict(self._roundtrip(data))
+            except ServiceTransportError:
+                if attempt >= retries:
+                    raise
+                time.sleep(_backoff_delay(retry_delay, attempt))
+                attempt += 1
+                if self._endpoint is not None:
+                    try:
+                        self._reconnect()
+                    except ServiceTransportError:
+                        # The server may still be coming back; the next
+                        # roundtrip fails fast and consumes an attempt.
+                        pass
 
     def certify(
         self,
@@ -139,7 +262,14 @@ class ServiceClient:
         trials: int = 20,
         engine: str = "compiled",
         include_certificates: bool = False,
+        **kwargs: Any,
     ) -> Union[CertifyResponse, ErrorResponse]:
+        """One certification question; ``kwargs`` pass through to the
+        request (``deadline_s``, ``request_id``) and to :meth:`request`
+        (``retries``, ``retry_delay``)."""
+        retry_kwargs = {
+            key: kwargs.pop(key) for key in ("retries", "retry_delay") if key in kwargs
+        }
         return self.request(
             CertifyRequest(
                 scheme=scheme,
@@ -149,7 +279,9 @@ class ServiceClient:
                 trials=trials,
                 engine=engine,
                 include_certificates=include_certificates,
-            )
+                **kwargs,
+            ),
+            **retry_kwargs,
         )
 
     def sweep(
@@ -174,10 +306,30 @@ class ServiceClient:
             )
         )
 
+    def lower_bound(
+        self,
+        construction: str,
+        sizes: Sequence[int],
+        **kwargs: Any,
+    ) -> Union[LowerBoundResponse, ErrorResponse]:
+        """Run a whole Section-7 lower-bound search as one request.
+
+        ``kwargs`` pass through to :class:`LowerBoundRequest` (including
+        ``shard``, ``deadline_s`` and ``request_id``).
+        """
+        retry_kwargs = {
+            key: kwargs.pop(key) for key in ("retries", "retry_delay") if key in kwargs
+        }
+        return self.request(
+            LowerBoundRequest(construction=construction, sizes=tuple(sizes), **kwargs),
+            **retry_kwargs,
+        )
+
     def submit_many(
         self,
         requests: Sequence[Request],
         stop_on_failure: bool = False,
+        **kwargs: Any,
     ) -> Union[List[Response], ErrorResponse]:
         """Send a whole batch as one ``batch`` wire request.
 
@@ -186,10 +338,17 @@ class ServiceClient:
         ``stop_on_failure`` early exit (cancelled members come back as
         ``skipped`` errors).  A failure of the batch envelope itself (e.g. a
         member that does not decode) comes back as a single
-        :class:`ErrorResponse` value.
+        :class:`ErrorResponse` value.  ``kwargs`` pass through to the
+        :class:`BatchRequest` (``deadline_s``, ``request_id``).
         """
+        retry_kwargs = {
+            key: kwargs.pop(key) for key in ("retries", "retry_delay") if key in kwargs
+        }
         response = self.request(
-            BatchRequest(requests=tuple(requests), stop_on_failure=stop_on_failure)
+            BatchRequest(
+                requests=tuple(requests), stop_on_failure=stop_on_failure, **kwargs
+            ),
+            **retry_kwargs,
         )
         if isinstance(response, BatchResponse):
             return list(response.responses)
@@ -197,6 +356,19 @@ class ServiceClient:
 
     def stats(self) -> Union[StatsResponse, ErrorResponse]:
         return self.request(StatsRequest())
+
+    def health(self) -> Union[HealthResponse, ErrorResponse]:
+        """The server's liveness/load snapshot (never queued behind work)."""
+        return self.request(HealthRequest())
+
+    def cancel(self, request_id: str) -> Union[CancelResponse, ErrorResponse]:
+        """Cancel the in-flight or queued request known under ``request_id``.
+
+        Issue it from a *second* connection: the one waiting on the work is
+        blocked until the cancelled request answers (with a ``cancelled``
+        error).
+        """
+        return self.request(CancelRequest(request_id=request_id))
 
     def shutdown(self) -> bool:
         """Ask the server to stop; True when it acknowledged."""

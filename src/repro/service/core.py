@@ -24,28 +24,51 @@ early-exit entry points (``run_many`` / ``any_accepted`` inside
 :func:`~repro.core.scheme.evaluate_scheme`); :meth:`submit_many` adds
 batch-level early exit on top — ``stop_on_failure`` cancels everything
 queued behind the first failed verdict.
+
+Fault tolerance: the wire protocol routes every request through
+:meth:`respond`, which enforces the request's deadline (a frozen or slow
+handler becomes a structured ``timeout`` error, never a hung connection),
+registers the request id with a :class:`CancelScope` so a ``cancel`` op —
+or a dead connection detected mid-batch — can stop queued and in-flight
+work cooperatively, and replays completed responses idempotently when the
+same ``request_id`` is resubmitted after a broken transport.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import networkx as nx
 
 from repro.caching import LRUCache, cache_stats, cache_stats_since
 from repro.core.cache import cached_evaluation_identifiers
 from repro.core.scheme import NotAYesInstance, evaluate_scheme
-from repro.experiments import SweepSpec, run_sweep
+from repro.experiments import (
+    ExperimentCancelled,
+    LowerBoundSpec,
+    SweepSpec,
+    run_lower_bound,
+    run_sweep,
+)
 from repro.graphs.generators import GraphSpecError, build_graph_spec
+from repro.lower_bounds.catalog import LOWER_BOUND_CONSTRUCTIONS
 from repro.registry import REGISTRY, RegistryError, SchemeInfo
 from repro.service.messages import (
     BatchRequest,
     BatchResponse,
+    CancelRequest,
+    CancelResponse,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    LowerBoundRequest,
+    LowerBoundResponse,
     Request,
     Response,
     StatsRequest,
@@ -58,6 +81,87 @@ _ENGINES = ("compiled", "legacy")
 
 #: Default worker-pool width; deliberately small — the workload is CPU-bound.
 DEFAULT_WORKERS = 4
+
+#: How often a scope-supervised wait re-checks for cancellation, expiry and
+#: connection death.  Coarse enough to stay off the profile, fine enough
+#: that a cancel lands within human reaction time.
+_POLL_INTERVAL_S = 0.05
+
+
+class CancelScope:
+    """The cooperative stop-signal one request (or batch) runs under.
+
+    A scope combines three stop conditions — an explicit :meth:`cancel`, a
+    wall-clock deadline, and an optional ``is_alive`` probe (the connection
+    that asked for the work) — behind one :meth:`check` that returns the
+    stop *reason* (an error code: ``"cancelled"`` or ``"timeout"``) or
+    ``None``.  Handlers poll it at natural boundaries (between batch
+    members, between sweep grid points); scope-aware waits block on
+    :meth:`wait` so an external cancel wakes them immediately.
+    """
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        is_alive: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+        self.deadline_at = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        self.is_alive = is_alive
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Signal the scope; the first reason wins (later calls are no-ops)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (never negative); None = unbounded."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - time.monotonic())
+
+    def check(self) -> Optional[str]:
+        """The stop reason, if any of the three conditions has triggered."""
+        if self._event.is_set():
+            return self._reason
+        if self.deadline_at is not None and time.monotonic() >= self.deadline_at:
+            self.cancel("timeout")
+            return self._reason
+        if self.is_alive is not None and not self.is_alive():
+            self.cancel("cancelled")
+            return self._reason
+        return None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until cancelled (True) or ``timeout`` elapses (False).
+
+        The deadline is honoured: the wait never outlives it.  This is what
+        a scope-aware sleep (e.g. the fault injector's frozen handler) calls
+        instead of ``time.sleep`` — cancellation wakes it immediately.
+        """
+        budget = self.remaining()
+        if budget is not None and (timeout is None or budget < timeout):
+            timeout = budget
+        flag = self._event.wait(timeout)
+        self.check()  # a deadline that expired during the wait becomes a reason
+        return flag or self._event.is_set()
+
+
+class _Inflight:
+    """Registry entry of one supervised request: its scope and its future."""
+
+    __slots__ = ("scope", "future")
+
+    def __init__(self, scope: CancelScope, future: Optional["Future[Response]"] = None):
+        self.scope = scope
+        self.future = future
 
 
 class CertificationService:
@@ -72,12 +176,27 @@ class CertificationService:
     scheme_cache_size:
         How many scheme instances to keep alive, keyed by
         ``(registry key, resolved params)``.
+    default_deadline_s:
+        Deadline applied by :meth:`respond` to requests that do not carry
+        their own ``deadline_s``; ``None`` (the default) means unbounded.
+    completed_cache_size:
+        How many finished responses to keep for idempotent replay: a
+        request resubmitted with a ``request_id`` already answered gets the
+        cached response back instead of re-running (the client's retry
+        after a broken transport rides on this).
     """
 
-    def __init__(self, workers: int = DEFAULT_WORKERS, scheme_cache_size: int = 128) -> None:
+    def __init__(
+        self,
+        workers: int = DEFAULT_WORKERS,
+        scheme_cache_size: int = 128,
+        default_deadline_s: Optional[float] = None,
+        completed_cache_size: int = 256,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
+        self.default_deadline_s = default_deadline_s
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._schemes = LRUCache(maxsize=scheme_cache_size)
@@ -85,12 +204,27 @@ class CertificationService:
         self._counters: Dict[str, int] = {
             "certify": 0,
             "sweep": 0,
+            "lower_bound": 0,
             "stats": 0,
+            "health": 0,
             "errors": 0,
             "batches": 0,
+            "timeouts": 0,
+            "cancelled": 0,
+            "replayed": 0,
         }
+        self._pending = 0
         self._cache_baseline = cache_stats()
         self._closed = False
+        self._started_at = time.monotonic()
+        self._inflight: Dict[str, _Inflight] = {}
+        self._inflight_lock = threading.Lock()
+        # Deliberately NOT in the global cache registry: replay is a wire
+        # concern, and registering it would shift every cache-stats test.
+        self._completed = LRUCache(maxsize=completed_cache_size)
+        #: Optional :class:`repro.service.faults.FaultInjector` consulted at
+        #: the top of :meth:`handle`; None in production.
+        self.fault_injector: Optional[Any] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -148,22 +282,40 @@ class CertificationService:
 
     # -- request handling ----------------------------------------------------
 
-    def handle(self, request: Request) -> Response:
-        """Dispatch any typed request; the wire protocol's single entry point."""
+    def handle(self, request: Request, scope: Optional[CancelScope] = None) -> Response:
+        """Dispatch any typed request synchronously.
+
+        ``scope`` is the cancel scope the work runs under (threaded through
+        to the cooperative stop-checks of sweeps, lower-bound searches and
+        batches); in-process callers that want no deadline simply omit it.
+        Wire connections enter through :meth:`respond`, which builds the
+        scope from the request's ``deadline_s`` and supervises the wait.
+        """
+        injector = self.fault_injector
+        if injector is not None:
+            injector.before_handle(request, scope)
         if isinstance(request, CertifyRequest):
             return self.certify(request)
         if isinstance(request, SweepRequest):
-            return self.sweep(request)
+            return self.sweep(request, scope=scope)
+        if isinstance(request, LowerBoundRequest):
+            return self.lower_bound(request, scope=scope)
         if isinstance(request, StatsRequest):
             self._count("stats")
             return StatsResponse(result=self.stats())
+        if isinstance(request, HealthRequest):
+            return self.health()
+        if isinstance(request, CancelRequest):
+            return self.cancel_request(request)
         if isinstance(request, BatchRequest):
             # The wire form of submit_many: the batch fans out over the
             # worker pool and early-exits exactly like the in-process call.
             return BatchResponse(
                 responses=tuple(
                     self.submit_many(
-                        request.requests, stop_on_failure=request.stop_on_failure
+                        request.requests,
+                        stop_on_failure=request.stop_on_failure,
+                        scope=scope,
                     )
                 )
             )
@@ -171,6 +323,173 @@ class CertificationService:
         return ErrorResponse(
             code="invalid-request",
             message=f"unsupported request type {type(request).__name__}",
+        )
+
+    def respond(
+        self,
+        request: Request,
+        *,
+        is_alive: Optional[Callable[[], bool]] = None,
+    ) -> Response:
+        """Answer a wire request under the fault-tolerance contract.
+
+        This is what the protocol layer calls instead of :meth:`handle`.
+        On top of plain dispatch it provides:
+
+        * **deadlines** — the request's ``deadline_s`` (or the service's
+          ``default_deadline_s``) bounds the wait; expiry answers with a
+          structured ``timeout`` error, never a hung connection, even if
+          the handler itself is frozen;
+        * **cancellation** — work-carrying requests register their
+          ``request_id`` so a ``cancel`` op (from any connection) or a dead
+          client connection (``is_alive`` probe) stops queued and in-flight
+          work cooperatively;
+        * **idempotent replay** — a ``request_id`` that already finished
+          returns its cached response without re-running, which makes a
+          client retry after a broken transport exactly-once in effect.
+
+        Control-plane ops (``stats``, ``health``, ``cancel``) bypass the
+        worker pool entirely so they stay responsive while the pool is
+        saturated or wedged.
+        """
+        if isinstance(request, (StatsRequest, HealthRequest, CancelRequest)):
+            # Control-plane first: a CancelRequest's request_id names its
+            # *target*, not itself — it must never hit the replay cache.
+            return self.handle(request)
+        request_id = getattr(request, "request_id", None)
+        if request_id is not None:
+            cached = self._completed.get(request_id)
+            if cached is not None:
+                self._count("replayed")
+                return cached
+        deadline_s = getattr(request, "deadline_s", None)
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        scope = CancelScope(deadline_s=deadline_s, is_alive=is_alive)
+        entry = _Inflight(scope)
+        if request_id is not None:
+            with self._inflight_lock:
+                self._inflight[request_id] = entry
+        try:
+            if isinstance(request, BatchRequest):
+                # Batches run on the connection thread (their members need
+                # the pool slots — see submit()); submit_many enforces the
+                # scope between members, so the deadline still binds.
+                try:
+                    response = self.handle(request, scope=scope)
+                except ExperimentCancelled as error:
+                    response = self._stopped_error(error.reason, request.op)
+            else:
+                response = self._supervised(request, scope, entry)
+        finally:
+            if request_id is not None:
+                with self._inflight_lock:
+                    self._inflight.pop(request_id, None)
+        if request_id is not None and not _stopped_response(response):
+            # timeout/cancelled answers are not replayable: a retry of that
+            # id is a fresh attempt, not a duplicate delivery.
+            self._completed.put(request_id, response)
+        return response
+
+    def _supervised(
+        self, request: Request, scope: CancelScope, entry: _Inflight
+    ) -> Response:
+        """Run one request on the pool, polling the scope while waiting."""
+        try:
+            future = self._executor().submit(self.handle, request, scope=scope)
+        except RuntimeError:
+            # The pool is closed (service shutting down). Synchronous calls
+            # keep working on a closed service, so answer on this thread —
+            # the scope still reaches the handler's stop-checks.
+            try:
+                return self.handle(request, scope=scope)
+            except ExperimentCancelled as error:
+                return self._stopped_error(error.reason, request.op)
+        entry.future = future
+        self._track_pending(future)
+        while True:
+            try:
+                return future.result(timeout=_POLL_INTERVAL_S)
+            except FutureTimeoutError:
+                reason = scope.check()
+                if reason is None:
+                    continue
+                future.cancel()
+                return self._stopped_error(reason, request.op)
+            except CancelledError:
+                reason = scope.check() or "cancelled"
+                return self._stopped_error(reason, request.op)
+            except ExperimentCancelled as error:
+                # A stop-check fired before the handler reached its own
+                # ExperimentCancelled mapping (e.g. a scope-aware freeze
+                # ahead of dispatch): same structured answer.
+                return self._stopped_error(error.reason, request.op)
+
+    def _stopped_error(self, reason: str, request_op: str) -> ErrorResponse:
+        """The structured answer for a request stopped by its scope."""
+        self._count("timeouts" if reason == "timeout" else "cancelled")
+        message = (
+            "deadline expired before the request finished"
+            if reason == "timeout"
+            else "request cancelled before it finished"
+        )
+        return ErrorResponse(code=reason, message=message, request_op=request_op)
+
+    def _track_pending(self, future: "Future[Response]") -> None:
+        """Maintain the queued-or-running gauge the ``health`` op exposes."""
+        with self._counter_lock:
+            self._pending += 1
+
+        def _done(_: "Future[Response]") -> None:
+            with self._counter_lock:
+                self._pending -= 1
+
+        future.add_done_callback(_done)
+
+    def health(self) -> HealthResponse:
+        """Liveness and load, the shard driver's dead-or-busy discriminator."""
+        self._count("health")
+        with self._counter_lock:
+            counters = dict(self._counters)
+            pending = self._pending
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        with self._pool_lock:
+            closed = self._closed
+            pool = self._pool
+            threads = getattr(pool, "_threads", ()) if pool is not None else ()
+            alive = sum(1 for thread in threads if thread.is_alive())
+        return HealthResponse(
+            result={
+                "ok": not closed,
+                "workers": self.workers,
+                "worker_threads_alive": alive,
+                "queue_depth": pending,
+                "inflight": inflight,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "default_deadline_s": self.default_deadline_s,
+                "requests": counters,
+            }
+        )
+
+    def cancel_request(self, request: CancelRequest) -> CancelResponse:
+        """Resolve a ``cancel`` op against the in-flight registry."""
+        with self._inflight_lock:
+            entry = self._inflight.get(request.request_id)
+        if entry is None:
+            state = "finished" if request.request_id in self._completed else "unknown"
+            return CancelResponse(
+                result={
+                    "request_id": request.request_id,
+                    "cancelled": False,
+                    "state": state,
+                }
+            )
+        future = entry.future
+        state = "queued" if future is not None and future.cancel() else "running"
+        entry.scope.cancel("cancelled")
+        return CancelResponse(
+            result={"request_id": request.request_id, "cancelled": True, "state": state}
         )
 
     def certify(
@@ -261,8 +580,10 @@ class CertificationService:
             certificates=certificates,
         )
 
-    def sweep(self, request: SweepRequest) -> Union[SweepResponse, ErrorResponse]:
-        """Run a whole declarative sweep as one request."""
+    def sweep(
+        self, request: SweepRequest, scope: Optional[CancelScope] = None
+    ) -> Union[SweepResponse, ErrorResponse]:
+        """Run a whole declarative sweep (or one shard of it) as one request."""
 
         def fail(code: str, message: str) -> ErrorResponse:
             self._count("errors")
@@ -279,13 +600,17 @@ class CertificationService:
                 engine=request.engine,
                 check_bound=request.check_bound,
                 measure=request.measure,
+                id_exponent=request.id_exponent,
+                shard=request.shard,
                 name=request.name,
             ).validate()
         except RegistryError as error:
             code = "unknown-scheme" if request.scheme not in REGISTRY else "invalid-param"
             return fail(code, str(error))
         try:
-            result = self.run_sweep_spec(spec)
+            result = self.run_sweep_spec(spec, scope=scope)
+        except ExperimentCancelled as error:
+            return fail(error.reason, f"sweep stopped: {error.reason}")
         except GraphSpecError as error:
             return fail("invalid-graph", str(error))
         except NotAYesInstance as error:
@@ -296,16 +621,59 @@ class CertificationService:
             return fail("internal-error", f"{type(error).__name__}: {error}")
         return SweepResponse(result=result.to_dict())
 
-    def run_sweep_spec(self, spec: SweepSpec):
+    def run_sweep_spec(self, spec: SweepSpec, scope: Optional[CancelScope] = None):
         """Execute a validated :class:`SweepSpec` inside this service.
 
         The in-process path :mod:`benchmarks/_harness` and the wire ``sweep``
         op share; it exists so every sweep a benchmark runs counts in
         :meth:`stats` and reuses this service's warm caches.
         """
-        result = run_sweep(spec)
+        result = run_sweep(spec, should_stop=scope.check if scope is not None else None)
         self._count("sweep")
         return result
+
+    def lower_bound(
+        self, request: LowerBoundRequest, scope: Optional[CancelScope] = None
+    ) -> Union[LowerBoundResponse, ErrorResponse]:
+        """Run a Section-7 lower-bound search (or one shard of it)."""
+
+        def fail(code: str, message: str) -> ErrorResponse:
+            self._count("errors")
+            return ErrorResponse(code=code, message=message, request_op=request.op)
+
+        try:
+            spec = LowerBoundSpec(
+                construction=request.construction,
+                sizes=request.sizes,
+                check_dichotomy=request.check_dichotomy,
+                simulate=request.simulate,
+                simulate_bits=request.simulate_bits,
+                max_side_bits=request.max_side_bits,
+                engine=request.engine,
+                check_bound=request.check_bound,
+                seed=request.seed,
+                shard=request.shard,
+                name=request.name,
+            ).validate()
+        except RegistryError as error:
+            code = (
+                "unknown-scheme"
+                if request.construction not in LOWER_BOUND_CONSTRUCTIONS
+                else "invalid-param"
+            )
+            return fail(code, str(error))
+        try:
+            result = run_lower_bound(
+                spec, should_stop=scope.check if scope is not None else None
+            )
+        except ExperimentCancelled as error:
+            return fail(error.reason, f"lower-bound search stopped: {error.reason}")
+        except ValueError as error:
+            return fail("undecidable", str(error))
+        except Exception as error:  # noqa: BLE001
+            return fail("internal-error", f"{type(error).__name__}: {error}")
+        self._count("lower_bound")
+        return LowerBoundResponse(result=result.to_dict())
 
     # -- batched submission --------------------------------------------------
 
@@ -323,12 +691,15 @@ class CertificationService:
                 "a batch cannot be queued on the worker pool; "
                 "use submit_many(batch.requests) or handle(batch)"
             )
-        return self._executor().submit(self.handle, request)
+        future = self._executor().submit(self.handle, request)
+        self._track_pending(future)
+        return future
 
     def submit_many(
         self,
         requests: Iterable[Request],
         stop_on_failure: bool = False,
+        scope: Optional[CancelScope] = None,
     ) -> List[Response]:
         """Run a batch through the worker pool, preserving order.
 
@@ -336,6 +707,13 @@ class CertificationService:
         ``any_accepted``: after the first response that is an error or a
         failed verdict, every request still waiting in the queue is
         cancelled and answered with a ``skipped`` error instead of running.
+
+        ``scope`` (supplied by :meth:`respond` for wire batches) bounds the
+        whole batch: when its deadline expires, its ``cancel`` fires, or
+        the connection that asked dies, the queued tail is cancelled and
+        every unanswered member comes back as a structured ``timeout`` /
+        ``cancelled`` error — including the member running at the moment
+        the scope tripped (its handler sees the scope and stops early).
         """
         self._count("batches")
         batch: Sequence[Request] = list(requests)
@@ -343,10 +721,33 @@ class CertificationService:
             # Nested batches would wait on pool slots their wrapper occupies
             # — the same deadlock submit() guards against.
             raise ValueError("batches cannot contain batches")
-        futures = [self._executor().submit(self.handle, request) for request in batch]
+        executor = self._executor()
+        futures = []
+        for request in batch:
+            future = executor.submit(self.handle, request, scope=scope)
+            self._track_pending(future)
+            futures.append(future)
         responses: List[Response] = []
         failed = False
-        for request, future in zip(batch, futures):
+        stop_reason: Optional[str] = None
+        # The walk below must stay syscall-free between waits: a cancel
+        # sweep that yields the GIL per member (e.g. by probing the
+        # connection) lets the CPU-bound workers start tail members between
+        # cancels, defeating the early exit.  The scope is therefore only
+        # consulted inside _scoped_result (where we block anyway); the
+        # moment it trips, the whole remaining tail is cancelled at once.
+        for position, (request, future) in enumerate(zip(batch, futures)):
+            if stop_reason is not None:
+                future.cancel()
+                responses.append(
+                    ErrorResponse(
+                        code=stop_reason,
+                        message=f"batch stopped ({stop_reason}) before this "
+                        "request finished",
+                        request_op=request.op,
+                    )
+                )
+                continue
             if failed and future.cancel():
                 responses.append(
                     ErrorResponse(
@@ -356,11 +757,37 @@ class CertificationService:
                     )
                 )
                 continue
-            response = future.result()
+            if scope is None:
+                response = future.result()
+            else:
+                response = self._scoped_result(future, scope, request)
+                if _stopped_response(response):
+                    stop_reason = response.code
+                    for pending in futures[position + 1 :]:
+                        pending.cancel()
             responses.append(response)
             if stop_on_failure and not _response_ok(response):
                 failed = True
         return responses
+
+    def _scoped_result(
+        self, future: "Future[Response]", scope: CancelScope, request: Request
+    ) -> Response:
+        """Await one batch member under the batch's scope."""
+        while True:
+            try:
+                return future.result(timeout=_POLL_INTERVAL_S)
+            except FutureTimeoutError:
+                reason = scope.check()
+                if reason is None:
+                    continue
+                future.cancel()
+                return self._stopped_error(reason, request.op)
+            except CancelledError:
+                reason = scope.check() or "cancelled"
+                return self._stopped_error(reason, request.op)
+            except ExperimentCancelled as error:
+                return self._stopped_error(error.reason, request.op)
 
 
 def _response_ok(response: Response) -> bool:
@@ -369,6 +796,14 @@ def _response_ok(response: Response) -> bool:
         return False
     if isinstance(response, CertifyResponse):
         return response.verdict_ok and response.sound is not False
-    if isinstance(response, SweepResponse):
+    if isinstance(response, (SweepResponse, LowerBoundResponse)):
         return response.clean
     return True
+
+
+def _stopped_response(response: Response) -> bool:
+    """Was this response a scope trip (timeout/cancel) rather than an answer?"""
+    return isinstance(response, ErrorResponse) and response.code in (
+        "timeout",
+        "cancelled",
+    )

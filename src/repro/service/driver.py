@@ -1,0 +1,564 @@
+"""The fault-tolerant shard driver: one experiment, a fleet of workers.
+
+``sweep --shard i/k`` (PR 3) made experiments shardable by hand: run the
+``k`` shards yourself, keep every process alive yourself, ``merge`` the
+partial artifacts yourself.  This module automates the whole loop and makes
+it survive failures:
+
+* :class:`LocalFleet` spawns ``python -m repro.cli serve --tcp 127.0.0.1:0``
+  child processes and collects the addresses they announce (optionally with
+  fault-injection flags — the chaos harness);
+* :class:`ShardDriver` dispatches the shards ``(0,k) .. (k-1,k)`` of one
+  :class:`~repro.experiments.spec.ExperimentSpec` to the fleet as wire
+  ``sweep`` / ``lower-bound`` requests, detects dead or wedged workers
+  (transport failures arbitrated by a fresh-connection health probe,
+  per-shard deadlines answered as structured ``timeout`` errors),
+  re-dispatches lost shards to the survivors, and degrades gracefully all
+  the way down to a single worker;
+* the partial payloads are stitched back through
+  :func:`~repro.experiments.artifacts.merge_artifacts`, so the driven
+  result equals the unsharded run's artifact *exactly* (byte-identical
+  under :func:`~repro.experiments.artifacts.canonical_payload`, which
+  normalises only wall-clock timings).
+
+Shards keep their global grid indices and derived per-point seeds, which is
+what makes re-dispatching safe: a shard that ran 1.5 times (once on a
+worker that died mid-send, once on a survivor) produces the same points
+both times, and the idempotent replay cache deduplicates retries that hit
+the *same* worker.
+
+Failure taxonomy: transport errors and ``timeout`` / ``cancelled`` /
+``internal-error`` responses are *transient* (the shard is retried, up to
+``max_attempts`` dispatches); every other error code — ``unknown-scheme``,
+``invalid-param``, ... — is *permanent* (retrying a bad spec on another
+worker cannot help) and aborts the drive with a :class:`DriverError`.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.artifacts import (
+    ExperimentResult,
+    merge_artifacts,
+    result_from_payload,
+)
+from repro.experiments.lower_bound import LowerBoundSpec
+from repro.experiments.spec import ExperimentSpec, SweepSpec
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectTimeout,
+    ServiceTransportError,
+)
+from repro.service.messages import (
+    ErrorResponse,
+    HealthResponse,
+    LowerBoundRequest,
+    LowerBoundResponse,
+    Request,
+    Response,
+    SweepRequest,
+    SweepResponse,
+)
+
+#: Error codes worth retrying on another worker (or the same one later).
+#: Everything else is the request's own fault and aborts the drive.
+TRANSIENT_CODES = ("timeout", "cancelled", "connect-timeout", "internal-error")
+
+#: Grace added to a shard's deadline to obtain the client read timeout: the
+#: server answers a structured ``timeout`` *within* the deadline, so a read
+#: exceeding deadline + grace means the worker itself is gone or wedged.
+_READ_GRACE_S = 10.0
+
+
+class DriverError(RuntimeError):
+    """The drive could not complete: a permanent error, an exhausted shard,
+    or the whole fleet lost while work remained."""
+
+
+@dataclass(frozen=True)
+class DriveReport:
+    """What one :meth:`ShardDriver.drive` run did, worker by worker.
+
+    ``result`` is the merged experiment result; ``assignments`` maps each
+    shard index to the worker that finally answered it; ``attempts`` counts
+    dispatches per shard (1 = no retry was needed); ``workers_lost`` lists
+    the workers that died or wedged mid-drive; ``events`` is the ordered
+    fault log — ``(event, worker, shard, detail)`` tuples.
+    """
+
+    result: ExperimentResult
+    shards: int
+    assignments: Dict[int, str] = field(default_factory=dict)
+    attempts: Dict[int, int] = field(default_factory=dict)
+    workers_lost: Tuple[str, ...] = ()
+    events: Tuple[Tuple[str, str, Optional[int], str], ...] = ()
+
+    @property
+    def redispatched(self) -> Tuple[int, ...]:
+        """Shards that needed more than one dispatch to complete."""
+        return tuple(sorted(i for i, n in self.attempts.items() if n > 1))
+
+
+class _DriveState:
+    """The shared ledger of one drive: queue, attempts, payloads, fatalities.
+
+    All mutation happens under one condition variable; worker threads block
+    in :meth:`next_shard` when the queue is momentarily empty (another
+    worker may still die and requeue its shard) and wake on every change.
+    """
+
+    def __init__(self, shard_count: int, max_attempts: int, workers: Sequence[str]):
+        self.count = shard_count
+        self.max_attempts = max_attempts
+        self.cond = threading.Condition()
+        self.queue: deque = deque(range(shard_count))
+        self.attempts: Dict[int, int] = {i: 0 for i in range(shard_count)}
+        self.payloads: Dict[int, Dict[str, Any]] = {}
+        self.assignments: Dict[int, str] = {}
+        self.alive = set(workers)
+        self.lost: List[str] = []
+        self.fatal: Optional[str] = None
+        self.events: List[Tuple[str, str, Optional[int], str]] = []
+
+    # Every method below expects to be called WITHOUT the lock held.
+
+    def log(self, event: str, worker: str, shard: Optional[int], detail: str) -> None:
+        with self.cond:
+            self.events.append((event, worker, shard, detail))
+
+    def finished(self) -> bool:
+        with self.cond:
+            return self.fatal is not None or len(self.payloads) == self.count
+
+    def next_shard(self, worker: str) -> Optional[int]:
+        """Claim the next shard to run, or None when the drive is over."""
+        with self.cond:
+            while True:
+                if self.fatal is not None or len(self.payloads) == self.count:
+                    return None
+                if self.queue:
+                    index = self.queue.popleft()
+                    self.attempts[index] += 1
+                    return index
+                # Queue drained but shards are still in flight elsewhere; if
+                # one of those workers dies its shard comes back here.
+                self.cond.wait(0.05)
+
+    def complete(self, index: int, worker: str, payload: Dict[str, Any]) -> None:
+        with self.cond:
+            # A re-dispatched shard may race its presumed-dead first worker;
+            # both answers are identical by construction, first one wins.
+            self.payloads.setdefault(index, payload)
+            self.assignments.setdefault(index, worker)
+            self.cond.notify_all()
+
+    def requeue(self, index: int, worker: str, detail: str) -> None:
+        """Put a shard back after a transient failure (attempt-capped)."""
+        with self.cond:
+            self.events.append(("retry", worker, index, detail))
+            if index in self.payloads:
+                # A re-dispatch already completed this shard; the late
+                # failure of the first dispatch is moot.
+                pass
+            elif self.attempts[index] >= self.max_attempts:
+                self.fatal = (
+                    f"shard {index} failed {self.attempts[index]} time(s), "
+                    f"giving up (last: {detail})"
+                )
+            else:
+                self.queue.append(index)
+            self.cond.notify_all()
+
+    def fail(self, worker: str, index: Optional[int], detail: str) -> None:
+        """A permanent failure: abort the whole drive."""
+        with self.cond:
+            self.events.append(("fatal", worker, index, detail))
+            if self.fatal is None:
+                self.fatal = detail
+            self.cond.notify_all()
+
+    def worker_lost(self, worker: str, index: Optional[int], detail: str) -> None:
+        """Drop a worker from the fleet, requeueing the shard it held."""
+        with self.cond:
+            self.events.append(("worker-lost", worker, index, detail))
+            self.alive.discard(worker)
+            self.lost.append(worker)
+            if index is not None and index not in self.payloads:
+                if self.attempts[index] >= self.max_attempts:
+                    self.fatal = (
+                        f"shard {index} lost with worker {worker} after "
+                        f"{self.attempts[index]} attempt(s): {detail}"
+                    )
+                else:
+                    self.queue.append(index)
+            if not self.alive and len(self.payloads) < self.count and self.fatal is None:
+                self.fatal = (
+                    f"all {len(self.lost)} worker(s) lost with "
+                    f"{self.count - len(self.payloads)} shard(s) unfinished"
+                )
+            self.cond.notify_all()
+
+
+class ShardDriver:
+    """Dispatch one experiment's shards to a fleet of serve processes.
+
+    Parameters
+    ----------
+    deadline_s:
+        Per-shard request deadline.  The server answers an expired shard
+        with a structured ``timeout`` error (retried elsewhere); the client
+        read additionally times out at deadline + grace, so even a worker
+        frozen solid cannot wedge the drive.  ``None`` trusts the workers.
+    max_attempts:
+        Dispatch cap per shard; default ``max(3, fleet size + 1)`` so a
+        cascade of dying workers cannot exhaust a shard that a survivor
+        would complete.
+    request_retries:
+        Same-worker transport retries per dispatch (idempotent via
+        ``request_id`` replay) before the failure is escalated to the
+        health probe / re-dispatch machinery.
+    health_timeout_s:
+        Budget for the fresh-connection health probe that arbitrates
+        "worker dead" vs "connection hiccup" after a transport error.
+    connect_deadline_s:
+        Budget for each worker's initial connection (with the client's
+        jittered exponential backoff inside).
+    """
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        request_retries: int = 1,
+        health_timeout_s: float = 5.0,
+        connect_deadline_s: float = 10.0,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.deadline_s = deadline_s
+        self.max_attempts = max_attempts
+        self.request_retries = request_retries
+        self.health_timeout_s = health_timeout_s
+        self.connect_deadline_s = connect_deadline_s
+
+    # -- fleet plumbing ------------------------------------------------------
+
+    def _read_timeout(self) -> Optional[float]:
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s + _READ_GRACE_S
+
+    def _connect(self, worker: Tuple[str, int]) -> ServiceClient:
+        host, port = worker
+        return ServiceClient.connect(
+            host,
+            port,
+            read_timeout=self._read_timeout(),
+            connect_deadline_s=self.connect_deadline_s,
+        )
+
+    def _healthy(self, worker: Tuple[str, int]) -> bool:
+        """Probe a worker on a fresh, short-timeout connection.
+
+        This is the dead-or-busy discriminator: the ``health`` op bypasses
+        the worker pool, so a loaded-but-alive server answers immediately
+        while a killed or wedged one fails the connect or the read.
+        """
+        host, port = worker
+        try:
+            probe = ServiceClient.connect(
+                host,
+                port,
+                retries=3,
+                retry_delay=0.05,
+                read_timeout=self.health_timeout_s,
+                connect_deadline_s=self.health_timeout_s,
+            )
+        except (ServiceConnectTimeout, ServiceTransportError):
+            return False
+        try:
+            response = probe.health()
+            return isinstance(response, HealthResponse) and bool(
+                response.result.get("ok")
+            )
+        except ServiceTransportError:
+            return False
+        finally:
+            probe.close()
+
+    # -- requests ------------------------------------------------------------
+
+    def shard_request(
+        self, spec: ExperimentSpec, index: int, count: int
+    ) -> Request:
+        """The wire request for shard ``(index, count)`` of ``spec``."""
+        payload = spec.to_dict()
+        kind = payload.pop("kind", None)
+        payload["shard"] = (index, count)
+        payload["deadline_s"] = self.deadline_s
+        payload["request_id"] = f"drive-{uuid.uuid4().hex[:8]}-shard{index}of{count}"
+        if isinstance(spec, SweepSpec):
+            # The wire side has no ``processes`` (each worker parallelises
+            # itself); it is merge-normalised away anyway.
+            payload.pop("processes", None)
+            return SweepRequest(**payload)
+        if isinstance(spec, LowerBoundSpec):
+            return LowerBoundRequest(**payload)
+        raise DriverError(f"cannot drive experiment kind {kind!r}")
+
+    @staticmethod
+    def _payload_of(response: Response) -> Optional[Dict[str, Any]]:
+        if isinstance(response, (SweepResponse, LowerBoundResponse)):
+            return response.result
+        return None
+
+    # -- the drive -----------------------------------------------------------
+
+    def drive(
+        self,
+        spec: ExperimentSpec,
+        workers: Sequence[Tuple[str, int]],
+        shards: Optional[int] = None,
+    ) -> DriveReport:
+        """Run ``spec`` sharded across ``workers``; returns the merged result.
+
+        ``shards`` defaults to the fleet size.  The drive completes as long
+        as at least one worker survives; a permanent error response, an
+        attempt-exhausted shard, or the loss of the whole fleet raises
+        :class:`DriverError` (with the fault log in the message).
+        """
+        if not workers:
+            raise DriverError("the drive needs at least one worker")
+        spec = spec.unsharded()
+        spec.validate()
+        count = shards if shards is not None else len(workers)
+        if count < 1:
+            raise DriverError("shards must be at least 1")
+        labels = [f"{host}:{port}" for host, port in workers]
+        max_attempts = (
+            self.max_attempts
+            if self.max_attempts is not None
+            else max(3, len(workers) + 1)
+        )
+        state = _DriveState(count, max_attempts, labels)
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(state, worker, label, spec, count),
+                name=f"shard-drive-{label}",
+                daemon=True,
+            )
+            for worker, label in zip(workers, labels)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if state.fatal is not None:
+            raise DriverError(state.fatal)
+        parts = [
+            result_from_payload(state.payloads[index]) for index in range(count)
+        ]
+        return DriveReport(
+            result=merge_artifacts(parts),
+            shards=count,
+            assignments=dict(state.assignments),
+            attempts=dict(state.attempts),
+            workers_lost=tuple(state.lost),
+            events=tuple(state.events),
+        )
+
+    def _worker_loop(
+        self,
+        state: _DriveState,
+        worker: Tuple[str, int],
+        label: str,
+        spec: ExperimentSpec,
+        count: int,
+    ) -> None:
+        try:
+            client = self._connect(worker)
+        except (ServiceConnectTimeout, ServiceTransportError) as error:
+            state.worker_lost(label, None, f"connect failed: {error}")
+            return
+        try:
+            while True:
+                index = state.next_shard(label)
+                if index is None:
+                    return
+                request = self.shard_request(spec, index, count)
+                try:
+                    response = client.request(request, retries=self.request_retries)
+                except ServiceTransportError as error:
+                    # The conversation broke mid-shard.  A health probe on a
+                    # fresh connection arbitrates: a hiccup means reconnect
+                    # and retry here, a dead worker means this thread exits
+                    # and the shard goes back to the survivors.
+                    client.close()
+                    if not self._healthy(worker):
+                        state.worker_lost(label, index, f"transport: {error}")
+                        return
+                    state.requeue(index, label, f"transport: {error}")
+                    try:
+                        client = self._connect(worker)
+                    except (ServiceConnectTimeout, ServiceTransportError) as err:
+                        state.worker_lost(label, None, f"reconnect failed: {err}")
+                        return
+                    continue
+                payload = self._payload_of(response)
+                if payload is not None:
+                    state.complete(index, label, payload)
+                elif isinstance(response, ErrorResponse):
+                    if response.code in TRANSIENT_CODES:
+                        state.requeue(
+                            index, label, f"{response.code}: {response.message}"
+                        )
+                    else:
+                        state.fail(
+                            label,
+                            index,
+                            f"permanent {response.code!r} error on shard {index}: "
+                            f"{response.message}",
+                        )
+                        return
+                else:
+                    state.fail(
+                        label,
+                        index,
+                        f"unexpected {type(response).__name__} answer to shard {index}",
+                    )
+                    return
+        finally:
+            client.close()
+
+
+class LocalFleet:
+    """A disposable fleet of local serve processes for the shard driver.
+
+    Spawns ``count`` children running ``python -m repro.cli serve --tcp
+    127.0.0.1:0`` and collects the ``serving on HOST:PORT`` address each
+    announces on stderr.  ``faults`` maps a member index to the
+    fault-injection specs (see :mod:`repro.service.faults`) passed to that
+    member's ``--fault`` flags — the chaos harness: spawn three workers,
+    give one a ``kill`` rule, and watch the driver route around the corpse.
+
+    Use as a context manager; exit terminates whatever is still running.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        serve_workers: int = 2,
+        deadline_s: Optional[float] = None,
+        faults: Optional[Dict[int, Sequence[str]]] = None,
+        python: Optional[str] = None,
+        startup_timeout_s: float = 30.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError("a fleet needs at least one member")
+        self.count = count
+        self.serve_workers = serve_workers
+        self.deadline_s = deadline_s
+        self.faults = dict(faults or {})
+        self.python = python or sys.executable
+        self.startup_timeout_s = startup_timeout_s
+        self.processes: List[subprocess.Popen] = []
+        self.addresses: List[Tuple[str, int]] = []
+
+    def _command(self, index: int) -> List[str]:
+        command = [
+            self.python, "-m", "repro.cli", "serve",
+            "--tcp", "127.0.0.1:0",
+            "--workers", str(self.serve_workers),
+        ]
+        if self.deadline_s is not None:
+            command += ["--deadline", str(self.deadline_s)]
+        for fault in self.faults.get(index, ()):
+            command += ["--fault", fault]
+        return command
+
+    def _child_env(self) -> Dict[str, str]:
+        # Members must import ``repro`` regardless of how the parent found
+        # it (installed, or run with PYTHONPATH=src from the checkout).
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        paths = env.get("PYTHONPATH", "")
+        if package_root not in paths.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + paths if paths else "")
+            )
+        return env
+
+    def start(self) -> List[Tuple[str, int]]:
+        """Spawn the fleet; returns the announced ``(host, port)`` list."""
+        deadline_at = time.monotonic() + self.startup_timeout_s
+        for index in range(self.count):
+            process = subprocess.Popen(
+                self._command(index),
+                stdin=subprocess.DEVNULL,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=self._child_env(),
+            )
+            self.processes.append(process)
+        for index, process in enumerate(self.processes):
+            if time.monotonic() > deadline_at:
+                self.stop()
+                raise DriverError(
+                    f"fleet member {index} did not announce within "
+                    f"{self.startup_timeout_s}s"
+                )
+            line = process.stderr.readline() if process.stderr else ""
+            prefix = "serving on "
+            if not line.startswith(prefix):
+                self.stop()
+                raise DriverError(
+                    f"fleet member {index} failed to start "
+                    f"(announced {line!r}, exit code {process.poll()})"
+                )
+            host, _, port = line[len(prefix):].strip().rpartition(":")
+            self.addresses.append((host, int(port)))
+        return list(self.addresses)
+
+    def stop(self) -> None:
+        """Terminate every member still running and reap them all."""
+        for process in self.processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self.processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+                process.kill()
+                process.wait()
+            if process.stderr is not None:
+                process.stderr.close()
+
+    def __enter__(self) -> List[Tuple[str, int]]:
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def drive(
+    spec: ExperimentSpec,
+    workers: Sequence[Tuple[str, int]],
+    shards: Optional[int] = None,
+    **driver_kwargs: Any,
+) -> DriveReport:
+    """One-call drive: ``ShardDriver(**driver_kwargs).drive(spec, workers)``."""
+    return ShardDriver(**driver_kwargs).drive(spec, workers, shards=shards)

@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the service and its wire protocol.
+
+The robustness claims of the fault-tolerant fabric — deadlines that always
+answer, cancellation that actually stops work, a shard driver that survives
+dead workers — are only worth something if they are *tested against real
+faults*.  This module is the controlled way to cause them: a
+:class:`FaultInjector` holds a list of :class:`FaultRule`\\ s and is hooked
+into two layers,
+
+* **service layer** — :meth:`FaultInjector.before_handle` runs at the top
+  of :meth:`repro.service.core.CertificationService.handle`; the ``freeze``
+  action turns a handler into a scope-aware stall (it wakes the moment the
+  request's deadline or cancel fires, so a frozen handler exercises exactly
+  the timeout path);
+* **wire layer** — the protocol loops consult :meth:`FaultInjector.
+  wire_fault` after computing each response line and apply the returned
+  rule: ``drop`` swallows the response, ``delay`` stalls it, ``garble``
+  corrupts its bytes (framing intact), ``hangup`` closes the connection
+  unanswered, and ``kill`` terminates the whole process via ``os._exit``
+  — the worker-crash the shard driver must survive.
+
+Rules are matched deterministically against a per-layer request counter
+(1-based) and optionally against the request ``op``, so a test can say
+"kill this worker on its 3rd request" or "freeze every sweep" and get the
+same failure every run.  ``kill`` must only ever be injected into a
+*subprocess* worker (the CLI's ``--fault`` flag); installing it on an
+in-process service would take the test runner down with it.
+
+Spec syntax (the CLI's repeatable ``--fault`` flag)::
+
+    kill:after=3          # os._exit on every wire response past the 3rd
+    freeze:seconds=30     # stall every handler 30 s (or until cancelled)
+    freeze:op=sweep,seconds=0   # stall sweeps until their scope fires
+    drop:nth=2            # swallow exactly the 2nd response line
+    garble:nth=1,op=certify     # corrupt the 1st certify response
+    delay:nth=1,seconds=0.2     # send the 1st response 200 ms late
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.experiments.spec import ExperimentCancelled
+
+#: Actions applied to a response line at the transport.
+WIRE_ACTIONS = ("drop", "delay", "garble", "hangup", "kill")
+#: Actions applied inside the service, before a handler runs.
+SERVICE_ACTIONS = ("freeze",)
+FAULT_ACTIONS = WIRE_ACTIONS + SERVICE_ACTIONS
+
+#: Exit status of a ``kill`` fault — distinctive on purpose, so a driver
+#: test can tell an injected crash from a real one.
+KILL_EXIT_CODE = 86
+
+
+class FaultSpecError(ValueError):
+    """A ``--fault`` spec string that does not parse into a rule."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: an action plus when it applies.
+
+    ``nth`` fires on exactly the N-th matching-layer request (1-based);
+    ``after`` fires on every request strictly past the N-th; both ``None``
+    fires on every request.  ``op`` additionally restricts to one request
+    kind.  ``seconds`` parameterises ``delay`` and ``freeze`` (for
+    ``freeze``, ``0`` means "until the request's scope fires" — only
+    meaningful under a deadline or cancel).
+    """
+
+    action: str
+    op: Optional[str] = None
+    nth: Optional[int] = None
+    after: Optional[int] = None
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise FaultSpecError(
+                f"unknown fault action {self.action!r}; use one of {FAULT_ACTIONS}"
+            )
+        if self.nth is not None and self.after is not None:
+            raise FaultSpecError("a fault rule takes nth= or after=, not both")
+        for name in ("nth", "after"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise FaultSpecError(f"{name} must be >= 1, got {value}")
+        if self.seconds < 0:
+            raise FaultSpecError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, op: Optional[str], index: int) -> bool:
+        if self.op is not None and op != self.op:
+            return False
+        if self.nth is not None:
+            return index == self.nth
+        if self.after is not None:
+            return index > self.after
+        return True
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultRule":
+        """Parse ``action[:key=value,...]`` into a rule."""
+        action, _, params_spec = spec.strip().partition(":")
+        kwargs: dict = {}
+        if params_spec:
+            for item in params_spec.split(","):
+                key, separator, value = item.partition("=")
+                key = key.strip()
+                if not separator or key not in ("op", "nth", "after", "seconds"):
+                    raise FaultSpecError(
+                        f"bad fault parameter {item!r} in {spec!r}; "
+                        "use op=/nth=/after=/seconds="
+                    )
+                try:
+                    kwargs[key] = (
+                        value.strip()
+                        if key == "op"
+                        else float(value) if key == "seconds" else int(value)
+                    )
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad value {value!r} for {key} in {spec!r}"
+                    ) from None
+        return cls(action=action.strip(), **kwargs)
+
+
+class FaultInjector:
+    """Match a rule list against the request stream, deterministically.
+
+    Each layer keeps its own 1-based counter (``handled`` for the service
+    hook, ``responded`` for the wire hook), so the same injector serves
+    both without the counts interleaving.  Every fault actually applied is
+    appended to :attr:`log` as ``(layer, action, op, index)`` — the
+    assertion surface of the fault tests.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule]) -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self._lock = threading.Lock()
+        self._handled = 0
+        self._responded = 0
+        self.log: List[Tuple[str, str, Optional[str], int]] = []
+
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "FaultInjector":
+        return cls(FaultRule.parse(spec) for spec in specs)
+
+    def _note(self, layer: str, rule: FaultRule, op: Optional[str], index: int) -> None:
+        with self._lock:
+            self.log.append((layer, rule.action, op, index))
+
+    # -- service layer -------------------------------------------------------
+
+    def before_handle(self, request: Any, scope: Optional[Any] = None) -> None:
+        """The hook :meth:`CertificationService.handle` runs before dispatch.
+
+        Applies ``freeze`` rules: the handler thread stalls for the rule's
+        ``seconds`` — but always *scope-aware* when a scope is supplied, so
+        an expired deadline or a cancel wakes it immediately instead of
+        leaving a worker thread wedged past its request's lifetime.
+        """
+        op = getattr(request, "op", None)
+        with self._lock:
+            self._handled += 1
+            index = self._handled
+        for rule in self.rules:
+            if rule.action != "freeze" or not rule.matches(op, index):
+                continue
+            self._note("service", rule, op, index)
+            timeout = rule.seconds or None
+            if scope is not None:
+                scope.wait(timeout)
+                reason = scope.check()
+                if reason:
+                    # The freeze ended because the scope fired, not because
+                    # it ran its course: the request must answer with the
+                    # structured stop error, not race ahead and compute a
+                    # real answer at (or past) its deadline.
+                    raise ExperimentCancelled(reason)
+            else:
+                threading.Event().wait(timeout)
+
+    # -- wire layer ----------------------------------------------------------
+
+    def wire_fault(self, op: Optional[str]) -> Optional[FaultRule]:
+        """The first wire rule matching this response, or ``None``.
+
+        Called by the transport loops once per answered request line; the
+        caller applies the returned rule (the transport owns the socket and
+        the process, so drop/hangup/kill happen there, not here).
+        """
+        with self._lock:
+            self._responded += 1
+            index = self._responded
+        for rule in self.rules:
+            if rule.action in WIRE_ACTIONS and rule.matches(op, index):
+                self._note("wire", rule, op, index)
+                return rule
+        return None
+
+    def apply_delay(self, rule: FaultRule) -> None:
+        time.sleep(rule.seconds)
+
+
+def garble_line(line: str) -> str:
+    """Corrupt a response line's content while keeping its framing.
+
+    Every ``"`` becomes ``#`` — reliably not JSON, still exactly one
+    newline-terminated line, so the connection stays synchronised and the
+    client exercises its bad-payload retry path rather than hanging.
+    """
+    return line.rstrip("\n").replace('"', "#") + "\n"

@@ -30,6 +30,9 @@ ERROR_CODES: Tuple[str, ...] = (
     "not-a-yes-instance",  # the honest prover was asked to prove a no-instance
     "undecidable",         # ground truth raised (e.g. exact treedepth too large)
     "skipped",             # batch member not run because the batch exited early
+    "timeout",             # the request's deadline expired before it finished
+    "cancelled",           # cancelled by a cancel op / dead connection / batch stop
+    "connect-timeout",     # client: could not connect within the retry budget
     "internal-error",      # anything else; the message carries the repr
 )
 
@@ -48,6 +51,32 @@ def _dataclass_dict(message: Any) -> Dict[str, Any]:
             value = dict(value)
         data[spec.name] = value
     return data
+
+
+def _validate_fault_tolerance_fields(message: Any) -> None:
+    """Validate the ``deadline_s`` / ``request_id`` pair every work-carrying
+    request shares (bad values raise ValueError, which the wire path turns
+    into a ``ProtocolError`` — the sender's fault, never a traceback)."""
+    deadline = getattr(message, "deadline_s", None)
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise ValueError(f"deadline_s must be a number of seconds, got {deadline!r}")
+        if deadline <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline!r}")
+        object.__setattr__(message, "deadline_s", float(deadline))
+    request_id = getattr(message, "request_id", None)
+    if request_id is not None and not isinstance(request_id, str):
+        raise ValueError(f"request_id must be a string, got {request_id!r}")
+
+
+def _normalize_shard(shard: Any) -> Optional[Tuple[int, int]]:
+    if shard is None:
+        return None
+    try:
+        index, count = shard
+        return (int(index), int(count))
+    except (TypeError, ValueError):
+        raise ValueError(f"shard must be an (i, k) pair, got {shard!r}") from None
 
 
 def _from_dict(cls, data: Mapping[str, Any], *, kind: str):
@@ -84,6 +113,13 @@ class CertifyRequest:
     request, in which case ``graph`` is just the label reported back.
     ``include_certificates`` asks for the raw per-vertex certificates of a
     yes-instance in the response.
+
+    ``deadline_s`` bounds the whole request: past the deadline the service
+    answers a structured ``timeout`` error instead of blocking the
+    connection.  ``request_id`` makes the request idempotently resubmittable
+    — the service remembers the response per id, so a retry after a broken
+    transport replays the answer instead of recomputing it (and the id is
+    the handle a ``cancel`` op targets).
     """
 
     op = "certify"
@@ -95,9 +131,12 @@ class CertifyRequest:
     trials: int = 20
     engine: str = "compiled"
     include_certificates: bool = False
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
+        _validate_fault_tolerance_fields(self)
 
     def to_dict(self) -> Dict[str, Any]:
         return _dataclass_dict(self)
@@ -114,6 +153,11 @@ class SweepRequest:
     Mirrors :class:`repro.experiments.SweepSpec` field-for-field (the service
     builds the spec and runs it through the one declarative pipeline); the
     response carries the artifact payload, bound verdict included.
+
+    ``shard=(i, k)`` runs only the grid points with global index ≡ i (mod k)
+    — the wire form of ``sweep --shard i/k``, which is what lets the shard
+    driver fan one experiment out over a fleet of serve processes and merge
+    the partial payloads back into the exact unsharded artifact.
     """
 
     op = "sweep"
@@ -127,11 +171,17 @@ class SweepRequest:
     engine: str = "compiled"
     check_bound: bool = True
     measure: str = "full"
+    id_exponent: Optional[int] = None
+    shard: Optional[Tuple[int, int]] = None
     name: Optional[str] = None
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
         object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "shard", _normalize_shard(self.shard))
+        _validate_fault_tolerance_fields(self)
 
     def to_dict(self) -> Dict[str, Any]:
         return _dataclass_dict(self)
@@ -155,8 +205,103 @@ class StatsRequest:
         return _from_dict(cls, data, kind="request")
 
 
+@dataclass(frozen=True)
+class LowerBoundRequest:
+    """A whole Section-7 lower-bound search as one request.
+
+    Mirrors :class:`repro.experiments.LowerBoundSpec` field-for-field, the
+    same way :class:`SweepRequest` mirrors ``SweepSpec`` — including the
+    ``shard`` restriction, so lower-bound searches fan out over the shard
+    driver exactly like sweeps do.
+    """
+
+    op = "lower-bound"
+
+    construction: str
+    sizes: Tuple[int, ...]
+    check_dichotomy: bool = True
+    simulate: bool = False
+    simulate_bits: int = 1
+    max_side_bits: int = 12
+    engine: str = "compiled"
+    check_bound: bool = True
+    seed: int = 0
+    shard: Optional[Tuple[int, int]] = None
+    name: Optional[str] = None
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "shard", _normalize_shard(self.shard))
+        _validate_fault_tolerance_fields(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LowerBoundRequest":
+        return _from_dict(cls, data, kind="request")
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    """Ask a serve process whether it is alive, and how loaded it is.
+
+    The answer (worker liveness, queue depth, in-flight gauge, uptime) is
+    what the shard driver uses to tell a dead or wedged worker from a busy
+    one — and what a supervisor polls between requests.
+    """
+
+    op = "health"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HealthRequest":
+        return _from_dict(cls, data, kind="request")
+
+
+@dataclass(frozen=True)
+class CancelRequest:
+    """Cooperatively cancel the request known under ``request_id``.
+
+    Queued work is cancelled outright (its submitter gets a ``cancelled``
+    error); in-flight work has its cancel scope signalled, so handlers that
+    check it (sweep grid loops, scope-aware waits) stop early.  Cancelling
+    an unknown or already-finished id is not an error — the response data
+    says what state the id was found in.
+    """
+
+    op = "cancel"
+
+    request_id: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.request_id, str) or not self.request_id:
+            raise ValueError(
+                f"request_id must be a non-empty string, got {self.request_id!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CancelRequest":
+        return _from_dict(cls, data, kind="request")
+
+
 _REQUEST_TYPES: Dict[str, type] = {
-    cls.op: cls for cls in (CertifyRequest, SweepRequest, StatsRequest)
+    cls.op: cls
+    for cls in (
+        CertifyRequest,
+        SweepRequest,
+        LowerBoundRequest,
+        StatsRequest,
+        HealthRequest,
+        CancelRequest,
+    )
 }
 
 
@@ -182,21 +327,30 @@ class BatchRequest:
     failed verdict, still-queued members are answered with ``skipped``
     errors instead of running.  Batches cannot nest, and ``shutdown`` cannot
     ride in one (a batch member never terminates the session).
+
+    ``deadline_s`` bounds the *whole* batch: members still queued when the
+    deadline expires are tail-cancelled and answered with ``timeout``
+    errors, so a batch can never hold a connection hostage.
     """
 
     op = "batch"
 
     requests: Tuple["Request", ...]
     stop_on_failure: bool = False
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "requests", tuple(self.requests))
+        _validate_fault_tolerance_fields(self)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "op": self.op,
             "requests": [request.to_dict() for request in self.requests],
             "stop_on_failure": self.stop_on_failure,
+            "deadline_s": self.deadline_s,
+            "request_id": self.request_id,
         }
 
     @classmethod
@@ -207,6 +361,8 @@ class BatchRequest:
             raise ProtocolError(f"expected a 'batch' request, got op {op!r}")
         raw_requests = payload.pop("requests", None)
         stop_on_failure = payload.pop("stop_on_failure", False)
+        deadline_s = payload.pop("deadline_s", None)
+        request_id = payload.pop("request_id", None)
         unknown = sorted(payload)
         if unknown:
             raise ProtocolError(f"unknown 'batch' field(s) {unknown}")
@@ -227,10 +383,26 @@ class BatchRequest:
                 requests.append(request_from_dict(entry))
             except ProtocolError as error:
                 raise ProtocolError(f"batch request #{position}: {error}") from None
-        return cls(requests=tuple(requests), stop_on_failure=stop_on_failure)
+        try:
+            return cls(
+                requests=tuple(requests),
+                stop_on_failure=stop_on_failure,
+                deadline_s=deadline_s,
+                request_id=request_id,
+            )
+        except ValueError as error:
+            raise ProtocolError(f"bad 'batch' request: {error}") from None
 
 
-Request = Union[CertifyRequest, SweepRequest, StatsRequest, BatchRequest]
+Request = Union[
+    CertifyRequest,
+    SweepRequest,
+    LowerBoundRequest,
+    StatsRequest,
+    HealthRequest,
+    CancelRequest,
+    BatchRequest,
+]
 
 _REQUEST_TYPES[BatchRequest.op] = BatchRequest
 
@@ -346,6 +518,36 @@ class SweepResponse:
 
 
 @dataclass(frozen=True)
+class LowerBoundResponse:
+    """The artifact payload of one :class:`LowerBoundRequest`.
+
+    ``result`` is exactly what :func:`repro.experiments.write_artifact`
+    would have written for the search, so wire consumers (and the shard
+    driver's merge) read the same schema as artifact files.
+    """
+
+    op = "lower-bound"
+    ok = True
+
+    result: Dict[str, Any]
+
+    @property
+    def clean(self) -> bool:
+        ok = bool(self.result.get("all_ok"))
+        bound = self.result.get("bound")
+        if bound is not None:
+            ok = ok and bool(bound.get("ok"))
+        return ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LowerBoundResponse":
+        return cls(result=dict(data.get("result") or {}))
+
+
+@dataclass(frozen=True)
 class StatsResponse:
     """Service counters: requests served, errors, per-cache hit/miss/size."""
 
@@ -359,6 +561,47 @@ class StatsResponse:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StatsResponse":
+        return cls(result=dict(data.get("result") or {}))
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """Liveness and load: workers, queue depth, in-flight gauge, uptime."""
+
+    op = "health"
+    ok = True
+
+    result: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HealthResponse":
+        return cls(result=dict(data.get("result") or {}))
+
+
+@dataclass(frozen=True)
+class CancelResponse:
+    """What a ``cancel`` op found: the id's state and whether it was hit.
+
+    ``result`` carries ``request_id``, ``cancelled`` (did the cancel change
+    anything) and ``state`` — ``"queued"`` (cancelled before it ran),
+    ``"running"`` (scope signalled; cooperative handlers stop early),
+    ``"finished"`` (already answered; response cached for replay) or
+    ``"unknown"`` (never seen).
+    """
+
+    op = "cancel"
+    ok = True
+
+    result: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CancelResponse":
         return cls(result=dict(data.get("result") or {}))
 
 
@@ -406,7 +649,15 @@ class ErrorResponse:
 
 _RESPONSE_TYPES: Dict[str, type] = {
     cls.op: cls
-    for cls in (CertifyResponse, SweepResponse, StatsResponse, ErrorResponse)
+    for cls in (
+        CertifyResponse,
+        SweepResponse,
+        LowerBoundResponse,
+        StatsResponse,
+        HealthResponse,
+        CancelResponse,
+        ErrorResponse,
+    )
 }
 
 
@@ -457,6 +708,15 @@ class BatchResponse:
         return cls(responses=tuple(response_from_dict(entry) for entry in raw))
 
 
-Response = Union[CertifyResponse, SweepResponse, StatsResponse, ErrorResponse, BatchResponse]
+Response = Union[
+    CertifyResponse,
+    SweepResponse,
+    LowerBoundResponse,
+    StatsResponse,
+    HealthResponse,
+    CancelResponse,
+    ErrorResponse,
+    BatchResponse,
+]
 
 _RESPONSE_TYPES[BatchResponse.op] = BatchResponse

@@ -30,12 +30,15 @@ Four rules keep the protocol robust:
 from __future__ import annotations
 
 import json
+import os
+import select
 import socket
 import socketserver
 import threading
-from typing import IO, Any, Dict, Optional, Tuple
+from typing import IO, Any, Callable, Dict, Optional, Tuple
 
 from repro.service.core import CertificationService
+from repro.service.faults import KILL_EXIT_CODE, FaultInjector, garble_line
 from repro.service.messages import ErrorResponse, ProtocolError, request_from_dict
 
 #: ``op`` of the session-terminating request and of its acknowledgement.
@@ -93,8 +96,17 @@ def encode_line(data: Dict[str, Any]) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
 
 
-def handle_line(service: CertificationService, line: str) -> Tuple[str, bool]:
-    """Answer one request line; returns ``(response line, keep going)``."""
+def handle_line(
+    service: CertificationService,
+    line: str,
+    is_alive: Optional[Callable[[], bool]] = None,
+) -> Tuple[str, bool]:
+    """Answer one request line; returns ``(response line, keep going)``.
+
+    ``is_alive`` is the transport's connection-death probe, threaded into
+    :meth:`CertificationService.respond` so queued/in-flight work (a batch
+    tail, a sweep) is cancelled when the asking client disappears.
+    """
     try:
         data = json.loads(line)
         if not isinstance(data, dict):
@@ -110,7 +122,7 @@ def handle_line(service: CertificationService, line: str) -> Tuple[str, bool]:
         response = ErrorResponse(code="invalid-request", message=str(error))
         return encode_line(response.to_dict()), True
     try:
-        response = service.handle(request)
+        response = service.respond(request, is_alive=is_alive)
     except Exception as error:  # noqa: BLE001 - rule 1: answer, never die
         response = ErrorResponse(
             code="internal-error",
@@ -118,6 +130,46 @@ def handle_line(service: CertificationService, line: str) -> Tuple[str, bool]:
             request_op=getattr(request, "op", None),
         )
     return encode_line(response.to_dict()), True
+
+
+def _line_op(line: str) -> Optional[str]:
+    """The ``op`` of a request line, for fault matching (None if unparsable)."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return data.get("op") if isinstance(data, dict) else None
+
+
+#: Disposition of a response line after wire-fault application.
+_SEND, _SWALLOW, _HANGUP = "send", "swallow", "hangup"
+
+
+def _apply_wire_fault(
+    injector: Optional[FaultInjector], request_line: str, response_line: str
+) -> Tuple[str, str]:
+    """Run one response through the fault injector (if any).
+
+    Returns ``(disposition, line)``: ``send`` the (possibly garbled,
+    possibly delayed) line, ``swallow`` it silently, or ``hangup`` the
+    connection.  A ``kill`` rule never returns — the process exits, which
+    is the point.
+    """
+    if injector is None:
+        return _SEND, response_line
+    rule = injector.wire_fault(_line_op(request_line))
+    if rule is None:
+        return _SEND, response_line
+    if rule.action == "kill":
+        os._exit(KILL_EXIT_CODE)
+    if rule.action == "delay":
+        injector.apply_delay(rule)
+        return _SEND, response_line
+    if rule.action == "garble":
+        return _SEND, garble_line(response_line)
+    if rule.action == "drop":
+        return _SWALLOW, response_line
+    return _HANGUP, response_line
 
 
 def serve_stdio(
@@ -134,6 +186,7 @@ def serve_stdio(
     ``invalid-request`` error — the session keeps serving.
     """
     answered = 0
+    injector = getattr(service, "fault_injector", None)
     while True:
         line, oversized = _read_limited_line(stdin, max_request_bytes)
         if not line:
@@ -146,17 +199,46 @@ def serve_stdio(
         if not line.strip():
             continue
         response_line, keep_going = handle_line(service, line)
-        stdout.write(response_line)
-        stdout.flush()
+        disposition, response_line = _apply_wire_fault(injector, line, response_line)
+        if disposition == _HANGUP:
+            break
+        if disposition == _SEND:
+            stdout.write(response_line)
+            stdout.flush()
         answered += 1
         if not keep_going:
             break
     return answered
 
 
+def _socket_alive(sock: socket.socket) -> bool:
+    """Is the peer of this connection still there?
+
+    A zero-timeout ``select`` plus a ``MSG_PEEK`` read distinguishes the
+    three states without consuming protocol bytes: nothing readable means
+    the peer is simply quiet (alive), readable-with-data means a pipelined
+    request is waiting (alive), and readable-with-EOF — or any socket
+    error — means the client is gone.
+    """
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+        if not readable:
+            return True
+        return bool(sock.recv(1, socket.MSG_PEEK))
+    except (BlockingIOError, InterruptedError):
+        return True
+    except (OSError, ValueError):
+        return False
+
+
 class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
         limit = self.server.max_request_bytes
+        injector = getattr(self.server.service, "fault_injector", None)
+
+        def is_alive() -> bool:
+            return _socket_alive(self.connection)
+
         while True:
             raw, oversized = _read_limited_line(self.rfile, limit)
             if not raw:
@@ -168,9 +250,20 @@ class _LineHandler(socketserver.StreamRequestHandler):
             line = raw.decode("utf-8", errors="replace")
             if not line.strip():
                 continue
-            response_line, keep_going = handle_line(self.server.service, line)
-            self.wfile.write(response_line.encode("utf-8"))
-            self.wfile.flush()
+            response_line, keep_going = handle_line(
+                self.server.service, line, is_alive=is_alive
+            )
+            disposition, response_line = _apply_wire_fault(injector, line, response_line)
+            if disposition == _HANGUP:
+                return
+            if disposition == _SEND:
+                try:
+                    self.wfile.write(response_line.encode("utf-8"))
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    # The client vanished between computing the answer and
+                    # sending it; nothing left to serve on this connection.
+                    return
             if not keep_going:
                 self.server.request_shutdown()
                 return

@@ -4,13 +4,19 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import pytest
 
-from repro.service.client import ServiceClient, ServiceTransportError
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectTimeout,
+    ServiceTransportError,
+)
 from repro.service.core import CertificationService
+from repro.service.faults import FaultInjector
 from repro.service.messages import CertifyRequest, CertifyResponse, ErrorResponse
-from repro.service.protocol import TCPProtocolServer
+from repro.service.protocol import TCPProtocolServer, encode_line
 
 
 @pytest.fixture()
@@ -114,6 +120,124 @@ class TestTCP:
                     assert "2048" in payload["message"]
                     verdict = client.certify(scheme="tree", graph="path:4")
                     assert isinstance(verdict, CertifyResponse) and verdict.accepted
+            finally:
+                server.request_shutdown()
+                thread.join(timeout=10)
+
+
+class TestConnectBackoff:
+    def test_connect_deadline_caps_the_retry_budget(self):
+        # retries=50 would take seconds of backoff; the deadline wins.
+        started = time.monotonic()
+        with pytest.raises(ServiceConnectTimeout) as excinfo:
+            ServiceClient.connect(
+                "127.0.0.1", 1, retries=50, retry_delay=0.05,
+                connect_deadline_s=0.3,
+            )
+        assert time.monotonic() - started < 3.0
+        # The failure doubles as the wire's structured error value.
+        error = excinfo.value.error()
+        assert error.code == "connect-timeout" and not error.ok
+
+    def test_connect_timeout_is_still_a_transport_error(self):
+        # Callers that only catch the broad class keep working.
+        assert issubclass(ServiceConnectTimeout, ServiceTransportError)
+
+
+class TestRetryIdempotency:
+    def test_garbled_response_is_retried_and_replayed_not_rerun(self):
+        """A corrupted response line triggers the client's reconnect-and-
+        resend; the stamped request_id makes the resend a cache replay, so
+        the work ran exactly once."""
+        with CertificationService(workers=1) as service:
+            service.fault_injector = FaultInjector.parse(["garble:nth=1"])
+            server = TCPProtocolServer(service, port=0)
+            thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+            thread.start()
+            try:
+                host, port = server.address
+                with ServiceClient.connect(host, port) as client:
+                    response = client.request(
+                        CertifyRequest(scheme="tree", graph="path:4"),
+                        retries=2, retry_delay=0.01,
+                    )
+                assert isinstance(response, CertifyResponse) and response.accepted
+                counters = service.stats()["service"]["requests"]
+                assert counters["certify"] == 1
+                assert counters["replayed"] == 1
+            finally:
+                server.request_shutdown()
+                thread.join(timeout=10)
+
+    def test_no_retries_means_the_transport_error_surfaces(self):
+        with CertificationService(workers=1) as service:
+            service.fault_injector = FaultInjector.parse(["garble:nth=1"])
+            server = TCPProtocolServer(service, port=0)
+            thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+            thread.start()
+            try:
+                host, port = server.address
+                with ServiceClient.connect(host, port) as client:
+                    with pytest.raises(ServiceTransportError, match="unparseable"):
+                        client.request(CertifyRequest(scheme="tree", graph="path:4"))
+            finally:
+                server.request_shutdown()
+                thread.join(timeout=10)
+
+
+class TestWireDeadlines:
+    def test_deadline_rides_the_wire_and_the_connection_survives(self, tcp_server):
+        tcp_server.service.fault_injector = FaultInjector.parse(
+            ["freeze:op=sweep,seconds=0"]
+        )
+        host, port = tcp_server.address
+        with ServiceClient.connect(host, port) as client:
+            response = client.sweep(
+                scheme="tree", family="path", sizes=(4,), trials=2, deadline_s=0.3
+            )
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "timeout" and response.request_op == "sweep"
+            # Same connection, next request: still serviceable.
+            verdict = client.certify(scheme="tree", graph="path:4")
+            assert isinstance(verdict, CertifyResponse) and verdict.accepted
+
+
+class TestDeadConnectionCancelsBatchTail:
+    def test_vanishing_mid_batch_cancels_the_queued_tail(self):
+        with CertificationService(workers=2) as service:
+            # Certifications answer in milliseconds — too fast for the scope
+            # poll to ever fire.  A scope-aware 0.2 s freeze per member
+            # makes the batch realistically long without burning CPU.
+            service.fault_injector = FaultInjector.parse(
+                ["freeze:op=certify,seconds=0.2"]
+            )
+            server = TCPProtocolServer(service, port=0)
+            thread = threading.Thread(target=server.serve_until_shutdown, daemon=True)
+            thread.start()
+            try:
+                host, port = server.address
+                client = ServiceClient.connect(host, port)
+                batch = {
+                    "op": "batch",
+                    "requests": [
+                        {"op": "certify", "scheme": "tree", "graph": "path:4"}
+                        for _ in range(40)
+                    ],
+                }
+                client._writer.write(encode_line(batch))
+                client._writer.flush()
+                # Vanish without reading the answer: the server's is_alive
+                # probe must notice and cancel the queued tail instead of
+                # grinding through sixty certifications for nobody.
+                client.close()
+                deadline_at = time.monotonic() + 30
+                cancelled = 0
+                while time.monotonic() < deadline_at:
+                    cancelled = service.stats()["service"]["requests"]["cancelled"]
+                    if cancelled:
+                        break
+                    time.sleep(0.05)
+                assert cancelled >= 1
             finally:
                 server.request_shutdown()
                 thread.join(timeout=10)

@@ -1,0 +1,284 @@
+"""The fault-tolerant shard driver, from state machine to chaos harness."""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+
+import pytest
+
+from repro.experiments import canonical_payload, run_lower_bound, run_sweep
+from repro.experiments.lower_bound import LowerBoundSpec
+from repro.experiments.radius import RadiusSpec
+from repro.experiments.spec import SweepSpec
+from repro.service.core import CertificationService
+from repro.service.driver import (
+    DriveReport,
+    DriverError,
+    LocalFleet,
+    ShardDriver,
+    _DriveState,
+    drive,
+)
+from repro.service.faults import FaultInjector
+from repro.service.messages import LowerBoundRequest, SweepRequest
+from repro.service.protocol import TCPProtocolServer
+
+
+def sweep_spec(**overrides):
+    params = dict(
+        scheme="tree", family="random-tree", sizes=(6, 8, 10, 12), trials=2, seed=7
+    )
+    params.update(overrides)
+    return SweepSpec(**params)
+
+
+def canonical_bytes(result):
+    return json.dumps(canonical_payload(result.to_dict()), sort_keys=True)
+
+
+@contextlib.contextmanager
+def tcp_workers(count, injectors=None, workers=2):
+    """In-process TCP servers — a cheap stand-in for a subprocess fleet."""
+    servers, threads, services = [], [], []
+    try:
+        for index in range(count):
+            service = CertificationService(workers=workers)
+            if injectors and index in injectors:
+                service.fault_injector = injectors[index]
+            server = TCPProtocolServer(service, port=0)
+            thread = threading.Thread(
+                target=server.serve_until_shutdown, daemon=True
+            )
+            thread.start()
+            services.append(service)
+            servers.append(server)
+            threads.append(thread)
+        yield [server.address for server in servers]
+    finally:
+        for server in servers:
+            server.request_shutdown()
+        for thread in threads:
+            thread.join(timeout=5)
+        for service in services:
+            service.close()
+
+
+class TestDriveState:
+    def test_claims_in_order_and_counts_attempts(self):
+        state = _DriveState(3, max_attempts=2, workers=["w"])
+        assert [state.next_shard("w") for _ in range(3)] == [0, 1, 2]
+        assert state.attempts == {0: 1, 1: 1, 2: 1}
+
+    def test_drive_over_once_all_payloads_in(self):
+        state = _DriveState(1, max_attempts=2, workers=["w"])
+        state.next_shard("w")
+        state.complete(0, "w", {"fake": True})
+        assert state.finished()
+        assert state.next_shard("w") is None
+
+    def test_first_completion_wins_a_redispatch_race(self):
+        state = _DriveState(1, max_attempts=3, workers=["a", "b"])
+        state.next_shard("a")
+        state.complete(0, "a", {"first": True})
+        state.complete(0, "b", {"second": True})
+        assert state.payloads[0] == {"first": True}
+        assert state.assignments[0] == "a"
+
+    def test_requeue_is_moot_after_completion(self):
+        state = _DriveState(1, max_attempts=1, workers=["a", "b"])
+        state.next_shard("a")
+        state.complete(0, "b", {"done": True})
+        # The presumed-dead first worker reports its failure late; the cap
+        # (already reached) must not trip a fatal on a finished shard.
+        state.requeue(0, "a", "transport: broke")
+        assert state.fatal is None
+
+    def test_requeue_past_the_attempt_cap_is_fatal(self):
+        state = _DriveState(1, max_attempts=1, workers=["w"])
+        state.next_shard("w")
+        state.requeue(0, "w", "timeout: too slow")
+        assert "giving up" in state.fatal
+
+    def test_worker_loss_requeues_the_held_shard(self):
+        state = _DriveState(2, max_attempts=3, workers=["a", "b"])
+        index = state.next_shard("a")
+        state.worker_lost("a", index, "transport: gone")
+        assert index in state.queue
+        assert state.lost == ["a"] and "b" in state.alive
+
+    def test_losing_the_whole_fleet_is_fatal(self):
+        state = _DriveState(2, max_attempts=3, workers=["a"])
+        state.next_shard("a")
+        state.worker_lost("a", 0, "transport: gone")
+        assert "all 1 worker(s) lost" in state.fatal
+
+
+class TestShardRequest:
+    def test_sweep_spec_becomes_a_sweep_request(self):
+        driver = ShardDriver(deadline_s=5.0)
+        request = driver.shard_request(sweep_spec(processes=4), 1, 3)
+        assert isinstance(request, SweepRequest)
+        assert request.shard == (1, 3)
+        assert request.deadline_s == 5.0
+        assert request.request_id and "shard1of3" in request.request_id
+        assert not hasattr(request, "processes")
+
+    def test_request_ids_are_unique_per_dispatch(self):
+        driver = ShardDriver()
+        spec = sweep_spec()
+        first = driver.shard_request(spec, 0, 2)
+        second = driver.shard_request(spec, 0, 2)
+        assert first.request_id != second.request_id
+
+    def test_lower_bound_spec_becomes_a_lower_bound_request(self):
+        request = ShardDriver().shard_request(
+            LowerBoundSpec(construction="automorphism", sizes=(3, 5), seed=1), 0, 2
+        )
+        assert isinstance(request, LowerBoundRequest)
+        assert request.shard == (0, 2)
+
+    def test_radius_specs_cannot_be_driven(self):
+        with pytest.raises(DriverError, match="radius"):
+            ShardDriver().shard_request(RadiusSpec(family="star", sizes=(8,)), 0, 1)
+
+
+class TestDriverValidation:
+    def test_no_workers_is_an_error(self):
+        with pytest.raises(DriverError, match="at least one worker"):
+            ShardDriver().drive(sweep_spec(), [])
+
+    def test_zero_shards_is_an_error(self):
+        with pytest.raises(DriverError, match="at least 1"):
+            ShardDriver().drive(sweep_spec(), [("127.0.0.1", 1)], shards=0)
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            ShardDriver(deadline_s=0)
+
+    def test_bad_attempt_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ShardDriver(max_attempts=0)
+
+    def test_redispatched_reads_off_the_attempt_counts(self):
+        report = DriveReport(result=None, shards=3, attempts={0: 1, 1: 3, 2: 2})
+        assert report.redispatched == (1, 2)
+
+
+class TestDriveInProcess:
+    """Drives against in-process TCP servers: fast, no subprocesses."""
+
+    def test_driven_sweep_matches_the_unsharded_run(self):
+        spec = sweep_spec()
+        with tcp_workers(2) as addresses:
+            report = drive(spec, addresses)
+        assert report.shards == 2 and not report.workers_lost
+        assert canonical_bytes(report.result) == canonical_bytes(run_sweep(spec))
+
+    def test_driven_lower_bound_matches_the_unsharded_run(self):
+        spec = LowerBoundSpec(construction="automorphism", sizes=(3, 5, 8), seed=1)
+        with tcp_workers(2) as addresses:
+            report = drive(spec, addresses)
+        assert canonical_bytes(report.result) == canonical_bytes(run_lower_bound(spec))
+
+    def test_more_shards_than_workers_still_merges_exactly(self):
+        spec = sweep_spec()
+        with tcp_workers(2) as addresses:
+            report = drive(spec, addresses, shards=4)
+        assert report.shards == 4
+        assert sorted(report.assignments) == [0, 1, 2, 3]
+        assert canonical_bytes(report.result) == canonical_bytes(run_sweep(spec))
+
+    def test_single_worker_degradation_is_just_a_drive(self):
+        spec = sweep_spec(sizes=(6, 8))
+        with tcp_workers(1) as addresses:
+            report = drive(spec, addresses, shards=2)
+        assert set(report.assignments.values()) == {
+            f"{addresses[0][0]}:{addresses[0][1]}"
+        }
+
+    def test_timeout_shard_is_redispatched_and_completes(self):
+        spec = sweep_spec(sizes=(6, 8))
+        injector = FaultInjector.parse(["freeze:op=sweep,nth=1,seconds=0"])
+        with tcp_workers(1, injectors={0: injector}) as addresses:
+            report = drive(spec, addresses, shards=2, deadline_s=0.5)
+        # The frozen first dispatch answered a structured timeout, was
+        # requeued, and the retry (no longer matching nth=1) completed.
+        assert report.redispatched != ()
+        assert any(event[0] == "retry" for event in report.events)
+        assert canonical_bytes(report.result) == canonical_bytes(run_sweep(spec))
+
+    def test_permanent_error_aborts_the_drive(self):
+        spec = sweep_spec(family="cycle", sizes=(2,), trials=1)
+        with tcp_workers(1) as addresses:
+            with pytest.raises(DriverError, match="invalid-graph"):
+                drive(spec, addresses)
+
+    def test_unreachable_fleet_raises_not_hangs(self):
+        # Nothing listens on port 1; connect fails fast and the drive
+        # reports the whole fleet lost.
+        with pytest.raises(DriverError, match=r"worker\(s\) lost"):
+            drive(
+                sweep_spec(),
+                [("127.0.0.1", 1)],
+                connect_deadline_s=0.2,
+            )
+
+
+class TestShardDriveCli:
+    def test_external_workers_produce_the_canonical_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments import write_artifact
+
+        spec = sweep_spec()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        driven = tmp_path / "driven.json"
+        baseline = tmp_path / "baseline.json"
+        write_artifact(run_sweep(spec), baseline, canonical=True)
+        with tcp_workers(2) as addresses:
+            code = main([
+                "shard-drive", "--spec", str(spec_path),
+                *[arg for host, port in addresses
+                  for arg in ("--worker", f"{host}:{port}")],
+                "--canonical", "--output", str(driven),
+            ])
+        assert code == 0
+        assert driven.read_bytes() == baseline.read_bytes()
+        out = capsys.readouterr().out
+        # "across N worker(s)" counts workers that actually answered a
+        # shard — legitimately 1 when one worker wins both claims.
+        assert "2 shard(s) across" in out
+
+    def test_fault_flags_require_a_spawned_fleet(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(sweep_spec().to_dict()))
+        with pytest.raises(SystemExit, match="spawned fleet"):
+            main([
+                "shard-drive", "--spec", str(spec_path),
+                "--worker", "127.0.0.1:9999", "--fault", "drop:nth=1",
+            ])
+
+
+class TestLocalFleetChaos:
+    """The real thing: subprocess serve fleets and injected crashes."""
+
+    def test_killed_worker_is_routed_around_byte_identically(self):
+        spec = sweep_spec()
+        with LocalFleet(2, faults={1: ["kill:op=sweep,nth=1"]}) as addresses:
+            report = drive(spec, addresses, deadline_s=60.0)
+        assert len(report.workers_lost) == 1
+        assert report.redispatched != ()
+        assert any(event[0] == "worker-lost" for event in report.events)
+        assert canonical_bytes(report.result) == canonical_bytes(run_sweep(spec))
+
+    def test_fleet_member_that_cannot_start_is_a_driver_error(self):
+        with pytest.raises(DriverError, match="failed to start"):
+            LocalFleet(1, faults={0: ["notanaction"]}).start()
+
+    def test_fleet_needs_at_least_one_member(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            LocalFleet(0)

@@ -1,0 +1,195 @@
+"""The fault-injection harness: spec parsing, matching, and both hook layers."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.experiments.spec import ExperimentCancelled
+from repro.service.core import CancelScope, CertificationService
+from repro.service.faults import (
+    FAULT_ACTIONS,
+    FaultInjector,
+    FaultRule,
+    FaultSpecError,
+    garble_line,
+)
+from repro.service.messages import CertifyRequest, ErrorResponse
+from repro.service.protocol import encode_line, serve_stdio
+
+
+class TestFaultRuleParsing:
+    def test_bare_action(self):
+        rule = FaultRule.parse("drop")
+        assert rule.action == "drop" and rule.op is None
+        assert rule.nth is None and rule.after is None
+
+    def test_full_spec(self):
+        rule = FaultRule.parse("delay:op=sweep,nth=3,seconds=0.25")
+        assert rule.action == "delay" and rule.op == "sweep"
+        assert rule.nth == 3 and rule.seconds == 0.25
+
+    def test_after_spec(self):
+        assert FaultRule.parse("kill:after=3").after == 3
+
+    @pytest.mark.parametrize("spec", [
+        "teleport",                 # unknown action
+        "drop:nth=2,after=3",       # nth and after together
+        "drop:nth=0",               # 1-based
+        "delay:seconds=-1",
+        "drop:bogus=1",             # unknown key
+        "drop:nth=x",               # non-integer
+        "drop:nth",                 # no separator
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultRule.parse(spec)
+
+    def test_parse_error_is_a_value_error(self):
+        # The CLI catches FaultSpecError; anything else would traceback.
+        assert issubclass(FaultSpecError, ValueError)
+
+
+class TestFaultRuleMatching:
+    def test_nth_fires_exactly_once(self):
+        rule = FaultRule.parse("drop:nth=2")
+        assert [rule.matches(None, i) for i in (1, 2, 3)] == [False, True, False]
+
+    def test_after_fires_on_everything_past(self):
+        rule = FaultRule.parse("drop:after=2")
+        assert [rule.matches(None, i) for i in (1, 2, 3, 4)] == [False, False, True, True]
+
+    def test_op_restricts(self):
+        rule = FaultRule.parse("drop:op=sweep")
+        assert rule.matches("sweep", 1) and not rule.matches("certify", 1)
+
+    def test_unconditional(self):
+        rule = FaultRule.parse("drop")
+        assert all(rule.matches(op, i) for op in ("sweep", None) for i in (1, 5))
+
+
+class TestGarble:
+    def test_garbled_line_keeps_framing_but_breaks_json(self):
+        line = encode_line({"op": "stats", "ok": True})
+        garbled = garble_line(line)
+        assert garbled.endswith("\n") and "\n" not in garbled[:-1]
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(garbled)
+
+
+@pytest.fixture()
+def service():
+    with CertificationService(workers=2) as svc:
+        yield svc
+
+
+class TestServiceLayerFreeze:
+    def test_frozen_handler_times_out_within_deadline(self, service):
+        service.fault_injector = FaultInjector.parse(["freeze:op=certify,seconds=0"])
+        started = time.monotonic()
+        response = service.respond(
+            CertifyRequest(scheme="tree", graph="path:4", deadline_s=0.3)
+        )
+        elapsed = time.monotonic() - started
+        assert isinstance(response, ErrorResponse) and response.code == "timeout"
+        assert elapsed < 2.0
+        assert service.fault_injector.log == [("service", "freeze", "certify", 1)]
+
+    def test_service_stays_serviceable_after_a_frozen_request(self, service):
+        service.fault_injector = FaultInjector.parse(["freeze:nth=1,seconds=0"])
+        first = service.respond(
+            CertifyRequest(scheme="tree", graph="path:4", deadline_s=0.2)
+        )
+        assert first.code == "timeout"
+        # The second request does not match nth=1 and answers normally.
+        second = service.respond(CertifyRequest(scheme="tree", graph="path:4"))
+        assert second.ok and second.accepted
+
+    def test_timed_freeze_without_scope_just_delays(self, service):
+        service.fault_injector = FaultInjector.parse(["freeze:seconds=0.05"])
+        started = time.monotonic()
+        response = service.handle(CertifyRequest(scheme="tree", graph="path:4"))
+        assert response.ok
+        assert time.monotonic() - started >= 0.05
+
+    def test_freeze_wakes_on_cancel_not_just_deadline(self, service):
+        service.fault_injector = FaultInjector.parse(["freeze:seconds=0"])
+        scope = CancelScope()
+        scope.cancel()
+        started = time.monotonic()
+        # handle() has no supervisor, so the stop surfaces as the raise that
+        # respond() would map to an ErrorResponse; the point here is that an
+        # indefinite freeze returns *immediately* on an already-tripped scope.
+        with pytest.raises(ExperimentCancelled) as excinfo:
+            service.handle(CertifyRequest(scheme="tree", graph="path:4"), scope=scope)
+        assert excinfo.value.reason == "cancelled"
+        assert time.monotonic() - started < 1.0
+
+    def test_layer_counters_are_independent(self, service):
+        injector = FaultInjector.parse(["drop:nth=1"])
+        # The wire counter has seen nothing yet; the service counter moves
+        # independently of it.
+        service.fault_injector = injector
+        service.respond(CertifyRequest(scheme="tree", graph="path:4"))
+        assert injector.wire_fault("certify") is not None  # wire index 1 fires
+
+
+class TestWireLayerFaults:
+    def _serve(self, service, requests, max_request_bytes=1 << 20):
+        stdin = io.StringIO("".join(encode_line(r) for r in requests))
+        stdout = io.StringIO()
+        answered = serve_stdio(service, stdin, stdout, max_request_bytes)
+        return answered, stdout.getvalue().splitlines()
+
+    def test_drop_swallows_exactly_the_matched_response(self, service):
+        service.fault_injector = FaultInjector.parse(["drop:nth=2"])
+        answered, lines = self._serve(service, [
+            {"op": "stats"}, {"op": "stats"}, {"op": "stats"},
+        ])
+        assert answered == 3          # the dropped one still counts as handled
+        assert len(lines) == 2        # ... but only two lines went out
+        assert service.fault_injector.log == [("wire", "drop", "stats", 2)]
+
+    def test_garble_corrupts_but_keeps_serving(self, service):
+        service.fault_injector = FaultInjector.parse(["garble:nth=1"])
+        answered, lines = self._serve(service, [{"op": "stats"}, {"op": "stats"}])
+        assert answered == 2 and len(lines) == 2
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(lines[0])
+        assert json.loads(lines[1])["ok"] is True
+
+    def test_hangup_ends_the_session_unanswered(self, service):
+        service.fault_injector = FaultInjector.parse(["hangup:nth=2"])
+        answered, lines = self._serve(service, [
+            {"op": "stats"}, {"op": "stats"}, {"op": "stats"},
+        ])
+        assert len(lines) == 1        # second response hung up, third never read
+
+    def test_delay_stalls_the_matched_response(self, service):
+        service.fault_injector = FaultInjector.parse(["delay:nth=1,seconds=0.05"])
+        started = time.monotonic()
+        answered, lines = self._serve(service, [{"op": "stats"}])
+        assert time.monotonic() - started >= 0.05
+        assert json.loads(lines[0])["ok"] is True
+
+    def test_op_scoped_wire_fault_skips_other_ops(self, service):
+        service.fault_injector = FaultInjector.parse(["drop:op=certify"])
+        answered, lines = self._serve(service, [
+            {"op": "stats"},
+            {"op": "certify", "scheme": "tree", "graph": "path:4"},
+            {"op": "stats"},
+        ])
+        assert len(lines) == 2
+        assert all(json.loads(line)["op"] == "stats" for line in lines)
+
+
+class TestActionInventory:
+    def test_kill_is_a_known_action_but_never_tested_in_process(self):
+        """``kill`` calls os._exit — only ever installed on subprocess
+        workers (the driver chaos tests); here we just keep it in the
+        contract so a rename cannot silently orphan the CLI docs."""
+        assert "kill" in FAULT_ACTIONS
+        FaultRule.parse("kill:after=3")  # parses like any other action

@@ -10,9 +10,14 @@ from repro.service.messages import (
     ERROR_CODES,
     BatchRequest,
     BatchResponse,
+    CancelRequest,
+    CancelResponse,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
+    HealthRequest,
+    HealthResponse,
+    LowerBoundRequest,
     ProtocolError,
     StatsRequest,
     SweepRequest,
@@ -133,3 +138,67 @@ class TestResponses:
                                       "bound": {"ok": True}, "series": {"4": 16}})
         assert clean.clean and clean.series == {4: 16}
         assert not SweepResponse(result={"all_accepted": True, "all_sound": False}).clean
+
+class TestFaultToleranceMessages:
+    """The deadline/cancel/health wire surface added with the shard driver."""
+
+    def test_deadline_validation(self):
+        request = CertifyRequest(scheme="tree", graph="path:4", deadline_s=2)
+        assert request.deadline_s == 2.0  # normalised to float
+        for bad in (0, -1.5, True, "soon"):
+            with pytest.raises(ValueError, match="deadline_s"):
+                CertifyRequest(scheme="tree", graph="path:4", deadline_s=bad)
+
+    def test_request_id_validation(self):
+        assert CertifyRequest(
+            scheme="tree", graph="path:4", request_id="rq-1"
+        ).request_id == "rq-1"
+        with pytest.raises(ValueError, match="request_id"):
+            CertifyRequest(scheme="tree", graph="path:4", request_id=7)
+
+    def test_deadline_and_request_id_round_trip(self):
+        request = SweepRequest(
+            scheme="tree", family="path", sizes=(4, 8),
+            deadline_s=1.5, request_id="rq-2", shard=(1, 3),
+        )
+        assert request_from_dict(request.to_dict()) == request
+
+    def test_health_round_trip(self):
+        assert request_from_dict({"op": "health"}) == HealthRequest()
+        response = HealthResponse(result={"ok": True, "workers": 2})
+        back = response_from_dict(response.to_dict())
+        assert back == response and back.ok is True
+
+    def test_cancel_round_trip_and_validation(self):
+        request = CancelRequest(request_id="rq-3")
+        assert request_from_dict(request.to_dict()) == request
+        for bad in ("", None, 7):
+            with pytest.raises(ValueError, match="request_id"):
+                CancelRequest(request_id=bad)
+        response = CancelResponse(
+            result={"request_id": "rq-3", "cancelled": True, "state": "running"}
+        )
+        assert response_from_dict(response.to_dict()) == response
+
+    def test_lower_bound_request_round_trip_with_shard(self):
+        request = LowerBoundRequest(
+            construction="automorphism", sizes=(3, 5), shard=(0, 2),
+            deadline_s=5.0, request_id="lb-1",
+        )
+        back = request_from_dict(request.to_dict())
+        assert back == request and back.shard == (0, 2)
+
+    def test_fault_tolerance_error_codes_are_stable(self):
+        # The retry/backoff contract keys on these; renaming one would
+        # silently turn transient failures permanent in the shard driver.
+        for code in ("timeout", "cancelled", "connect-timeout"):
+            assert code in ERROR_CODES
+
+    def test_batch_request_carries_deadline_and_id(self):
+        batch = BatchRequest(
+            requests=(CertifyRequest(scheme="tree", graph="path:4"),),
+            deadline_s=2.0, request_id="batch-1",
+        )
+        back = request_from_dict(json.loads(json.dumps(batch.to_dict())))
+        assert back == batch
+        assert back.deadline_s == 2.0 and back.request_id == "batch-1"

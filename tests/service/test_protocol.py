@@ -4,13 +4,21 @@ from __future__ import annotations
 
 import io
 import json
+import threading
+import time
 
 import pytest
 
 from repro.cli import main
+from repro.service.client import ServiceClient
 from repro.service.core import CertificationService
 from repro.service.messages import CertifyRequest
-from repro.service.protocol import encode_line, handle_line, serve_stdio
+from repro.service.protocol import (
+    TCPProtocolServer,
+    encode_line,
+    handle_line,
+    serve_stdio,
+)
 
 
 @pytest.fixture()
@@ -183,6 +191,99 @@ class TestServeStdio:
         stdout = io.StringIO()
         assert serve_stdio(service, stdin, stdout) == 1
         assert json.loads(stdout.getvalue()) == {"ok": True, "op": "shutdown"}
+
+
+class TestFramingEdgeCases:
+    """Torture cases at the line-framing layer (ISSUE 6 satellite)."""
+
+    def test_final_line_missing_its_newline_is_still_answered(self, service):
+        # A sender that exits right after the last request may never flush
+        # the trailing newline; readline returns the line at EOF anyway.
+        stdin = io.StringIO(encode_line({"op": "stats"}).rstrip("\n"))
+        stdout = io.StringIO()
+        assert serve_stdio(service, stdin, stdout) == 1
+        assert json.loads(stdout.getvalue())["ok"] is True
+
+    def test_final_line_truncated_mid_object_is_an_invalid_request(self, service):
+        full = encode_line({"op": "certify", "scheme": "tree", "graph": "path:4"})
+        stdin = io.StringIO(full[: len(full) // 2])  # cut inside the object
+        stdout = io.StringIO()
+        assert serve_stdio(service, stdin, stdout) == 1
+        assert json.loads(stdout.getvalue())["code"] == "invalid-request"
+
+    def test_interleaved_oversized_and_valid_lines_stay_synchronised(self, service):
+        stdin = io.StringIO(
+            "z" * 600 + "\n"
+            + encode_line({"op": "stats"})
+            + "z" * 700 + "\n"
+            + encode_line({"op": "stats"})
+        )
+        stdout = io.StringIO()
+        assert serve_stdio(service, stdin, stdout, max_request_bytes=512) == 4
+        codes = [
+            json.loads(line).get("code") for line in stdout.getvalue().splitlines()
+        ]
+        # Strict alternation: every oversized line is answered in place and
+        # the next valid request is neither eaten nor misframed.
+        assert codes == ["invalid-request", None, "invalid-request", None]
+
+
+class TestShutdownRacesInFlightBatch:
+    def test_batch_completes_even_when_shutdown_lands_mid_flight(self):
+        with CertificationService(workers=2) as service:
+            server = TCPProtocolServer(service, port=0)
+            serve_thread = threading.Thread(
+                target=server.serve_until_shutdown, daemon=True
+            )
+            serve_thread.start()
+            host, port = server.address
+            outcome = {}
+
+            def run_batch():
+                client = ServiceClient.connect(host, port)
+                try:
+                    outcome["responses"] = client.submit_many([
+                        CertifyRequest(scheme="tree", graph=f"random-tree:{10 + i}")
+                        for i in range(12)
+                    ])
+                finally:
+                    client.close()
+
+            batch_thread = threading.Thread(target=run_batch)
+            batch_thread.start()
+            time.sleep(0.05)  # let the batch reach the server first
+            other = ServiceClient.connect(host, port)
+            assert other.shutdown()
+            other.close()
+            batch_thread.join(timeout=60)
+            serve_thread.join(timeout=10)
+            assert not batch_thread.is_alive() and not serve_thread.is_alive()
+            # The already-running batch connection was not torn down by the
+            # listener's shutdown: every member answered.
+            responses = outcome["responses"]
+            assert isinstance(responses, list) and len(responses) == 12
+            assert all(r.ok for r in responses)
+
+
+class TestStatsUnderConcurrentSubmitters:
+    def test_request_counters_add_up_exactly(self):
+        submitters, per_thread = 4, 6
+        with CertificationService(workers=4) as service:
+            def submit():
+                for i in range(per_thread):
+                    response = service.respond(
+                        CertifyRequest(scheme="tree", graph=f"random-tree:{6 + i}")
+                    )
+                    assert response.ok
+            threads = [threading.Thread(target=submit) for _ in range(submitters)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            requests = service.stats()["service"]["requests"]
+        assert requests["certify"] == submitters * per_thread
+        assert requests["errors"] == 0
+        assert requests["replayed"] == 0
 
 
 class TestCliServeParity:

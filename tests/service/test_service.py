@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import networkx as nx
 import pytest
 
 from repro.caching import clear_caches
 from repro.service.core import CertificationService
+from repro.service.faults import FaultInjector
 from repro.service.messages import (
+    CancelRequest,
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
+    HealthRequest,
     StatsRequest,
     SweepRequest,
     SweepResponse,
@@ -207,3 +213,146 @@ class TestBatching:
             service.submit(CertifyRequest(scheme="tree", graph="path:4"))
         # Synchronous calls still work on a closed service.
         assert service.certify(CertifyRequest(scheme="tree", graph="path:4")).accepted
+
+class TestDeadlines:
+    """respond()'s fault-tolerance contract: expiry answers, never hangs."""
+
+    def test_deadline_expiry_is_a_structured_timeout(self, service):
+        service.fault_injector = FaultInjector.parse(["freeze:op=certify,seconds=0"])
+        response = service.respond(
+            CertifyRequest(scheme="tree", graph="path:4", deadline_s=0.2)
+        )
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "timeout" and response.request_op == "certify"
+        assert service.stats()["service"]["requests"]["timeouts"] == 1
+
+    def test_default_deadline_covers_requests_without_one(self):
+        with CertificationService(workers=1, default_deadline_s=0.2) as service:
+            service.fault_injector = FaultInjector.parse(["freeze:op=certify,seconds=0"])
+            response = service.respond(CertifyRequest(scheme="tree", graph="path:4"))
+            assert response.code == "timeout"
+
+    def test_requests_faster_than_their_deadline_are_untouched(self, service):
+        response = service.respond(
+            CertifyRequest(scheme="tree", graph="path:4", deadline_s=30.0)
+        )
+        assert response.ok and response.accepted
+
+
+class TestIdempotentReplay:
+    def test_same_request_id_replays_without_rerunning(self, service):
+        request = CertifyRequest(scheme="tree", graph="path:4", request_id="rq-1")
+        first = service.respond(request)
+        second = service.respond(request)
+        assert first == second
+        counters = service.stats()["service"]["requests"]
+        assert counters["certify"] == 1 and counters["replayed"] == 1
+
+    def test_stopped_responses_are_not_replayable(self, service):
+        # A timeout answer must not be cached: retrying that id is a fresh
+        # attempt, not a duplicate delivery of the failure.
+        service.fault_injector = FaultInjector.parse(
+            ["freeze:op=certify,nth=1,seconds=0"]
+        )
+        request = CertifyRequest(
+            scheme="tree", graph="path:4", request_id="rq-2", deadline_s=0.2
+        )
+        assert service.respond(request).code == "timeout"
+        retry = service.respond(request)
+        assert retry.ok and retry.accepted
+        assert service.stats()["service"]["requests"]["replayed"] == 0
+
+
+class TestCancelOp:
+    def test_cancel_of_an_unknown_id(self, service):
+        response = service.respond(CancelRequest(request_id="ghost"))
+        assert response.result == {
+            "request_id": "ghost", "cancelled": False, "state": "unknown",
+        }
+
+    def test_cancel_of_a_finished_id(self, service):
+        service.respond(
+            CertifyRequest(scheme="tree", graph="path:4", request_id="done-1")
+        )
+        response = service.respond(CancelRequest(request_id="done-1"))
+        assert response.result["state"] == "finished"
+        assert response.result["cancelled"] is False
+
+    def test_cancel_stops_a_running_request(self):
+        with CertificationService(workers=1) as service:
+            service.fault_injector = FaultInjector.parse(
+                ["freeze:op=certify,seconds=30"]
+            )
+            outcome = {}
+
+            def run():
+                outcome["response"] = service.respond(
+                    CertifyRequest(scheme="tree", graph="path:4", request_id="long-1")
+                )
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            cancel = None
+            deadline_at = time.monotonic() + 5
+            while time.monotonic() < deadline_at:
+                candidate = service.respond(CancelRequest(request_id="long-1"))
+                if candidate.result["cancelled"]:
+                    cancel = candidate
+                    break
+                time.sleep(0.01)
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert cancel is not None and cancel.result["state"] == "running"
+            assert outcome["response"].code == "cancelled"
+
+    def test_cancel_pulls_a_queued_request_before_it_runs(self):
+        with CertificationService(workers=1) as service:
+            # The single worker is wedged by the first request; the second
+            # sits queued behind it and must be cancellable while queued.
+            service.fault_injector = FaultInjector.parse(
+                ["freeze:op=certify,seconds=30"]
+            )
+            results = {}
+
+            def run(name, request_id):
+                results[name] = service.respond(
+                    CertifyRequest(
+                        scheme="tree", graph="path:4", request_id=request_id
+                    )
+                )
+
+            busy = threading.Thread(target=run, args=("busy", "busy-1"))
+            busy.start()
+            waiting = threading.Thread(target=run, args=("waiting", "waiting-1"))
+            waiting.start()
+            deadline_at = time.monotonic() + 5
+            while time.monotonic() < deadline_at:
+                with service._inflight_lock:
+                    entry = service._inflight.get("waiting-1")
+                if entry is not None and entry.future is not None:
+                    break
+                time.sleep(0.01)
+            cancel = service.respond(CancelRequest(request_id="waiting-1"))
+            assert cancel.result["cancelled"] is True
+            assert cancel.result["state"] == "queued"
+            waiting.join(timeout=10)
+            assert results["waiting"].code == "cancelled"
+            # Unwedge the worker so teardown does not wait out the freeze.
+            service.respond(CancelRequest(request_id="busy-1"))
+            busy.join(timeout=10)
+            assert results["busy"].code == "cancelled"
+
+
+class TestHealthOp:
+    def test_health_reports_liveness_and_load(self, service):
+        response = service.respond(HealthRequest())
+        result = response.result
+        assert result["ok"] is True and result["workers"] == 2
+        assert result["queue_depth"] == 0 and result["inflight"] == 0
+        assert result["uptime_s"] >= 0
+        assert "requests" in result and result["default_deadline_s"] is None
+
+    def test_health_reports_not_ok_once_closed(self):
+        service = CertificationService(workers=1)
+        service.close()
+        assert service.health().result["ok"] is False
