@@ -27,12 +27,15 @@ from repro import api
 from repro.core.cache import cached_identifiers
 from repro.core.scheme import CertificationScheme, evaluate_scheme
 from repro.experiments import (
+    KernelResult,
+    KernelSpec,
     LowerBoundResult,
     LowerBoundSpec,
     RadiusResult,
     RadiusSpec,
     SweepResult,
     SweepSpec,
+    run_kernel,
     run_lower_bound,
     run_radius,
 )
@@ -178,6 +181,24 @@ def radius_result(spec: RadiusSpec) -> RadiusResult:
         f"some instance incorrectly"
     )
     return result
+
+
+def kernel_result(spec: KernelSpec) -> KernelResult:
+    """Run a declarative kernel-size series and assert it is clean.
+
+    Clean means: the pruned kernel's restricted elimination tree is still a
+    valid model, and every EF-game equivalence check that ran passed.
+    """
+    result = run_kernel(spec)
+    assert result.all_ok, (
+        f"{spec.label}: a kernel validity or EF-equivalence check failed"
+    )
+    return result
+
+
+def kernel_series(spec: KernelSpec) -> Dict[int, int]:
+    """The ``size → kernel size`` series of a clean kernel run."""
+    return kernel_result(spec).series
 
 
 def sweep_check(

@@ -1,41 +1,26 @@
 """E11 — Propositions 6.2 / 6.3: kernel size and correctness.
 
-Reproduced series: kernel size vs n for fixed (k, t) on random
-bounded-treedepth graphs (expected to saturate), the theoretical type-count
-bound f_1(k, t), and EF-game spot checks of G ≃_k kernel on small instances.
+Reproduced series, as declarative :class:`~repro.experiments.KernelSpec`
+runs (the same artifact + regression-gate pipeline as sweeps): kernel size
+vs n for fixed (k, t) on stars (expected to saturate), EF-game spot checks
+of G ≃_k kernel on small bounded-treedepth instances, and the theoretical
+type-count bound f_1(k, t) as a closed-form table.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import print_series
+from _harness import kernel_result, kernel_series, print_series
 
-from repro.graphs.generators import bounded_treedepth_graph, star_graph
-from repro.kernel.reduction import k_reduced_graph, type_count_bound
-from repro.logic.ef_games import ef_equivalent
-from repro.treedepth.decomposition import optimal_elimination_tree, treedepth_upper_bound_dfs
-from repro.treedepth.elimination_tree import make_coherent
-
-
-def _coherent_model(graph):
-    if graph.number_of_nodes() <= 16:
-        base = optimal_elimination_tree(graph)
-    else:
-        _, base = treedepth_upper_bound_dfs(graph)
-    return make_coherent(graph, base)
+from repro.experiments import KernelSpec
+from repro.kernel.reduction import type_count_bound
 
 
 def test_kernel_size_saturates(benchmark) -> None:
-    def run():
-        series = {}
-        for n in (8, 32, 128, 512):
-            graph = star_graph(n - 1)
-            reduction = k_reduced_graph(graph, _coherent_model(graph), k=3)
-            series[n] = reduction.kernel_size
-        return series
+    spec = KernelSpec(family="star", sizes=(8, 32, 128, 512), k=3)
 
-    series = benchmark(run)
+    series = benchmark(lambda: kernel_series(spec))
     print_series("E11 Prop 6.2: kernel size, stars, k=3 (expect flat at 4)", series, unit="vertices")
     assert series[512] == series[8] == 4
 
@@ -51,17 +36,14 @@ def test_type_count_bound_table(benchmark) -> None:
 
 
 def test_kernel_preserves_rank_k_sentences(benchmark) -> None:
-    def run():
-        checked = 0
-        for seed in range(3):
-            graph = bounded_treedepth_graph(2, branching=4, extra_edge_probability=0.5, seed=seed)
-            if graph.number_of_nodes() > 11:
-                continue
-            reduction = k_reduced_graph(graph, _coherent_model(graph), k=2)
-            assert ef_equivalent(graph, reduction.kernel_graph, 2)
-            checked += 1
-        return checked
+    # Three depth-3 instances (≤ 7 vertices each, well under the EF cutoff),
+    # each pruned with k=2 and verified rank-2 equivalent to its kernel.
+    spec = KernelSpec(
+        family="bounded-treedepth", sizes=(3, 3, 3), k=2, check_ef=2, seed=0
+    )
 
-    checked = benchmark(run)
+    result = benchmark(lambda: kernel_result(spec))
+    checked = sum(1 for point in result.points if point.ef_ok is not None)
     print(f"\n[E11 Prop 6.3] EF-equivalence (rank 2) verified on {checked} instances")
     assert checked >= 1
+    assert all(point.ef_ok for point in result.points if point.ef_ok is not None)

@@ -1,0 +1,270 @@
+"""Vector-engine microbenchmark: bit-parallel lane blocks vs. delta streams.
+
+Times the enumeration-shaped kernels the vector engine (PR 7) was built for:
+
+* ``exhaustive``  — the exhaustive-soundness kernel: every ``max_bits``-bit
+  certificate assignment on a tiny no-instance.  The baseline is PR 5's
+  delta engine (Gray-coded single-vertex changes on a persistent session);
+  the vector engine sweeps the identical assignment space as packed lane
+  blocks, evaluating 64+ candidate certificates per bitwise operation.
+  **This kernel carries the enforced bar**: the run fails unless the vector
+  engine is at least ``SPEEDUP_BAR``× faster than delta.
+* ``backends``    — the same kernel pinned to each lane backend (pure
+  Python big ints, numpy ``uint64`` words when importable), informational:
+  backend selection must never change verdicts, only throughput.
+* ``corruption``  — neighbourhood-local corruption sweeps through the
+  public ``soundness_under_corruption`` entry point, delta vs. vector
+  (informational, no bar — corruption trials are few and cheap).
+* ``frontier``    — a (n, max_bits) point sized so the delta engine would
+  need minutes: run on the vector engine alone, with the delta cost
+  estimated from its measured per-assignment rate in ``exhaustive``.
+
+Results are printed and written to ``BENCH_vector.json`` next to
+``BENCH_delta.json``, extending the hot-path trajectory tracked since PR 1.
+
+Usage::
+
+    python benchmarks/bench_vector_speed.py           # full measurement
+    python benchmarks/bench_vector_speed.py --quick   # CI smoke variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import networkx as nx
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import clear_caches  # noqa: E402
+from repro.core.cache import cached_compiled_network, cached_identifiers  # noqa: E402
+from repro.core.scheme import (  # noqa: E402
+    exhaustive_soundness_holds,
+    soundness_under_corruption,
+)
+from repro.core.simple_schemes import BipartitenessScheme  # noqa: E402
+from repro.core.spanning_tree import TreeScheme  # noqa: E402
+from repro.graphs.generators import random_tree  # noqa: E402
+from repro.network.vector import VectorNetwork, resolve_backend  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_vector.json"
+
+#: The acceptance bar on the exhaustive kernel: the vector engine must beat
+#: the delta baseline by at least this factor.
+SPEEDUP_BAR = 3.0
+
+
+def _timed(fn, repeats: int) -> float:
+    # One untimed warmup: the first call pays one-time costs that are not
+    # the engine's (lazy numpy import, network compilation shared by every
+    # engine); both sides of each comparison get the identical treatment.
+    fn()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return time.perf_counter() - start
+
+
+def _available_backends() -> tuple:
+    backends = ["python"]
+    try:
+        resolve_backend("numpy")
+    except RuntimeError:
+        pass
+    else:
+        backends.append("numpy")
+    return tuple(backends)
+
+
+def bench_exhaustive(quick: bool) -> dict:
+    """The exhaustive-soundness kernel, delta stream vs. vector lane blocks.
+
+    Bipartiteness on an odd cycle: a genuine no-instance of a paper scheme,
+    so both engines enumerate the full ``2**n`` one-bit assignment space and
+    must prove every one of them rejected.
+    """
+    n = 13 if quick else 15  # odd: an odd cycle is not bipartite
+    scheme = BipartitenessScheme()
+    graph = nx.cycle_graph(n)
+    max_bits = 1
+    repeats = 1 if quick else 3
+    assignments = (1 << max_bits) ** n
+
+    def run(engine: str) -> None:
+        assert exhaustive_soundness_holds(scheme, graph, max_bits=max_bits, engine=engine)
+
+    clear_caches()
+    delta_s = _timed(lambda: run("delta"), repeats)
+    clear_caches()
+    vector_s = _timed(lambda: run("vector"), repeats)
+    total = assignments * repeats
+    return {
+        "scheme": scheme.name,
+        "n": n,
+        "max_bits": max_bits,
+        "assignments": assignments,
+        "repeats": repeats,
+        "delta_s": delta_s,
+        "vector_s": vector_s,
+        "delta_assignments_per_s": total / delta_s if delta_s else float("inf"),
+        "vector_assignments_per_s": total / vector_s if vector_s else float("inf"),
+        "speedup": delta_s / vector_s if vector_s else float("inf"),
+        "speedup_bar": SPEEDUP_BAR,
+    }
+
+
+def bench_backends(quick: bool) -> dict:
+    """The exhaustive kernel pinned to each available lane backend.
+
+    Pure Python and numpy must agree on the verdict; the numpy backend only
+    pays off once blocks are wide enough to amortise per-op dispatch, so on
+    small kernels Python big ints routinely win — both are reported.
+    """
+    n = 13 if quick else 15
+    scheme = BipartitenessScheme()
+    graph = nx.cycle_graph(n)
+    max_bits = 1
+    repeats = 1 if quick else 3
+    rows = {}
+    for backend in _available_backends():
+        clear_caches()
+        network = cached_compiled_network(graph, cached_identifiers(graph, 0))
+        vector = VectorNetwork(network, backend=backend)
+
+        def run() -> None:
+            assert not vector.any_accepted_exhaustive(scheme.verify, max_bits)
+
+        elapsed = _timed(run, repeats)
+        rows[backend] = {
+            "block_lanes": vector.block_lanes,
+            "elapsed_s": elapsed,
+            "assignments_per_s": (
+                (1 << max_bits) ** n * repeats / elapsed if elapsed else float("inf")
+            ),
+        }
+    return {"scheme": scheme.name, "n": n, "max_bits": max_bits, "backends": rows}
+
+
+def bench_corruption(quick: bool) -> dict:
+    """Corruption sweeps through the public harness, delta vs. vector."""
+    n = 48 if quick else 64
+    trials = 150 if quick else 400
+    scheme = TreeScheme()
+    graph = random_tree(n, seed=7)
+
+    def run(engine: str) -> bool:
+        return soundness_under_corruption(scheme, graph, trials=trials, seed=7, engine=engine)
+
+    clear_caches()
+    delta_sound = run("delta")
+    delta_s = _timed(lambda: run("delta"), 1)
+    vector_sound = run("vector")
+    vector_s = _timed(lambda: run("vector"), 1)
+    assert delta_sound == vector_sound, (delta_sound, vector_sound)
+    return {
+        "scheme": scheme.name,
+        "n": n,
+        "trials": trials,
+        "sound": vector_sound,
+        "delta_s": delta_s,
+        "vector_s": vector_s,
+        "speedup": delta_s / vector_s if vector_s else float("inf"),
+    }
+
+
+def bench_frontier(quick: bool, delta_assignments_per_s: float) -> dict:
+    """A previously impractical (n, max_bits) point, vector engine only.
+
+    ``estimated_delta_s`` extrapolates the delta baseline from its measured
+    per-assignment rate on the exhaustive kernel (the delta cost per
+    assignment only grows with n, so the estimate is a floor).
+    """
+    n = 19 if quick else 23  # odd, as above
+    scheme = BipartitenessScheme()
+    graph = nx.cycle_graph(n)
+    max_bits = 1
+    assignments = (1 << max_bits) ** n
+
+    clear_caches()
+    start = time.perf_counter()
+    sound = exhaustive_soundness_holds(scheme, graph, max_bits=max_bits, engine="vector")
+    vector_s = time.perf_counter() - start
+    assert sound is True
+    return {
+        "scheme": scheme.name,
+        "n": n,
+        "max_bits": max_bits,
+        "assignments": assignments,
+        "vector_s": vector_s,
+        "vector_assignments_per_s": assignments / vector_s if vector_s else float("inf"),
+        "estimated_delta_s": (
+            assignments / delta_assignments_per_s if delta_assignments_per_s else None
+        ),
+        "note": "vector engine only; the delta estimate extrapolates its "
+        "measured exhaustive-kernel rate",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_PATH,
+        help=f"where to write the JSON report (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    exhaustive = bench_exhaustive(args.quick)
+    report = {
+        "benchmark": "vector_speed",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "kernels": {
+            "exhaustive": exhaustive,
+            "backends": bench_backends(args.quick),
+            "corruption": bench_corruption(args.quick),
+            "frontier": bench_frontier(args.quick, exhaustive["delta_assignments_per_s"]),
+        },
+    }
+
+    print("\n[vector engine: bit-parallel lane blocks vs delta streams]")
+    for name in ("exhaustive", "corruption"):
+        kernel = report["kernels"][name]
+        print(
+            f"  {name:<11} delta {kernel['delta_s']:8.3f}s   "
+            f"vector {kernel['vector_s']:8.3f}s   "
+            f"speedup {kernel['speedup']:6.2f}x"
+        )
+    for backend, row in report["kernels"]["backends"]["backends"].items():
+        print(
+            f"  {'backend':<11} {backend:<7} ({row['block_lanes']} lanes/block): "
+            f"{row['elapsed_s']:.3f}s, {row['assignments_per_s']:.0f} assignments/s"
+        )
+    frontier = report["kernels"]["frontier"]
+    estimate = frontier["estimated_delta_s"]
+    print(
+        f"  {'frontier':<11} n={frontier['n']} ({frontier['assignments']} assignments): "
+        f"vector {frontier['vector_s']:.3f}s vs ~{estimate:.0f}s delta (estimated)"
+    )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if exhaustive["speedup"] < SPEEDUP_BAR:
+        print(
+            f"FAILED: exhaustive-kernel speedup {exhaustive['speedup']:.2f}x "
+            f"is below the {SPEEDUP_BAR}x bar"
+        )
+        return 1
+    print(f"exhaustive-kernel speedup bar ({SPEEDUP_BAR}x): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,6 +110,7 @@ import networkx as nx
 from repro import api
 from repro.experiments import (
     ExperimentSpec,
+    KernelSpec,
     LowerBoundSpec,
     SweepSpec,
     collect_artifacts,
@@ -117,11 +118,13 @@ from repro.experiments import (
     load_artifact,
     merge_artifacts,
     render_experiments_md,
+    run_kernel,
     run_lower_bound,
     run_sweep,
     write_artifact,
     write_baseline,
 )
+from repro.engines import VALID_ENGINES
 from repro.lower_bounds.catalog import LOWER_BOUND_CONSTRUCTIONS
 from repro.graphs.generators import (
     GRAPH_FAMILIES,
@@ -455,6 +458,50 @@ def parse_fleet_fault(raw: str) -> tuple:
     return 0, raw
 
 
+def cmd_kernel(args: argparse.Namespace) -> int:
+    try:
+        spec = KernelSpec(
+            family=args.family,
+            sizes=parse_sizes(args.sizes),
+            k=args.k,
+            model=args.model,
+            check_ef=args.check_ef,
+            seed=args.seed,
+            shard=parse_shard(args.shard),
+            name=args.name,
+        ).validate()
+    except RegistryError as error:
+        raise SystemExit(f"error: {error}") from error
+
+    try:
+        result = run_kernel(spec)
+    except GraphSpecError as error:
+        raise SystemExit(f"error: {error}") from error
+    if args.output:
+        output = args.output
+    elif spec.shard is not None:
+        output = f"kernel_{spec.label}.shard{spec.shard[0]}of{spec.shard[1]}.json"
+    else:
+        output = f"kernel_{spec.label}.json"
+    path = write_artifact(result, output, canonical=args.canonical)
+
+    shard_note = (
+        f", shard {spec.shard[0]}/{spec.shard[1]}" if spec.shard is not None else ""
+    )
+    print(f"kernel:     {spec.label} ({len(result.points)} instances, "
+          f"k={spec.k}, model={spec.model}{shard_note})")
+    for point in result.points:
+        checks = [f"valid={point.valid_model}"]
+        if point.ef_ok is not None:
+            checks.append(f"ef={point.ef_ok}")
+        print(f"  {point.graph:<22} n={point.vertices:<6} depth={point.depth:<4} "
+              f"kernel {point.kernel_size:>5} vertices ({point.pruned} pruned)  "
+              f"{' '.join(checks)}  ({point.elapsed_s:.3f}s)")
+    _print_fit(result)
+    print(f"artifact:   {path}")
+    return 0 if result.all_ok else 1
+
+
 def cmd_shard_drive(args: argparse.Namespace) -> int:
     """Drive one experiment sharded across a fleet of serve processes.
 
@@ -568,7 +615,8 @@ def cmd_results(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {error}") from error
     if not artifacts:
         raise SystemExit(f"error: no experiment artifacts found under {args.dir!r} "
-                         f"(looked for sweep_*.json, lb_*.json, radius_*.json)")
+                         f"(looked for sweep_*.json, lb_*.json, radius_*.json, "
+                         f"kernel_*.json)")
 
     labels = [result.spec.label for _, result in artifacts]
     for label in sorted({l for l in labels if labels.count(l) > 1}):
@@ -668,10 +716,12 @@ def main(argv: Optional[list] = None) -> int:
     )
     certify.add_argument(
         "--engine",
-        choices=("compiled", "legacy"),
+        choices=VALID_ENGINES,
         default="compiled",
-        help="verification engine: compile-once topology (default) or the "
-        "per-assignment reference simulator",
+        help="verification engine: per-assignment reference simulator "
+        "(legacy), compile-once topology (compiled, default), incremental "
+        "single-vertex deltas (delta), or bit-parallel assignment blocks "
+        "(vector)",
     )
     certify.add_argument("--verbose", action="store_true", help="print the raw certificates")
     certify.add_argument(
@@ -695,7 +745,7 @@ def main(argv: Optional[list] = None) -> int:
     sweep.add_argument("--sizes", required=True, help="comma-separated size grid, e.g. 8,32,128")
     sweep.add_argument("--trials", type=int, default=20, help="adversarial trials per no-instance")
     sweep.add_argument("--seed", type=int, default=0, help="sweep seed (per-point seeds derive from it)")
-    sweep.add_argument("--engine", choices=("compiled", "legacy"), default="compiled")
+    sweep.add_argument("--engine", choices=VALID_ENGINES, default="compiled")
     sweep.add_argument("--processes", type=int, default=1, help="worker processes for the fan-out")
     sweep.add_argument("--output", default=None, help="artifact path (default sweep_<label>.json)")
     sweep.add_argument("--name", default=None, help="label stored in the artifact")
@@ -759,11 +809,12 @@ def main(argv: Optional[list] = None) -> int:
     )
     lower_bound.add_argument(
         "--engine",
-        choices=("compiled", "delta"),
+        choices=("compiled", "delta", "vector"),
         default="compiled",
         help="how the simulation probes sweep assignments: reload each full "
-        "assignment (compiled) or stream Gray-coded single-vertex deltas "
-        "through a persistent session (delta)",
+        "assignment (compiled), stream Gray-coded single-vertex deltas "
+        "through a persistent session (delta), or sweep bit-parallel "
+        "lane blocks per prover message (vector)",
     )
     lower_bound.add_argument("--output", default=None, help="artifact path (default lb_<label>.json)")
     lower_bound.add_argument("--name", default=None, help="label stored in the artifact")
@@ -776,6 +827,40 @@ def main(argv: Optional[list] = None) -> int:
     lower_bound.add_argument(
         "--canonical", action="store_true", help="as for sweep"
     )
+
+    kernel = subparsers.add_parser(
+        "kernel",
+        help="run a declarative Section-6 kernel-size series, write a JSON artifact",
+    )
+    kernel.add_argument(
+        "--family",
+        required=True,
+        help=f"one of: {', '.join(sorted(GRAPH_FAMILIES))}",
+    )
+    kernel.add_argument("--sizes", required=True, help="comma-separated size grid")
+    kernel.add_argument(
+        "--k", type=int, default=3, help="pruning parameter (keep at most k children per type)"
+    )
+    kernel.add_argument(
+        "--model",
+        choices=("coherent", "star"),
+        default="coherent",
+        help="elimination-tree model: generic coherent pipeline, or the "
+        "closed-form star model (star family only)",
+    )
+    kernel.add_argument(
+        "--check-ef",
+        type=int,
+        default=0,
+        metavar="RANK",
+        help="verify G ≃ kernel by the rank-RANK EF game on small instances "
+        "(0 = skip; exponential, only runs on instances of ≤ 11 vertices)",
+    )
+    kernel.add_argument("--seed", type=int, default=0, help="series seed (per-point seeds derive from it)")
+    kernel.add_argument("--output", default=None, help="artifact path (default kernel_<label>.json)")
+    kernel.add_argument("--name", default=None, help="label stored in the artifact")
+    kernel.add_argument("--shard", default=None, metavar="I/K", help="as for sweep")
+    kernel.add_argument("--canonical", action="store_true", help="as for sweep")
 
     serve = subparsers.add_parser(
         "serve",
@@ -932,6 +1017,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_sweep(args)
     if args.command == "lower-bound":
         return cmd_lower_bound(args)
+    if args.command == "kernel":
+        return cmd_kernel(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "shard-drive":

@@ -14,24 +14,31 @@ The harness functions at the bottom of the module check completeness and
 measure real certificate sizes; they are what the tests and the benchmark
 suite call.
 
-All harness functions run on the compile-once engine of
-:mod:`repro.network.compiled` by default; ``engine="legacy"`` re-runs the
-original per-assignment view-building path (no topology reuse, no caches) —
-the benchmark baseline and the reference semantics for equivalence tests.
-The enumeration-shaped checks (:func:`exhaustive_soundness_holds`,
-:func:`soundness_under_corruption`) additionally take ``engine="delta"``:
-they stream single-vertex changes through a persistent
-:class:`~repro.network.compiled.DeltaSession`, re-verifying only each
-changed vertex's closed neighbourhood instead of the whole graph —
-bit-identical verdicts, asymptotically less work per assignment.
+Every harness function accepts the full engine vocabulary of
+:data:`repro.engines.VALID_ENGINES` and returns bit-identical verdicts on
+all of them:
+
+* ``"legacy"``   — the original per-assignment view-building path (no
+  topology reuse, no caches): the benchmark baseline and the reference
+  semantics for equivalence tests;
+* ``"compiled"`` — the compile-once engine of :mod:`repro.network.compiled`
+  (the default): certificate bytes swapped into reusable views, early exit
+  within and across assignments;
+* ``"delta"``    — a persistent :class:`~repro.network.compiled.DeltaSession`
+  re-verifying only each changed vertex's closed neighbourhood per
+  single-vertex delta;
+* ``"vector"``   — :class:`~repro.network.vector.VectorNetwork` evaluating a
+  whole block of assignments per pass, one bit-parallel lane each.
+
 Adversarial trials derive an independent seed per trial index
 (:func:`derive_trial_seed`), so any sub-range of a sweep can be reproduced
-or resumed without replaying the preceding trials, and both engines see
+or resumed without replaying the preceding trials, and all engines see
 byte-identical adversarial assignments.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -54,9 +61,11 @@ from repro.network.adversary import (
     initial_exhaustive_assignment,
     random_assignment,
 )
+from repro.engines import VALID_ENGINES, validate_engine
 from repro.network.compiled import CompiledNetwork
 from repro.network.ids import IdentifierAssignment, assign_identifiers
 from repro.network.simulator import NetworkSimulator
+from repro.network.vector import VectorNetwork
 from repro.network.views import LocalView
 
 Vertex = Hashable
@@ -215,14 +224,19 @@ def evaluate_scheme(
     certificate assignments and report whether all were rejected (a necessary
     condition for soundness).  ``trial_schedule`` optionally fixes the
     certificate byte-length of each trial explicitly, and ``trial_offset``
-    resumes a sweep at a later trial index; both engines replay identical
+    resumes a sweep at a later trial index; all engines replay identical
     assignments for identical parameters.  ``id_exponent`` overrides the
     identifier range ``[1, n^exponent]`` (default 3, the paper's choice) —
     the knob of the identifier-range ablation.
+
+    ``engine`` selects how assignments are verified (see the module
+    docstring): adversarial trials stream through a persistent
+    :class:`~repro.network.compiled.DeltaSession` as per-vertex diffs on
+    ``"delta"``, and are packed one-lane-per-trial into bit-parallel blocks
+    on ``"vector"``.
     """
-    if engine not in ("compiled", "legacy"):
-        raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'legacy'")
-    use_compiled = engine == "compiled"
+    validate_engine(engine, context="evaluate_scheme")
+    use_compiled = engine != "legacy"
 
     # Identifier derivation is unchanged from the original harness (the
     # certificate sizes the paper measures depend on the drawn identifiers),
@@ -253,6 +267,8 @@ def evaluate_scheme(
         )
         holds = scheme.holds(graph)
 
+    # A yes-instance needs exactly one honest run, so the enumeration-shaped
+    # engines (delta, vector) share the compiled single-assignment path.
     run = network.run if use_compiled else network.run_legacy
 
     if holds:
@@ -280,7 +296,7 @@ def evaluate_scheme(
     )
     all_rejected = True
     max_bits = 0
-    if use_compiled:
+    if engine == "compiled":
         # Early exit twice over: the first accepted assignment settles the
         # sweep, and within each assignment the first rejecting vertex
         # discards it.  Every vertex of a scheduled assignment carries
@@ -292,6 +308,51 @@ def evaluate_scheme(
             if network.accepts(scheme.verify, assignment):
                 all_rejected = False
                 break
+    elif engine == "delta":
+        # One persistent session across the whole sweep: each trial applies
+        # only the per-vertex differences from the previous trial's
+        # assignment, so acceptance is an O(1) counter read after
+        # neighbourhood-local updates (PR 5's carryover: random-trial
+        # sweeps now ride the delta engine too).
+        session = None
+        current: Dict[Vertex, bytes] = {}
+        for (_, size), assignment in zip(
+            schedule, _adversarial_assignments(vertices, schedule)
+        ):
+            max_bits = max(max_bits, size * 8)
+            if session is None:
+                session = network.delta_session(scheme.verify, assignment)
+                current = dict(assignment)
+            else:
+                for vertex in vertices:
+                    certificate = assignment[vertex]
+                    if current[vertex] != certificate:
+                        session.apply(vertex, certificate)
+                        current[vertex] = certificate
+            if session.accepted:
+                all_rejected = False
+                break
+    elif engine == "vector":
+        # Pack the trials one-lane-per-assignment and settle each block in
+        # one bit-parallel pass; the first accepted lane ends the sweep with
+        # exactly the compiled engine's size accounting (sizes up to and
+        # including the accepted trial).
+        vector = VectorNetwork(network)
+        trial_assignments = _adversarial_assignments(vertices, schedule)
+        position = 0
+        while position < len(schedule):
+            chunk = schedule[position : position + vector.block_lanes]
+            block = vector.run_block(
+                scheme.verify, [next(trial_assignments) for _ in chunk]
+            )
+            lane = block.first_accepted_lane()
+            counted = chunk if lane is None else chunk[: lane + 1]
+            for _, size in counted:
+                max_bits = max(max_bits, size * 8)
+            if lane is not None:
+                all_rejected = False
+                break
+            position += len(chunk)
     else:
         for assignment in _adversarial_assignments(vertices, schedule):
             outcome = run(scheme.verify, assignment)
@@ -329,16 +390,15 @@ def soundness_under_corruption(
     :class:`~repro.network.compiled.DeltaSession` over the honest baseline:
     each trial applies only its :func:`corruption_deltas` (one or two
     vertices), reads the O(1) acceptance counter and reverts — re-verifying
-    the corrupted vertices' neighbourhoods instead of the whole graph.  All
-    three engines replay byte-identical trials for identical seeds.
+    the corrupted vertices' neighbourhoods instead of the whole graph.
+    ``engine="vector"`` packs the corrupted assignments one lane each and
+    settles the whole sweep in block passes.  All engines replay
+    byte-identical trials for identical seeds.
     """
-    if engine not in ("compiled", "legacy", "delta"):
-        raise ValueError(
-            f"unknown engine {engine!r}; use 'compiled', 'legacy' or 'delta'"
-        )
+    validate_engine(engine, context="soundness_under_corruption")
     rng = random.Random(seed)
     ids = assign_identifiers(graph, seed=rng)
-    if engine in ("compiled", "delta"):
+    if engine != "legacy":
         # Only deterministic seeds produce reusable identifier maps; caching
         # a seed=None topology would just evict useful entries.
         network = (
@@ -387,6 +447,20 @@ def soundness_under_corruption(
             if not outcome.accepted:
                 return True
         return False
+    if engine == "vector":
+        # One lane per corrupted assignment; a block answers "was any lane
+        # rejected" in a single columnwise pass over the graph.
+        vector = VectorNetwork(network)
+        trial_stream = corrupted_assignments()
+        while True:
+            block_assignments = list(
+                itertools.islice(trial_stream, vector.block_lanes)
+            )
+            if not block_assignments:
+                return False
+            block = vector.run_block(scheme.verify, block_assignments)
+            if block.accepted_lanes_word != (1 << block.lanes) - 1:
+                return True
     for corrupted in corrupted_assignments():
         if not network.run_legacy(scheme.verify, corrupted).accepted:
             return True
@@ -412,13 +486,13 @@ def exhaustive_soundness_holds(
     stream of single-vertex deltas (:func:`~repro.network.adversary.
     exhaustive_deltas`) on a persistent session: each assignment costs one
     closed-neighbourhood re-verification and an O(1) acceptance read instead
-    of an O(n) reload-and-rescan — the engine that moves the practical
-    (n, max_bits) frontier.
+    of an O(n) reload-and-rescan.  ``engine="vector"`` goes one step
+    further: the sweep becomes a binary counter over bit-parallel lanes
+    (:meth:`~repro.network.vector.VectorNetwork.any_accepted_exhaustive`),
+    so every pass over the graph settles a whole block of assignments — the
+    engine that moves the practical (n, max_bits) frontier.
     """
-    if engine not in ("compiled", "legacy", "delta"):
-        raise ValueError(
-            f"unknown engine {engine!r}; use 'compiled', 'legacy' or 'delta'"
-        )
+    validate_engine(engine, context="exhaustive_soundness_holds")
     if scheme.holds(graph):
         raise ValueError("exhaustive_soundness_holds expects a no-instance")
     ids = (
@@ -427,6 +501,12 @@ def exhaustive_soundness_holds(
         else assign_identifiers(graph, seed=seed, sequential=True)
     )
     vertices = sorted(graph.nodes(), key=repr)
+    if engine == "vector":
+        network = cached_compiled_network(graph, ids)
+        vector = VectorNetwork(network)
+        return not vector.any_accepted_exhaustive(
+            scheme.verify, max_bits, vertices=vertices
+        )
     if engine == "delta":
         network = cached_compiled_network(graph, ids)
         session = network.delta_session(

@@ -1,0 +1,53 @@
+"""The shared engine vocabulary of the verification stack.
+
+Every layer that lets a caller pick a verification engine — the harness
+functions in :mod:`repro.core.scheme`, the experiment specs, the service's
+wire messages and the CLI ``--engine`` flags — validates against the single
+tuple defined here, so adding an engine (or reading an error message) never
+requires hunting down per-module copies of the list.
+
+The four engines, in the order they were built:
+
+* ``"legacy"``   — the reference :class:`~repro.network.simulator.NetworkSimulator`
+  path: rebuild every view per assignment.  Slow, obviously correct; the
+  semantics the other engines are pinned to.
+* ``"compiled"`` — :class:`~repro.network.compiled.CompiledNetwork`: CSR
+  topology compiled once, certificate bytes swapped per assignment, early
+  exit within and across assignments.
+* ``"delta"``    — :class:`~repro.network.compiled.DeltaSession`: persistent
+  verdicts, one closed-neighbourhood re-verification per single-vertex
+  change, for enumeration-shaped sweeps.
+* ``"vector"``   — :class:`~repro.network.vector.VectorNetwork`: bit-parallel
+  blocks, one lane per candidate assignment packed into machine words, whole
+  blocks accepted/rejected columnwise per pass.
+
+This module is intentionally dependency-free (stdlib only) so the service's
+message layer can import it without pulling in the engines themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Every engine understood by the stack, in build order.
+VALID_ENGINES = ("legacy", "compiled", "delta", "vector")
+
+
+def validate_engine(
+    engine: str,
+    allowed: Sequence[str] = VALID_ENGINES,
+    context: str = "",
+) -> str:
+    """Validate an engine name against an allowed subset.
+
+    Returns ``engine`` unchanged when it is allowed; raises ``ValueError``
+    with a message enumerating the valid choices otherwise.  ``allowed``
+    restricts entry points that only implement a subset (it must itself be a
+    subset of :data:`VALID_ENGINES`), and ``context`` names the entry point
+    in the error message.
+    """
+    if engine in allowed:
+        return engine
+    where = f" for {context}" if context else ""
+    choices = ", ".join(repr(name) for name in VALID_ENGINES if name in allowed)
+    raise ValueError(f"unknown engine {engine!r}{where}; use one of: {choices}")

@@ -18,6 +18,9 @@ declarative *spec* and lands in the same JSON artifact shape:
 * :class:`~repro.experiments.radius.RadiusSpec` +
   :func:`~repro.experiments.radius.run_radius` run the Appendix A.1
   radius-r verification series;
+* :class:`~repro.experiments.kernel.KernelSpec` +
+  :func:`~repro.experiments.kernel.run_kernel` run a Section 6 kernel-size
+  series (Proposition 6.2 saturation, optional EF-game equivalence);
 * :mod:`~repro.experiments.artifacts` serialises results (with both the
   closed-form :class:`BoundCheck` verdict and the fitted regression
   exponent of :mod:`~repro.experiments.bounds`) and merges sharded partial
@@ -55,6 +58,13 @@ from repro.experiments.artifacts import (
     write_artifact,
 )
 from repro.experiments.bounds import FittedBound, fit_series
+from repro.experiments.kernel import (
+    KernelPoint,
+    KernelResult,
+    KernelSpec,
+    run_kernel,
+    run_kernel_point,
+)
 from repro.experiments.lower_bound import (
     LowerBoundPoint,
     LowerBoundResult,
@@ -86,6 +96,9 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "FittedBound",
+    "KernelPoint",
+    "KernelResult",
+    "KernelSpec",
     "LowerBoundPoint",
     "LowerBoundResult",
     "LowerBoundSpec",
@@ -106,6 +119,8 @@ __all__ = [
     "raise_if_stopped",
     "render_experiments_md",
     "result_from_payload",
+    "run_kernel",
+    "run_kernel_point",
     "run_lower_bound",
     "run_lower_bound_point",
     "run_point",

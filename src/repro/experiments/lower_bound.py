@@ -36,6 +36,7 @@ from repro.experiments.artifacts import (
     BoundCheck,
     ExperimentResult,
 )
+from repro.engines import validate_engine
 from repro.experiments.bounds import FittedBound, fit_series
 from repro.experiments.spec import ExperimentSpec, raise_if_stopped
 from repro.lower_bounds.catalog import (
@@ -91,10 +92,14 @@ class LowerBoundSpec(ExperimentSpec):
             raise RegistryError("simulate_bits must be at least 1")
         if self.max_side_bits < 1:
             raise RegistryError("max_side_bits must be at least 1")
-        if self.engine not in ("compiled", "delta"):
-            raise RegistryError(
-                f"unknown engine {self.engine!r}; use 'compiled' or 'delta'"
+        try:
+            validate_engine(
+                self.engine,
+                allowed=("compiled", "delta", "vector"),
+                context="lower-bound specs",
             )
+        except ValueError as exc:
+            raise RegistryError(str(exc)) from None
         needs_instances = self.check_dichotomy or self.simulate
         if needs_instances and not info.checkable:
             raise RegistryError(

@@ -30,10 +30,10 @@ from dataclasses import dataclass, field, replace
 from typing import Any, ClassVar, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.scheme import derive_trial_seed
+from repro.engines import validate_engine
 from repro.graphs.generators import GRAPH_FAMILIES
 from repro.registry import REGISTRY, RegistryError, SchemeInfo
 
-_ENGINES = ("compiled", "legacy")
 _MEASURES = ("full", "size")
 
 #: Parameter values of this form are substituted per grid point: ``"$n"``
@@ -256,8 +256,10 @@ class SweepSpec(ExperimentSpec):
         self._validate_grid()
         if self.trials < 0:
             raise RegistryError("trials must be non-negative")
-        if self.engine not in _ENGINES:
-            raise RegistryError(f"unknown engine {self.engine!r}; use one of {_ENGINES}")
+        try:
+            validate_engine(self.engine, context="sweep specs")
+        except ValueError as exc:
+            raise RegistryError(str(exc)) from None
         if self.measure not in _MEASURES:
             raise RegistryError(f"unknown measure {self.measure!r}; use one of {_MEASURES}")
         if self.processes < 1:

@@ -26,9 +26,11 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence
 import networkx as nx
 
 from repro.core.scheme import CertificationScheme
+from repro.engines import validate_engine
 from repro.network.adversary import exhaustive_deltas, initial_exhaustive_assignment
 from repro.network.compiled import CompiledNetwork
 from repro.network.ids import IdentifierAssignment
+from repro.network.vector import VectorNetwork
 from repro.network.views import LocalView
 
 Vertex = Hashable
@@ -150,11 +152,16 @@ class ReductionFramework:
         :class:`~repro.network.compiled.DeltaSession` per player and walks
         prover messages and side assignments as Gray-coded single-vertex
         deltas, so each enumerated assignment re-verifies one closed
-        neighbourhood instead of every simulated vertex.  Both quantify over
-        the same sets and return the same boolean.
+        neighbourhood instead of every simulated vertex; ``"vector"`` sweeps
+        each player's side as bit-parallel lanes
+        (:meth:`~repro.network.vector.VectorNetwork.any_accepted_exhaustive`)
+        with the prover message pinned, so a whole block of side assignments
+        settles per pass.  All quantify over the same sets and return the
+        same boolean.
         """
-        if engine not in ("compiled", "delta"):
-            raise ValueError(f"unknown engine {engine!r}; use 'compiled' or 'delta'")
+        validate_engine(
+            engine, allowed=("compiled", "delta", "vector"), context="simulate_protocol"
+        )
         graph = self.build_graph(s_a, s_b)
         # Fixed-size private parts may leave padding vertices isolated
         # (shorter strings use fewer encoding vertices); drop them exactly as
@@ -198,6 +205,31 @@ class ReductionFramework:
                     yield from recurse(index + 1, current)
                 current.pop(vertices[index], None)
             yield from recurse(0, {})
+
+        if engine == "vector":
+            # Per prover message, each player's side sweep is one exhaustive
+            # lane sweep: vertices outside the player's knowledge (the other
+            # side) default to b"" exactly as on the compiled path.
+            vector = VectorNetwork(network)
+            watched_a = list(side_a) + list(middle)
+            watched_b = list(side_b) + list(middle)
+            for middle_assignment in assignments(middle):
+                alice_ok = vector.any_accepted_exhaustive(
+                    scheme.verify,
+                    certificate_bits_per_vertex,
+                    vertices=side_a,
+                    fixed=middle_assignment,
+                    watched=watched_a,
+                )
+                if alice_ok and vector.any_accepted_exhaustive(
+                    scheme.verify,
+                    certificate_bits_per_vertex,
+                    vertices=side_b,
+                    fixed=middle_assignment,
+                    watched=watched_b,
+                ):
+                    return True
+            return False
 
         def side_accepts(side: Sequence[Vertex], middle_assignment: Dict[Vertex, bytes]) -> bool:
             checked_vertices = list(side) + list(middle)

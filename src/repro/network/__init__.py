@@ -13,7 +13,9 @@ The package also contains the adversarial machinery used by the soundness
 experiments: certificate corruption, random assignments, and exhaustive
 search over all bounded-size assignments on tiny instances — each available
 both in full-assignment form and as single-vertex delta streams for the
-incremental engine (:class:`~repro.network.compiled.DeltaSession`).
+incremental engine (:class:`~repro.network.compiled.DeltaSession`).  The
+bit-parallel engine (:class:`~repro.network.vector.VectorNetwork`) consumes
+the same adversaries as lane-packed blocks, many assignments per pass.
 """
 
 from repro.network.ids import IdentifierAssignment, assign_identifiers
@@ -37,6 +39,12 @@ from repro.network.radius import (
     RadiusSimulator,
     RadiusView,
     diameter_at_most_verifier,
+)
+from repro.network.vector import (
+    BlockResult,
+    VectorNetwork,
+    resolve_backend,
+    vectorize_network,
 )
 
 # The self-stabilisation harness wraps CertificationScheme, which itself uses
@@ -65,4 +73,8 @@ __all__ = [
     "RadiusSimulator",
     "RadiusView",
     "diameter_at_most_verifier",
+    "BlockResult",
+    "VectorNetwork",
+    "resolve_backend",
+    "vectorize_network",
 ]

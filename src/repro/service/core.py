@@ -76,8 +76,7 @@ from repro.service.messages import (
     SweepRequest,
     SweepResponse,
 )
-
-_ENGINES = ("compiled", "legacy")
+from repro.engines import validate_engine
 
 #: Default worker-pool width; deliberately small — the workload is CPU-bound.
 DEFAULT_WORKERS = 4
@@ -519,11 +518,10 @@ class CertificationService:
             return fail("invalid-param", str(error))
         except TypeError:
             return fail("invalid-request", f"params must be a mapping, got {request.params!r}")
-        if request.engine not in _ENGINES:
-            return fail(
-                "invalid-param",
-                f"unknown engine {request.engine!r}; use one of {_ENGINES}",
-            )
+        try:
+            validate_engine(request.engine, context="certify requests")
+        except ValueError as error:
+            return fail("invalid-param", str(error))
         # Integer seeds are part of the contract: they are what makes the
         # request deterministic and its caches reusable across callers.
         for name, value in (("seed", request.seed), ("trials", request.trials)):

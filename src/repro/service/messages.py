@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.engines import VALID_ENGINES, validate_engine
 
 #: Machine-readable error codes an :class:`ErrorResponse` may carry.
 ERROR_CODES: Tuple[str, ...] = (
@@ -67,6 +69,21 @@ def _validate_fault_tolerance_fields(message: Any) -> None:
     request_id = getattr(message, "request_id", None)
     if request_id is not None and not isinstance(request_id, str):
         raise ValueError(f"request_id must be a string, got {request_id!r}")
+
+
+def _validate_engine_field(
+    message: Any, allowed: Sequence[str] = VALID_ENGINES
+) -> None:
+    """Validate the ``engine`` field at the message boundary.
+
+    Raises ValueError (→ ``ProtocolError`` on the wire path) listing the
+    valid engines from the one shared place, so a bad engine never travels
+    further than decoding.
+    """
+    engine = getattr(message, "engine", None)
+    if not isinstance(engine, str):
+        raise ValueError(f"engine must be a string, got {engine!r}")
+    validate_engine(engine, allowed=allowed, context=f"{message.op!r} requests")
 
 
 def _normalize_shard(shard: Any) -> Optional[Tuple[int, int]]:
@@ -136,6 +153,7 @@ class CertifyRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
+        _validate_engine_field(self)
         _validate_fault_tolerance_fields(self)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -181,6 +199,7 @@ class SweepRequest:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "shard", _normalize_shard(self.shard))
+        _validate_engine_field(self)
         _validate_fault_tolerance_fields(self)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -234,6 +253,7 @@ class LowerBoundRequest:
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
         object.__setattr__(self, "shard", _normalize_shard(self.shard))
+        _validate_engine_field(self, allowed=("compiled", "delta", "vector"))
         _validate_fault_tolerance_fields(self)
 
     def to_dict(self) -> Dict[str, Any]:

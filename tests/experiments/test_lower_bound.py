@@ -44,10 +44,22 @@ class TestLowerBoundSpec:
             LowerBoundSpec(construction="treedepth", sizes=(1,)).validate()
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(RegistryError, match="engine"):
+        with pytest.raises(RegistryError, match="engine") as excinfo:
             LowerBoundSpec(
                 construction="automorphism", sizes=(3,), engine="quantum"
             ).validate()
+        # The error enumerates exactly the engines lower-bound specs accept
+        # (no legacy path here — the simulation always compiles).
+        message = str(excinfo.value)
+        for engine in ("compiled", "delta", "vector"):
+            assert repr(engine) in message
+        assert repr("legacy") not in message
+
+    def test_vector_engine_accepted(self):
+        spec = LowerBoundSpec(
+            construction="automorphism", sizes=(3,), engine="vector"
+        ).validate()
+        assert LowerBoundSpec.from_dict(spec.to_dict()) == spec
 
     def test_engine_field_roundtrips_and_defaults(self):
         spec = LowerBoundSpec(construction="automorphism", sizes=(3,), engine="delta")
@@ -97,15 +109,15 @@ class TestRunLowerBound:
                     engine=engine, seed=2,
                 )
             )
-            for engine in ("compiled", "delta")
+            for engine in ("compiled", "delta", "vector")
         }
-        compiled_points = [
-            {**p.to_dict(), "elapsed_s": None} for p in results["compiled"].points
-        ]
-        delta_points = [
-            {**p.to_dict(), "elapsed_s": None} for p in results["delta"].points
-        ]
-        assert compiled_points == delta_points
+        normalized = {
+            engine: [
+                {**p.to_dict(), "elapsed_s": None} for p in result.points
+            ]
+            for engine, result in results.items()
+        }
+        assert normalized["compiled"] == normalized["delta"] == normalized["vector"]
         assert results["delta"].all_ok
         assert results["delta"].points[0].protocol_ok is True
 

@@ -58,6 +58,18 @@ class TestSweepSpec:
         with pytest.raises(RegistryError, match="unknown SweepSpec field"):
             SweepSpec.from_dict({"scheme": "tree", "family": "path", "sizes": [4], "x": 1})
 
+    def test_every_engine_is_a_valid_spec_engine(self):
+        for engine in ("legacy", "compiled", "delta", "vector"):
+            spec = SweepSpec(scheme="tree", family="path", sizes=(4,), engine=engine)
+            assert spec.validate().engine == engine
+
+    def test_unknown_engine_error_enumerates_the_engines(self):
+        with pytest.raises(RegistryError, match="engine") as excinfo:
+            SweepSpec(scheme="tree", family="path", sizes=(4,), engine="quantum").validate()
+        message = str(excinfo.value)
+        for engine in ("legacy", "compiled", "delta", "vector"):
+            assert repr(engine) in message
+
     def test_size_template_substitution(self):
         spec = SweepSpec(
             scheme="spanning-tree-count",
@@ -127,6 +139,29 @@ class TestRunner:
         serial = run_sweep(spec)
         fanned = run_sweep(spec, processes=2)
         assert [_point_key(p) for p in serial.points] == [_point_key(p) for p in fanned.points]
+
+    def test_engines_produce_identical_points(self):
+        # Mixed yes- and no-instances (odd cycles are not bipartite): every
+        # engine must report identical verdicts and certificate sizes.
+        import dataclasses
+
+        results = {
+            engine: run_sweep(
+                dataclasses.replace(
+                    SweepSpec(
+                        scheme="bipartite", family="cycle", sizes=(4, 5, 6), trials=6
+                    ),
+                    engine=engine,
+                )
+            )
+            for engine in ("legacy", "compiled", "delta", "vector")
+        }
+        keyed = {
+            engine: [_point_key(p) for p in result.points]
+            for engine, result in results.items()
+        }
+        baseline = keyed["legacy"]
+        assert all(points == baseline for points in keyed.values())
 
     def test_size_measure_skips_verification(self):
         spec = SweepSpec(

@@ -1,0 +1,330 @@
+"""Vector-engine tests: lane packing, backend parity and the 4-engine grid.
+
+The contract under test is bit-for-bit equivalence with the executable
+specification: every lane of a :class:`BlockResult` must reproduce exactly
+what :meth:`NetworkSimulator.run_legacy` says about that lane's assignment,
+and the four engines (legacy, compiled, delta, vector) must agree on every
+harness entry point.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.caching import clear_caches
+from repro.core.scheme import (
+    evaluate_scheme,
+    exhaustive_soundness_holds,
+    soundness_under_corruption,
+)
+from repro.core.simple_schemes import BipartitenessScheme
+from repro.core.spanning_tree import TreeScheme
+from repro.graphs.generators import random_connected_graph, random_tree
+from repro.network.adversary import exhaustive_assignments
+from repro.network.compiled import CompiledNetwork
+from repro.network.simulator import NetworkSimulator
+from repro.network.vector import (
+    VECTOR_BACKENDS,
+    VectorNetwork,
+    resolve_backend,
+    vectorize_network,
+)
+
+ENGINES = ("legacy", "compiled", "delta", "vector")
+
+
+def _numpy_available() -> bool:
+    try:
+        resolve_backend("numpy")
+    except RuntimeError:
+        return False
+    return True
+
+
+BACKENDS = ("python", "numpy") if _numpy_available() else ("python",)
+
+
+def _threshold_verifier(view) -> bool:
+    """A certificate-sensitive pure verifier usable on any graph."""
+    own = view.certificate[:1] or b"\x00"
+    return own < b"\x60" and all(
+        (cert[:1] or b"\x00") < b"\xd0" for cert in view.neighbor_certificates()
+    )
+
+
+def _random_graphs():
+    graphs = [
+        nx.path_graph(1),
+        nx.path_graph(6),
+        nx.cycle_graph(5),
+        nx.star_graph(5),
+        nx.complete_graph(4),
+        random_tree(12, seed=2),
+    ]
+    graphs += [random_connected_graph(9, seed=s) for s in range(3)]
+    return graphs
+
+
+def _random_assignments(graph, rng, count, max_len=2):
+    assignments = []
+    for _ in range(count):
+        assignments.append(
+            {
+                v: bytes(rng.randrange(256) for _ in range(rng.randrange(max_len + 1)))
+                for v in graph.nodes()
+            }
+        )
+    return assignments
+
+
+class TestBlockEvaluation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    # Deliberately not multiples of the 64-bit word: partial top words must
+    # behave exactly like full ones.
+    @pytest.mark.parametrize("count", [0, 1, 3, 5, 67])
+    def test_run_block_matches_run_legacy_lane_by_lane(self, backend, count):
+        rng = random.Random(count)
+        for graph in _random_graphs():
+            simulator = NetworkSimulator(graph, seed=0)
+            vector = VectorNetwork(simulator.compiled(), backend=backend)
+            assignments = _random_assignments(graph, rng, count)
+            block = vector.run_block(_threshold_verifier, assignments)
+            assert block.lanes == count
+            for lane, certificates in enumerate(assignments):
+                expected = simulator.run_legacy(_threshold_verifier, certificates)
+                assert block.accepted(lane) == expected.accepted
+                result = block.result(lane)
+                assert result.accepted == expected.accepted
+                assert result.rejecting_vertices == expected.rejecting_vertices
+                assert result.max_certificate_bits == expected.max_certificate_bits
+
+    @pytest.mark.parametrize("block_lanes", [1, 4, 2048])
+    def test_any_accepted_block_is_block_size_independent(self, block_lanes):
+        rng = random.Random(7)
+        graph = nx.cycle_graph(5)
+        network = CompiledNetwork(graph, seed=0)
+        vector = VectorNetwork(network, block_lanes=block_lanes)
+        assignments = _random_assignments(graph, rng, 13)
+        expected = any(
+            network.accepts(_threshold_verifier, certificates)
+            for certificates in assignments
+        )
+        assert vector.any_accepted_block(_threshold_verifier, assignments) == expected
+
+    def test_zero_lane_block(self):
+        vector = vectorize_network(nx.path_graph(3))
+        block = vector.run_block(_threshold_verifier, [])
+        assert block.lanes == 0
+        assert not block.any_accepted()
+        assert block.first_accepted_lane() is None
+        assert block.accepted_lanes() == ()
+        assert vector.any_accepted_block(_threshold_verifier, iter(())) is False
+
+    def test_single_vertex_graph(self):
+        vector = vectorize_network(nx.path_graph(1))
+        block = vector.run_block(
+            _threshold_verifier, [{0: b"\x00"}, {0: b"\x7f"}, {0: b""}]
+        )
+        assert block.accepted_lanes() == (0, 2)
+        assert block.rejecting_vertices(1) == (0,)
+
+    def test_empty_graph_rejected(self):
+        # The paper only considers non-empty graphs; the topology layer
+        # rejects the empty graph before the vector engine ever sees it.
+        with pytest.raises(ValueError):
+            vectorize_network(nx.Graph())
+
+    def test_lane_bounds_checked(self):
+        vector = vectorize_network(nx.path_graph(2))
+        block = vector.run_block(_threshold_verifier, [{0: b"", 1: b""}])
+        with pytest.raises(IndexError):
+            block.accepted(1)
+        with pytest.raises(IndexError):
+            block.accepted(-1)
+
+    def test_block_lanes_must_be_a_positive_power_of_two(self):
+        network = CompiledNetwork(nx.path_graph(2), seed=0)
+        for bad in (0, -4, 3, 6):
+            with pytest.raises(ValueError):
+                VectorNetwork(network, block_lanes=bad)
+
+
+class TestBackends:
+    def test_backend_names(self):
+        assert VECTOR_BACKENDS == ("auto", "python", "numpy")
+        assert resolve_backend("python").name == "python"
+        assert resolve_backend("auto").name in ("python", "numpy")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            resolve_backend("bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            VectorNetwork(CompiledNetwork(nx.path_graph(2), seed=0), backend="bogus")
+
+    def test_numpy_backend_missing_raises_cleanly(self):
+        if _numpy_available():
+            pytest.skip("numpy is importable here; the miss path needs its absence")
+        with pytest.raises(RuntimeError, match="numpy"):
+            resolve_backend("numpy")
+
+    @pytest.mark.skipif(not _numpy_available(), reason="numpy not importable")
+    def test_python_and_numpy_words_are_identical(self):
+        rng = random.Random(11)
+        for graph in _random_graphs():
+            network = CompiledNetwork(graph, seed=0)
+            assignments = _random_assignments(graph, rng, 67)
+            blocks = {
+                backend: VectorNetwork(network, backend=backend).run_block(
+                    _threshold_verifier, assignments
+                )
+                for backend in ("python", "numpy")
+            }
+            python_block, numpy_block = blocks["python"], blocks["numpy"]
+            assert python_block.accepted_lanes_word == numpy_block.accepted_lanes_word
+            assert python_block.verdict_words == numpy_block.verdict_words
+
+    @pytest.mark.skipif(not _numpy_available(), reason="numpy not importable")
+    def test_python_and_numpy_exhaustive_verdicts_agree(self):
+        graph = nx.cycle_graph(5)
+        network = CompiledNetwork(graph, seed=0)
+        for max_bits in (0, 1, 2):
+            verdicts = {
+                backend: VectorNetwork(network, backend=backend).any_accepted_exhaustive(
+                    _threshold_verifier, max_bits
+                )
+                for backend in ("python", "numpy")
+            }
+            assert verdicts["python"] == verdicts["numpy"]
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("max_bits", [0, 1, 2])
+    def test_matches_brute_force_enumeration(self, backend, max_bits):
+        for graph in [nx.path_graph(2), nx.cycle_graph(4), nx.star_graph(3)]:
+            network = CompiledNetwork(graph, seed=0)
+            vector = VectorNetwork(network, backend=backend, block_lanes=4)
+            vertices = sorted(graph.nodes(), key=repr)
+            expected = network.any_accepted(
+                _threshold_verifier, exhaustive_assignments(vertices, max_bits)
+            )
+            assert (
+                vector.any_accepted_exhaustive(_threshold_verifier, max_bits) == expected
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_watched_and_fixed_subsets_match_accepts_at(self, backend):
+        graph = nx.cycle_graph(6)
+        network = CompiledNetwork(graph, seed=0)
+        vector = VectorNetwork(network, backend=backend, block_lanes=8)
+        enumerated = [0, 1, 2]
+        fixed = {3: b"\x70", 4: b"", 5: b"\xff"}
+        watched = [0, 1, 2, 3]
+
+        def brute_force() -> bool:
+            for assignment in exhaustive_assignments(enumerated, 1):
+                full = dict(assignment)
+                full.update(fixed)
+                if network.accepts_at(_threshold_verifier, full, watched):
+                    return True
+            return False
+
+        assert (
+            vector.any_accepted_exhaustive(
+                _threshold_verifier, 1, vertices=enumerated, fixed=fixed, watched=watched
+            )
+            == brute_force()
+        )
+
+    def test_scalar_fallback_matches_table_path(self):
+        graph = random_connected_graph(7, seed=5)
+        network = CompiledNetwork(graph, seed=0)
+        tabled = VectorNetwork(network, block_lanes=16)
+        scalar = VectorNetwork(network, block_lanes=16, max_table_bits=0)
+        for max_bits in (1, 2):
+            assert tabled.any_accepted_exhaustive(
+                _threshold_verifier, max_bits
+            ) == scalar.any_accepted_exhaustive(_threshold_verifier, max_bits)
+
+    def test_negative_bits_rejected(self):
+        vector = vectorize_network(nx.path_graph(2))
+        with pytest.raises(ValueError):
+            vector.any_accepted_exhaustive(_threshold_verifier, -1)
+
+
+class TestEngineGrid:
+    """The randomized 4-engine parity grid over the harness entry points."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_evaluate_scheme_engines_agree(self, seed):
+        for scheme in (BipartitenessScheme(), TreeScheme()):
+            for graph in _random_graphs():
+                reports = {}
+                for engine in ENGINES:
+                    clear_caches()
+                    reports[engine] = evaluate_scheme(
+                        scheme, graph, seed=seed, adversarial_trials=8, engine=engine
+                    )
+                baseline = reports["legacy"]
+                for engine, report in reports.items():
+                    assert report.holds == baseline.holds, (scheme.name, engine)
+                    assert report.completeness_ok == baseline.completeness_ok
+                    assert report.soundness_ok == baseline.soundness_ok
+                    assert (
+                        report.max_certificate_bits == baseline.max_certificate_bits
+                    ), (scheme.name, engine)
+
+    @pytest.mark.parametrize(
+        "scheme,graph,max_bits",
+        [
+            (BipartitenessScheme(), nx.complete_graph(3), 1),
+            (BipartitenessScheme(), nx.cycle_graph(5), 1),
+            (TreeScheme(), nx.cycle_graph(4), 2),
+        ],
+    )
+    def test_exhaustive_soundness_engines_agree(self, scheme, graph, max_bits):
+        clear_caches()
+        verdicts = {
+            engine: exhaustive_soundness_holds(
+                scheme, graph, max_bits=max_bits, engine=engine
+            )
+            for engine in ENGINES
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_soundness_under_corruption_engines_agree(self, seed):
+        graph = random_tree(12, seed=seed)
+        verdicts = {
+            engine: soundness_under_corruption(
+                TreeScheme(), graph, seed=seed, trials=10, engine=engine
+            )
+            for engine in ENGINES
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    def test_exhaustive_vector_finds_a_cheating_assignment(self):
+        clear_caches()
+
+        class GullibleScheme(TreeScheme):
+            name = "gullible"
+
+            def verify(self, view):
+                return view.certificate == b"\x01"
+
+        graph = nx.cycle_graph(4)  # a no-instance for tree-ness
+        assert (
+            exhaustive_soundness_holds(GullibleScheme(), graph, max_bits=1, engine="vector")
+            is False
+        )
+
+    def test_unknown_engine_errors_enumerate_all_engines(self):
+        graph = nx.cycle_graph(5)
+        with pytest.raises(ValueError) as excinfo:
+            evaluate_scheme(BipartitenessScheme(), graph, engine="bogus")
+        message = str(excinfo.value)
+        for engine in ENGINES:
+            assert repr(engine) in message

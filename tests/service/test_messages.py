@@ -139,6 +139,43 @@ class TestResponses:
         assert clean.clean and clean.series == {4: 16}
         assert not SweepResponse(result={"all_accepted": True, "all_sound": False}).clean
 
+class TestEngineField:
+    """The shared engine vocabulary on the wire surface."""
+
+    def test_every_engine_round_trips(self):
+        for engine in ("legacy", "compiled", "delta", "vector"):
+            certify = CertifyRequest(scheme="tree", graph="path:4", engine=engine)
+            assert request_from_dict(certify.to_dict()) == certify
+            sweep = SweepRequest(scheme="tree", family="path", sizes=(4,), engine=engine)
+            assert request_from_dict(sweep.to_dict()) == sweep
+
+    def test_unknown_engine_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="quantum") as excinfo:
+            CertifyRequest(scheme="tree", graph="path:4", engine="quantum")
+        message = str(excinfo.value)
+        for engine in ("legacy", "compiled", "delta", "vector"):
+            assert repr(engine) in message
+        with pytest.raises(ValueError, match="engine"):
+            SweepRequest(scheme="tree", family="path", sizes=(4,), engine=7)
+
+    def test_unknown_engine_on_the_wire_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="quantum"):
+            request_from_dict(
+                {"op": "certify", "scheme": "tree", "graph": "path:4",
+                 "engine": "quantum"}
+            )
+
+    def test_lower_bound_engine_subset(self):
+        # No legacy path in the protocol simulation: the request type only
+        # accepts the engines the simulation can actually run on.
+        request = LowerBoundRequest(
+            construction="automorphism", sizes=(3,), engine="vector"
+        )
+        assert request_from_dict(request.to_dict()) == request
+        with pytest.raises(ValueError, match="legacy"):
+            LowerBoundRequest(construction="automorphism", sizes=(3,), engine="legacy")
+
+
 class TestFaultToleranceMessages:
     """The deadline/cancel/health wire surface added with the shard driver."""
 

@@ -340,6 +340,39 @@ class TestShardMergeResultsCommands:
         with pytest.raises(SystemExit):
             main(["lower-bound", "--construction", "quantum", "--sizes", "3"])
 
+    def test_sweep_accepts_every_engine_choice(self, tmp_path):
+        for engine in ("legacy", "compiled", "delta", "vector"):
+            artifact = tmp_path / f"sweep_{engine}.json"
+            assert main(
+                ["sweep", "--scheme", "tree", "--family", "path", "--sizes", "4",
+                 "--trials", "3", "--engine", engine, "--output", str(artifact)]
+            ) == 0
+            assert json.loads(artifact.read_text())["spec"]["engine"] == engine
+
+    def test_unknown_engine_is_an_argparse_error(self, capsys):
+        # argparse rejects it before the spec layer, enumerating the choices.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scheme", "tree", "--family", "path", "--sizes", "4",
+                  "--engine", "quantum"])
+        assert "vector" in capsys.readouterr().err
+
+    def test_kernel_command_writes_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "kernel.json"
+        assert main(
+            ["kernel", "--family", "star", "--sizes", "8,32,128", "--k", "3",
+             "--check-ef", "2", "--output", str(artifact)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ef=True" in output
+        data = json.loads(artifact.read_text())
+        assert data["kind"] == "kernel"
+        assert data["all_ok"] is True
+        assert data["series"] == {"8": 4, "32": 4, "128": 4}
+
+    def test_kernel_star_model_on_wrong_family_rejected(self):
+        with pytest.raises(SystemExit, match="star model"):
+            main(["kernel", "--family", "path", "--sizes", "4", "--model", "star"])
+
     def test_results_gate_roundtrip_and_regression_exit_codes(self, tmp_path, capsys):
         self._run_shards(tmp_path)
         (tmp_path / "p0.json").unlink()  # partials are skipped anyway; tidy up
