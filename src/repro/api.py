@@ -118,7 +118,7 @@ def certify(
     params: Optional[Mapping[str, Any]] = None,
     seed: int = 0,
     trials: int = 20,
-    engine: str = "compiled",
+    engine: str = "auto",
     include_certificates: bool = False,
 ) -> CertifyResponse:
     """Run one certification: honest prover + radius-1 verification.

@@ -241,6 +241,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
     print(f"scheme:     {response.scheme}")
     print(f"graph:      {response.graph} ({response.vertices} vertices, "
           f"{response.edges} edges)")
+    if response.engine_resolved is not None and response.engine_resolved != response.engine:
+        print(f"engine:     {response.engine} (ran on {response.engine_resolved})")
     print(f"holds:      {response.holds}")
     if response.holds:
         print(f"accepted:   {response.accepted}")
@@ -467,6 +469,7 @@ def cmd_kernel(args: argparse.Namespace) -> int:
             model=args.model,
             check_ef=args.check_ef,
             seed=args.seed,
+            engine=args.engine,
             shard=parse_shard(args.shard),
             name=args.name,
         ).validate()
@@ -556,7 +559,9 @@ def cmd_shard_drive(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {error}") from error
 
     merged = report.result
-    prefix = "sweep" if spec.kind == "sweep" else "lb"
+    prefix = {"sweep": "sweep", "lower-bound": "lb", "radius": "radius"}.get(
+        spec.kind, spec.kind
+    )
     output = args.output or f"{prefix}_{spec.label}.json"
     path = write_artifact(merged, output, canonical=args.canonical)
 
@@ -623,7 +628,20 @@ def cmd_results(args: argparse.Namespace) -> int:
         print(f"warning: {labels.count(label)} artifacts share the label {label!r}; "
               "the baseline keeps only the last one — give runs distinct --name s")
 
-    table = render_experiments_md(artifacts)
+    # --check runs BEFORE --write-baseline: with both flags on the same path
+    # the gate must diff against the previous baseline, not the file that is
+    # about to be (re)written from this very run.  It is also computed before
+    # rendering so routing drift lands in the EXPERIMENTS.md output.
+    report = None
+    if args.check:
+        try:
+            report = compare_to_baseline(artifacts, args.check)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: {error}") from error
+
+    table = render_experiments_md(
+        artifacts, routing_drift=report.routing_drift if report is not None else ()
+    )
     if args.output:
         Path(args.output).write_text(table)
         print(f"wrote {args.output} ({len(artifacts)} artifact(s))")
@@ -652,14 +670,7 @@ def cmd_results(args: argparse.Namespace) -> int:
     if unclean or violated:
         status = 1
 
-    # --check runs BEFORE --write-baseline: with both flags on the same path
-    # the gate must diff against the previous baseline, not the file that is
-    # about to be (re)written from this very run.
-    if args.check:
-        try:
-            report = compare_to_baseline(artifacts, args.check)
-        except (OSError, ValueError) as error:
-            raise SystemExit(f"error: {error}") from error
+    if report is not None:
         for regression in report.regressions:
             print(f"REGRESSION: {regression.describe()}")
         for improvement in report.improvements:
@@ -670,6 +681,10 @@ def cmd_results(args: argparse.Namespace) -> int:
             print(f"missing:    baseline entry {label!r} has no artifact this run")
         for label in report.new_labels:
             print(f"new:        {label!r} is not in the baseline yet")
+        for drift in report.routing_drift:
+            # Informational: engines are verdict-equivalent, so a routing
+            # change cannot regress results — but it should be visible.
+            print(f"routing drift: {drift}")
         if report.ok:
             print("regression gate: OK")
         else:
@@ -685,6 +700,27 @@ def cmd_results(args: argparse.Namespace) -> int:
             path = write_baseline(artifacts, args.write_baseline)
             print(f"baseline:   wrote {path}")
     return status
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Measure this machine's engine cost units and write a calibration file.
+
+    The planner loads its units from ``$REPRO_CALIBRATION`` (or the packaged
+    default) — point that variable at the written file to route ``auto``
+    requests with the measured units instead of the shipped ones.
+    """
+    from repro.planner import run_calibration, write_calibration
+
+    calibration = run_calibration(quick=args.quick)
+    path = write_calibration(calibration, args.output)
+    print(f"calibration: wrote {path}{' (quick probes)' if args.quick else ''}")
+    units = calibration["units"]
+    for name in sorted(units):
+        print(f"  {name:<18} {units[name]:.4f}")
+    cutoffs = calibration["max_table_bits"]
+    print(f"  max_table_bits   python={cutoffs['python']} numpy={cutoffs['numpy']}")
+    print(f"route with it:   REPRO_CALIBRATION={path} python -m repro.cli ...")
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -717,11 +753,11 @@ def main(argv: Optional[list] = None) -> int:
     certify.add_argument(
         "--engine",
         choices=VALID_ENGINES,
-        default="compiled",
+        default="auto",
         help="verification engine: per-assignment reference simulator "
-        "(legacy), compile-once topology (compiled, default), incremental "
-        "single-vertex deltas (delta), or bit-parallel assignment blocks "
-        "(vector)",
+        "(legacy), compile-once topology (compiled), incremental "
+        "single-vertex deltas (delta), bit-parallel assignment blocks "
+        "(vector), or the workload-aware planner (auto, default)",
     )
     certify.add_argument("--verbose", action="store_true", help="print the raw certificates")
     certify.add_argument(
@@ -745,7 +781,7 @@ def main(argv: Optional[list] = None) -> int:
     sweep.add_argument("--sizes", required=True, help="comma-separated size grid, e.g. 8,32,128")
     sweep.add_argument("--trials", type=int, default=20, help="adversarial trials per no-instance")
     sweep.add_argument("--seed", type=int, default=0, help="sweep seed (per-point seeds derive from it)")
-    sweep.add_argument("--engine", choices=VALID_ENGINES, default="compiled")
+    sweep.add_argument("--engine", choices=VALID_ENGINES, default="auto")
     sweep.add_argument("--processes", type=int, default=1, help="worker processes for the fan-out")
     sweep.add_argument("--output", default=None, help="artifact path (default sweep_<label>.json)")
     sweep.add_argument("--name", default=None, help="label stored in the artifact")
@@ -809,12 +845,13 @@ def main(argv: Optional[list] = None) -> int:
     )
     lower_bound.add_argument(
         "--engine",
-        choices=("compiled", "delta", "vector"),
-        default="compiled",
+        choices=("compiled", "delta", "vector", "auto"),
+        default="auto",
         help="how the simulation probes sweep assignments: reload each full "
         "assignment (compiled), stream Gray-coded single-vertex deltas "
-        "through a persistent session (delta), or sweep bit-parallel "
-        "lane blocks per prover message (vector)",
+        "through a persistent session (delta), sweep bit-parallel "
+        "lane blocks per prover message (vector), or let the planner "
+        "pick per point (auto, default)",
     )
     lower_bound.add_argument("--output", default=None, help="artifact path (default lb_<label>.json)")
     lower_bound.add_argument("--name", default=None, help="label stored in the artifact")
@@ -857,6 +894,13 @@ def main(argv: Optional[list] = None) -> int:
         "(0 = skip; exponential, only runs on instances of ≤ 11 vertices)",
     )
     kernel.add_argument("--seed", type=int, default=0, help="series seed (per-point seeds derive from it)")
+    kernel.add_argument(
+        "--engine",
+        choices=VALID_ENGINES,
+        default="auto",
+        help="accepted for spec/CLI uniformity (kernel points run no "
+        "verification engine); a mis-typed engine still fails fast",
+    )
     kernel.add_argument("--output", default=None, help="artifact path (default kernel_<label>.json)")
     kernel.add_argument("--name", default=None, help="label stored in the artifact")
     kernel.add_argument("--shard", default=None, metavar="I/K", help="as for sweep")
@@ -1010,6 +1054,24 @@ def main(argv: Optional[list] = None) -> int:
         help="record the measured series as the new baseline file/dir",
     )
 
+    calibrate = subparsers.add_parser(
+        "calibrate",
+        help="measure this machine's engine cost units for the auto planner "
+        "and write a calibration file",
+    )
+    calibrate.add_argument(
+        "--output",
+        default="calibration.json",
+        metavar="FILE",
+        help="where to write the calibration (default ./calibration.json); "
+        "export REPRO_CALIBRATION=FILE to route with it",
+    )
+    calibrate.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer probe repetitions (faster, noisier units — CI smoke)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
@@ -1027,6 +1089,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_merge(args)
     if args.command == "results":
         return cmd_results(args)
+    if args.command == "calibrate":
+        return cmd_calibrate(args)
     return cmd_certify(args)
 
 

@@ -21,14 +21,18 @@ all of them:
 * ``"legacy"``   — the original per-assignment view-building path (no
   topology reuse, no caches): the benchmark baseline and the reference
   semantics for equivalence tests;
-* ``"compiled"`` — the compile-once engine of :mod:`repro.network.compiled`
-  (the default): certificate bytes swapped into reusable views, early exit
-  within and across assignments;
+* ``"compiled"`` — the compile-once engine of :mod:`repro.network.compiled`:
+  certificate bytes swapped into reusable views, early exit within and
+  across assignments;
 * ``"delta"``    — a persistent :class:`~repro.network.compiled.DeltaSession`
   re-verifying only each changed vertex's closed neighbourhood per
   single-vertex delta;
 * ``"vector"``   — :class:`~repro.network.vector.VectorNetwork` evaluating a
-  whole block of assignments per pass, one bit-parallel lane each.
+  whole block of assignments per pass, one bit-parallel lane each;
+* ``"auto"``     — the default: the workload-aware planner of
+  :mod:`repro.planner` picks among the four from a calibrated cost model
+  once the workload's shape (single-shot / batch / sparse-diff /
+  enumeration) is known.
 
 Adversarial trials derive an independent seed per trial index
 (:func:`derive_trial_seed`), so any sub-range of a sweep can be reproduced
@@ -61,7 +65,8 @@ from repro.network.adversary import (
     initial_exhaustive_assignment,
     random_assignment,
 )
-from repro.engines import VALID_ENGINES, validate_engine
+from repro.engines import VALID_ENGINES, resolve_engine, validate_engine
+from repro.planner import Workload
 from repro.network.compiled import CompiledNetwork
 from repro.network.ids import IdentifierAssignment, assign_identifiers
 from repro.network.simulator import NetworkSimulator
@@ -146,6 +151,9 @@ class SchemeEvaluation:
     (None on yes-instances)."""
     max_certificate_bits: int
     rejecting_vertices: tuple = ()
+    engine_resolved: Optional[str] = None
+    """The concrete engine that actually ran (differs from the requested
+    engine only when the caller asked for ``"auto"``)."""
 
 
 # ---------------------------------------------------------------------------
@@ -214,7 +222,7 @@ def evaluate_scheme(
     adversarial_trials: int = 20,
     trial_schedule: Optional[Sequence[int]] = None,
     trial_offset: int = 0,
-    engine: str = "compiled",
+    engine: str = "auto",
     id_exponent: Optional[int] = None,
 ) -> SchemeEvaluation:
     """Run a scheme on one instance.
@@ -233,7 +241,10 @@ def evaluate_scheme(
     docstring): adversarial trials stream through a persistent
     :class:`~repro.network.compiled.DeltaSession` as per-vertex diffs on
     ``"delta"``, and are packed one-lane-per-trial into bit-parallel blocks
-    on ``"vector"``.
+    on ``"vector"``.  The default ``"auto"`` defers the pick to the
+    workload-aware planner (:mod:`repro.planner`) once the instance's shape
+    is known; the concrete engine that ran is reported as
+    ``engine_resolved``.
     """
     validate_engine(engine, context="evaluate_scheme")
     use_compiled = engine != "legacy"
@@ -270,8 +281,12 @@ def evaluate_scheme(
     # A yes-instance needs exactly one honest run, so the enumeration-shaped
     # engines (delta, vector) share the compiled single-assignment path.
     run = network.run if use_compiled else network.run_legacy
+    max_degree = max((d for _, d in graph.degree()), default=0)
 
     if holds:
+        engine_resolved = resolve_engine(
+            engine, Workload.single_shot(graph.number_of_nodes(), max_degree)
+        )
         certificates = scheme.prove(graph, ids)
         result = run(scheme.verify, certificates)
         return SchemeEvaluation(
@@ -282,6 +297,7 @@ def evaluate_scheme(
             soundness_ok=None,
             max_certificate_bits=result.max_certificate_bits,
             rejecting_vertices=result.rejecting_vertices,
+            engine_resolved=engine_resolved,
         )
 
     # No-instance: the prover has no honest certificate; check that the
@@ -293,6 +309,9 @@ def evaluate_scheme(
         len(trial_schedule) if trial_schedule is not None else adversarial_trials,
         certificate_bytes=trial_schedule,
         start=trial_offset,
+    )
+    engine = resolve_engine(
+        engine, Workload.batch(len(schedule), graph.number_of_nodes(), max_degree)
     )
     all_rejected = True
     max_bits = 0
@@ -367,6 +386,7 @@ def evaluate_scheme(
         completeness_ok=None,
         soundness_ok=all_rejected,
         max_certificate_bits=max_bits,
+        engine_resolved=engine,
     )
 
 
@@ -375,7 +395,7 @@ def soundness_under_corruption(
     graph: nx.Graph,
     seed: int | None = 0,
     trials: int = 10,
-    engine: str = "compiled",
+    engine: str = "auto",
 ) -> bool:
     """On a *yes*-instance, check that corrupted honest certificates are not
     silently accepted as long as the corruption changes the view of some node
@@ -393,9 +413,19 @@ def soundness_under_corruption(
     the corrupted vertices' neighbourhoods instead of the whole graph.
     ``engine="vector"`` packs the corrupted assignments one lane each and
     settles the whole sweep in block passes.  All engines replay
-    byte-identical trials for identical seeds.
+    byte-identical trials for identical seeds.  The default ``"auto"``
+    resolves through the planner — corruption sweeps are sparse-diff shaped,
+    so it routes to the delta engine on any non-trivial graph.
     """
     validate_engine(engine, context="soundness_under_corruption")
+    engine = resolve_engine(
+        engine,
+        Workload.sparse_diff(
+            trials,
+            graph.number_of_nodes(),
+            max((d for _, d in graph.degree()), default=0),
+        ),
+    )
     rng = random.Random(seed)
     ids = assign_identifiers(graph, seed=rng)
     if engine != "legacy":
@@ -472,7 +502,7 @@ def exhaustive_soundness_holds(
     graph: nx.Graph,
     max_bits: int,
     seed: int | None = 0,
-    engine: str = "compiled",
+    engine: str = "auto",
 ) -> bool:
     """Exhaustively check soundness of a scheme on a tiny no-instance.
 
@@ -490,9 +520,20 @@ def exhaustive_soundness_holds(
     further: the sweep becomes a binary counter over bit-parallel lanes
     (:meth:`~repro.network.vector.VectorNetwork.any_accepted_exhaustive`),
     so every pass over the graph settles a whole block of assignments — the
-    engine that moves the practical (n, max_bits) frontier.
+    engine that moves the practical (n, max_bits) frontier.  The default
+    ``"auto"`` resolves through the planner: enumeration-shaped, so large
+    sweeps route to the vector engine and tiny ones to delta.
     """
     validate_engine(engine, context="exhaustive_soundness_holds")
+    engine = resolve_engine(
+        engine,
+        Workload.enumeration(
+            (1 << max_bits) ** graph.number_of_nodes(),
+            graph.number_of_nodes(),
+            max((d for _, d in graph.degree()), default=0),
+            max_bits=max_bits,
+        ),
+    )
     if scheme.holds(graph):
         raise ValueError("exhaustive_soundness_holds expects a no-instance")
     ids = (

@@ -6,7 +6,7 @@ wire messages and the CLI ``--engine`` flags — validates against the single
 tuple defined here, so adding an engine (or reading an error message) never
 requires hunting down per-module copies of the list.
 
-The four engines, in the order they were built:
+The four concrete engines, in the order they were built:
 
 * ``"legacy"``   — the reference :class:`~repro.network.simulator.NetworkSimulator`
   path: rebuild every view per assignment.  Slow, obviously correct; the
@@ -21,16 +21,30 @@ The four engines, in the order they were built:
   blocks, one lane per candidate assignment packed into machine words, whole
   blocks accepted/rejected columnwise per pass.
 
+``"auto"`` (the default everywhere an engine is not pinned) is not a fifth
+implementation: it defers the pick to the workload-aware cost model in
+:mod:`repro.planner` at the point where the workload's shape is known.
+:func:`resolve_engine` is that seam — every entry point that accepts
+``engine=`` calls it with a :class:`~repro.planner.Workload` descriptor and
+runs whichever concrete engine comes back.
+
 This module is intentionally dependency-free (stdlib only) so the service's
-message layer can import it without pulling in the engines themselves.
+message layer can import it without pulling in the engines themselves; the
+planner import inside :func:`resolve_engine` is lazy for the same reason.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-#: Every engine understood by the stack, in build order.
-VALID_ENGINES = ("legacy", "compiled", "delta", "vector")
+#: The concrete engines, in build order.
+CONCRETE_ENGINES = ("legacy", "compiled", "delta", "vector")
+
+#: The planner-routed pseudo-engine (resolved per workload).
+AUTO_ENGINE = "auto"
+
+#: Every engine name accepted at the API surface.
+VALID_ENGINES = CONCRETE_ENGINES + (AUTO_ENGINE,)
 
 
 def validate_engine(
@@ -51,3 +65,24 @@ def validate_engine(
     where = f" for {context}" if context else ""
     choices = ", ".join(repr(name) for name in VALID_ENGINES if name in allowed)
     raise ValueError(f"unknown engine {engine!r}{where}; use one of: {choices}")
+
+
+def resolve_engine(
+    engine: str,
+    workload=None,
+    allowed: Sequence[str] = CONCRETE_ENGINES,
+) -> str:
+    """Resolve ``engine`` to a concrete engine name.
+
+    A pinned concrete engine passes through untouched.  ``"auto"`` asks the
+    planner to cost ``workload`` (a :class:`repro.planner.Workload`) against
+    the ``allowed`` candidates; with no workload descriptor it falls back to
+    ``"compiled"``, the all-round baseline.
+    """
+    if engine != AUTO_ENGINE:
+        return validate_engine(engine, allowed=tuple(allowed) + (AUTO_ENGINE,))
+    if workload is None:
+        return "compiled" if "compiled" in allowed else tuple(allowed)[0]
+    from repro.planner import choose_engine
+
+    return choose_engine(workload, allowed=tuple(allowed)).engine

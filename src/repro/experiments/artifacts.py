@@ -57,6 +57,9 @@ class SweepPoint:
     soundness_ok: Optional[bool]
     max_certificate_bits: int
     elapsed_s: float
+    engine_resolved: Optional[str] = None
+    """Concrete engine the point's evaluation actually ran on (None for
+    honest-prover-only points and pre-planner artifacts)."""
 
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)

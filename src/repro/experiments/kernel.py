@@ -31,6 +31,7 @@ from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
 import networkx as nx
 
+from repro.engines import validate_engine
 from repro.experiments.artifacts import ARTIFACT_SCHEMA, BoundCheck, ExperimentResult
 from repro.experiments.bounds import FittedBound, fit_series
 from repro.experiments.spec import ExperimentSpec
@@ -89,6 +90,10 @@ class KernelSpec(ExperimentSpec):
     model: str = "coherent"
     check_ef: int = 0
     seed: int = 0
+    engine: str = "auto"
+    """Reserved routing knob for spec/CLI uniformity: kernel points measure
+    pruning and EF games, which no verification engine runs — validated so a
+    mis-typed engine fails like everywhere else, but otherwise unused."""
     shard: Optional[Tuple[int, int]] = None
     name: Optional[str] = None
 
@@ -112,6 +117,10 @@ class KernelSpec(ExperimentSpec):
             raise RegistryError("the star model only applies to the star family")
         if self.check_ef < 0:
             raise RegistryError("check_ef must be non-negative (0 = skip)")
+        try:
+            validate_engine(self.engine, context="kernel specs")
+        except ValueError as exc:
+            raise RegistryError(str(exc)) from None
         return self
 
     def graph_spec(self, index: int) -> str:

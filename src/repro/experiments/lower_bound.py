@@ -36,7 +36,8 @@ from repro.experiments.artifacts import (
     BoundCheck,
     ExperimentResult,
 )
-from repro.engines import validate_engine
+from repro.engines import resolve_engine, validate_engine
+from repro.planner import Workload
 from repro.experiments.bounds import FittedBound, fit_series
 from repro.experiments.spec import ExperimentSpec, raise_if_stopped
 from repro.lower_bounds.catalog import (
@@ -68,10 +69,12 @@ class LowerBoundSpec(ExperimentSpec):
     simulate: bool = False
     simulate_bits: int = 1
     max_side_bits: int = 12
-    engine: str = "compiled"
+    engine: str = "auto"
     """How the protocol-simulation probes sweep assignments: ``"compiled"``
     reloads full assignments, ``"delta"`` streams Gray-coded single-vertex
-    changes through a persistent session (same verdicts, less work)."""
+    changes through a persistent session, ``"vector"`` sweeps bit-parallel
+    lane blocks (same verdicts, less work).  ``"auto"`` (the default) lets
+    the planner pick per point from the simulation's enumeration shape."""
     check_bound: bool = True
     seed: int = 0
     shard: Optional[Tuple[int, int]] = None
@@ -95,7 +98,7 @@ class LowerBoundSpec(ExperimentSpec):
         try:
             validate_engine(
                 self.engine,
-                allowed=("compiled", "delta", "vector"),
+                allowed=("compiled", "delta", "vector", "auto"),
                 context="lower-bound specs",
             )
         except ValueError as exc:
@@ -146,6 +149,9 @@ class LowerBoundPoint:
     protocol_ok: Optional[bool]
     """Alice/Bob simulation accepted the probe and rejected its control."""
     elapsed_s: float
+    engine_resolved: Optional[str] = None
+    """Concrete engine the protocol simulation ran on (None when the point
+    did not simulate)."""
 
     def to_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -236,6 +242,7 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
     vertices: Optional[int] = None
     dichotomy_ok: Optional[bool] = None
     protocol_ok: Optional[bool] = None
+    engine_resolved: Optional[str] = None
 
     needs_pairs = spec.check_dichotomy or spec.simulate
     if needs_pairs and info.checkable:
@@ -255,6 +262,30 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
             # so one identifier assignment serves both probes.
             graph = framework.build_graph(*equal_pair)
             ids = assign_identifiers(graph, sequential=True)
+            # Resolve "auto" once per point from the simulation's shape (the
+            # same descriptor simulate_protocol would build internally) and
+            # pin both probes to the outcome so the point records exactly
+            # the engine that ran.
+            present = {v for v in graph.nodes() if graph.degree(v) > 0}
+            bits = spec.simulate_bits
+            middle = sum(
+                1
+                for v in list(framework.v_alpha) + list(framework.v_beta)
+                if v in present
+            )
+            side_a = sum(1 for v in framework.v_a if v in present)
+            side_b = sum(1 for v in framework.v_b if v in present)
+            engine_resolved = resolve_engine(
+                spec.engine,
+                Workload.enumeration(
+                    (1 << (bits * middle))
+                    * ((1 << (bits * side_a)) + (1 << (bits * side_b))),
+                    len(present),
+                    max((d for _, d in graph.degree()), default=0),
+                    max_bits=bits,
+                ),
+                allowed=("compiled", "delta", "vector"),
+            )
             try:
                 probe_accepted = framework.simulate_protocol(
                     ProtocolProbeScheme(),
@@ -262,7 +293,7 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
                     certificate_bits_per_vertex=spec.simulate_bits,
                     ids=ids,
                     max_side_bits=spec.max_side_bits,
-                    engine=spec.engine,
+                    engine=engine_resolved,
                 )
                 control_rejected = not framework.simulate_protocol(
                     NeverAcceptScheme(),
@@ -270,7 +301,7 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
                     certificate_bits_per_vertex=spec.simulate_bits,
                     ids=ids,
                     max_side_bits=spec.max_side_bits,
-                    engine=spec.engine,
+                    engine=engine_resolved,
                 )
                 protocol_ok = bool(probe_accepted and control_rejected)
             except ValueError:
@@ -278,6 +309,7 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
                 # points beyond max_side_bits are skipped (None), not failed
                 # — the bound series and dichotomy still cover them.
                 protocol_ok = None
+                engine_resolved = None
 
     return LowerBoundPoint(
         index=index,
@@ -290,6 +322,7 @@ def run_lower_bound_point(spec: LowerBoundSpec, index: int) -> LowerBoundPoint:
         dichotomy_ok=dichotomy_ok,
         protocol_ok=protocol_ok,
         elapsed_s=time.perf_counter() - started,
+        engine_resolved=engine_resolved,
     )
 
 

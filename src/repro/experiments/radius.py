@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, ClassVar, Dict, Mapping, Optional, Tuple
 
 import networkx as nx
 
 from repro.experiments.artifacts import ARTIFACT_SCHEMA, BoundCheck, ExperimentResult
 from repro.experiments.bounds import FittedBound, fit_series
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.spec import ExperimentSpec, raise_if_stopped
 from repro.graphs.generators import GRAPH_FAMILIES, build_graph_spec
 from repro.network.radius import RadiusSimulator, diameter_at_most_verifier
 from repro.registry import RegistryError
@@ -180,10 +180,23 @@ def run_radius_point(spec: RadiusSpec, index: int) -> RadiusPoint:
     )
 
 
-def run_radius(spec: RadiusSpec, shard: Optional[Tuple[int, int]] = None) -> RadiusResult:
-    """Execute a radius-verification series (or one shard of it)."""
+def run_radius(
+    spec: RadiusSpec,
+    shard: Optional[Tuple[int, int]] = None,
+    should_stop: Optional[Callable[[], Optional[str]]] = None,
+) -> RadiusResult:
+    """Execute a radius-verification series (or one shard of it).
+
+    ``should_stop`` is the same cooperative stop-check the sweep and
+    lower-bound runners poll between grid points (it raises
+    :class:`~repro.experiments.spec.ExperimentCancelled`), so radius runs
+    honour service deadlines and cancellation like every other kind.
+    """
     if shard is not None:
         spec = replace(spec, shard=shard)
     spec.validate()
-    points = tuple(run_radius_point(spec, index) for index in spec.shard_indices())
-    return RadiusResult.merged_from_points(spec, points)
+    points = []
+    for index in spec.shard_indices():
+        raise_if_stopped(should_stop)
+        points.append(run_radius_point(spec, index))
+    return RadiusResult.merged_from_points(spec, tuple(points))

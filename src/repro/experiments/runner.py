@@ -32,6 +32,7 @@ def run_point(spec: SweepSpec, index: int) -> SweepPoint:
     graph = build_graph_spec(graph_spec, seed=point_seed)
     scheme = spec.info.create(spec.resolved_params(n))
     started = time.perf_counter()
+    engine_resolved = None
     if spec.measure == "size":
         # Honest prover only: ``holds`` records whether a proof exists.
         ids = None
@@ -55,6 +56,7 @@ def run_point(spec: SweepSpec, index: int) -> SweepPoint:
         holds = report.holds
         completeness = report.completeness_ok
         soundness = report.soundness_ok
+        engine_resolved = report.engine_resolved
     return SweepPoint(
         index=index,
         n=n,
@@ -67,6 +69,7 @@ def run_point(spec: SweepSpec, index: int) -> SweepPoint:
         soundness_ok=soundness,
         max_certificate_bits=bits,
         elapsed_s=time.perf_counter() - started,
+        engine_resolved=engine_resolved,
     )
 
 

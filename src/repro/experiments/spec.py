@@ -227,7 +227,7 @@ class SweepSpec(ExperimentSpec):
     params: Mapping[str, Any] = field(default_factory=dict)
     trials: int = 20
     seed: int = 0
-    engine: str = "compiled"
+    engine: str = "auto"
     processes: int = 1
     check_bound: bool = True
     measure: str = "full"

@@ -26,7 +26,8 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence
 import networkx as nx
 
 from repro.core.scheme import CertificationScheme
-from repro.engines import validate_engine
+from repro.engines import resolve_engine, validate_engine
+from repro.planner import Workload
 from repro.network.adversary import exhaustive_deltas, initial_exhaustive_assignment
 from repro.network.compiled import CompiledNetwork
 from repro.network.ids import IdentifierAssignment
@@ -134,7 +135,7 @@ class ReductionFramework:
         certificate_bits_per_vertex: int,
         ids: IdentifierAssignment,
         max_side_bits: int = 12,
-        engine: str = "compiled",
+        engine: str = "auto",
     ) -> bool:
         """Run the Proposition 7.2 simulation on one (s_A, s_B) pair.
 
@@ -157,10 +158,14 @@ class ReductionFramework:
         (:meth:`~repro.network.vector.VectorNetwork.any_accepted_exhaustive`)
         with the prover message pinned, so a whole block of side assignments
         settles per pass.  All quantify over the same sets and return the
-        same boolean.
+        same boolean; ``"auto"`` (the default) lets the planner pick from
+        the sweep's enumeration shape (the legacy engine is not implemented
+        here — the sweep is enumeration-only).
         """
         validate_engine(
-            engine, allowed=("compiled", "delta", "vector"), context="simulate_protocol"
+            engine,
+            allowed=("compiled", "delta", "vector", "auto"),
+            context="simulate_protocol",
         )
         graph = self.build_graph(s_a, s_b)
         # Fixed-size private parts may leave padding vertices isolated
@@ -183,6 +188,20 @@ class ReductionFramework:
         middle_bits = certificate_bits_per_vertex * len(middle)
         if middle_bits > max_side_bits:
             raise ValueError("instance too large for exhaustive protocol simulation")
+        # Resolve "auto" once the sweep's size is known: per prover message
+        # (2^middle_bits of them) each player enumerates their side's
+        # certificate assignments.
+        engine = resolve_engine(
+            engine,
+            Workload.enumeration(
+                (1 << middle_bits)
+                * ((1 << total_side_bits_a) + (1 << total_side_bits_b)),
+                graph.number_of_nodes(),
+                max((d for _, d in graph.degree()), default=0),
+                max_bits=certificate_bits_per_vertex,
+            ),
+            allowed=("compiled", "delta", "vector"),
+        )
 
         if engine == "delta":
             return self._simulate_protocol_delta(

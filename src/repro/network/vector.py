@@ -253,7 +253,7 @@ class VectorNetwork:
         seed=None,
         backend: str = "auto",
         block_lanes: Optional[int] = None,
-        max_table_bits: int = DEFAULT_MAX_TABLE_BITS,
+        max_table_bits: Optional[int] = None,
     ) -> None:
         if not isinstance(network, CompiledNetwork):
             network = CompiledNetwork(network, identifiers=identifiers, seed=seed)
@@ -265,9 +265,22 @@ class VectorNetwork:
             raise ValueError("block_lanes must be a positive power of two")
         self._block_lanes = block_lanes
         self._block_bits = block_lanes.bit_length() - 1
+        if max_table_bits is None:
+            # Per-backend cutoff from the planner's calibration (wider numpy
+            # blocks amortise bigger tables); the analytic default stands in
+            # when no calibration is loadable.
+            try:
+                from repro.planner import calibrated_max_table_bits
+
+                max_table_bits = calibrated_max_table_bits(self._backend.name)
+            except Exception:
+                max_table_bits = DEFAULT_MAX_TABLE_BITS
         if max_table_bits < 0:
             raise ValueError("max_table_bits must be non-negative")
         self._max_table_bits = max_table_bits
+        #: Kernel-composition report of the most recent
+        #: :meth:`any_accepted_exhaustive` call (None before the first).
+        self.last_exhaustive_report: Optional[Dict[str, object]] = None
         # Private scratch views for materialising local configurations when
         # a truth-table entry actually needs the verifier.
         self._records, self._views = network._fresh_views()
@@ -647,6 +660,19 @@ class VectorNetwork:
                     if j in position_of
                 ]
                 kernels.append(("scalar", template, slots, i))
+
+        # Record how the sweep was compiled *before* running it (early exits
+        # must not lose the report): ``used_fallback`` flags any vertex that
+        # dropped to per-lane scalar evaluation — the planner and
+        # BENCH_planner account for it when pricing the vector engine.
+        kernel_counts: Dict[str, int] = {"const": 0, "table": 0, "scalar": 0}
+        for kernel in kernels:
+            kernel_counts[kernel[0]] += 1
+        self.last_exhaustive_report = {
+            "used_fallback": kernel_counts["scalar"] > 0,
+            "kernels": kernel_counts,
+            "max_table_bits": self._max_table_bits,
+        }
 
         mask = radix - 1
         block_count = 1 << (total_bits - block_bits)

@@ -53,6 +53,8 @@ from repro.service.messages import (
     HealthResponse,
     LowerBoundRequest,
     LowerBoundResponse,
+    RadiusRequest,
+    RadiusResponse,
     Request,
     Response,
     StatsRequest,
@@ -260,7 +262,7 @@ class ServiceClient:
         params: Optional[Mapping[str, Any]] = None,
         seed: int = 0,
         trials: int = 20,
-        engine: str = "compiled",
+        engine: str = "auto",
         include_certificates: bool = False,
         **kwargs: Any,
     ) -> Union[CertifyResponse, ErrorResponse]:
@@ -322,6 +324,25 @@ class ServiceClient:
         }
         return self.request(
             LowerBoundRequest(construction=construction, sizes=tuple(sizes), **kwargs),
+            **retry_kwargs,
+        )
+
+    def radius(
+        self,
+        family: str,
+        sizes: Sequence[int],
+        **kwargs: Any,
+    ) -> Union[RadiusResponse, ErrorResponse]:
+        """Run an Appendix-A.1 radius-verification series as one request.
+
+        ``kwargs`` pass through to :class:`RadiusRequest` (including
+        ``bound``, ``radius``, ``shard``, ``deadline_s`` and ``request_id``).
+        """
+        retry_kwargs = {
+            key: kwargs.pop(key) for key in ("retries", "retry_delay") if key in kwargs
+        }
+        return self.request(
+            RadiusRequest(family=family, sizes=tuple(sizes), **kwargs),
             **retry_kwargs,
         )
 

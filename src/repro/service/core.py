@@ -50,8 +50,10 @@ from repro.core.scheme import NotAYesInstance, evaluate_scheme
 from repro.experiments import (
     ExperimentCancelled,
     LowerBoundSpec,
+    RadiusSpec,
     SweepSpec,
     run_lower_bound,
+    run_radius,
     run_sweep,
 )
 from repro.graphs.generators import GraphSpecError, build_graph_spec
@@ -69,6 +71,8 @@ from repro.service.messages import (
     HealthResponse,
     LowerBoundRequest,
     LowerBoundResponse,
+    RadiusRequest,
+    RadiusResponse,
     Request,
     Response,
     StatsRequest,
@@ -204,6 +208,7 @@ class CertificationService:
             "certify": 0,
             "sweep": 0,
             "lower_bound": 0,
+            "radius": 0,
             "stats": 0,
             "health": 0,
             "errors": 0,
@@ -212,6 +217,10 @@ class CertificationService:
             "cancelled": 0,
             "replayed": 0,
         }
+        # Per-engine routing counters: how often each concrete engine
+        # actually ran (one tick per certify evaluation / per executed
+        # experiment point that reports an ``engine_resolved``).
+        self._routing: Dict[str, int] = {}
         self._pending = 0
         self._cache_baseline = cache_stats()
         self._closed = False
@@ -257,6 +266,13 @@ class CertificationService:
         with self._counter_lock:
             self._counters[kind] = self._counters.get(kind, 0) + 1
 
+    def _count_routing(self, engines: Iterable[Optional[str]]) -> None:
+        """Tick the per-engine routing counters (None entries are skipped)."""
+        with self._counter_lock:
+            for engine in engines:
+                if engine is not None:
+                    self._routing[engine] = self._routing.get(engine, 0) + 1
+
     def stats(self) -> Dict[str, Any]:
         """Request counters plus per-cache hit/miss/size statistics.
 
@@ -266,8 +282,13 @@ class CertificationService:
         """
         with self._counter_lock:
             counters = dict(self._counters)
+            routing = dict(self._routing)
         return {
-            "service": {"workers": self.workers, "requests": counters},
+            "service": {
+                "workers": self.workers,
+                "requests": counters,
+                "routing": routing,
+            },
             "schemes_cached": len(self._schemes),
             "caches": cache_stats(),
             "caches_since_start": cache_stats_since(self._cache_baseline),
@@ -299,6 +320,8 @@ class CertificationService:
             return self.sweep(request, scope=scope)
         if isinstance(request, LowerBoundRequest):
             return self.lower_bound(request, scope=scope)
+        if isinstance(request, RadiusRequest):
+            return self.radius(request, scope=scope)
         if isinstance(request, StatsRequest):
             self._count("stats")
             return StatsResponse(result=self.stats())
@@ -562,6 +585,7 @@ class CertificationService:
             return fail("internal-error", f"{type(error).__name__}: {error}")
 
         self._count("certify")
+        self._count_routing((report.engine_resolved,))
         return CertifyResponse(
             scheme=scheme.name,
             registry_key=info.key,
@@ -574,6 +598,7 @@ class CertificationService:
             max_certificate_bits=report.max_certificate_bits,
             bound=info.bound.label,
             engine=request.engine,
+            engine_resolved=report.engine_resolved,
             seed=request.seed,
             certificates=certificates,
         )
@@ -628,6 +653,7 @@ class CertificationService:
         """
         result = run_sweep(spec, should_stop=scope.check if scope is not None else None)
         self._count("sweep")
+        self._count_routing(point.engine_resolved for point in result.points)
         return result
 
     def lower_bound(
@@ -671,7 +697,44 @@ class CertificationService:
         except Exception as error:  # noqa: BLE001
             return fail("internal-error", f"{type(error).__name__}: {error}")
         self._count("lower_bound")
+        self._count_routing(point.engine_resolved for point in result.points)
         return LowerBoundResponse(result=result.to_dict())
+
+    def radius(
+        self, request: RadiusRequest, scope: Optional[CancelScope] = None
+    ) -> Union[RadiusResponse, ErrorResponse]:
+        """Run an Appendix-A.1 radius-verification series as one request."""
+
+        def fail(code: str, message: str) -> ErrorResponse:
+            self._count("errors")
+            return ErrorResponse(code=code, message=message, request_op=request.op)
+
+        try:
+            spec = RadiusSpec(
+                family=request.family,
+                sizes=request.sizes,
+                bound=request.bound,
+                radius=request.radius,
+                seed=request.seed,
+                shard=request.shard,
+                name=request.name,
+            ).validate()
+        except RegistryError as error:
+            return fail("invalid-param", str(error))
+        try:
+            result = run_radius(
+                spec, should_stop=scope.check if scope is not None else None
+            )
+        except ExperimentCancelled as error:
+            return fail(error.reason, f"radius series stopped: {error.reason}")
+        except GraphSpecError as error:
+            return fail("invalid-graph", str(error))
+        except ValueError as error:
+            return fail("undecidable", str(error))
+        except Exception as error:  # noqa: BLE001
+            return fail("internal-error", f"{type(error).__name__}: {error}")
+        self._count("radius")
+        return RadiusResponse(result=result.to_dict())
 
     # -- batched submission --------------------------------------------------
 
@@ -794,7 +857,7 @@ def _response_ok(response: Response) -> bool:
         return False
     if isinstance(response, CertifyResponse):
         return response.verdict_ok and response.sound is not False
-    if isinstance(response, (SweepResponse, LowerBoundResponse)):
+    if isinstance(response, (SweepResponse, LowerBoundResponse, RadiusResponse)):
         return response.clean
     return True
 

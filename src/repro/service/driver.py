@@ -53,6 +53,7 @@ from repro.experiments.artifacts import (
     result_from_payload,
 )
 from repro.experiments.lower_bound import LowerBoundSpec
+from repro.experiments.radius import RadiusSpec
 from repro.experiments.spec import ExperimentSpec, SweepSpec
 from repro.service.client import (
     ServiceClient,
@@ -64,6 +65,8 @@ from repro.service.messages import (
     HealthResponse,
     LowerBoundRequest,
     LowerBoundResponse,
+    RadiusRequest,
+    RadiusResponse,
     Request,
     Response,
     SweepRequest,
@@ -316,11 +319,13 @@ class ShardDriver:
             return SweepRequest(**payload)
         if isinstance(spec, LowerBoundSpec):
             return LowerBoundRequest(**payload)
+        if isinstance(spec, RadiusSpec):
+            return RadiusRequest(**payload)
         raise DriverError(f"cannot drive experiment kind {kind!r}")
 
     @staticmethod
     def _payload_of(response: Response) -> Optional[Dict[str, Any]]:
-        if isinstance(response, (SweepResponse, LowerBoundResponse)):
+        if isinstance(response, (SweepResponse, LowerBoundResponse, RadiusResponse)):
             return response.result
         return None
 

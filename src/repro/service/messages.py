@@ -146,7 +146,7 @@ class CertifyRequest:
     params: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 0
     trials: int = 20
-    engine: str = "compiled"
+    engine: str = "auto"
     include_certificates: bool = False
     deadline_s: Optional[float] = None
     request_id: Optional[str] = None
@@ -186,7 +186,7 @@ class SweepRequest:
     params: Mapping[str, Any] = field(default_factory=dict)
     trials: int = 20
     seed: int = 0
-    engine: str = "compiled"
+    engine: str = "auto"
     check_bound: bool = True
     measure: str = "full"
     id_exponent: Optional[int] = None
@@ -242,7 +242,7 @@ class LowerBoundRequest:
     simulate: bool = False
     simulate_bits: int = 1
     max_side_bits: int = 12
-    engine: str = "compiled"
+    engine: str = "auto"
     check_bound: bool = True
     seed: int = 0
     shard: Optional[Tuple[int, int]] = None
@@ -253,7 +253,7 @@ class LowerBoundRequest:
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
         object.__setattr__(self, "shard", _normalize_shard(self.shard))
-        _validate_engine_field(self, allowed=("compiled", "delta", "vector"))
+        _validate_engine_field(self, allowed=("compiled", "delta", "vector", "auto"))
         _validate_fault_tolerance_fields(self)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -261,6 +261,43 @@ class LowerBoundRequest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LowerBoundRequest":
+        return _from_dict(cls, data, kind="request")
+
+
+@dataclass(frozen=True)
+class RadiusRequest:
+    """A whole Appendix A.1 radius-verification series as one request.
+
+    Mirrors :class:`repro.experiments.RadiusSpec` field-for-field, the same
+    way :class:`SweepRequest` mirrors ``SweepSpec`` — including the
+    ``shard`` restriction, so radius series ride ``shard-drive`` like every
+    other experiment kind.  (No ``engine`` field: the radius simulator is
+    its own engine — it explores radius-``r`` balls, not certificate
+    assignments.)
+    """
+
+    op = "radius"
+
+    family: str
+    sizes: Tuple[int, ...]
+    bound: int = 3
+    radius: int = 0
+    seed: int = 0
+    shard: Optional[Tuple[int, int]] = None
+    name: Optional[str] = None
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "shard", _normalize_shard(self.shard))
+        _validate_fault_tolerance_fields(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RadiusRequest":
         return _from_dict(cls, data, kind="request")
 
 
@@ -318,6 +355,7 @@ _REQUEST_TYPES: Dict[str, type] = {
         CertifyRequest,
         SweepRequest,
         LowerBoundRequest,
+        RadiusRequest,
         StatsRequest,
         HealthRequest,
         CancelRequest,
@@ -418,6 +456,7 @@ Request = Union[
     CertifyRequest,
     SweepRequest,
     LowerBoundRequest,
+    RadiusRequest,
     StatsRequest,
     HealthRequest,
     CancelRequest,
@@ -457,6 +496,9 @@ class CertifyResponse:
     engine: str
     seed: int
     certificates: Optional[Dict[str, Dict[str, Any]]] = None
+    engine_resolved: Optional[str] = None
+    """Concrete engine the evaluation ran on — differs from ``engine``
+    exactly when the request asked for ``"auto"``."""
 
     @property
     def verdict_ok(self) -> bool:
@@ -478,6 +520,7 @@ class CertifyResponse:
             "max_certificate_bits": self.max_certificate_bits,
             "bound": self.bound,
             "engine": self.engine,
+            "engine_resolved": self.engine_resolved,
             "seed": self.seed,
         }
         if self.certificates is not None:
@@ -564,6 +607,36 @@ class LowerBoundResponse:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LowerBoundResponse":
+        return cls(result=dict(data.get("result") or {}))
+
+
+@dataclass(frozen=True)
+class RadiusResponse:
+    """The artifact payload of one :class:`RadiusRequest`.
+
+    ``result`` is exactly what :func:`repro.experiments.write_artifact`
+    would have written for the series, so wire consumers (and the shard
+    driver's merge) read the same schema as artifact files.
+    """
+
+    op = "radius"
+    ok = True
+
+    result: Dict[str, Any]
+
+    @property
+    def clean(self) -> bool:
+        ok = bool(self.result.get("all_ok"))
+        bound = self.result.get("bound")
+        if bound is not None:
+            ok = ok and bool(bound.get("ok"))
+        return ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RadiusResponse":
         return cls(result=dict(data.get("result") or {}))
 
 
@@ -673,6 +746,7 @@ _RESPONSE_TYPES: Dict[str, type] = {
         CertifyResponse,
         SweepResponse,
         LowerBoundResponse,
+        RadiusResponse,
         StatsResponse,
         HealthResponse,
         CancelResponse,
@@ -732,6 +806,7 @@ Response = Union[
     CertifyResponse,
     SweepResponse,
     LowerBoundResponse,
+    RadiusResponse,
     StatsResponse,
     HealthResponse,
     CancelResponse,

@@ -67,7 +67,7 @@ class TestLowerBoundSpec:
         # Artifacts written before the engine switch re-hydrate with the default.
         payload = spec.to_dict()
         payload.pop("engine")
-        assert LowerBoundSpec.from_dict(payload).engine == "compiled"
+        assert LowerBoundSpec.from_dict(payload).engine == "auto"
 
     def test_catalogue_entries_are_consistent(self):
         for key, construction in LOWER_BOUND_CONSTRUCTIONS.items():
@@ -113,7 +113,8 @@ class TestRunLowerBound:
         }
         normalized = {
             engine: [
-                {**p.to_dict(), "elapsed_s": None} for p in result.points
+                {**p.to_dict(), "elapsed_s": None, "engine_resolved": None}
+                for p in result.points
             ]
             for engine, result in results.items()
         }

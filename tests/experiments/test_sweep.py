@@ -17,9 +17,14 @@ from repro.registry import RegistryError
 
 
 def _point_key(point):
-    """Everything about a point except the wall-clock timing."""
+    """Everything about a point except wall-clock timing and routing.
+
+    ``engine_resolved`` legitimately differs across engines (it records
+    which one ran); the measured verdicts must not.
+    """
     data = point.to_dict()
     data.pop("elapsed_s")
+    data.pop("engine_resolved", None)
     return data
 
 

@@ -22,7 +22,7 @@ from repro.service.driver import (
     drive,
 )
 from repro.service.faults import FaultInjector
-from repro.service.messages import LowerBoundRequest, SweepRequest
+from repro.service.messages import LowerBoundRequest, RadiusRequest, SweepRequest
 from repro.service.protocol import TCPProtocolServer
 
 
@@ -139,9 +139,15 @@ class TestShardRequest:
         assert isinstance(request, LowerBoundRequest)
         assert request.shard == (0, 2)
 
-    def test_radius_specs_cannot_be_driven(self):
-        with pytest.raises(DriverError, match="radius"):
-            ShardDriver().shard_request(RadiusSpec(family="star", sizes=(8,)), 0, 1)
+    def test_radius_specs_shard_to_radius_requests(self):
+        request = ShardDriver().shard_request(
+            RadiusSpec(family="star", sizes=(8, 16), bound=3), 1, 2
+        )
+        assert isinstance(request, RadiusRequest)
+        assert request.family == "star"
+        assert request.sizes == (8, 16)
+        assert request.bound == 3
+        assert request.shard == (1, 2)
 
 
 class TestDriverValidation:

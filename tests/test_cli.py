@@ -119,7 +119,8 @@ class TestMain:
         assert payload["holds"] is True
         assert payload["accepted"] is True
         assert payload["registry_key"] == "mso-trees"
-        assert payload["engine"] == "compiled"
+        assert payload["engine"] == "auto"
+        assert payload["engine_resolved"] == "compiled"
         assert payload["seed"] == 0
         assert payload["max_certificate_bits"] > 0
 
