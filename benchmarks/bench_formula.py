@@ -1,0 +1,160 @@
+"""Formula-compilation benchmark: warm formula cache vs cold recompilation.
+
+A formula request pays three costs the catalogue path never sees at once:
+parsing the sentence, compiling it into an ephemeral scheme, and deciding
+the ground truth of the resulting property.  The fingerprint-keyed
+compilation cache (``repro.formulas``) plus the scheme-identity-keyed
+``holds`` cache mean a *repeated* formula request through one long-lived
+service pays all three exactly once:
+
+* ``cold``    — every request on a fresh :class:`CertificationService` with
+  cleared caches: the formula is re-parsed, re-compiled and its ground
+  truth re-decided each time;
+* ``warm``    — the same request stream through one long-lived service: the
+  first request compiles, every later one reuses the same scheme instance.
+
+Results are printed and written to ``BENCH_formula.json``; the run exits
+non-zero if the warm service is not at least 3x faster than cold — the
+regression bar for the formula subsystem (enforced in quick mode too: the
+compile + ground-truth amortisation is far above noise).
+
+Usage::
+
+    python benchmarks/bench_formula.py           # full measurement
+    python benchmarks/bench_formula.py --quick   # CI smoke variant
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.caching import clear_caches  # noqa: E402
+from repro.service.core import CertificationService  # noqa: E402
+from repro.service.messages import CertifyRequest, CertifyResponse  # noqa: E402
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_formula.json"
+
+#: The regression bar: repeated identical-formula requests through the
+#: service must beat cold recompile-every-time evaluation at least this much.
+REQUIRED_SPEEDUP = 3.0
+
+#: The repeated sentences: Theorem 2.6 treedepth-route formulas whose exact
+#: ground-truth decision (exponential in quantifier depth) dominates a cold
+#: request — exactly the cost the compilation + holds caches amortise.
+FORMULAS = (
+    # has a dominating pair (depth 3: the expensive decision)
+    "exists x. exists y. forall z. (z = x | z = y | z ~ x | z ~ y)",
+    # has a dominating vertex (depth 2)
+    "exists x. forall y. (x = y | x ~ y)",
+)
+
+
+def request_stream(quick: bool) -> list:
+    """The repeated request mix: the same formulas asked for again and again."""
+    rounds = 4 if quick else 8
+    size = 12 if quick else 14
+    base = [
+        CertifyRequest(formula=FORMULAS[0], graph=f"star:{size}", params={"t": 3}),
+        CertifyRequest(formula=FORMULAS[1], graph=f"star:{size}", params={"t": 2}),
+    ]
+    return base * rounds
+
+
+def _check(responses: list) -> None:
+    for response in responses:
+        assert isinstance(response, CertifyResponse), response
+        assert response.verdict_ok, response
+
+
+def bench_cold(requests: list) -> float:
+    """Every request on a fresh service with empty caches (recompile mode)."""
+    started = time.perf_counter()
+    responses = []
+    for request in requests:
+        clear_caches()
+        with CertificationService() as service:
+            responses.append(service.certify(request))
+    elapsed = time.perf_counter() - started
+    _check(responses)
+    return elapsed
+
+
+def bench_warm(requests: list) -> tuple:
+    """The same stream through one long-lived service (caches shared)."""
+    clear_caches()
+    service = CertificationService()
+    started = time.perf_counter()
+    responses = [service.certify(request) for request in requests]
+    elapsed = time.perf_counter() - started
+    _check(responses)
+    stats = service.stats()
+    service.close()
+    return elapsed, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_PATH,
+        help=f"where to write the JSON report (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    requests = request_stream(args.quick)
+    cold_s = bench_cold(requests)
+    warm_s, stats = bench_warm(requests)
+
+    count = len(requests)
+    service_stats = stats["service"]
+    report = {
+        "benchmark": "formula_compilation",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "requests": count,
+        "formulas": len(FORMULAS),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_requests_per_s": count / cold_s if cold_s else float("inf"),
+        "warm_requests_per_s": count / warm_s if warm_s else float("inf"),
+        "speedup_warm_vs_cold": cold_s / warm_s if warm_s else float("inf"),
+        "formula_compile_hits": service_stats["formula_compile_hits"],
+        "formula_compile_misses": service_stats["formula_compile_misses"],
+    }
+
+    print("\n[formula mode: warm compilation cache vs cold recompilation]")
+    print(f"  requests    {count} ({len(FORMULAS)} distinct formulas)")
+    print(f"  cold        {cold_s:8.3f}s   ({report['cold_requests_per_s']:8.1f} req/s)")
+    print(f"  warm        {warm_s:8.3f}s   ({report['warm_requests_per_s']:8.1f} req/s)"
+          f"   speedup {report['speedup_warm_vs_cold']:6.2f}x")
+    print(f"  compile cache   hits {report['formula_compile_hits']:>5}  "
+          f"misses {report['formula_compile_misses']:>5}")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # Each repeated request skips parsing, compilation AND the ground-truth
+    # decision when warm, so the bar holds even on noisy CI hardware.
+    if report["speedup_warm_vs_cold"] < REQUIRED_SPEEDUP:
+        print(f"FAIL: warm speedup {report['speedup_warm_vs_cold']:.2f}x "
+              f"< required {REQUIRED_SPEEDUP:.1f}x")
+        return 1
+    # The warm run must have compiled each distinct formula exactly once.
+    if report["formula_compile_misses"] != len(FORMULAS):
+        print(f"FAIL: expected {len(FORMULAS)} compile misses in the warm run, "
+              f"saw {report['formula_compile_misses']}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Scenario: a tour of the formula subsystem (formula-as-a-request).
+
+The catalogue ships a fixed menu of certification schemes; the formula
+subsystem (``repro.formulas``) removes the menu.  Any MSO sentence in the
+concrete syntax of :mod:`repro.logic.parser` compiles on the fly into an
+ephemeral :class:`~repro.core.scheme.CertificationScheme`, runs on every
+verification engine the planner routes, and flows through the same wire
+protocol, CLI, sweep pipeline and regression gate as a registered scheme.
+
+The tour covers:
+
+1. **Parse + compile** — ``compile_formula`` turns a sentence into a
+   scheme, picking the route: ``treedepth`` (Theorem 2.6, full MSO,
+   O(t log n) bits) or ``trees`` (Theorem 2.2, first-order, O(1) bits);
+2. **Certify through the service** — ``api.certify(formula=...)``: the
+   same verdict path a wire ``{"op": "certify", "formula": ...}`` request
+   takes, with the compilation memoised across requests;
+3. **Structured failure** — a malformed sentence comes back as the
+   ``invalid-formula`` error code with the offending token position,
+   never a traceback;
+4. **Sweep a series** — ``api.formula(...)`` measures a certificate-size
+   series over a graph family and checks it against the route's
+   asymptotic bound, exactly like a catalogue sweep.
+
+Run with::
+
+    python examples/formula_service_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import api
+from repro.formulas import compile_formula
+
+#: "Some vertex dominates the graph" — MSO-expressible, holds on stars.
+DOMINATING = "exists x. forall y. (x = y | x ~ y)"
+
+#: "No vertex is isolated" — first-order, so the trees route takes it too.
+NO_ISOLATED = "forall x. exists y. x ~ y"
+
+
+def main() -> None:
+    # 1. Parse + compile: one call, both routes.  The compiled object
+    # carries the scheme, the bound and the cache fingerprint.
+    treedepth = compile_formula(DOMINATING, t=2, route="treedepth")
+    trees = compile_formula(NO_ISOLATED, route="trees")
+    print("compiled formulas:")
+    for compiled in (treedepth, trees):
+        print(f"  {compiled.canonical!r}")
+        print(f"    route={compiled.route}  bound={compiled.bound_label}  "
+              f"depth={compiled.quantifier_depth}  fo={compiled.first_order}  "
+              f"fingerprint={compiled.fingerprint}")
+
+    # 2. Certify through the service facade — the exact path a wire
+    # request takes.  Repeating the formula hits the compilation cache
+    # (and the scheme-identity holds cache), which is the warm-vs-cold
+    # win bench_formula.py measures.
+    verdict = api.certify(formula=DOMINATING, graph="star:8", params={"t": 2})
+    print(f"\ncertify star:8 | {DOMINATING}")
+    print(f"  holds={verdict.holds}  accepted={verdict.accepted}  "
+          f"{verdict.max_certificate_bits} bits  "
+          f"engine={verdict.engine_resolved}  bound={verdict.bound}")
+    api.certify(formula=DOMINATING, graph="star:8", params={"t": 2})
+    service_stats = api.stats()["service"]
+    print(f"  compile cache: {service_stats['formula_compile_hits']} hits, "
+          f"{service_stats['formula_compile_misses']} misses")
+
+    # 3. Structured failure: parse errors carry the token position and the
+    # stable invalid-formula wire code — the CLI exits non-zero with the
+    # same message.
+    try:
+        api.certify(formula="exists x. ((x = y)", graph="star:8")
+    except api.ServiceError as error:
+        print(f"\nmalformed formula -> [{error.response.code}] "
+              f"{error.response.message}")
+
+    # 4. Sweep a series: the formula experiment kind — shardable, merged
+    # by the same artifact pipeline, gated against the route's bound.
+    response = api.formula(DOMINATING, family="star", sizes=(4, 6, 8, 10), trials=5)
+    result = response.result
+    print(f"\nformula series on star (route=treedepth, t=2):")
+    for size in sorted(result["series"], key=int):
+        print(f"  n={size:>3}  {result['series'][size]:>4} bits")
+    bound = result["bound"]
+    print(f"  bound {bound['label']}: ok={bound['ok']}")
+    print("\nsame thing from the shell:")
+    print("  python -m repro.cli certify --formula "
+          f"'{DOMINATING}' --graph star:8 --param t=2")
+    print("  python -m repro.cli formula --formula "
+          f"'{DOMINATING}' --family star --sizes 4,6,8,10")
+
+
+if __name__ == "__main__":
+    main()

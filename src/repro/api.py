@@ -45,6 +45,8 @@ from repro.service.messages import (
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
+    FormulaRequest,
+    FormulaResponse,
     Request,
     Response,
     StatsRequest,
@@ -56,11 +58,14 @@ __all__ = [
     "CertifyRequest",
     "CertifyResponse",
     "ErrorResponse",
+    "FormulaRequest",
+    "FormulaResponse",
     "ServiceError",
     "SweepRequest",
     "SweepResponse",
     "certify",
     "default_service",
+    "formula",
     "reset_default_service",
     "respond",
     "service",
@@ -113,19 +118,23 @@ def _raise_on_error(response: Response) -> Response:
 
 
 def certify(
-    scheme: str,
-    graph: Union[str, nx.Graph],
+    scheme: Optional[str] = None,
+    graph: Union[str, nx.Graph] = "",
     params: Optional[Mapping[str, Any]] = None,
     seed: int = 0,
     trials: int = 20,
     engine: str = "auto",
     include_certificates: bool = False,
+    formula: Optional[str] = None,
 ) -> CertifyResponse:
     """Run one certification: honest prover + radius-1 verification.
 
     ``graph`` is a ``family:size`` / ``file:PATH`` specifier or an
-    already-built :class:`networkx.Graph`.  Returns the typed verdict;
-    raises :class:`ServiceError` on any expected failure.
+    already-built :class:`networkx.Graph`.  Instead of a registered
+    ``scheme``, an MSO ``formula`` may be given (mutually exclusive);
+    ``params`` then carries the compilation knobs (``t``, ``k``,
+    ``route``, ``model``).  Returns the typed verdict; raises
+    :class:`ServiceError` on any expected failure.
     """
     if isinstance(graph, nx.Graph):
         graph_obj: Optional[nx.Graph] = graph
@@ -134,6 +143,7 @@ def certify(
         graph_obj, label = None, graph
     request = CertifyRequest(
         scheme=scheme,
+        formula=formula,
         graph=label,
         params=dict(params or {}),
         seed=seed,
@@ -146,17 +156,19 @@ def certify(
 
 
 def sweep(
-    scheme: str,
-    family: str,
-    sizes: Sequence[int],
+    scheme: Optional[str] = None,
+    family: str = "",
+    sizes: Sequence[int] = (),
     params: Optional[Mapping[str, Any]] = None,
     trials: int = 20,
     seed: int = 0,
+    formula: Optional[str] = None,
     **kwargs: Any,
 ) -> SweepResponse:
     """Measure a whole certificate-size series through the service."""
     request = SweepRequest(
         scheme=scheme,
+        formula=formula,
         family=family,
         sizes=tuple(sizes),
         params=dict(params or {}),
@@ -165,6 +177,23 @@ def sweep(
         **kwargs,
     )
     return _raise_on_error(default_service().sweep(request))
+
+
+def formula(
+    formula: str,
+    family: str,
+    sizes: Sequence[int],
+    **kwargs: Any,
+) -> FormulaResponse:
+    """Run a certificate-size series for an ad-hoc MSO formula.
+
+    ``kwargs`` pass through to :class:`FormulaRequest` — notably the
+    compilation knobs ``t``, ``k``, ``route`` and ``model``.
+    """
+    request = FormulaRequest(
+        formula=formula, family=family, sizes=tuple(sizes), **kwargs
+    )
+    return _raise_on_error(default_service().formula(request))
 
 
 def respond(request: Request) -> Response:

@@ -110,6 +110,7 @@ import networkx as nx
 from repro import api
 from repro.experiments import (
     ExperimentSpec,
+    FormulaSpec,
     KernelSpec,
     LowerBoundSpec,
     SweepSpec,
@@ -118,12 +119,14 @@ from repro.experiments import (
     load_artifact,
     merge_artifacts,
     render_experiments_md,
+    run_formula,
     run_kernel,
     run_lower_bound,
     run_sweep,
     write_artifact,
     write_baseline,
 )
+from repro.formulas import FormulaError, resolve_formula_params
 from repro.engines import VALID_ENGINES
 from repro.lower_bounds.catalog import LOWER_BOUND_CONSTRUCTIONS
 from repro.graphs.generators import (
@@ -146,6 +149,26 @@ def build_graph(spec: str, seed: int = 0) -> nx.Graph:
         return build_graph_spec(spec, seed=seed)
     except GraphSpecError as error:
         raise SystemExit(f"error: {error}") from error
+
+
+def parse_raw_params(entries: Optional[List[str]]) -> Dict[str, str]:
+    """Parse repeated ``--param`` flags without a registry scheme to lean on.
+
+    Formula requests have no registered parameter catalogue, so every entry
+    must be explicit ``key=value`` (the compilation knobs: t, k, route,
+    model).
+    """
+    params: Dict[str, str] = {}
+    for entry in entries or []:
+        key, eq, value = entry.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise SystemExit(
+                f"malformed --param {entry!r}; formula parameters must be "
+                "key=value (t, k, route, model)"
+            )
+        params[key] = value
+    return params
 
 
 def parse_params(entries: Optional[List[str]], scheme: str) -> Dict[str, str]:
@@ -207,21 +230,34 @@ def certify_request(args: argparse.Namespace) -> CertifyRequest:
     """The typed service request a ``certify`` invocation describes.
 
     Parameter-shorthand errors and unknown schemes exit here with a clean
-    message (the registry's close-match suggestions included).
+    message (the registry's close-match suggestions included).  With
+    ``--formula`` the ``--param`` entries are the compilation knobs and
+    never touch the registry.
     """
     try:
-        params = parse_params(args.param, args.scheme)
+        if args.scheme is not None:
+            params = parse_params(args.param, args.scheme)
+        else:
+            # Formula knobs (or the neither-set case, which the request's
+            # own validation rejects with the canonical message below).
+            params = parse_raw_params(args.param)
     except RegistryError as error:
         raise SystemExit(f"error: {error}") from error
-    return CertifyRequest(
-        scheme=args.scheme,
-        graph=args.graph,
-        params=params,
-        seed=args.seed,
-        trials=args.trials,
-        engine=args.engine,
-        include_certificates=args.verbose,
-    )
+    try:
+        return CertifyRequest(
+            scheme=args.scheme,
+            formula=args.formula,
+            graph=args.graph,
+            params=params,
+            seed=args.seed,
+            trials=args.trials,
+            engine=args.engine,
+            include_certificates=args.verbose,
+        )
+    except ValueError as error:
+        # --scheme and --formula are mutually exclusive (and one is
+        # required); the request's own validation words the message.
+        raise SystemExit(f"error: {error}") from error
 
 
 def cmd_certify(args: argparse.Namespace) -> int:
@@ -341,7 +377,90 @@ def _print_bound(result) -> None:
               f"ok={result.bound.ok} (spread {spread} <= slack {result.bound.slack})")
 
 
+def _formula_spec_from_args(
+    args: argparse.Namespace, knobs: Dict[str, str]
+) -> FormulaSpec:
+    """Build a validated :class:`FormulaSpec` from CLI arguments + knobs."""
+    try:
+        resolved = resolve_formula_params(knobs)
+        return FormulaSpec(
+            formula=args.formula,
+            family=args.family,
+            sizes=parse_sizes(args.sizes),
+            t=resolved["t"],
+            k=resolved["k"],
+            route=resolved["route"],
+            model=resolved["model"],
+            trials=args.trials,
+            seed=args.seed,
+            engine=args.engine,
+            check_bound=not args.no_bound_check,
+            shard=parse_shard(args.shard),
+            name=args.name,
+        ).validate()
+    except (FormulaError, RegistryError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from error
+
+
+def _run_formula_series(args: argparse.Namespace, spec: FormulaSpec) -> int:
+    """Run a formula series, print it, write ``formula_<label>.json``."""
+    try:
+        result = run_formula(spec)
+    except GraphSpecError as error:
+        raise SystemExit(f"error: {error}") from error
+    if args.output:
+        output = args.output
+    elif spec.shard is not None:
+        output = f"formula_{spec.label}.shard{spec.shard[0]}of{spec.shard[1]}.json"
+    else:
+        output = f"formula_{spec.label}.json"
+    path = write_artifact(result, output, canonical=args.canonical)
+
+    shard_note = (
+        f", shard {spec.shard[0]}/{spec.shard[1]}" if spec.shard is not None else ""
+    )
+    print(f"formula:    {spec.label} ({len(result.points)} instances, "
+          f"route={spec.route}, t={spec.t}, engine={spec.engine}{shard_note})")
+    print(f"sentence:   {spec.formula}")
+    for point in result.points:
+        status = (
+            f"accepted={point.completeness_ok}"
+            if point.holds
+            else f"holds=False sound={point.soundness_ok}"
+        )
+        print(f"  {point.graph:<22} n={point.vertices:<6} "
+              f"{point.max_certificate_bits:>6} bits  {status}  ({point.elapsed_s:.3f}s)")
+    _print_bound(result)
+    _print_fit(result)
+    print(f"artifact:   {path}")
+
+    ok = result.all_accepted and result.all_sound
+    if result.bound is not None:
+        ok = ok and result.bound.ok
+    return 0 if ok else 1
+
+
+def cmd_formula(args: argparse.Namespace) -> int:
+    """Compile an MSO sentence and measure its certificate-size series."""
+    knobs = {"t": args.t, "k": args.k, "route": args.route, "model": args.model}
+    return _run_formula_series(args, _formula_spec_from_args(args, knobs))
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.formula is not None:
+        if args.scheme is not None:
+            raise SystemExit(
+                "error: --scheme and --formula are mutually exclusive; set one"
+            )
+        if args.measure != "full":
+            raise SystemExit("error: formula sweeps only support --measure full")
+        if args.id_exponent is not None:
+            raise SystemExit("error: formula sweeps do not support --id-exponent")
+        return _run_formula_series(
+            args, _formula_spec_from_args(args, parse_raw_params(args.param))
+        )
+    if args.scheme is None:
+        raise SystemExit("error: one of --scheme or --formula is required")
     try:
         spec = SweepSpec(
             scheme=args.scheme,
@@ -621,7 +740,7 @@ def cmd_results(args: argparse.Namespace) -> int:
     if not artifacts:
         raise SystemExit(f"error: no experiment artifacts found under {args.dir!r} "
                          f"(looked for sweep_*.json, lb_*.json, radius_*.json, "
-                         f"kernel_*.json)")
+                         f"kernel_*.json, formula_*.json)")
 
     labels = [result.spec.label for _, result in artifacts]
     for label in sorted({l for l in labels if labels.count(l) > 1}):
@@ -734,7 +853,15 @@ def main(argv: Optional[list] = None) -> int:
     subparsers.add_parser("list", help="list registered schemes and graph families")
 
     certify = subparsers.add_parser("certify", help="run a scheme on a graph")
-    certify.add_argument("--scheme", required=True, help="registry key (see 'list')")
+    certify.add_argument("--scheme", default=None, help="registry key (see 'list')")
+    certify.add_argument(
+        "--formula",
+        default=None,
+        metavar="SENTENCE",
+        help="compile this MSO sentence into an ephemeral scheme instead of "
+        "naming a registered one (mutually exclusive with --scheme); "
+        "--param entries then carry the compilation knobs t, k, route, model",
+    )
     certify.add_argument(
         "--param",
         action="append",
@@ -769,7 +896,15 @@ def main(argv: Optional[list] = None) -> int:
     sweep = subparsers.add_parser(
         "sweep", help="run a declarative certificate-size sweep, write a JSON artifact"
     )
-    sweep.add_argument("--scheme", required=True, help="registry key (see 'list')")
+    sweep.add_argument("--scheme", default=None, help="registry key (see 'list')")
+    sweep.add_argument(
+        "--formula",
+        default=None,
+        metavar="SENTENCE",
+        help="sweep an ephemeral MSO-compiled scheme instead of a registered "
+        "one (mutually exclusive with --scheme); --param entries then carry "
+        "the compilation knobs t, k, route, model",
+    )
     sweep.add_argument(
         "--param",
         action="append",
@@ -905,6 +1040,59 @@ def main(argv: Optional[list] = None) -> int:
     kernel.add_argument("--name", default=None, help="label stored in the artifact")
     kernel.add_argument("--shard", default=None, metavar="I/K", help="as for sweep")
     kernel.add_argument("--canonical", action="store_true", help="as for sweep")
+
+    formula = subparsers.add_parser(
+        "formula",
+        help="compile an MSO sentence and measure its certificate-size "
+        "series, write a JSON artifact",
+    )
+    formula.add_argument(
+        "--formula",
+        required=True,
+        metavar="SENTENCE",
+        help="the MSO sentence in the concrete syntax of repro.logic.parser, "
+        "e.g. 'exists x. forall y. (x = y | x ~ y)'",
+    )
+    formula.add_argument(
+        "--family",
+        required=True,
+        help=f"one of: {', '.join(sorted(GRAPH_FAMILIES))}",
+    )
+    formula.add_argument("--sizes", required=True, help="comma-separated size grid")
+    formula.add_argument(
+        "--t", type=int, default=2, help="treedepth bound of the compiled scheme (default 2)"
+    )
+    formula.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="quantifier-depth hint (default: derived from the formula)",
+    )
+    formula.add_argument(
+        "--route",
+        choices=("treedepth", "trees"),
+        default="treedepth",
+        help="'treedepth' (Theorem 2.6, full MSO, O(t log n) bits) or "
+        "'trees' (Theorem 2.2, first-order on trees, O(1) bits)",
+    )
+    formula.add_argument(
+        "--model",
+        choices=("auto", "balanced-path", "star"),
+        default="auto",
+        help="elimination-tree model builder for the treedepth route",
+    )
+    formula.add_argument("--trials", type=int, default=20, help="adversarial trials per no-instance")
+    formula.add_argument("--seed", type=int, default=0, help="series seed (per-point seeds derive from it)")
+    formula.add_argument("--engine", choices=VALID_ENGINES, default="auto")
+    formula.add_argument("--output", default=None, help="artifact path (default formula_<label>.json)")
+    formula.add_argument("--name", default=None, help="label stored in the artifact")
+    formula.add_argument(
+        "--no-bound-check",
+        action="store_true",
+        help="skip checking the series against the route's asymptotic bound",
+    )
+    formula.add_argument("--shard", default=None, metavar="I/K", help="as for sweep")
+    formula.add_argument("--canonical", action="store_true", help="as for sweep")
 
     serve = subparsers.add_parser(
         "serve",
@@ -1081,6 +1269,8 @@ def main(argv: Optional[list] = None) -> int:
         return cmd_lower_bound(args)
     if args.command == "kernel":
         return cmd_kernel(args)
+    if args.command == "formula":
+        return cmd_formula(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "shard-drive":

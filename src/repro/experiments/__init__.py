@@ -58,6 +58,13 @@ from repro.experiments.artifacts import (
     write_artifact,
 )
 from repro.experiments.bounds import FittedBound, fit_series
+from repro.experiments.formula import (
+    FormulaPoint,
+    FormulaResult,
+    FormulaSpec,
+    run_formula,
+    run_formula_point,
+)
 from repro.experiments.kernel import (
     KernelPoint,
     KernelResult,
@@ -96,6 +103,9 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "FittedBound",
+    "FormulaPoint",
+    "FormulaResult",
+    "FormulaSpec",
     "KernelPoint",
     "KernelResult",
     "KernelSpec",
@@ -119,6 +129,8 @@ __all__ = [
     "raise_if_stopped",
     "render_experiments_md",
     "result_from_payload",
+    "run_formula",
+    "run_formula_point",
     "run_kernel",
     "run_kernel_point",
     "run_lower_bound",

@@ -1,0 +1,33 @@
+"""Formula-as-a-request: compile MSO formulas into ephemeral schemes.
+
+See :mod:`repro.formulas.compiler` for the full story.  The public surface:
+
+* :func:`compile_formula` — text + bound → :class:`CompiledFormula`
+  (cached, scheme instance shared across requests);
+* :func:`resolve_formula_params` — validate ``{t, k, route, model}``;
+* :class:`FormulaError` — every parse/compile failure, mapped onto the
+  wire's ``invalid-formula`` code;
+* :func:`formula_cache_stats` — the compilation cache's counters.
+"""
+
+from repro.formulas.compiler import (
+    MAX_QUANTIFIER_DEPTH,
+    ROUTES,
+    CompiledFormula,
+    FormulaError,
+    compile_formula,
+    formula_cache_stats,
+    formula_fingerprint,
+    resolve_formula_params,
+)
+
+__all__ = [
+    "MAX_QUANTIFIER_DEPTH",
+    "ROUTES",
+    "CompiledFormula",
+    "FormulaError",
+    "compile_formula",
+    "formula_cache_stats",
+    "formula_fingerprint",
+    "resolve_formula_params",
+]

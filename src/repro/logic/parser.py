@@ -49,6 +49,10 @@ from repro.logic.syntax import (
 class _Token(NamedTuple):
     kind: str
     value: str
+    pos: int
+    """Character offset of the token in the source text — carried so parse
+    errors can point at the offending token (the wire's ``invalid-formula``
+    messages quote it)."""
 
 
 _TOKEN_SPEC = [
@@ -82,17 +86,20 @@ def _tokenize(text: str) -> Iterator[_Token]:
         if kind == "SKIP":
             continue
         if kind == "ERROR":
-            raise ParseError(f"unexpected character {value!r}")
+            raise ParseError(
+                f"unexpected character {value!r} at position {match.start()}"
+            )
         if kind == "NAME" and value in _KEYWORDS:
-            yield _Token(value.upper(), value)
+            yield _Token(value.upper(), value, match.start())
         else:
-            yield _Token(kind, value)
+            yield _Token(kind, value, match.start())
 
 
 class _Parser:
     def __init__(self, text: str) -> None:
         self.tokens = list(_tokenize(text))
         self.position = 0
+        self.end = len(text)
         self.set_variables: set[str] = set()
 
     def peek(self) -> _Token | None:
@@ -103,22 +110,27 @@ class _Parser:
     def advance(self) -> _Token:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of input")
+            raise ParseError(f"unexpected end of input at position {self.end}")
         self.position += 1
         return token
 
     def expect(self, kind: str) -> _Token:
         token = self.advance()
         if token.kind != kind:
-            raise ParseError(f"expected {kind}, found {token.value!r}")
+            raise ParseError(
+                f"expected {kind}, found {token.value!r} at position {token.pos}"
+            )
         return token
 
     # Grammar rules --------------------------------------------------------
 
     def parse(self) -> Formula:
         formula = self.parse_iff()
-        if self.peek() is not None:
-            raise ParseError(f"trailing input starting at {self.peek().value!r}")
+        token = self.peek()
+        if token is not None:
+            raise ParseError(
+                f"trailing input starting at {token.value!r} at position {token.pos}"
+            )
         return formula
 
     def parse_iff(self) -> Formula:
@@ -154,7 +166,7 @@ class _Parser:
     def parse_unary(self) -> Formula:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of input")
+            raise ParseError(f"unexpected end of input at position {self.end}")
         if token.kind == "NOT":
             self.advance()
             return Not(self.parse_unary())
@@ -167,7 +179,9 @@ class _Parser:
             return inner
         if token.kind == "NAME":
             return self.parse_atom()
-        raise ParseError(f"unexpected token {token.value!r}")
+        raise ParseError(
+            f"unexpected token {token.value!r} at position {token.pos}"
+        )
 
     def parse_quantified(self) -> Formula:
         token = self.advance()
@@ -199,7 +213,10 @@ class _Parser:
             right = self.expect("NAME").value
             self.set_variables.add(right)
             return InSet(Variable(left), SetVariable(right))
-        raise ParseError(f"expected '=', '~' or 'in' after {left!r}, found {operator.value!r}")
+        raise ParseError(
+            f"expected '=', '~' or 'in' after {left!r}, found {operator.value!r} "
+            f"at position {operator.pos}"
+        )
 
 
 def parse_formula(text: str) -> Formula:

@@ -49,6 +49,8 @@ from repro.service.messages import (
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
+    FormulaRequest,
+    FormulaResponse,
     HealthRequest,
     HealthResponse,
     LowerBoundRequest,
@@ -257,24 +259,28 @@ class ServiceClient:
 
     def certify(
         self,
-        scheme: str,
-        graph: str,
+        scheme: Optional[str] = None,
+        graph: str = "",
         params: Optional[Mapping[str, Any]] = None,
         seed: int = 0,
         trials: int = 20,
         engine: str = "auto",
         include_certificates: bool = False,
+        formula: Optional[str] = None,
         **kwargs: Any,
     ) -> Union[CertifyResponse, ErrorResponse]:
         """One certification question; ``kwargs`` pass through to the
         request (``deadline_s``, ``request_id``) and to :meth:`request`
-        (``retries``, ``retry_delay``)."""
+        (``retries``, ``retry_delay``).  ``formula`` (mutually exclusive
+        with ``scheme``) compiles an ephemeral MSO scheme server-side, with
+        ``params`` carrying the compilation knobs."""
         retry_kwargs = {
             key: kwargs.pop(key) for key in ("retries", "retry_delay") if key in kwargs
         }
         return self.request(
             CertifyRequest(
                 scheme=scheme,
+                formula=formula,
                 graph=graph,
                 params=dict(params or {}),
                 seed=seed,
@@ -288,17 +294,19 @@ class ServiceClient:
 
     def sweep(
         self,
-        scheme: str,
-        family: str,
-        sizes: Sequence[int],
+        scheme: Optional[str] = None,
+        family: str = "",
+        sizes: Sequence[int] = (),
         params: Optional[Mapping[str, Any]] = None,
         trials: int = 20,
         seed: int = 0,
+        formula: Optional[str] = None,
         **kwargs: Any,
     ) -> Union[SweepResponse, ErrorResponse]:
         return self.request(
             SweepRequest(
                 scheme=scheme,
+                formula=formula,
                 family=family,
                 sizes=tuple(sizes),
                 params=dict(params or {}),
@@ -306,6 +314,27 @@ class ServiceClient:
                 seed=seed,
                 **kwargs,
             )
+        )
+
+    def formula(
+        self,
+        formula: str,
+        family: str,
+        sizes: Sequence[int],
+        **kwargs: Any,
+    ) -> Union["FormulaResponse", ErrorResponse]:
+        """Run a certificate-size series for an ad-hoc MSO formula.
+
+        ``kwargs`` pass through to :class:`FormulaRequest` (including
+        ``t``, ``k``, ``route``, ``model``, ``shard``, ``deadline_s`` and
+        ``request_id``).
+        """
+        retry_kwargs = {
+            key: kwargs.pop(key) for key in ("retries", "retry_delay") if key in kwargs
+        }
+        return self.request(
+            FormulaRequest(formula=formula, family=family, sizes=tuple(sizes), **kwargs),
+            **retry_kwargs,
         )
 
     def lower_bound(

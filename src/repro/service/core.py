@@ -49,12 +49,20 @@ from repro.core.cache import cached_evaluation_identifiers
 from repro.core.scheme import NotAYesInstance, evaluate_scheme
 from repro.experiments import (
     ExperimentCancelled,
+    FormulaSpec,
     LowerBoundSpec,
     RadiusSpec,
     SweepSpec,
+    run_formula,
     run_lower_bound,
     run_radius,
     run_sweep,
+)
+from repro.formulas import (
+    FormulaError,
+    compile_formula,
+    formula_cache_stats,
+    resolve_formula_params,
 )
 from repro.graphs.generators import GraphSpecError, build_graph_spec
 from repro.lower_bounds.catalog import LOWER_BOUND_CONSTRUCTIONS
@@ -67,6 +75,8 @@ from repro.service.messages import (
     CertifyRequest,
     CertifyResponse,
     ErrorResponse,
+    FormulaRequest,
+    FormulaResponse,
     HealthRequest,
     HealthResponse,
     LowerBoundRequest,
@@ -207,6 +217,7 @@ class CertificationService:
         self._counters: Dict[str, int] = {
             "certify": 0,
             "sweep": 0,
+            "formula": 0,
             "lower_bound": 0,
             "radius": 0,
             "stats": 0,
@@ -283,11 +294,14 @@ class CertificationService:
         with self._counter_lock:
             counters = dict(self._counters)
             routing = dict(self._routing)
+        formula_cache = formula_cache_stats()
         return {
             "service": {
                 "workers": self.workers,
                 "requests": counters,
                 "routing": routing,
+                "formula_compile_hits": formula_cache["hits"],
+                "formula_compile_misses": formula_cache["misses"],
             },
             "schemes_cached": len(self._schemes),
             "caches": cache_stats(),
@@ -318,6 +332,8 @@ class CertificationService:
             return self.certify(request)
         if isinstance(request, SweepRequest):
             return self.sweep(request, scope=scope)
+        if isinstance(request, FormulaRequest):
+            return self.formula(request, scope=scope)
         if isinstance(request, LowerBoundRequest):
             return self.lower_bound(request, scope=scope)
         if isinstance(request, RadiusRequest):
@@ -490,6 +506,7 @@ class CertificationService:
                 "inflight": inflight,
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
                 "default_deadline_s": self.default_deadline_s,
+                "formula_cache_size": formula_cache_stats()["size"],
                 "requests": counters,
             }
         )
@@ -522,25 +539,48 @@ class CertificationService:
         ``graph`` lets in-process callers (the :mod:`repro.api` facade)
         hand over an already-built :class:`networkx.Graph`; wire callers
         always go through the ``family:size`` specifier in the request.
+
+        A request carrying ``formula`` instead of ``scheme`` compiles an
+        ephemeral scheme through :mod:`repro.formulas` (``params`` holds
+        the compilation knobs); parse/compile failures answer with the
+        structured ``invalid-formula`` code, never a traceback.
         """
 
         def fail(code: str, message: str) -> ErrorResponse:
             self._count("errors")
             return ErrorResponse(code=code, message=message, request_op=request.op)
 
-        try:
-            info = REGISTRY.get(request.scheme)
-        except RegistryError as error:
-            return fail("unknown-scheme", str(error))
-        except TypeError:
-            # e.g. an unhashable scheme value smuggled in over the wire.
-            return fail("invalid-request", f"scheme must be a string, got {request.scheme!r}")
-        try:
-            params = info.resolve_params(request.params)
-        except RegistryError as error:
-            return fail("invalid-param", str(error))
-        except TypeError:
-            return fail("invalid-request", f"params must be a mapping, got {request.params!r}")
+        compiled = None
+        info = None
+        if request.formula is not None:
+            try:
+                compiled = compile_formula(
+                    request.formula, **resolve_formula_params(request.params)
+                )
+            except FormulaError as error:
+                return fail("invalid-formula", str(error))
+            except TypeError:
+                return fail(
+                    "invalid-request", f"params must be a mapping, got {request.params!r}"
+                )
+        else:
+            try:
+                info = REGISTRY.get(request.scheme)
+            except RegistryError as error:
+                return fail("unknown-scheme", str(error))
+            except TypeError:
+                # e.g. an unhashable scheme value smuggled in over the wire.
+                return fail(
+                    "invalid-request", f"scheme must be a string, got {request.scheme!r}"
+                )
+            try:
+                params = info.resolve_params(request.params)
+            except RegistryError as error:
+                return fail("invalid-param", str(error))
+            except TypeError:
+                return fail(
+                    "invalid-request", f"params must be a mapping, got {request.params!r}"
+                )
         try:
             validate_engine(request.engine, context="certify requests")
         except ValueError as error:
@@ -559,7 +599,7 @@ class CertificationService:
                 return fail("invalid-graph", str(error))
 
         try:
-            scheme = self._scheme(info, params)
+            scheme = compiled.scheme if compiled is not None else self._scheme(info, params)
             report = evaluate_scheme(
                 scheme,
                 graph,
@@ -588,7 +628,7 @@ class CertificationService:
         self._count_routing((report.engine_resolved,))
         return CertifyResponse(
             scheme=scheme.name,
-            registry_key=info.key,
+            registry_key="formula" if compiled is not None else info.key,
             graph=request.graph,
             vertices=graph.number_of_nodes(),
             edges=graph.number_of_edges(),
@@ -596,7 +636,7 @@ class CertificationService:
             accepted=report.completeness_ok,
             sound=report.soundness_ok,
             max_certificate_bits=report.max_certificate_bits,
-            bound=info.bound.label,
+            bound=compiled.bound_label if compiled is not None else info.bound.label,
             engine=request.engine,
             engine_resolved=report.engine_resolved,
             seed=request.seed,
@@ -605,13 +645,46 @@ class CertificationService:
 
     def sweep(
         self, request: SweepRequest, scope: Optional[CancelScope] = None
-    ) -> Union[SweepResponse, ErrorResponse]:
-        """Run a whole declarative sweep (or one shard of it) as one request."""
+    ) -> Union[SweepResponse, "FormulaResponse", ErrorResponse]:
+        """Run a whole declarative sweep (or one shard of it) as one request.
+
+        A request carrying ``formula`` instead of ``scheme`` runs through
+        :class:`~repro.experiments.FormulaSpec` (``params`` holds the
+        compilation knobs) and answers with a :class:`FormulaResponse` —
+        the artifact payload then has kind ``"formula"``.
+        """
 
         def fail(code: str, message: str) -> ErrorResponse:
             self._count("errors")
             return ErrorResponse(code=code, message=message, request_op=request.op)
 
+        if request.formula is not None:
+            if request.measure != "full":
+                return fail("invalid-param", "formula sweeps only support measure='full'")
+            if request.id_exponent is not None:
+                return fail("invalid-param", "formula sweeps do not support id_exponent")
+            try:
+                knobs = resolve_formula_params(request.params)
+            except FormulaError as error:
+                return fail("invalid-formula", str(error))
+            return self.formula(
+                FormulaRequest(
+                    formula=request.formula,
+                    family=request.family,
+                    sizes=request.sizes,
+                    t=knobs["t"],
+                    k=knobs["k"],
+                    route=knobs["route"],
+                    model=knobs["model"],
+                    trials=request.trials,
+                    seed=request.seed,
+                    engine=request.engine,
+                    check_bound=request.check_bound,
+                    shard=request.shard,
+                    name=request.name,
+                ),
+                scope=scope,
+            )
         try:
             spec = SweepSpec(
                 scheme=request.scheme,
@@ -655,6 +728,60 @@ class CertificationService:
         self._count("sweep")
         self._count_routing(point.engine_resolved for point in result.points)
         return result
+
+    def formula(
+        self, request: FormulaRequest, scope: Optional[CancelScope] = None
+    ) -> Union[FormulaResponse, ErrorResponse]:
+        """Run a certificate-size series for an ad-hoc MSO formula.
+
+        The formula is compiled once (fingerprint-keyed cache, shared with
+        ``certify --formula``) and evaluated over the grid like a catalogue
+        sweep; parse/compile failures answer with ``invalid-formula``.
+        """
+
+        def fail(code: str, message: str) -> ErrorResponse:
+            self._count("errors")
+            return ErrorResponse(code=code, message=message, request_op=request.op)
+
+        try:
+            spec = FormulaSpec(
+                formula=request.formula,
+                family=request.family,
+                sizes=request.sizes,
+                t=request.t,
+                k=request.k,
+                route=request.route,
+                model=request.model,
+                trials=request.trials,
+                seed=request.seed,
+                engine=request.engine,
+                check_bound=request.check_bound,
+                shard=request.shard,
+                name=request.name,
+            ).validate()
+        except FormulaError as error:
+            return fail("invalid-formula", str(error))
+        except RegistryError as error:
+            return fail("invalid-param", str(error))
+        try:
+            result = run_formula(
+                spec, should_stop=scope.check if scope is not None else None
+            )
+        except ExperimentCancelled as error:
+            return fail(error.reason, f"formula series stopped: {error.reason}")
+        except GraphSpecError as error:
+            return fail("invalid-graph", str(error))
+        except NotAYesInstance as error:
+            return fail("not-a-yes-instance", str(error))
+        except FormulaError as error:
+            return fail("invalid-formula", str(error))
+        except ValueError as error:
+            return fail("undecidable", str(error))
+        except Exception as error:  # noqa: BLE001
+            return fail("internal-error", f"{type(error).__name__}: {error}")
+        self._count("formula")
+        self._count_routing(point.engine_resolved for point in result.points)
+        return FormulaResponse(result=result.to_dict())
 
     def lower_bound(
         self, request: LowerBoundRequest, scope: Optional[CancelScope] = None
@@ -827,8 +954,13 @@ class CertificationService:
                     for pending in futures[position + 1 :]:
                         pending.cancel()
             responses.append(response)
-            if stop_on_failure and not _response_ok(response):
+            if stop_on_failure and not failed and not _response_ok(response):
                 failed = True
+                # Sweep the whole queued tail now: cancelling lazily, one
+                # member per walk step, lets the workers stay ahead of the
+                # walk and start members the early exit promised to skip.
+                for pending in futures[position + 1 :]:
+                    pending.cancel()
         return responses
 
     def _scoped_result(
@@ -857,7 +989,9 @@ def _response_ok(response: Response) -> bool:
         return False
     if isinstance(response, CertifyResponse):
         return response.verdict_ok and response.sound is not False
-    if isinstance(response, (SweepResponse, LowerBoundResponse, RadiusResponse)):
+    if isinstance(
+        response, (SweepResponse, FormulaResponse, LowerBoundResponse, RadiusResponse)
+    ):
         return response.clean
     return True
 

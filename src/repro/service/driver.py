@@ -52,6 +52,7 @@ from repro.experiments.artifacts import (
     merge_artifacts,
     result_from_payload,
 )
+from repro.experiments.formula import FormulaSpec
 from repro.experiments.lower_bound import LowerBoundSpec
 from repro.experiments.radius import RadiusSpec
 from repro.experiments.spec import ExperimentSpec, SweepSpec
@@ -62,6 +63,8 @@ from repro.service.client import (
 )
 from repro.service.messages import (
     ErrorResponse,
+    FormulaRequest,
+    FormulaResponse,
     HealthResponse,
     LowerBoundRequest,
     LowerBoundResponse,
@@ -317,6 +320,8 @@ class ShardDriver:
             # itself); it is merge-normalised away anyway.
             payload.pop("processes", None)
             return SweepRequest(**payload)
+        if isinstance(spec, FormulaSpec):
+            return FormulaRequest(**payload)
         if isinstance(spec, LowerBoundSpec):
             return LowerBoundRequest(**payload)
         if isinstance(spec, RadiusSpec):
@@ -325,7 +330,10 @@ class ShardDriver:
 
     @staticmethod
     def _payload_of(response: Response) -> Optional[Dict[str, Any]]:
-        if isinstance(response, (SweepResponse, LowerBoundResponse, RadiusResponse)):
+        if isinstance(
+            response,
+            (SweepResponse, FormulaResponse, LowerBoundResponse, RadiusResponse),
+        ):
             return response.result
         return None
 

@@ -29,6 +29,8 @@ ERROR_CODES: Tuple[str, ...] = (
     "invalid-param",       # parameter validation failed (type/range/unknown key)
     "invalid-graph",       # graph specifier did not resolve to a graph
     "invalid-request",     # malformed wire message / unknown op / bad field
+    "invalid-formula",     # a --formula failed to parse or compile (message
+                           # carries the offending token position)
     "not-a-yes-instance",  # the honest prover was asked to prove a no-instance
     "undecidable",         # ground truth raised (e.g. exact treedepth too large)
     "skipped",             # batch member not run because the batch exited early
@@ -86,6 +88,27 @@ def _validate_engine_field(
     validate_engine(engine, allowed=allowed, context=f"{message.op!r} requests")
 
 
+def _validate_scheme_or_formula(message: Any) -> None:
+    """Enforce the scheme/formula exclusivity shared by certify and sweep.
+
+    Exactly one of ``scheme`` (a registry key) and ``formula`` (MSO concrete
+    syntax, compiled on the fly) must be set.  Raises ValueError — which the
+    wire path turns into a ``ProtocolError`` per the one-error-shape
+    convention — so a request carrying both or neither never reaches a
+    handler.
+    """
+    scheme = getattr(message, "scheme", None)
+    formula = getattr(message, "formula", None)
+    if scheme is not None and formula is not None:
+        raise ValueError("'scheme' and 'formula' are mutually exclusive; set one")
+    if scheme is None and formula is None:
+        raise ValueError("one of 'scheme' or 'formula' is required")
+    if formula is not None and not isinstance(formula, str):
+        raise ValueError(f"formula must be a string, got {formula!r}")
+    if scheme is not None and not isinstance(scheme, str):
+        raise ValueError(f"scheme must be a string, got {scheme!r}")
+
+
 def _normalize_shard(shard: Any) -> Optional[Tuple[int, int]]:
     if shard is None:
         return None
@@ -137,12 +160,19 @@ class CertifyRequest:
     — the service remembers the response per id, so a retry after a broken
     transport replays the answer instead of recomputing it (and the id is
     the handle a ``cancel`` op targets).
+
+    ``formula`` (mutually exclusive with ``scheme``) asks for an *ephemeral*
+    scheme compiled from MSO concrete syntax instead of a catalogue lookup;
+    ``params`` then carries the compilation knobs (``t``, ``k``, ``route``,
+    ``model``) and parse/compile failures answer with the
+    ``invalid-formula`` code.
     """
 
     op = "certify"
 
-    scheme: str
     graph: str
+    scheme: Optional[str] = None
+    formula: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
     seed: int = 0
     trials: int = 20
@@ -153,6 +183,7 @@ class CertifyRequest:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
+        _validate_scheme_or_formula(self)
         _validate_engine_field(self)
         _validate_fault_tolerance_fields(self)
 
@@ -176,13 +207,19 @@ class SweepRequest:
     — the wire form of ``sweep --shard i/k``, which is what lets the shard
     driver fan one experiment out over a fleet of serve processes and merge
     the partial payloads back into the exact unsharded artifact.
+
+    ``formula`` (mutually exclusive with ``scheme``) sweeps an *ephemeral*
+    scheme compiled from MSO concrete syntax; ``params`` then carries the
+    compilation knobs (``t``, ``k``, ``route``, ``model``) and the run goes
+    through :class:`repro.experiments.FormulaSpec` instead of ``SweepSpec``.
     """
 
     op = "sweep"
 
-    scheme: str
     family: str
     sizes: Tuple[int, ...]
+    scheme: Optional[str] = None
+    formula: Optional[str] = None
     params: Mapping[str, Any] = field(default_factory=dict)
     trials: int = 20
     seed: int = 0
@@ -199,6 +236,7 @@ class SweepRequest:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "shard", _normalize_shard(self.shard))
+        _validate_scheme_or_formula(self)
         _validate_engine_field(self)
         _validate_fault_tolerance_fields(self)
 
@@ -207,6 +245,52 @@ class SweepRequest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepRequest":
+        return _from_dict(cls, data, kind="request")
+
+
+@dataclass(frozen=True)
+class FormulaRequest:
+    """A certificate-size series for an ad-hoc MSO formula as one request.
+
+    Mirrors :class:`repro.experiments.FormulaSpec` field-for-field, the same
+    way :class:`SweepRequest` mirrors ``SweepSpec`` — including the
+    ``shard`` restriction, so formula series fan out over the shard driver
+    exactly like catalogue sweeps.  The formula is compiled once per serve
+    process (fingerprint-keyed cache) and evaluated at every grid point;
+    parse/compile failures answer with the ``invalid-formula`` code.
+    """
+
+    op = "formula"
+
+    formula: str
+    family: str
+    sizes: Tuple[int, ...]
+    t: int = 2
+    k: Optional[int] = None
+    route: str = "treedepth"
+    model: str = "auto"
+    trials: int = 20
+    seed: int = 0
+    engine: str = "auto"
+    check_bound: bool = True
+    shard: Optional[Tuple[int, int]] = None
+    name: Optional[str] = None
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.formula, str) or not self.formula.strip():
+            raise ValueError("formula must be a non-empty string")
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        object.__setattr__(self, "shard", _normalize_shard(self.shard))
+        _validate_engine_field(self)
+        _validate_fault_tolerance_fields(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _dataclass_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FormulaRequest":
         return _from_dict(cls, data, kind="request")
 
 
@@ -354,6 +438,7 @@ _REQUEST_TYPES: Dict[str, type] = {
     for cls in (
         CertifyRequest,
         SweepRequest,
+        FormulaRequest,
         LowerBoundRequest,
         RadiusRequest,
         StatsRequest,
@@ -455,6 +540,7 @@ class BatchRequest:
 Request = Union[
     CertifyRequest,
     SweepRequest,
+    FormulaRequest,
     LowerBoundRequest,
     RadiusRequest,
     StatsRequest,
@@ -577,6 +663,41 @@ class SweepResponse:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepResponse":
+        return cls(result=dict(data.get("result") or {}))
+
+
+@dataclass(frozen=True)
+class FormulaResponse:
+    """The artifact payload of one :class:`FormulaRequest`.
+
+    ``result`` is exactly what :func:`repro.experiments.write_artifact`
+    would have written for the series (kind ``"formula"``), so wire
+    consumers (and the shard driver's merge) read the same schema as
+    artifact files.
+    """
+
+    op = "formula"
+    ok = True
+
+    result: Dict[str, Any]
+
+    @property
+    def clean(self) -> bool:
+        ok = bool(self.result.get("all_accepted")) and bool(self.result.get("all_sound"))
+        bound = self.result.get("bound")
+        if bound is not None:
+            ok = ok and bool(bound.get("ok"))
+        return ok
+
+    @property
+    def series(self) -> Dict[int, int]:
+        return {int(n): bits for n, bits in (self.result.get("series") or {}).items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "ok": True, "result": dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FormulaResponse":
         return cls(result=dict(data.get("result") or {}))
 
 
@@ -745,6 +866,7 @@ _RESPONSE_TYPES: Dict[str, type] = {
     for cls in (
         CertifyResponse,
         SweepResponse,
+        FormulaResponse,
         LowerBoundResponse,
         RadiusResponse,
         StatsResponse,
@@ -805,6 +927,7 @@ class BatchResponse:
 Response = Union[
     CertifyResponse,
     SweepResponse,
+    FormulaResponse,
     LowerBoundResponse,
     RadiusResponse,
     StatsResponse,

@@ -1,0 +1,156 @@
+"""Tests for the formula compiler: ephemeral schemes from MSO sentences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import cache_stats, clear_caches
+from repro.core.scheme import evaluate_scheme
+from repro.formulas import (
+    MAX_QUANTIFIER_DEPTH,
+    CompiledFormula,
+    FormulaError,
+    compile_formula,
+    formula_cache_stats,
+    formula_fingerprint,
+    resolve_formula_params,
+)
+from repro.graphs.generators import build_graph_spec
+
+DOMINATING = "exists x. forall y. (x = y | x ~ y)"
+NO_ISOLATED = "forall x. exists y. x ~ y"
+TWO_COLORABLE = (
+    "existsS A. forall x. forall y. "
+    "(x ~ y -> !((x in A & y in A) | (!(x in A) & !(y in A))))"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestCompileFormula:
+    def test_treedepth_route_compiles_and_certifies(self):
+        compiled = compile_formula(DOMINATING, t=2)
+        assert isinstance(compiled, CompiledFormula)
+        assert compiled.route == "treedepth"
+        assert compiled.bound_label == "O(t log n)"
+        report = evaluate_scheme(compiled.scheme, build_graph_spec("star:8"))
+        assert report.holds and report.completeness_ok
+
+    def test_trees_route_compiles_first_order_sentences(self):
+        compiled = compile_formula(NO_ISOLATED, route="trees")
+        assert compiled.route == "trees"
+        assert compiled.bound_label == "O(1)"
+        assert compiled.first_order
+
+    def test_trees_route_rejects_mso(self):
+        with pytest.raises(FormulaError, match="first-order sentences only"):
+            compile_formula(TWO_COLORABLE, route="trees")
+
+    def test_mso_set_quantifiers_take_the_treedepth_route(self):
+        compiled = compile_formula(TWO_COLORABLE, t=3)
+        assert not compiled.first_order
+        report = evaluate_scheme(compiled.scheme, build_graph_spec("path:6"))
+        assert report.holds and report.completeness_ok
+
+    def test_repeated_compilation_returns_the_same_instance(self):
+        first = compile_formula(DOMINATING, t=2)
+        second = compile_formula(DOMINATING, t=2)
+        assert first is second
+        assert first.scheme is second.scheme
+
+    def test_textual_variants_share_one_cache_entry(self):
+        # Same canonical sentence, different whitespace/parenthesisation.
+        variant = "exists x. forall y. ((x = y) | (x ~ y))"
+        assert compile_formula(DOMINATING, t=2) is compile_formula(variant, t=2)
+
+    def test_distinct_parameters_are_distinct_entries(self):
+        base = compile_formula(DOMINATING, t=2)
+        assert compile_formula(DOMINATING, t=3) is not base
+        assert compile_formula(DOMINATING, t=2, k=4) is not base
+        assert compile_formula(DOMINATING, t=2, model="star") is not base
+
+    def test_fingerprint_is_stable_and_parameter_sensitive(self):
+        fp = formula_fingerprint(DOMINATING, "treedepth", 2, 0, "auto")
+        assert fp == formula_fingerprint(DOMINATING, "treedepth", 2, 0, "auto")
+        assert fp != formula_fingerprint(DOMINATING, "treedepth", 3, 0, "auto")
+        assert fp != formula_fingerprint(DOMINATING, "trees", 2, 0, "auto")
+
+    def test_quantifier_depth_cap(self):
+        deep = "".join(f"exists x{i}. " for i in range(MAX_QUANTIFIER_DEPTH + 1))
+        deep += "x0 = x0"
+        with pytest.raises(FormulaError, match="quantifier depth"):
+            compile_formula(deep)
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(FormulaError, match="free.*y"):
+            compile_formula("exists x. x ~ y")
+
+    def test_parse_errors_carry_the_token_position(self):
+        with pytest.raises(FormulaError, match="at position 18"):
+            compile_formula("exists x. ((x = y)")
+
+    def test_empty_and_non_string_rejected(self):
+        with pytest.raises(FormulaError, match="non-empty"):
+            compile_formula("   ")
+        with pytest.raises(FormulaError, match="non-empty"):
+            compile_formula(None)  # type: ignore[arg-type]
+
+
+class TestResolveFormulaParams:
+    def test_defaults(self):
+        assert resolve_formula_params(None) == {
+            "t": 2, "k": None, "route": "treedepth", "model": "auto"
+        }
+
+    def test_string_values_are_coerced(self):
+        resolved = resolve_formula_params({"t": "3", "k": "2"})
+        assert resolved["t"] == 3 and resolved["k"] == 2
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FormulaError, match="unknown formula parameter"):
+            resolve_formula_params({"depth": 3})
+
+    @pytest.mark.parametrize(
+        "params, match",
+        [
+            ({"route": "orbit"}, "unknown formula route"),
+            ({"t": 0}, "at least 1"),
+            ({"k": 0}, "at least 1"),
+            ({"t": "two"}, "must be an integer"),
+            ({"model": "comet"}, "unknown model builder"),
+        ],
+    )
+    def test_out_of_range_values_rejected(self, params, match):
+        with pytest.raises(FormulaError, match=match):
+            resolve_formula_params(params)
+
+
+class TestFormulaCache:
+    def test_stats_track_hits_and_misses(self):
+        before = formula_cache_stats()
+        assert before == {"hits": 0, "misses": 0, "size": 0}
+        compile_formula(DOMINATING, t=2)
+        compile_formula(DOMINATING, t=2)
+        after = formula_cache_stats()
+        assert after["misses"] == 1 and after["hits"] == 1 and after["size"] == 1
+
+    def test_registered_with_the_repo_cache_registry(self):
+        compile_formula(DOMINATING, t=2)
+        stats = cache_stats()
+        assert stats["formula_compile"]["misses"] == 1
+
+    def test_errors_are_not_cached(self):
+        for _ in range(2):
+            with pytest.raises(FormulaError):
+                compile_formula("exists x. (")
+        assert formula_cache_stats()["size"] == 0
+
+    def test_clear_caches_empties_the_formula_cache(self):
+        compile_formula(DOMINATING, t=2)
+        clear_caches()
+        assert formula_cache_stats() == {"hits": 0, "misses": 0, "size": 0}

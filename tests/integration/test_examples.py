@@ -1,0 +1,46 @@
+"""The example tours must keep running: they are executable documentation.
+
+Each tour is run as a real subprocess (the way a reader would run it), so
+import errors, API drift, or a non-zero exit in any tour fails the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def run_example(name: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    process = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert process.returncode == 0, process.stdout + process.stderr
+    return process.stdout
+
+
+class TestFormulaServiceTour:
+    def test_tour_runs_and_tells_the_whole_story(self):
+        output = run_example("formula_service_tour.py")
+        # Compilation: both routes appear with their bounds.
+        assert "O(t log n)" in output
+        assert "O(1)" in output
+        # Certification: warm requests hit the compile cache.
+        assert "compile cache: 2 hits, 2 misses" in output
+        # Error handling: malformed input surfaces the stable wire code.
+        assert "[invalid-formula]" in output
+        assert "at position" in output
+        # Sweep: the certificate-size series and its bound check.
+        assert "ok=True" in output

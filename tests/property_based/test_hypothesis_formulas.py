@@ -1,0 +1,110 @@
+"""Property-based round-trip tests of the formula subsystem.
+
+Two invariants, on randomized instances:
+
+* **catalogue parity** — compiling the *text* of a catalogue formula must
+  produce the same verdict (holds, completeness, soundness, certificate
+  bits) as the registered ``mso-treedepth`` scheme built from the same
+  sentence, on every concrete engine and on ``engine="auto"``;
+* **round-trip stability** — ``str(formula)`` re-parses to an equal
+  formula, so textual variants land in one cache entry and the compiled
+  scheme's name is canonical.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mso_treedepth_scheme import MSOTreedepthScheme
+from repro.core.scheme import evaluate_scheme
+from repro.formulas import compile_formula
+from repro.graphs.generators import random_tree
+from repro.logic.parser import parse_formula
+from repro.registry import NAMED_FORMULAS
+
+ENGINES = ("legacy", "compiled", "delta", "vector", "auto")
+
+#: Catalogue sentences whose text is the parity reference.
+FORMULA_NAMES = sorted(NAMED_FORMULAS)
+
+
+@st.composite
+def small_graphs(draw, max_vertices=8):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_tree(n, seed=seed)
+    extra = draw(
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=n)
+    )
+    for u, v in extra:
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def _verdict(report):
+    return (
+        report.holds,
+        report.completeness_ok,
+        report.soundness_ok,
+        report.max_certificate_bits,
+    )
+
+
+class TestFormulaCatalogueParity:
+    """A compiled formula is indistinguishable from its catalogue twin."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        name=st.sampled_from(FORMULA_NAMES),
+        graph=small_graphs(),
+        t=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_verdicts_match_on_every_engine(self, name, graph, t, seed):
+        sentence = NAMED_FORMULAS[name]()
+        catalogue = MSOTreedepthScheme(sentence, t, name=name)
+        compiled = compile_formula(str(sentence), t=t)
+        for engine in ENGINES:
+            expected = evaluate_scheme(
+                catalogue, graph, seed=seed, adversarial_trials=5, engine=engine
+            )
+            actual = evaluate_scheme(
+                compiled.scheme, graph, seed=seed, adversarial_trials=5, engine=engine
+            )
+            assert _verdict(actual) == _verdict(expected), engine
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(FORMULA_NAMES),
+        t=st.integers(min_value=1, max_value=5),
+        k=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    )
+    def test_compiled_bound_matches_the_catalogue_bound(self, name, t, k):
+        compiled = compile_formula(str(NAMED_FORMULAS[name]()), t=t, k=k)
+        assert compiled.bound_label == "O(t log n)"
+        assert compiled.t == t
+        if k is not None:
+            assert compiled.k == k
+
+
+class TestFormulaRoundTrip:
+    """str(parse(text)) is a fixpoint: canonicalisation is stable."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(name=st.sampled_from(FORMULA_NAMES))
+    def test_canonical_text_reparses_to_an_equal_formula(self, name):
+        sentence = NAMED_FORMULAS[name]()
+        assert parse_formula(str(sentence)) == sentence
+        assert str(parse_formula(str(sentence))) == str(sentence)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        name=st.sampled_from(FORMULA_NAMES),
+        t=st.integers(min_value=2, max_value=3),
+    )
+    def test_textual_variants_share_one_compiled_instance(self, name, t):
+        sentence = NAMED_FORMULAS[name]()
+        direct = compile_formula(str(sentence), t=t)
+        reparsed = compile_formula(str(parse_formula(str(sentence))), t=t)
+        assert direct is reparsed

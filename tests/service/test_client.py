@@ -41,6 +41,23 @@ class TestTCP:
             assert isinstance(response, CertifyResponse)
             assert response.holds and response.accepted
 
+    def test_formula_certify_and_series_roundtrip(self, tcp_server):
+        host, port = tcp_server.address
+        dominating = "exists x. forall y. (x = y | x ~ y)"
+        with ServiceClient.connect(host, port) as client:
+            certified = client.certify(
+                formula=dominating, graph="star:8", params={"t": 2}
+            )
+            assert isinstance(certified, CertifyResponse)
+            assert certified.holds and certified.registry_key == "formula"
+            series = client.formula(
+                formula=dominating, family="star", sizes=(4, 6), trials=5
+            )
+            assert series.series == {4: 160, 6: 184}
+            malformed = client.certify(formula="exists x. ((x = y)", graph="star:8")
+            assert isinstance(malformed, ErrorResponse)
+            assert malformed.code == "invalid-formula"
+
     def test_errors_come_back_as_values(self, tcp_server):
         host, port = tcp_server.address
         with ServiceClient.connect(host, port) as client:
@@ -61,10 +78,19 @@ class TestTCP:
         client = ServiceClient.connect(host, port)
         assert client.shutdown() is True
         client.close()
-        with pytest.raises(ServiceTransportError):
-            ServiceClient.connect(host, port, retries=3, retry_delay=0.05).certify(
-                scheme="tree", graph="path:4"
-            )
+        # The serve loop notices the shutdown on its next poll tick, so the
+        # listener can linger briefly; poll until connects are refused.
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                with ServiceClient.connect(
+                    host, port, retries=1, retry_delay=0.01
+                ) as probe:
+                    probe.certify(scheme="tree", graph="path:4")
+            except ServiceTransportError:
+                break
+            assert time.monotonic() < deadline, "server still accepting connects"
+            time.sleep(0.05)
 
     def test_connect_refused_raises_transport_error(self):
         with pytest.raises(ServiceTransportError, match="could not connect"):
@@ -88,6 +114,12 @@ class TestTCP:
 
     def test_submit_many_stop_on_failure_marks_skips(self, tcp_server):
         host, port = tcp_server.address
+        # Freeze every handler after the failing head so the tail is still
+        # queued when the early exit sweeps it — without the stall, fast
+        # cached certifies can all finish before the first failure lands.
+        tcp_server.service.fault_injector = FaultInjector.parse(
+            ["freeze:after=1,seconds=0.2"]
+        )
         requests = [CertifyRequest(scheme="nope", graph="path:4")]
         requests += [
             CertifyRequest(scheme="tree", graph=f"random-tree:{8 + i}")

@@ -297,6 +297,10 @@ class TestCliServeParity:
         (["--scheme", "tree", "--graph", "random-tree:9", "--verbose"],
          {"op": "certify", "scheme": "tree", "graph": "random-tree:9",
           "include_certificates": True}),
+        (["--formula", "exists x. forall y. (x = y | x ~ y)",
+          "--param", "t=2", "--graph", "star:8"],
+         {"op": "certify", "formula": "exists x. forall y. (x = y | x ~ y)",
+          "params": {"t": "2"}, "graph": "star:8"}),
     ]
 
     @pytest.mark.parametrize("cli_args, wire_request", CASES)

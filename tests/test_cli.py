@@ -436,3 +436,100 @@ class TestShardMergeResultsCommands:
             ["merge", "--output", str(tmp_path / "v.json"),
              str(tmp_path / "v0.json"), str(tmp_path / "v1.json")]
         ) == 1
+
+
+class TestFormulaCommands:
+    DOMINATING = "exists x. forall y. (x = y | x ~ y)"
+
+    def test_certify_formula_json_verdict(self, capsys):
+        assert main(
+            ["certify", "--formula", self.DOMINATING, "--graph", "star:8",
+             "--param", "t=2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["holds"] is True and payload["accepted"] is True
+        assert payload["registry_key"] == "formula"
+        assert payload["bound"] == "O(t log n)"
+
+    def test_certify_malformed_formula_exits_with_the_wire_message(self):
+        """Satellite: the CLI exits non-zero with the exact invalid-formula
+        message the wire path produces, offending position included."""
+        from repro import api
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["certify", "--formula", "exists x. ((x = y)",
+                  "--graph", "star:8"])
+        cli_message = str(excinfo.value)
+        try:
+            api.certify(formula="exists x. ((x = y)", graph="star:8")
+            raise AssertionError("expected a ServiceError")
+        except api.ServiceError as error:
+            assert error.response.code == "invalid-formula"
+            assert cli_message == f"error: {error.response.message}"
+        assert "at position 18" in cli_message
+
+    def test_certify_scheme_and_formula_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["certify", "--scheme", "tree", "--formula", self.DOMINATING,
+                  "--graph", "path:4"])
+
+    def test_certify_requires_scheme_or_formula(self):
+        with pytest.raises(SystemExit, match="one of 'scheme' or 'formula'"):
+            main(["certify", "--graph", "path:4"])
+
+    def test_formula_command_writes_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "formula.json"
+        assert main(
+            ["formula", "--formula", self.DOMINATING, "--family", "star",
+             "--sizes", "4,6,8", "--trials", "5", "--output", str(artifact)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "bound:      O(t log n)  ok=True" in output
+        data = json.loads(artifact.read_text())
+        assert data["kind"] == "formula"
+        assert data["spec"]["formula"] == self.DOMINATING
+        assert data["all_accepted"] is True
+        assert set(data["series"]) == {"4", "6", "8"}
+
+    def test_sweep_formula_equals_formula_command(self, tmp_path):
+        via_formula = tmp_path / "a.json"
+        via_sweep = tmp_path / "b.json"
+        assert main(
+            ["formula", "--formula", self.DOMINATING, "--family", "star",
+             "--sizes", "4,6", "--trials", "5", "--canonical",
+             "--output", str(via_formula)]
+        ) == 0
+        assert main(
+            ["sweep", "--formula", self.DOMINATING, "--family", "star",
+             "--sizes", "4,6", "--trials", "5", "--param", "t=2",
+             "--canonical", "--output", str(via_sweep)]
+        ) == 0
+        assert via_formula.read_bytes() == via_sweep.read_bytes()
+
+    def test_formula_shard_merge_equals_full_run(self, tmp_path):
+        base = ["formula", "--formula", self.DOMINATING, "--family", "star",
+                "--sizes", "4,6,8,10", "--trials", "5", "--canonical"]
+        assert main(base + ["--output", str(tmp_path / "full.json")]) == 0
+        assert main(base + ["--shard", "0/2", "--output", str(tmp_path / "p0.json")]) == 0
+        assert main(base + ["--shard", "1/2", "--output", str(tmp_path / "p1.json")]) == 0
+        assert main(
+            ["merge", "--output", str(tmp_path / "merged.json"),
+             str(tmp_path / "p0.json"), str(tmp_path / "p1.json")]
+        ) == 0
+        assert (tmp_path / "merged.json").read_bytes() == (tmp_path / "full.json").read_bytes()
+
+    def test_sweep_formula_rejects_scheme_and_unsupported_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["sweep", "--scheme", "tree", "--formula", self.DOMINATING,
+                  "--family", "star", "--sizes", "4"])
+        with pytest.raises(SystemExit, match="measure"):
+            main(["sweep", "--formula", self.DOMINATING, "--family", "star",
+                  "--sizes", "4", "--measure", "size"])
+        with pytest.raises(SystemExit, match="id-exponent"):
+            main(["sweep", "--formula", self.DOMINATING, "--family", "star",
+                  "--sizes", "4", "--id-exponent", "2"])
+
+    def test_formula_malformed_param_is_a_clean_exit(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["sweep", "--formula", self.DOMINATING, "--family", "star",
+                  "--sizes", "4", "--param", "3"])
