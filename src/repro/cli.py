@@ -139,6 +139,7 @@ from repro.registry import REGISTRY, RegistryError
 from repro.service.core import CertificationService
 from repro.service.driver import DriverError, LocalFleet, ShardDriver
 from repro.service.faults import FaultInjector, FaultSpecError
+from repro.service.supervisor import FleetSupervisor
 from repro.service.messages import CertifyRequest, ErrorResponse
 from repro.service.protocol import DEFAULT_MAX_REQUEST_BYTES, serve_stdio, serve_tcp
 
@@ -361,6 +362,14 @@ def parse_shard(raw: Optional[str]) -> Optional[tuple]:
         raise SystemExit(f"--shard must look like I/K (e.g. 0/2), got {raw!r}")
     if not slash:
         raise SystemExit(f"--shard must look like I/K (e.g. 0/2), got {raw!r}")
+    # The spec layer accepts any (start, stride) pair — the driver's shard
+    # splitting dispatches strided sub-shards whose start exceeds the
+    # stride — but a hand-typed I/K with I >= K is always a mistake.
+    index, count = shard
+    if count < 1 or index < 0 or index >= count:
+        raise SystemExit(
+            f"--shard index must satisfy 0 <= I < K, got {raw!r}"
+        )
     return shard
 
 
@@ -654,15 +663,30 @@ def cmd_shard_drive(args: argparse.Namespace) -> int:
     except FaultSpecError as error:
         raise SystemExit(f"error: {error}") from error
 
-    driver = ShardDriver(
+    if args.min_workers < 1:
+        raise SystemExit("error: --min-workers must be at least 1")
+    if args.max_workers is not None and args.max_workers < args.min_workers:
+        raise SystemExit("error: --max-workers must be >= --min-workers")
+
+    driver_kwargs = dict(
         deadline_s=args.deadline,
         max_attempts=args.max_attempts,
+        split=args.split,
     )
+    if args.read_grace is not None:
+        if args.read_grace <= 0:
+            raise SystemExit("error: --read-grace must be positive")
+        driver_kwargs["read_grace_s"] = args.read_grace
+    driver = ShardDriver(**driver_kwargs)
     try:
         if args.worker:
             if faults:
                 raise SystemExit(
                     "error: --fault requires a spawned fleet (drop --worker)"
+                )
+            if args.elastic:
+                raise SystemExit(
+                    "error: --elastic requires a spawned fleet (drop --worker)"
                 )
             workers = [parse_tcp_address(raw) for raw in args.worker]
             report = driver.drive(spec, workers, shards=args.shards)
@@ -672,8 +696,22 @@ def cmd_shard_drive(args: argparse.Namespace) -> int:
                 serve_workers=args.serve_workers,
                 faults=faults,
             )
+            supervisor = None
+            if args.elastic:
+                supervisor = FleetSupervisor(
+                    fleet,
+                    min_workers=args.min_workers,
+                    max_workers=(
+                        args.max_workers
+                        if args.max_workers is not None
+                        else args.fleet
+                    ),
+                    respawn_budget=args.respawn_budget,
+                )
             with fleet as workers:
-                report = driver.drive(spec, workers, shards=args.shards)
+                report = driver.drive(
+                    spec, workers, shards=args.shards, supervisor=supervisor
+                )
     except DriverError as error:
         raise SystemExit(f"error: {error}") from error
 
@@ -691,8 +729,18 @@ def cmd_shard_drive(args: argparse.Namespace) -> int:
         print(f"  shard {index}: {report.assignments[index]}{note}")
     for worker in report.workers_lost:
         print(f"  LOST: {worker}")
+    for worker in report.workers_spawned:
+        print(f"  SPAWNED: {worker}")
+    for worker in report.workers_retired:
+        print(f"  RETIRED: {worker}")
     if report.redispatched:
         print(f"re-dispatched: shard(s) {', '.join(map(str, report.redispatched))}")
+    if report.shards_split:
+        print(
+            f"split:      {report.shards_split} shard(s) split mid-drive; "
+            f"{report.points_salvaged} point(s) salvaged, "
+            f"{report.points_redispatched} re-dispatched"
+        )
     _print_bound(merged)
     _print_fit(merged)
     print(f"artifact:   {path}")
@@ -1201,6 +1249,52 @@ def main(argv: Optional[list] = None) -> int:
         metavar="[MEMBER:]SPEC",
         help="install a fault rule on fleet member MEMBER (default 0), "
         "e.g. 1:kill:op=sweep,nth=1 — requires a spawned fleet",
+    )
+    shard_drive.add_argument(
+        "--split",
+        action="store_true",
+        help="straggler mitigation: keep the salvaged prefix of a timed-out "
+        "or orphaned shard and re-dispatch only the remainder, split across "
+        "the surviving workers as sub-shards",
+    )
+    shard_drive.add_argument(
+        "--elastic",
+        action="store_true",
+        help="supervise the spawned fleet: respawn dead members (within "
+        "--respawn-budget) and scale the member count to the queue depth "
+        "inside the --min-workers/--max-workers band",
+    )
+    shard_drive.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="elastic floor: never retire below N active members (default 1)",
+    )
+    shard_drive.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="elastic ceiling: never grow beyond N active members "
+        "(default: the --fleet size)",
+    )
+    shard_drive.add_argument(
+        "--respawn-budget",
+        type=int,
+        default=3,
+        metavar="N",
+        help="total member spawns the elastic supervisor may attempt "
+        "(default 3); exhaustion with no survivors fails the drive",
+    )
+    shard_drive.add_argument(
+        "--read-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="grace past the deadline before a client read is declared a "
+        "transport failure (default 10); lower it to detect partitions and "
+        "wedged workers faster",
     )
     shard_drive.add_argument(
         "--output", default=None, help="merged artifact path (default by kind/label)"

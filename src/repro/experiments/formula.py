@@ -238,6 +238,7 @@ def run_formula(
     spec: FormulaSpec,
     shard: Optional[Tuple[int, int]] = None,
     should_stop: Optional[Callable[[], Any]] = None,
+    on_point: Optional[Callable[[FormulaPoint], None]] = None,
 ) -> FormulaResult:
     """Execute a formula certificate-size series (or one shard of it).
 
@@ -252,4 +253,6 @@ def run_formula(
     for index in spec.shard_indices():
         raise_if_stopped(should_stop)
         points.append(run_formula_point(spec, index))
+        if on_point is not None:
+            on_point(points[-1])
     return FormulaResult.merged_from_points(spec, tuple(points))

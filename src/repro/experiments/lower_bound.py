@@ -330,6 +330,7 @@ def run_lower_bound(
     spec: LowerBoundSpec,
     shard: Optional[Tuple[int, int]] = None,
     should_stop: Optional[Callable[[], Optional[str]]] = None,
+    on_point: Optional[Callable[[LowerBoundPoint], None]] = None,
 ) -> LowerBoundResult:
     """Execute a lower-bound search (or one shard of it).
 
@@ -348,4 +349,6 @@ def run_lower_bound(
     for index in spec.shard_indices():
         raise_if_stopped(should_stop)
         points.append(run_lower_bound_point(spec, index))
+        if on_point is not None:
+            on_point(points[-1])
     return LowerBoundResult.merged_from_points(spec, tuple(points))

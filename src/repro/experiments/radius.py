@@ -184,6 +184,7 @@ def run_radius(
     spec: RadiusSpec,
     shard: Optional[Tuple[int, int]] = None,
     should_stop: Optional[Callable[[], Optional[str]]] = None,
+    on_point: Optional[Callable[[RadiusPoint], None]] = None,
 ) -> RadiusResult:
     """Execute a radius-verification series (or one shard of it).
 
@@ -199,4 +200,6 @@ def run_radius(
     for index in spec.shard_indices():
         raise_if_stopped(should_stop)
         points.append(run_radius_point(spec, index))
+        if on_point is not None:
+            on_point(points[-1])
     return RadiusResult.merged_from_points(spec, tuple(points))

@@ -89,6 +89,7 @@ def run_sweep(
     processes: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     should_stop: Optional[Callable[[], Optional[str]]] = None,
+    on_point: Optional[Callable[[SweepPoint], None]] = None,
 ) -> SweepResult:
     """Execute a sweep (or one shard of it) and judge the measured series.
 
@@ -107,6 +108,12 @@ def run_sweep(
     points; when it fires the run raises
     :class:`~repro.experiments.spec.ExperimentCancelled` instead of
     grinding through the rest of the grid.
+
+    ``on_point`` is an optional progress sink invoked with each completed
+    :class:`SweepPoint` as it lands (in arrival order).  A run interrupted
+    by ``should_stop`` has therefore already reported every finished point,
+    which is what lets the service salvage partial shard progress into a
+    structured timeout answer.
 
     The finalised result carries both bound judgements: the closed-form
     :class:`BoundCheck` verdict against the registered envelope (when
@@ -128,6 +135,8 @@ def run_sweep(
             points = []
             for point in pool.imap(_run_point_task, tasks):
                 points.append(point)
+                if on_point is not None:
+                    on_point(point)
                 raise_if_stopped(should_stop)
         points.sort(key=lambda point: point.index)
     else:
@@ -135,5 +144,7 @@ def run_sweep(
         for index in indices:
             raise_if_stopped(should_stop)
             points.append(run_point(spec, index))
+            if on_point is not None:
+                on_point(points[-1])
 
     return SweepResult.merged_from_points(spec, tuple(points))

@@ -114,6 +114,12 @@ class ExperimentSpec:
         strided subset ``i, i+k, i+2k, ...`` (striding balances work across
         shards when the grid is sorted by size).  Indices stay global so
         per-point seeds are identical to the unsharded run's.
+
+        The *offset* form with ``i >= k`` is deliberately legal: splitting
+        the remainder of shard ``(s, d)`` after ``m`` completed points into
+        ``p`` pieces yields the shards ``(s + (m + j)*d, d*p)`` for
+        ``j < p`` — each again a plain ``(i, k)`` pair, so sub-shards ride
+        the same wire shape and merge rules as first-class shards.
         """
         total = len(self.sizes)
         if self.shard is None:
@@ -132,9 +138,9 @@ class ExperimentSpec:
             raise RegistryError(f"sizes must be positive, got {self.sizes}")
         if self.shard is not None:
             index, count = self.shard
-            if count < 1 or not 0 <= index < count:
+            if count < 1 or index < 0:
                 raise RegistryError(
-                    f"shard must be (i, k) with 0 <= i < k, got {self.shard}"
+                    f"shard must be (i, k) with i >= 0 and k >= 1, got {self.shard}"
                 )
 
     @staticmethod

@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import random
+import socket
 import subprocess
 import sys
 import time
@@ -82,7 +83,18 @@ def _backoff_delay(base: float, attempt: int) -> float:
 
 
 class ServiceTransportError(ConnectionError):
-    """The conversation itself broke: no connection, EOF mid-request, garbage."""
+    """The conversation itself broke: no connection, EOF mid-request, garbage.
+
+    ``timed_out`` distinguishes *silence* (a read that hit its timeout —
+    the server is reachable but not answering, which is what a partition
+    or a wedged handler looks like) from a positive failure (reset, EOF,
+    refused).  Partition-aware supervision keys off this: a timed-out
+    conversation makes a worker a *suspect*, not a confirmed corpse.
+    """
+
+    def __init__(self, message: str, *, timed_out: bool = False) -> None:
+        super().__init__(message)
+        self.timed_out = timed_out
 
 
 class ServiceConnectTimeout(ServiceTransportError):
@@ -90,10 +102,16 @@ class ServiceConnectTimeout(ServiceTransportError):
 
     Carries the machine-readable ``connect-timeout`` code — callers that
     report errors as data (the shard driver) convert it via :meth:`error`
-    instead of reparsing the message.
+    instead of reparsing the message.  ``refused`` records whether the last
+    attempt was actively refused (nothing listening: a confirmed-dead
+    signal) rather than merely timing out (possibly partitioned).
     """
 
     code = "connect-timeout"
+
+    def __init__(self, message: str, *, refused: bool = False) -> None:
+        super().__init__(message, timed_out=not refused)
+        self.refused = refused
 
     def error(self) -> ErrorResponse:
         """This failure as the wire's structured error value."""
@@ -108,7 +126,7 @@ class ServiceClient:
         reader: IO[str],
         writer: IO[str],
         process: Optional[subprocess.Popen] = None,
-        endpoint: Optional[Tuple[str, int, Optional[float]]] = None,
+        endpoint: Optional[Tuple[str, int, Optional[float], Optional[float]]] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -123,6 +141,7 @@ class ServiceClient:
         cls, host: str = "127.0.0.1", port: int = 8765, retries: int = 50,
         retry_delay: float = 0.1, read_timeout: Optional[float] = None,
         connect_deadline_s: Optional[float] = 15.0,
+        reconnect_deadline_s: Optional[float] = None,
     ) -> "ServiceClient":
         """Connect to a TCP serve process, retrying while it starts up.
 
@@ -136,6 +155,14 @@ class ServiceClient:
         ``read_timeout`` optionally bounds each response wait; by default
         reads block indefinitely, matching the stdio transport (requests
         may legitimately take minutes of server-side compute).
+
+        ``reconnect_deadline_s`` bounds the *mid-conversation* reconnect a
+        retried :meth:`request` performs.  The generous initial deadline
+        exists for servers still starting up; once a conversation has been
+        established, a refused port usually means the process died, so
+        callers that probe liveness themselves (the shard driver) pass a
+        small budget here to detect death quickly.  ``None`` inherits
+        ``connect_deadline_s``.
         """
         deadline_at = (
             time.monotonic() + connect_deadline_s
@@ -163,11 +190,19 @@ class ServiceClient:
         if sock is None:
             raise ServiceConnectTimeout(
                 f"could not connect to {host}:{port} "
-                f"within the retry budget: {last_error}"
+                f"within the retry budget: {last_error}",
+                refused=isinstance(last_error, ConnectionRefusedError),
             ) from last_error
         stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+        reconnect_budget = (
+            reconnect_deadline_s
+            if reconnect_deadline_s is not None
+            else connect_deadline_s
+        )
         return cls(
-            reader=stream, writer=stream, endpoint=(host, port, read_timeout)
+            reader=stream,
+            writer=stream,
+            endpoint=(host, port, read_timeout, reconnect_budget),
         )
 
     @classmethod
@@ -194,7 +229,10 @@ class ServiceClient:
             self._writer.flush()
             line = self._reader.readline()
         except (OSError, ValueError) as error:
-            raise ServiceTransportError(f"transport failed: {error}") from error
+            raise ServiceTransportError(
+                f"transport failed: {error}",
+                timed_out=isinstance(error, socket.timeout),
+            ) from error
         if not line:
             raise ServiceTransportError("the server closed the connection")
         try:
@@ -209,13 +247,16 @@ class ServiceClient:
             raise ServiceTransportError(
                 "this transport cannot reconnect (no TCP endpoint)"
             )
-        host, port, read_timeout = self._endpoint
+        host, port, read_timeout, reconnect_budget = self._endpoint
         for stream in {self._writer, self._reader}:
             try:
                 stream.close()
             except OSError:
                 pass
-        fresh = ServiceClient.connect(host, port, read_timeout=read_timeout)
+        fresh = ServiceClient.connect(
+            host, port, read_timeout=read_timeout,
+            connect_deadline_s=reconnect_budget,
+        )
         self._reader = fresh._reader
         self._writer = fresh._writer
         self._closed = False

@@ -124,6 +124,26 @@ class CancelScope:
             time.monotonic() + deadline_s if deadline_s is not None else None
         )
         self.is_alive = is_alive
+        self._points_lock = threading.Lock()
+        self._points: List[Dict[str, Any]] = []
+
+    def note_point(self, point: Any) -> None:
+        """Record one completed unit of work (a grid point) for salvage.
+
+        Runners report finished points here as they land; when the scope
+        trips, the structured ``timeout``/``cancelled`` answer carries a
+        snapshot of everything noted so far, so a driver can keep the
+        completed prefix instead of re-running the whole shard.
+        """
+        data = point.to_dict() if hasattr(point, "to_dict") else dict(point)
+        with self._points_lock:
+            self._points.append(data)
+
+    def partial_points(self) -> List[Dict[str, Any]]:
+        """A snapshot of the points noted so far (safe to call while the
+        handler is still appending on another thread)."""
+        with self._points_lock:
+            return list(self._points)
 
     def cancel(self, reason: str = "cancelled") -> None:
         """Signal the scope; the first reason wins (later calls are no-ops)."""
@@ -453,25 +473,59 @@ class CertificationService:
                 if reason is None:
                     continue
                 future.cancel()
-                return self._stopped_error(reason, request.op)
+                return self._stopped_error(reason, request.op, scope=scope)
             except CancelledError:
                 reason = scope.check() or "cancelled"
-                return self._stopped_error(reason, request.op)
+                return self._stopped_error(reason, request.op, scope=scope)
             except ExperimentCancelled as error:
                 # A stop-check fired before the handler reached its own
                 # ExperimentCancelled mapping (e.g. a scope-aware freeze
                 # ahead of dispatch): same structured answer.
-                return self._stopped_error(error.reason, request.op)
+                return self._stopped_error(error.reason, request.op, scope=scope)
 
-    def _stopped_error(self, reason: str, request_op: str) -> ErrorResponse:
-        """The structured answer for a request stopped by its scope."""
+    def _stopped_error(
+        self, reason: str, request_op: str, scope: Optional[CancelScope] = None
+    ) -> ErrorResponse:
+        """The structured answer for a request stopped by its scope.
+
+        When the scope collected completed grid points before tripping, the
+        answer salvages them in its ``partial`` field — promptly (the answer
+        never waits for the handler to unwind) but losslessly.
+        """
         self._count("timeouts" if reason == "timeout" else "cancelled")
         message = (
             "deadline expired before the request finished"
             if reason == "timeout"
             else "request cancelled before it finished"
         )
-        return ErrorResponse(code=reason, message=message, request_op=request_op)
+        return ErrorResponse(
+            code=reason,
+            message=message,
+            request_op=request_op,
+            partial=_partial_payload(scope),
+        )
+
+    def _point_sink(
+        self, op: str, scope: Optional[CancelScope]
+    ) -> Optional[Callable[[Any], None]]:
+        """The per-point progress callback a runner gets, or None.
+
+        Completed points are noted on the scope (for salvage into a partial
+        ``timeout`` answer) and the fault injector's ``straggle`` action gets
+        its chance to slow the run between points — scope-aware, so an
+        injected straggler still honours deadlines and cancellation.
+        """
+        injector = self.fault_injector
+        if scope is None and injector is None:
+            return None
+
+        def on_point(point: Any) -> None:
+            if scope is not None:
+                scope.note_point(point)
+            if injector is not None:
+                injector.straggle(op, scope)
+
+        return on_point
 
     def _track_pending(self, future: "Future[Response]") -> None:
         """Maintain the queued-or-running gauge the ``health`` op exposes."""
@@ -706,7 +760,13 @@ class CertificationService:
         try:
             result = self.run_sweep_spec(spec, scope=scope)
         except ExperimentCancelled as error:
-            return fail(error.reason, f"sweep stopped: {error.reason}")
+            self._count("errors")
+            return ErrorResponse(
+                code=error.reason,
+                message=f"sweep stopped: {error.reason}",
+                request_op=request.op,
+                partial=_partial_payload(scope),
+            )
         except GraphSpecError as error:
             return fail("invalid-graph", str(error))
         except NotAYesInstance as error:
@@ -724,7 +784,11 @@ class CertificationService:
         op share; it exists so every sweep a benchmark runs counts in
         :meth:`stats` and reuses this service's warm caches.
         """
-        result = run_sweep(spec, should_stop=scope.check if scope is not None else None)
+        result = run_sweep(
+            spec,
+            should_stop=scope.check if scope is not None else None,
+            on_point=self._point_sink("sweep", scope),
+        )
         self._count("sweep")
         self._count_routing(point.engine_resolved for point in result.points)
         return result
@@ -765,10 +829,18 @@ class CertificationService:
             return fail("invalid-param", str(error))
         try:
             result = run_formula(
-                spec, should_stop=scope.check if scope is not None else None
+                spec,
+                should_stop=scope.check if scope is not None else None,
+                on_point=self._point_sink("formula", scope),
             )
         except ExperimentCancelled as error:
-            return fail(error.reason, f"formula series stopped: {error.reason}")
+            self._count("errors")
+            return ErrorResponse(
+                code=error.reason,
+                message=f"formula series stopped: {error.reason}",
+                request_op=request.op,
+                partial=_partial_payload(scope),
+            )
         except GraphSpecError as error:
             return fail("invalid-graph", str(error))
         except NotAYesInstance as error:
@@ -815,10 +887,18 @@ class CertificationService:
             return fail(code, str(error))
         try:
             result = run_lower_bound(
-                spec, should_stop=scope.check if scope is not None else None
+                spec,
+                should_stop=scope.check if scope is not None else None,
+                on_point=self._point_sink("lower-bound", scope),
             )
         except ExperimentCancelled as error:
-            return fail(error.reason, f"lower-bound search stopped: {error.reason}")
+            self._count("errors")
+            return ErrorResponse(
+                code=error.reason,
+                message=f"lower-bound search stopped: {error.reason}",
+                request_op=request.op,
+                partial=_partial_payload(scope),
+            )
         except ValueError as error:
             return fail("undecidable", str(error))
         except Exception as error:  # noqa: BLE001
@@ -850,10 +930,18 @@ class CertificationService:
             return fail("invalid-param", str(error))
         try:
             result = run_radius(
-                spec, should_stop=scope.check if scope is not None else None
+                spec,
+                should_stop=scope.check if scope is not None else None,
+                on_point=self._point_sink("radius", scope),
             )
         except ExperimentCancelled as error:
-            return fail(error.reason, f"radius series stopped: {error.reason}")
+            self._count("errors")
+            return ErrorResponse(
+                code=error.reason,
+                message=f"radius series stopped: {error.reason}",
+                request_op=request.op,
+                partial=_partial_payload(scope),
+            )
         except GraphSpecError as error:
             return fail("invalid-graph", str(error))
         except ValueError as error:
@@ -994,6 +1082,14 @@ def _response_ok(response: Response) -> bool:
     ):
         return response.clean
     return True
+
+
+def _partial_payload(scope: Optional[CancelScope]) -> Optional[Dict[str, Any]]:
+    """The salvageable-progress payload of a tripped scope, or None."""
+    if scope is None:
+        return None
+    points = scope.partial_points()
+    return {"points": points} if points else None
 
 
 def _stopped_response(response: Response) -> bool:

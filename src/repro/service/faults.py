@@ -16,17 +16,27 @@ into two layers,
   wire_fault` after computing each response line and apply the returned
   rule: ``drop`` swallows the response, ``delay`` stalls it, ``garble``
   corrupts its bytes (framing intact), ``hangup`` closes the connection
-  unanswered, and ``kill`` terminates the whole process via ``os._exit``
-  — the worker-crash the shard driver must survive.
+  unanswered, ``kill`` terminates the whole process via ``os._exit``
+  — the worker-crash the shard driver must survive — and ``partition``
+  opens a *healing* network partition: for the rule's ``seconds`` the
+  process accepts connections but neither answers in-flight requests nor
+  handles new ones, then resumes and sends everything it was holding
+  (the late-answer scenario partition-aware supervision must fence off).
 
 Rules are matched deterministically against a per-layer request counter
 (1-based) and optionally against the request ``op``, so a test can say
 "kill this worker on its 3rd request" or "freeze every sweep" and get the
 same failure every run.  ``kill`` must only ever be injected into a
 *subprocess* worker (the CLI's ``--fault`` flag); installing it on an
-in-process service would take the test runner down with it.
+in-process service would take the test runner down with it.  ``partition``
+and ``straggle`` are safe in-process: they stall, they never exit.
 
-Spec syntax (the CLI's repeatable ``--fault`` flag)::
+Action grammar (the CLI's repeatable ``--fault`` flag) is always
+``ACTION[:key=value,...]`` with keys ``op=`` (restrict to one request
+kind), ``nth=`` (fire on exactly the N-th matching request, 1-based),
+``after=`` (fire on every request strictly past the N-th) and
+``seconds=`` (the duration knob of ``delay``/``freeze``/``partition``/
+``straggle``).  The catalogue::
 
     kill:after=3          # os._exit on every wire response past the 3rd
     freeze:seconds=30     # stall every handler 30 s (or until cancelled)
@@ -34,6 +44,11 @@ Spec syntax (the CLI's repeatable ``--fault`` flag)::
     drop:nth=2            # swallow exactly the 2nd response line
     garble:nth=1,op=certify     # corrupt the 1st certify response
     delay:nth=1,seconds=0.2     # send the 1st response 200 ms late
+    hangup:nth=1          # close the connection instead of answering
+    partition:op=sweep,nth=1,seconds=8  # drop off the network for 8 s when
+                          # the 1st sweep answer is due, then heal and send it
+    straggle:op=sweep,seconds=0.3       # become a straggler: stall 0.3 s
+                          # after every completed grid point (scope-aware)
 """
 
 from __future__ import annotations
@@ -46,9 +61,10 @@ from typing import Any, Iterable, List, Optional, Tuple
 from repro.experiments.spec import ExperimentCancelled
 
 #: Actions applied to a response line at the transport.
-WIRE_ACTIONS = ("drop", "delay", "garble", "hangup", "kill")
-#: Actions applied inside the service, before a handler runs.
-SERVICE_ACTIONS = ("freeze",)
+WIRE_ACTIONS = ("drop", "delay", "garble", "hangup", "kill", "partition")
+#: Actions applied inside the service, before a handler runs (``freeze``)
+#: or between completed grid points (``straggle``).
+SERVICE_ACTIONS = ("freeze", "straggle")
 FAULT_ACTIONS = WIRE_ACTIONS + SERVICE_ACTIONS
 
 #: Exit status of a ``kill`` fault — distinctive on purpose, so a driver
@@ -91,6 +107,10 @@ class FaultRule:
                 raise FaultSpecError(f"{name} must be >= 1, got {value}")
         if self.seconds < 0:
             raise FaultSpecError(f"seconds must be >= 0, got {self.seconds}")
+        if self.action in ("partition", "straggle") and self.seconds <= 0:
+            raise FaultSpecError(
+                f"a {self.action!r} fault needs seconds= > 0 (the window length)"
+            )
 
     def matches(self, op: Optional[str], index: int) -> bool:
         if self.op is not None and op != self.op:
@@ -143,6 +163,10 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._handled = 0
         self._responded = 0
+        self._straggled = 0
+        # Monotonic instant the current partition window heals; 0 = no
+        # partition. All transport traffic stalls until this passes.
+        self._partition_until = 0.0
         self.log: List[Tuple[str, str, Optional[str], int]] = []
 
     @classmethod
@@ -204,6 +228,61 @@ class FaultInjector:
 
     def apply_delay(self, rule: FaultRule) -> None:
         time.sleep(rule.seconds)
+
+    # -- partition windows ---------------------------------------------------
+
+    def begin_partition(self, seconds: float) -> None:
+        """Open (or extend) a partition window of ``seconds`` from now.
+
+        While the window is open every transport loop blocks in
+        :meth:`partition_wait` — connections are still *accepted* (the OS
+        does that), but nothing is read off them and nothing is answered,
+        which is exactly what a network partition looks like from outside:
+        reachable, silent.  When the window passes, held responses go out.
+        """
+        with self._lock:
+            self._partition_until = max(
+                self._partition_until, time.monotonic() + seconds
+            )
+
+    def partition_wait(self) -> None:
+        """Block until the partition (if any) heals; cheap when there is none."""
+        while True:
+            with self._lock:
+                remaining = self._partition_until - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.05))
+
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partition_until > time.monotonic()
+
+    # -- per-point stragglers ------------------------------------------------
+
+    def straggle(self, op: Optional[str], scope: Optional[Any] = None) -> None:
+        """Apply ``straggle`` rules between completed grid points.
+
+        Called by the service's per-point progress sink with its own 1-based
+        counter (one tick per completed point, across requests).  A matching
+        rule stalls the handler for ``seconds`` — scope-aware when a scope is
+        supplied, so a deadline expiring mid-stall turns the request into a
+        structured ``timeout`` answer that *already carries* the finished
+        points.  This is the deterministic way to manufacture a straggling
+        shard with a salvageable prefix.
+        """
+        with self._lock:
+            self._straggled += 1
+            index = self._straggled
+        for rule in self.rules:
+            if rule.action != "straggle" or not rule.matches(op, index):
+                continue
+            self._note("service", rule, op, index)
+            if scope is not None:
+                scope.wait(rule.seconds)
+            else:
+                time.sleep(rule.seconds)
+            return
 
 
 def garble_line(line: str) -> str:

@@ -38,6 +38,8 @@ ERROR_CODES: Tuple[str, ...] = (
     "cancelled",           # cancelled by a cancel op / dead connection / batch stop
     "connect-timeout",     # client: could not connect within the retry budget
     "internal-error",      # anything else; the message carries the repr
+    "superseded",          # driver-side: a late answer for a dispatch that was
+                           # re-assigned (fencing discarded it, never merged)
 )
 
 
@@ -58,9 +60,13 @@ def _dataclass_dict(message: Any) -> Dict[str, Any]:
 
 
 def _validate_fault_tolerance_fields(message: Any) -> None:
-    """Validate the ``deadline_s`` / ``request_id`` pair every work-carrying
-    request shares (bad values raise ValueError, which the wire path turns
-    into a ``ProtocolError`` — the sender's fault, never a traceback)."""
+    """Validate the ``deadline_s`` / ``request_id`` / ``attempt`` trio every
+    work-carrying request shares (bad values raise ValueError, which the wire
+    path turns into a ``ProtocolError`` — the sender's fault, never a
+    traceback).  ``attempt`` is the shard driver's fencing counter: it rides
+    along so a response can be correlated with the dispatch attempt that
+    produced it, and a late answer for a superseded attempt can be
+    discarded instead of merged twice."""
     deadline = getattr(message, "deadline_s", None)
     if deadline is not None:
         if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
@@ -71,6 +77,12 @@ def _validate_fault_tolerance_fields(message: Any) -> None:
     request_id = getattr(message, "request_id", None)
     if request_id is not None and not isinstance(request_id, str):
         raise ValueError(f"request_id must be a string, got {request_id!r}")
+    attempt = getattr(message, "attempt", None)
+    if attempt is not None:
+        if isinstance(attempt, bool) or not isinstance(attempt, int):
+            raise ValueError(f"attempt must be an integer, got {attempt!r}")
+        if attempt < 1:
+            raise ValueError(f"attempt must be at least 1, got {attempt!r}")
 
 
 def _validate_engine_field(
@@ -180,6 +192,7 @@ class CertifyRequest:
     include_certificates: bool = False
     deadline_s: Optional[float] = None
     request_id: Optional[str] = None
+    attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
@@ -231,6 +244,7 @@ class SweepRequest:
     name: Optional[str] = None
     deadline_s: Optional[float] = None
     request_id: Optional[str] = None
+    attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
@@ -277,6 +291,7 @@ class FormulaRequest:
     name: Optional[str] = None
     deadline_s: Optional[float] = None
     request_id: Optional[str] = None
+    attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.formula, str) or not self.formula.strip():
@@ -333,6 +348,7 @@ class LowerBoundRequest:
     name: Optional[str] = None
     deadline_s: Optional[float] = None
     request_id: Optional[str] = None
+    attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
@@ -371,6 +387,7 @@ class RadiusRequest:
     name: Optional[str] = None
     deadline_s: Optional[float] = None
     request_id: Optional[str] = None
+    attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
@@ -825,6 +842,13 @@ class ErrorResponse:
 
     ``request_op`` names the request kind that failed (when known), so a
     batched caller can correlate errors with submissions.
+
+    ``partial`` carries salvageable progress, when there is any: a
+    ``timeout``/``cancelled`` answer for a sharded experiment includes the
+    grid points that *did* finish (``{"points": [...]}``), so the shard
+    driver can keep the completed prefix and re-dispatch only the remainder.
+    The field is omitted from the wire form when empty, keeping existing
+    error payloads byte-identical.
     """
 
     op = "error"
@@ -833,21 +857,27 @@ class ErrorResponse:
     code: str
     message: str
     request_op: Optional[str] = None
+    partial: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.code not in ERROR_CODES:
             raise ValueError(
                 f"unknown error code {self.code!r}; use one of {ERROR_CODES}"
             )
+        if self.partial is not None and not isinstance(self.partial, Mapping):
+            raise ValueError(f"partial must be a mapping, got {self.partial!r}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "op": self.op,
             "ok": False,
             "code": self.code,
             "message": self.message,
             "request_op": self.request_op,
         }
+        if self.partial is not None:
+            data["partial"] = dict(self.partial)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ErrorResponse":
@@ -856,6 +886,7 @@ class ErrorResponse:
                 code=data["code"],
                 message=data.get("message", ""),
                 request_op=data.get("request_op"),
+                partial=data.get("partial"),
             )
         except (KeyError, ValueError) as error:
             raise ProtocolError(f"bad error response: {error}") from None

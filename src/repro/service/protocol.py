@@ -153,7 +153,11 @@ def _apply_wire_fault(
     Returns ``(disposition, line)``: ``send`` the (possibly garbled,
     possibly delayed) line, ``swallow`` it silently, or ``hangup`` the
     connection.  A ``kill`` rule never returns — the process exits, which
-    is the point.
+    is the point.  A ``partition`` rule opens the injector's partition
+    window and holds *this* response (and, via the loops' own
+    ``partition_wait`` calls, every other connection's traffic) until the
+    window heals — the held line then goes out late, exercising the
+    driver's fencing of superseded answers.
     """
     if injector is None:
         return _SEND, response_line
@@ -169,6 +173,10 @@ def _apply_wire_fault(
         return _SEND, garble_line(response_line)
     if rule.action == "drop":
         return _SWALLOW, response_line
+    if rule.action == "partition":
+        injector.begin_partition(rule.seconds)
+        injector.partition_wait()
+        return _SEND, response_line
     return _HANGUP, response_line
 
 
@@ -198,6 +206,11 @@ def serve_stdio(
             continue
         if not line.strip():
             continue
+        if injector is not None:
+            # An open partition stalls new requests too: the line has been
+            # read off the pipe (the network's buffers do that much), but
+            # nothing is handled or answered until the window heals.
+            injector.partition_wait()
         response_line, keep_going = handle_line(service, line)
         disposition, response_line = _apply_wire_fault(injector, line, response_line)
         if disposition == _HANGUP:
@@ -250,6 +263,11 @@ class _LineHandler(socketserver.StreamRequestHandler):
             line = raw.decode("utf-8", errors="replace")
             if not line.strip():
                 continue
+            if injector is not None:
+                # Partitioned: the connection was accepted and the request
+                # read, but handling stalls until the window heals — from
+                # the client's side, reachable but silent.
+                injector.partition_wait()
             response_line, keep_going = handle_line(
                 self.server.service, line, is_alive=is_alive
             )

@@ -1,0 +1,173 @@
+"""Elastic fleet supervision for the shard driver.
+
+The PR-6 driver tolerated worker deaths by shrinking: every lost member
+meant less parallelism until, with the last one gone, the drive failed.
+:class:`FleetSupervisor` closes the loop — it watches the drive's ledger
+(:class:`~repro.service.driver._DriveState`) and works the fleet's levers
+(:meth:`~repro.service.driver.LocalFleet.spawn_member` /
+:meth:`~repro.service.driver.LocalFleet.stop_member`) to keep the member
+count inside a demand band:
+
+* **heal** — when a member dies mid-drive, spawn a replacement and enlist
+  it with the driver (the driver registers a worker thread for it and the
+  ledger wakes the queue);
+* **scale** — the desired size is ``clamp(work_left, min_workers,
+  max_workers)``: a drained queue retires idle members down to
+  ``min_workers``, a deep queue fills back up to ``max_workers``.
+  Retirement is cooperative: the ledger marks the member and the member
+  confirms *between* requests, so an in-flight dispatch always lands
+  before its worker's process is stopped;
+* **bound** — every spawn, successful or not, consumes one unit of a
+  single respawn budget, and consecutive spawns back off exponentially.  A
+  crash-looping fleet therefore converges to a clean
+  :class:`~repro.service.driver.DriverError` ("respawn budget exhausted")
+  instead of forking forever.  While budget remains, the ledger's
+  ``recovery_possible`` hook keeps an all-workers-lost drive open for the
+  replacement the supervisor is about to spawn.
+
+The supervisor runs on its own thread inside
+:meth:`~repro.service.driver.ShardDriver.drive`; it owns no sockets and
+sends no requests — all coordination goes through the ledger, which is the
+single source of truth for liveness, retirement and completion.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["FleetSupervisor"]
+
+
+class FleetSupervisor:
+    """Keep a :class:`~repro.service.driver.LocalFleet` sized to demand.
+
+    Parameters
+    ----------
+    fleet:
+        The elastic fleet whose members are spawned / stopped.  Anything
+        with ``spawn_member() -> (address, label)``, ``stop_member(label)``
+        and ``reap_dead() -> [label]`` works (tests substitute fakes).
+    min_workers:
+        Never retire below this many active members while work remains.
+    max_workers:
+        Never grow beyond this many active members (default: no growth
+        beyond the starting size is requested unless the queue demands it;
+        pass the band explicitly for elastic drives).
+    respawn_budget:
+        Total spawns this supervisor may ever attempt (replacements and
+        scale-ups alike; failed spawns count).  Exhaustion with no active
+        worker and work left fails the drive.
+    backoff_s:
+        Initial delay between consecutive spawns, doubled per spawn.
+    poll_interval_s:
+        The supervision heartbeat.
+    """
+
+    def __init__(
+        self,
+        fleet: Any,
+        min_workers: int = 1,
+        max_workers: Optional[int] = None,
+        respawn_budget: int = 3,
+        backoff_s: float = 0.5,
+        poll_interval_s: float = 0.1,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if max_workers is not None and max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if respawn_budget < 0:
+            raise ValueError("respawn_budget must be >= 0")
+        self.fleet = fleet
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.respawn_budget = respawn_budget
+        self.backoff_s = backoff_s
+        self.poll_interval_s = poll_interval_s
+        self._budget_left = respawn_budget
+
+    def can_spawn(self) -> bool:
+        """Whether a replacement is still possible (the ledger's
+        ``recovery_possible`` hook)."""
+        return self._budget_left > 0
+
+    def _desired(self, active: int, work: int) -> int:
+        """The demand band: clamp(work_left, min_workers, max_workers)."""
+        if work <= 0:
+            return active
+        ceiling = self.max_workers if self.max_workers is not None else active
+        return max(self.min_workers, min(ceiling, work))
+
+    def run(
+        self,
+        state: Any,
+        enlist: Callable[[Tuple[str, int]], str],
+    ) -> None:
+        """Supervise ``state`` until the drive finishes.
+
+        ``enlist`` is the driver's callback: given a freshly spawned
+        member's address it registers a worker thread and returns the
+        ledger label.  Called by :meth:`ShardDriver.drive` on a dedicated
+        thread; not meant to be invoked twice.
+        """
+        backoff = self.backoff_s
+        next_spawn_at = 0.0
+        try:
+            while not state.finished():
+                # Members whose process died: the driver notices the broken
+                # connection on its own; reaping here just records them so
+                # the fleet's books stay clean.
+                self.fleet.reap_dead()
+                for label in state.drain_retired():
+                    self.fleet.stop_member(label)
+
+                active = len(state.active_workers())
+                work = state.work_left()
+                desired = self._desired(active, work)
+
+                if work > 0 and active < desired:
+                    if self._budget_left <= 0:
+                        if active == 0:
+                            state.fail(
+                                "supervisor",
+                                None,
+                                f"respawn budget exhausted with {work} "
+                                f"shard(s) unfinished and no workers left",
+                            )
+                            return
+                        # Degraded but alive: the survivors finish the work.
+                    elif time.monotonic() >= next_spawn_at:
+                        self._budget_left -= 1
+                        next_spawn_at = time.monotonic() + backoff
+                        backoff *= 2
+                        try:
+                            address, label = self.fleet.spawn_member()
+                        except Exception as error:
+                            state.log(
+                                "spawn-failed",
+                                "supervisor",
+                                None,
+                                f"{error} (budget left: {self._budget_left})",
+                            )
+                        else:
+                            enlist(address)
+                            state.log(
+                                "spawn",
+                                label,
+                                None,
+                                f"replacement member up "
+                                f"(budget left: {self._budget_left})",
+                            )
+                elif work > 0 and active > desired:
+                    # One retirement request per heartbeat; the member
+                    # confirms between requests and lands in
+                    # drain_retired() above on a later beat.
+                    state.request_retire()
+
+                time.sleep(self.poll_interval_s)
+        finally:
+            # The drive is over (or failed): stop anything that confirmed
+            # retirement after the last heartbeat.
+            for label in state.drain_retired():
+                self.fleet.stop_member(label)

@@ -101,9 +101,25 @@ class TestSweepSpec:
 
     def test_bad_shard_rejected(self):
         with pytest.raises(RegistryError, match="shard"):
-            SweepSpec(scheme="tree", family="path", sizes=(4,), shard=(2, 2)).validate()
+            SweepSpec(scheme="tree", family="path", sizes=(4,), shard=(-1, 2)).validate()
         with pytest.raises(RegistryError, match="shard"):
             SweepSpec(scheme="tree", family="path", sizes=(4,), shard=(0, 0)).validate()
+
+    def test_offset_shard_selects_sub_shard_remainder(self):
+        # Offset form (i >= k): the remainder of shard (1, 2) after its first
+        # point, split in two, is exactly shards (3, 4) and (5, 4).
+        spec = SweepSpec(scheme="tree", family="path", sizes=(4, 8, 16, 32, 64, 128))
+        parent = SweepSpec.from_dict({**spec.to_dict(), "shard": [1, 2]})
+        assert parent.shard_indices() == (1, 3, 5)
+        left = SweepSpec.from_dict({**spec.to_dict(), "shard": [3, 4]}).validate()
+        right = SweepSpec.from_dict({**spec.to_dict(), "shard": [5, 4]}).validate()
+        assert left.shard_indices() == (3,)
+        assert right.shard_indices() == (5,)
+        assert left.shard_indices() + right.shard_indices() == parent.shard_indices()[1:]
+        # Past-the-grid offsets are legal and empty, not an error.
+        assert SweepSpec(
+            scheme="tree", family="path", sizes=(4,), shard=(2, 2)
+        ).validate().shard_indices() == ()
 
     def test_kind_dispatch_from_base_class(self):
         from repro.experiments import ExperimentSpec

@@ -193,3 +193,62 @@ class TestActionInventory:
         contract so a rename cannot silently orphan the CLI docs."""
         assert "kill" in FAULT_ACTIONS
         FaultRule.parse("kill:after=3")  # parses like any other action
+
+
+class TestPartitionWindows:
+    """The accept-but-stall partition fault (self-healing fabric, PR 10)."""
+
+    def test_partition_requires_a_window_length(self):
+        with pytest.raises(FaultSpecError, match="seconds"):
+            FaultRule.parse("partition:op=sweep,nth=1")
+        rule = FaultRule.parse("partition:op=sweep,nth=1,seconds=2")
+        assert rule.action == "partition" and rule.seconds == 2.0
+
+    def test_partition_wait_blocks_until_heal(self):
+        injector = FaultInjector([])
+        injector.begin_partition(0.2)
+        assert injector.partitioned()
+        started = time.monotonic()
+        injector.partition_wait()
+        assert time.monotonic() - started >= 0.15
+        assert not injector.partitioned()
+
+    def test_partition_extends_not_shrinks(self):
+        injector = FaultInjector([])
+        injector.begin_partition(0.3)
+        injector.begin_partition(0.05)  # shorter window must not heal early
+        assert injector.partitioned()
+        injector.partition_wait()
+        assert not injector.partitioned()
+
+    def test_no_partition_is_free(self):
+        injector = FaultInjector([])
+        started = time.monotonic()
+        injector.partition_wait()
+        assert time.monotonic() - started < 0.05
+
+
+class TestStragglers:
+    """The per-point straggle fault that manufactures salvageable prefixes."""
+
+    def test_straggle_requires_a_window_length(self):
+        with pytest.raises(FaultSpecError, match="seconds"):
+            FaultRule.parse("straggle:op=sweep")
+        assert FaultRule.parse("straggle:seconds=0.3").action == "straggle"
+
+    def test_straggle_counts_points_not_requests(self):
+        injector = FaultInjector.parse(["straggle:nth=2,seconds=0.1"])
+        started = time.monotonic()
+        injector.straggle("sweep")  # point 1: no match, free
+        assert time.monotonic() - started < 0.05
+        injector.straggle("sweep")  # point 2: stalls
+        assert time.monotonic() - started >= 0.1
+        assert ("service", "straggle", "sweep", 2) in injector.log
+
+    def test_straggle_is_scope_aware(self):
+        injector = FaultInjector.parse(["straggle:seconds=30"])
+        scope = CancelScope(deadline_s=0.1)
+        started = time.monotonic()
+        injector.straggle("sweep", scope)  # wakes when the deadline fires
+        assert time.monotonic() - started < 5.0
+        assert scope.check() == "timeout"

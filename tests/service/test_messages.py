@@ -239,3 +239,50 @@ class TestFaultToleranceMessages:
         back = request_from_dict(json.loads(json.dumps(batch.to_dict())))
         assert back == batch
         assert back.deadline_s == 2.0 and back.request_id == "batch-1"
+
+
+class TestSelfHealingMessages:
+    """The attempt-fencing and partial-salvage wire surface (PR 10)."""
+
+    def test_attempt_validation(self):
+        request = SweepRequest(
+            scheme="tree", family="path", sizes=(4,), attempt=2
+        )
+        assert request.attempt == 2
+        for bad in (0, -1, True, 1.5, "two"):
+            with pytest.raises(ValueError, match="attempt"):
+                SweepRequest(scheme="tree", family="path", sizes=(4,), attempt=bad)
+
+    def test_attempt_round_trips_on_every_driveable_request(self):
+        sweep = SweepRequest(scheme="tree", family="path", sizes=(4,), attempt=3)
+        assert request_from_dict(sweep.to_dict()) == sweep
+        lower = LowerBoundRequest(
+            construction="automorphism", sizes=(3,), attempt=1
+        )
+        assert request_from_dict(lower.to_dict()) == lower
+        certify = CertifyRequest(scheme="tree", graph="path:4", attempt=2)
+        assert request_from_dict(certify.to_dict()) == certify
+
+    def test_superseded_is_a_stable_error_code(self):
+        # The fencing discard of a late answer for a superseded dispatch
+        # keys on this code; codes may be added but never renamed.
+        assert "superseded" in ERROR_CODES
+
+    def test_error_partial_round_trips(self):
+        partial = {"points": [{"index": 0, "n": 4, "holds": True}]}
+        response = ErrorResponse(
+            code="timeout", message="deadline", request_op="sweep", partial=partial
+        )
+        back = response_from_dict(json.loads(json.dumps(response.to_dict())))
+        assert back == response
+        assert back.partial == partial
+
+    def test_error_without_partial_keeps_the_old_wire_shape(self):
+        # Byte-stability: an error that salvaged nothing must serialise
+        # exactly as it did before the field existed.
+        response = ErrorResponse(code="timeout", message="deadline")
+        assert "partial" not in response.to_dict()
+
+    def test_partial_must_be_a_mapping(self):
+        with pytest.raises(ValueError, match="partial"):
+            ErrorResponse(code="timeout", message="deadline", partial=[1, 2])

@@ -1,0 +1,192 @@
+"""Unit tests for :class:`repro.service.supervisor.FleetSupervisor`.
+
+These drive the supervisor against the real ledger (`_DriveState`) but a
+fake fleet, so every branch — heal, scale, budget exhaustion — is exercised
+without subprocesses.  The subprocess end-to-end lives in
+``test_driver.py::TestElasticChaos``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.driver import _DriveState
+from repro.service.supervisor import FleetSupervisor
+
+
+class FakeFleet:
+    """A fleet whose spawns come from a scripted list of (address, label)."""
+
+    def __init__(self, spares=()):
+        self.spares = list(spares)
+        self.spawn_calls = 0
+        self.stopped = []
+
+    def spawn_member(self):
+        self.spawn_calls += 1
+        if not self.spares:
+            raise RuntimeError("fleet worker failed to start (boom)")
+        return self.spares.pop(0)
+
+    def stop_member(self, label):
+        self.stopped.append(label)
+        return True
+
+    def reap_dead(self):
+        return []
+
+
+def run_supervised(supervisor, state, enlist):
+    thread = threading.Thread(
+        target=supervisor.run, args=(state, enlist), daemon=True
+    )
+    thread.start()
+    return thread
+
+
+class TestValidation:
+    def test_min_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            FleetSupervisor(FakeFleet(), min_workers=0)
+
+    def test_max_workers_must_cover_min(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            FleetSupervisor(FakeFleet(), min_workers=3, max_workers=2)
+
+    def test_respawn_budget_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="respawn_budget"):
+            FleetSupervisor(FakeFleet(), respawn_budget=-1)
+
+
+class TestDemandBand:
+    def test_desired_clamps_work_into_the_band(self):
+        supervisor = FleetSupervisor(FakeFleet(), min_workers=2, max_workers=5)
+        assert supervisor._desired(3, 10) == 5  # deep queue -> ceiling
+        assert supervisor._desired(3, 1) == 2  # drained queue -> floor
+        assert supervisor._desired(3, 0) == 3  # no work -> hold steady
+
+    def test_without_max_workers_the_fleet_never_grows(self):
+        supervisor = FleetSupervisor(FakeFleet(), min_workers=1)
+        assert supervisor._desired(2, 10) == 2
+
+
+class TestHealing:
+    def test_dead_member_is_replaced_and_enlisted(self):
+        state = _DriveState(2, max_attempts=3, workers=["a"])
+        fleet = FakeFleet(spares=[(("127.0.0.1", 9), "127.0.0.1:9")])
+        supervisor = FleetSupervisor(
+            fleet, min_workers=1, respawn_budget=2,
+            backoff_s=0.01, poll_interval_s=0.01,
+        )
+        state.recovery_possible = supervisor.can_spawn
+        state.next_shard("a")
+        state.worker_lost("a", 0, "transport: gone")
+        assert state.fatal is None  # budget left: the drive stays open
+        enlisted = []
+
+        def enlist(address):
+            label = f"{address[0]}:{address[1]}"
+            enlisted.append(label)
+            state.add_worker(label)
+            return label
+
+        thread = run_supervised(supervisor, state, enlist)
+        deadline = time.monotonic() + 2
+        while not enlisted and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert enlisted == ["127.0.0.1:9"]
+        # Finish the drive on the replacement.
+        for _ in range(2):
+            index = state.next_shard("127.0.0.1:9")
+            state.complete(
+                index, "127.0.0.1:9", {"i": index}, attempt=state.attempts[index]
+            )
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert fleet.spawn_calls == 1
+        assert state.fatal is None
+
+    def test_recovery_hook_keeps_an_all_lost_drive_open(self):
+        state = _DriveState(1, max_attempts=3, workers=["a"])
+        supervisor = FleetSupervisor(FakeFleet(), respawn_budget=1)
+        state.recovery_possible = supervisor.can_spawn
+        state.next_shard("a")
+        state.worker_lost("a", 0, "transport: gone")
+        # Budget remains, so losing the last worker is not yet fatal.
+        assert state.fatal is None
+        assert not state.finished()
+
+    def test_without_budget_losing_the_last_worker_is_fatal(self):
+        state = _DriveState(1, max_attempts=3, workers=["a"])
+        supervisor = FleetSupervisor(FakeFleet(), respawn_budget=0)
+        state.recovery_possible = supervisor.can_spawn
+        state.next_shard("a")
+        state.worker_lost("a", 0, "transport: gone")
+        assert state.fatal is not None
+        assert "worker(s) lost" in state.fatal
+
+
+class TestBudget:
+    def test_failed_spawns_drain_the_budget_then_fail_the_drive(self):
+        state = _DriveState(1, max_attempts=3, workers=[])
+        fleet = FakeFleet()  # no spares: every spawn raises
+        supervisor = FleetSupervisor(
+            fleet, min_workers=1, respawn_budget=2,
+            backoff_s=0.01, poll_interval_s=0.01,
+        )
+        state.recovery_possible = supervisor.can_spawn
+        supervisor.run(state, enlist=lambda address: "unused")
+        assert fleet.spawn_calls == 2
+        assert not supervisor.can_spawn()
+        assert state.fatal is not None
+        assert "respawn budget exhausted" in state.fatal
+        spawn_failures = [e for e in state.events if e[0] == "spawn-failed"]
+        assert len(spawn_failures) == 2
+
+    def test_survivors_finish_degraded_when_budget_runs_out(self):
+        state = _DriveState(2, max_attempts=3, workers=["a"])
+        supervisor = FleetSupervisor(
+            FakeFleet(), min_workers=2, max_workers=2, respawn_budget=1,
+            backoff_s=0.01, poll_interval_s=0.01,
+        )
+        state.recovery_possible = supervisor.can_spawn
+        thread = run_supervised(supervisor, state, lambda address: "unused")
+        deadline = time.monotonic() + 2
+        while supervisor.can_spawn() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not supervisor.can_spawn()
+        # One active worker below the min band, budget gone: no fatal — the
+        # survivor keeps draining the queue.
+        for _ in range(2):
+            index = state.next_shard("a")
+            state.complete(index, "a", {"i": index}, attempt=state.attempts[index])
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert state.fatal is None
+
+
+class TestScaleDown:
+    def test_idle_members_retire_and_their_processes_stop(self):
+        state = _DriveState(1, max_attempts=3, workers=["a", "b", "c"])
+        fleet = FakeFleet()
+        supervisor = FleetSupervisor(
+            fleet, min_workers=1, max_workers=3, poll_interval_s=0.01
+        )
+        index = state.next_shard("a")  # "a" is busy; "b" and "c" are idle
+        thread = run_supervised(supervisor, state, lambda address: "unused")
+        deadline = time.monotonic() + 2
+        while not state.retiring and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert state.retiring and "a" not in state.retiring
+        retiree = sorted(state.retiring)[-1]
+        # The member confirms between requests...
+        assert state.next_shard(retiree) is None
+        state.complete(index, "a", {"done": True}, attempt=1)
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        # ...and the supervisor stopped its process.
+        assert retiree in fleet.stopped
+        assert retiree in state.retired
